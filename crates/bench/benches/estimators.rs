@@ -1,0 +1,32 @@
+//! Criterion benchmarks of the performance estimators on Test-scale
+//! pipelines (the end-to-end cost the library's users pay).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator, Randomize};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, Scale, SeedAssignment};
+
+fn bench_estimators(c: &mut Criterion) {
+    let cs = CaseStudy::glue_rte_bert(Scale::Test);
+
+    c.bench_function("pipeline_single_training", |b| {
+        let seeds = SeedAssignment::all_fixed(1);
+        let params = cs.default_params().to_vec();
+        b.iter(|| cs.run_with_params(&params, &seeds))
+    });
+
+    c.bench_function("ideal_estimator_k2_t3", |b| {
+        b.iter(|| ideal_estimator(&cs, 2, HpoAlgorithm::RandomSearch, 3, 1))
+    });
+
+    c.bench_function("fix_hopt_estimator_k4_t3_all", |b| {
+        b.iter(|| fix_hopt_estimator(&cs, 4, HpoAlgorithm::RandomSearch, 3, 1, 0, Randomize::All))
+    });
+
+    c.bench_function("hopt_bayes_budget6", |b| {
+        let seeds = SeedAssignment::all_fixed(2);
+        b.iter(|| cs.hopt(&seeds, HpoAlgorithm::BayesOpt, 6))
+    });
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks of model training and inference.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use varbench_data::augment::Identity;
+use varbench_data::synth::{binary_overlap, BinaryOverlapConfig};
+use varbench_models::linear::RidgeRegression;
+use varbench_models::{Mlp, MlpConfig, TrainConfig, TrainSeeds};
+use varbench_rng::{Rng, SeedTree};
+
+fn bench_models(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(1);
+    let ds = binary_overlap(
+        &BinaryOverlapConfig {
+            n: 500,
+            dim: 16,
+            separation: 2.0,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+
+    c.bench_function("mlp_train_1epoch_n500", |b| {
+        b.iter(|| {
+            let mut seeds = TrainSeeds::from_tree(&SeedTree::new(2));
+            Mlp::train(
+                &MlpConfig::default(),
+                &TrainConfig {
+                    epochs: 1,
+                    ..Default::default()
+                },
+                black_box(&ds),
+                &Identity,
+                &mut seeds,
+            )
+        })
+    });
+
+    let mut seeds = TrainSeeds::from_tree(&SeedTree::new(3));
+    let mlp = Mlp::train(
+        &MlpConfig::default(),
+        &TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+        &ds,
+        &Identity,
+        &mut seeds,
+    );
+    let x = ds.x(0).to_vec();
+    c.bench_function("mlp_predict", |b| {
+        b.iter(|| mlp.predict_class(black_box(&x)))
+    });
+
+    // Regression data for ridge.
+    let mut rng = Rng::seed_from_u64(4);
+    let n = 400;
+    let d = 16;
+    let mut features = Vec::with_capacity(n * d);
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut s = 0.0;
+        for j in 0..d {
+            let v = rng.normal(0.0, 1.0);
+            s += v * (j as f64 * 0.1);
+            features.push(v);
+        }
+        values.push(s);
+    }
+    let reg = varbench_data::Dataset::new(features, d, varbench_data::Targets::Values(values));
+    c.bench_function("ridge_fit_n400_d16", |b| {
+        b.iter(|| RidgeRegression::fit(black_box(&reg), 1e-3))
+    });
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Minimal command-line flag handling shared by the figure binaries.
+
+use varbench_pipeline::Scale;
+
+/// Effort preset selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// `--test`: smallest sizes (CI smoke run).
+    Test,
+    /// Default: minutes-scale reproduction.
+    Quick,
+    /// `--full`: paper-faithful sizes (hours).
+    Full,
+}
+
+impl Effort {
+    /// Parses the effort from raw process arguments.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Effort {
+        let mut effort = Effort::Quick;
+        for a in args {
+            match a.as_str() {
+                "--full" => effort = Effort::Full,
+                "--test" => effort = Effort::Test,
+                "--quick" => effort = Effort::Quick,
+                _ => {}
+            }
+        }
+        effort
+    }
+
+    /// Parses from the current process environment.
+    pub fn from_env() -> Effort {
+        Effort::from_args(std::env::args().skip(1))
+    }
+
+    /// The case-study scale this effort implies.
+    pub fn scale(&self) -> Scale {
+        match self {
+            Effort::Test => Scale::Test,
+            Effort::Quick => Scale::Quick,
+            Effort::Full => Scale::Full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(Effort::from_args(args(&[])), Effort::Quick);
+        assert_eq!(Effort::from_args(args(&["--full"])), Effort::Full);
+        assert_eq!(Effort::from_args(args(&["--test"])), Effort::Test);
+        assert_eq!(Effort::from_args(args(&["ignored", "--quick"])), Effort::Quick);
+    }
+
+    #[test]
+    fn scales_map() {
+        assert_eq!(Effort::Test.scale(), Scale::Test);
+        assert_eq!(Effort::Quick.scale(), Scale::Quick);
+        assert_eq!(Effort::Full.scale(), Scale::Full);
+    }
+}

@@ -1,0 +1,9 @@
+//! Extension ablations: HPO-budget effect on xi_H variance, and
+//! bootstrap-vs-cross-validation resampling comparison.
+use varbench_bench::args::Effort;
+use varbench_bench::figures::ablations;
+
+fn main() {
+    let config = ablations::Config::for_effort(Effort::from_env());
+    print!("{}", ablations::run(&config));
+}

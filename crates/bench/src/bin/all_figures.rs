@@ -1,0 +1,36 @@
+//! Runs every figure and table reproduction in sequence (quick mode by
+//! default; pass --test or --full to change effort).
+use varbench_bench::args::Effort;
+use varbench_bench::figures::*;
+
+fn main() {
+    let effort = Effort::from_env();
+    let run_one = |name: &str, body: String| {
+        println!("\n================ {name} ================\n");
+        print!("{body}");
+    };
+    run_one("Figure 1", fig1::run(&fig1::Config::for_effort(effort)));
+    run_one("Figure 2", fig2::run(&fig2::Config::for_effort(effort)));
+    run_one("Figure 3", fig3::run(&fig3::Config::default()));
+    run_one("Figure 5 / H.4", fig5::run(&fig5::Config::for_effort(effort)));
+    run_one("Figure 6", fig6::run(&fig6::Config::for_effort(effort)));
+    run_one("Figure C.1", figc1::run());
+    run_one("Figure F.2", figf2::run(&figf2::Config::for_effort(effort)));
+    run_one("Figure G.3", figg3::run(&figg3::Config::for_effort(effort)));
+    run_one("Figure H.5", figh5::run(&figh5::Config::for_effort(effort)));
+    let i6 = match effort {
+        Effort::Test => figi6::Config::test(),
+        Effort::Quick => figi6::Config::quick(),
+        Effort::Full => figi6::Config::full(),
+    };
+    run_one("Figure I.6", figi6::run(&i6));
+    run_one("Tables", tables::run(&tables::Config::for_effort(effort)));
+    run_one(
+        "Extension: interactions",
+        interactions::run(&interactions::Config::for_effort(effort)),
+    );
+    run_one(
+        "Extension: ablations",
+        ablations::run(&ablations::Config::for_effort(effort)),
+    );
+}

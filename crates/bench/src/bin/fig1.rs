@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 1 (variance of each source of variation).
+use varbench_bench::args::Effort;
+use varbench_bench::figures::fig1;
+
+fn main() {
+    let config = fig1::Config::for_effort(Effort::from_env());
+    print!("{}", fig1::run(&config));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 2 (binomial model of test-set noise).
+use varbench_bench::args::Effort;
+use varbench_bench::figures::fig2;
+
+fn main() {
+    let config = fig2::Config::for_effort(Effort::from_env());
+    print!("{}", fig2::run(&config));
+}

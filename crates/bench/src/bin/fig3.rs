@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 3 (published improvements vs variance).
+use varbench_bench::figures::fig3;
+
+fn main() {
+    print!("{}", fig3::run(&fig3::Config::default()));
+}

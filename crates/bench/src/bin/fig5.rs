@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 5 / H.4 (estimator standard errors).
+use varbench_bench::args::Effort;
+use varbench_bench::figures::fig5;
+
+fn main() {
+    let config = fig5::Config::for_effort(Effort::from_env());
+    print!("{}", fig5::run(&config));
+}

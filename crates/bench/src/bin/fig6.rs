@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 6 (detection rates of decision criteria).
+use varbench_bench::args::Effort;
+use varbench_bench::figures::fig6;
+
+fn main() {
+    let config = fig6::Config::for_effort(Effort::from_env());
+    print!("{}", fig6::run(&config));
+}

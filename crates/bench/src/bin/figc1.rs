@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure C.1 (Noether sample sizes).
+use varbench_bench::figures::figc1;
+
+fn main() {
+    print!("{}", figc1::run());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure F.2 (HPO optimization curves).
+use varbench_bench::args::Effort;
+use varbench_bench::figures::figf2;
+
+fn main() {
+    let config = figf2::Config::for_effort(Effort::from_env());
+    print!("{}", figf2::run(&config));
+}

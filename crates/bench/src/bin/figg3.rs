@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure G.3 (Shapiro-Wilk normality panel).
+use varbench_bench::args::Effort;
+use varbench_bench::figures::figg3;
+
+fn main() {
+    let config = figg3::Config::for_effort(Effort::from_env());
+    print!("{}", figg3::run(&config));
+}

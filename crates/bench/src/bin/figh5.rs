@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure H.5 (MSE decomposition of estimators).
+use varbench_bench::args::Effort;
+use varbench_bench::figures::figh5;
+
+fn main() {
+    let config = figh5::Config::for_effort(Effort::from_env());
+    print!("{}", figh5::run(&config));
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure I.6 (robustness of comparison methods).
+use varbench_bench::args::Effort;
+use varbench_bench::figures::figi6;
+
+fn main() {
+    let config = match Effort::from_env() {
+        Effort::Test => figi6::Config::test(),
+        Effort::Quick => figi6::Config::quick(),
+        Effort::Full => figi6::Config::full(),
+    };
+    print!("{}", figi6::run(&config));
+}

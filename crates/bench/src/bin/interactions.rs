@@ -1,0 +1,9 @@
+//! Extension experiment: interaction of variance sources (the paper's
+//! "variances do not add up" remark, quantified).
+use varbench_bench::args::Effort;
+use varbench_bench::figures::interactions;
+
+fn main() {
+    let config = interactions::Config::for_effort(Effort::from_env());
+    print!("{}", interactions::run(&config));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Tables 1-10 (configs and Table 8 experiment).
+use varbench_bench::args::Effort;
+use varbench_bench::figures::tables;
+
+fn main() {
+    let config = tables::Config::for_effort(Effort::from_env());
+    print!("{}", tables::run(&config));
+}

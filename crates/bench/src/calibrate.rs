@@ -1,0 +1,87 @@
+//! Calibration of simulation parameters from real estimator runs.
+//!
+//! The paper's Section 4.2 simulation is *calibrated*: its normal
+//! distributions use the variances measured with the ideal and biased
+//! estimators on the case studies. This module performs that measurement.
+
+use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator, Randomize};
+use varbench_core::simulation::SimulatedTask;
+use varbench_pipeline::{CaseStudy, HpoAlgorithm};
+use varbench_stats::describe::{mean, std_dev, variance};
+
+/// Calibration output: the simulated task plus the raw pieces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// The simulation parameters (σ, bias std, measure std).
+    pub task: SimulatedTask,
+    /// Mean performance measured by the ideal estimator.
+    pub mu: f64,
+    /// Repetition groups of the biased estimator (for decomposition).
+    pub groups: Vec<Vec<f64>>,
+    /// Ideal-estimator measures.
+    pub ideal_measures: Vec<f64>,
+}
+
+/// Measures a [`SimulatedTask`] for `cs`: σ from one ideal-estimator run
+/// of `k_ideal` samples; `Var(µ̃|ξ)` and `Var(R̂|ξ)` from `reps`
+/// repetitions of `FixHOptEst(k, All)`.
+///
+/// # Panics
+///
+/// Panics if `k_ideal < 2`, `k < 2`, or `reps < 2`.
+pub fn calibrate(
+    cs: &CaseStudy,
+    k_ideal: usize,
+    k: usize,
+    reps: usize,
+    algo: HpoAlgorithm,
+    budget: usize,
+    seed: u64,
+) -> Calibration {
+    assert!(k_ideal >= 2 && k >= 2 && reps >= 2, "need at least 2 of everything");
+    let ideal = ideal_estimator(cs, k_ideal, algo, budget, seed);
+    let sigma = std_dev(&ideal.measures).max(1e-9);
+    let mu = mean(&ideal.measures);
+
+    let groups: Vec<Vec<f64>> = (0..reps)
+        .map(|r| fix_hopt_estimator(cs, k, algo, budget, seed, r as u64, Randomize::All).measures)
+        .collect();
+    let group_means: Vec<f64> = groups.iter().map(|g| mean(g)).collect();
+    let bias_std = std_dev(&group_means).max(1e-9);
+    let measure_var = groups.iter().map(|g| variance(g, 1)).sum::<f64>() / reps as f64;
+    let measure_std = measure_var.sqrt().max(1e-9);
+
+    Calibration {
+        task: SimulatedTask::new(sigma, bias_std, measure_std),
+        mu,
+        groups,
+        ideal_measures: ideal.measures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varbench_pipeline::Scale;
+
+    #[test]
+    fn calibration_produces_positive_parameters() {
+        let cs = CaseStudy::glue_rte_bert(Scale::Test);
+        let c = calibrate(&cs, 3, 4, 3, HpoAlgorithm::RandomSearch, 3, 1);
+        assert!(c.task.sigma > 0.0);
+        assert!(c.task.bias_std > 0.0);
+        assert!(c.task.measure_std > 0.0);
+        assert!(c.mu > 0.4 && c.mu <= 1.0);
+        assert_eq!(c.groups.len(), 3);
+        assert_eq!(c.groups[0].len(), 4);
+        assert_eq!(c.ideal_measures.len(), 3);
+    }
+
+    #[test]
+    fn calibration_deterministic() {
+        let cs = CaseStudy::glue_rte_bert(Scale::Test);
+        let a = calibrate(&cs, 2, 2, 2, HpoAlgorithm::RandomSearch, 2, 2);
+        let b = calibrate(&cs, 2, 2, 2, HpoAlgorithm::RandomSearch, 2, 2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,204 @@
+//! **Fig. 1** — variance of each source of variation, per case study, as a
+//! fraction of the bootstrap (data-sampling) variance.
+//!
+//! Protocol (paper §2.2): fix every seed; for each source in turn,
+//! randomize that source's seed `n` times and record the test performance;
+//! report the standard deviation. Hyperparameter-optimization variance is
+//! measured by running `n_hopt` independent HPO procedures per algorithm.
+
+use crate::args::Effort;
+use varbench_core::estimator::source_variance_study;
+use varbench_core::report::{bar, num, Table};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, VarianceSource};
+use varbench_stats::describe::std_dev;
+
+/// Configuration of the Fig. 1 study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// Case-study effort preset.
+    pub effort: Effort,
+    /// Seeds per ξ_O source (paper: 200).
+    pub n_seeds: usize,
+    /// Independent HPO procedures per algorithm (paper: 20).
+    pub n_hopt: usize,
+    /// Trials per HPO procedure (paper: 200).
+    pub budget: usize,
+}
+
+impl Config {
+    /// Smoke-test preset.
+    pub fn test() -> Self {
+        Self {
+            effort: Effort::Test,
+            n_seeds: 4,
+            n_hopt: 2,
+            budget: 3,
+        }
+    }
+
+    /// Default (minutes-scale) preset.
+    pub fn quick() -> Self {
+        Self {
+            effort: Effort::Quick,
+            n_seeds: 30,
+            n_hopt: 8,
+            budget: 20,
+        }
+    }
+
+    /// Paper-faithful preset.
+    pub fn full() -> Self {
+        Self {
+            effort: Effort::Full,
+            n_seeds: 200,
+            n_hopt: 20,
+            budget: 200,
+        }
+    }
+
+    /// Preset for an effort level.
+    pub fn for_effort(effort: Effort) -> Self {
+        match effort {
+            Effort::Test => Self::test(),
+            Effort::Quick => Self::quick(),
+            Effort::Full => Self::full(),
+        }
+    }
+}
+
+/// The measured standard deviations for one case study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskVariances {
+    /// Case-study name.
+    pub task: &'static str,
+    /// `(source label, std)` rows, ξ_O sources then HPO algorithms.
+    pub rows: Vec<(String, f64)>,
+    /// The bootstrap (data-split) std used as the reference unit.
+    pub bootstrap_std: f64,
+}
+
+/// Runs the Fig. 1 study on one case study.
+pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> TaskVariances {
+    let mut rows = Vec::new();
+    let mut bootstrap_std = f64::NAN;
+    // ξ_O sources, bootstrap first (it is the reference).
+    for &src in cs.active_sources() {
+        if src.is_hyperopt() {
+            continue;
+        }
+        let measures =
+            source_variance_study(cs, src, config.n_seeds, HpoAlgorithm::RandomSearch, 1, seed);
+        let sd = std_dev(&measures);
+        if src == VarianceSource::DataSplit {
+            bootstrap_std = sd;
+        }
+        rows.push((src.display_name().to_string(), sd));
+    }
+    // ξ_H: one row per studied HPO algorithm.
+    for algo in HpoAlgorithm::STUDIED {
+        let measures = source_variance_study(
+            cs,
+            VarianceSource::HyperOpt,
+            config.n_hopt,
+            algo,
+            config.budget,
+            seed ^ 0xB0B0,
+        );
+        rows.push((algo.display_name().to_string(), std_dev(&measures)));
+    }
+    TaskVariances {
+        task: cs.name(),
+        rows,
+        bootstrap_std,
+    }
+}
+
+/// Runs the full Fig. 1 reproduction and renders the report.
+pub fn run(config: &Config) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 1: sources of variation, std as fraction of bootstrap std\n");
+    out.push_str(&format!(
+        "(n_seeds = {}, n_hopt = {}, budget = {})\n\n",
+        config.n_seeds, config.n_hopt, config.budget
+    ));
+    for cs in CaseStudy::all(config.effort.scale()) {
+        let tv = study_case(&cs, config, 0xF161);
+        out.push_str(&format!("== {} ({}) ==\n", tv.task, cs.metric()));
+        let mut table = Table::new(vec![
+            "source".into(),
+            "std".into(),
+            "ratio/bootstrap".into(),
+            "".into(),
+        ]);
+        for (label, sd) in &tv.rows {
+            let ratio = if tv.bootstrap_std > 0.0 {
+                sd / tv.bootstrap_std
+            } else {
+                f64::NAN
+            };
+            table.add_row(vec![
+                label.clone(),
+                num(*sd, 5),
+                num(ratio, 2),
+                bar(ratio, 2.0, 24),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out.push_str(
+        "Expected shape (paper): bootstrap largest; weights init / data order\n\
+         ~0.2-0.7x bootstrap; HPO algorithms comparable to weights init.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varbench_pipeline::Scale;
+
+    #[test]
+    fn study_produces_rows_for_active_sources() {
+        let cs = CaseStudy::glue_rte_bert(Scale::Test);
+        let tv = study_case(&cs, &Config::test(), 1);
+        // 4 ξ_O active sources + 3 HPO algorithms.
+        assert_eq!(tv.rows.len(), 4 + 3);
+        assert!(tv.bootstrap_std > 0.0);
+        // Every std is finite and non-negative.
+        assert!(tv.rows.iter().all(|(_, s)| s.is_finite() && *s >= 0.0));
+    }
+
+    #[test]
+    fn bootstrap_dominates_init_usually() {
+        // The paper's headline: data sampling variance >= init variance.
+        // At Test scale noise is large, so only check both are measured.
+        let cs = CaseStudy::glue_sst2_bert(Scale::Test);
+        let tv = study_case(&cs, &Config::test(), 2);
+        let get = |name: &str| {
+            tv.rows
+                .iter()
+                .find(|(l, _)| l == name)
+                .map(|(_, s)| *s)
+                .expect("row present")
+        };
+        assert!(get("Data (bootstrap)") > 0.0);
+        assert!(get("Weights init") >= 0.0);
+    }
+
+    #[test]
+    fn report_renders_all_tasks() {
+        let report = run(&Config::test());
+        for task in [
+            "glue-rte-bert",
+            "glue-sst2-bert",
+            "mhc-mlp",
+            "pascalvoc-resnet",
+            "cifar10-vgg11",
+        ] {
+            assert!(report.contains(task), "missing {task}");
+        }
+        assert!(report.contains("Random Search"));
+        assert!(report.contains("Bayes Opt"));
+    }
+}

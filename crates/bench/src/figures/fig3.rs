@@ -1,0 +1,165 @@
+//! **Fig. 3** — published improvements compared to benchmark variance.
+//!
+//! For each leaderboard entry we ask: is the increment over the previous
+//! state of the art larger than the significance threshold implied by the
+//! benchmark's variance? The benchmark σ at accuracy τ is modelled as the
+//! binomial test-set noise inflated by the total-variance/bootstrap ratio
+//! measured on our case-study analog (Fig. 1), and the significance
+//! threshold is `z₀.₉₅ · √2 · σ` (two independent pipelines compared on
+//! one split).
+
+use crate::leaderboard::{increments, Entry, CIFAR10, SST2};
+use varbench_core::report::{num, Table};
+use varbench_stats::{standard_normal_quantile, Binomial};
+
+/// Configuration of the Fig. 3 analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// Variance-inflation ratio: total benchmark variance relative to the
+    /// pure test-set binomial variance. The paper's Fig. 1 study puts the
+    /// all-sources total at ~1.5–2× the bootstrap variance; 2.0 is the
+    /// conservative default, and `fig1` measures the analog value.
+    pub inflation: f64,
+    /// Significance level of the one-sided test.
+    pub alpha: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            inflation: 2.0,
+            alpha: 0.05,
+        }
+    }
+}
+
+/// Verdict for one published improvement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// The leaderboard entry.
+    pub entry: Entry,
+    /// Increment over the previous state of the art (percentage points).
+    pub increment: f64,
+    /// Benchmark σ at this accuracy (percentage points).
+    pub sigma: f64,
+    /// Significance threshold `z₁₋α √2 σ`.
+    pub threshold: f64,
+    /// Whether the increment clears the threshold.
+    pub significant: bool,
+}
+
+/// Classifies every improving entry of a leaderboard.
+pub fn classify(entries: &[Entry], n_test: u64, config: &Config) -> Vec<Verdict> {
+    let z = standard_normal_quantile(1.0 - config.alpha);
+    increments(entries)
+        .into_iter()
+        .map(|(entry, inc)| {
+            let tau = (entry.accuracy / 100.0).clamp(0.01, 0.99);
+            let sigma =
+                100.0 * Binomial::accuracy_std(n_test, tau) * config.inflation.sqrt();
+            let threshold = z * std::f64::consts::SQRT_2 * sigma;
+            Verdict {
+                entry,
+                increment: inc,
+                sigma,
+                threshold,
+                significant: inc > threshold,
+            }
+        })
+        .collect()
+}
+
+/// Runs the Fig. 3 reproduction.
+pub fn run(config: &Config) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 3: published improvements vs benchmark variance\n");
+    out.push_str(&format!(
+        "(variance inflation x{:.1} over binomial, alpha = {})\n\n",
+        config.inflation, config.alpha
+    ));
+    for (name, entries, n_test) in [
+        ("cifar10 (n'=10000)", &CIFAR10[..], 10_000u64),
+        ("sst2 (n'=872, paper test server ~1821; we use the dev-size analog)", &SST2[..], 872),
+    ] {
+        out.push_str(&format!("== {name} ==\n"));
+        let mut t = Table::new(vec![
+            "year".into(),
+            "method".into(),
+            "acc%".into(),
+            "increment".into(),
+            "sigma".into(),
+            "threshold".into(),
+            "verdict".into(),
+        ]);
+        let verdicts = classify(entries, n_test, config);
+        let mut n_sig = 0;
+        for v in &verdicts {
+            if v.significant {
+                n_sig += 1;
+            }
+            t.add_row(vec![
+                v.entry.year.to_string(),
+                v.entry.method.to_string(),
+                num(v.entry.accuracy, 2),
+                format!("+{}", num(v.increment, 2)),
+                num(v.sigma, 3),
+                num(v.threshold, 3),
+                if v.significant { "significant".into() } else { "x not significant".into() },
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "{} of {} improvements significant\n\n",
+            n_sig,
+            verdicts.len()
+        ));
+    }
+    out.push_str(
+        "Expected shape (paper): a substantial fraction of published increments\n\
+         fall below the significance band, especially on the small SST-2 test set.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_splits_verdicts() {
+        let v = classify(&SST2, 872, &Config::default());
+        assert!(!v.is_empty());
+        let sig = v.iter().filter(|x| x.significant).count();
+        let non = v.len() - sig;
+        // On the small SST-2 set some improvements must be non-significant
+        // and some significant.
+        assert!(sig > 0, "no significant improvements found");
+        assert!(non > 0, "every improvement significant — threshold too low");
+    }
+
+    #[test]
+    fn bigger_test_set_tightens_threshold() {
+        let small = classify(&CIFAR10, 1_000, &Config::default());
+        let large = classify(&CIFAR10, 100_000, &Config::default());
+        let sig_small = small.iter().filter(|v| v.significant).count();
+        let sig_large = large.iter().filter(|v| v.significant).count();
+        assert!(sig_large >= sig_small);
+        assert!(large[0].threshold < small[0].threshold);
+    }
+
+    #[test]
+    fn inflation_raises_threshold() {
+        let base = classify(&CIFAR10, 10_000, &Config { inflation: 1.0, alpha: 0.05 });
+        let inflated = classify(&CIFAR10, 10_000, &Config { inflation: 4.0, alpha: 0.05 });
+        assert!(inflated[0].threshold > base[0].threshold);
+        assert!((inflated[0].threshold / base[0].threshold - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(&Config::default());
+        assert!(r.contains("cifar10"));
+        assert!(r.contains("significant"));
+        assert!(r.contains("BERT-base"));
+    }
+}

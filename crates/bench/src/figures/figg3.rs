@@ -1,0 +1,171 @@
+//! **Fig. G.3** — normality of the per-source performance distributions:
+//! Shapiro–Wilk p-values plus kernel-density summaries.
+//!
+//! The paper's conclusion: "except for Glue-SST2 BERT, all case studies
+//! have distributions of performances very close to normal" (SST-2's tiny
+//! test set discretizes the accuracies). This underwrites the normal
+//! modelling assumption of the simulation study.
+
+use crate::args::Effort;
+use varbench_core::estimator::source_variance_study;
+use varbench_core::report::{num, Table};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, SeedAssignment, VarianceSource};
+use varbench_stats::kde::Kde;
+use varbench_stats::tests::shapiro_wilk::shapiro_wilk;
+
+/// Configuration of the Fig. G.3 study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// Case-study effort preset.
+    pub effort: Effort,
+    /// Samples per distribution (paper: 200).
+    pub n_seeds: usize,
+}
+
+impl Config {
+    /// Smoke-test preset (n below SW's minimum of 3 is impossible; use 8).
+    pub fn test() -> Self {
+        Self {
+            effort: Effort::Test,
+            n_seeds: 8,
+        }
+    }
+
+    /// Default preset.
+    pub fn quick() -> Self {
+        Self {
+            effort: Effort::Quick,
+            n_seeds: 40,
+        }
+    }
+
+    /// Paper-faithful preset.
+    pub fn full() -> Self {
+        Self {
+            effort: Effort::Full,
+            n_seeds: 200,
+        }
+    }
+
+    /// Preset for an effort level.
+    pub fn for_effort(effort: Effort) -> Self {
+        match effort {
+            Effort::Test => Self::test(),
+            Effort::Quick => Self::quick(),
+            Effort::Full => Self::full(),
+        }
+    }
+}
+
+/// Normality panel for one case study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalityPanel {
+    /// Case-study name.
+    pub task: &'static str,
+    /// `(source, Shapiro-Wilk p, KDE bandwidth)` rows; `None` p-value means
+    /// the source is inactive (constant measures).
+    pub rows: Vec<(String, Option<f64>, f64)>,
+}
+
+/// Runs the normality study on one case study.
+pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> NormalityPanel {
+    let mut rows = Vec::new();
+    let mut sources: Vec<VarianceSource> = cs
+        .active_sources()
+        .iter()
+        .copied()
+        .filter(|s| !s.is_hyperopt())
+        .collect();
+    // "Altogether" row: randomize all ξ_O sources jointly.
+    for &src in &sources {
+        let measures =
+            source_variance_study(cs, src, config.n_seeds, HpoAlgorithm::RandomSearch, 1, seed);
+        rows.push(panel_row(src.display_name().to_string(), &measures));
+    }
+    // Joint randomization of all ξ_O (paper's "Altogether" row).
+    let fixed = SeedAssignment::all_fixed(seed);
+    let params = cs.default_params().to_vec();
+    let measures: Vec<f64> = (0..config.n_seeds)
+        .map(|i| {
+            let seeds = fixed.with_varied_set(&VarianceSource::XI_O, 7700 + i as u64);
+            cs.run_with_params(&params, &seeds)
+        })
+        .collect();
+    rows.push(panel_row("Altogether".to_string(), &measures));
+    sources.clear();
+    NormalityPanel {
+        task: cs.name(),
+        rows,
+    }
+}
+
+fn panel_row(label: String, measures: &[f64]) -> (String, Option<f64>, f64) {
+    let constant = measures.windows(2).all(|w| w[0] == w[1]);
+    if constant {
+        (label, None, 0.0)
+    } else {
+        let p = shapiro_wilk(measures).ok().map(|r| r.p_value);
+        let bw = Kde::fit(measures).bandwidth();
+        (label, p, bw)
+    }
+}
+
+/// Runs the full Fig. G.3 reproduction.
+pub fn run(config: &Config) -> String {
+    let mut out = String::new();
+    out.push_str("Figure G.3: Shapiro-Wilk normality of per-source performance\n");
+    out.push_str(&format!("(n = {} samples per distribution)\n\n", config.n_seeds));
+    for cs in CaseStudy::all(config.effort.scale()) {
+        let panel = study_case(&cs, config, 0xF163);
+        out.push_str(&format!("== {} ==\n", panel.task));
+        let mut t = Table::new(vec![
+            "source".into(),
+            "SW p-value".into(),
+            "KDE bandwidth".into(),
+        ]);
+        for (label, p, bw) in &panel.rows {
+            t.add_row(vec![
+                label.clone(),
+                p.map_or("(inactive)".into(), |v| num(v, 4)),
+                num(*bw, 6),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out.push_str(
+        "Expected shape (paper): p-values mostly well above 0.05 (normal-ish);\n\
+         the SST-2 analog may reject due to its discretized accuracies.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varbench_pipeline::Scale;
+
+    #[test]
+    fn panel_includes_altogether_row() {
+        let cs = CaseStudy::mhc_mlp(Scale::Test);
+        let p = study_case(&cs, &Config::test(), 1);
+        assert!(p.rows.iter().any(|(l, _, _)| l == "Altogether"));
+        // Active sources have p-values.
+        let data_row = p
+            .rows
+            .iter()
+            .find(|(l, _, _)| l == "Data (bootstrap)")
+            .expect("bootstrap row");
+        assert!(data_row.1.is_some());
+        if let Some(pv) = data_row.1 {
+            assert!((0.0..=1.0).contains(&pv));
+        }
+    }
+
+    #[test]
+    fn report_renders_panels() {
+        let r = run(&Config::test());
+        assert!(r.contains("Shapiro-Wilk"));
+        assert!(r.contains("Altogether"));
+    }
+}

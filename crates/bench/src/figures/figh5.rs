@@ -1,0 +1,173 @@
+//! **Fig. H.5** — decomposition of the estimators' mean-squared error:
+//! bias, variance, average measure correlation ρ, and MSE.
+//!
+//! The paper's counter-intuitive mechanism, verified here: randomizing
+//! *more* sources lowers the correlation ρ between conditioned measures,
+//! which lowers the biased estimator's variance (Eq. 7) and therefore its
+//! MSE — the opposite of the "hold everything fixed" intuition.
+
+use crate::args::Effort;
+use varbench_core::decompose::{decompose, Decomposition};
+use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator, Randomize};
+use varbench_core::report::{num, Table};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm};
+use varbench_stats::describe::mean;
+
+/// Configuration of the Fig. H.5 study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// Case-study effort preset.
+    pub effort: Effort,
+    /// Estimator budget k (paper: 100).
+    pub k: usize,
+    /// Repetitions per biased estimator (paper: 20).
+    pub reps: usize,
+    /// Ideal samples for the µ reference.
+    pub k_ideal: usize,
+    /// HPO budget.
+    pub budget: usize,
+}
+
+impl Config {
+    /// Smoke-test preset.
+    pub fn test() -> Self {
+        Self {
+            effort: Effort::Test,
+            k: 4,
+            reps: 3,
+            k_ideal: 4,
+            budget: 3,
+        }
+    }
+
+    /// Default preset.
+    pub fn quick() -> Self {
+        Self {
+            effort: Effort::Quick,
+            k: 15,
+            reps: 8,
+            k_ideal: 15,
+            budget: 12,
+        }
+    }
+
+    /// Paper-faithful preset.
+    pub fn full() -> Self {
+        Self {
+            effort: Effort::Full,
+            k: 100,
+            reps: 20,
+            k_ideal: 100,
+            budget: 200,
+        }
+    }
+
+    /// Preset for an effort level.
+    pub fn for_effort(effort: Effort) -> Self {
+        match effort {
+            Effort::Test => Self::test(),
+            Effort::Quick => Self::quick(),
+            Effort::Full => Self::full(),
+        }
+    }
+}
+
+/// Decompositions of the three biased estimators for one case study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskDecomposition {
+    /// Case-study name.
+    pub task: &'static str,
+    /// Reference µ from the ideal estimator.
+    pub mu: f64,
+    /// `(variant, decomposition)` rows.
+    pub rows: Vec<(Randomize, Decomposition)>,
+}
+
+/// Runs the decomposition study on one case study.
+pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> TaskDecomposition {
+    let algo = HpoAlgorithm::RandomSearch;
+    let ideal = ideal_estimator(cs, config.k_ideal, algo, config.budget, seed);
+    let mu = mean(&ideal.measures);
+    let rows = [Randomize::Init, Randomize::Data, Randomize::All]
+        .iter()
+        .map(|&variant| {
+            let groups: Vec<Vec<f64>> = (0..config.reps)
+                .map(|r| {
+                    fix_hopt_estimator(cs, config.k, algo, config.budget, seed, r as u64, variant)
+                        .measures
+                })
+                .collect();
+            (variant, decompose(&groups, mu))
+        })
+        .collect();
+    TaskDecomposition {
+        task: cs.name(),
+        mu,
+        rows,
+    }
+}
+
+/// Runs the full Fig. H.5 reproduction.
+pub fn run(config: &Config) -> String {
+    let mut out = String::new();
+    out.push_str("Figure H.5: MSE decomposition of estimators (bias, Var, rho, MSE)\n");
+    out.push_str(&format!(
+        "(k = {}, reps = {}, budget = {})\n\n",
+        config.k, config.reps, config.budget
+    ));
+    for cs in CaseStudy::all(config.effort.scale()) {
+        let d = study_case(&cs, config, 0xF164);
+        out.push_str(&format!("== {} (mu = {}) ==\n", d.task, num(d.mu, 4)));
+        let mut t = Table::new(vec![
+            "estimator".into(),
+            "bias".into(),
+            "Var(mu~(k))".into(),
+            "rho".into(),
+            "Var(R^e|xi)".into(),
+            "MSE".into(),
+        ]);
+        for (variant, dec) in &d.rows {
+            t.add_row(vec![
+                variant.display_name().to_string(),
+                num(dec.bias, 5),
+                format!("{:.2e}", dec.variance),
+                num(dec.rho, 3),
+                format!("{:.2e}", dec.measure_variance),
+                format!("{:.2e}", dec.mse),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out.push_str(
+        "Expected shape (paper): bias comparable across variants; rho and hence\n\
+         Var and MSE drop sharply from Init to All — decorrelating measures is\n\
+         what improves the estimator.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varbench_pipeline::Scale;
+
+    #[test]
+    fn decomposition_rows_complete() {
+        let cs = CaseStudy::glue_rte_bert(Scale::Test);
+        let d = study_case(&cs, &Config::test(), 1);
+        assert_eq!(d.rows.len(), 3);
+        for (_, dec) in &d.rows {
+            assert!(dec.variance >= 0.0);
+            assert!(dec.mse >= dec.variance);
+            assert!((-1.0..=1.0).contains(&dec.rho));
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(&Config::test());
+        assert!(r.contains("MSE decomposition"));
+        assert!(r.contains("FixHOptEst(k, All)"));
+    }
+}

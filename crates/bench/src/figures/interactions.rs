@@ -1,0 +1,154 @@
+//! **Extension experiment** — interaction of variance sources.
+//!
+//! The paper notes (Section 2.2) that "these different contributions to
+//! the variance are not independent, the total variance cannot be obtained
+//! by simply adding them up". This experiment quantifies that remark: for
+//! each case study it measures every active ξ_O source's variance in
+//! isolation, the *sum* of those variances, and the variance when all
+//! sources are randomized *jointly* — the gap is the interaction.
+
+use crate::args::Effort;
+use varbench_core::estimator::{joint_variance_study, source_variance_study};
+use varbench_core::report::{num, Table};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, VarianceSource};
+use varbench_stats::describe::variance;
+
+/// Configuration of the interaction study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// Case-study effort preset.
+    pub effort: Effort,
+    /// Seeds per measurement.
+    pub n_seeds: usize,
+}
+
+impl Config {
+    /// Smoke-test preset.
+    pub fn test() -> Self {
+        Self {
+            effort: Effort::Test,
+            n_seeds: 6,
+        }
+    }
+
+    /// Default preset.
+    pub fn quick() -> Self {
+        Self {
+            effort: Effort::Quick,
+            n_seeds: 30,
+        }
+    }
+
+    /// Paper-faithful-ish preset.
+    pub fn full() -> Self {
+        Self {
+            effort: Effort::Full,
+            n_seeds: 100,
+        }
+    }
+
+    /// Preset for an effort level.
+    pub fn for_effort(effort: Effort) -> Self {
+        match effort {
+            Effort::Test => Self::test(),
+            Effort::Quick => Self::quick(),
+            Effort::Full => Self::full(),
+        }
+    }
+}
+
+/// Interaction measurements for one case study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteractionRow {
+    /// Case-study name.
+    pub task: &'static str,
+    /// Sum of the individual sources' variances.
+    pub sum_of_marginals: f64,
+    /// Variance with all ξ_O sources randomized jointly.
+    pub joint: f64,
+}
+
+impl InteractionRow {
+    /// Ratio joint / sum-of-marginals; 1.0 means additive, below 1 means
+    /// overlapping (shared) fluctuations, above 1 synergy.
+    pub fn interaction_ratio(&self) -> f64 {
+        if self.sum_of_marginals > 0.0 {
+            self.joint / self.sum_of_marginals
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// Measures the interaction for one case study.
+pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> InteractionRow {
+    let sources: Vec<VarianceSource> = cs
+        .active_sources()
+        .iter()
+        .copied()
+        .filter(|s| !s.is_hyperopt())
+        .collect();
+    let sum_of_marginals: f64 = sources
+        .iter()
+        .map(|&s| {
+            let m = source_variance_study(cs, s, config.n_seeds, HpoAlgorithm::RandomSearch, 1, seed);
+            variance(&m, 1)
+        })
+        .sum();
+    let joint_measures = joint_variance_study(cs, &sources, config.n_seeds, seed);
+    InteractionRow {
+        task: cs.name(),
+        sum_of_marginals,
+        joint: variance(&joint_measures, 1),
+    }
+}
+
+/// Runs the interaction study across all case studies.
+pub fn run(config: &Config) -> String {
+    let mut out = String::new();
+    out.push_str("Extension: interaction of variance sources\n");
+    out.push_str(&format!("(n = {} seeds per measurement)\n\n", config.n_seeds));
+    let mut t = Table::new(vec![
+        "task".into(),
+        "sum of marginal Var".into(),
+        "joint Var (all xi_O)".into(),
+        "joint / sum".into(),
+    ]);
+    for cs in CaseStudy::all(config.effort.scale()) {
+        let row = study_case(&cs, config, 0x1AC7);
+        t.add_row(vec![
+            row.task.to_string(),
+            format!("{:.3e}", row.sum_of_marginals),
+            format!("{:.3e}", row.joint),
+            num(row.interaction_ratio(), 2),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nRatio != 1 confirms the paper's caution: per-source variances do not\n\
+         add up; joint randomization is the only way to measure total variance.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varbench_pipeline::Scale;
+
+    #[test]
+    fn interaction_row_is_finite_and_positive() {
+        let cs = CaseStudy::glue_rte_bert(Scale::Test);
+        let row = study_case(&cs, &Config::test(), 1);
+        assert!(row.sum_of_marginals > 0.0);
+        assert!(row.joint > 0.0);
+        assert!(row.interaction_ratio().is_finite());
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(&Config::test());
+        assert!(r.contains("interaction"));
+        assert!(r.contains("joint / sum"));
+    }
+}

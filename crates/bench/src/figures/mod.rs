@@ -1,0 +1,16 @@
+//! One module per paper artifact; each exposes a `Config` with presets and
+//! a `run` function returning the rendered report.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod figc1;
+pub mod figf2;
+pub mod figg3;
+pub mod figh5;
+pub mod figi6;
+pub mod interactions;
+pub mod tables;

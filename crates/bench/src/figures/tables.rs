@@ -1,0 +1,308 @@
+//! **Tables 1–10** — case-study configurations (search spaces, defaults,
+//! infrastructure) and the Table 8 model comparison on the MHC task.
+//!
+//! Tables 1/4/10 (computational infrastructure), 2/3/5/6 (search spaces and
+//! defaults), 7 (defaults), and 9 (model designs) are configuration tables:
+//! we print our analogs straight from the case-study definitions so the
+//! printed values are, by construction, the values the experiments use.
+//! Table 8 is an experiment: AUC and Pearson correlation of three model
+//! designs on the binding task and on a shifted external dataset.
+
+use crate::args::Effort;
+use varbench_core::report::{num, Table};
+use varbench_data::augment::Identity;
+use varbench_data::synth::{binding_regression, BindingConfig};
+use varbench_models::ensemble::MlpEnsemble;
+use varbench_models::linear::RidgeRegression;
+use varbench_models::metrics::{pearson, roc_auc};
+use varbench_models::{Mlp, MlpConfig, TrainSeeds};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, Scale, SeedAssignment};
+use varbench_rng::{Rng, SeedTree};
+
+/// Configuration of the tables harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// Case-study effort preset.
+    pub effort: Effort,
+    /// Ensemble size for the MHCflurry-style baseline (paper: 8–16).
+    pub ensemble_size: usize,
+    /// HPO budget for the tuned model.
+    pub budget: usize,
+}
+
+impl Config {
+    /// Smoke-test preset.
+    pub fn test() -> Self {
+        Self {
+            effort: Effort::Test,
+            ensemble_size: 3,
+            budget: 4,
+        }
+    }
+
+    /// Default preset.
+    pub fn quick() -> Self {
+        Self {
+            effort: Effort::Quick,
+            ensemble_size: 8,
+            budget: 20,
+        }
+    }
+
+    /// Paper-faithful preset.
+    pub fn full() -> Self {
+        Self {
+            effort: Effort::Full,
+            ensemble_size: 16,
+            budget: 100,
+        }
+    }
+
+    /// Preset for an effort level.
+    pub fn for_effort(effort: Effort) -> Self {
+        match effort {
+            Effort::Test => Self::test(),
+            Effort::Quick => Self::quick(),
+            Effort::Full => Self::full(),
+        }
+    }
+}
+
+/// Prints the search-space tables (paper Tables 2, 3, 5, 6 analogs) and
+/// defaults (Table 7) for every case study.
+pub fn render_search_spaces(scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str("Tables 2/3/5/6/7: hyperparameter search spaces and defaults\n\n");
+    for cs in CaseStudy::all(scale) {
+        out.push_str(&format!("== {} ({}) ==\n", cs.name(), cs.paper_task()));
+        let mut t = Table::new(vec![
+            "hyperparameter".into(),
+            "space".into(),
+            "default".into(),
+        ]);
+        for ((name, dim), default) in cs.search_space().dims().iter().zip(cs.default_params()) {
+            t.add_row(vec![
+                name.clone(),
+                format!("{dim:?}"),
+                format!("{default}"),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints the computational-infrastructure analog of Tables 1, 4, 10.
+pub fn render_infrastructure() -> String {
+    let mut out = String::new();
+    out.push_str("Tables 1/4/10: computational infrastructure\n\n");
+    let mut t = Table::new(vec!["component".into(), "value".into()]);
+    t.add_row(vec!["implementation".into(), "pure Rust (this workspace)".into()]);
+    t.add_row(vec![
+        "determinism".into(),
+        "bit-exact given seeds; no GPU nondeterminism".into(),
+    ]);
+    t.add_row(vec![
+        "models".into(),
+        "from-scratch MLPs (varbench-models)".into(),
+    ]);
+    t.add_row(vec![
+        "hpo".into(),
+        "random / (noisy) grid / GP-EI BayesOpt (varbench-hpo)".into(),
+    ]);
+    t.add_row(vec![
+        "rng".into(),
+        "xoshiro256++ with per-source seed trees (varbench-rng)".into(),
+    ]);
+    out.push_str(&t.render());
+    out
+}
+
+/// One row of the Table 8 analog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table8Row {
+    /// Model label.
+    pub model: &'static str,
+    /// Evaluation dataset label.
+    pub dataset: &'static str,
+    /// ROC-AUC (binding threshold 0.5).
+    pub auc: f64,
+    /// Pearson correlation with true affinities.
+    pub pcc: f64,
+}
+
+/// Runs the Table 8 experiment: three model designs evaluated on the
+/// in-distribution test set and a shifted "HPV-like" external set.
+pub fn table8(config: &Config) -> Vec<Table8Row> {
+    let scale = config.effort.scale();
+    let cs = CaseStudy::mhc_mlp(scale);
+    let seeds = SeedAssignment::all_fixed(0x7AB8);
+    let split = cs.split(seeds.seed_of(varbench_pipeline::VarianceSource::DataSplit));
+    let train = cs.pool().subset(&split.train_valid());
+
+    // External shifted dataset (the "HPV" analog).
+    let n_ext = match scale {
+        Scale::Test => 100,
+        Scale::Quick => 1000,
+        Scale::Full => 3000,
+    };
+    let mut ext_rng = Rng::seed_from_u64(0x48B5);
+    let external = binding_regression(
+        &BindingConfig {
+            n: n_ext,
+            dim: 20,
+            noise: 0.1,
+            // Strong enough domain shift for a visible degradation (the
+            // probe in EXPERIMENTS.md shows AUC falls ~0.08 at this level).
+            shift: 2.5,
+        },
+        &mut ext_rng,
+    );
+
+    // Model (a): NetMHCpan4-style — one shallow MLP, fixed sensible
+    // hyperparameters.
+    let tree = SeedTree::new(0x7AB80);
+    let mut ts = TrainSeeds::from_tree(&tree);
+    let netmhc = Mlp::train(
+        &MlpConfig {
+            hidden: vec![24],
+            ..Default::default()
+        },
+        cs.base_train(),
+        &train,
+        &Identity,
+        &mut ts,
+    );
+
+    // Model (b): MHCflurry-style — a bagged ensemble of shallow MLPs.
+    let flurry = MlpEnsemble::train(
+        config.ensemble_size,
+        &MlpConfig {
+            hidden: vec![16],
+            ..Default::default()
+        },
+        cs.base_train(),
+        &train,
+        &Identity,
+        &SeedTree::new(0x7AB81),
+    );
+
+    // Model (c): MLP-MHC (ours) — single MLP with HPO-tuned hidden size
+    // and L2 (the paper's Table 6 space).
+    let (best, _) = cs.hopt(&seeds, HpoAlgorithm::RandomSearch, config.budget);
+    let tuned = cs.train_model(&best, &split.train_valid(), &seeds);
+
+    // Linear baseline for reference (ridge regression).
+    let ridge = RidgeRegression::fit(&train, 1e-2);
+
+    let eval = |name: &'static str,
+                predict: &dyn Fn(&[f64]) -> f64|
+     -> Vec<Table8Row> {
+        let mut rows = Vec::new();
+        // In-distribution test set.
+        let scores: Vec<f64> = split.test().iter().map(|&i| predict(cs.pool().x(i))).collect();
+        let labels: Vec<bool> = split.test().iter().map(|&i| cs.pool().value(i) > 0.5).collect();
+        let truths: Vec<f64> = split.test().iter().map(|&i| cs.pool().value(i)).collect();
+        rows.push(Table8Row {
+            model: name,
+            dataset: "binding-test",
+            auc: roc_auc(&scores, &labels),
+            pcc: pearson(&scores, &truths),
+        });
+        // External shifted set.
+        let scores: Vec<f64> = (0..external.len()).map(|i| predict(external.x(i))).collect();
+        let labels: Vec<bool> = (0..external.len()).map(|i| external.value(i) > 0.5).collect();
+        let truths: Vec<f64> = (0..external.len()).map(|i| external.value(i)).collect();
+        rows.push(Table8Row {
+            model: name,
+            dataset: "hpv-external",
+            auc: roc_auc(&scores, &labels),
+            pcc: pearson(&scores, &truths),
+        });
+        rows
+    };
+
+    let mut rows = Vec::new();
+    rows.extend(eval("netmhcpan4-style (single MLP)", &|x| netmhc.predict_value(x)));
+    rows.extend(eval("mhcflurry-style (ensemble)", &|x| flurry.predict_value(x)));
+    rows.extend(eval("mlp-mhc (ours, tuned)", &|x| tuned.predict_value(x)));
+    rows.extend(eval("ridge baseline", &|x| ridge.predict(x)));
+    rows
+}
+
+/// Runs the full tables reproduction.
+pub fn run(config: &Config) -> String {
+    let mut out = String::new();
+    out.push_str(&render_infrastructure());
+    out.push('\n');
+    out.push_str(&render_search_spaces(config.effort.scale()));
+
+    out.push_str("Table 8: model comparison on the MHC binding task\n\n");
+    let mut t = Table::new(vec![
+        "model".into(),
+        "dataset".into(),
+        "AUC".into(),
+        "PCC".into(),
+    ]);
+    for row in table8(config) {
+        t.add_row(vec![
+            row.model.to_string(),
+            row.dataset.to_string(),
+            num(row.auc, 3),
+            num(row.pcc, 3),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nExpected shape (paper Table 8): all shallow models in a similar AUC\n\
+         band in-distribution; every model degrades on the external (shifted)\n\
+         dataset, as NetMHCpan4/MHCflurry/MLP-MHC do on HPV.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table8_has_all_models_and_datasets() {
+        let rows = table8(&Config::test());
+        assert_eq!(rows.len(), 8);
+        for row in &rows {
+            assert!(row.auc >= 0.0 && row.auc <= 1.0, "{row:?}");
+            assert!(row.pcc >= -1.0 && row.pcc <= 1.0, "{row:?}");
+        }
+        // Nonlinear models should rank in-distribution examples well above
+        // chance.
+        let tuned = rows
+            .iter()
+            .find(|r| r.model.contains("ours") && r.dataset == "binding-test")
+            .expect("tuned row");
+        assert!(tuned.auc > 0.6, "tuned AUC {}", tuned.auc);
+    }
+
+    #[test]
+    fn external_shift_degrades_performance() {
+        let rows = table8(&Config::test());
+        let auc_of = |model_substr: &str, ds: &str| {
+            rows.iter()
+                .find(|r| r.model.contains(model_substr) && r.dataset == ds)
+                .map(|r| r.auc)
+                .expect("row")
+        };
+        // The shifted dataset is a different task: in-distribution AUC is
+        // higher than external for the ensemble (most stable model).
+        assert!(auc_of("mhcflurry", "binding-test") >= auc_of("mhcflurry", "hpv-external") - 0.05);
+    }
+
+    #[test]
+    fn report_renders_all_tables() {
+        let r = run(&Config::test());
+        assert!(r.contains("Tables 2/3/5/6/7"));
+        assert!(r.contains("Table 8"));
+        assert!(r.contains("learning_rate"));
+        assert!(r.contains("mhcflurry-style"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Experiment harness regenerating every table and figure of
+//! *Accounting for Variance in Machine Learning Benchmarks*.
+//!
+//! Each paper artifact has a module under [`figures`] exposing a `Config`
+//! (with `quick()` and `full()` presets) and a `run` function returning the
+//! report text, plus a binary of the same name
+//! (`cargo run -p varbench-bench --release --bin fig1 [-- --full]`).
+//!
+//! | Paper artifact | Module | What it shows |
+//! |---|---|---|
+//! | Fig. 1 | [`figures::fig1`] | variance of each ξ source vs bootstrap |
+//! | Fig. 2 | [`figures::fig2`] | binomial model of test-set noise |
+//! | Fig. 3 | [`figures::fig3`] | SOTA increments vs benchmark σ |
+//! | Fig. 5 / H.4 | [`figures::fig5`] | estimator standard errors vs k |
+//! | Fig. 6 | [`figures::fig6`] | detection rates of decision criteria |
+//! | Fig. C.1 | [`figures::figc1`] | Noether sample sizes vs γ |
+//! | Fig. F.2 | [`figures::figf2`] | HPO optimization curves |
+//! | Fig. G.3 | [`figures::figg3`] | Shapiro–Wilk normality panel |
+//! | Fig. H.5 | [`figures::figh5`] | bias/variance/ρ/MSE decomposition |
+//! | Fig. I.6 | [`figures::figi6`] | robustness vs sample size and γ |
+//! | Tables 1–10 | [`figures::tables`] | configs, spaces, Table 8 baselines |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod calibrate;
+pub mod figures;
+pub mod leaderboard;

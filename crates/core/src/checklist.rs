@@ -1,0 +1,267 @@
+//! A benchmark-protocol audit: the paper's recommendations as a lintable
+//! checklist.
+//!
+//! The paper closes with concrete advice (Section 5) that later became
+//! reporting norms: randomize every source of variation, use multiple
+//! random splits instead of a fixed test set, pair comparisons, size the
+//! experiment for the effect you claim, and decide with a variance-aware
+//! criterion. [`audit`] checks a declared experimental protocol against
+//! that advice and returns actionable findings.
+
+use crate::sample_size::{noether_sample_size, RECOMMENDED_GAMMA};
+
+/// Declarative description of a planned (or published) benchmark
+/// comparison protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Protocol {
+    /// Number of runs per algorithm.
+    pub runs_per_algorithm: usize,
+    /// Whether the train/test split is re-randomized across runs.
+    pub randomizes_splits: bool,
+    /// Whether weight initialization varies across runs.
+    pub randomizes_init: bool,
+    /// Whether the remaining training stochasticity (data order,
+    /// augmentation, dropout) varies across runs.
+    pub randomizes_other_sources: bool,
+    /// Whether hyperparameter optimization is rerun per algorithm (rather
+    /// than reusing one tuning for all conclusions).
+    pub tunes_each_algorithm: bool,
+    /// Whether runs of the two algorithms are paired on shared seeds.
+    pub paired: bool,
+    /// The decision criterion used.
+    pub criterion: Criterion,
+}
+
+/// The conclusion criterion a protocol uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Criterion {
+    /// One run per algorithm, higher number wins.
+    SinglePoint,
+    /// Mean difference compared against an (implicit) threshold.
+    AverageDifference,
+    /// A significance test on the mean difference (t-test or similar).
+    MeanTest,
+    /// The paper's recommended `P(A > B) ≥ γ` test.
+    ProbabilityOfOutperforming,
+}
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Protocol will likely produce unreliable conclusions.
+    Critical,
+    /// Protocol loses power or inflates variance unnecessarily.
+    Warning,
+    /// Stylistic or minor improvement.
+    Advice,
+}
+
+/// One audit finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// How serious the issue is.
+    pub severity: Severity,
+    /// What is wrong and what to do, with the paper section it comes from.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tag = match self.severity {
+            Severity::Critical => "CRITICAL",
+            Severity::Warning => "WARNING",
+            Severity::Advice => "advice",
+        };
+        write!(f, "[{tag}] {}", self.message)
+    }
+}
+
+/// Audits a protocol against the paper's recommendations.
+///
+/// Returns findings ordered by severity (critical first). An empty result
+/// means the protocol follows every recommendation.
+///
+/// # Example
+///
+/// ```
+/// use varbench_core::checklist::{audit, Criterion, Protocol};
+///
+/// // The literature's default: a few seeds, fixed split, mean comparison.
+/// let findings = audit(&Protocol {
+///     runs_per_algorithm: 5,
+///     randomizes_splits: false,
+///     randomizes_init: true,
+///     randomizes_other_sources: false,
+///     tunes_each_algorithm: false,
+///     paired: false,
+///     criterion: Criterion::AverageDifference,
+/// });
+/// assert!(!findings.is_empty());
+/// ```
+pub fn audit(protocol: &Protocol) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut push = |severity: Severity, message: String| {
+        findings.push(Finding { severity, message });
+    };
+
+    if !protocol.randomizes_splits {
+        push(
+            Severity::Critical,
+            "fixed train/test split: data sampling is the largest variance source \
+             (Fig. 1); use multiple random splits, e.g. out-of-bootstrap (Sec. 5, App. B)"
+                .into(),
+        );
+    }
+    if !protocol.randomizes_init {
+        push(
+            Severity::Warning,
+            "weight initialization held fixed: randomize it across runs (Sec. 5)".into(),
+        );
+    }
+    if !protocol.randomizes_other_sources {
+        push(
+            Severity::Warning,
+            "data order / augmentation / dropout seeds held fixed: randomizing them \
+             decorrelates measures and improves the estimator at no cost (Sec. 3.3)"
+                .into(),
+        );
+    }
+    if !protocol.tunes_each_algorithm {
+        push(
+            Severity::Warning,
+            "hyperparameters tuned once and reused: ignoring HOpt variance biases the \
+             estimate (Sec. 3.2); at minimum report it as a caveat"
+                .into(),
+        );
+    }
+    if !protocol.paired && protocol.runs_per_algorithm > 1 {
+        push(
+            Severity::Advice,
+            "runs not paired: sharing seeds between algorithms cancels common noise \
+             and increases power (App. C.2)"
+                .into(),
+        );
+    }
+
+    match protocol.criterion {
+        Criterion::SinglePoint => push(
+            Severity::Critical,
+            "single-point comparison: ~10% false positives and ~75% false negatives \
+             (Fig. 6); use the P(A>B) test"
+                .into(),
+        ),
+        Criterion::AverageDifference => push(
+            Severity::Critical,
+            "average comparison without a variance-based threshold: highly conservative \
+             and threshold choice is arbitrary (Sec. 4.2); use the P(A>B) test"
+                .into(),
+        ),
+        Criterion::MeanTest => push(
+            Severity::Advice,
+            "t-test on means controls errors but conflates significance with \
+             meaningfulness; consider P(A>B) >= 0.75 (Sec. 4.1)"
+                .into(),
+        ),
+        Criterion::ProbabilityOfOutperforming => {}
+    }
+
+    let needed = noether_sample_size(RECOMMENDED_GAMMA, 0.05, 0.05);
+    if protocol.runs_per_algorithm < needed {
+        push(
+            Severity::Warning,
+            format!(
+                "{} runs per algorithm: below the {} needed to reliably detect \
+                 P(A>B) > {} (App. C.3)",
+                protocol.runs_per_algorithm, needed, RECOMMENDED_GAMMA
+            ),
+        );
+    }
+
+    findings.sort_by_key(|f| f.severity);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_protocol() -> Protocol {
+        Protocol {
+            runs_per_algorithm: 29,
+            randomizes_splits: true,
+            randomizes_init: true,
+            randomizes_other_sources: true,
+            tunes_each_algorithm: true,
+            paired: true,
+            criterion: Criterion::ProbabilityOfOutperforming,
+        }
+    }
+
+    #[test]
+    fn recommended_protocol_is_clean() {
+        assert!(audit(&paper_protocol()).is_empty());
+    }
+
+    #[test]
+    fn fixed_split_is_critical() {
+        let p = Protocol {
+            randomizes_splits: false,
+            ..paper_protocol()
+        };
+        let findings = audit(&p);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, Severity::Critical);
+        assert!(findings[0].message.contains("out-of-bootstrap"));
+    }
+
+    #[test]
+    fn literature_default_protocol_fails_hard() {
+        let p = Protocol {
+            runs_per_algorithm: 5,
+            randomizes_splits: false,
+            randomizes_init: true,
+            randomizes_other_sources: false,
+            tunes_each_algorithm: false,
+            paired: false,
+            criterion: Criterion::SinglePoint,
+        };
+        let findings = audit(&p);
+        assert!(findings.len() >= 4, "{findings:?}");
+        assert_eq!(findings[0].severity, Severity::Critical);
+        // Ordered by severity.
+        for w in findings.windows(2) {
+            assert!(w[0].severity <= w[1].severity);
+        }
+    }
+
+    #[test]
+    fn sample_size_checked() {
+        let p = Protocol {
+            runs_per_algorithm: 10,
+            ..paper_protocol()
+        };
+        let findings = audit(&p);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("29"));
+    }
+
+    #[test]
+    fn t_test_gets_advice_only() {
+        let p = Protocol {
+            criterion: Criterion::MeanTest,
+            ..paper_protocol()
+        };
+        let findings = audit(&p);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, Severity::Advice);
+    }
+
+    #[test]
+    fn display_includes_severity_tag() {
+        let f = Finding {
+            severity: Severity::Critical,
+            message: "x".into(),
+        };
+        assert!(format!("{f}").starts_with("[CRITICAL]"));
+    }
+}

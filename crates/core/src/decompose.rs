@@ -1,0 +1,224 @@
+//! Bias / variance / correlation / MSE decomposition of estimators
+//! (paper Eqs. 6–8, Fig. H.5) and standard-error curves (Fig. 5 / H.4).
+
+use varbench_stats::correlation::average_pairwise_correlation;
+use varbench_stats::describe::{mean, std_dev, variance};
+
+/// The decomposition of a biased estimator's mean-squared error
+/// (paper Eq. 8):
+///
+/// `E[(µ̃(k) − µ)²] = Var(µ̃(k)|ξ) + (E[µ̃(k)|ξ] − µ)²`
+///
+/// with `Var(µ̃(k)|ξ)` driven by the average correlation ρ among the
+/// conditioned measures (Eq. 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decomposition {
+    /// `E[µ̃(k)|ξ] − µ`: the estimator's bias.
+    pub bias: f64,
+    /// `Var(µ̃(k)|ξ)`: variance of the estimator across realizations of
+    /// the fixed ξ.
+    pub variance: f64,
+    /// Average pairwise correlation ρ among measures induced by
+    /// conditioning on ξ (Eq. 7).
+    pub rho: f64,
+    /// Mean squared error `variance + bias²`.
+    pub mse: f64,
+    /// Average within-group variance `Var(R̂_e|ξ)`.
+    pub measure_variance: f64,
+}
+
+/// Decomposes estimator quality from repeated runs.
+///
+/// `groups[r]` holds the k measures of repetition `r` (one arbitrary fixed
+/// ξ each — the paper uses 20 repetitions); `mu` is the reference expected
+/// performance (estimated with the ideal estimator).
+///
+/// # Panics
+///
+/// Panics if fewer than 2 groups, ragged groups, or groups shorter than 2.
+pub fn decompose(groups: &[Vec<f64>], mu: f64) -> Decomposition {
+    assert!(groups.len() >= 2, "need at least 2 repetitions");
+    let k = groups[0].len();
+    assert!(k >= 2, "need at least 2 measures per repetition");
+    for g in groups {
+        assert_eq!(g.len(), k, "ragged repetition groups");
+    }
+    let group_means: Vec<f64> = groups.iter().map(|g| mean(g)).collect();
+    let bias = mean(&group_means) - mu;
+    let est_variance = variance(&group_means, 1);
+    let rho = average_pairwise_correlation(groups);
+    let measure_variance = groups.iter().map(|g| variance(g, 1)).sum::<f64>() / groups.len() as f64;
+    Decomposition {
+        bias,
+        variance: est_variance,
+        rho,
+        mse: est_variance + bias * bias,
+        measure_variance,
+    }
+}
+
+/// Predicted estimator variance from Eq. 7:
+/// `Var(µ̃(k)|ξ) = Var(R̂|ξ)/k + (k−1)/k · ρ · Var(R̂|ξ)`.
+///
+/// With ρ > 0 the variance floors at `ρ·Var(R̂|ξ)` no matter how large `k`
+/// gets — the reason more seeds cannot rescue a biased estimator.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn biased_variance_formula(measure_variance: f64, rho: f64, k: usize) -> f64 {
+    assert!(k > 0, "k must be > 0");
+    let kf = k as f64;
+    measure_variance / kf + (kf - 1.0) / kf * rho * measure_variance
+}
+
+/// Empirical standard error of an estimator at each budget `k = 1..=k_max`:
+/// the standard deviation, across repetition groups, of the mean of each
+/// group's first `k` measures. These are the curves of Fig. 5 / Fig. H.4.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 groups or `k_max` exceeds a group's length.
+pub fn std_err_curve(groups: &[Vec<f64>], k_max: usize) -> Vec<f64> {
+    assert!(groups.len() >= 2, "need at least 2 repetitions");
+    for g in groups {
+        assert!(g.len() >= k_max, "groups shorter than k_max");
+    }
+    (1..=k_max)
+        .map(|k| {
+            let means: Vec<f64> = groups.iter().map(|g| mean(&g[..k])).collect();
+            if means.len() >= 2 {
+                std_dev(&means)
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Analytic standard error of the *ideal* estimator at each `k`:
+/// `σ/√k`, with `sigma` measured from one ideal-estimator run.
+///
+/// # Panics
+///
+/// Panics if `sigma < 0` or `k_max == 0`.
+pub fn ideal_std_err_curve(sigma: f64, k_max: usize) -> Vec<f64> {
+    assert!(sigma >= 0.0, "sigma must be >= 0");
+    assert!(k_max > 0, "k_max must be > 0");
+    (1..=k_max).map(|k| sigma / (k as f64).sqrt()).collect()
+}
+
+/// The equivalent ideal-estimator budget of a biased estimator: the
+/// smallest `k_ideal` such that `σ_ideal/√k_ideal ≤ se`; `None` if even
+/// `k_limit` ideal samples cannot match it. The paper reports e.g.
+/// "FixHOptEst(k=100, Init) converges to the equivalent of µ̂(k=2)".
+pub fn equivalent_ideal_k(sigma_ideal: f64, se: f64, k_limit: usize) -> Option<usize> {
+    (1..=k_limit).find(|&k| sigma_ideal / (k as f64).sqrt() <= se)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varbench_rng::Rng;
+
+    /// Synthesizes biased-estimator groups with a known correlation
+    /// structure: measure = mu + group_bias + shared·common + noise.
+    fn synthetic_groups(
+        reps: usize,
+        k: usize,
+        mu: f64,
+        bias_std: f64,
+        noise_std: f64,
+        seed: u64,
+    ) -> Vec<Vec<f64>> {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..reps)
+            .map(|_| {
+                let b = rng.normal(0.0, bias_std);
+                (0..k).map(|_| mu + b + rng.normal(0.0, noise_std)).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unbiased_groups_have_small_bias() {
+        let groups = synthetic_groups(40, 30, 0.8, 0.0, 0.05, 1);
+        let d = decompose(&groups, 0.8);
+        assert!(d.bias.abs() < 0.01, "bias {}", d.bias);
+        assert!(d.rho.abs() < 0.15, "rho {}", d.rho);
+    }
+
+    #[test]
+    fn group_bias_appears_as_variance_and_rho() {
+        // Per-group offsets create both estimator variance and positive
+        // correlation between measure positions.
+        let groups = synthetic_groups(40, 30, 0.8, 0.05, 0.05, 2);
+        let d = decompose(&groups, 0.8);
+        assert!(d.rho > 0.3, "rho {}", d.rho);
+        assert!(d.variance > 0.05f64.powi(2) / 2.0, "variance {}", d.variance);
+        // MSE consistency.
+        assert!((d.mse - (d.variance + d.bias * d.bias)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn formula_matches_empirical_variance() {
+        let groups = synthetic_groups(200, 20, 0.5, 0.04, 0.06, 3);
+        let d = decompose(&groups, 0.5);
+        let predicted = biased_variance_formula(d.measure_variance, d.rho, 20);
+        // Within a factor ~1.5 (both sides are noisy estimates).
+        assert!(
+            (predicted / d.variance).abs() > 0.5 && (predicted / d.variance).abs() < 2.0,
+            "predicted {predicted} vs empirical {}",
+            d.variance
+        );
+    }
+
+    #[test]
+    fn formula_floors_at_rho_variance() {
+        let v = biased_variance_formula(1.0, 0.5, 1_000_000);
+        assert!((v - 0.5).abs() < 1e-3, "floor {v}");
+        // And equals full variance at k = 1.
+        assert_eq!(biased_variance_formula(1.0, 0.5, 1), 1.0);
+    }
+
+    #[test]
+    fn std_err_curve_decreases_for_independent_measures() {
+        let groups = synthetic_groups(60, 50, 0.0, 0.0, 1.0, 4);
+        let curve = std_err_curve(&groups, 50);
+        assert_eq!(curve.len(), 50);
+        // σ/√k shape: k=49 ≈ 1/7 of k=1.
+        let ratio = curve[0] / curve[48];
+        assert!(ratio > 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn std_err_curve_floors_for_correlated_measures() {
+        let groups = synthetic_groups(60, 50, 0.0, 1.0, 0.1, 5);
+        let curve = std_err_curve(&groups, 50);
+        // The shared group offset dominates: no 1/√k decay.
+        let ratio = curve[0] / curve[49];
+        assert!(ratio < 2.0, "correlated curve should flatten: ratio {ratio}");
+    }
+
+    #[test]
+    fn ideal_curve_shape() {
+        let curve = ideal_std_err_curve(2.0, 4);
+        assert_eq!(curve.len(), 4);
+        assert!((curve[0] - 2.0).abs() < 1e-15);
+        assert!((curve[3] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn equivalent_k_examples() {
+        // se equal to sigma → k = 1; se = sigma/10 → k = 100.
+        assert_eq!(equivalent_ideal_k(1.0, 1.0, 1000), Some(1));
+        assert_eq!(equivalent_ideal_k(1.0, 0.1, 1000), Some(100));
+        assert_eq!(equivalent_ideal_k(1.0, 1e-6, 100), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged repetition groups")]
+    fn ragged_groups_rejected() {
+        decompose(&[vec![1.0, 2.0], vec![1.0]], 0.0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Estimators of expected pipeline performance: the paper's Algorithms 1
+//! and 2, and the per-source variance study of Fig. 1.
+
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, SeedAssignment, VarianceSource};
+
+/// Which subset of ξ_O a [`fix_hopt_estimator`] run randomizes between
+/// samples (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Randomize {
+    /// Only the weight initialization — "the predominant approach used in
+    /// the literature today".
+    Init,
+    /// Only the data split (bootstrap).
+    Data,
+    /// Every ξ_O source (split, order, augmentation, init, dropout,
+    /// numerical noise) — everything except HOpt.
+    All,
+}
+
+impl Randomize {
+    /// The sources this subset varies.
+    pub fn sources(&self) -> &'static [VarianceSource] {
+        match self {
+            Randomize::Init => &[VarianceSource::WeightsInit],
+            Randomize::Data => &[VarianceSource::DataSplit],
+            Randomize::All => &VarianceSource::XI_O,
+        }
+    }
+
+    /// Display name matching the paper's Fig. 5 legend.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            Randomize::Init => "FixHOptEst(k, Init)",
+            Randomize::Data => "FixHOptEst(k, Data)",
+            Randomize::All => "FixHOptEst(k, All)",
+        }
+    }
+}
+
+/// The output of one estimator run: `k` performance measures and the
+/// training cost it took to produce them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorRun {
+    /// The k performance measures `R̂_e` (metric scale, higher better).
+    pub measures: Vec<f64>,
+    /// Total number of model fits consumed — `O(kT)` for the ideal
+    /// estimator, `O(k+T)` for the biased one (the paper's 51× cost gap).
+    pub fits: usize,
+}
+
+impl EstimatorRun {
+    /// Mean of the measures — µ̂(k) or µ̃(k).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is empty.
+    pub fn mean(&self) -> f64 {
+        varbench_stats::describe::mean(&self.measures)
+    }
+
+    /// Sample standard deviation of the measures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 measures.
+    pub fn std(&self) -> f64 {
+        varbench_stats::describe::std_dev(&self.measures)
+    }
+}
+
+/// Algorithm 1, `IdealEst`: every sample randomizes *all* sources (ξ_O and
+/// ξ_H) and pays for an independent hyperparameter optimization.
+///
+/// Cost: `k × (budget + 1)` fits.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `budget == 0`.
+pub fn ideal_estimator(
+    cs: &CaseStudy,
+    k: usize,
+    algo: HpoAlgorithm,
+    budget: usize,
+    base_seed: u64,
+) -> EstimatorRun {
+    assert!(k > 0, "k must be > 0");
+    let mut measures = Vec::with_capacity(k);
+    let mut fits = 0;
+    for i in 0..k {
+        let seeds = SeedAssignment::all_random(base_seed, i as u64);
+        let result = cs.run_pipeline(&seeds, algo, budget);
+        measures.push(result.test_metric);
+        fits += result.fits;
+    }
+    EstimatorRun { measures, fits }
+}
+
+/// Algorithm 2, `FixHOptEst`: run hyperparameter optimization *once*, then
+/// reuse λ̂* while randomizing the chosen ξ_O subset for each of the `k`
+/// measures.
+///
+/// Cost: `budget + k` fits. Biased for `k > 1` (Eq. 8), but the paper shows
+/// `FixHOptEst(k, All)` approaches the ideal estimator at a fraction of the
+/// cost.
+///
+/// `repetition` selects the arbitrary fixed ξ (the paper runs 20
+/// repetitions to measure `Var(µ̃(k) | ξ)`).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `budget == 0`.
+pub fn fix_hopt_estimator(
+    cs: &CaseStudy,
+    k: usize,
+    algo: HpoAlgorithm,
+    budget: usize,
+    base_seed: u64,
+    repetition: u64,
+    randomize: Randomize,
+) -> EstimatorRun {
+    assert!(k > 0, "k must be > 0");
+    // The arbitrary fixed ξ for this repetition.
+    let fixed = SeedAssignment::all_random(base_seed ^ 0xF1F0, repetition);
+    let (best_params, history) = cs.hopt(&fixed, algo, budget);
+    let mut measures = Vec::with_capacity(k);
+    for i in 0..k {
+        let variation = splitmix_like(base_seed, repetition, i as u64);
+        let seeds = fixed.with_varied_set(randomize.sources(), variation);
+        measures.push(cs.run_with_params(&best_params, &seeds));
+    }
+    EstimatorRun {
+        measures,
+        fits: history.len() + k,
+    }
+}
+
+/// Derives a per-(repetition, sample) variation value.
+fn splitmix_like(base: u64, rep: u64, i: u64) -> u64 {
+    let mut z = base
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(rep.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(i.wrapping_add(1).wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+/// Measures the variance contributed by a single source (the Fig. 1
+/// protocol): all other seeds held fixed, `n` trainings with `source`
+/// re-seeded each time.
+///
+/// For ξ_O sources each training reuses the case study's default
+/// hyperparameters; for [`VarianceSource::HyperOpt`] each sample runs an
+/// independent HPO procedure with `algo`/`budget` and measures the test
+/// performance of the tuned pipeline.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, or `budget == 0` when `source` is `HyperOpt`.
+pub fn source_variance_study(
+    cs: &CaseStudy,
+    source: VarianceSource,
+    n: usize,
+    algo: HpoAlgorithm,
+    budget: usize,
+    base_seed: u64,
+) -> Vec<f64> {
+    assert!(n > 0, "n must be > 0");
+    let fixed = SeedAssignment::all_fixed(base_seed);
+    let params = cs.default_params().to_vec();
+    (0..n)
+        .map(|i| {
+            let seeds = fixed.with_varied(source, splitmix_like(base_seed, 0xA11, i as u64));
+            if source.is_hyperopt() {
+                cs.run_pipeline(&seeds, algo, budget).test_metric
+            } else {
+                cs.run_with_params(&params, &seeds)
+            }
+        })
+        .collect()
+}
+
+/// Measures the variance when a *set* of sources is randomized jointly
+/// (all other seeds fixed), with default hyperparameters.
+///
+/// The paper cautions that "these different contributions to the variance
+/// are not independent, the total variance cannot be obtained by simply
+/// adding them up"; comparing [`source_variance_study`] sums against this
+/// joint measurement quantifies the interaction (see the `interactions`
+/// bench binary).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `sources` is empty.
+pub fn joint_variance_study(
+    cs: &CaseStudy,
+    sources: &[VarianceSource],
+    n: usize,
+    base_seed: u64,
+) -> Vec<f64> {
+    assert!(n > 0, "n must be > 0");
+    assert!(!sources.is_empty(), "need at least one source");
+    assert!(
+        sources.iter().all(|s| !s.is_hyperopt()),
+        "joint study covers xi_O sources; HyperOpt requires budget accounting"
+    );
+    let fixed = SeedAssignment::all_fixed(base_seed);
+    let params = cs.default_params().to_vec();
+    (0..n)
+        .map(|i| {
+            let seeds = fixed.with_varied_set(sources, splitmix_like(base_seed, 0x70F, i as u64));
+            cs.run_with_params(&params, &seeds)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varbench_pipeline::Scale;
+    use varbench_stats::describe::std_dev;
+
+    fn cs() -> CaseStudy {
+        CaseStudy::glue_rte_bert(Scale::Test)
+    }
+
+    #[test]
+    fn ideal_estimator_cost_accounting() {
+        let run = ideal_estimator(&cs(), 3, HpoAlgorithm::RandomSearch, 4, 1);
+        assert_eq!(run.measures.len(), 3);
+        assert_eq!(run.fits, 3 * 5, "k(T+1) fits");
+        assert!(run.measures.iter().all(|&m| m > 0.0 && m <= 1.0));
+    }
+
+    #[test]
+    fn biased_estimator_cost_accounting() {
+        let run = fix_hopt_estimator(&cs(), 6, HpoAlgorithm::RandomSearch, 4, 1, 0, Randomize::All);
+        assert_eq!(run.measures.len(), 6);
+        assert_eq!(run.fits, 4 + 6, "T+k fits");
+    }
+
+    #[test]
+    fn cost_ratio_matches_paper_claim_shape() {
+        // With k = 100, T = 200 the paper reports 1070 h vs 21 h ≈ 51×.
+        // Our accounting: ideal = k(T+1), biased = T+k → 20100/300 = 67x
+        // in fit counts (the paper's 51× also amortizes evaluation time).
+        let k = 100;
+        let t = 200;
+        let ideal = k * (t + 1);
+        let biased = t + k;
+        let ratio = ideal as f64 / biased as f64;
+        assert!(ratio > 50.0, "cost ratio {ratio}");
+    }
+
+    #[test]
+    fn ideal_measures_fluctuate() {
+        let run = ideal_estimator(&cs(), 4, HpoAlgorithm::RandomSearch, 3, 2);
+        assert!(std_dev(&run.measures) > 0.0, "ideal estimator must vary");
+    }
+
+    #[test]
+    fn fix_hopt_variants_randomize_expected_sources() {
+        // Init-only randomization keeps the split fixed → all measures
+        // share the same test set; Data randomization changes it.
+        let run_init =
+            fix_hopt_estimator(&cs(), 4, HpoAlgorithm::RandomSearch, 3, 3, 0, Randomize::Init);
+        let run_data =
+            fix_hopt_estimator(&cs(), 4, HpoAlgorithm::RandomSearch, 3, 3, 0, Randomize::Data);
+        // Both yield valid measures; Data variant should fluctuate at least
+        // as much (bootstrap is the dominant source, paper Fig. 1).
+        let s_init = std_dev(&run_init.measures);
+        let s_data = std_dev(&run_data.measures);
+        assert!(s_init >= 0.0 && s_data >= 0.0);
+        assert!(run_init.measures.len() == 4 && run_data.measures.len() == 4);
+    }
+
+    #[test]
+    fn estimators_deterministic_given_seed() {
+        let a = fix_hopt_estimator(&cs(), 3, HpoAlgorithm::RandomSearch, 3, 7, 1, Randomize::All);
+        let b = fix_hopt_estimator(&cs(), 3, HpoAlgorithm::RandomSearch, 3, 7, 1, Randomize::All);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repetitions_differ() {
+        let a = fix_hopt_estimator(&cs(), 3, HpoAlgorithm::RandomSearch, 3, 7, 0, Randomize::All);
+        let b = fix_hopt_estimator(&cs(), 3, HpoAlgorithm::RandomSearch, 3, 7, 1, Randomize::All);
+        assert_ne!(a.measures, b.measures);
+    }
+
+    #[test]
+    fn source_study_inactive_source_zero_variance() {
+        // RTE has no augmentation: varying it must produce zero variance.
+        let measures = source_variance_study(
+            &cs(),
+            VarianceSource::DataAugment,
+            4,
+            HpoAlgorithm::RandomSearch,
+            2,
+            5,
+        );
+        assert_eq!(std_dev(&measures), 0.0);
+    }
+
+    #[test]
+    fn source_study_active_source_nonzero_variance() {
+        let measures = source_variance_study(
+            &cs(),
+            VarianceSource::DataSplit,
+            5,
+            HpoAlgorithm::RandomSearch,
+            2,
+            5,
+        );
+        assert!(std_dev(&measures) > 0.0);
+    }
+
+    #[test]
+    fn source_study_hyperopt_runs_hpo() {
+        let measures = source_variance_study(
+            &cs(),
+            VarianceSource::HyperOpt,
+            3,
+            HpoAlgorithm::RandomSearch,
+            3,
+            6,
+        );
+        assert_eq!(measures.len(), 3);
+        assert!(measures.iter().all(|&m| m > 0.0 && m <= 1.0));
+    }
+
+    #[test]
+    fn joint_study_produces_valid_measures() {
+        let measures = joint_variance_study(
+            &cs(),
+            &[VarianceSource::WeightsInit, VarianceSource::DataOrder],
+            5,
+            9,
+        );
+        assert_eq!(measures.len(), 5);
+        assert!(measures.iter().all(|&m| (0.0..=1.0).contains(&m)));
+        assert!(std_dev(&measures) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "joint study covers xi_O sources")]
+    fn joint_study_rejects_hyperopt() {
+        joint_variance_study(&cs(), &[VarianceSource::HyperOpt], 2, 1);
+    }
+
+    #[test]
+    fn randomize_sources_mapping() {
+        assert_eq!(Randomize::Init.sources(), &[VarianceSource::WeightsInit]);
+        assert_eq!(Randomize::All.sources().len(), 6);
+        assert_eq!(Randomize::Data.display_name(), "FixHOptEst(k, Data)");
+    }
+}

@@ -1,0 +1,180 @@
+//! Comparisons across multiple datasets (paper Section 6).
+//!
+//! The paper discusses two families of recommendations for accumulating
+//! evidence over several datasets:
+//!
+//! * **Demšar (2006)** — rank-based tests (Wilcoxon signed-rank across
+//!   per-dataset scores). Statistically principled but powerless for the
+//!   3–5 datasets of a typical ML paper (the datasets *are* the sample).
+//! * **Dror et al. (2017)** — accept a method when it improves on *every*
+//!   dataset, with a partial-conjunction / Bonferroni-style control over
+//!   the per-dataset tests. Works at small dataset counts; grows stringent
+//!   as the count rises.
+//!
+//! Both are provided so users can follow the paper's guidance: Dror for
+//! few datasets, Demšar for many.
+
+use crate::compare::{bonferroni_alpha, compare_paired, Decision};
+use varbench_rng::Rng;
+use varbench_stats::tests::wilcoxon::wilcoxon_signed_rank;
+use varbench_stats::tests::Alternative;
+
+/// Result of the Demšar-style rank test across datasets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DemsarResult {
+    /// Wilcoxon signed-rank statistic over the per-dataset score pairs.
+    pub w_plus: f64,
+    /// One-sided p-value for "A outperforms B across datasets".
+    pub p_value: f64,
+    /// Number of datasets with non-tied scores.
+    pub n_datasets: usize,
+}
+
+/// Demšar's recommendation: Wilcoxon signed-rank over per-dataset scores.
+///
+/// `a_scores[i]` / `b_scores[i]` are the two algorithms' (aggregate)
+/// performances on dataset `i`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or all scores tie.
+pub fn demsar_wilcoxon(a_scores: &[f64], b_scores: &[f64]) -> DemsarResult {
+    let r = wilcoxon_signed_rank(a_scores, b_scores, Alternative::Greater);
+    DemsarResult {
+        w_plus: r.w_plus,
+        p_value: r.p_value,
+        n_datasets: r.n_used,
+    }
+}
+
+/// Per-dataset paired measures for a cross-dataset comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetMeasures {
+    /// Dataset label.
+    pub name: String,
+    /// Paired measures of algorithm A.
+    pub a: Vec<f64>,
+    /// Paired measures of algorithm B.
+    pub b: Vec<f64>,
+}
+
+/// Result of the Dror et al. all-datasets rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrorResult {
+    /// Per-dataset decisions at the Bonferroni-corrected α.
+    pub per_dataset: Vec<(String, Decision)>,
+    /// The corrected per-dataset significance level used.
+    pub corrected_alpha: f64,
+    /// `true` iff A improved significantly-and-meaningfully on *every*
+    /// dataset.
+    pub accept: bool,
+}
+
+/// Dror et al. (2017)-style acceptance: run the paper's `P(A>B)` test on
+/// each dataset at a Bonferroni-corrected significance level and accept
+/// only if every dataset shows a significant, meaningful improvement.
+///
+/// # Panics
+///
+/// Panics if `measures` is empty, or as [`compare_paired`].
+pub fn dror_all_datasets(
+    measures: &[DatasetMeasures],
+    gamma: f64,
+    alpha: f64,
+    resamples: usize,
+    rng: &mut Rng,
+) -> DrorResult {
+    assert!(!measures.is_empty(), "need at least one dataset");
+    let corrected = bonferroni_alpha(alpha, measures.len());
+    let per_dataset: Vec<(String, Decision)> = measures
+        .iter()
+        .map(|m| {
+            let t = compare_paired(&m.a, &m.b, gamma, corrected, resamples, rng);
+            (m.name.clone(), t.decision)
+        })
+        .collect();
+    let accept = per_dataset
+        .iter()
+        .all(|(_, d)| *d == Decision::SignificantAndMeaningful);
+    DrorResult {
+        per_dataset,
+        corrected_alpha: corrected,
+        accept,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn winning_measures(n_datasets: usize, k: usize, edge: f64, seed: u64) -> Vec<DatasetMeasures> {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..n_datasets)
+            .map(|d| {
+                let base = 0.7 + 0.02 * d as f64;
+                let a: Vec<f64> = (0..k).map(|_| rng.normal(base + edge, 0.01)).collect();
+                let b: Vec<f64> = (0..k).map(|_| rng.normal(base, 0.01)).collect();
+                DatasetMeasures {
+                    name: format!("dataset-{d}"),
+                    a,
+                    b,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn demsar_detects_consistent_wins_with_enough_datasets() {
+        // 12 datasets, A consistently slightly better.
+        let mut rng = Rng::seed_from_u64(1);
+        let a: Vec<f64> = (0..12).map(|i| 0.7 + 0.01 * i as f64 + 0.005).collect();
+        let b: Vec<f64> = (0..12).map(|i| 0.7 + 0.01 * i as f64).collect();
+        let r = demsar_wilcoxon(&a, &b);
+        assert!(r.p_value < 0.05, "p = {}", r.p_value);
+        assert_eq!(r.n_datasets, 12);
+        let _ = &mut rng;
+    }
+
+    #[test]
+    fn demsar_powerless_at_three_datasets() {
+        // The paper's §6 point: with 3 datasets even consistent wins are
+        // not significant (the minimum possible one-sided p for n = 3 with
+        // the normal approximation stays above 0.05).
+        let a = [0.8, 0.9, 0.7];
+        let b = [0.75, 0.85, 0.65];
+        let r = demsar_wilcoxon(&a, &b);
+        assert!(r.p_value > 0.05, "p = {} should be underpowered", r.p_value);
+    }
+
+    #[test]
+    fn dror_accepts_consistent_improvement() {
+        let measures = winning_measures(3, 30, 0.05, 2);
+        let mut rng = Rng::seed_from_u64(3);
+        let r = dror_all_datasets(&measures, 0.75, 0.05, 500, &mut rng);
+        assert!(r.accept, "{r:?}");
+        assert!((r.corrected_alpha - 0.05 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dror_rejects_when_one_dataset_fails() {
+        let mut measures = winning_measures(3, 30, 0.05, 4);
+        // Sabotage the last dataset: no effect there.
+        let mut rng = Rng::seed_from_u64(5);
+        measures[2].a = (0..30).map(|_| rng.normal(0.7, 0.01)).collect();
+        measures[2].b = (0..30).map(|_| rng.normal(0.7, 0.01)).collect();
+        let r = dror_all_datasets(&measures, 0.75, 0.05, 500, &mut rng);
+        assert!(!r.accept);
+        // The two healthy datasets still individually pass.
+        assert_eq!(r.per_dataset[0].1, Decision::SignificantAndMeaningful);
+    }
+
+    #[test]
+    fn dror_correction_grows_with_datasets() {
+        let m3 = winning_measures(3, 20, 0.05, 6);
+        let m10 = winning_measures(10, 20, 0.05, 6);
+        let mut rng = Rng::seed_from_u64(7);
+        let r3 = dror_all_datasets(&m3, 0.75, 0.05, 200, &mut rng);
+        let r10 = dror_all_datasets(&m10, 0.75, 0.05, 200, &mut rng);
+        assert!(r10.corrected_alpha < r3.corrected_alpha);
+    }
+}

@@ -1,0 +1,190 @@
+//! Plain-text tables for experiment reports.
+//!
+//! The bench harness regenerates every figure/table of the paper as
+//! aligned text; this module is the shared formatter.
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use varbench_core::report::Table;
+/// let mut t = Table::new(vec!["source".into(), "std".into()]);
+/// t.add_row(vec!["weights init".into(), "0.0012".into()]);
+/// let s = t.render();
+/// assert!(s.contains("weights init"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row arity differs from the headers.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<w$}"));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (RFC-4180 quoting for cells containing
+    /// commas, quotes, or newlines) for downstream plotting.
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let emit = |row: &[String], out: &mut String| {
+            let cells: Vec<String> = row.iter().map(|c| quote(c)).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        };
+        emit(&self.headers, &mut out);
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with `prec` decimal places.
+pub fn num(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Renders a horizontal ASCII bar of `value` relative to `max` with the
+/// given `width` — used for the Fig. 1-style variance charts.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["a".into(), "bb".into()]);
+        t.add_row(vec!["xxx".into(), "1".into()]);
+        t.add_row(vec!["y".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_export_quotes_correctly() {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.add_row(vec!["plain".into(), "1.0".into()]);
+        t.add_row(vec!["with, comma".into(), "quote \" inside".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1.0");
+        assert_eq!(lines[2], "\"with, comma\",\"quote \"\" inside\"");
+    }
+
+    #[test]
+    fn num_and_pct() {
+        assert_eq!(num(1.23456, 2), "1.23");
+        assert_eq!(pct(0.054), "5.4%");
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(1.0, 1.0, 10).len(), 10);
+        assert_eq!(bar(0.5, 1.0, 10).len(), 5);
+        assert_eq!(bar(0.0, 1.0, 10), "");
+        assert_eq!(bar(2.0, 1.0, 10).len(), 10, "clamped to width");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.add_row(vec!["1".into(), "2".into()]);
+    }
+}

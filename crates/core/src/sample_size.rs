@@ -1,0 +1,47 @@
+//! Sample-size planning for benchmark comparisons (paper Appendix C.3).
+
+pub use varbench_stats::power::{noether_curve, noether_sample_size};
+
+/// The meaningfulness threshold the paper recommends after its simulation
+/// study: γ = 0.75 "gives empirically a criterion that separates well
+/// benchmarking fluctuations from published improvements over the 5 case
+/// studies".
+pub const RECOMMENDED_GAMMA: f64 = 0.75;
+
+/// The paper's recommended error rates: α = 0.05 and β = 0.05 ("we
+/// recommend β = 0.05 for a strong statistical power").
+pub const RECOMMENDED_ALPHA: f64 = 0.05;
+/// See [`RECOMMENDED_ALPHA`].
+pub const RECOMMENDED_BETA: f64 = 0.05;
+
+/// The number of paired trainings the paper recommends: Noether's formula
+/// at γ = 0.75, α = β = 0.05 → **29**.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(varbench_core::sample_size::recommended(), 29);
+/// ```
+pub fn recommended() -> usize {
+    noether_sample_size(RECOMMENDED_GAMMA, RECOMMENDED_ALPHA, RECOMMENDED_BETA)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommendation_is_29() {
+        assert_eq!(recommended(), 29);
+    }
+
+    #[test]
+    fn curve_passes_through_recommendation() {
+        let curve = noether_curve(0.95, 90, RECOMMENDED_ALPHA, RECOMMENDED_BETA);
+        let at_075 = curve
+            .iter()
+            .find(|(g, _)| (g - 0.75).abs() < 1e-9)
+            .expect("0.75 on the grid");
+        assert_eq!(at_075.1, 29);
+    }
+}

@@ -1,0 +1,274 @@
+//! In-memory datasets.
+
+/// Targets of a [`Dataset`]: classification labels, dense binary masks, or
+/// regression values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Targets {
+    /// Class labels in `0..num_classes`.
+    Labels {
+        /// Per-example class index.
+        labels: Vec<usize>,
+        /// Number of classes.
+        num_classes: usize,
+    },
+    /// Dense per-example binary masks (the segmentation-like task); each
+    /// mask is a flat vector of 0.0/1.0 of length `mask_len`.
+    Masks {
+        /// Per-example flattened masks, each of length `mask_len`.
+        masks: Vec<Vec<f64>>,
+        /// Number of mask cells per example.
+        mask_len: usize,
+    },
+    /// Continuous regression targets (e.g. binding affinities in `[0, 1]`).
+    Values(Vec<f64>),
+}
+
+impl Targets {
+    /// Number of examples covered by the targets.
+    pub fn len(&self) -> usize {
+        match self {
+            Targets::Labels { labels, .. } => labels.len(),
+            Targets::Masks { masks, .. } => masks.len(),
+            Targets::Values(v) => v.len(),
+        }
+    }
+
+    /// Whether there are no targets.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn subset(&self, indices: &[usize]) -> Targets {
+        match self {
+            Targets::Labels { labels, num_classes } => Targets::Labels {
+                labels: indices.iter().map(|&i| labels[i]).collect(),
+                num_classes: *num_classes,
+            },
+            Targets::Masks { masks, mask_len } => Targets::Masks {
+                masks: indices.iter().map(|&i| masks[i].clone()).collect(),
+                mask_len: *mask_len,
+            },
+            Targets::Values(v) => Targets::Values(indices.iter().map(|&i| v[i]).collect()),
+        }
+    }
+}
+
+/// A dense tabular dataset: `n` examples of `dim` features plus targets.
+///
+/// Features are stored flat (row-major) for cache-friendly training loops.
+///
+/// # Example
+///
+/// ```
+/// use varbench_data::{Dataset, Targets};
+/// let ds = Dataset::new(
+///     vec![0.0, 1.0, 2.0, 3.0],
+///     2,
+///     Targets::Labels { labels: vec![0, 1], num_classes: 2 },
+/// );
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.x(1), &[2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Vec<f64>,
+    dim: usize,
+    targets: Targets,
+}
+
+impl Dataset {
+    /// Creates a dataset from a flat row-major feature buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is not a multiple of `dim` or the number
+    /// of rows disagrees with the number of targets.
+    pub fn new(features: Vec<f64>, dim: usize, targets: Targets) -> Self {
+        assert!(dim > 0, "dim must be > 0");
+        assert_eq!(features.len() % dim, 0, "feature buffer not a multiple of dim");
+        let n = features.len() / dim;
+        assert_eq!(n, targets.len(), "feature rows ({n}) != targets ({})", targets.len());
+        Self {
+            features,
+            dim,
+            targets,
+        }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrows the feature vector of example `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn x(&self, i: usize) -> &[f64] {
+        assert!(i < self.len(), "example {i} out of range");
+        &self.features[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Borrows the targets.
+    pub fn targets(&self) -> &Targets {
+        &self.targets
+    }
+
+    /// Class label of example `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the targets are not labels or `i` is out of range.
+    pub fn label(&self, i: usize) -> usize {
+        match &self.targets {
+            Targets::Labels { labels, .. } => labels[i],
+            _ => panic!("dataset targets are not class labels"),
+        }
+    }
+
+    /// All class labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the targets are not labels.
+    pub fn labels(&self) -> &[usize] {
+        match &self.targets {
+            Targets::Labels { labels, .. } => labels,
+            _ => panic!("dataset targets are not class labels"),
+        }
+    }
+
+    /// Number of classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the targets are not labels.
+    pub fn num_classes(&self) -> usize {
+        match &self.targets {
+            Targets::Labels { num_classes, .. } => *num_classes,
+            _ => panic!("dataset targets are not class labels"),
+        }
+    }
+
+    /// Regression value of example `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the targets are not values or `i` is out of range.
+    pub fn value(&self, i: usize) -> f64 {
+        match &self.targets {
+            Targets::Values(v) => v[i],
+            _ => panic!("dataset targets are not regression values"),
+        }
+    }
+
+    /// Mask of example `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the targets are not masks or `i` is out of range.
+    pub fn mask(&self, i: usize) -> &[f64] {
+        match &self.targets {
+            Targets::Masks { masks, .. } => &masks[i],
+            _ => panic!("dataset targets are not masks"),
+        }
+    }
+
+    /// Builds a new dataset from the given example indices (duplicates
+    /// allowed — this is how bootstrap replicates are materialized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut features = Vec::with_capacity(indices.len() * self.dim);
+        for &i in indices {
+            features.extend_from_slice(self.x(i));
+        }
+        Dataset {
+            features,
+            dim: self.dim,
+            targets: self.targets.subset(indices),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1],
+            2,
+            Targets::Labels {
+                labels: vec![0, 1, 0],
+                num_classes: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = toy();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.x(2), &[2.0, 2.1]);
+        assert_eq!(ds.label(1), 1);
+        assert_eq!(ds.num_classes(), 2);
+        assert_eq!(ds.labels(), &[0, 1, 0]);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn subset_with_duplicates() {
+        let ds = toy();
+        let sub = ds.subset(&[2, 2, 0]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.x(0), &[2.0, 2.1]);
+        assert_eq!(sub.x(1), &[2.0, 2.1]);
+        assert_eq!(sub.label(2), 0);
+    }
+
+    #[test]
+    fn regression_targets() {
+        let ds = Dataset::new(vec![1.0, 2.0], 1, Targets::Values(vec![0.3, 0.7]));
+        assert_eq!(ds.value(1), 0.7);
+    }
+
+    #[test]
+    fn mask_targets() {
+        let ds = Dataset::new(
+            vec![1.0, 2.0],
+            1,
+            Targets::Masks {
+                masks: vec![vec![0.0, 1.0], vec![1.0, 1.0]],
+                mask_len: 2,
+            },
+        );
+        assert_eq!(ds.mask(0), &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature rows")]
+    fn mismatched_targets_panic() {
+        Dataset::new(vec![1.0, 2.0], 1, Targets::Values(vec![0.3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not regression values")]
+    fn wrong_target_kind_panics() {
+        toy().value(0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Datasets and resampling schemes for variance-aware benchmarking.
+//!
+//! The paper's strongest empirical finding is that *data sampling* — which
+//! examples end up in the train and test sets — is the largest source of
+//! benchmark variance, and that it should be probed with bootstrap/
+//! out-of-bootstrap resampling rather than a fixed held-out split
+//! (Appendix B). This crate provides:
+//!
+//! * [`Dataset`] — an in-memory tabular dataset with classification,
+//!   dense-mask (segmentation-like), or regression targets;
+//! * [`synth`] — seeded synthetic generators standing in for the paper's
+//!   CIFAR10 / GLUE / PascalVOC / MHC tasks (see DESIGN.md §1 for the
+//!   substitution rationale);
+//! * [`split`] — holdout, k-fold cross-validation, and the paper's
+//!   out-of-bootstrap scheme (plain and stratified);
+//! * [`augment`] — seeded stochastic data augmentation (a ξ_O variance
+//!   source).
+//!
+//! # Example
+//!
+//! ```
+//! use varbench_data::{synth, split};
+//! use varbench_rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(1);
+//! let ds = synth::gaussian_mixture(&synth::GaussianMixtureConfig::default(), &mut rng);
+//! let split = split::oob_split(ds.len(), 600, 150, 150, &mut rng);
+//! let train = ds.subset(split.train());
+//! assert_eq!(train.len(), 600);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod split;
+pub mod synth;
+
+mod dataset;
+
+pub use dataset::{Dataset, Targets};

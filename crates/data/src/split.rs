@@ -1,0 +1,283 @@
+//! Data splitting: holdout, k-fold cross-validation, and the paper's
+//! out-of-bootstrap scheme.
+//!
+//! The paper (Appendix B) favors bootstrap over cross-validation because it
+//! decouples the number of resamples from the train-set size and better
+//! simulates independent draws from the true distribution: training sets are
+//! sampled *with replacement*, and validation/test sets are drawn from the
+//! out-of-bag complement.
+
+use varbench_rng::{bootstrap_indices, oob_complement, stratified_bootstrap_indices, Rng};
+
+/// A three-way split of example indices into train / validation / test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    train: Vec<usize>,
+    valid: Vec<usize>,
+    test: Vec<usize>,
+}
+
+impl Split {
+    /// Creates a split from explicit index sets.
+    pub fn new(train: Vec<usize>, valid: Vec<usize>, test: Vec<usize>) -> Self {
+        Self { train, valid, test }
+    }
+
+    /// Training indices (may contain duplicates under bootstrap).
+    pub fn train(&self) -> &[usize] {
+        &self.train
+    }
+
+    /// Validation indices.
+    pub fn valid(&self) -> &[usize] {
+        &self.valid
+    }
+
+    /// Test indices.
+    pub fn test(&self) -> &[usize] {
+        &self.test
+    }
+
+    /// Training + validation indices concatenated — the `S_tv` of the
+    /// paper's Eq. 3, used when retraining on the full data after
+    /// hyperparameter selection.
+    pub fn train_valid(&self) -> Vec<usize> {
+        let mut tv = self.train.clone();
+        tv.extend_from_slice(&self.valid);
+        tv
+    }
+}
+
+/// Random holdout split without replacement.
+///
+/// # Panics
+///
+/// Panics if `n_train + n_valid + n_test > n`.
+pub fn holdout_split(n: usize, n_train: usize, n_valid: usize, n_test: usize, rng: &mut Rng) -> Split {
+    assert!(
+        n_train + n_valid + n_test <= n,
+        "holdout sizes exceed population: {} + {} + {} > {n}",
+        n_train,
+        n_valid,
+        n_test
+    );
+    let perm = rng.permutation(n);
+    Split {
+        train: perm[..n_train].to_vec(),
+        valid: perm[n_train..n_train + n_valid].to_vec(),
+        test: perm[n_train + n_valid..n_train + n_valid + n_test].to_vec(),
+    }
+}
+
+/// K-fold cross-validation folds: returns `k` (train, test) index pairs.
+///
+/// Provided for the bootstrap-vs-CV ablation (paper Appendix B argues CV
+/// "underestimates variance because of correlations induced by the
+/// process").
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > n`.
+pub fn kfold(n: usize, k: usize, rng: &mut Rng) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold requires k >= 2");
+    assert!(k <= n, "k-fold requires k <= n");
+    let perm = rng.permutation(n);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let lo = f * n / k;
+        let hi = (f + 1) * n / k;
+        let test: Vec<usize> = perm[lo..hi].to_vec();
+        let mut train = Vec::with_capacity(n - (hi - lo));
+        train.extend_from_slice(&perm[..lo]);
+        train.extend_from_slice(&perm[hi..]);
+        folds.push((train, test));
+    }
+    folds
+}
+
+/// Out-of-bootstrap split (paper Appendix B).
+///
+/// Draws `n_train` indices *with replacement* from `0..n`; validation and
+/// test sets are disjoint samples (without replacement) from the
+/// out-of-bag complement.
+///
+/// # Panics
+///
+/// Panics if the out-of-bag complement is smaller than
+/// `n_valid + n_test` (for `n_train = n` the complement is ≈ 36.8% of `n`,
+/// so keep `n_valid + n_test ≲ n/3`).
+pub fn oob_split(n: usize, n_train: usize, n_valid: usize, n_test: usize, rng: &mut Rng) -> Split {
+    let train = bootstrap_indices(rng, n, n_train);
+    let oob = oob_complement(n, &train);
+    assert!(
+        oob.len() >= n_valid + n_test,
+        "out-of-bag complement too small: {} < {} + {}",
+        oob.len(),
+        n_valid,
+        n_test
+    );
+    let picks = rng.sample_indices(oob.len(), n_valid + n_test);
+    let valid: Vec<usize> = picks[..n_valid].iter().map(|&i| oob[i]).collect();
+    let test: Vec<usize> = picks[n_valid..].iter().map(|&i| oob[i]).collect();
+    Split { train, valid, test }
+}
+
+/// Stratified out-of-bootstrap split (the paper's CIFAR10 protocol,
+/// Appendix D.1: per-class bootstrap of the train set, per-class sampling
+/// of validation and test sets from the out-of-bag complement).
+///
+/// # Panics
+///
+/// Panics if a class's out-of-bag complement cannot supply
+/// `per_class_valid + per_class_test` distinct examples.
+pub fn stratified_oob_split(
+    labels: &[usize],
+    num_classes: usize,
+    per_class_train: usize,
+    per_class_valid: usize,
+    per_class_test: usize,
+    rng: &mut Rng,
+) -> Split {
+    let train = stratified_bootstrap_indices(rng, labels, num_classes, per_class_train);
+    let oob = oob_complement(labels.len(), &train);
+    // Bucket the OOB indices by class.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for &i in &oob {
+        buckets[labels[i]].push(i);
+    }
+    let mut valid = Vec::with_capacity(num_classes * per_class_valid);
+    let mut test = Vec::with_capacity(num_classes * per_class_test);
+    for (c, bucket) in buckets.iter().enumerate() {
+        let need = per_class_valid + per_class_test;
+        assert!(
+            bucket.len() >= need,
+            "class {c} has only {} out-of-bag members, need {need}",
+            bucket.len()
+        );
+        let picks = rng.sample_indices(bucket.len(), need);
+        valid.extend(picks[..per_class_valid].iter().map(|&i| bucket[i]));
+        test.extend(picks[per_class_valid..].iter().map(|&i| bucket[i]));
+    }
+    Split { train, valid, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holdout_disjoint_and_sized() {
+        let mut rng = Rng::seed_from_u64(1);
+        let s = holdout_split(100, 60, 20, 20, &mut rng);
+        assert_eq!(s.train().len(), 60);
+        assert_eq!(s.valid().len(), 20);
+        assert_eq!(s.test().len(), 20);
+        let mut all: Vec<usize> = s
+            .train()
+            .iter()
+            .chain(s.valid())
+            .chain(s.test())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100, "holdout split must be disjoint");
+    }
+
+    #[test]
+    fn holdout_can_leave_remainder() {
+        let mut rng = Rng::seed_from_u64(2);
+        let s = holdout_split(100, 50, 10, 10, &mut rng);
+        assert_eq!(s.train().len() + s.valid().len() + s.test().len(), 70);
+    }
+
+    #[test]
+    fn kfold_partitions() {
+        let mut rng = Rng::seed_from_u64(3);
+        let folds = kfold(103, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut covered = vec![false; 103];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 103);
+            for &i in test {
+                assert!(!covered[i], "index {i} in two test folds");
+                covered[i] = true;
+            }
+            for &i in train {
+                assert!(!test.contains(&i));
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "every index in exactly one test fold");
+    }
+
+    #[test]
+    fn oob_split_valid_test_disjoint_from_train() {
+        let mut rng = Rng::seed_from_u64(4);
+        let s = oob_split(1000, 1000, 100, 100, &mut rng);
+        assert_eq!(s.train().len(), 1000);
+        assert_eq!(s.valid().len(), 100);
+        assert_eq!(s.test().len(), 100);
+        let in_bag: std::collections::HashSet<usize> = s.train().iter().copied().collect();
+        for &i in s.valid().iter().chain(s.test()) {
+            assert!(!in_bag.contains(&i), "eval index {i} leaked into train");
+        }
+        // valid and test are themselves disjoint.
+        let v: std::collections::HashSet<usize> = s.valid().iter().copied().collect();
+        assert!(s.test().iter().all(|i| !v.contains(i)));
+    }
+
+    #[test]
+    fn oob_split_train_has_duplicates() {
+        let mut rng = Rng::seed_from_u64(5);
+        let s = oob_split(500, 500, 50, 50, &mut rng);
+        let mut t = s.train().to_vec();
+        t.sort_unstable();
+        t.dedup();
+        assert!(t.len() < 500, "bootstrap train should repeat examples");
+    }
+
+    #[test]
+    fn oob_splits_differ_across_seeds() {
+        let a = oob_split(300, 300, 30, 30, &mut Rng::seed_from_u64(6));
+        let b = oob_split(300, 300, 30, 30, &mut Rng::seed_from_u64(7));
+        assert_ne!(a.train(), b.train());
+        assert_ne!(a.test(), b.test());
+    }
+
+    #[test]
+    fn oob_split_deterministic() {
+        let a = oob_split(300, 300, 30, 30, &mut Rng::seed_from_u64(8));
+        let b = oob_split(300, 300, 30, 30, &mut Rng::seed_from_u64(8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stratified_oob_preserves_balance() {
+        let labels: Vec<usize> = (0..600).map(|i| i % 3).collect();
+        let mut rng = Rng::seed_from_u64(9);
+        let s = stratified_oob_split(&labels, 3, 120, 20, 20, &mut rng);
+        assert_eq!(s.train().len(), 360);
+        let count = |idx: &[usize], c: usize| idx.iter().filter(|&&i| labels[i] == c).count();
+        for c in 0..3 {
+            assert_eq!(count(s.train(), c), 120);
+            assert_eq!(count(s.valid(), c), 20);
+            assert_eq!(count(s.test(), c), 20);
+        }
+        let in_bag: std::collections::HashSet<usize> = s.train().iter().copied().collect();
+        for &i in s.valid().iter().chain(s.test()) {
+            assert!(!in_bag.contains(&i));
+        }
+    }
+
+    #[test]
+    fn train_valid_concatenates() {
+        let s = Split::new(vec![0, 1], vec![2], vec![3]);
+        assert_eq!(s.train_valid(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "holdout sizes exceed population")]
+    fn oversized_holdout_panics() {
+        holdout_split(10, 8, 2, 2, &mut Rng::seed_from_u64(10));
+    }
+}

@@ -1,0 +1,426 @@
+//! Bayesian optimization with a Gaussian-process surrogate and Expected
+//! Improvement, built from scratch on `varbench-linalg`.
+//!
+//! The paper used RoBO (Klein et al., 2017) and noted it offered "no
+//! support for seeding" (Appendix A) — every stochastic choice here (initial
+//! design, candidate sampling, GP-hyperparameter selection ties) flows from
+//! one constructor seed instead.
+
+use crate::space::SearchSpace;
+use crate::trial::Optimizer;
+use varbench_linalg::{Cholesky, Matrix};
+use varbench_rng::Rng;
+
+/// Configuration of [`BayesOpt`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BayesOptConfig {
+    /// Number of random trials before the GP takes over.
+    pub n_init: usize,
+    /// Number of random candidates scored by Expected Improvement per
+    /// `ask`.
+    pub n_candidates: usize,
+    /// Candidate lengthscales (unit-cube scale) tried by marginal-likelihood
+    /// selection at each refit.
+    pub lengthscales: Vec<f64>,
+    /// Observation-noise variance as a fraction of the observed objective
+    /// variance.
+    pub noise_fraction: f64,
+    /// Exploration bonus ξ in the EI criterion.
+    pub xi: f64,
+}
+
+impl Default for BayesOptConfig {
+    fn default() -> Self {
+        Self {
+            n_init: 5,
+            n_candidates: 256,
+            lengthscales: vec![0.1, 0.2, 0.35, 0.6, 1.0],
+            noise_fraction: 1e-3,
+            xi: 0.01,
+        }
+    }
+}
+
+/// Gaussian-process Bayesian optimization (Matérn-5/2 kernel, Expected
+/// Improvement acquisition).
+///
+/// # Example
+///
+/// ```
+/// use varbench_hpo::{minimize, BayesOpt, BayesOptConfig, Dim, SearchSpace};
+///
+/// let space = SearchSpace::new(vec![("x".into(), Dim::uniform(-3.0, 3.0))]);
+/// let mut opt = BayesOpt::new(space, BayesOptConfig::default(), 7);
+/// let history = minimize(&mut opt, 30, |p| (p[0] - 1.0).powi(2));
+/// assert!(history.best().unwrap().objective < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BayesOpt {
+    space: SearchSpace,
+    config: BayesOptConfig,
+    rng: Rng,
+    /// Observed points in unit-cube coordinates.
+    x: Vec<Vec<f64>>,
+    /// Observed objectives.
+    y: Vec<f64>,
+}
+
+impl BayesOpt {
+    /// Creates a Bayesian optimizer over `space`, fully seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is degenerate (no candidates, no lengthscales,
+    /// or a non-positive lengthscale).
+    pub fn new(space: SearchSpace, config: BayesOptConfig, seed: u64) -> Self {
+        assert!(config.n_candidates > 0, "need candidates to score");
+        assert!(!config.lengthscales.is_empty(), "need candidate lengthscales");
+        assert!(
+            config.lengthscales.iter().all(|&l| l > 0.0),
+            "lengthscales must be positive"
+        );
+        assert!(config.noise_fraction >= 0.0, "noise_fraction must be >= 0");
+        Self {
+            space,
+            config,
+            rng: Rng::seed_from_u64(seed),
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Number of observations absorbed so far.
+    pub fn observations(&self) -> usize {
+        self.y.len()
+    }
+}
+
+impl Optimizer for BayesOpt {
+    fn ask(&mut self) -> Vec<f64> {
+        if self.y.len() < self.config.n_init {
+            return self.space.sample(&mut self.rng);
+        }
+        let gp = match Gp::fit(&self.x, &self.y, &self.config) {
+            Some(gp) => gp,
+            // Degenerate geometry (e.g. all objectives identical): explore.
+            None => return self.space.sample(&mut self.rng),
+        };
+        let best_y = self.y.iter().cloned().fold(f64::INFINITY, f64::min);
+
+        let mut best_ei = f64::NEG_INFINITY;
+        let mut best_candidate: Option<Vec<f64>> = None;
+        for c in 0..self.config.n_candidates {
+            // Mix global exploration with local perturbations of the
+            // incumbent (a cheap trust-region flavor).
+            let u = if c % 4 == 0 {
+                if let Some(i) = argmin(&self.y) {
+                    self.x[i]
+                        .iter()
+                        .map(|&v| (v + self.rng.normal(0.0, 0.08)).clamp(0.0, 1.0))
+                        .collect()
+                } else {
+                    unit_sample(self.space.len(), &mut self.rng)
+                }
+            } else {
+                unit_sample(self.space.len(), &mut self.rng)
+            };
+            let (mu, var) = gp.predict(&u);
+            let ei = expected_improvement(mu, var.max(0.0).sqrt(), best_y, self.config.xi);
+            if ei > best_ei {
+                best_ei = ei;
+                best_candidate = Some(u);
+            }
+        }
+        let u = best_candidate.expect("at least one candidate scored");
+        self.space.from_unit(&u)
+    }
+
+    fn tell(&mut self, params: &[f64], objective: f64) {
+        // Failed evaluations (NaN/inf objectives, e.g. diverged trainings)
+        // are recorded as a pessimistic-but-finite value so the GP stays
+        // well-posed and keeps avoiding that region.
+        let objective = if objective.is_finite() {
+            objective
+        } else {
+            let worst = self
+                .y
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
+            if worst.is_finite() {
+                worst + 3.0 * (worst.abs() + 1.0)
+            } else {
+                1e6
+            }
+        };
+        self.x.push(self.space.to_unit(params));
+        self.y.push(objective);
+    }
+}
+
+fn unit_sample(d: usize, rng: &mut Rng) -> Vec<f64> {
+    (0..d).map(|_| rng.next_f64()).collect()
+}
+
+fn argmin(y: &[f64]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, &v) in y.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            None => best = Some(i),
+            Some(b) if v < y[b] => best = Some(i),
+            _ => {}
+        }
+    }
+    best
+}
+
+/// Expected improvement (for minimization) with exploration bonus `xi`.
+fn expected_improvement(mu: f64, sigma: f64, best: f64, xi: f64) -> f64 {
+    if sigma <= 1e-12 {
+        return (best - mu - xi).max(0.0);
+    }
+    let z = (best - mu - xi) / sigma;
+    let phi = (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let big_phi = 0.5 * (1.0 + erf_approx(z / std::f64::consts::SQRT_2));
+    (best - mu - xi) * big_phi + sigma * phi
+}
+
+/// Abramowitz–Stegun 7.1.26 erf approximation (|ε| < 1.5e-7) — plenty for
+/// an acquisition function and avoids a heavier dependency here.
+fn erf_approx(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// A fitted Gaussian process (zero mean on standardized targets).
+struct Gp {
+    x: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    lengthscale: f64,
+    amplitude: f64,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl Gp {
+    /// Fits a GP, selecting the lengthscale by marginal likelihood over the
+    /// configured candidates. Returns `None` if no candidate produces a
+    /// positive-definite kernel (pathological duplicate-heavy geometry).
+    fn fit(x: &[Vec<f64>], y: &[f64], config: &BayesOptConfig) -> Option<Gp> {
+        let n = y.len();
+        if n < 2 {
+            return None;
+        }
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let y_var = y.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / n as f64;
+        let y_std = y_var.sqrt().max(1e-12);
+        let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+        let noise = config.noise_fraction.max(1e-9);
+
+        let mut best: Option<(f64, Gp)> = None;
+        for &ls in &config.lengthscales {
+            let mut k = Matrix::from_fn(n, n, |i, j| matern52(&x[i], &x[j], ls));
+            k.add_diagonal(noise);
+            let chol = match Cholesky::new_with_jitter(&k, 1e-10, 8) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            let alpha = chol.solve(&ys);
+            // Marginal log likelihood (up to constants).
+            let fit_term: f64 = ys.iter().zip(&alpha).map(|(a, b)| a * b).sum();
+            let mll = -0.5 * fit_term - 0.5 * chol.log_det();
+            let candidate = Gp {
+                x: x.to_vec(),
+                alpha,
+                chol,
+                lengthscale: ls,
+                amplitude: 1.0,
+                y_mean,
+                y_std,
+            };
+            match &best {
+                None => best = Some((mll, candidate)),
+                Some((best_mll, _)) if mll > *best_mll => best = Some((mll, candidate)),
+                _ => {}
+            }
+        }
+        best.map(|(_, gp)| gp)
+    }
+
+    /// Posterior mean and variance at `u` (original objective scale).
+    fn predict(&self, u: &[f64]) -> (f64, f64) {
+        let k_star: Vec<f64> = self
+            .x
+            .iter()
+            .map(|xi| matern52(xi, u, self.lengthscale))
+            .collect();
+        let mu_std: f64 = k_star.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        let v = self.chol.solve_lower(&k_star);
+        let var_std = (self.amplitude - v.iter().map(|x| x * x).sum::<f64>()).max(0.0);
+        (
+            self.y_mean + self.y_std * mu_std,
+            self.y_std * self.y_std * var_std,
+        )
+    }
+}
+
+/// Matérn-5/2 kernel on unit-cube coordinates with isotropic lengthscale.
+fn matern52(a: &[f64], b: &[f64], lengthscale: f64) -> f64 {
+    let r2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    let r = r2.sqrt() / lengthscale;
+    let sqrt5_r = 5.0_f64.sqrt() * r;
+    (1.0 + sqrt5_r + 5.0 * r2 / (3.0 * lengthscale * lengthscale)) * (-sqrt5_r).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Dim;
+    use crate::trial::minimize;
+
+    fn space1() -> SearchSpace {
+        SearchSpace::new(vec![("x".into(), Dim::uniform(-3.0, 3.0))])
+    }
+
+    #[test]
+    fn kernel_properties() {
+        let a = [0.2, 0.4];
+        let b = [0.8, 0.1];
+        // Symmetry, unit diagonal, decay with distance.
+        assert!((matern52(&a, &b, 0.3) - matern52(&b, &a, 0.3)).abs() < 1e-15);
+        assert!((matern52(&a, &a, 0.3) - 1.0).abs() < 1e-15);
+        let near = matern52(&[0.0], &[0.05], 0.3);
+        let far = matern52(&[0.0], &[0.9], 0.3);
+        assert!(near > far);
+    }
+
+    #[test]
+    fn gp_interpolates_training_points() {
+        let x: Vec<Vec<f64>> = vec![vec![0.1], vec![0.4], vec![0.7], vec![0.95]];
+        let y: Vec<f64> = x.iter().map(|p| (4.0 * p[0]).sin()).collect();
+        let gp = Gp::fit(&x, &y, &BayesOptConfig::default()).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let (mu, var) = gp.predict(xi);
+            assert!((mu - yi).abs() < 0.05, "mu {mu} vs {yi}");
+            assert!(var < 0.1, "training-point variance {var}");
+        }
+        // Extrapolation carries more uncertainty than interpolation at a
+        // training point.
+        let (_, var_far) = gp.predict(&[0.0]);
+        let (_, var_at) = gp.predict(&[0.4]);
+        assert!(var_far > var_at);
+    }
+
+    #[test]
+    fn ei_prefers_low_mean_and_high_uncertainty() {
+        let ei_good_mean = expected_improvement(0.0, 0.1, 0.5, 0.0);
+        let ei_bad_mean = expected_improvement(1.0, 0.1, 0.5, 0.0);
+        assert!(ei_good_mean > ei_bad_mean);
+        let ei_uncertain = expected_improvement(0.6, 0.5, 0.5, 0.0);
+        let ei_certain = expected_improvement(0.6, 0.01, 0.5, 0.0);
+        assert!(ei_uncertain > ei_certain);
+    }
+
+    #[test]
+    fn ei_zero_sigma_fallback() {
+        assert_eq!(expected_improvement(1.0, 0.0, 0.5, 0.0), 0.0);
+        assert!((expected_improvement(0.2, 0.0, 0.5, 0.0) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bayesopt_beats_random_prefix_on_smooth_objective() {
+        // On a smooth 1-d quadratic, 30 BO trials should land much closer
+        // to the optimum than its own 5 random warm-up trials.
+        let mut opt = BayesOpt::new(space1(), BayesOptConfig::default(), 1);
+        let h = minimize(&mut opt, 30, |p| (p[0] - 1.0).powi(2));
+        let warmup_best = h.trials()[..5]
+            .iter()
+            .map(|t| t.objective)
+            .fold(f64::INFINITY, f64::min);
+        let final_best = h.best().unwrap().objective;
+        assert!(final_best < 0.1, "final best {final_best}");
+        assert!(final_best <= warmup_best);
+    }
+
+    #[test]
+    fn bayesopt_is_deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut opt = BayesOpt::new(space1(), BayesOptConfig::default(), seed);
+            minimize(&mut opt, 15, |p| p[0].cos() + 0.1 * p[0])
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn bayesopt_handles_constant_objective() {
+        let mut opt = BayesOpt::new(space1(), BayesOptConfig::default(), 2);
+        let h = minimize(&mut opt, 12, |_| 1.0);
+        assert_eq!(h.len(), 12);
+        assert_eq!(h.best().unwrap().objective, 1.0);
+    }
+
+    #[test]
+    fn bayesopt_multidim_log_space() {
+        let space = SearchSpace::new(vec![
+            ("lr".into(), Dim::log_uniform(1e-4, 1e0)),
+            ("mom".into(), Dim::uniform(0.0, 1.0)),
+        ]);
+        let mut opt = BayesOpt::new(space, BayesOptConfig::default(), 3);
+        // Optimum at lr = 1e-2, mom = 0.9.
+        let h = minimize(&mut opt, 40, |p| {
+            (p[0].ln() - 1e-2f64.ln()).powi(2) / 10.0 + (p[1] - 0.9).powi(2)
+        });
+        assert!(h.best().unwrap().objective < 0.3, "{}", h.best().unwrap().objective);
+    }
+
+    #[test]
+    fn survives_nan_objectives() {
+        // Failure injection: a quarter of evaluations "diverge".
+        let mut opt = BayesOpt::new(space1(), BayesOptConfig::default(), 11);
+        let h = minimize(&mut opt, 24, |p| {
+            if p[0] > 2.0 {
+                f64::NAN
+            } else {
+                (p[0] - 1.0).powi(2)
+            }
+        });
+        assert_eq!(h.len(), 24);
+        let best = h.best().unwrap();
+        assert!(best.objective.is_finite());
+        assert!(best.objective < 0.5, "best {}", best.objective);
+    }
+
+    #[test]
+    fn survives_infinite_objectives() {
+        let mut opt = BayesOpt::new(space1(), BayesOptConfig::default(), 12);
+        let h = minimize(&mut opt, 15, |p| {
+            if p[0] < -2.0 {
+                f64::INFINITY
+            } else {
+                p[0].abs()
+            }
+        });
+        assert!(h.best().unwrap().objective.is_finite());
+    }
+
+    #[test]
+    fn observations_counter() {
+        let mut opt = BayesOpt::new(space1(), BayesOptConfig::default(), 4);
+        assert_eq!(opt.observations(), 0);
+        let p = opt.ask();
+        opt.tell(&p, 1.0);
+        assert_eq!(opt.observations(), 1);
+    }
+}

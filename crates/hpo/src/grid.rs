@@ -1,0 +1,278 @@
+//! Grid search and the paper's *noisy* grid search (Appendix E.1–E.2).
+//!
+//! Plain grid search is deterministic, so it would contribute zero ξ_H
+//! variance — yet "the specific choice of the parameter range is arbitrary
+//! and can be an uncontrolled source of variance (e.g., does the grid size
+//! step by powers of 2, 10, or increments of 0.25 or 0.5)". The noisy grid
+//! models that arbitrariness: each bound is perturbed by ±Δ/2 (half a grid
+//! step), which in expectation recovers the plain grid (proved in Appendix
+//! E.2 and property-tested here).
+
+use crate::space::{Dim, SearchSpace};
+use crate::trial::Optimizer;
+use varbench_rng::Rng;
+
+/// Deterministic grid search over `points_per_dim^d` configurations.
+///
+/// Points are visited in a seeded random order so a truncated budget is an
+/// unbiased subset of the grid. When the budget exceeds the grid size the
+/// enumeration wraps around.
+#[derive(Debug, Clone)]
+pub struct GridSearch {
+    points: Vec<Vec<f64>>,
+    cursor: usize,
+}
+
+impl GridSearch {
+    /// Builds the grid with `points_per_dim` values per dimension.
+    ///
+    /// `order_seed` shuffles the visit order (use a fixed value for a fully
+    /// deterministic run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points_per_dim < 2` or the grid would exceed 10^7 points.
+    pub fn new(space: SearchSpace, points_per_dim: usize, order_seed: u64) -> Self {
+        let points = build_grid(&space, points_per_dim, None);
+        let mut points = points;
+        let mut rng = Rng::seed_from_u64(order_seed);
+        rng.shuffle(&mut points);
+        Self { points, cursor: 0 }
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the grid is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+impl Optimizer for GridSearch {
+    fn ask(&mut self) -> Vec<f64> {
+        let p = self.points[self.cursor % self.points.len()].clone();
+        self.cursor += 1;
+        p
+    }
+
+    fn tell(&mut self, _params: &[f64], _objective: f64) {}
+}
+
+/// The paper's noisy grid search: grid bounds perturbed by ±Δ/2.
+///
+/// For each dimension with grid step `Δ`, the lower bound becomes
+/// `ã ∼ U(a − Δ/2, a + Δ/2)` and likewise for the upper bound; the grid is
+/// then laid out between the perturbed bounds. `E[p̃ᵢⱼ] = pᵢⱼ`: in
+/// expectation the noisy grid *is* the plain grid. Log-uniform dimensions
+/// are perturbed in log space.
+#[derive(Debug, Clone)]
+pub struct NoisyGridSearch {
+    points: Vec<Vec<f64>>,
+    cursor: usize,
+}
+
+impl NoisyGridSearch {
+    /// Builds a noisy grid with `points_per_dim` values per dimension,
+    /// with bound perturbations and visit order drawn from `seed` (the ξ_H
+    /// stream).
+    ///
+    /// # Panics
+    ///
+    /// As [`GridSearch::new`].
+    pub fn new(space: SearchSpace, points_per_dim: usize, seed: u64) -> Self {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut points = build_grid(&space, points_per_dim, Some(&mut rng));
+        rng.shuffle(&mut points);
+        Self { points, cursor: 0 }
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the grid is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+impl Optimizer for NoisyGridSearch {
+    fn ask(&mut self) -> Vec<f64> {
+        let p = self.points[self.cursor % self.points.len()].clone();
+        self.cursor += 1;
+        p
+    }
+
+    fn tell(&mut self, _params: &[f64], _objective: f64) {}
+}
+
+/// Lays out the (possibly perturbed) grid. With `noise` = `None` this is
+/// the plain grid of Appendix E.1; with an RNG it is the noisy grid of
+/// Appendix E.2.
+fn build_grid(space: &SearchSpace, points_per_dim: usize, mut noise: Option<&mut Rng>) -> Vec<Vec<f64>> {
+    assert!(points_per_dim >= 2, "grid needs at least 2 points per dim");
+    let total = (points_per_dim as f64).powi(space.len() as i32);
+    assert!(total <= 1e7, "grid of {total} points is too large");
+
+    // Per-dimension value lists, in the dimension's natural scale.
+    let values: Vec<Vec<f64>> = space
+        .dims()
+        .iter()
+        .map(|(_, d)| match &mut noise {
+            None => d.grid(points_per_dim),
+            Some(rng) => noisy_axis(d, points_per_dim, rng),
+        })
+        .collect();
+
+    // Cartesian product.
+    let n = points_per_dim.pow(space.len() as u32);
+    let mut out = Vec::with_capacity(n);
+    for mut idx in 0..n {
+        let mut point = Vec::with_capacity(space.len());
+        for vals in &values {
+            point.push(vals[idx % points_per_dim]);
+            idx /= points_per_dim;
+        }
+        out.push(point);
+    }
+    out
+}
+
+/// One noisy grid axis: perturb bounds by ±Δ/2 in the dimension's working
+/// scale (log for log-uniform), then lay out `n` evenly spaced values.
+fn noisy_axis(dim: &Dim, n: usize, rng: &mut Rng) -> Vec<f64> {
+    // Work in the transformed (linearizing) scale.
+    let (a, b, log_scale, integer) = match *dim {
+        Dim::Uniform { lo, hi } => (lo, hi, false, false),
+        Dim::LogUniform { lo, hi } => (lo.ln(), hi.ln(), true, false),
+        Dim::Integer { lo, hi } => (lo as f64, hi as f64, false, true),
+    };
+    let delta = (b - a) / (n - 1) as f64;
+    let a_t = rng.uniform(a - delta / 2.0, a + delta / 2.0);
+    let b_t = rng.uniform(b - delta / 2.0, b + delta / 2.0);
+    let step = (b_t - a_t) / (n - 1) as f64;
+    (0..n)
+        .map(|i| {
+            let v = a_t + step * i as f64;
+            let v = if log_scale { v.exp() } else { v };
+            if integer {
+                v.round()
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trial::minimize;
+
+    fn space2() -> SearchSpace {
+        SearchSpace::new(vec![
+            ("x".into(), Dim::uniform(0.0, 1.0)),
+            ("y".into(), Dim::log_uniform(1e-3, 1e0)),
+        ])
+    }
+
+    #[test]
+    fn grid_covers_cartesian_product() {
+        let g = GridSearch::new(space2(), 4, 0);
+        assert_eq!(g.len(), 16);
+    }
+
+    #[test]
+    fn grid_finds_optimum_on_grid() {
+        // Objective minimized at x = 1/3, which lies on a 4-point grid.
+        let mut g = GridSearch::new(space2(), 4, 1);
+        let h = minimize(&mut g, 16, |p| (p[0] - 1.0 / 3.0).powi(2));
+        assert!((h.best().unwrap().params[0] - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_wraps_past_budget() {
+        let mut g = GridSearch::new(space2(), 2, 2);
+        let first: Vec<Vec<f64>> = (0..4).map(|_| g.ask()).collect();
+        let second: Vec<Vec<f64>> = (0..4).map(|_| g.ask()).collect();
+        assert_eq!(first, second, "enumeration wraps deterministically");
+    }
+
+    #[test]
+    fn plain_grid_has_no_variance_across_seeds() {
+        // Only the *order* differs; the point set is identical.
+        let mut a: Vec<Vec<f64>> = {
+            let mut g = GridSearch::new(space2(), 3, 10);
+            (0..9).map(|_| g.ask()).collect()
+        };
+        let mut b: Vec<Vec<f64>> = {
+            let mut g = GridSearch::new(space2(), 3, 20);
+            (0..9).map(|_| g.ask()).collect()
+        };
+        let key = |p: &Vec<f64>| format!("{:.9e},{:.9e}", p[0], p[1]);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noisy_grid_differs_across_seeds() {
+        let a = NoisyGridSearch::new(space2(), 3, 1).points;
+        let b = NoisyGridSearch::new(space2(), 3, 2).points;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn noisy_grid_expectation_recovers_plain_grid() {
+        // E[p̃_ij] = p_ij (Appendix E.2): average many noisy axes.
+        let dim = Dim::uniform(0.0, 1.0);
+        let n = 5;
+        let reps = 20_000;
+        let mut sums = vec![0.0; n];
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..reps {
+            for (s, v) in sums.iter_mut().zip(noisy_axis(&dim, n, &mut rng)) {
+                *s += v;
+            }
+        }
+        let plain = dim.grid(n);
+        for (i, s) in sums.iter().enumerate() {
+            let mean = s / reps as f64;
+            assert!(
+                (mean - plain[i]).abs() < 0.01,
+                "axis point {i}: mean {mean} vs plain {}",
+                plain[i]
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_log_axis_stays_positive() {
+        let dim = Dim::log_uniform(1e-4, 1e-1);
+        let mut rng = Rng::seed_from_u64(4);
+        for _ in 0..200 {
+            for v in noisy_axis(&dim, 4, &mut rng) {
+                assert!(v > 0.0, "log-axis value must stay positive: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_integer_axis_rounds() {
+        let dim = Dim::integer(1, 9);
+        let mut rng = Rng::seed_from_u64(5);
+        for v in noisy_axis(&dim, 5, &mut rng) {
+            assert_eq!(v, v.round());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grid needs at least 2 points")]
+    fn tiny_grid_rejected() {
+        GridSearch::new(space2(), 1, 0);
+    }
+}

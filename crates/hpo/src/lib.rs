@@ -1,0 +1,53 @@
+//! Hyperparameter optimization: the ξ_H variance sources of the paper.
+//!
+//! The paper studies three HPO algorithms (Section 2.2): random search,
+//! (noisy) grid search, and Bayesian optimization, showing that the
+//! residual stochasticity of hyperparameter choice "induces on average as
+//! much variance as the commonly studied weights initialization". This
+//! crate implements all three from scratch, fully seedable — including the
+//! Gaussian-process/Expected-Improvement optimizer the paper ran through
+//! RoBO (which it had to seed through global state; ours is seedable by
+//! construction, Appendix A).
+//!
+//! * [`SearchSpace`] / [`Dim`] — uniform, log-uniform, and integer
+//!   dimensions (the spaces of the paper's Tables 2, 3, 5, 6);
+//! * [`GridSearch`] / [`NoisyGridSearch`] — Appendix E.1/E.2, including the
+//!   ±Δ/2 bound perturbation whose expectation provably recovers the plain
+//!   grid;
+//! * [`RandomSearch`] — Appendix E.3, log-aware, with the same expanded
+//!   bounds as the noisy grid;
+//! * [`BayesOpt`] — GP (Matérn-5/2) surrogate + Expected Improvement;
+//! * [`Optimizer`] / [`minimize`] — the ask/tell driver producing a trial
+//!   [`History`] with best-so-far curves (Fig. F.2).
+//!
+//! # Example
+//!
+//! ```
+//! use varbench_hpo::{minimize, Dim, RandomSearch, SearchSpace};
+//!
+//! let space = SearchSpace::new(vec![
+//!     ("learning_rate".into(), Dim::log_uniform(1e-3, 0.3)),
+//!     ("weight_decay".into(), Dim::log_uniform(1e-6, 1e-2)),
+//! ]);
+//! let mut opt = RandomSearch::new(space.clone(), 42);
+//! // Minimize a toy objective: distance to (0.03, 2e-4) in log space.
+//! let history = minimize(&mut opt, 50, |p| {
+//!     (p[0].ln() - 0.03f64.ln()).powi(2) + (p[1].ln() - 2e-4f64.ln()).powi(2)
+//! });
+//! assert!(history.best().unwrap().objective < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bayes;
+mod grid;
+mod random;
+mod space;
+mod trial;
+
+pub use bayes::{BayesOpt, BayesOptConfig};
+pub use grid::{GridSearch, NoisyGridSearch};
+pub use random::RandomSearch;
+pub use space::{Dim, SearchSpace};
+pub use trial::{minimize, History, Optimizer, Trial};

@@ -1,0 +1,299 @@
+//! Hyperparameter search spaces.
+
+use varbench_rng::Rng;
+
+/// One dimension of a search space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dim {
+    /// Uniform over `[lo, hi]` (the paper's `lin(lo, hi)` ranges, e.g.
+    /// momentum in Table 2).
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Log-uniform over `[lo, hi]`, `lo > 0` (the paper's `log(lo, hi)`
+    /// ranges, e.g. learning rate and weight decay).
+    LogUniform {
+        /// Lower bound (> 0).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Uniform integer in `[lo, hi]` inclusive (e.g. hidden layer size in
+    /// Table 6).
+    Integer {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+}
+
+impl Dim {
+    /// Creates a uniform dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or bounds are not finite.
+    pub fn uniform(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "need finite lo < hi");
+        Dim::Uniform { lo, hi }
+    }
+
+    /// Creates a log-uniform dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0` or `lo >= hi`.
+    pub fn log_uniform(lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && lo < hi && hi.is_finite(), "need 0 < lo < hi");
+        Dim::LogUniform { lo, hi }
+    }
+
+    /// Creates an integer dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn integer(lo: i64, hi: i64) -> Self {
+        assert!(lo < hi, "need lo < hi");
+        Dim::Integer { lo, hi }
+    }
+
+    /// Samples a value uniformly (respecting the dimension's scale).
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        match *self {
+            Dim::Uniform { lo, hi } => rng.uniform(lo, hi),
+            Dim::LogUniform { lo, hi } => rng.log_uniform(lo, hi),
+            Dim::Integer { lo, hi } => rng.range_inclusive(lo, hi) as f64,
+        }
+    }
+
+    /// Clamps `v` into the dimension's bounds (integers also round).
+    pub fn clamp(&self, v: f64) -> f64 {
+        match *self {
+            Dim::Uniform { lo, hi } => v.clamp(lo, hi),
+            Dim::LogUniform { lo, hi } => v.clamp(lo, hi),
+            Dim::Integer { lo, hi } => v.round().clamp(lo as f64, hi as f64),
+        }
+    }
+
+    /// Maps a value to `[0, 1]` (log scale for log-uniform dims) — the
+    /// normalization used by the GP surrogate.
+    pub fn to_unit(&self, v: f64) -> f64 {
+        match *self {
+            Dim::Uniform { lo, hi } => ((v - lo) / (hi - lo)).clamp(0.0, 1.0),
+            Dim::LogUniform { lo, hi } => {
+                ((v.ln() - lo.ln()) / (hi.ln() - lo.ln())).clamp(0.0, 1.0)
+            }
+            Dim::Integer { lo, hi } => ((v - lo as f64) / (hi - lo) as f64).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Inverse of [`Dim::to_unit`].
+    pub fn from_unit(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        match *self {
+            Dim::Uniform { lo, hi } => lo + u * (hi - lo),
+            Dim::LogUniform { lo, hi } => (lo.ln() + u * (hi.ln() - lo.ln())).exp(),
+            Dim::Integer { lo, hi } => (lo as f64 + u * (hi - lo) as f64).round(),
+        }
+    }
+
+    /// `n` evenly spaced values spanning the dimension (log-spaced for
+    /// log-uniform dims) — the grid of Appendix E.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn grid(&self, n: usize) -> Vec<f64> {
+        assert!(n >= 2, "grid needs at least 2 points");
+        (0..n)
+            .map(|i| self.from_unit(i as f64 / (n - 1) as f64))
+            .collect()
+    }
+}
+
+/// A named, ordered collection of search dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    dims: Vec<(String, Dim)>,
+}
+
+impl SearchSpace {
+    /// Creates a search space from named dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or names repeat.
+    pub fn new(dims: Vec<(String, Dim)>) -> Self {
+        assert!(!dims.is_empty(), "search space must have dimensions");
+        for i in 0..dims.len() {
+            for j in (i + 1)..dims.len() {
+                assert_ne!(dims[i].0, dims[j].0, "duplicate dimension name {}", dims[i].0);
+            }
+        }
+        Self { dims }
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the space has no dimensions (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Dimension names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.dims.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[(String, Dim)] {
+        &self.dims
+    }
+
+    /// Samples a full parameter vector.
+    pub fn sample(&self, rng: &mut Rng) -> Vec<f64> {
+        self.dims.iter().map(|(_, d)| d.sample(rng)).collect()
+    }
+
+    /// Clamps every coordinate into bounds.
+    pub fn clamp(&self, params: &[f64]) -> Vec<f64> {
+        assert_eq!(params.len(), self.len(), "parameter arity mismatch");
+        self.dims
+            .iter()
+            .zip(params)
+            .map(|((_, d), &v)| d.clamp(v))
+            .collect()
+    }
+
+    /// Maps a parameter vector to the unit cube.
+    pub fn to_unit(&self, params: &[f64]) -> Vec<f64> {
+        assert_eq!(params.len(), self.len(), "parameter arity mismatch");
+        self.dims
+            .iter()
+            .zip(params)
+            .map(|((_, d), &v)| d.to_unit(v))
+            .collect()
+    }
+
+    /// Maps a unit-cube vector back to parameter values.
+    pub fn from_unit(&self, unit: &[f64]) -> Vec<f64> {
+        assert_eq!(unit.len(), self.len(), "parameter arity mismatch");
+        self.dims
+            .iter()
+            .zip(unit)
+            .map(|((_, d), &u)| d.from_unit(u))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_respects_bounds() {
+        let mut rng = Rng::seed_from_u64(1);
+        let dims = [
+            Dim::uniform(-1.0, 2.0),
+            Dim::log_uniform(1e-5, 1e-1),
+            Dim::integer(3, 9),
+        ];
+        for _ in 0..2000 {
+            let v0 = dims[0].sample(&mut rng);
+            assert!((-1.0..2.0).contains(&v0));
+            let v1 = dims[1].sample(&mut rng);
+            assert!((1e-5..1e-1).contains(&v1));
+            let v2 = dims[2].sample(&mut rng);
+            assert!((3.0..=9.0).contains(&v2));
+            assert_eq!(v2, v2.round());
+        }
+    }
+
+    #[test]
+    fn unit_roundtrip_continuous() {
+        let dims = [Dim::uniform(-1.0, 2.0), Dim::log_uniform(1e-5, 1e-1)];
+        for d in dims {
+            for &u in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+                let v = d.from_unit(u);
+                let u2 = d.to_unit(v);
+                assert!((u - u2).abs() < 1e-9, "{d:?} u={u} -> v={v} -> {u2}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_roundtrip_integer_values() {
+        // Integers round in from_unit, so the exact roundtrip property is
+        // value-side: every integer value maps to a unit coordinate and back
+        // to itself.
+        let d = Dim::integer(0, 10);
+        for v in 0..=10 {
+            let v = v as f64;
+            assert_eq!(d.from_unit(d.to_unit(v)), v);
+        }
+    }
+
+    #[test]
+    fn log_grid_is_geometric() {
+        let g = Dim::log_uniform(1e-4, 1e0).grid(5);
+        assert_eq!(g.len(), 5);
+        assert!((g[0] - 1e-4).abs() < 1e-12);
+        assert!((g[4] - 1.0).abs() < 1e-9);
+        // Ratios equal in a geometric progression.
+        let r1 = g[1] / g[0];
+        let r2 = g[2] / g[1];
+        assert!((r1 - r2).abs() / r1 < 1e-9);
+    }
+
+    #[test]
+    fn linear_grid_is_arithmetic() {
+        let g = Dim::uniform(0.0, 1.0).grid(3);
+        assert_eq!(g, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn integer_grid_rounds() {
+        let g = Dim::integer(1, 5).grid(5);
+        assert_eq!(g, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        assert_eq!(Dim::uniform(0.0, 1.0).clamp(2.0), 1.0);
+        assert_eq!(Dim::integer(0, 10).clamp(3.7), 4.0);
+        assert_eq!(Dim::log_uniform(0.1, 1.0).clamp(0.01), 0.1);
+    }
+
+    #[test]
+    fn space_sample_and_maps() {
+        let space = SearchSpace::new(vec![
+            ("lr".into(), Dim::log_uniform(1e-3, 0.3)),
+            ("mom".into(), Dim::uniform(0.5, 0.99)),
+        ]);
+        let mut rng = Rng::seed_from_u64(2);
+        let p = space.sample(&mut rng);
+        assert_eq!(p.len(), 2);
+        let u = space.to_unit(&p);
+        let back = space.from_unit(&u);
+        assert!((p[0] - back[0]).abs() / p[0] < 1e-9);
+        assert!((p[1] - back[1]).abs() < 1e-9);
+        assert_eq!(space.names(), vec!["lr", "mom"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate dimension name")]
+    fn duplicate_names_rejected() {
+        SearchSpace::new(vec![
+            ("a".into(), Dim::uniform(0.0, 1.0)),
+            ("a".into(), Dim::uniform(0.0, 1.0)),
+        ]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Trials, histories, and the ask/tell optimization driver.
+
+/// One evaluated hyperparameter configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trial {
+    /// Parameter vector (ordered as in the search space).
+    pub params: Vec<f64>,
+    /// Objective value (lower is better — the paper optimizes validation
+    /// error / regret).
+    pub objective: f64,
+}
+
+/// The sequence of trials produced by one HPO run.
+///
+/// Provides the best-so-far curve plotted in the paper's Fig. F.2.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct History {
+    trials: Vec<Trial>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a trial.
+    pub fn push(&mut self, trial: Trial) {
+        self.trials.push(trial);
+    }
+
+    /// All trials in evaluation order.
+    pub fn trials(&self) -> &[Trial] {
+        &self.trials
+    }
+
+    /// Number of trials.
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+
+    /// The best (lowest-objective) trial, if any. NaN objectives are
+    /// ranked last.
+    pub fn best(&self) -> Option<&Trial> {
+        self.trials
+            .iter()
+            .filter(|t| !t.objective.is_nan())
+            .min_by(|a, b| a.objective.partial_cmp(&b.objective).expect("NaN filtered"))
+    }
+
+    /// Best objective value observed up to and including each trial — the
+    /// optimization curve of Fig. F.2.
+    pub fn best_so_far(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.trials
+            .iter()
+            .map(|t| {
+                if t.objective < best {
+                    best = t.objective;
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+/// An ask/tell hyperparameter optimizer.
+///
+/// Implementations are deterministic given their construction seed; all
+/// stochasticity is part of the ξ_H variance source.
+pub trait Optimizer {
+    /// Proposes the next configuration to evaluate.
+    fn ask(&mut self) -> Vec<f64>;
+
+    /// Reports the objective for a configuration returned by
+    /// [`Optimizer::ask`].
+    fn tell(&mut self, params: &[f64], objective: f64);
+}
+
+/// Runs `budget` ask/evaluate/tell rounds of `optimizer` against
+/// `objective`, returning the trial history.
+///
+/// # Panics
+///
+/// Panics if `budget == 0`.
+///
+/// # Example
+///
+/// See the crate-level example.
+pub fn minimize(
+    optimizer: &mut dyn Optimizer,
+    budget: usize,
+    mut objective: impl FnMut(&[f64]) -> f64,
+) -> History {
+    assert!(budget > 0, "budget must be > 0");
+    let mut history = History::new();
+    for _ in 0..budget {
+        let params = optimizer.ask();
+        let value = objective(&params);
+        optimizer.tell(&params, value);
+        history.push(Trial {
+            params,
+            objective: value,
+        });
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trial(obj: f64) -> Trial {
+        Trial {
+            params: vec![0.0],
+            objective: obj,
+        }
+    }
+
+    #[test]
+    fn best_and_curve() {
+        let mut h = History::new();
+        for o in [3.0, 1.0, 2.0, 0.5, 4.0] {
+            h.push(trial(o));
+        }
+        assert_eq!(h.best().unwrap().objective, 0.5);
+        assert_eq!(h.best_so_far(), vec![3.0, 1.0, 1.0, 0.5, 0.5]);
+        assert_eq!(h.len(), 5);
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = History::new();
+        assert!(h.is_empty());
+        assert!(h.best().is_none());
+        assert!(h.best_so_far().is_empty());
+    }
+
+    #[test]
+    fn nan_objectives_not_best() {
+        let mut h = History::new();
+        h.push(trial(f64::NAN));
+        h.push(trial(1.0));
+        assert_eq!(h.best().unwrap().objective, 1.0);
+    }
+
+    struct FixedAsk(Vec<f64>);
+    impl Optimizer for FixedAsk {
+        fn ask(&mut self) -> Vec<f64> {
+            self.0.clone()
+        }
+        fn tell(&mut self, _params: &[f64], _objective: f64) {}
+    }
+
+    #[test]
+    fn minimize_drives_budget() {
+        let mut opt = FixedAsk(vec![2.0]);
+        let h = minimize(&mut opt, 7, |p| p[0] * p[0]);
+        assert_eq!(h.len(), 7);
+        assert_eq!(h.best().unwrap().objective, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be > 0")]
+    fn zero_budget_panics() {
+        let mut opt = FixedAsk(vec![0.0]);
+        minimize(&mut opt, 0, |_| 0.0);
+    }
+}

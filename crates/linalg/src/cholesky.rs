@@ -1,0 +1,276 @@
+#![allow(clippy::needless_range_loop)] // index-style loops are clearer in numerical kernels
+
+//! Cholesky factorization of symmetric positive-definite matrices.
+
+use crate::matrix::Matrix;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotPositiveDefiniteError {
+    /// Index of the first pivot that failed.
+    pub pivot: usize,
+    /// Value of the failing pivot before taking the square root.
+    pub value: f64,
+}
+
+impl fmt::Display for NotPositiveDefiniteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite: pivot {} has value {:.3e}",
+            self.pivot, self.value
+        )
+    }
+}
+
+impl Error for NotPositiveDefiniteError {}
+
+/// The lower-triangular Cholesky factor `L` of an SPD matrix `A = L Lᵀ`.
+///
+/// Supports solving `A x = b`, triangular solves, and the log-determinant —
+/// everything a Gaussian-process posterior needs.
+///
+/// # Example
+///
+/// ```
+/// use varbench_linalg::{Cholesky, Matrix};
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let chol = Cholesky::new(&a)?;
+/// // det(A) = 3, so log det = ln 3.
+/// assert!((chol.log_det() - 3.0f64.ln()).abs() < 1e-12);
+/// # Ok::<(), varbench_linalg::NotPositiveDefiniteError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes the SPD matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPositiveDefiniteError`] if a pivot is non-positive
+    /// (matrix not SPD, possibly due to rounding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn new(a: &Matrix) -> Result<Self, NotPositiveDefiniteError> {
+        assert!(a.is_square(), "Cholesky requires a square matrix");
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(NotPositiveDefiniteError { pivot: i, value: sum });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Factorizes `a + jitter·I`, growing `jitter` geometrically (×10, up to
+    /// `max_tries`) until the factorization succeeds.
+    ///
+    /// This is the standard defence against near-singular GP kernel matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last failure if no jitter level in the schedule succeeds.
+    pub fn new_with_jitter(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_tries: usize,
+    ) -> Result<Self, NotPositiveDefiniteError> {
+        match Self::new(a) {
+            Ok(c) => return Ok(c),
+            Err(e) if max_tries == 0 => return Err(e),
+            Err(_) => {}
+        }
+        let mut jitter = initial_jitter.max(f64::MIN_POSITIVE);
+        let mut last = NotPositiveDefiniteError { pivot: 0, value: f64::NAN };
+        for _ in 0..max_tries {
+            let mut aj = a.clone();
+            aj.add_diagonal(jitter);
+            match Self::new(&aj) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = e,
+            }
+            jitter *= 10.0;
+        }
+        Err(last)
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via forward and backward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let y = self.solve_lower(b);
+        self.solve_upper(&y)
+    }
+
+    /// Solves the lower-triangular system `L y = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "solve dimension mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solves the upper-triangular system `Lᵀ x = y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` does not match the matrix dimension.
+    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(y.len(), n, "solve dimension mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Returns `log det(A) = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Reconstructs `A = L Lᵀ` (mainly for testing).
+    pub fn reconstruct(&self) -> Matrix {
+        self.l.matmul(&self.l.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 12.0, -16.0], &[12.0, 37.0, -43.0], &[-16.0, -43.0, 98.0]])
+    }
+
+    #[test]
+    fn wikipedia_example_factor() {
+        // Known factorization: L = [[2,0,0],[6,1,0],[-8,5,3]].
+        let c = Cholesky::new(&spd3()).unwrap();
+        let l = c.factor();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 0)] + 8.0).abs() < 1e-12);
+        assert!((l[(2, 1)] - 5.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+        assert!((l[(0, 1)]).abs() < 1e-12, "upper triangle must be zero");
+    }
+
+    #[test]
+    fn reconstruct_roundtrip() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let r = c.reconstruct();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let c = Cholesky::new(&a).unwrap();
+        let x = c.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn log_det_matches_product_of_pivots() {
+        // det(spd3) = (2*1*3)^2 = 36.
+        let c = Cholesky::new(&spd3()).unwrap();
+        assert!((c.log_det() - 36.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_spd_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        let err = Cholesky::new(&a).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        assert!(err.value <= 0.0);
+        assert!(err.to_string().contains("not positive definite"));
+    }
+
+    #[test]
+    fn jitter_rescues_near_singular() {
+        // Rank-1 matrix: xxᵀ with x = (1, 1); singular, needs jitter.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(Cholesky::new(&a).is_err());
+        let c = Cholesky::new_with_jitter(&a, 1e-10, 12).unwrap();
+        let r = c.reconstruct();
+        // Reconstruction approximates A up to the jitter magnitude.
+        assert!((r[(0, 1)] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn jitter_zero_tries_is_plain_cholesky() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(Cholesky::new_with_jitter(&a, 1e-10, 0).is_err());
+    }
+
+    #[test]
+    fn triangular_solves_compose() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let y = c.solve_lower(&b);
+        let x = c.solve_upper(&y);
+        assert_eq!(x, c.solve(&b));
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let c = Cholesky::new(&Matrix::identity(4)).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(c.solve(&b), b);
+        assert!((c.log_det()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,31 @@
+//! Small dense linear algebra for `varbench`.
+//!
+//! Provides exactly what the workspace's numerical components need and no
+//! more: a row-major dense [`Matrix`], vector helpers, and a robust
+//! [`Cholesky`] factorization with triangular solves and log-determinant —
+//! the kernel of the Gaussian-process surrogate in `varbench-hpo` and of the
+//! ridge/linear models in `varbench-models`.
+//!
+//! # Example
+//!
+//! ```
+//! use varbench_linalg::{Cholesky, Matrix};
+//!
+//! // Solve the SPD system A x = b.
+//! let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+//! let chol = Cholesky::new(&a).expect("SPD");
+//! let x = chol.solve(&[2.0, 1.0]);
+//! assert!((4.0 * x[0] + 2.0 * x[1] - 2.0).abs() < 1e-12);
+//! assert!((2.0 * x[0] + 3.0 * x[1] - 1.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod matrix;
+mod ops;
+
+pub use cholesky::{Cholesky, NotPositiveDefiniteError};
+pub use matrix::Matrix;
+pub use ops::{axpy, dot, norm2, scale, sub};

@@ -1,0 +1,97 @@
+//! Weight initialization schemes.
+
+use varbench_rng::Rng;
+
+/// A weight-initialization scheme.
+///
+/// Initialization is one of the ξ_O variance sources the paper measures
+/// ("Weights init" row of Fig. 1); each scheme consumes the dedicated
+/// `weights_init` RNG stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum Init {
+    /// Glorot (Xavier) uniform: `U(−a, a)` with `a = sqrt(6/(fan_in + fan_out))`.
+    /// The paper's CIFAR10-VGG11 and MHC-MLP setups use this scheme.
+    #[default]
+    GlorotUniform,
+    /// He normal: `N(0, sqrt(2/fan_in))`, the standard choice for ReLU nets.
+    HeNormal,
+    /// Plain normal with explicit standard deviation — the BERT-head
+    /// initialization of the paper's Table 3, where `std` is itself a
+    /// hyperparameter.
+    Normal {
+        /// Standard deviation of the weight distribution.
+        std: f64,
+    },
+}
+
+
+impl Init {
+    /// Samples one weight for a layer with the given fan-in/fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in == 0` or `fan_out == 0`.
+    pub fn sample(&self, fan_in: usize, fan_out: usize, rng: &mut Rng) -> f64 {
+        assert!(fan_in > 0 && fan_out > 0, "fan sizes must be > 0");
+        match self {
+            Init::GlorotUniform => {
+                let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+                rng.uniform(-a, a)
+            }
+            Init::HeNormal => rng.normal(0.0, (2.0 / fan_in as f64).sqrt()),
+            Init::Normal { std } => rng.normal(0.0, *std),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_many(init: Init, fan_in: usize, fan_out: usize, n: usize) -> Vec<f64> {
+        let mut rng = Rng::seed_from_u64(1);
+        (0..n).map(|_| init.sample(fan_in, fan_out, &mut rng)).collect()
+    }
+
+    #[test]
+    fn glorot_respects_bounds() {
+        let a = (6.0 / 20.0f64).sqrt();
+        for w in sample_many(Init::GlorotUniform, 10, 10, 10_000) {
+            assert!(w.abs() <= a, "w={w} bound={a}");
+        }
+    }
+
+    #[test]
+    fn glorot_variance_matches_formula() {
+        // Var(U(-a, a)) = a²/3 = 2/(fan_in + fan_out).
+        let ws = sample_many(Init::GlorotUniform, 16, 8, 100_000);
+        let var = ws.iter().map(|w| w * w).sum::<f64>() / ws.len() as f64;
+        let expected = 2.0 / 24.0;
+        assert!((var / expected - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn he_normal_std() {
+        let ws = sample_many(Init::HeNormal, 50, 10, 100_000);
+        let var = ws.iter().map(|w| w * w).sum::<f64>() / ws.len() as f64;
+        assert!((var / (2.0 / 50.0) - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn explicit_normal_std() {
+        let ws = sample_many(Init::Normal { std: 0.2 }, 1, 1, 100_000);
+        let var = ws.iter().map(|w| w * w).sum::<f64>() / ws.len() as f64;
+        assert!((var / 0.04 - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!(
+            Init::GlorotUniform.sample(4, 4, &mut a),
+            Init::GlorotUniform.sample(4, 4, &mut b)
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! From-scratch trainable models with explicitly seeded stochasticity.
+//!
+//! The paper's learning pipelines (VGG11, BERT fine-tuning, FCN, shallow
+//! MLPs) are stochastic processes whose variance sources — weight
+//! initialization, data visit order, dropout masks, data augmentation —
+//! must be *independently seedable* to be studied (paper §2.2 & Appendix A).
+//! The models in this crate are built around that requirement:
+//! [`TrainSeeds`] carries one RNG stream per variance source, and every
+//! training routine consumes exactly those streams, nothing global.
+//!
+//! * [`Mlp`] — multilayer perceptron with ReLU hidden layers, dropout,
+//!   SGD + momentum + weight decay + exponential learning-rate decay
+//!   (mirroring the paper's Table 2 hyperparameter space), and softmax /
+//!   sigmoid-BCE / MSE heads for classification, dense-mask, and regression
+//!   tasks.
+//! * [`linear`] — logistic regression and closed-form ridge regression.
+//! * [`ensemble`] — bagged MLP ensembles (the MHCflurry-style baseline of
+//!   the paper's Table 8).
+//! * [`metrics`] — accuracy, error rate, mean IoU, ROC-AUC, Pearson
+//!   correlation, RMSE/R².
+//!
+//! # Example
+//!
+//! ```
+//! use varbench_data::{synth, augment::Identity};
+//! use varbench_models::{metrics, Mlp, MlpConfig, TrainConfig, TrainSeeds};
+//! use varbench_rng::{Rng, SeedTree};
+//!
+//! let mut data_rng = Rng::seed_from_u64(7);
+//! let ds = synth::binary_overlap(
+//!     &synth::BinaryOverlapConfig { separation: 4.0, ..Default::default() },
+//!     &mut data_rng,
+//! );
+//! let mut seeds = TrainSeeds::from_tree(&SeedTree::new(0));
+//! let mlp = Mlp::train(
+//!     &MlpConfig { hidden: vec![8], ..Default::default() },
+//!     &TrainConfig { epochs: 10, ..Default::default() },
+//!     &ds,
+//!     &Identity,
+//!     &mut seeds,
+//! );
+//! let preds: Vec<usize> = (0..ds.len()).map(|i| mlp.predict_class(ds.x(i))).collect();
+//! let acc = metrics::accuracy(&preds, ds.labels());
+//! assert!(acc > 0.8, "separable task should be learnable: {acc}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ensemble;
+pub mod linear;
+pub mod metrics;
+
+mod init;
+mod mlp;
+
+pub use init::Init;
+pub use mlp::{Head, Mlp, MlpConfig, TrainConfig, TrainSeeds};

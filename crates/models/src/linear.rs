@@ -1,0 +1,237 @@
+//! Linear models: logistic regression and closed-form ridge regression.
+
+use crate::init::Init;
+use crate::mlp::{Mlp, MlpConfig, TrainConfig, TrainSeeds};
+use varbench_data::augment::Identity;
+use varbench_data::Dataset;
+use varbench_linalg::{Cholesky, Matrix};
+
+/// Logistic / softmax regression: an [`Mlp`] with no hidden layers.
+///
+/// Kept as a named type because several baselines in the experiments are
+/// linear (and the distinction matters when reporting — e.g. the NetMHC
+/// comparison of the paper's Table 8 pits shallow nets against each other).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    inner: Mlp,
+}
+
+impl LogisticRegression {
+    /// Trains a (multinomial) logistic regression with SGD.
+    ///
+    /// # Panics
+    ///
+    /// As [`Mlp::train`]; additionally if the dataset targets are not class
+    /// labels.
+    pub fn train(train: &TrainConfig, dataset: &Dataset, seeds: &mut TrainSeeds) -> Self {
+        assert!(
+            matches!(dataset.targets(), varbench_data::Targets::Labels { .. }),
+            "logistic regression requires label targets"
+        );
+        let inner = Mlp::train(
+            &MlpConfig {
+                hidden: vec![],
+                init: Init::GlorotUniform,
+            },
+            train,
+            dataset,
+            &Identity,
+            seeds,
+        );
+        Self { inner }
+    }
+
+    /// Predicted class.
+    pub fn predict_class(&self, x: &[f64]) -> usize {
+        self.inner.predict_class(x)
+    }
+
+    /// Class probabilities.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        self.inner.predict_proba(x)
+    }
+}
+
+/// Ridge regression solved in closed form via Cholesky:
+/// `w = (XᵀX + λI)⁻¹ Xᵀ y` (bias handled by feature augmentation).
+///
+/// # Example
+///
+/// ```
+/// use varbench_data::{Dataset, Targets};
+/// use varbench_models::linear::RidgeRegression;
+///
+/// // y = 2x + 1 exactly.
+/// let xs: Vec<f64> = (0..20).map(|i| i as f64 / 10.0).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+/// let ds = Dataset::new(xs, 1, Targets::Values(ys));
+/// let model = RidgeRegression::fit(&ds, 1e-9);
+/// assert!((model.predict(&[0.5]) - 2.0).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RidgeRegression {
+    /// Weights for each input feature.
+    weights: Vec<f64>,
+    /// Intercept term.
+    bias: f64,
+}
+
+impl RidgeRegression {
+    /// Fits ridge regression with regularization strength `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty, targets are not regression values,
+    /// or `lambda < 0`.
+    pub fn fit(dataset: &Dataset, lambda: f64) -> Self {
+        assert!(!dataset.is_empty(), "cannot fit on empty dataset");
+        assert!(lambda >= 0.0, "lambda must be >= 0");
+        let n = dataset.len();
+        let d = dataset.dim();
+        // Augment with a constant-1 feature for the bias (not regularized
+        // via a tiny lambda difference — for simplicity we regularize it
+        // too, which is standard in many implementations).
+        let da = d + 1;
+        let mut xtx = Matrix::zeros(da, da);
+        let mut xty = vec![0.0; da];
+        let mut xa = vec![0.0; da];
+        for i in 0..n {
+            xa[..d].copy_from_slice(dataset.x(i));
+            xa[d] = 1.0;
+            let y = dataset.value(i);
+            for r in 0..da {
+                for c in r..da {
+                    xtx[(r, c)] += xa[r] * xa[c];
+                }
+                xty[r] += xa[r] * y;
+            }
+        }
+        // Mirror the upper triangle.
+        for r in 0..da {
+            for c in 0..r {
+                xtx[(r, c)] = xtx[(c, r)];
+            }
+        }
+        xtx.add_diagonal(lambda.max(1e-12));
+        let chol = Cholesky::new_with_jitter(&xtx, 1e-10, 12)
+            .expect("ridge normal equations should be SPD with jitter");
+        let w = chol.solve(&xty);
+        Self {
+            weights: w[..d].to_vec(),
+            bias: w[d],
+        }
+    }
+
+    /// Predicts the target for `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimensionality.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "input dimension mismatch");
+        self.bias
+            + self
+                .weights
+                .iter()
+                .zip(x)
+                .map(|(w, xi)| w * xi)
+                .sum::<f64>()
+    }
+
+    /// The fitted weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted intercept.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varbench_data::synth::{self, BinaryOverlapConfig};
+    use varbench_data::Targets;
+    use varbench_rng::{Rng, SeedTree};
+
+    #[test]
+    fn logistic_learns_separable() {
+        let mut rng = Rng::seed_from_u64(1);
+        let ds = synth::binary_overlap(
+            &BinaryOverlapConfig {
+                separation: 5.0,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let mut seeds = TrainSeeds::from_tree(&SeedTree::new(1));
+        let model = LogisticRegression::train(
+            &TrainConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+            &ds,
+            &mut seeds,
+        );
+        let acc = (0..ds.len())
+            .filter(|&i| model.predict_class(ds.x(i)) == ds.label(i))
+            .count() as f64
+            / ds.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+        let p = model.predict_proba(ds.x(0));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_recovers_exact_linear_function() {
+        // y = 3 x0 - 2 x1 + 0.5.
+        let mut rng = Rng::seed_from_u64(2);
+        let mut features = Vec::new();
+        let mut values = Vec::new();
+        for _ in 0..200 {
+            let a = rng.normal(0.0, 1.0);
+            let b = rng.normal(0.0, 1.0);
+            features.push(a);
+            features.push(b);
+            values.push(3.0 * a - 2.0 * b + 0.5);
+        }
+        let ds = Dataset::new(features, 2, Targets::Values(values));
+        let model = RidgeRegression::fit(&ds, 1e-8);
+        assert!((model.weights()[0] - 3.0).abs() < 1e-4);
+        assert!((model.weights()[1] + 2.0).abs() < 1e-4);
+        assert!((model.bias() - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ridge_shrinks_with_lambda() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut features = Vec::new();
+        let mut values = Vec::new();
+        for _ in 0..100 {
+            let a = rng.normal(0.0, 1.0);
+            features.push(a);
+            values.push(2.0 * a + rng.normal(0.0, 0.1));
+        }
+        let ds = Dataset::new(features, 1, Targets::Values(values));
+        let loose = RidgeRegression::fit(&ds, 1e-6);
+        let tight = RidgeRegression::fit(&ds, 1000.0);
+        assert!(tight.weights()[0].abs() < loose.weights()[0].abs());
+        assert!(tight.weights()[0].abs() < 0.5, "strong ridge should shrink");
+    }
+
+    #[test]
+    fn ridge_deterministic() {
+        let ds = Dataset::new(vec![1.0, 2.0, 3.0], 1, Targets::Values(vec![1.0, 2.0, 3.0]));
+        assert_eq!(RidgeRegression::fit(&ds, 0.1), RidgeRegression::fit(&ds, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires label targets")]
+    fn logistic_rejects_regression_targets() {
+        let ds = Dataset::new(vec![1.0], 1, Targets::Values(vec![1.0]));
+        let mut seeds = TrainSeeds::from_tree(&SeedTree::new(4));
+        LogisticRegression::train(&TrainConfig::default(), &ds, &mut seeds);
+    }
+}

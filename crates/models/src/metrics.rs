@@ -1,0 +1,247 @@
+//! Evaluation metrics: the `e` of the paper's empirical risk
+//! `R̂_e(h, S) = (1/|S|) Σ e(h(x), y)`.
+//!
+//! Each case study uses the paper's metric for that task: classification
+//! accuracy (CIFAR10, GLUE), mean IoU (PascalVOC), ROC-AUC and Pearson
+//! correlation (MHC).
+
+pub use varbench_stats::correlation::pearson;
+
+use varbench_stats::correlation::ranks;
+
+/// Classification accuracy: fraction of exact label matches.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(varbench_models::metrics::accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+/// ```
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "accuracy length mismatch");
+    assert!(!pred.is_empty(), "accuracy of empty sample");
+    let hits = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Classification error rate `1 − accuracy`.
+///
+/// # Panics
+///
+/// As [`accuracy`].
+pub fn error_rate(pred: &[usize], truth: &[usize]) -> f64 {
+    1.0 - accuracy(pred, truth)
+}
+
+/// Intersection-over-union of one predicted binary mask against the truth,
+/// averaged over foreground and background (the paper's PascalVOC metric
+/// treats background as a class: "the mean Intersection over Union of the
+/// twenty classes and the background class").
+///
+/// Masks are given as probabilities/indicators; cells are binarized at 0.5.
+/// A class absent from both prediction and truth scores IoU 1 for that
+/// class (nothing to get wrong).
+///
+/// # Panics
+///
+/// Panics if lengths differ or masks are empty.
+pub fn mask_iou(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "mask length mismatch");
+    assert!(!pred.is_empty(), "IoU of empty mask");
+    let mut inter_fg = 0usize;
+    let mut union_fg = 0usize;
+    let mut inter_bg = 0usize;
+    let mut union_bg = 0usize;
+    for (p, t) in pred.iter().zip(truth) {
+        let p = *p > 0.5;
+        let t = *t > 0.5;
+        if p && t {
+            inter_fg += 1;
+        }
+        if p || t {
+            union_fg += 1;
+        }
+        if !p && !t {
+            inter_bg += 1;
+        }
+        if !p || !t {
+            union_bg += 1;
+        }
+    }
+    let iou_fg = if union_fg == 0 { 1.0 } else { inter_fg as f64 / union_fg as f64 };
+    let iou_bg = if union_bg == 0 { 1.0 } else { inter_bg as f64 / union_bg as f64 };
+    (iou_fg + iou_bg) / 2.0
+}
+
+/// Mean IoU over a batch of masks.
+///
+/// # Panics
+///
+/// Panics if the batch is empty or shapes disagree.
+pub fn mean_iou(pred: &[Vec<f64>], truth: &[Vec<f64>]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "batch length mismatch");
+    assert!(!pred.is_empty(), "mean IoU of empty batch");
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| mask_iou(p, t))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Area under the ROC curve via the rank statistic
+/// (`AUC = (R₊ − n₊(n₊+1)/2) / (n₊ n₋)`, midranks for ties).
+///
+/// `labels[i]` is `true` for positives. Returns 0.5 when one class is
+/// absent (no ranking information).
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+///
+/// # Example
+///
+/// ```
+/// use varbench_models::metrics::roc_auc;
+/// // Perfect ranking.
+/// let auc = roc_auc(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]);
+/// assert_eq!(auc, 1.0);
+/// ```
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "roc_auc length mismatch");
+    assert!(!scores.is_empty(), "roc_auc of empty sample");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let r = ranks(scores);
+    let rank_sum_pos: f64 = r
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(rank, _)| rank)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos * n_neg) as f64
+}
+
+/// Root-mean-square error.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "rmse length mismatch");
+    assert!(!pred.is_empty(), "rmse of empty sample");
+    (pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).powi(2))
+        .sum::<f64>()
+        / pred.len() as f64)
+        .sqrt()
+}
+
+/// Coefficient of determination R².
+///
+/// # Panics
+///
+/// Panics if lengths differ, fewer than 2 points, or the truth is constant.
+pub fn r_squared(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "r_squared length mismatch");
+    assert!(pred.len() >= 2, "r_squared requires at least 2 points");
+    let mean_t = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (t - p).powi(2)).sum();
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean_t).powi(2)).sum();
+    assert!(ss_tot > 0.0, "r_squared undefined for constant truth");
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_and_error_complement() {
+        let p = [0, 1, 2, 1];
+        let t = [0, 1, 1, 1];
+        assert_eq!(accuracy(&p, &t), 0.75);
+        assert_eq!(error_rate(&p, &t), 0.25);
+    }
+
+    #[test]
+    fn iou_perfect_and_disjoint() {
+        assert_eq!(mask_iou(&[1.0, 1.0, 0.0], &[1.0, 1.0, 0.0]), 1.0);
+        // Disjoint foregrounds: fg IoU 0; bg IoU = 0/... compute:
+        // pred fg {0}, truth fg {1}: inter_fg=0, union_fg=2 → 0.
+        // bg: pred {1,2}, truth {0,2}: inter={2} (1), union={0,1,2} (3) → 1/3.
+        let iou = mask_iou(&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]);
+        assert!((iou - (0.0 + 1.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_empty_masks_score_one() {
+        assert_eq!(mask_iou(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+        assert_eq!(mask_iou(&[1.0, 1.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn mean_iou_averages() {
+        let pred = vec![vec![1.0, 0.0], vec![0.0, 0.0]];
+        let truth = vec![vec![1.0, 0.0], vec![0.0, 0.0]];
+        assert_eq!(mean_iou(&pred, &truth), 1.0);
+    }
+
+    #[test]
+    fn auc_reference_cases() {
+        // Random ranking → 0.5 on average; here a hand case with one error:
+        // scores: pos 0.9, 0.4; neg 0.6, 0.1 → pairs: (0.9>0.6),(0.9>0.1),
+        // (0.4<0.6),(0.4>0.1) → 3/4.
+        let auc = roc_auc(&[0.9, 0.4, 0.6, 0.1], &[true, true, false, false]);
+        assert!((auc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_with_ties_is_half_credit() {
+        let auc = roc_auc(&[0.5, 0.5], &[true, false]);
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_inverted_ranking_is_zero() {
+        let auc = roc_auc(&[0.1, 0.9], &[true, false]);
+        assert_eq!(auc, 0.0);
+    }
+
+    #[test]
+    fn auc_single_class_degenerate() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn rmse_known() {
+        assert!((rmse(&[1.0, 2.0], &[0.0, 4.0]) - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean_predictor() {
+        let t = [1.0, 2.0, 3.0];
+        assert!((r_squared(&t, &t) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r_squared(&mean_pred, &t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_reexported() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy length mismatch")]
+    fn accuracy_mismatch_panics() {
+        accuracy(&[0], &[0, 1]);
+    }
+}

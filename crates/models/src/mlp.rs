@@ -1,0 +1,834 @@
+//! Multilayer perceptron with explicitly seeded training stochasticity.
+
+use crate::init::Init;
+use varbench_data::augment::Augment;
+use varbench_data::{Dataset, Targets};
+use varbench_rng::{Rng, SeedTree};
+
+/// Output head of an [`Mlp`], selected from the dataset's target kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Head {
+    /// Softmax + cross-entropy over `num_classes` logits (classification).
+    Softmax,
+    /// Independent sigmoid + binary cross-entropy per output (dense masks).
+    SigmoidBce,
+    /// Linear output + squared error (regression).
+    Mse,
+}
+
+/// Architecture of an [`Mlp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden layer widths (empty = linear model).
+    pub hidden: Vec<usize>,
+    /// Weight initialization scheme.
+    pub init: Init,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![32],
+            init: Init::GlorotUniform,
+        }
+    }
+}
+
+/// Optimization hyperparameters — the λ of the paper's Eq. 1, mirroring the
+/// search dimensions of its Tables 2/3/5/6 (learning rate, weight decay,
+/// momentum, exponential LR-decay γ, dropout, init std via [`MlpConfig`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f64,
+    /// L2 weight decay.
+    pub weight_decay: f64,
+    /// Per-epoch exponential learning-rate decay factor (the γ of the
+    /// paper's Table 2 LR schedule).
+    pub lr_gamma: f64,
+    /// Dropout probability on hidden activations (0 disables).
+    pub dropout: f64,
+    /// Standard deviation of synthetic gradient noise, relative to the
+    /// learning-rate-scaled update. Models the paper's "numerical noise"
+    /// source (GPU nondeterminism) which a pure-Rust pipeline does not
+    /// otherwise have; 0 disables (bit-deterministic training).
+    pub grad_noise: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 20,
+            batch_size: 32,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            lr_gamma: 0.99,
+            dropout: 0.0,
+            grad_noise: 0.0,
+        }
+    }
+}
+
+/// One independent RNG stream per training variance source (ξ_O).
+///
+/// This is the paper's Appendix A seeding discipline made structural: each
+/// source can be fixed or randomized independently of the others.
+#[derive(Debug, Clone)]
+pub struct TrainSeeds {
+    /// Weight initialization stream.
+    pub init: Rng,
+    /// Data visit-order (shuffling) stream.
+    pub order: Rng,
+    /// Dropout mask stream.
+    pub dropout: Rng,
+    /// Data augmentation stream.
+    pub augment: Rng,
+    /// Synthetic numerical-noise stream.
+    pub noise: Rng,
+}
+
+impl TrainSeeds {
+    /// Standard labels used when deriving the five streams from a
+    /// [`SeedTree`].
+    pub const LABELS: [&'static str; 5] = [
+        "weights_init",
+        "data_order",
+        "dropout",
+        "data_augment",
+        "numerical_noise",
+    ];
+
+    /// Derives all five streams from a seed tree using the standard labels.
+    pub fn from_tree(tree: &SeedTree) -> Self {
+        Self {
+            init: tree.rng("weights_init"),
+            order: tree.rng("data_order"),
+            dropout: tree.rng("dropout"),
+            augment: tree.rng("data_augment"),
+            noise: tree.rng("numerical_noise"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Dense {
+    w: Vec<f64>, // out_dim × in_dim, row-major
+    b: Vec<f64>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Dense {
+    fn new(in_dim: usize, out_dim: usize, init: Init, rng: &mut Rng) -> Self {
+        let w = (0..in_dim * out_dim)
+            .map(|_| init.sample(in_dim, out_dim, rng))
+            .collect();
+        Self {
+            w,
+            b: vec![0.0; out_dim],
+            in_dim,
+            out_dim,
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut s = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                s += wi * xi;
+            }
+            out.push(s);
+        }
+    }
+}
+
+/// A trained multilayer perceptron.
+///
+/// Construct with [`Mlp::train`]; prediction methods run the network
+/// without dropout. See the crate-level example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    head: Head,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+/// Scratch buffers reused across examples during training.
+struct Workspace {
+    /// Pre-activation and post-activation values per layer.
+    acts: Vec<Vec<f64>>,
+    /// Dropout keep-masks per hidden layer.
+    masks: Vec<Vec<f64>>,
+    /// Backpropagated deltas per layer.
+    deltas: Vec<Vec<f64>>,
+    /// Gradient accumulators (same shapes as weights/biases).
+    gw: Vec<Vec<f64>>,
+    gb: Vec<Vec<f64>>,
+    /// Momentum buffers.
+    vw: Vec<Vec<f64>>,
+    vb: Vec<Vec<f64>>,
+    /// Augmented input copy.
+    x: Vec<f64>,
+}
+
+impl Mlp {
+    /// Trains an MLP on `dataset` with the given architecture, optimizer
+    /// settings, augmentation, and per-source seed streams.
+    ///
+    /// The output head is selected from the dataset's target kind:
+    /// labels → softmax, masks → per-cell sigmoid BCE, values → MSE.
+    ///
+    /// Fully deterministic given `seeds` (when `grad_noise == 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or a config value is out of range
+    /// (e.g. dropout outside `[0, 1)`, non-positive batch size / epochs /
+    /// learning rate).
+    pub fn train(
+        config: &MlpConfig,
+        train: &TrainConfig,
+        dataset: &Dataset,
+        augment: &dyn Augment,
+        seeds: &mut TrainSeeds,
+    ) -> Mlp {
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        assert!(train.epochs > 0, "epochs must be > 0");
+        assert!(train.batch_size > 0, "batch_size must be > 0");
+        assert!(train.learning_rate > 0.0, "learning_rate must be > 0");
+        assert!((0.0..1.0).contains(&train.dropout), "dropout must be in [0,1)");
+        assert!((0.0..=1.0).contains(&train.momentum), "momentum must be in [0,1]");
+        assert!(train.weight_decay >= 0.0, "weight_decay must be >= 0");
+        assert!(train.lr_gamma > 0.0 && train.lr_gamma <= 1.0, "lr_gamma in (0,1]");
+        assert!(train.grad_noise >= 0.0, "grad_noise must be >= 0");
+
+        let (head, out_dim) = match dataset.targets() {
+            Targets::Labels { num_classes, .. } => (Head::Softmax, *num_classes),
+            Targets::Masks { mask_len, .. } => (Head::SigmoidBce, *mask_len),
+            Targets::Values(_) => (Head::Mse, 1),
+        };
+
+        // Build layers.
+        let mut dims = vec![dataset.dim()];
+        dims.extend_from_slice(&config.hidden);
+        dims.push(out_dim);
+        let layers: Vec<Dense> = dims
+            .windows(2)
+            .map(|d| Dense::new(d[0], d[1], config.init, &mut seeds.init))
+            .collect();
+
+        let mut model = Mlp {
+            layers,
+            head,
+            in_dim: dataset.dim(),
+            out_dim,
+        };
+
+        let mut ws = Workspace {
+            acts: dims.iter().map(|&d| Vec::with_capacity(d)).collect(),
+            masks: dims[1..dims.len() - 1].iter().map(|&d| vec![1.0; d]).collect(),
+            deltas: dims.iter().map(|&d| vec![0.0; d]).collect(),
+            gw: model.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+            gb: model.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+            vw: model.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+            vb: model.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+            x: vec![0.0; dataset.dim()],
+        };
+
+        let n = dataset.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut lr = train.learning_rate;
+
+        for _epoch in 0..train.epochs {
+            seeds.order.shuffle(&mut order);
+            for batch in order.chunks(train.batch_size) {
+                model.train_batch(batch, dataset, augment, train, lr, &mut ws, seeds);
+            }
+            lr *= train.lr_gamma;
+        }
+        model
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn train_batch(
+        &mut self,
+        batch: &[usize],
+        dataset: &Dataset,
+        augment: &dyn Augment,
+        train: &TrainConfig,
+        lr: f64,
+        ws: &mut Workspace,
+        seeds: &mut TrainSeeds,
+    ) {
+        for g in ws.gw.iter_mut().chain(ws.gb.iter_mut()) {
+            for v in g.iter_mut() {
+                *v = 0.0;
+            }
+        }
+
+        for &i in batch {
+            // Augmented input.
+            ws.x.copy_from_slice(dataset.x(i));
+            augment.augment(&mut ws.x, &mut seeds.augment);
+
+            // Forward with dropout on hidden activations.
+            ws.acts[0].clear();
+            ws.acts[0].extend_from_slice(&ws.x);
+            for (l, layer) in self.layers.iter().enumerate() {
+                let (lo, hi) = ws.acts.split_at_mut(l + 1);
+                layer.forward(&lo[l], &mut hi[0]);
+                let is_hidden = l < self.layers.len() - 1;
+                if is_hidden {
+                    // ReLU.
+                    for a in hi[0].iter_mut() {
+                        if *a < 0.0 {
+                            *a = 0.0;
+                        }
+                    }
+                    // Inverted dropout.
+                    if train.dropout > 0.0 {
+                        let keep = 1.0 - train.dropout;
+                        for (a, m) in hi[0].iter_mut().zip(ws.masks[l].iter_mut()) {
+                            *m = if seeds.dropout.bernoulli(keep) {
+                                1.0 / keep
+                            } else {
+                                0.0
+                            };
+                            *a *= *m;
+                        }
+                    }
+                }
+            }
+
+            // Output delta = dLoss/dLogits.
+            let last = self.layers.len();
+            let out = &ws.acts[last];
+            let delta_out = &mut ws.deltas[last];
+            match self.head {
+                Head::Softmax => {
+                    softmax_into(out, delta_out);
+                    let y = dataset.label(i);
+                    delta_out[y] -= 1.0;
+                }
+                Head::SigmoidBce => {
+                    let mask = dataset.mask(i);
+                    delta_out.clear();
+                    delta_out.extend(
+                        out.iter()
+                            .zip(mask)
+                            .map(|(z, y)| 1.0 / (1.0 + (-z).exp()) - y),
+                    );
+                }
+                Head::Mse => {
+                    delta_out.clear();
+                    delta_out.push(out[0] - dataset.value(i));
+                }
+            }
+
+            // Backward.
+            for l in (0..self.layers.len()).rev() {
+                let layer = &self.layers[l];
+                // Gradients for layer l: delta[l+1] ⊗ act[l].
+                let (d_lo, d_hi) = ws.deltas.split_at_mut(l + 1);
+                let delta = &d_hi[0];
+                let act = &ws.acts[l];
+                let gw = &mut ws.gw[l];
+                let gb = &mut ws.gb[l];
+                for o in 0..layer.out_dim {
+                    let d = delta[o];
+                    if d != 0.0 {
+                        let row = &mut gw[o * layer.in_dim..(o + 1) * layer.in_dim];
+                        for (g, a) in row.iter_mut().zip(act) {
+                            *g += d * a;
+                        }
+                        gb[o] += d;
+                    }
+                }
+                // Delta for layer below (if any): Wᵀ delta, gated by ReLU'
+                // and the dropout mask.
+                if l > 0 {
+                    let below = &mut d_lo[l];
+                    for v in below.iter_mut() {
+                        *v = 0.0;
+                    }
+                    for o in 0..layer.out_dim {
+                        let d = delta[o];
+                        if d != 0.0 {
+                            let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
+                            for (b, w) in below.iter_mut().zip(row) {
+                                *b += d * w;
+                            }
+                        }
+                    }
+                    let act_below = &ws.acts[l];
+                    let mask = &ws.masks[l - 1];
+                    for (j, b) in below.iter_mut().enumerate() {
+                        // ReLU derivative (post-activation > 0) and dropout
+                        // gate; act_below already includes the mask so a
+                        // dropped unit has activation 0 and passes no grad.
+                        if act_below[j] <= 0.0 {
+                            *b = 0.0;
+                        } else if train.dropout > 0.0 {
+                            *b *= mask[j];
+                        }
+                    }
+                }
+            }
+        }
+
+        // SGD update with momentum, weight decay, and optional noise.
+        let scale = 1.0 / batch.len() as f64;
+        for (l, layer) in self.layers.iter_mut().enumerate() {
+            for (idx, w) in layer.w.iter_mut().enumerate() {
+                let mut g = ws.gw[l][idx] * scale + train.weight_decay * *w;
+                if train.grad_noise > 0.0 {
+                    g += seeds.noise.normal(0.0, train.grad_noise);
+                }
+                let v = train.momentum * ws.vw[l][idx] - lr * g;
+                ws.vw[l][idx] = v;
+                *w += v;
+            }
+            for (idx, b) in layer.b.iter_mut().enumerate() {
+                let mut g = ws.gb[l][idx] * scale;
+                if train.grad_noise > 0.0 {
+                    g += seeds.noise.normal(0.0, train.grad_noise);
+                }
+                let v = train.momentum * ws.vb[l][idx] - lr * g;
+                ws.vb[l][idx] = v;
+                *b += v;
+            }
+        }
+    }
+
+    /// The output head.
+    pub fn head(&self) -> Head {
+        self.head
+    }
+
+    /// L2 norm of all connection weights (biases excluded) — a diagnostic
+    /// for regularization studies.
+    pub fn weight_norm(&self) -> f64 {
+        self.layers
+            .iter()
+            .flat_map(|l| l.w.iter())
+            .map(|w| w * w)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Raw output logits for input `x` (no dropout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    pub fn logits(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for (l, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if l < self.layers.len() - 1 {
+                for a in next.iter_mut() {
+                    if *a < 0.0 {
+                        *a = 0.0;
+                    }
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Predicted class (argmax of logits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not [`Head::Softmax`].
+    pub fn predict_class(&self, x: &[f64]) -> usize {
+        assert_eq!(self.head, Head::Softmax, "predict_class requires a softmax head");
+        let logits = self.logits(x);
+        argmax(&logits)
+    }
+
+    /// Class probabilities (softmax of logits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not [`Head::Softmax`].
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.head, Head::Softmax, "predict_proba requires a softmax head");
+        let logits = self.logits(x);
+        let mut out = Vec::with_capacity(logits.len());
+        softmax_into(&logits, &mut out);
+        out
+    }
+
+    /// Per-cell mask probabilities (sigmoid of logits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not [`Head::SigmoidBce`].
+    pub fn predict_mask(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.head, Head::SigmoidBce, "predict_mask requires a sigmoid head");
+        self.logits(x)
+            .iter()
+            .map(|z| 1.0 / (1.0 + (-z).exp()))
+            .collect()
+    }
+
+    /// Regression prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not [`Head::Mse`].
+    pub fn predict_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(self.head, Head::Mse, "predict_value requires an MSE head");
+        self.logits(x)[0]
+    }
+}
+
+fn softmax_into(logits: &[f64], out: &mut Vec<f64>) {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    out.clear();
+    out.extend(logits.iter().map(|z| (z - max).exp()));
+    let total: f64 = out.iter().sum();
+    for p in out.iter_mut() {
+        *p /= total;
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varbench_data::augment::{GaussianJitter, Identity};
+    use varbench_data::synth::{self, BinaryOverlapConfig, GaussianMixtureConfig};
+
+    fn seeds(root: u64) -> TrainSeeds {
+        TrainSeeds::from_tree(&SeedTree::new(root))
+    }
+
+    fn accuracy_of(mlp: &Mlp, ds: &Dataset) -> f64 {
+        let correct = (0..ds.len())
+            .filter(|&i| mlp.predict_class(ds.x(i)) == ds.label(i))
+            .count();
+        correct as f64 / ds.len() as f64
+    }
+
+    #[test]
+    fn learns_linearly_separable_task() {
+        let mut rng = Rng::seed_from_u64(1);
+        let ds = synth::binary_overlap(
+            &BinaryOverlapConfig {
+                separation: 5.0,
+                n: 400,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let mlp = Mlp::train(
+            &MlpConfig::default(),
+            &TrainConfig {
+                epochs: 15,
+                ..Default::default()
+            },
+            &ds,
+            &Identity,
+            &mut seeds(1),
+        );
+        let acc = accuracy_of(&mlp, &ds);
+        assert!(acc > 0.95, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_xor_with_hidden_layer() {
+        // XOR is not linearly separable; a hidden layer must solve it.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        let mut rng = Rng::seed_from_u64(2);
+        for _ in 0..400 {
+            let a = rng.bernoulli(0.5);
+            let b = rng.bernoulli(0.5);
+            features.push(if a { 1.0 } else { -1.0 } + rng.normal(0.0, 0.1));
+            features.push(if b { 1.0 } else { -1.0 } + rng.normal(0.0, 0.1));
+            labels.push(usize::from(a != b));
+        }
+        let ds = Dataset::new(
+            features,
+            2,
+            Targets::Labels {
+                labels,
+                num_classes: 2,
+            },
+        );
+        let mlp = Mlp::train(
+            &MlpConfig {
+                hidden: vec![16],
+                ..Default::default()
+            },
+            &TrainConfig {
+                epochs: 60,
+                learning_rate: 0.1,
+                ..Default::default()
+            },
+            &ds,
+            &Identity,
+            &mut seeds(2),
+        );
+        let acc = accuracy_of(&mlp, &ds);
+        assert!(acc > 0.95, "XOR accuracy {acc}");
+    }
+
+    #[test]
+    fn multiclass_mixture_learnable() {
+        let mut rng = Rng::seed_from_u64(3);
+        let ds = synth::gaussian_mixture(
+            &GaussianMixtureConfig {
+                num_classes: 5,
+                n_per_class: 80,
+                class_sep: 5.0,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let mlp = Mlp::train(
+            &MlpConfig::default(),
+            &TrainConfig {
+                epochs: 25,
+                ..Default::default()
+            },
+            &ds,
+            &Identity,
+            &mut seeds(3),
+        );
+        let acc = accuracy_of(&mlp, &ds);
+        assert!(acc > 0.9, "5-class accuracy {acc}");
+    }
+
+    #[test]
+    fn regression_fits_values() {
+        let mut rng = Rng::seed_from_u64(4);
+        // y = sigmoid(2 x0): smooth monotone target.
+        let mut features = Vec::new();
+        let mut values = Vec::new();
+        for _ in 0..500 {
+            let x = rng.normal(0.0, 1.0);
+            features.push(x);
+            values.push(1.0 / (1.0 + (-2.0 * x).exp()));
+        }
+        let ds = Dataset::new(features, 1, Targets::Values(values));
+        let mlp = Mlp::train(
+            &MlpConfig {
+                hidden: vec![16],
+                ..Default::default()
+            },
+            &TrainConfig {
+                epochs: 60,
+                learning_rate: 0.1,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+            &ds,
+            &Identity,
+            &mut seeds(4),
+        );
+        let mse: f64 = (0..ds.len())
+            .map(|i| (mlp.predict_value(ds.x(i)) - ds.value(i)).powi(2))
+            .sum::<f64>()
+            / ds.len() as f64;
+        assert!(mse < 0.01, "regression MSE {mse}");
+    }
+
+    #[test]
+    fn mask_head_learns_latent_structure() {
+        let mut rng = Rng::seed_from_u64(5);
+        let ds = synth::mask_task(
+            &synth::MaskTaskConfig {
+                n: 400,
+                feature_noise: 0.2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let mlp = Mlp::train(
+            &MlpConfig {
+                hidden: vec![48],
+                ..Default::default()
+            },
+            &TrainConfig {
+                epochs: 60,
+                learning_rate: 0.02,
+                weight_decay: 1e-5,
+                ..Default::default()
+            },
+            &ds,
+            &Identity,
+            &mut seeds(5),
+        );
+        // Per-cell accuracy must clearly beat chance.
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for i in 0..ds.len() {
+            let pred = mlp.predict_mask(ds.x(i));
+            for (p, y) in pred.iter().zip(ds.mask(i)) {
+                if (*p > 0.5) == (*y > 0.5) {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.75, "mask cell accuracy {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seeds() {
+        let mut rng = Rng::seed_from_u64(6);
+        let ds = synth::binary_overlap(&BinaryOverlapConfig::default(), &mut rng);
+        let cfg = MlpConfig::default();
+        let tc = TrainConfig {
+            epochs: 3,
+            dropout: 0.2,
+            ..Default::default()
+        };
+        let a = Mlp::train(&cfg, &tc, &ds, &GaussianJitter::new(0.05), &mut seeds(7));
+        let b = Mlp::train(&cfg, &tc, &ds, &GaussianJitter::new(0.05), &mut seeds(7));
+        assert_eq!(a, b, "same seeds must give bit-identical models");
+    }
+
+    #[test]
+    fn each_seed_stream_changes_the_outcome() {
+        let mut rng = Rng::seed_from_u64(8);
+        let ds = synth::binary_overlap(&BinaryOverlapConfig::default(), &mut rng);
+        let cfg = MlpConfig::default();
+        let tc = TrainConfig {
+            epochs: 3,
+            dropout: 0.2,
+            ..Default::default()
+        };
+        let base = Mlp::train(&cfg, &tc, &ds, &GaussianJitter::new(0.05), &mut seeds(9));
+        // Vary exactly one stream at a time.
+        for (label, which) in [("init", 0), ("order", 1), ("dropout", 2), ("augment", 3)] {
+            let tree = SeedTree::new(9);
+            let other = SeedTree::new(10_000);
+            let mut s = TrainSeeds::from_tree(&tree);
+            match which {
+                0 => s.init = other.rng("weights_init"),
+                1 => s.order = other.rng("data_order"),
+                2 => s.dropout = other.rng("dropout"),
+                3 => s.augment = other.rng("data_augment"),
+                _ => unreachable!(),
+            }
+            let variant = Mlp::train(&cfg, &tc, &ds, &GaussianJitter::new(0.05), &mut s);
+            assert_ne!(base, variant, "varying the {label} seed must change the model");
+        }
+    }
+
+    #[test]
+    fn grad_noise_breaks_determinism_across_noise_seeds() {
+        let mut rng = Rng::seed_from_u64(11);
+        let ds = synth::binary_overlap(&BinaryOverlapConfig::default(), &mut rng);
+        let tc = TrainConfig {
+            epochs: 2,
+            grad_noise: 1e-4,
+            ..Default::default()
+        };
+        let base = Mlp::train(&MlpConfig::default(), &tc, &ds, &Identity, &mut seeds(12));
+        let mut s = seeds(12);
+        s.noise = SeedTree::new(999).rng("numerical_noise");
+        let variant = Mlp::train(&MlpConfig::default(), &tc, &ds, &Identity, &mut s);
+        assert_ne!(base, variant);
+    }
+
+    #[test]
+    fn linear_model_with_empty_hidden() {
+        let mut rng = Rng::seed_from_u64(13);
+        let ds = synth::binary_overlap(
+            &BinaryOverlapConfig {
+                separation: 4.0,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let mlp = Mlp::train(
+            &MlpConfig {
+                hidden: vec![],
+                ..Default::default()
+            },
+            &TrainConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+            &ds,
+            &Identity,
+            &mut seeds(14),
+        );
+        assert!(accuracy_of(&mlp, &ds) > 0.9);
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let mut rng = Rng::seed_from_u64(15);
+        let ds = synth::gaussian_mixture(&GaussianMixtureConfig::default(), &mut rng);
+        let mlp = Mlp::train(
+            &MlpConfig::default(),
+            &TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            &ds,
+            &Identity,
+            &mut seeds(16),
+        );
+        let p = mlp.predict_proba(ds.x(0));
+        assert_eq!(p.len(), 10);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout must be in [0,1)")]
+    fn invalid_dropout_rejected() {
+        let mut rng = Rng::seed_from_u64(17);
+        let ds = synth::binary_overlap(&BinaryOverlapConfig::default(), &mut rng);
+        Mlp::train(
+            &MlpConfig::default(),
+            &TrainConfig {
+                dropout: 1.0,
+                ..Default::default()
+            },
+            &ds,
+            &Identity,
+            &mut seeds(18),
+        );
+    }
+}

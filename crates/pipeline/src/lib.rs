@@ -1,0 +1,49 @@
+//! An executable model of the complete ML benchmarking process.
+//!
+//! This crate turns Section 2.1 of *Accounting for Variance in Machine
+//! Learning Benchmarks* into running code:
+//!
+//! * [`VarianceSource`] enumerates the paper's ξ = ξ_O ∪ ξ_H sources
+//!   (data split, data order, augmentation, weight init, dropout, numerical
+//!   noise, hyperparameter optimization), and [`SeedAssignment`] gives each
+//!   one an independent seed that can be held fixed or randomized — the
+//!   paper's §2.2 experimental design;
+//! * [`CaseStudy`] packages a complete learning pipeline — data pool,
+//!   out-of-bootstrap splitting, model architecture, training procedure
+//!   `Opt(S_t, λ; ξ_O)`, search space, and metric — for each of the five
+//!   paper tasks (see `DESIGN.md` for the substitution table);
+//! * [`HpoAlgorithm`] + [`CaseStudy::hopt`] implement `HOpt(S_tv; ξ_O,
+//!   ξ_H)` (Eq. 2) with random search, noisy grid search, or Bayesian
+//!   optimization;
+//! * [`CaseStudy::run_pipeline`] is the complete pipeline `P(S_tv)` of
+//!   Eq. 3: tune, retrain on train+valid, measure on the held-out test set.
+//!
+//! # Example
+//!
+//! ```
+//! use varbench_pipeline::{CaseStudy, Scale, SeedAssignment, VarianceSource};
+//!
+//! let cs = CaseStudy::glue_rte_bert(Scale::Test);
+//! let seeds = SeedAssignment::all_fixed(1);
+//! // Train with default hyperparameters and measure test accuracy.
+//! let perf = cs.run_with_params(&cs.default_params().to_vec(), &seeds);
+//! assert!(perf > 0.4 && perf <= 1.0);
+//!
+//! // Vary ONLY the weight-initialization seed: performance fluctuates.
+//! let varied = seeds.with_varied(VarianceSource::WeightsInit, 999);
+//! let perf2 = cs.run_with_params(&cs.default_params().to_vec(), &varied);
+//! assert_ne!(perf, perf2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod case_study;
+mod hopt;
+mod measure;
+mod variance;
+
+pub use case_study::{CaseStudy, Scale, SplitSpec};
+pub use hopt::{HpoAlgorithm, PipelineResult};
+pub use measure::MetricKind;
+pub use variance::{SeedAssignment, VarianceSource};

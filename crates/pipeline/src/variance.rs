@@ -1,0 +1,251 @@
+//! Variance sources and per-source seed assignments.
+
+use varbench_models::TrainSeeds;
+use varbench_rng::SeedTree;
+
+/// A source of uncontrolled variation in a learning pipeline — the ξ of
+/// the paper's Section 2.1, split into the training-procedure sources ξ_O
+/// and the hyperparameter-optimization source ξ_H.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VarianceSource {
+    /// Bootstrap sampling of the train/valid/test split (ξ_O; the paper's
+    /// "Data (bootstrap)", its largest source).
+    DataSplit,
+    /// Stochastic data augmentation (ξ_O).
+    DataAugment,
+    /// Weight initialization (ξ_O; the source most commonly randomized in
+    /// the literature).
+    WeightsInit,
+    /// Data visit order in SGD (ξ_O).
+    DataOrder,
+    /// Dropout masks (ξ_O).
+    Dropout,
+    /// Residual numerical noise — GPU nondeterminism in the paper,
+    /// synthetic gradient noise here (ξ_O).
+    NumericalNoise,
+    /// The whole hyperparameter-optimization procedure (ξ_H).
+    HyperOpt,
+}
+
+impl VarianceSource {
+    /// All sources, ξ_O then ξ_H.
+    pub const ALL: [VarianceSource; 7] = [
+        VarianceSource::DataSplit,
+        VarianceSource::DataAugment,
+        VarianceSource::WeightsInit,
+        VarianceSource::DataOrder,
+        VarianceSource::Dropout,
+        VarianceSource::NumericalNoise,
+        VarianceSource::HyperOpt,
+    ];
+
+    /// The training-procedure sources ξ_O.
+    pub const XI_O: [VarianceSource; 6] = [
+        VarianceSource::DataSplit,
+        VarianceSource::DataAugment,
+        VarianceSource::WeightsInit,
+        VarianceSource::DataOrder,
+        VarianceSource::Dropout,
+        VarianceSource::NumericalNoise,
+    ];
+
+    /// Stable label used for seed derivation and reporting.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VarianceSource::DataSplit => "data_split",
+            VarianceSource::DataAugment => "data_augment",
+            VarianceSource::WeightsInit => "weights_init",
+            VarianceSource::DataOrder => "data_order",
+            VarianceSource::Dropout => "dropout",
+            VarianceSource::NumericalNoise => "numerical_noise",
+            VarianceSource::HyperOpt => "hyperopt",
+        }
+    }
+
+    /// Human-readable name matching the paper's Fig. 1 rows.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            VarianceSource::DataSplit => "Data (bootstrap)",
+            VarianceSource::DataAugment => "Data augment",
+            VarianceSource::WeightsInit => "Weights init",
+            VarianceSource::DataOrder => "Data order",
+            VarianceSource::Dropout => "Dropout",
+            VarianceSource::NumericalNoise => "Numerical noise",
+            VarianceSource::HyperOpt => "HyperOpt",
+        }
+    }
+
+    /// Whether this source belongs to ξ_H (hyperparameter optimization).
+    pub fn is_hyperopt(&self) -> bool {
+        matches!(self, VarianceSource::HyperOpt)
+    }
+
+    fn index(&self) -> usize {
+        Self::ALL.iter().position(|s| s == self).expect("source in ALL")
+    }
+}
+
+impl std::fmt::Display for VarianceSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+/// An assignment of one seed to every [`VarianceSource`].
+///
+/// The experimental designs of the paper are all expressible as operations
+/// on seed assignments:
+///
+/// * *measure one source's variance* — fix a base assignment, then
+///   [`SeedAssignment::with_varied`] over that source only (Fig. 1);
+/// * *ideal estimator* — randomize everything per sample
+///   ([`SeedAssignment::all_random`], Algorithm 1);
+/// * *biased estimator* — randomize a ξ_O subset, keep `HyperOpt` fixed
+///   (Algorithm 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeedAssignment {
+    seeds: [u64; 7],
+}
+
+impl SeedAssignment {
+    /// Derives a fully *fixed* assignment: every source gets a
+    /// deterministic seed from `base`.
+    pub fn all_fixed(base: u64) -> Self {
+        let tree = SeedTree::new(base);
+        let mut seeds = [0u64; 7];
+        for (i, s) in VarianceSource::ALL.iter().enumerate() {
+            seeds[i] = tree.seed(s.label()).0;
+        }
+        Self { seeds }
+    }
+
+    /// Derives the `index`-th fully *random* assignment rooted at `base`:
+    /// all sources (ξ_O and ξ_H) vary with `index`.
+    pub fn all_random(base: u64, index: u64) -> Self {
+        let tree = SeedTree::new(base).subtree_indexed("sample", index);
+        let mut seeds = [0u64; 7];
+        for (i, s) in VarianceSource::ALL.iter().enumerate() {
+            seeds[i] = tree.seed(s.label()).0;
+        }
+        Self { seeds }
+    }
+
+    /// Returns a copy with `source` re-seeded by `variation` (all other
+    /// sources unchanged).
+    pub fn with_varied(&self, source: VarianceSource, variation: u64) -> Self {
+        let mut out = *self;
+        out.seeds[source.index()] = SeedTree::new(variation)
+            .seed(source.label())
+            .0;
+        out
+    }
+
+    /// Returns a copy with every source in `sources` re-seeded by
+    /// `variation`.
+    pub fn with_varied_set(&self, sources: &[VarianceSource], variation: u64) -> Self {
+        let mut out = *self;
+        for s in sources {
+            out = out.with_varied(*s, variation ^ (0x9E37 + s.index() as u64));
+        }
+        out
+    }
+
+    /// The seed assigned to `source`.
+    pub fn seed_of(&self, source: VarianceSource) -> u64 {
+        self.seeds[source.index()]
+    }
+
+    /// Builds the per-stream training seeds consumed by
+    /// [`varbench_models::Mlp::train`].
+    pub fn train_seeds(&self) -> TrainSeeds {
+        use varbench_rng::Rng;
+        TrainSeeds {
+            init: Rng::seed_from_u64(self.seed_of(VarianceSource::WeightsInit)),
+            order: Rng::seed_from_u64(self.seed_of(VarianceSource::DataOrder)),
+            dropout: Rng::seed_from_u64(self.seed_of(VarianceSource::Dropout)),
+            augment: Rng::seed_from_u64(self.seed_of(VarianceSource::DataAugment)),
+            noise: Rng::seed_from_u64(self.seed_of(VarianceSource::NumericalNoise)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sources_enumerated_once() {
+        assert_eq!(VarianceSource::ALL.len(), 7);
+        assert_eq!(VarianceSource::XI_O.len(), 6);
+        let mut labels: Vec<&str> = VarianceSource::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 7, "labels must be unique");
+        assert!(VarianceSource::HyperOpt.is_hyperopt());
+        assert!(!VarianceSource::DataSplit.is_hyperopt());
+    }
+
+    #[test]
+    fn fixed_assignment_is_deterministic() {
+        assert_eq!(SeedAssignment::all_fixed(1), SeedAssignment::all_fixed(1));
+        assert_ne!(SeedAssignment::all_fixed(1), SeedAssignment::all_fixed(2));
+    }
+
+    #[test]
+    fn with_varied_changes_exactly_one_source() {
+        let base = SeedAssignment::all_fixed(1);
+        let varied = base.with_varied(VarianceSource::WeightsInit, 77);
+        for s in VarianceSource::ALL {
+            if s == VarianceSource::WeightsInit {
+                assert_ne!(base.seed_of(s), varied.seed_of(s));
+            } else {
+                assert_eq!(base.seed_of(s), varied.seed_of(s));
+            }
+        }
+    }
+
+    #[test]
+    fn varied_seeds_differ_across_variations() {
+        let base = SeedAssignment::all_fixed(1);
+        let a = base.with_varied(VarianceSource::Dropout, 1);
+        let b = base.with_varied(VarianceSource::Dropout, 2);
+        assert_ne!(a.seed_of(VarianceSource::Dropout), b.seed_of(VarianceSource::Dropout));
+    }
+
+    #[test]
+    fn all_random_varies_everything() {
+        let a = SeedAssignment::all_random(1, 0);
+        let b = SeedAssignment::all_random(1, 1);
+        for s in VarianceSource::ALL {
+            assert_ne!(a.seed_of(s), b.seed_of(s), "{s} should vary");
+        }
+    }
+
+    #[test]
+    fn varied_set_changes_selected_sources() {
+        let base = SeedAssignment::all_fixed(3);
+        let varied = base.with_varied_set(&VarianceSource::XI_O, 9);
+        for s in VarianceSource::XI_O {
+            assert_ne!(base.seed_of(s), varied.seed_of(s), "{s}");
+        }
+        assert_eq!(
+            base.seed_of(VarianceSource::HyperOpt),
+            varied.seed_of(VarianceSource::HyperOpt)
+        );
+    }
+
+    #[test]
+    fn train_seeds_derivation_is_stable() {
+        let a = SeedAssignment::all_fixed(5).train_seeds();
+        let b = SeedAssignment::all_fixed(5).train_seeds();
+        let mut ra = a.init.clone();
+        let mut rb = b.init.clone();
+        assert_eq!(ra.next_u64(), rb.next_u64());
+    }
+
+    #[test]
+    fn display_matches_paper_rows() {
+        assert_eq!(VarianceSource::DataSplit.to_string(), "Data (bootstrap)");
+        assert_eq!(VarianceSource::WeightsInit.to_string(), "Weights init");
+    }
+}

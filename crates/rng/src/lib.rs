@@ -1,0 +1,53 @@
+//! Deterministic, seedable random-number substrate for variance-aware
+//! benchmarking.
+//!
+//! The paper this workspace reproduces ("Accounting for Variance in Machine
+//! Learning Benchmarks", Bouthillier et al., MLSys 2021) spends its Appendix A
+//! on the difficulty of *seeding every source of variation independently* in
+//! existing ML frameworks: PyTorch exposed one global RNG, RoBO none at all.
+//! This crate makes that discipline structural instead of incidental:
+//!
+//! * [`Rng`] is a small, fast, fully deterministic generator
+//!   (xoshiro256++) with the sampling routines benchmarking needs
+//!   (uniform, log-uniform, normal, Bernoulli, binomial, categorical,
+//!   shuffling, bootstrap resampling).
+//! * [`SeedTree`] derives *named, independent* seed streams from a single
+//!   root seed, so "the weight-initialization seed" and "the data-order seed"
+//!   are distinct objects that can be held fixed or randomized independently —
+//!   exactly the experimental design of the paper's Section 2.2.
+//!
+//! # Example
+//!
+//! ```
+//! use varbench_rng::SeedTree;
+//!
+//! let tree = SeedTree::new(42);
+//! let mut init_rng = tree.rng("weights_init");
+//! let mut order_rng = tree.rng("data_order");
+//!
+//! // Independent streams: same root, different labels.
+//! let w = init_rng.standard_normal();
+//! let mut idx: Vec<usize> = (0..10).collect();
+//! order_rng.shuffle(&mut idx);
+//!
+//! // Fully reproducible: rebuilding the tree replays the same streams.
+//! let mut replay = SeedTree::new(42).rng("weights_init");
+//! assert_eq!(w, replay.standard_normal());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod rng;
+mod sampling;
+mod seed_tree;
+mod splitmix;
+mod xoshiro;
+
+pub use rng::Rng;
+pub use sampling::{
+    bootstrap_indices, oob_complement, stratified_bootstrap_indices, stratified_oob_indices,
+};
+pub use seed_tree::{Seed, SeedTree};
+pub use splitmix::SplitMix64;
+pub use xoshiro::Xoshiro256PlusPlus;

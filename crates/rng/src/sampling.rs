@@ -1,0 +1,198 @@
+//! Bootstrap resampling primitives.
+//!
+//! The paper probes data-sampling variance by "bootstrapping to generate
+//! training sets and measuring the out-of-bootstrap error" (Appendix B),
+//! with a *stratified* variant for CIFAR10 that preserves class balance
+//! (Appendix D.1). These functions produce the index sets; dataset-level
+//! assembly lives in `varbench-data`.
+
+use crate::rng::Rng;
+
+/// Draws `k` indices from `0..n` with replacement (one bootstrap replicate).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use varbench_rng::{bootstrap_indices, Rng};
+/// let mut rng = Rng::seed_from_u64(1);
+/// let idx = bootstrap_indices(&mut rng, 100, 100);
+/// assert_eq!(idx.len(), 100);
+/// assert!(idx.iter().all(|&i| i < 100));
+/// ```
+pub fn bootstrap_indices(rng: &mut Rng, n: usize, k: usize) -> Vec<usize> {
+    assert!(n > 0, "bootstrap over an empty population");
+    (0..k).map(|_| rng.range_usize(n)).collect()
+}
+
+/// Draws a stratified bootstrap: for each class, `per_class` indices sampled
+/// with replacement from that class's members.
+///
+/// `labels[i]` is the class of element `i`; classes are `0..num_classes`.
+/// The result preserves exact class balance, as in the paper's CIFAR10
+/// protocol ("for each class separately, we sampled with replacement 4,000
+/// training samples...").
+///
+/// # Panics
+///
+/// Panics if any class in `0..num_classes` has no members, or if a label is
+/// out of range.
+pub fn stratified_bootstrap_indices(
+    rng: &mut Rng,
+    labels: &[usize],
+    num_classes: usize,
+    per_class: usize,
+) -> Vec<usize> {
+    let buckets = class_buckets(labels, num_classes);
+    let mut out = Vec::with_capacity(num_classes * per_class);
+    for (c, members) in buckets.iter().enumerate() {
+        assert!(!members.is_empty(), "class {c} has no members");
+        for _ in 0..per_class {
+            out.push(members[rng.range_usize(members.len())]);
+        }
+    }
+    out
+}
+
+/// Returns the out-of-bootstrap complement: all indices of `0..n` that do
+/// not appear in `in_bag`.
+///
+/// For a bootstrap of size `n` drawn from `n` items, the expected
+/// out-of-bag fraction is `1/e ≈ 0.368`.
+pub fn oob_complement(n: usize, in_bag: &[usize]) -> Vec<usize> {
+    let mut seen = vec![false; n];
+    for &i in in_bag {
+        assert!(i < n, "in-bag index {i} out of range 0..{n}");
+        seen[i] = true;
+    }
+    (0..n).filter(|&i| !seen[i]).collect()
+}
+
+/// Stratified out-of-bootstrap sampling: from the out-of-bag members of each
+/// class, draws `per_class` indices *with replacement* (so the request can
+/// always be satisfied), mirroring the paper's construction of balanced
+/// validation and test sets from the bootstrap complement.
+///
+/// # Panics
+///
+/// Panics if some class has no out-of-bag member (probability ~(1-1/e)^m,
+/// negligible for the class sizes used here) or a label is out of range.
+pub fn stratified_oob_indices(
+    rng: &mut Rng,
+    labels: &[usize],
+    num_classes: usize,
+    in_bag: &[usize],
+    per_class: usize,
+) -> Vec<usize> {
+    let oob = oob_complement(labels.len(), in_bag);
+    let oob_labels: Vec<usize> = oob.iter().map(|&i| labels[i]).collect();
+    let buckets = class_buckets(&oob_labels, num_classes);
+    let mut out = Vec::with_capacity(num_classes * per_class);
+    for (c, members) in buckets.iter().enumerate() {
+        assert!(!members.is_empty(), "class {c} has no out-of-bag members");
+        for _ in 0..per_class {
+            out.push(oob[members[rng.range_usize(members.len())]]);
+        }
+    }
+    out
+}
+
+fn class_buckets(labels: &[usize], num_classes: usize) -> Vec<Vec<usize>> {
+    let mut buckets = vec![Vec::new(); num_classes];
+    for (i, &c) in labels.iter().enumerate() {
+        assert!(c < num_classes, "label {c} out of range 0..{num_classes}");
+        buckets[c].push(i);
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_len_and_range() {
+        let mut rng = Rng::seed_from_u64(1);
+        let idx = bootstrap_indices(&mut rng, 50, 75);
+        assert_eq!(idx.len(), 75);
+        assert!(idx.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn bootstrap_has_repeats_whp() {
+        let mut rng = Rng::seed_from_u64(2);
+        let idx = bootstrap_indices(&mut rng, 100, 100);
+        let mut u = idx.clone();
+        u.sort_unstable();
+        u.dedup();
+        // P(no repeats) = 100!/100^100, effectively zero.
+        assert!(u.len() < 100);
+    }
+
+    #[test]
+    fn oob_fraction_near_one_over_e() {
+        let mut rng = Rng::seed_from_u64(3);
+        let n = 10_000;
+        let in_bag = bootstrap_indices(&mut rng, n, n);
+        let oob = oob_complement(n, &in_bag);
+        let frac = oob.len() as f64 / n as f64;
+        assert!((frac - 0.368).abs() < 0.02, "oob fraction {frac}");
+    }
+
+    #[test]
+    fn oob_disjoint_from_in_bag() {
+        let mut rng = Rng::seed_from_u64(4);
+        let in_bag = bootstrap_indices(&mut rng, 200, 200);
+        let oob = oob_complement(200, &in_bag);
+        for i in &oob {
+            assert!(!in_bag.contains(i));
+        }
+    }
+
+    #[test]
+    fn stratified_bootstrap_balances_classes() {
+        let mut rng = Rng::seed_from_u64(5);
+        // 3 classes with unbalanced populations.
+        let labels: Vec<usize> = (0..300)
+            .map(|i| if i < 200 { 0 } else if i < 280 { 1 } else { 2 })
+            .collect();
+        let idx = stratified_bootstrap_indices(&mut rng, &labels, 3, 40);
+        assert_eq!(idx.len(), 120);
+        let mut counts = [0usize; 3];
+        for &i in &idx {
+            counts[labels[i]] += 1;
+        }
+        assert_eq!(counts, [40, 40, 40]);
+    }
+
+    #[test]
+    fn stratified_oob_balances_and_avoids_bag() {
+        let mut rng = Rng::seed_from_u64(6);
+        let labels: Vec<usize> = (0..1000).map(|i| i % 10).collect();
+        let in_bag = stratified_bootstrap_indices(&mut rng, &labels, 10, 80);
+        let test = stratified_oob_indices(&mut rng, &labels, 10, &in_bag, 20);
+        assert_eq!(test.len(), 200);
+        let mut counts = [0usize; 10];
+        for &i in &test {
+            counts[labels[i]] += 1;
+            assert!(!in_bag.contains(&i), "test index {i} leaked from train");
+        }
+        assert!(counts.iter().all(|&c| c == 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "bootstrap over an empty population")]
+    fn empty_population_panics() {
+        let mut rng = Rng::seed_from_u64(7);
+        bootstrap_indices(&mut rng, 0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_in_bag_index_panics() {
+        oob_complement(5, &[7]);
+    }
+}

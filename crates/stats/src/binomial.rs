@@ -1,0 +1,212 @@
+//! The binomial distribution and the paper's test-set sampling-noise model.
+
+use crate::special::{beta_inc, ln_gamma};
+
+/// A binomial distribution: number of successes in `n` trials of
+/// probability `p`.
+///
+/// Fig. 2 of the paper models the variance of a measured accuracy as
+/// binomial: if a pipeline errs with probability `τ` independently on each
+/// of `n′` test examples, the observed accuracy has standard deviation
+/// `sqrt(τ(1−τ)/n′)` — see [`Binomial::accuracy_std`]. The paper shows this
+/// simple model matches the empirically bootstrapped data-sampling variance.
+///
+/// # Example
+///
+/// ```
+/// use varbench_stats::Binomial;
+/// // Glue-RTE: accuracy 0.66 measured on 277 examples.
+/// let sd = Binomial::accuracy_std(277, 0.66);
+/// assert!((sd - 0.02846).abs() < 1e-4); // ~2.8 % accuracy points
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        Self { n, p }
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `np`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `np(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Probability mass function `P(X = k)`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 1.0 } else { 0.0 };
+        }
+        let n = self.n as f64;
+        let k = k as f64;
+        let ln_coef = ln_gamma(n + 1.0) - ln_gamma(k + 1.0) - ln_gamma(n - k + 1.0);
+        (ln_coef + k * self.p.ln() + (n - k) * (1.0 - self.p).ln()).exp()
+    }
+
+    /// Cumulative distribution function `P(X ≤ k)`.
+    ///
+    /// Uses the incomplete-beta identity
+    /// `P(X ≤ k) = I_{1−p}(n−k, k+1)`, exact to special-function precision.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0; // k < n and all mass at n
+        }
+        let n = self.n as f64;
+        let kf = k as f64;
+        beta_inc(n - kf, kf + 1.0, 1.0 - self.p)
+    }
+
+    /// Standard deviation of an *accuracy* measured on `n` i.i.d. test
+    /// examples when the true accuracy is `tau`.
+    ///
+    /// This is the theoretical curve of the paper's Fig. 2:
+    /// `σ(acc) = sqrt(τ(1−τ)/n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `tau` outside `[0, 1]`.
+    pub fn accuracy_std(n: u64, tau: f64) -> f64 {
+        assert!(n > 0, "test set must be non-empty");
+        assert!((0.0..=1.0).contains(&tau), "tau must be in [0,1]");
+        (tau * (1.0 - tau) / n as f64).sqrt()
+    }
+
+    /// Effective degrees of freedom for correlated errors.
+    ///
+    /// The paper notes that when test-set errors are correlated (not
+    /// i.i.d.), "the degrees of freedom are smaller and the distribution is
+    /// wider". With average pairwise error correlation `rho`, the effective
+    /// sample size is `n / (1 + (n−1)ρ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is outside `[0, 1]`.
+    pub fn effective_test_size(n: u64, rho: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&rho), "rho must be in [0,1]");
+        n as f64 / (1.0 + (n as f64 - 1.0) * rho)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments() {
+        let b = Binomial::new(100, 0.3);
+        assert!((b.mean() - 30.0).abs() < 1e-12);
+        assert!((b.variance() - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let b = Binomial::new(30, 0.37);
+        let total: f64 = (0..=30).map(|k| b.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12, "total {total}");
+    }
+
+    #[test]
+    fn pmf_known_values() {
+        // X ~ Bin(4, 0.5): P(X=2) = 6/16.
+        let b = Binomial::new(4, 0.5);
+        assert!((b.pmf(2) - 0.375).abs() < 1e-13);
+        assert!((b.pmf(0) - 0.0625).abs() < 1e-13);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_sum() {
+        let b = Binomial::new(25, 0.66);
+        let mut acc = 0.0;
+        for k in 0..=25 {
+            acc += b.pmf(k);
+            assert!((b.cdf(k) - acc).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn cdf_extremes() {
+        let b = Binomial::new(10, 0.4);
+        assert_eq!(b.cdf(10), 1.0);
+        assert!(b.cdf(0) > 0.0);
+        let degenerate = Binomial::new(10, 0.0);
+        assert_eq!(degenerate.cdf(0), 1.0);
+    }
+
+    #[test]
+    fn accuracy_std_matches_paper_cases() {
+        // Fig. 2 case studies: σ at the empirical test sizes.
+        // CIFAR10: τ=0.91, n'=10000 → ~0.286% accuracy.
+        let cifar = Binomial::accuracy_std(10_000, 0.91);
+        assert!((cifar - 0.00286).abs() < 5e-5, "{cifar}");
+        // SST2: τ=0.95, n'=872 → ~0.74%.
+        let sst2 = Binomial::accuracy_std(872, 0.95);
+        assert!((sst2 - 0.00738).abs() < 5e-5, "{sst2}");
+        // RTE: τ=0.66, n'=277 → ~2.85%.
+        let rte = Binomial::accuracy_std(277, 0.66);
+        assert!((rte - 0.02846).abs() < 5e-5, "{rte}");
+    }
+
+    #[test]
+    fn accuracy_std_decreases_with_n() {
+        let s1 = Binomial::accuracy_std(100, 0.8);
+        let s2 = Binomial::accuracy_std(10_000, 0.8);
+        assert!(s2 < s1);
+        // 100x more data → 10x smaller std.
+        assert!((s1 / s2 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_test_size_shrinks_with_correlation() {
+        assert_eq!(Binomial::effective_test_size(1000, 0.0), 1000.0);
+        let eff = Binomial::effective_test_size(1000, 0.01);
+        assert!(eff < 100.0, "correlation should slash effective size: {eff}");
+        assert!((Binomial::effective_test_size(1000, 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1]")]
+    fn invalid_p_rejected() {
+        Binomial::new(10, -0.1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Correlation measures, including the average pairwise correlation ρ that
+//! governs the variance of the paper's biased estimator (Eq. 7):
+//!
+//! `Var(µ̃(k) | ξ) = Var(R̂|ξ)/k + (k−1)/k · ρ · Var(R̂|ξ)`
+//!
+//! Fig. H.5 shows that randomizing more variance sources lowers ρ, which is
+//! *why* `FixHOptEst(k, All)` beats `FixHOptEst(k, Init)`.
+
+use crate::describe::mean;
+
+/// Pearson product-moment correlation between `x` and `y`.
+///
+/// Returns 0 when either sample is constant (degenerate case: correlation
+/// undefined; 0 is the convention used by the estimator decomposition,
+/// where a constant series carries no co-fluctuation).
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than 2 observations.
+///
+/// # Example
+///
+/// ```
+/// let r = varbench_stats::correlation::pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]);
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson length mismatch");
+    assert!(x.len() >= 2, "pearson requires at least 2 observations");
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (xi, yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Spearman rank correlation.
+///
+/// Pearson correlation of the (average-tie) ranks.
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than 2 observations.
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "spearman length mismatch");
+    let rx = ranks(x);
+    let ry = ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Average (mid) ranks of a sample, 1-based, ties receive their average
+/// rank. This is the ranking used by the Mann–Whitney and Spearman
+/// procedures.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in ranks input"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average 1-based rank of the tie block [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Sample covariance (`ddof = 1`).
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than 2 observations.
+pub fn covariance(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "covariance length mismatch");
+    assert!(x.len() >= 2, "covariance requires at least 2 observations");
+    let mx = mean(x);
+    let my = mean(y);
+    x.iter()
+        .zip(y)
+        .map(|(xi, yi)| (xi - mx) * (yi - my))
+        .sum::<f64>()
+        / (x.len() - 1) as f64
+}
+
+/// Average pairwise Pearson correlation among the rows of `series`.
+///
+/// This estimates the ρ of Eq. 7 from repeated experiment groups: each row
+/// is one group's sequence of performance measures (e.g. one
+/// `FixHOptEst` repetition's k measures — the correlation is *across
+/// groups, per position*? No: the paper's ρ is the correlation among the k
+/// measures *within* a group induced by conditioning on ξ). Concretely we
+/// estimate it as in the paper's Fig. H.5: the correlation
+/// `corr(R̂_ei, R̂_ej)` between measure positions i and j across groups,
+/// averaged over all pairs i < j.
+///
+/// `series[g][i]` = measure i of group g. Requires at least 2 groups and 2
+/// positions.
+///
+/// # Panics
+///
+/// Panics if rows are ragged, fewer than 2 rows, or fewer than 2 columns.
+pub fn average_pairwise_correlation(series: &[Vec<f64>]) -> f64 {
+    assert!(series.len() >= 2, "need at least 2 groups");
+    let k = series[0].len();
+    assert!(k >= 2, "need at least 2 positions");
+    for row in series {
+        assert_eq!(row.len(), k, "ragged series");
+    }
+    // Column i across groups.
+    let column = |i: usize| -> Vec<f64> { series.iter().map(|row| row[i]).collect() };
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for i in 0..k {
+        let ci = column(i);
+        for j in (i + 1)..k {
+            let cj = column(j);
+            total += pearson(&ci, &cj);
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_anticorrelation() {
+        let r = pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]);
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_independent_is_small() {
+        // Deterministic "independent" pattern.
+        let x: Vec<f64> = (0..1000).map(|i| (i % 7) as f64).collect();
+        let y: Vec<f64> = (0..1000).map(|i| (i % 11) as f64).collect();
+        assert!(pearson(&x, &y).abs() < 0.05);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn ranks_with_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn ranks_all_tied() {
+        let r = ranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(r, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let x = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_known() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 6.0, 8.0];
+        assert!((covariance(&x, &y) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_pairwise_correlation_identical_rows() {
+        // Columns that always move together across groups → ρ = 1.
+        let series = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 3.0, 4.0],
+            vec![0.0, 1.0, 2.0],
+        ];
+        // Column pairs: (1,2,0) vs (2,3,1) vs (3,4,2): all shifted copies → ρ = 1.
+        let rho = average_pairwise_correlation(&series);
+        assert!((rho - 1.0).abs() < 1e-12, "rho={rho}");
+    }
+
+    #[test]
+    fn average_pairwise_correlation_decorrelated() {
+        // Make columns orthogonal-ish patterns across 8 groups.
+        let series: Vec<Vec<f64>> = (0..8)
+            .map(|g| {
+                vec![
+                    ((g * 3) % 8) as f64,
+                    ((g * 5) % 7) as f64,
+                    ((g * 7) % 5) as f64,
+                ]
+            })
+            .collect();
+        let rho = average_pairwise_correlation(&series);
+        assert!(rho.abs() < 0.6, "rho={rho}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pearson length mismatch")]
+    fn pearson_length_mismatch_panics() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

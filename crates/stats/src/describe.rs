@@ -1,0 +1,259 @@
+//! Descriptive statistics.
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(varbench_stats::describe::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance with `ddof` delta degrees of freedom.
+///
+/// `ddof = 1` gives the unbiased sample variance (used throughout the
+/// paper's estimator analysis); `ddof = 0` the population variance.
+///
+/// # Panics
+///
+/// Panics if `xs.len() <= ddof`.
+pub fn variance(xs: &[f64], ddof: usize) -> f64 {
+    assert!(xs.len() > ddof, "variance requires more than {ddof} samples");
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - ddof) as f64
+}
+
+/// Sample standard deviation (`ddof = 1`).
+///
+/// # Panics
+///
+/// Panics if `xs.len() < 2`.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs, 1).sqrt()
+}
+
+/// Standard error of the mean: `s / sqrt(k)`.
+///
+/// This is the `σ/√k` that drives the paper's Section 3 analysis of how
+/// many data splits are needed to detect small improvements.
+///
+/// # Panics
+///
+/// Panics if `xs.len() < 2`.
+pub fn standard_error(xs: &[f64]) -> f64 {
+    std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Analytic standard deviation of a sample standard deviation.
+///
+/// For `k` normal observations with true std `sigma`, the sampling std of
+/// the sample std is approximately `σ / sqrt(2(k−1))`. The paper uses this
+/// for the shaded uncertainty bands of Fig. 5 / Fig. H.4 ("computed
+/// analytically as the approximate standard deviation of the standard
+/// deviation of a normal distribution computed on k samples").
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `sigma < 0`.
+pub fn std_of_std(sigma: f64, k: usize) -> f64 {
+    assert!(k >= 2, "std_of_std requires k >= 2");
+    assert!(sigma >= 0.0, "sigma must be >= 0");
+    sigma / (2.0 * (k as f64 - 1.0)).sqrt()
+}
+
+/// Median (average of middle two for even lengths).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Empirical quantile with linear interpolation between order statistics
+/// (type-7, the numpy/R default).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&sorted, q)
+}
+
+/// Quantile of an already-sorted slice (type-7 interpolation).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A one-pass summary of a sample.
+///
+/// # Example
+///
+/// ```
+/// use varbench_stats::Summary;
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation (0 for a single observation).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "summary of empty slice");
+        let mean_v = mean(xs);
+        let std_v = if xs.len() >= 2 { std_dev(xs) } else { 0.0 };
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        Self {
+            count: xs.len(),
+            mean: mean_v,
+            std: std_v,
+            min: sorted[0],
+            median: quantile_sorted(&sorted, 0.5),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn standard_error(&self) -> f64 {
+        self.std / (self.count as f64).sqrt()
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6} std={:.6} min={:.6} med={:.6} max={:.6}",
+            self.count, self.mean, self.std, self.min, self.median, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((variance(&xs, 0) - 4.0).abs() < 1e-12);
+        assert!((variance(&xs, 1) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_constant_sample_is_zero() {
+        assert_eq!(std_dev(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn standard_error_scaling() {
+        let xs: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let se = standard_error(&xs);
+        assert!((se - std_dev(&xs) / 10.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 1.0 / 3.0) - 2.0).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile(&[42.0], 0.7), 42.0);
+    }
+
+    #[test]
+    fn std_of_std_shrinks_with_k() {
+        let a = std_of_std(1.0, 10);
+        let b = std_of_std(1.0, 100);
+        assert!(b < a);
+        assert!((std_of_std(2.0, 3) - 2.0 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::from_slice(&[1.0, 5.0, 3.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mean, 3.0);
+        assert!(s.std > 0.0);
+        assert!(format!("{s}").contains("n=3"));
+    }
+
+    #[test]
+    fn summary_single_observation() {
+        let s = Summary::from_slice(&[7.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean of empty slice")]
+    fn empty_mean_panics() {
+        mean(&[]);
+    }
+}

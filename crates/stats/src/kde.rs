@@ -1,0 +1,152 @@
+//! Gaussian kernel density estimation.
+//!
+//! Used by the Fig. G.3 reproduction to visualize the per-source
+//! performance distributions next to their Shapiro–Wilk p-values.
+
+use crate::describe::{quantile, std_dev};
+
+/// A Gaussian kernel density estimator.
+///
+/// # Example
+///
+/// ```
+/// use varbench_stats::kde::Kde;
+/// let data: Vec<f64> = (0..100).map(|i| (i % 10) as f64 / 10.0).collect();
+/// let kde = Kde::fit(&data);
+/// let density = kde.evaluate(0.5);
+/// assert!(density > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kde {
+    data: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl Kde {
+    /// Fits a KDE with Silverman's rule-of-thumb bandwidth:
+    /// `h = 0.9 min(σ̂, IQR/1.34) n^{-1/5}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() < 2`.
+    pub fn fit(data: &[f64]) -> Self {
+        assert!(data.len() >= 2, "KDE requires at least 2 points");
+        let sd = std_dev(data);
+        let iqr = quantile(data, 0.75) - quantile(data, 0.25);
+        let spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
+        // Degenerate constant data: fall back to a nominal bandwidth so the
+        // estimator stays a valid density (a narrow bump at the point).
+        let spread = if spread > 0.0 { spread } else { 1e-9 };
+        let h = 0.9 * spread * (data.len() as f64).powf(-0.2);
+        Self {
+            data: data.to_vec(),
+            bandwidth: h,
+        }
+    }
+
+    /// Fits a KDE with an explicit bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `bandwidth <= 0`.
+    pub fn with_bandwidth(data: &[f64], bandwidth: f64) -> Self {
+        assert!(!data.is_empty(), "KDE requires data");
+        assert!(bandwidth > 0.0, "bandwidth must be > 0");
+        Self {
+            data: data.to_vec(),
+            bandwidth,
+        }
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Evaluates the density estimate at `x`.
+    pub fn evaluate(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / (self.data.len() as f64 * h * (2.0 * std::f64::consts::PI).sqrt());
+        self.data
+            .iter()
+            .map(|&xi| (-0.5 * ((x - xi) / h).powi(2)).exp())
+            .sum::<f64>()
+            * norm
+    }
+
+    /// Evaluates the density on `points` evenly spaced positions spanning
+    /// the data range padded by 3 bandwidths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn grid(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "grid requires at least 2 points");
+        let lo = self.data.iter().cloned().fold(f64::INFINITY, f64::min) - 3.0 * self.bandwidth;
+        let hi = self.data.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 3.0 * self.bandwidth;
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.evaluate(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varbench_rng::Rng;
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut rng = Rng::seed_from_u64(1);
+        let data: Vec<f64> = (0..200).map(|_| rng.normal(0.0, 1.0)).collect();
+        let kde = Kde::fit(&data);
+        let grid = kde.grid(2000);
+        let mut total = 0.0;
+        for w in grid.windows(2) {
+            let dx = w[1].0 - w[0].0;
+            total += 0.5 * (w[0].1 + w[1].1) * dx;
+        }
+        assert!((total - 1.0).abs() < 0.02, "integral {total}");
+    }
+
+    #[test]
+    fn density_peaks_near_mode() {
+        let mut rng = Rng::seed_from_u64(2);
+        let data: Vec<f64> = (0..500).map(|_| rng.normal(3.0, 0.5)).collect();
+        let kde = Kde::fit(&data);
+        assert!(kde.evaluate(3.0) > kde.evaluate(5.0));
+        assert!(kde.evaluate(3.0) > kde.evaluate(1.0));
+    }
+
+    #[test]
+    fn bimodal_data_has_two_bumps() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut data: Vec<f64> = (0..300).map(|_| rng.normal(-2.0, 0.3)).collect();
+        data.extend((0..300).map(|_| rng.normal(2.0, 0.3)));
+        let kde = Kde::fit(&data);
+        let at_modes = kde.evaluate(-2.0).min(kde.evaluate(2.0));
+        let at_valley = kde.evaluate(0.0);
+        assert!(at_modes > 2.0 * at_valley);
+    }
+
+    #[test]
+    fn explicit_bandwidth_respected() {
+        let kde = Kde::with_bandwidth(&[0.0, 1.0], 0.5);
+        assert_eq!(kde.bandwidth(), 0.5);
+    }
+
+    #[test]
+    fn constant_data_does_not_panic() {
+        let kde = Kde::fit(&[1.0, 1.0, 1.0]);
+        assert!(kde.evaluate(1.0).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be > 0")]
+    fn nonpositive_bandwidth_rejected() {
+        Kde::with_bandwidth(&[1.0], 0.0);
+    }
+}

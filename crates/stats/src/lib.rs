@@ -1,0 +1,59 @@
+//! Statistical toolkit for variance-aware machine-learning benchmarking.
+//!
+//! Implements, from scratch, every statistical component used by
+//! *Accounting for Variance in Machine Learning Benchmarks* (Bouthillier et
+//! al., MLSys 2021):
+//!
+//! * special functions ([`special`]): log-gamma, error function, regularized
+//!   incomplete gamma and beta — the numerical bedrock of the distributions;
+//! * distributions: [`Normal`], [`Binomial`] (the Fig. 2 test-set noise
+//!   model), [`StudentT`];
+//! * descriptive statistics ([`describe`]) including the analytic
+//!   `std-of-std` uncertainty used for the error bands of Fig. 5;
+//! * hypothesis tests ([`tests`]): Mann–Whitney (the machinery behind the
+//!   paper's `P(A>B)` criterion), Shapiro–Wilk normality (Fig. G.3),
+//!   Wilcoxon signed-rank, z- and t-tests;
+//! * [`bootstrap`]: percentile-bootstrap confidence intervals (Appendix C.5);
+//! * [`power`]: Noether sample-size determination (Fig. C.1);
+//! * [`correlation`]: Pearson/Spearman and the average pairwise correlation
+//!   ρ of the biased-estimator variance formula (Eq. 7);
+//! * [`regression`]: ordinary least squares (used to calibrate the paper's
+//!   δ = 1.9952 σ published-improvement threshold);
+//! * [`kde`]: Gaussian kernel density estimation (Fig. G.3 panels).
+//!
+//! # Example: the paper's recommended comparison test
+//!
+//! ```
+//! use varbench_stats::bootstrap::percentile_ci_prob_outperform;
+//! use varbench_rng::Rng;
+//!
+//! // Paired performance measures of algorithms A and B over 29 seeds.
+//! let a: Vec<f64> = (0..29).map(|i| 0.75 + 0.001 * (i % 7) as f64).collect();
+//! let b: Vec<f64> = (0..29).map(|i| 0.74 + 0.001 * (i % 5) as f64).collect();
+//! let mut rng = Rng::seed_from_u64(1);
+//! let ci = percentile_ci_prob_outperform(&a, &b, 1000, 0.05, &mut rng);
+//! assert!(ci.estimate >= ci.lo && ci.estimate <= ci.hi);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod correlation;
+pub mod describe;
+pub mod kde;
+pub mod power;
+pub mod regression;
+pub mod special;
+pub mod tests;
+
+mod binomial;
+mod normal;
+mod student_t;
+
+pub use binomial::Binomial;
+pub use normal::{standard_normal_quantile, Normal};
+pub use student_t::StudentT;
+
+pub use bootstrap::ConfidenceInterval;
+pub use describe::Summary;

@@ -1,0 +1,241 @@
+//! The normal (Gaussian) distribution.
+
+use crate::special::{erf, erfc};
+
+/// A normal distribution with mean `mu` and standard deviation `sigma`.
+///
+/// The paper's modelling assumption — validated by its Fig. G.3 and our
+/// `figg3` reproduction — is that benchmark performance fluctuations are
+/// approximately normal, so this distribution carries most of the analysis:
+/// z-tests, estimator simulation (§4.2), and the significance band of
+/// Fig. 3.
+///
+/// # Example
+///
+/// ```
+/// use varbench_stats::Normal;
+/// let n = Normal::standard();
+/// assert!((n.cdf(1.959963984540054) - 0.975).abs() < 1e-9);
+/// assert!((n.quantile(0.975) - 1.959963984540054).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0` or either parameter is not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "mu must be finite");
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be finite and > 0");
+        Self { mu, sigma }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self { mu: 0.0, sigma: 1.0 }
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    /// The standard deviation.
+    pub fn std(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+
+    /// Survival function `P(X > x)`, computed with full tail precision.
+    pub fn sf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * erfc(z)
+    }
+
+    /// Quantile function (inverse CDF).
+    ///
+    /// Acklam's rational approximation refined by one Halley step against
+    /// the exact CDF; accurate to ~1e-13 over `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not strictly inside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+        self.mu + self.sigma * standard_normal_quantile(p)
+    }
+}
+
+/// The standard normal quantile `Φ⁻¹(p)`.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+pub fn standard_normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step against the exact CDF brings the error to
+    // near machine precision.
+    let n = Normal::standard();
+    let e = n.cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_reference_values() {
+        let n = Normal::standard();
+        assert!((n.cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!((n.cdf(1.0) - 0.841_344_746_068_542_9).abs() < 1e-12);
+        assert!((n.cdf(-1.0) - 0.158_655_253_931_457_05).abs() < 1e-12);
+        assert!((n.cdf(1.96) - 0.975_002_104_851_779_5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_reference_values() {
+        assert!((standard_normal_quantile(0.975) - 1.959_963_984_540_054).abs() < 1e-11);
+        assert!((standard_normal_quantile(0.95) - 1.644_853_626_951_472_2).abs() < 1e-11);
+        assert!((standard_normal_quantile(0.5)).abs() < 1e-12);
+        assert!((standard_normal_quantile(0.05) + 1.644_853_626_951_472_2).abs() < 1e-11);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let n = Normal::standard();
+        for i in 1..200 {
+            let p = i as f64 / 200.0;
+            let x = n.quantile(p);
+            assert!((n.cdf(x) - p).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn quantile_extreme_tails() {
+        let n = Normal::standard();
+        for &p in &[1e-10, 1e-6, 1.0 - 1e-6, 1.0 - 1e-10] {
+            let x = n.quantile(p);
+            assert!((n.cdf(x) - p).abs() / p.min(1.0 - p) < 1e-6, "p={p} x={x}");
+        }
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let n = Normal::new(1.0, 2.0);
+        for &x in &[-3.0, 0.0, 1.0, 4.5] {
+            assert!((n.cdf(x) + n.sf(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sf_tail_precision() {
+        // P(Z > 6) = 9.865876450376946e-10 (published).
+        let n = Normal::standard();
+        let got = n.sf(6.0);
+        let expected = 9.865_876_450_376_946e-10;
+        assert!(((got - expected) / expected).abs() < 1e-6, "sf(6) = {got:e}");
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let n = Normal::new(-0.5, 1.3);
+        // Trapezoidal rule over ±10σ.
+        let steps = 20_000;
+        let (lo, hi) = (-0.5 - 13.0, -0.5 + 13.0);
+        let h = (hi - lo) / steps as f64;
+        let mut total = 0.0;
+        for i in 0..=steps {
+            let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+            total += w * n.pdf(lo + i as f64 * h);
+        }
+        total *= h;
+        assert!((total - 1.0).abs() < 1e-10, "integral {total}");
+    }
+
+    #[test]
+    fn scaling_and_location() {
+        let n = Normal::new(10.0, 2.0);
+        let s = Normal::standard();
+        assert!((n.cdf(12.0) - s.cdf(1.0)).abs() < 1e-14);
+        assert!((n.quantile(0.75) - (10.0 + 2.0 * s.quantile(0.75))).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be finite and > 0")]
+    fn zero_sigma_rejected() {
+        Normal::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires p in (0,1)")]
+    fn quantile_bounds_enforced() {
+        standard_normal_quantile(1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Power analysis: Noether's sample-size determination for the
+//! Mann–Whitney-type test of `P(A > B)` (paper Appendix C.3, Fig. C.1).
+
+use crate::normal::standard_normal_quantile;
+
+/// Noether's minimal sample size for reliably detecting
+/// `P(A > B) > gamma`.
+///
+/// `N ≥ ((Φ⁻¹(1−α) − Φ⁻¹(β)) / (√6 (1/2 − γ)))²`
+///
+/// where `α` is the false-positive rate, `β` the false-negative rate, and
+/// `γ` the meaningfulness threshold on `P(A > B)`. With the paper's
+/// recommended `α = β = 0.05` and `γ = 0.75` this gives **29** trainings.
+///
+/// # Panics
+///
+/// Panics if `alpha`/`beta` outside `(0, 1)` or `gamma` in `[0.5 − ε, 0.5 + ε]`
+/// (the formula diverges at γ = 0.5) or gamma outside `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use varbench_stats::power::noether_sample_size;
+/// assert_eq!(noether_sample_size(0.75, 0.05, 0.05), 29);
+/// ```
+pub fn noether_sample_size(gamma: f64, alpha: f64, beta: f64) -> usize {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1)");
+    assert!(gamma > 0.0 && gamma < 1.0, "gamma must be in (0,1)");
+    assert!(
+        (gamma - 0.5).abs() > 1e-9,
+        "gamma must differ from 0.5 (no effect to detect)"
+    );
+    let za = standard_normal_quantile(1.0 - alpha);
+    let zb = standard_normal_quantile(beta);
+    let num = za - zb;
+    let den = 6.0_f64.sqrt() * (0.5 - gamma);
+    (num / den).powi(2).ceil() as usize
+}
+
+/// The full sample-size curve of Fig. C.1: minimum `N` for each `gamma`.
+///
+/// Returns `(gamma, N)` pairs for `gamma` swept over `points` values in
+/// `(0.5, hi]`.
+///
+/// # Panics
+///
+/// Panics if `hi <= 0.5`, `hi >= 1.0`, or `points == 0`.
+pub fn noether_curve(hi: f64, points: usize, alpha: f64, beta: f64) -> Vec<(f64, usize)> {
+    assert!(hi > 0.5 && hi < 1.0, "hi must be in (0.5, 1)");
+    assert!(points > 0, "points must be > 0");
+    (1..=points)
+        .map(|i| {
+            let gamma = 0.5 + (hi - 0.5) * i as f64 / points as f64;
+            (gamma, noether_sample_size(gamma, alpha, beta))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_recommended_sample_size_is_29() {
+        // Appendix C.3: "the minimal sample size required ... is reasonably
+        // small; 29 trainings" for γ = 0.75, α = β = 0.05.
+        assert_eq!(noether_sample_size(0.75, 0.05, 0.05), 29);
+    }
+
+    #[test]
+    fn small_effects_need_huge_samples() {
+        // "detecting reliably P(A>B) < 0.6 is unpractical with minimal
+        // sample sizes quickly moving above 500" — at γ=0.55 we need >700.
+        assert!(noether_sample_size(0.55, 0.05, 0.05) > 700);
+        assert!(noether_sample_size(0.6, 0.05, 0.05) > 100);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_gamma() {
+        let mut prev = usize::MAX;
+        for i in 1..40 {
+            let gamma = 0.5 + 0.0125 * i as f64;
+            let n = noether_sample_size(gamma, 0.05, 0.05);
+            assert!(n <= prev, "gamma={gamma} n={n} prev={prev}");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn stricter_error_rates_need_more_samples() {
+        let loose = noether_sample_size(0.75, 0.05, 0.2);
+        let strict = noether_sample_size(0.75, 0.05, 0.05);
+        assert!(strict > loose);
+        let stricter = noether_sample_size(0.75, 0.01, 0.01);
+        assert!(stricter > strict);
+    }
+
+    #[test]
+    fn symmetric_below_half() {
+        // The formula is symmetric in |1/2 - γ|.
+        assert_eq!(
+            noether_sample_size(0.4, 0.05, 0.05),
+            noether_sample_size(0.6, 0.05, 0.05)
+        );
+    }
+
+    #[test]
+    fn curve_covers_range() {
+        let curve = noether_curve(0.95, 20, 0.05, 0.05);
+        assert_eq!(curve.len(), 20);
+        assert!(curve.first().unwrap().1 >= curve.last().unwrap().1);
+        assert!((curve.last().unwrap().0 - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must differ from 0.5")]
+    fn gamma_half_rejected() {
+        noether_sample_size(0.5, 0.05, 0.05);
+    }
+}

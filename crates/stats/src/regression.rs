@@ -1,0 +1,143 @@
+//! Simple ordinary least squares.
+//!
+//! Used by the Fig. 3/Fig. 6 harness to calibrate the paper's
+//! `δ = 1.9952 σ` threshold: the paper set that constant "by linear
+//! regression so that δ matches the average improvements obtained from
+//! paperswithcode.com".
+
+use crate::describe::mean;
+
+/// Result of a univariate OLS fit `y ≈ intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OlsFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+}
+
+impl OlsFit {
+    /// Predicts `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits `y ≈ a + b x` by least squares.
+///
+/// # Panics
+///
+/// Panics if lengths differ, fewer than 2 points, or `x` is constant.
+///
+/// # Example
+///
+/// ```
+/// let fit = varbench_stats::regression::ols(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]);
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+pub fn ols(x: &[f64], y: &[f64]) -> OlsFit {
+    assert_eq!(x.len(), y.len(), "ols length mismatch");
+    assert!(x.len() >= 2, "ols requires at least 2 points");
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (xi, yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    assert!(sxx > 0.0, "ols requires non-constant x");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    OlsFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Fits `y ≈ b x` (regression through the origin).
+///
+/// This is the form used to calibrate δ against σ: published improvements
+/// are regressed on the benchmark standard deviation with no intercept,
+/// giving the multiplier 1.9952 in the paper.
+///
+/// # Panics
+///
+/// Panics if lengths differ, empty inputs, or all `x` are zero.
+pub fn ols_through_origin(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "ols length mismatch");
+    assert!(!x.is_empty(), "ols requires at least 1 point");
+    let sxx: f64 = x.iter().map(|v| v * v).sum();
+    assert!(sxx > 0.0, "ols requires some non-zero x");
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+    sxy / sxx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| -0.5 + 3.0 * v).collect();
+        let fit = ols(&x, &y);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 0.5).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r_squared_below_one() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 2.0 * v + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let fit = ols(&x, &y);
+        assert!((fit.slope - 2.0).abs() < 0.05);
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.r_squared > 0.9);
+    }
+
+    #[test]
+    fn predict_interpolates() {
+        let fit = ols(&[0.0, 2.0], &[1.0, 5.0]);
+        assert!((fit.predict(1.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn through_origin_known() {
+        // y = 2x exactly.
+        let b = ols_through_origin(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]);
+        assert!((b - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn through_origin_least_squares_property() {
+        // Minimizes Σ(y - bx)²; compare against small perturbations.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.2, 3.7, 6.5, 7.4];
+        let b = ols_through_origin(&x, &y);
+        let loss = |b: f64| -> f64 { x.iter().zip(&y).map(|(xi, yi)| (yi - b * xi).powi(2)).sum() };
+        assert!(loss(b) <= loss(b + 0.01));
+        assert!(loss(b) <= loss(b - 0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "ols requires non-constant x")]
+    fn constant_x_rejected() {
+        ols(&[1.0, 1.0], &[2.0, 3.0]);
+    }
+}

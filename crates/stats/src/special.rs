@@ -1,0 +1,391 @@
+//! Special functions: log-gamma, error function, regularized incomplete
+//! gamma and beta functions.
+//!
+//! These are the numerical bedrock of every distribution and test in this
+//! crate. Implementations follow the classical, well-conditioned recipes:
+//! Lanczos approximation for `ln Γ`, series / continued-fraction (modified
+//! Lentz) evaluation of the incomplete gamma and beta functions. Accuracy is
+//! close to `f64` precision over the argument ranges used by the library.
+
+/// Natural log of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation (g = 7, 9 terms); absolute error is below
+/// `1e-13` over the tested range.
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+///
+/// # Example
+///
+/// ```
+/// // Γ(5) = 4! = 24
+/// assert!((varbench_stats::special::ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x) Γ(1-x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// `P(a, x) = γ(a, x) / Γ(a)`, increasing from 0 at `x = 0` to 1 as
+/// `x → ∞`. Uses the series expansion for `x < a + 1` and the continued
+/// fraction for `x ≥ a + 1`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0");
+    assert!(x >= 0.0, "gamma_p requires x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q requires a > 0");
+    assert!(x >= 0.0, "gamma_q requires x >= 0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    // Modified Lentz's method for the continued fraction representation.
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// The error function `erf(x)`.
+///
+/// Computed from the regularized incomplete gamma function,
+/// `erf(x) = sign(x) · P(1/2, x²)`; accurate to near `f64` precision.
+///
+/// # Example
+///
+/// ```
+/// assert!((varbench_stats::special::erf(1.0) - 0.8427007929497149).abs() < 1e-12);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let p = gamma_p(0.5, x * x);
+    if x > 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Uses the upper incomplete gamma function directly for large positive `x`
+/// so that tail probabilities keep full relative precision.
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        gamma_q(0.5, x * x).min(1.0)
+    } else {
+        2.0 - erfc(-x)
+    }
+}
+
+/// Natural log of the beta function, `ln B(a, b)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `b <= 0`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// Monotone from 0 at `x = 0` to 1 at `x = 1`; this is the CDF kernel of
+/// the Student-t and binomial distributions. Continued-fraction evaluation
+/// (modified Lentz) with the standard symmetry split.
+///
+/// # Panics
+///
+/// Panics if `a <= 0`, `b <= 0`, or `x` outside `[0, 1]`.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta_inc requires a, b > 0");
+    assert!((0.0..=1.0).contains(&x), "beta_inc requires x in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b)).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - (a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b)).exp() * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..500 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_integers() {
+        // Γ(n) = (n-1)!
+        let facts = [1.0f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (n, f) in facts.iter().enumerate() {
+            let x = (n + 1) as f64;
+            assert!(
+                (ln_gamma(x) - f.ln()).abs() < 1e-11,
+                "ln_gamma({x}) = {} vs ln({f})",
+                ln_gamma(x)
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π.
+        let expected = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Γ(x+1) = x Γ(x).
+        for &x in &[0.3, 1.7, 4.2, 11.5, 100.25] {
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            assert!((lhs - rhs).abs() < 1e-10, "x={x}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Published values (Abramowitz & Stegun table 7.1).
+        assert!((erf(0.5) - 0.520_499_877_813_046_5).abs() < 1e-12);
+        assert!((erf(1.0) - 0.842_700_792_949_714_9).abs() < 1e-12);
+        assert!((erf(2.0) - 0.995_322_265_018_952_7).abs() < 1e-12);
+        assert!(erf(0.0) == 0.0);
+    }
+
+    #[test]
+    fn erf_odd_symmetry() {
+        for &x in &[0.1, 0.7, 1.3, 2.9] {
+            assert!((erf(-x) + erf(x)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for &x in &[-2.0, -0.5, 0.0, 0.5, 2.0] {
+            assert!((erfc(x) + erf(x) - 1.0).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn erfc_tail_precision() {
+        // erfc(5) = 1.5374597944280349e-12 (published); relative accuracy
+        // matters in the far tail.
+        let got = erfc(5.0);
+        let expected = 1.537_459_794_428_034_9e-12;
+        assert!(
+            ((got - expected) / expected).abs() < 1e-8,
+            "erfc(5) = {got:e}"
+        );
+    }
+
+    #[test]
+    fn gamma_p_q_sum_to_one() {
+        for &a in &[0.5, 1.0, 3.3, 10.0] {
+            for &x in &[0.1, 1.0, 5.0, 20.0] {
+                let s = gamma_p(a, x) + gamma_q(a, x);
+                assert!((s - 1.0).abs() < 1e-12, "a={a} x={x} sum={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_p_exponential_special_case() {
+        // P(1, x) = 1 - e^{-x}.
+        for &x in &[0.2, 1.0, 3.0, 10.0] {
+            assert!((gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn gamma_p_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let x = i as f64 * 0.2;
+            let p = gamma_p(2.5, x);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn beta_inc_bounds_and_symmetry() {
+        assert_eq!(beta_inc(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(beta_inc(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a).
+        for &x in &[0.1, 0.4, 0.5, 0.9] {
+            let lhs = beta_inc(2.0, 5.0, x);
+            let rhs = 1.0 - beta_inc(5.0, 2.0, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn beta_inc_uniform_special_case() {
+        // I_x(1, 1) = x.
+        for &x in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert!((beta_inc(1.0, 1.0, x) - x).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn beta_inc_known_value() {
+        // I_{0.5}(2, 2) = 0.5 by symmetry; I_{0.5}(1, 2) = 1 - (1-x)^2 = 0.75.
+        assert!((beta_inc(2.0, 2.0, 0.5) - 0.5).abs() < 1e-12);
+        assert!((beta_inc(1.0, 2.0, 0.5) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_beta_known() {
+        // B(1,1) = 1; B(2,3) = 1/12.
+        assert!(ln_beta(1.0, 1.0).abs() < 1e-13);
+        assert!((ln_beta(2.0, 3.0) - (1.0f64 / 12.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+}

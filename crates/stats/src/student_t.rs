@@ -1,0 +1,187 @@
+//! Student's t distribution.
+
+use crate::normal::standard_normal_quantile;
+use crate::special::beta_inc;
+
+/// Student's t distribution with `nu` degrees of freedom.
+///
+/// Backs the t-tests in [`crate::tests::parametric`], used by the paper's
+/// discussion of average comparisons ("a t-test only differs from an
+/// average in that the threshold is computed based on the variance ... and
+/// the sample size").
+///
+/// # Example
+///
+/// ```
+/// use varbench_stats::StudentT;
+/// let t = StudentT::new(10.0);
+/// // Published critical value: t₀.₉₇₅,₁₀ = 2.2281388...
+/// assert!((t.quantile(0.975) - 2.228138852).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    nu: f64,
+}
+
+impl StudentT {
+    /// Creates a t distribution with `nu > 0` degrees of freedom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nu <= 0` or not finite.
+    pub fn new(nu: f64) -> Self {
+        assert!(nu.is_finite() && nu > 0.0, "nu must be finite and > 0");
+        Self { nu }
+    }
+
+    /// Degrees of freedom.
+    pub fn dof(&self) -> f64 {
+        self.nu
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t == 0.0 {
+            return 0.5;
+        }
+        let x = self.nu / (self.nu + t * t);
+        let p = 0.5 * beta_inc(self.nu / 2.0, 0.5, x);
+        if t > 0.0 {
+            1.0 - p
+        } else {
+            p
+        }
+    }
+
+    /// Survival function `P(T > t)`.
+    pub fn sf(&self, t: f64) -> f64 {
+        1.0 - self.cdf(t)
+    }
+
+    /// Two-sided tail probability `P(|T| > |t|)`.
+    pub fn two_sided_p(&self, t: f64) -> f64 {
+        let x = self.nu / (self.nu + t * t);
+        beta_inc(self.nu / 2.0, 0.5, x)
+    }
+
+    /// Quantile function (inverse CDF).
+    ///
+    /// Newton iteration seeded with the normal quantile; converges in a few
+    /// steps for `nu >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` not strictly inside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1)");
+        if (p - 0.5).abs() < 1e-15 {
+            return 0.0;
+        }
+        // Initial guess: normal quantile, inflated for heavy tails.
+        let z = standard_normal_quantile(p);
+        let g1 = (z.powi(3) + z) / (4.0 * self.nu);
+        let mut t = z + g1;
+        // Newton with the exact pdf.
+        for _ in 0..60 {
+            let f = self.cdf(t) - p;
+            let d = self.pdf(t);
+            if d <= 0.0 {
+                break;
+            }
+            let step = f / d;
+            t -= step;
+            if step.abs() < 1e-13 * (1.0 + t.abs()) {
+                break;
+            }
+        }
+        t
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, t: f64) -> f64 {
+        use crate::special::ln_gamma;
+        let nu = self.nu;
+        let ln_c = ln_gamma((nu + 1.0) / 2.0)
+            - ln_gamma(nu / 2.0)
+            - 0.5 * (nu * std::f64::consts::PI).ln();
+        (ln_c - (nu + 1.0) / 2.0 * (1.0 + t * t / nu).ln()).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_symmetry() {
+        let t = StudentT::new(7.0);
+        for &x in &[0.5, 1.3, 2.9] {
+            assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-12);
+        }
+        assert!((t.cdf(0.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantile_reference_values() {
+        // Published critical values.
+        assert!((StudentT::new(1.0).quantile(0.975) - 12.7062047362).abs() < 1e-5);
+        assert!((StudentT::new(5.0).quantile(0.975) - 2.5705818366).abs() < 1e-7);
+        assert!((StudentT::new(10.0).quantile(0.95) - 1.8124611228).abs() < 1e-7);
+        assert!((StudentT::new(30.0).quantile(0.975) - 2.0422724563).abs() < 1e-7);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let t = StudentT::new(4.0);
+        for i in 1..40 {
+            let p = i as f64 / 40.0;
+            assert!((t.cdf(t.quantile(p)) - p).abs() < 1e-10, "p={p}");
+        }
+    }
+
+    #[test]
+    fn approaches_normal_for_large_nu() {
+        let t = StudentT::new(1e6);
+        assert!((t.quantile(0.975) - 1.959_963_984_540_054).abs() < 1e-4);
+        assert!((t.cdf(1.0) - 0.841_344_746_068_542_9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_sided_consistency() {
+        let t = StudentT::new(12.0);
+        let x = 1.7;
+        let expect = 2.0 * t.sf(x);
+        assert!((t.two_sided_p(x) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cauchy_special_case() {
+        // nu = 1 is the Cauchy distribution: cdf(x) = 1/2 + atan(x)/π.
+        let t = StudentT::new(1.0);
+        for &x in &[-2.0f64, -0.5, 0.3, 1.7] {
+            let expected = 0.5 + x.atan() / std::f64::consts::PI;
+            assert!((t.cdf(x) - expected).abs() < 1e-10, "x={x}");
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let t = StudentT::new(3.0);
+        let steps = 40_000;
+        let (lo, hi) = (-60.0, 60.0);
+        let h = (hi - lo) / steps as f64;
+        let mut total = 0.0;
+        for i in 0..=steps {
+            let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+            total += w * t.pdf(lo + i as f64 * h);
+        }
+        total *= h;
+        assert!((total - 1.0).abs() < 1e-4, "integral {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "nu must be finite and > 0")]
+    fn invalid_nu_rejected() {
+        StudentT::new(-1.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! The Mann–Whitney U test.
+//!
+//! The paper's probability-of-outperforming criterion is "equivalent to a
+//! Mann–Whitney test" (Appendix C.3, citing Perme & Manevski 2019): the
+//! U statistic divided by `n·m` estimates `P(A > B)` (counting ties as
+//! half). This module provides the U statistic, the tie-corrected normal
+//! approximation for p-values, and the effect-size estimate.
+
+use crate::correlation::ranks;
+use crate::normal::Normal;
+use crate::tests::Alternative;
+
+/// Result of a Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitneyResult {
+    /// U statistic of the first sample.
+    pub u: f64,
+    /// Standardized test statistic (continuity-corrected, tie-corrected).
+    pub z: f64,
+    /// P-value under the requested alternative (normal approximation).
+    pub p_value: f64,
+    /// The common-language effect size `U / (n·m)`, estimating
+    /// `P(A > B) + ½P(A = B)`.
+    pub effect_size: f64,
+}
+
+/// Performs a Mann–Whitney U test of samples `a` vs `b`.
+///
+/// Uses midranks for ties, the tie-corrected variance, a ±0.5 continuity
+/// correction, and the normal approximation for p-values (appropriate for
+/// the sample sizes this library recommends, `N ≥ 29`; for tiny samples the
+/// p-value is approximate).
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+///
+/// # Example
+///
+/// ```
+/// use varbench_stats::tests::{mann_whitney::mann_whitney_u, Alternative};
+/// let a = [1.1, 2.3, 3.1, 4.2, 5.5];
+/// let b = [0.8, 2.0, 2.9, 3.5, 4.0];
+/// let r = mann_whitney_u(&a, &b, Alternative::TwoSided);
+/// assert_eq!(r.u, 16.0); // hand-countable
+/// assert!((r.effect_size - 0.64).abs() < 1e-12);
+/// ```
+pub fn mann_whitney_u(a: &[f64], b: &[f64], alternative: Alternative) -> MannWhitneyResult {
+    assert!(!a.is_empty() && !b.is_empty(), "samples must be non-empty");
+    let n_a = a.len() as f64;
+    let n_b = b.len() as f64;
+    let n = n_a + n_b;
+
+    let mut combined = Vec::with_capacity(a.len() + b.len());
+    combined.extend_from_slice(a);
+    combined.extend_from_slice(b);
+    let r = ranks(&combined);
+    let rank_sum_a: f64 = r[..a.len()].iter().sum();
+    let u = rank_sum_a - n_a * (n_a + 1.0) / 2.0;
+
+    let mean_u = n_a * n_b / 2.0;
+
+    // Tie correction: Σ (t³ − t) over tie groups of the combined sample.
+    let mut sorted = combined.clone();
+    sorted.sort_by(|x, y| x.partial_cmp(y).expect("NaN in Mann-Whitney input"));
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let var_u = n_a * n_b / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+
+    let (z, p_value) = if var_u <= 0.0 {
+        // All observations identical: no evidence either way.
+        (0.0, 1.0)
+    } else {
+        let sd = var_u.sqrt();
+        let norm = Normal::standard();
+        match alternative {
+            Alternative::TwoSided => {
+                let z = (u - mean_u - 0.5 * (u - mean_u).signum()) / sd;
+                (z, (2.0 * norm.sf(z.abs())).min(1.0))
+            }
+            Alternative::Greater => {
+                let z = (u - mean_u - 0.5) / sd;
+                (z, norm.sf(z))
+            }
+            Alternative::Less => {
+                let z = (u - mean_u + 0.5) / sd;
+                (z, norm.cdf(z))
+            }
+        }
+    };
+
+    MannWhitneyResult {
+        u,
+        z,
+        p_value,
+        effect_size: u / (n_a * n_b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_computed_u() {
+        // a-ranks in the combined sample: 2,4,6,9,10 → R=31, U = 31-15 = 16.
+        let a = [1.1, 2.3, 3.1, 4.2, 5.5];
+        let b = [0.8, 2.0, 2.9, 3.5, 4.0];
+        let r = mann_whitney_u(&a, &b, Alternative::TwoSided);
+        assert_eq!(r.u, 16.0);
+        assert!((r.effect_size - 16.0 / 25.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn complete_separation() {
+        let a = [10.0, 11.0, 12.0];
+        let b = [1.0, 2.0, 3.0];
+        let r = mann_whitney_u(&a, &b, Alternative::Greater);
+        assert_eq!(r.u, 9.0);
+        assert_eq!(r.effect_size, 1.0);
+        assert!(r.p_value < 0.05, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn u_statistics_sum_to_nm() {
+        let a = [0.3, 0.7, 0.2, 0.9];
+        let b = [0.4, 0.6, 0.1];
+        let ra = mann_whitney_u(&a, &b, Alternative::TwoSided);
+        let rb = mann_whitney_u(&b, &a, Alternative::TwoSided);
+        assert!((ra.u + rb.u - 12.0).abs() < 1e-12);
+        // Effect sizes complement.
+        assert!((ra.effect_size + rb.effect_size - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_sided_symmetric_p() {
+        let a = [0.3, 0.7, 0.2, 0.9, 0.5];
+        let b = [0.4, 0.6, 0.1, 0.8];
+        let pa = mann_whitney_u(&a, &b, Alternative::TwoSided).p_value;
+        let pb = mann_whitney_u(&b, &a, Alternative::TwoSided).p_value;
+        assert!((pa - pb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_samples_give_p_one() {
+        let a = [1.0, 1.0, 1.0];
+        let r = mann_whitney_u(&a, &a, Alternative::TwoSided);
+        assert_eq!(r.p_value, 1.0);
+        assert_eq!(r.z, 0.0);
+        assert!((r.effect_size - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_handled_with_midranks() {
+        let a = [1.0, 2.0, 2.0];
+        let b = [2.0, 3.0];
+        let r = mann_whitney_u(&a, &b, Alternative::TwoSided);
+        // Combined ranks: 1.0→1, three 2.0s→(2+3+4)/3=3, 3.0→5.
+        // R_a = 1 + 3 + 3 = 7, U = 7 - 6 = 1.
+        assert!((r.u - 1.0).abs() < 1e-12);
+        assert!(r.p_value > 0.0 && r.p_value <= 1.0);
+    }
+
+    #[test]
+    fn large_sample_null_p_value_uniformish() {
+        // Under H0, p-values should not systematically concentrate near 0.
+        use varbench_rng::Rng;
+        let mut small_p = 0;
+        let trials = 300;
+        for t in 0..trials {
+            let mut rng = Rng::seed_from_u64(t);
+            let a: Vec<f64> = (0..30).map(|_| rng.normal(0.0, 1.0)).collect();
+            let b: Vec<f64> = (0..30).map(|_| rng.normal(0.0, 1.0)).collect();
+            if mann_whitney_u(&a, &b, Alternative::TwoSided).p_value < 0.05 {
+                small_p += 1;
+            }
+        }
+        let rate = small_p as f64 / trials as f64;
+        assert!(rate < 0.10, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn detects_shift_with_power() {
+        use varbench_rng::Rng;
+        let mut detected = 0;
+        let trials = 100;
+        for t in 0..trials {
+            let mut rng = Rng::seed_from_u64(1000 + t);
+            let a: Vec<f64> = (0..40).map(|_| rng.normal(1.0, 1.0)).collect();
+            let b: Vec<f64> = (0..40).map(|_| rng.normal(0.0, 1.0)).collect();
+            if mann_whitney_u(&a, &b, Alternative::Greater).p_value < 0.05 {
+                detected += 1;
+            }
+        }
+        let power = detected as f64 / trials as f64;
+        assert!(power > 0.9, "power {power}");
+    }
+
+    #[test]
+    fn greater_and_less_are_complementary() {
+        let a = [0.9, 0.8, 0.85, 0.95];
+        let b = [0.7, 0.75, 0.72, 0.71];
+        let g = mann_whitney_u(&a, &b, Alternative::Greater);
+        let l = mann_whitney_u(&a, &b, Alternative::Less);
+        assert!(g.p_value < 0.5);
+        assert!(l.p_value > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "samples must be non-empty")]
+    fn empty_sample_panics() {
+        mann_whitney_u(&[], &[1.0], Alternative::TwoSided);
+    }
+}

@@ -1,0 +1,30 @@
+//! Hypothesis tests.
+//!
+//! * [`mann_whitney`] — the rank test behind the paper's `P(A > B)`
+//!   criterion (Section 4.1 builds "upon the non-parametric Mann-Whitney
+//!   test to produce decisions about whether P(A>B) ≥ γ").
+//! * [`shapiro_wilk`] — normality testing used by the paper's Fig. G.3 to
+//!   validate the normal modelling assumption.
+//! * [`wilcoxon`] — signed-rank test, the Demšar recommendation for
+//!   multiple-dataset comparisons discussed in the paper's Section 6.
+//! * [`parametric`] — z- and t-tests used for the "average comparison"
+//!   baseline criterion.
+
+pub mod mann_whitney;
+pub mod parametric;
+pub mod shapiro_wilk;
+pub mod wilcoxon;
+
+/// Direction of a one- or two-sided alternative hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum Alternative {
+    /// H1: the distributions differ (either direction).
+    #[default]
+    TwoSided,
+    /// H1: the first sample is stochastically greater.
+    Greater,
+    /// H1: the first sample is stochastically smaller.
+    Less,
+}
+

@@ -1,0 +1,228 @@
+//! Parametric location tests: z-test and t-tests.
+//!
+//! Section 3.1 of the paper uses the z-test threshold
+//! `z₀.₀₅ √((σ²_A + σ²_B)/k)` to show how many data splits are needed to
+//! detect a difference; Section 4.2 contrasts the "average comparison"
+//! criterion with a t-test whose "adjustment of the threshold based on the
+//! variance ... allows better control on false negatives".
+
+use crate::describe::{mean, std_dev, variance};
+use crate::normal::Normal;
+use crate::student_t::StudentT;
+use crate::tests::Alternative;
+
+/// Result of a parametric location test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic (z or t).
+    pub statistic: f64,
+    /// The p-value under the requested alternative.
+    pub p_value: f64,
+    /// Degrees of freedom (`f64::INFINITY` for z-tests).
+    pub dof: f64,
+}
+
+fn p_from_normal(z: f64, alternative: Alternative) -> f64 {
+    let n = Normal::standard();
+    match alternative {
+        Alternative::TwoSided => (2.0 * n.sf(z.abs())).min(1.0),
+        Alternative::Greater => n.sf(z),
+        Alternative::Less => n.cdf(z),
+    }
+}
+
+fn p_from_t(t: f64, dof: f64, alternative: Alternative) -> f64 {
+    let dist = StudentT::new(dof);
+    match alternative {
+        Alternative::TwoSided => dist.two_sided_p(t).min(1.0),
+        Alternative::Greater => dist.sf(t),
+        Alternative::Less => dist.cdf(t),
+    }
+}
+
+/// Two-sample z-test for a difference of means with *known* standard
+/// deviations.
+///
+/// This is the form used in the paper's Section 3.1: with per-measure
+/// variances `σ²_A`, `σ²_B` and `k` paired measures, a difference must
+/// exceed `z_α √((σ²_A + σ²_B)/k)` to be detectable.
+///
+/// # Panics
+///
+/// Panics if a sigma is not positive or `k == 0`.
+pub fn z_test_known_variance(
+    mean_a: f64,
+    mean_b: f64,
+    sigma_a: f64,
+    sigma_b: f64,
+    k: usize,
+    alternative: Alternative,
+) -> TestResult {
+    assert!(sigma_a > 0.0 && sigma_b > 0.0, "sigmas must be > 0");
+    assert!(k > 0, "k must be > 0");
+    let se = ((sigma_a * sigma_a + sigma_b * sigma_b) / k as f64).sqrt();
+    let z = (mean_a - mean_b) / se;
+    TestResult {
+        statistic: z,
+        p_value: p_from_normal(z, alternative),
+        dof: f64::INFINITY,
+    }
+}
+
+/// The minimal detectable difference of the paper's Eq. in §3.1:
+/// `z_{1−α} √((σ²_A + σ²_B)/k)`.
+///
+/// # Panics
+///
+/// Panics if sigmas are negative, `alpha` outside `(0,1)`, or `k == 0`.
+pub fn min_detectable_difference(sigma_a: f64, sigma_b: f64, k: usize, alpha: f64) -> f64 {
+    assert!(sigma_a >= 0.0 && sigma_b >= 0.0, "sigmas must be >= 0");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    assert!(k > 0, "k must be > 0");
+    let z = crate::normal::standard_normal_quantile(1.0 - alpha);
+    z * ((sigma_a * sigma_a + sigma_b * sigma_b) / k as f64).sqrt()
+}
+
+/// One-sample t-test of `H0: mean == mu0`.
+///
+/// # Panics
+///
+/// Panics if `xs.len() < 2` or the sample is constant.
+pub fn t_test_one_sample(xs: &[f64], mu0: f64, alternative: Alternative) -> TestResult {
+    assert!(xs.len() >= 2, "t-test requires at least 2 observations");
+    let s = std_dev(xs);
+    assert!(s > 0.0, "t-test undefined for constant sample");
+    let n = xs.len() as f64;
+    let t = (mean(xs) - mu0) / (s / n.sqrt());
+    let dof = n - 1.0;
+    TestResult {
+        statistic: t,
+        p_value: p_from_t(t, dof, alternative),
+        dof,
+    }
+}
+
+/// Welch's two-sample t-test (unequal variances).
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than 2 observations or both are
+/// constant.
+pub fn t_test_welch(a: &[f64], b: &[f64], alternative: Alternative) -> TestResult {
+    assert!(a.len() >= 2 && b.len() >= 2, "t-test requires >= 2 observations");
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let (va, vb) = (variance(a, 1), variance(b, 1));
+    assert!(va + vb > 0.0, "t-test undefined for two constant samples");
+    let se2 = va / na + vb / nb;
+    let t = (mean(a) - mean(b)) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let dof = se2 * se2
+        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    TestResult {
+        statistic: t,
+        p_value: p_from_t(t, dof.max(1.0), alternative),
+        dof,
+    }
+}
+
+/// Paired t-test on differences `a_i − b_i`.
+///
+/// Pairing marginalizes shared variance sources (paper Appendix C.2:
+/// "pairing is a simple but powerful way of increasing the power of
+/// statistical tests").
+///
+/// # Panics
+///
+/// Panics if lengths differ, fewer than 2 pairs, or all differences equal.
+pub fn t_test_paired(a: &[f64], b: &[f64], alternative: Alternative) -> TestResult {
+    assert_eq!(a.len(), b.len(), "paired t-test requires pairs");
+    let d: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    t_test_one_sample(&d, 0.0, alternative)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_test_known_example() {
+        // mean diff 1.0, sigma_a = sigma_b = 1, k = 8 → se = 0.5, z = 2.
+        let r = z_test_known_variance(1.0, 0.0, 1.0, 1.0, 8, Alternative::TwoSided);
+        assert!((r.statistic - 2.0).abs() < 1e-12);
+        assert!((r.p_value - 0.0455).abs() < 1e-3);
+    }
+
+    #[test]
+    fn min_detectable_difference_shrinks_with_k() {
+        let d1 = min_detectable_difference(1.0, 1.0, 1, 0.05);
+        let d100 = min_detectable_difference(1.0, 1.0, 100, 0.05);
+        assert!((d1 / d100 - 10.0).abs() < 1e-9);
+        // k=1, σ=1 → 1.6449 * sqrt(2) ≈ 2.326.
+        assert!((d1 - 1.6448536 * 2.0f64.sqrt()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn one_sample_t_detects_shift() {
+        let xs = [1.1, 0.9, 1.2, 1.05, 0.95, 1.0, 1.15, 0.92];
+        let r = t_test_one_sample(&xs, 0.0, Alternative::TwoSided);
+        assert!(r.p_value < 1e-6);
+        let r0 = t_test_one_sample(&xs, 1.0, Alternative::TwoSided);
+        assert!(r0.p_value > 0.3);
+    }
+
+    #[test]
+    fn welch_reference_computation() {
+        // Symmetric samples, equal variances: t reduces to pooled form.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 3.0, 4.0, 5.0, 6.0];
+        let r = t_test_welch(&a, &b, Alternative::TwoSided);
+        // mean diff -1, var = 2.5 each, se = sqrt(2.5/5+2.5/5) = 1, t = -1.
+        assert!((r.statistic + 1.0).abs() < 1e-12);
+        assert!((r.dof - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_unequal_variance_dof_reduced() {
+        let a = [0.0, 0.1, -0.1, 0.05, -0.05, 0.02, -0.02, 0.08];
+        let b = [0.0, 10.0, -10.0, 5.0, -5.0, 2.0, -2.0, 8.0];
+        let r = t_test_welch(&a, &b, Alternative::TwoSided);
+        assert!(r.dof < 8.0, "dof {}", r.dof);
+    }
+
+    #[test]
+    fn paired_beats_unpaired_on_shared_noise() {
+        // Large shared per-pair offsets drown the unpaired test but not the
+        // paired one — the variance-reduction argument of Appendix C.2.
+        use varbench_rng::Rng;
+        let mut rng = Rng::seed_from_u64(1);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..20 {
+            let shared = rng.normal(0.0, 5.0);
+            a.push(shared + 0.2 + rng.normal(0.0, 0.05));
+            b.push(shared + rng.normal(0.0, 0.05));
+        }
+        let paired = t_test_paired(&a, &b, Alternative::Greater);
+        let unpaired = t_test_welch(&a, &b, Alternative::Greater);
+        assert!(paired.p_value < 0.001, "paired p={}", paired.p_value);
+        assert!(unpaired.p_value > 0.05, "unpaired p={}", unpaired.p_value);
+    }
+
+    #[test]
+    fn alternatives_are_coherent() {
+        let a = [2.0, 2.1, 1.9, 2.05];
+        let b = [1.0, 1.1, 0.9, 1.05];
+        let g = t_test_welch(&a, &b, Alternative::Greater).p_value;
+        let l = t_test_welch(&a, &b, Alternative::Less).p_value;
+        let two = t_test_welch(&a, &b, Alternative::TwoSided).p_value;
+        assert!(g < 0.01);
+        assert!(l > 0.99);
+        assert!((two - 2.0 * g).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "t-test undefined for constant sample")]
+    fn constant_sample_panics() {
+        t_test_one_sample(&[1.0, 1.0, 1.0], 0.0, Alternative::TwoSided);
+    }
+}

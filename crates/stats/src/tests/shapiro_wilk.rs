@@ -1,0 +1,279 @@
+//! The Shapiro–Wilk normality test (Royston's AS R94 algorithm, 1995).
+//!
+//! The paper validates its normal modelling assumption on every case study
+//! and variance source with Shapiro–Wilk (Fig. G.3: "except for Glue-SST2
+//! BERT, all case studies have distributions of performances very close to
+//! normal"). This is a from-scratch implementation of Royston's
+//! approximation, valid for sample sizes `3 ≤ n ≤ 5000`.
+
+use crate::normal::{standard_normal_quantile, Normal};
+
+/// Result of a Shapiro–Wilk test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapiroWilkResult {
+    /// The W statistic in `(0, 1]`; values near 1 indicate normality.
+    pub w: f64,
+    /// P-value of the null hypothesis that the sample is normal.
+    pub p_value: f64,
+}
+
+/// Error cases for the Shapiro–Wilk test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapiroWilkError {
+    /// Fewer than 3 observations.
+    TooFewSamples,
+    /// More than 5000 observations (outside the approximation's validity).
+    TooManySamples,
+    /// All observations identical: W undefined.
+    ConstantSample,
+}
+
+impl std::fmt::Display for ShapiroWilkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooFewSamples => write!(f, "shapiro-wilk requires at least 3 samples"),
+            Self::TooManySamples => write!(f, "shapiro-wilk approximation valid up to n = 5000"),
+            Self::ConstantSample => write!(f, "shapiro-wilk undefined for a constant sample"),
+        }
+    }
+}
+
+impl std::error::Error for ShapiroWilkError {}
+
+/// Performs the Shapiro–Wilk test of normality.
+///
+/// # Errors
+///
+/// Returns an error for n < 3, n > 5000, or constant samples.
+///
+/// # Example
+///
+/// ```
+/// use varbench_stats::tests::shapiro_wilk::shapiro_wilk;
+/// // Strongly skewed data is rejected...
+/// let skewed: Vec<f64> = (1..=50).map(|i| (i as f64).exp().min(1e10)).collect();
+/// let r = shapiro_wilk(&skewed)?;
+/// assert!(r.p_value < 0.01);
+/// # Ok::<(), varbench_stats::tests::shapiro_wilk::ShapiroWilkError>(())
+/// ```
+pub fn shapiro_wilk(xs: &[f64]) -> Result<ShapiroWilkResult, ShapiroWilkError> {
+    let n = xs.len();
+    if n < 3 {
+        return Err(ShapiroWilkError::TooFewSamples);
+    }
+    if n > 5000 {
+        return Err(ShapiroWilkError::TooManySamples);
+    }
+    let mut x = xs.to_vec();
+    x.sort_by(|a, b| a.partial_cmp(b).expect("NaN in shapiro-wilk input"));
+    if x[0] == x[n - 1] {
+        return Err(ShapiroWilkError::ConstantSample);
+    }
+
+    // Expected values of normal order statistics (Blom's approximation).
+    let nf = n as f64;
+    let m: Vec<f64> = (1..=n)
+        .map(|i| standard_normal_quantile((i as f64 - 0.375) / (nf + 0.25)))
+        .collect();
+    let m_sq: f64 = m.iter().map(|v| v * v).sum();
+    let rsn = 1.0 / nf.sqrt(); // u in Royston's notation
+
+    // Weight vector `a` (antisymmetric; only the upper half is stored
+    // conceptually — we build the full vector).
+    let mut a = vec![0.0; n];
+    let c_last = m[n - 1] / m_sq.sqrt();
+    if n == 3 {
+        a[2] = std::f64::consts::FRAC_1_SQRT_2;
+        a[0] = -a[2];
+        a[1] = 0.0;
+    } else {
+        // Royston's polynomial corrections for the two extreme weights.
+        let a_n = c_last
+            + 0.221157 * rsn
+            - 0.147981 * rsn.powi(2)
+            - 2.071190 * rsn.powi(3)
+            + 4.434685 * rsn.powi(4)
+            - 2.706056 * rsn.powi(5);
+        if n <= 5 {
+            let phi = (m_sq - 2.0 * m[n - 1] * m[n - 1]) / (1.0 - 2.0 * a_n * a_n);
+            a[n - 1] = a_n;
+            a[0] = -a_n;
+            let scale = phi.sqrt();
+            for i in 1..n - 1 {
+                a[i] = m[i] / scale;
+            }
+        } else {
+            let c_prev = m[n - 2] / m_sq.sqrt();
+            let a_n1 = c_prev
+                + 0.042981 * rsn
+                - 0.293762 * rsn.powi(2)
+                - 1.752461 * rsn.powi(3)
+                + 5.682633 * rsn.powi(4)
+                - 3.582633 * rsn.powi(5);
+            let phi = (m_sq - 2.0 * m[n - 1] * m[n - 1] - 2.0 * m[n - 2] * m[n - 2])
+                / (1.0 - 2.0 * a_n * a_n - 2.0 * a_n1 * a_n1);
+            a[n - 1] = a_n;
+            a[n - 2] = a_n1;
+            a[0] = -a_n;
+            a[1] = -a_n1;
+            let scale = phi.sqrt();
+            for i in 2..n - 2 {
+                a[i] = m[i] / scale;
+            }
+        }
+    }
+
+    // W statistic.
+    let mean = x.iter().sum::<f64>() / nf;
+    let ssq: f64 = x.iter().map(|v| (v - mean).powi(2)).sum();
+    let b: f64 = a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum();
+    let w = ((b * b) / ssq).min(1.0);
+
+    // P-value via Royston's normalizing transformations.
+    let p_value = if n == 3 {
+        let p = 6.0 / std::f64::consts::PI
+            * ((w.sqrt()).asin() - (0.75f64.sqrt()).asin());
+        p.clamp(0.0, 1.0)
+    } else if n <= 11 {
+        let g = -2.273 + 0.459 * nf;
+        let mu = 0.5440 - 0.39978 * nf + 0.025054 * nf * nf - 0.0006714 * nf.powi(3);
+        let sigma = (1.3822 - 0.77857 * nf + 0.062767 * nf * nf - 0.0020322 * nf.powi(3)).exp();
+        let arg = g - (1.0 - w).ln();
+        if arg <= 0.0 {
+            // W so close to 1 the transform degenerates: no evidence against
+            // normality.
+            1.0
+        } else {
+            let z = (-arg.ln() - mu) / sigma;
+            Normal::standard().sf(z)
+        }
+    } else {
+        let ln_n = nf.ln();
+        let mu = 0.0038915 * ln_n.powi(3) - 0.083751 * ln_n.powi(2) - 0.31082 * ln_n - 1.5861;
+        let sigma = (0.0030302 * ln_n.powi(2) - 0.082676 * ln_n - 0.4803).exp();
+        let z = ((1.0 - w).ln() - mu) / sigma;
+        Normal::standard().sf(z)
+    };
+
+    Ok(ShapiroWilkResult { w, p_value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varbench_rng::Rng;
+
+    #[test]
+    fn w_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(1);
+        for n in [3usize, 5, 10, 30, 100, 500] {
+            let xs: Vec<f64> = (0..n).map(|_| rng.normal(0.0, 1.0)).collect();
+            let r = shapiro_wilk(&xs).unwrap();
+            assert!(r.w > 0.0 && r.w <= 1.0, "n={n} w={}", r.w);
+            assert!((0.0..=1.0).contains(&r.p_value), "n={n} p={}", r.p_value);
+        }
+    }
+
+    #[test]
+    fn normal_data_rarely_rejected() {
+        let trials = 200;
+        let mut rejected = 0;
+        for t in 0..trials {
+            let mut rng = Rng::seed_from_u64(t);
+            let xs: Vec<f64> = (0..50).map(|_| rng.normal(10.0, 3.0)).collect();
+            if shapiro_wilk(&xs).unwrap().p_value < 0.05 {
+                rejected += 1;
+            }
+        }
+        let rate = rejected as f64 / trials as f64;
+        // Nominal 5%; allow approximation slack.
+        assert!(rate < 0.12, "rejection rate under H0: {rate}");
+    }
+
+    #[test]
+    fn exponential_data_rejected() {
+        let trials = 50;
+        let mut rejected = 0;
+        for t in 0..trials {
+            let mut rng = Rng::seed_from_u64(500 + t);
+            let xs: Vec<f64> = (0..100).map(|_| rng.exponential(1.0)).collect();
+            if shapiro_wilk(&xs).unwrap().p_value < 0.05 {
+                rejected += 1;
+            }
+        }
+        let rate = rejected as f64 / trials as f64;
+        assert!(rate > 0.9, "power against exponential: {rate}");
+    }
+
+    #[test]
+    fn uniform_data_rejected_large_n() {
+        let mut rng = Rng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..1000).map(|_| rng.uniform(0.0, 1.0)).collect();
+        let r = shapiro_wilk(&xs).unwrap();
+        assert!(r.p_value < 0.01, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn bimodal_data_rejected() {
+        let mut rng = Rng::seed_from_u64(8);
+        let mut xs: Vec<f64> = (0..50).map(|_| rng.normal(-4.0, 0.3)).collect();
+        xs.extend((0..50).map(|_| rng.normal(4.0, 0.3)));
+        let r = shapiro_wilk(&xs).unwrap();
+        assert!(r.p_value < 0.001, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn w_higher_for_normal_than_skewed() {
+        let mut rng = Rng::seed_from_u64(9);
+        let normal: Vec<f64> = (0..80).map(|_| rng.normal(0.0, 1.0)).collect();
+        let skewed: Vec<f64> = (0..80).map(|_| rng.exponential(1.0).powi(2)).collect();
+        let wn = shapiro_wilk(&normal).unwrap().w;
+        let ws = shapiro_wilk(&skewed).unwrap().w;
+        assert!(wn > ws, "wn={wn} ws={ws}");
+        assert!(wn > 0.95);
+    }
+
+    #[test]
+    fn tiny_samples_handled() {
+        // n = 3 exact-ish branch.
+        let r = shapiro_wilk(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(r.w > 0.9); // perfectly spaced = very normal-looking
+        let r = shapiro_wilk(&[1.0, 1.1, 9.0]).unwrap();
+        assert!(r.w < 0.9);
+        // n in the 4..=5 branch.
+        let r = shapiro_wilk(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!(r.p_value > 0.5);
+        // n in the 6..=11 branch.
+        let r = shapiro_wilk(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]).unwrap();
+        assert!(r.p_value > 0.5);
+    }
+
+    #[test]
+    fn n3_exact_hand_computation() {
+        // n = 3, data (1, 2, 4): a = (−1/√2, 0, 1/√2);
+        // b = (4 − 1)/√2, W = b²/SS = 4.5 / 4.6667 = 0.96428...;
+        // p = (6/π)(asin √W − asin √0.75) = 0.6376...
+        let r = shapiro_wilk(&[1.0, 2.0, 4.0]).unwrap();
+        assert!((r.w - 4.5 / (14.0 / 3.0)).abs() < 1e-10, "W = {}", r.w);
+        let expected_p = 6.0 / std::f64::consts::PI
+            * ((r.w.sqrt()).asin() - 0.75f64.sqrt().asin());
+        assert!((r.p_value - expected_p).abs() < 1e-12);
+        assert!((r.p_value - 0.6376).abs() < 1e-3, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(shapiro_wilk(&[1.0, 2.0]), Err(ShapiroWilkError::TooFewSamples));
+        assert_eq!(
+            shapiro_wilk(&[5.0, 5.0, 5.0, 5.0]),
+            Err(ShapiroWilkError::ConstantSample)
+        );
+        let big = vec![0.0; 5001];
+        assert_eq!(shapiro_wilk(&big), Err(ShapiroWilkError::TooManySamples));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ShapiroWilkError::TooFewSamples.to_string().contains("at least 3"));
+    }
+}

@@ -1,0 +1,163 @@
+//! The Wilcoxon signed-rank test.
+//!
+//! Demšar (2006) recommends this test for comparing classifiers *across
+//! multiple datasets*; the paper discusses (Section 6) why it is
+//! underpowered for the 3–5 datasets typical of ML papers. It is provided
+//! here both for completeness and so that the multiple-dataset guidance can
+//! be exercised in examples.
+
+use crate::correlation::ranks;
+use crate::normal::Normal;
+use crate::tests::Alternative;
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WilcoxonResult {
+    /// Sum of ranks of positive differences (`W+`).
+    pub w_plus: f64,
+    /// Standardized statistic (normal approximation).
+    pub z: f64,
+    /// P-value under the requested alternative.
+    pub p_value: f64,
+    /// Number of non-zero differences actually used.
+    pub n_used: usize,
+}
+
+/// Performs the Wilcoxon signed-rank test on paired samples.
+///
+/// Zero differences are dropped (Wilcoxon's original treatment); ties among
+/// absolute differences receive midranks; p-values use the normal
+/// approximation with continuity correction.
+///
+/// # Panics
+///
+/// Panics if lengths differ or all differences are zero.
+///
+/// # Example
+///
+/// ```
+/// use varbench_stats::tests::{wilcoxon::wilcoxon_signed_rank, Alternative};
+/// let a = [1.2, 1.4, 1.3, 1.6, 1.5, 1.7, 1.45, 1.55];
+/// let b = [1.0, 1.1, 1.2, 1.3, 1.25, 1.4, 1.35, 1.3];
+/// let r = wilcoxon_signed_rank(&a, &b, Alternative::Greater);
+/// assert!(r.p_value < 0.05);
+/// ```
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64], alternative: Alternative) -> WilcoxonResult {
+    assert_eq!(a.len(), b.len(), "wilcoxon requires pairs");
+    let diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x - y)
+        .filter(|d| *d != 0.0)
+        .collect();
+    assert!(!diffs.is_empty(), "wilcoxon undefined when all differences are zero");
+    let n = diffs.len();
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let r = ranks(&abs);
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&r)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, rank)| rank)
+        .sum();
+
+    let nf = n as f64;
+    let mean_w = nf * (nf + 1.0) / 4.0;
+    // Tie correction on the variance.
+    let mut sorted = abs.clone();
+    sorted.sort_by(|x, y| x.partial_cmp(y).expect("NaN"));
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let var_w = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_term / 48.0;
+
+    let (z, p_value) = if var_w <= 0.0 {
+        (0.0, 1.0)
+    } else {
+        let sd = var_w.sqrt();
+        let norm = Normal::standard();
+        match alternative {
+            Alternative::TwoSided => {
+                let z = (w_plus - mean_w - 0.5 * (w_plus - mean_w).signum()) / sd;
+                (z, (2.0 * norm.sf(z.abs())).min(1.0))
+            }
+            Alternative::Greater => {
+                let z = (w_plus - mean_w - 0.5) / sd;
+                (z, norm.sf(z))
+            }
+            Alternative::Less => {
+                let z = (w_plus - mean_w + 0.5) / sd;
+                (z, norm.cdf(z))
+            }
+        }
+    };
+
+    WilcoxonResult {
+        w_plus,
+        z,
+        p_value,
+        n_used: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_computed_w_plus() {
+        // diffs: +1, -2, +3, +4 → |d| ranks 1,2,3,4 → W+ = 1+3+4 = 8.
+        let a = [2.0, 0.0, 4.0, 5.0];
+        let b = [1.0, 2.0, 1.0, 1.0];
+        let r = wilcoxon_signed_rank(&a, &b, Alternative::TwoSided);
+        assert_eq!(r.w_plus, 8.0);
+        assert_eq!(r.n_used, 4);
+    }
+
+    #[test]
+    fn zero_differences_dropped() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 1.0, 1.0, 1.0];
+        let r = wilcoxon_signed_rank(&a, &b, Alternative::TwoSided);
+        assert_eq!(r.n_used, 3);
+    }
+
+    #[test]
+    fn all_positive_differences_significant() {
+        let a: Vec<f64> = (1..=20).map(|i| i as f64 + 0.5).collect();
+        let b: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let r = wilcoxon_signed_rank(&a, &b, Alternative::Greater);
+        assert!(r.p_value < 0.001, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn symmetric_null_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [2.0, 1.0, 4.0, 3.0, 6.0, 5.0];
+        let r = wilcoxon_signed_rank(&a, &b, Alternative::TwoSided);
+        assert!(r.p_value > 0.5, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn direction_flip_mirrors_p() {
+        let a = [3.0, 4.0, 5.0, 6.0, 7.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let g = wilcoxon_signed_rank(&a, &b, Alternative::Greater).p_value;
+        let l = wilcoxon_signed_rank(&b, &a, Alternative::Less).p_value;
+        assert!((g - l).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "all differences are zero")]
+    fn identical_pairs_panics() {
+        wilcoxon_signed_rank(&[1.0, 2.0], &[1.0, 2.0], Alternative::TwoSided);
+    }
+}

@@ -1,0 +1,41 @@
+//! Protocol audit: lint an experimental design against the paper's
+//! recommendations before burning compute on it.
+//!
+//! Run with: `cargo run --release --example protocol_audit`
+
+use varbench::core::checklist::{audit, Criterion, Protocol};
+
+fn main() {
+    println!("== auditing a typical deep-learning paper protocol ==\n");
+    let typical = Protocol {
+        runs_per_algorithm: 5,
+        randomizes_splits: false, // fixed benchmark split
+        randomizes_init: true,    // "5 seeds"
+        randomizes_other_sources: false,
+        tunes_each_algorithm: false, // hyperparameters from the baseline paper
+        paired: false,
+        criterion: Criterion::AverageDifference,
+    };
+    for finding in audit(&typical) {
+        println!("{finding}");
+    }
+
+    println!("\n== auditing the paper-recommended protocol ==\n");
+    let recommended = Protocol {
+        runs_per_algorithm: 29,
+        randomizes_splits: true,
+        randomizes_init: true,
+        randomizes_other_sources: true,
+        tunes_each_algorithm: true,
+        paired: true,
+        criterion: Criterion::ProbabilityOfOutperforming,
+    };
+    let findings = audit(&recommended);
+    if findings.is_empty() {
+        println!("clean: protocol follows every recommendation of the paper");
+    } else {
+        for finding in findings {
+            println!("{finding}");
+        }
+    }
+}

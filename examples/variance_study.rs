@@ -1,0 +1,62 @@
+//! Variance study: decompose the benchmark variance of one pipeline into
+//! its sources, as in the paper's Fig. 1 protocol.
+//!
+//! For each source of variation (bootstrap data split, weight init, data
+//! order, dropout, ...) we hold everything else fixed, randomize that one
+//! source, and measure the standard deviation of the test metric. The
+//! punchline the paper established: data sampling dominates, and weight
+//! initialization — the one source most papers randomize — is a fraction
+//! of it.
+//!
+//! Run with: `cargo run --release --example variance_study`
+
+use varbench::core::estimator::source_variance_study;
+use varbench::core::report::{bar, num, Table};
+use varbench::pipeline::{CaseStudy, HpoAlgorithm, Scale};
+use varbench::stats::describe::std_dev;
+
+fn main() {
+    let cs = CaseStudy::glue_sst2_bert(Scale::Test);
+    let n_seeds = 12;
+    println!(
+        "variance decomposition of {} ({} seeds per source)\n",
+        cs.name(),
+        n_seeds
+    );
+
+    let mut rows = Vec::new();
+    for &src in cs.active_sources() {
+        if src.is_hyperopt() {
+            continue;
+        }
+        let measures =
+            source_variance_study(&cs, src, n_seeds, HpoAlgorithm::RandomSearch, 1, 99);
+        rows.push((src.display_name().to_string(), std_dev(&measures)));
+    }
+    // Hyperparameter-optimization variance: independent tuning runs.
+    let hopt = source_variance_study(
+        &cs,
+        varbench::pipeline::VarianceSource::HyperOpt,
+        4,
+        HpoAlgorithm::RandomSearch,
+        5,
+        99,
+    );
+    rows.push(("HyperOpt (random search)".into(), std_dev(&hopt)));
+
+    let reference = rows
+        .iter()
+        .find(|(l, _)| l == "Data (bootstrap)")
+        .map(|(_, s)| *s)
+        .unwrap_or(1.0);
+    let mut t = Table::new(vec!["source".into(), "std".into(), "".into()]);
+    for (label, sd) in &rows {
+        t.add_row(vec![
+            label.clone(),
+            num(*sd, 5),
+            bar(*sd, reference * 1.5, 30),
+        ]);
+    }
+    println!("{t}");
+    println!("reference unit: bootstrap std = {}", num(reference, 5));
+}

@@ -1,0 +1,63 @@
+//! # varbench — variance-aware machine-learning benchmarking
+//!
+//! A Rust reproduction of *Accounting for Variance in Machine Learning
+//! Benchmarks* (Bouthillier et al., MLSys 2021): a probabilistic model of
+//! the complete benchmarking process, estimators of expected pipeline
+//! performance that do (and do not) account for hyperparameter-optimization
+//! variance, and a variance-aware decision criterion — the *probability of
+//! outperforming* `P(A > B)` — with percentile-bootstrap confidence
+//! intervals and Noether sample-size planning.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`rng`] | `varbench-rng` | deterministic RNG + per-source seed trees |
+//! | [`linalg`] | `varbench-linalg` | dense matrices, Cholesky |
+//! | [`stats`] | `varbench-stats` | distributions, tests, bootstrap, power |
+//! | [`data`] | `varbench-data` | synthetic datasets, out-of-bootstrap splits |
+//! | [`models`] | `varbench-models` | seedable MLPs, linear models, ensembles |
+//! | [`hpo`] | `varbench-hpo` | random/grid/noisy-grid/Bayesian optimization |
+//! | [`pipeline`] | `varbench-pipeline` | variance sources + 5 case studies |
+//! | [`core`] | `varbench-core` | estimators, comparisons, simulation |
+//!
+//! # The paper's three recommendations, as code
+//!
+//! 1. **Randomize as many sources of variation as possible** — build a
+//!    fresh [`pipeline::SeedAssignment::all_random`] for every run.
+//! 2. **Use multiple data splits** — every case study splits with
+//!    out-of-bootstrap resampling ([`data::split::oob_split`]).
+//! 3. **Account for variance when concluding** — use
+//!    [`core::compare::compare_paired`] with γ = 0.75 and
+//!    [`core::sample_size::recommended`] (= 29) paired runs.
+//!
+//! ```
+//! use varbench::core::compare::compare_paired;
+//! use varbench::pipeline::{CaseStudy, Scale, SeedAssignment};
+//! use varbench::rng::Rng;
+//!
+//! let cs = CaseStudy::mhc_mlp(Scale::Test);
+//! let a_params = vec![24.0, 1e-3]; // wider hidden layer
+//! let b_params = vec![8.0, 1e-3];  // narrower hidden layer
+//! let (mut a, mut b) = (Vec::new(), Vec::new());
+//! for i in 0..5 {
+//!     let seeds = SeedAssignment::all_random(7, i); // paired seeds
+//!     a.push(cs.run_with_params(&a_params, &seeds));
+//!     b.push(cs.run_with_params(&b_params, &seeds));
+//! }
+//! let mut rng = Rng::seed_from_u64(1);
+//! let verdict = compare_paired(&a, &b, 0.75, 0.05, 200, &mut rng);
+//! println!("{verdict}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use varbench_core as core;
+pub use varbench_data as data;
+pub use varbench_hpo as hpo;
+pub use varbench_linalg as linalg;
+pub use varbench_models as models;
+pub use varbench_pipeline as pipeline;
+pub use varbench_rng as rng;
+pub use varbench_stats as stats;

@@ -1,0 +1,155 @@
+//! Integration tests of the decision criteria's error rates, reproducing
+//! the paper's Section 4 claims at reduced simulation scale.
+
+use varbench::core::compare::{average_comparison, compare_paired, single_point_comparison};
+use varbench::core::simulation::{
+    detection_study, oracle_power, simulate_measures, DetectionConfig, SimEstimator, SimulatedTask,
+};
+use varbench::rng::Rng;
+
+fn task() -> SimulatedTask {
+    // Calibration-realistic ratio: the per-ξ offset of FixHOptEst(All) is
+    // roughly a third of the conditioned measure std (paper Fig. H.5).
+    // Larger offsets degrade the biased test's false-positive control —
+    // that degradation is itself a paper finding, tested in
+    // `biased_estimator_degrades_but_preserves_control`.
+    SimulatedTask::new(0.02, 0.006, 0.019)
+}
+
+fn config() -> DetectionConfig {
+    DetectionConfig {
+        k: 50,
+        n_simulations: 120,
+        gamma: 0.75,
+        delta: 1.9952 * 0.02,
+        alpha: 0.05,
+        resamples: 150,
+    }
+}
+
+#[test]
+fn false_positives_controlled_at_null() {
+    let rows = detection_study(&task(), &[0.5], &config(), 1);
+    let r = &rows[0];
+    // Paper: single point ~10% FP (we measure "A declared better", a coin
+    // flip ~50%, of which the false-positive *error* concerns the
+    // conclusion; here we check the variance-aware tests).
+    assert!(r.prob_out_ideal <= 0.08, "P(A>B) test FP {}", r.prob_out_ideal);
+    // The biased estimator loses nominal control ("we cannot guarantee a
+    // nominal control") but stays in a usable regime.
+    assert!(r.prob_out_biased <= 0.22, "biased P(A>B) FP {}", r.prob_out_biased);
+    assert!(r.average_ideal <= 0.08, "average FP {}", r.average_ideal);
+}
+
+#[test]
+fn false_negatives_much_lower_for_prob_test_than_average() {
+    // Paper Fig. 6, right region (H1 true, P(A>B) = 0.95): average has
+    // ~90% FN, the P(A>B) test ~30%.
+    let rows = detection_study(&task(), &[0.95], &config(), 2);
+    let r = &rows[0];
+    assert!(
+        r.prob_out_ideal > r.average_ideal,
+        "P(A>B) detection {} must exceed average's {}",
+        r.prob_out_ideal,
+        r.average_ideal
+    );
+    assert!(r.prob_out_ideal > 0.5, "P(A>B) detection too low: {}", r.prob_out_ideal);
+    assert!(r.oracle > 0.99);
+}
+
+#[test]
+fn single_point_has_high_false_negatives_under_h1() {
+    // One pair of runs misses true improvements often (paper: ~75% FN at
+    // moderate effects).
+    let t = task();
+    let gap = t.gap_for_probability(0.75);
+    let mut rng = Rng::seed_from_u64(3);
+    let mut misses = 0;
+    let sims = 2000;
+    for _ in 0..sims {
+        let a = simulate_measures(&t, SimEstimator::Ideal, 0.5 + gap, 1, &mut rng);
+        let b = simulate_measures(&t, SimEstimator::Ideal, 0.5, 1, &mut rng);
+        if !single_point_comparison(a[0], b[0]) {
+            misses += 1;
+        }
+    }
+    let fn_rate = misses as f64 / sims as f64;
+    // At P(A>B)=0.75 the single-point FN rate is exactly 25% by
+    // construction; the paper's ~75% figure applies to its delta-thresholded
+    // variant. Verify the coin-flip structure.
+    assert!((fn_rate - 0.25).abs() < 0.05, "single-point FN {fn_rate}");
+}
+
+#[test]
+fn average_with_paper_delta_is_conservative() {
+    let t = task();
+    let gap = t.gap_for_probability(0.85);
+    let mut rng = Rng::seed_from_u64(4);
+    let mut detections = 0;
+    let sims = 400;
+    for _ in 0..sims {
+        let a = simulate_measures(&t, SimEstimator::Ideal, 0.5 + gap, 50, &mut rng);
+        let b = simulate_measures(&t, SimEstimator::Ideal, 0.5, 50, &mut rng);
+        if average_comparison(&a, &b, 1.9952 * t.sigma) {
+            detections += 1;
+        }
+    }
+    let rate = detections as f64 / sims as f64;
+    // Meaningful effect (P=0.85) but the delta threshold swallows most of
+    // it: detection should stay low (paper: ~10%).
+    assert!(rate < 0.5, "average criterion detection {rate} not conservative");
+}
+
+#[test]
+fn biased_estimator_degrades_but_preserves_control() {
+    // Paper: "the test of probability of outperforming controls well the
+    // error rates even when used with a biased estimator".
+    let rows = detection_study(&task(), &[0.5, 0.9], &config(), 5);
+    let null = &rows[0];
+    let effect = &rows[1];
+    assert!(null.prob_out_biased <= 0.22, "biased FP {}", null.prob_out_biased);
+    assert!(
+        effect.prob_out_biased >= effect.prob_out_ideal * 0.4,
+        "biased power {} collapsed vs ideal {}",
+        effect.prob_out_biased,
+        effect.prob_out_ideal
+    );
+}
+
+#[test]
+fn oracle_power_is_an_upper_envelope() {
+    let rows = detection_study(&task(), &[0.6, 0.7, 0.8], &config(), 6);
+    for r in &rows {
+        assert!(
+            r.prob_out_ideal <= oracle_power(r.p_true, 50, 0.05) + 0.10,
+            "test at p={} beats the oracle: {} vs {}",
+            r.p_true,
+            r.prob_out_ideal,
+            r.oracle
+        );
+    }
+}
+
+#[test]
+fn gamma_tuning_trades_detection_for_stringency() {
+    let t = task();
+    let gap = t.gap_for_probability(0.8);
+    let mut loose_hits = 0;
+    let mut strict_hits = 0;
+    let sims = 150;
+    let mut rng = Rng::seed_from_u64(7);
+    for _ in 0..sims {
+        let a = simulate_measures(&t, SimEstimator::Ideal, 0.5 + gap, 50, &mut rng);
+        let b = simulate_measures(&t, SimEstimator::Ideal, 0.5, 50, &mut rng);
+        if compare_paired(&a, &b, 0.65, 0.05, 150, &mut rng).is_improvement() {
+            loose_hits += 1;
+        }
+        if compare_paired(&a, &b, 0.9, 0.05, 150, &mut rng).is_improvement() {
+            strict_hits += 1;
+        }
+    }
+    assert!(
+        loose_hits >= strict_hits,
+        "looser gamma should detect at least as often: {loose_hits} vs {strict_hits}"
+    );
+}

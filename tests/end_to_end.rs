@@ -1,0 +1,85 @@
+//! End-to-end integration: the full workflow of the paper — measure
+//! variance, estimate performance, compare algorithms, decide — across
+//! crates.
+
+use varbench::core::compare::{compare_paired, Decision};
+use varbench::core::estimator::{fix_hopt_estimator, ideal_estimator, Randomize};
+use varbench::pipeline::{CaseStudy, HpoAlgorithm, Scale, SeedAssignment};
+use varbench::rng::Rng;
+use varbench::stats::describe::mean;
+
+#[test]
+fn complete_benchmark_workflow() {
+    let cs = CaseStudy::glue_rte_bert(Scale::Test);
+
+    // 1. Estimate expected performance with both estimators.
+    let ideal = ideal_estimator(&cs, 4, HpoAlgorithm::RandomSearch, 4, 1);
+    let biased = fix_hopt_estimator(&cs, 6, HpoAlgorithm::RandomSearch, 4, 1, 0, Randomize::All);
+    assert!(ideal.fits > biased.fits, "ideal must cost more fits");
+    let mu_ideal = ideal.mean();
+    let mu_biased = biased.mean();
+    assert!((mu_ideal - mu_biased).abs() < 0.25, "estimators should agree roughly");
+
+    // 2. Compare a real improvement with the recommended test.
+    let a_params = cs.default_params().to_vec();
+    let mut b_params = a_params.clone();
+    b_params[0] = 0.002; // crippled learning rate
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    for i in 0..16 {
+        let seeds = SeedAssignment::all_random(5, i);
+        a.push(cs.run_with_params(&a_params, &seeds));
+        b.push(cs.run_with_params(&b_params, &seeds));
+    }
+    assert!(mean(&a) > mean(&b), "A should outperform the crippled B on average");
+    let mut rng = Rng::seed_from_u64(9);
+    let verdict = compare_paired(&a, &b, 0.75, 0.05, 500, &mut rng);
+    assert!(
+        verdict.p_a_gt_b > 0.6,
+        "P(A>B) = {} should reflect the improvement",
+        verdict.p_a_gt_b
+    );
+
+    // 3. Comparing an algorithm against itself must not be an improvement.
+    let (mut a2, mut b2) = (Vec::new(), Vec::new());
+    for i in 0..16 {
+        // Different seeds per side: two independent runs of the SAME
+        // algorithm.
+        a2.push(cs.run_with_params(&a_params, &SeedAssignment::all_random(21, i)));
+        b2.push(cs.run_with_params(&a_params, &SeedAssignment::all_random(22, i)));
+    }
+    let verdict2 = compare_paired(&a2, &b2, 0.75, 0.05, 500, &mut rng);
+    assert_ne!(
+        verdict2.decision,
+        Decision::SignificantAndMeaningful,
+        "self-comparison must not be declared an improvement: {verdict2}"
+    );
+}
+
+#[test]
+fn pipeline_hpo_improves_over_bad_defaults() {
+    // HOpt should find hyperparameters at least as good as a crippled
+    // starting point on the validation objective.
+    let cs = CaseStudy::mhc_mlp(Scale::Test);
+    let seeds = SeedAssignment::all_fixed(3);
+    let (best, history) = cs.hopt(&seeds, HpoAlgorithm::BayesOpt, 8);
+    // The selected parameters must come from the history's best trial.
+    let best_obj = history.best().unwrap().objective;
+    assert!(history.trials().iter().all(|t| t.objective >= best_obj));
+    assert_eq!(best, history.best().unwrap().params);
+}
+
+#[test]
+fn all_case_studies_complete_pipeline() {
+    for cs in CaseStudy::all(Scale::Test) {
+        let seeds = SeedAssignment::all_random(7, 0);
+        let result = cs.run_pipeline(&seeds, HpoAlgorithm::RandomSearch, 3);
+        assert!(
+            result.test_metric > 0.0 && result.test_metric <= 1.0,
+            "{}: test metric {}",
+            cs.name(),
+            result.test_metric
+        );
+        assert_eq!(result.fits, 4);
+        assert_eq!(result.best_params.len(), cs.search_space().len());
+    }
+}

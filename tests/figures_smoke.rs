@@ -1,0 +1,95 @@
+//! Smoke tests: every figure/table harness runs end-to-end at test preset
+//! and produces the expected report structure.
+
+use varbench_bench::figures::*;
+
+#[test]
+fn fig1_smoke() {
+    let r = fig1::run(&fig1::Config::test());
+    assert!(r.contains("Figure 1"));
+    assert!(r.contains("Data (bootstrap)"));
+}
+
+#[test]
+fn fig2_smoke() {
+    let r = fig2::run(&fig2::Config::test());
+    assert!(r.contains("Figure 2"));
+    assert!(r.contains("tau"));
+}
+
+#[test]
+fn fig3_smoke() {
+    let r = fig3::run(&fig3::Config::default());
+    assert!(r.contains("Figure 3"));
+    assert!(r.contains("AutoAugment"));
+}
+
+#[test]
+fn fig5_smoke() {
+    let r = fig5::run(&fig5::Config::test());
+    assert!(r.contains("Figure 5"));
+    assert!(r.contains("IdealEst"));
+}
+
+#[test]
+fn fig6_smoke() {
+    let r = fig6::run(&fig6::Config::test());
+    assert!(r.contains("Figure 6"));
+    assert!(r.contains("oracle"));
+}
+
+#[test]
+fn figc1_smoke() {
+    let r = figc1::run();
+    assert!(r.contains("N = 29"));
+}
+
+#[test]
+fn figf2_smoke() {
+    let r = figf2::run(&figf2::Config::test());
+    assert!(r.contains("Figure F.2"));
+    assert!(r.contains("Bayes Opt"));
+}
+
+#[test]
+fn figg3_smoke() {
+    let r = figg3::run(&figg3::Config::test());
+    assert!(r.contains("Shapiro-Wilk"));
+}
+
+#[test]
+fn figh5_smoke() {
+    let r = figh5::run(&figh5::Config::test());
+    assert!(r.contains("MSE decomposition"));
+}
+
+#[test]
+fn figi6_smoke() {
+    let cfg = figi6::Config {
+        n_simulations: 4,
+        resamples: 40,
+        sigma: 0.02,
+    };
+    let r = figi6::run(&cfg);
+    assert!(r.contains("robustness"));
+}
+
+#[test]
+fn tables_smoke() {
+    let r = tables::run(&tables::Config::test());
+    assert!(r.contains("Table 8"));
+    assert!(r.contains("search spaces"));
+}
+
+#[test]
+fn interactions_smoke() {
+    let r = interactions::run(&interactions::Config::test());
+    assert!(r.contains("joint / sum"));
+}
+
+#[test]
+fn ablations_smoke() {
+    let r = ablations::run(&ablations::Config::test());
+    assert!(r.contains("HPO budget"));
+    assert!(r.contains("out-of-bootstrap"));
+}

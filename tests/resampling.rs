@@ -1,0 +1,76 @@
+//! Integration tests of the resampling schemes, including the paper's
+//! Appendix B argument for bootstrap over cross-validation.
+
+use std::collections::HashSet;
+use varbench::data::split::{kfold, oob_split, stratified_oob_split};
+use varbench::rng::Rng;
+
+fn overlap_fraction(a: &[usize], b: &[usize]) -> f64 {
+    let sa: HashSet<usize> = a.iter().copied().collect();
+    let sb: HashSet<usize> = b.iter().copied().collect();
+    let inter = sa.intersection(&sb).count();
+    inter as f64 / sa.len().min(sb.len()).max(1) as f64
+}
+
+#[test]
+fn cv_train_sets_overlap_more_than_bootstrap_train_sets() {
+    // The mechanism behind CV's variance underestimation (Appendix B):
+    // k-fold train sets share (k-2)/(k-1) of their examples, while
+    // bootstrap train sets share ~63% — bootstrap replicates are closer to
+    // independent draws.
+    let n = 1000;
+    let mut rng = Rng::seed_from_u64(1);
+    let folds = kfold(n, 5, &mut rng);
+    let cv_overlap = overlap_fraction(&folds[0].0, &folds[1].0);
+
+    let s1 = oob_split(n, n, 50, 50, &mut rng);
+    let s2 = oob_split(n, n, 50, 50, &mut rng);
+    let unique1: HashSet<usize> = s1.train().iter().copied().collect();
+    let unique2: HashSet<usize> = s2.train().iter().copied().collect();
+    let boot_overlap = unique1.intersection(&unique2).count() as f64
+        / unique1.len().min(unique2.len()) as f64;
+
+    assert!(
+        cv_overlap > boot_overlap,
+        "cv overlap {cv_overlap} should exceed bootstrap overlap {boot_overlap}"
+    );
+    // Quantitative check: 5-fold CV trains share 3/4 of the pool.
+    assert!((cv_overlap - 0.75).abs() < 0.05, "cv overlap {cv_overlap}");
+    // Bootstrap unique sets cover ~63.2% of the pool and overlap ~63%.
+    assert!(
+        (boot_overlap - 0.632).abs() < 0.08,
+        "boot overlap {boot_overlap}"
+    );
+}
+
+#[test]
+fn oob_supports_arbitrarily_many_resamples() {
+    // Appendix B: "flexible sample sizes ... hardly possible with
+    // cross-validation without affecting the training dataset sizes".
+    // Bootstrap gives any number of same-sized splits.
+    let mut rng = Rng::seed_from_u64(2);
+    let splits: Vec<_> = (0..25).map(|_| oob_split(300, 300, 30, 30, &mut rng)).collect();
+    for s in &splits {
+        assert_eq!(s.train().len(), 300);
+        assert_eq!(s.test().len(), 30);
+    }
+    // And they differ from each other.
+    assert_ne!(splits[0].train(), splits[1].train());
+}
+
+#[test]
+fn stratified_split_preserves_balance_under_stress() {
+    // Heavily imbalanced pool: stratification must still deliver exact
+    // per-class counts.
+    let mut labels = vec![0usize; 700];
+    labels.extend(vec![1usize; 200]);
+    labels.extend(vec![2usize; 100]);
+    let mut rng = Rng::seed_from_u64(3);
+    let s = stratified_oob_split(&labels, 3, 60, 10, 10, &mut rng);
+    for c in 0..3 {
+        let count = |idx: &[usize]| idx.iter().filter(|&&i| labels[i] == c).count();
+        assert_eq!(count(s.train()), 60, "class {c} train");
+        assert_eq!(count(s.valid()), 10, "class {c} valid");
+        assert_eq!(count(s.test()), 10, "class {c} test");
+    }
+}
