@@ -1,11 +1,12 @@
-//! Criterion benchmarks of the comparison/decision machinery.
+//! Benchmarks of the comparison/decision machinery (in-repo timing
+//! harness; see `varbench_bench::timing`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use varbench_bench::timing::{black_box, Harness};
 use varbench_core::compare::compare_paired;
 use varbench_core::simulation::{detection_study, DetectionConfig, SimulatedTask};
 use varbench_rng::Rng;
 
-fn bench_compare(c: &mut Criterion) {
+fn bench_compare(c: &mut Harness) {
     let mut rng = Rng::seed_from_u64(1);
     let a: Vec<f64> = (0..29).map(|_| rng.normal(0.76, 0.02)).collect();
     let b: Vec<f64> = (0..29).map(|_| rng.normal(0.75, 0.02)).collect();
@@ -31,5 +32,6 @@ fn bench_compare(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_compare);
-criterion_main!(benches);
+fn main() {
+    bench_compare(&mut Harness::new("compare"));
+}

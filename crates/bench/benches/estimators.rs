@@ -1,11 +1,12 @@
-//! Criterion benchmarks of the performance estimators on Test-scale
-//! pipelines (the end-to-end cost the library's users pay).
+//! Benchmarks of the performance estimators on Test-scale pipelines (the
+//! end-to-end cost the library's users pay). In-repo timing harness; see
+//! `varbench_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use varbench_bench::timing::Harness;
 use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator, Randomize};
 use varbench_pipeline::{CaseStudy, HpoAlgorithm, Scale, SeedAssignment};
 
-fn bench_estimators(c: &mut Criterion) {
+fn bench_estimators(c: &mut Harness) {
     let cs = CaseStudy::glue_rte_bert(Scale::Test);
 
     c.bench_function("pipeline_single_training", |b| {
@@ -28,5 +29,6 @@ fn bench_estimators(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_estimators);
-criterion_main!(benches);
+fn main() {
+    bench_estimators(&mut Harness::new("estimators"));
+}

@@ -1,6 +1,7 @@
-//! Criterion benchmarks of the hyperparameter optimizers.
+//! Benchmarks of the hyperparameter optimizers (in-repo timing harness;
+//! see `varbench_bench::timing`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use varbench_bench::timing::{black_box, Harness};
 use varbench_hpo::{
     minimize, BayesOpt, BayesOptConfig, Dim, NoisyGridSearch, RandomSearch, SearchSpace,
 };
@@ -17,7 +18,7 @@ fn quadratic(p: &[f64]) -> f64 {
     (p[0].ln() - (1e-2f64).ln()).powi(2) + (p[2] - 0.9).powi(2)
 }
 
-fn bench_hpo(c: &mut Criterion) {
+fn bench_hpo(c: &mut Harness) {
     c.bench_function("random_search_30_trials", |b| {
         b.iter(|| {
             let mut opt = RandomSearch::new(space(), 1);
@@ -37,5 +38,6 @@ fn bench_hpo(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_hpo);
-criterion_main!(benches);
+fn main() {
+    bench_hpo(&mut Harness::new("hpo"));
+}

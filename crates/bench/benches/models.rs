@@ -1,13 +1,14 @@
-//! Criterion benchmarks of model training and inference.
+//! Benchmarks of model training and inference (in-repo timing harness;
+//! see `varbench_bench::timing`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use varbench_bench::timing::{black_box, Harness};
 use varbench_data::augment::Identity;
 use varbench_data::synth::{binary_overlap, BinaryOverlapConfig};
 use varbench_models::linear::RidgeRegression;
 use varbench_models::{Mlp, MlpConfig, TrainConfig, TrainSeeds};
 use varbench_rng::{Rng, SeedTree};
 
-fn bench_models(c: &mut Criterion) {
+fn bench_models(c: &mut Harness) {
     let mut rng = Rng::seed_from_u64(1);
     let ds = binary_overlap(
         &BinaryOverlapConfig {
@@ -72,5 +73,6 @@ fn bench_models(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_models);
-criterion_main!(benches);
+fn main() {
+    bench_models(&mut Harness::new("models"));
+}

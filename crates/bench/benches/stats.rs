@@ -1,6 +1,7 @@
-//! Criterion micro-benchmarks of the statistical primitives.
+//! Micro-benchmarks of the statistical primitives (in-repo timing
+//! harness; see `varbench_bench::timing`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use varbench_bench::timing::{black_box, Harness};
 use varbench_rng::Rng;
 use varbench_stats::bootstrap::percentile_ci_prob_outperform;
 use varbench_stats::describe::mean;
@@ -15,7 +16,7 @@ fn sample(n: usize, seed: u64) -> Vec<f64> {
     (0..n).map(|_| rng.normal(0.0, 1.0)).collect()
 }
 
-fn bench_stats(c: &mut Criterion) {
+fn bench_stats(c: &mut Harness) {
     c.bench_function("normal_quantile", |b| {
         b.iter(|| standard_normal_quantile(black_box(0.975)))
     });
@@ -53,5 +54,6 @@ fn bench_stats(c: &mut Criterion) {
     c.bench_function("mean_n10000", |b| b.iter(|| mean(black_box(&big))));
 }
 
-criterion_group!(benches, bench_stats);
-criterion_main!(benches);
+fn main() {
+    bench_stats(&mut Harness::new("stats"));
+}

@@ -53,7 +53,10 @@ mod tests {
         assert_eq!(Effort::from_args(args(&[])), Effort::Quick);
         assert_eq!(Effort::from_args(args(&["--full"])), Effort::Full);
         assert_eq!(Effort::from_args(args(&["--test"])), Effort::Test);
-        assert_eq!(Effort::from_args(args(&["ignored", "--quick"])), Effort::Quick);
+        assert_eq!(
+            Effort::from_args(args(&["ignored", "--quick"])),
+            Effort::Quick
+        );
     }
 
     #[test]

@@ -12,7 +12,10 @@ fn main() {
     run_one("Figure 1", fig1::run(&fig1::Config::for_effort(effort)));
     run_one("Figure 2", fig2::run(&fig2::Config::for_effort(effort)));
     run_one("Figure 3", fig3::run(&fig3::Config::default()));
-    run_one("Figure 5 / H.4", fig5::run(&fig5::Config::for_effort(effort)));
+    run_one(
+        "Figure 5 / H.4",
+        fig5::run(&fig5::Config::for_effort(effort)),
+    );
     run_one("Figure 6", fig6::run(&fig6::Config::for_effort(effort)));
     run_one("Figure C.1", figc1::run());
     run_one("Figure F.2", figf2::run(&figf2::Config::for_effort(effort)));

@@ -38,7 +38,10 @@ pub fn calibrate(
     budget: usize,
     seed: u64,
 ) -> Calibration {
-    assert!(k_ideal >= 2 && k >= 2 && reps >= 2, "need at least 2 of everything");
+    assert!(
+        k_ideal >= 2 && k >= 2 && reps >= 2,
+        "need at least 2 of everything"
+    );
     let ideal = ideal_estimator(cs, k_ideal, algo, budget, seed);
     let sigma = std_dev(&ideal.measures).max(1e-9);
     let mu = mean(&ideal.measures);

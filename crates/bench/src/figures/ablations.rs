@@ -210,7 +210,11 @@ pub fn run(config: &Config) -> String {
     out.push_str("-- (2) bootstrap vs cross-validation (paper Appendix B) --\n");
     let cs = CaseStudy::glue_rte_bert(scale);
     let cmp = resampling_comparison(&cs, config, 0xAB1B);
-    let mut t = Table::new(vec!["quantity".into(), "cross-validation".into(), "out-of-bootstrap".into()]);
+    let mut t = Table::new(vec![
+        "quantity".into(),
+        "cross-validation".into(),
+        "out-of-bootstrap".into(),
+    ]);
     t.add_row(vec![
         "std of test metric across splits".into(),
         num(cmp.cv_std, 5),

@@ -7,7 +7,8 @@
 //! measured by running `n_hopt` independent HPO procedures per algorithm.
 
 use crate::args::Effort;
-use varbench_core::estimator::source_variance_study;
+use varbench_core::estimator::source_variance_study_with;
+use varbench_core::exec::Runner;
 use varbench_core::report::{bar, num, Table};
 use varbench_pipeline::{CaseStudy, HpoAlgorithm, VarianceSource};
 use varbench_stats::describe::std_dev;
@@ -77,8 +78,20 @@ pub struct TaskVariances {
     pub bootstrap_std: f64,
 }
 
-/// Runs the Fig. 1 study on one case study.
+/// Runs the Fig. 1 study on one case study (serial path).
 pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> TaskVariances {
+    study_case_with(cs, config, seed, &Runner::serial())
+}
+
+/// [`study_case`] with an explicit [`Runner`]: each source study's `n`
+/// re-seeded trainings (and each HPO algorithm's independent procedures)
+/// fan out across cores, bit-identical to the serial path.
+pub fn study_case_with(
+    cs: &CaseStudy,
+    config: &Config,
+    seed: u64,
+    runner: &Runner,
+) -> TaskVariances {
     let mut rows = Vec::new();
     let mut bootstrap_std = f64::NAN;
     // ξ_O sources, bootstrap first (it is the reference).
@@ -86,8 +99,15 @@ pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> TaskVariances {
         if src.is_hyperopt() {
             continue;
         }
-        let measures =
-            source_variance_study(cs, src, config.n_seeds, HpoAlgorithm::RandomSearch, 1, seed);
+        let measures = source_variance_study_with(
+            cs,
+            src,
+            config.n_seeds,
+            HpoAlgorithm::RandomSearch,
+            1,
+            seed,
+            runner,
+        );
         let sd = std_dev(&measures);
         if src == VarianceSource::DataSplit {
             bootstrap_std = sd;
@@ -96,13 +116,14 @@ pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> TaskVariances {
     }
     // ξ_H: one row per studied HPO algorithm.
     for algo in HpoAlgorithm::STUDIED {
-        let measures = source_variance_study(
+        let measures = source_variance_study_with(
             cs,
             VarianceSource::HyperOpt,
             config.n_hopt,
             algo,
             config.budget,
             seed ^ 0xB0B0,
+            runner,
         );
         rows.push((algo.display_name().to_string(), std_dev(&measures)));
     }
@@ -113,8 +134,15 @@ pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> TaskVariances {
     }
 }
 
-/// Runs the full Fig. 1 reproduction and renders the report.
+/// Runs the full Fig. 1 reproduction with the default executor (thread
+/// count from `VARBENCH_THREADS`, all cores if unset).
 pub fn run(config: &Config) -> String {
+    run_with(config, &Runner::from_env())
+}
+
+/// [`run`] with an explicit [`Runner`]; the report is byte-identical for
+/// every thread count.
+pub fn run_with(config: &Config, runner: &Runner) -> String {
     let mut out = String::new();
     out.push_str("Figure 1: sources of variation, std as fraction of bootstrap std\n");
     out.push_str(&format!(
@@ -122,7 +150,7 @@ pub fn run(config: &Config) -> String {
         config.n_seeds, config.n_hopt, config.budget
     ));
     for cs in CaseStudy::all(config.effort.scale()) {
-        let tv = study_case(&cs, config, 0xF161);
+        let tv = study_case_with(&cs, config, 0xF161, runner);
         out.push_str(&format!("== {} ({}) ==\n", tv.task, cs.metric()));
         let mut table = Table::new(vec![
             "source".into(),

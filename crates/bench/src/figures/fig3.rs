@@ -55,8 +55,7 @@ pub fn classify(entries: &[Entry], n_test: u64, config: &Config) -> Vec<Verdict>
         .into_iter()
         .map(|(entry, inc)| {
             let tau = (entry.accuracy / 100.0).clamp(0.01, 0.99);
-            let sigma =
-                100.0 * Binomial::accuracy_std(n_test, tau) * config.inflation.sqrt();
+            let sigma = 100.0 * Binomial::accuracy_std(n_test, tau) * config.inflation.sqrt();
             let threshold = z * std::f64::consts::SQRT_2 * sigma;
             Verdict {
                 entry,
@@ -79,7 +78,11 @@ pub fn run(config: &Config) -> String {
     ));
     for (name, entries, n_test) in [
         ("cifar10 (n'=10000)", &CIFAR10[..], 10_000u64),
-        ("sst2 (n'=872, paper test server ~1821; we use the dev-size analog)", &SST2[..], 872),
+        (
+            "sst2 (n'=872, paper test server ~1821; we use the dev-size analog)",
+            &SST2[..],
+            872,
+        ),
     ] {
         out.push_str(&format!("== {name} ==\n"));
         let mut t = Table::new(vec![
@@ -104,7 +107,11 @@ pub fn run(config: &Config) -> String {
                 format!("+{}", num(v.increment, 2)),
                 num(v.sigma, 3),
                 num(v.threshold, 3),
-                if v.significant { "significant".into() } else { "x not significant".into() },
+                if v.significant {
+                    "significant".into()
+                } else {
+                    "x not significant".into()
+                },
             ]);
         }
         out.push_str(&t.render());
@@ -149,8 +156,22 @@ mod tests {
 
     #[test]
     fn inflation_raises_threshold() {
-        let base = classify(&CIFAR10, 10_000, &Config { inflation: 1.0, alpha: 0.05 });
-        let inflated = classify(&CIFAR10, 10_000, &Config { inflation: 4.0, alpha: 0.05 });
+        let base = classify(
+            &CIFAR10,
+            10_000,
+            &Config {
+                inflation: 1.0,
+                alpha: 0.05,
+            },
+        );
+        let inflated = classify(
+            &CIFAR10,
+            10_000,
+            &Config {
+                inflation: 4.0,
+                alpha: 0.05,
+            },
+        );
         assert!(inflated[0].threshold > base[0].threshold);
         assert!((inflated[0].threshold / base[0].threshold - 2.0).abs() < 1e-9);
     }

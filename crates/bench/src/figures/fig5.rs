@@ -10,7 +10,8 @@
 
 use crate::args::Effort;
 use varbench_core::decompose::{equivalent_ideal_k, ideal_std_err_curve, std_err_curve};
-use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator, Randomize};
+use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator_with, Randomize};
+use varbench_core::exec::Runner;
 use varbench_core::report::{num, Table};
 use varbench_pipeline::{CaseStudy, HpoAlgorithm};
 use varbench_stats::describe::{std_dev, std_of_std};
@@ -90,24 +91,46 @@ pub struct EstimatorCurves {
     pub ideal_fits: usize,
 }
 
-/// Runs the estimator study on one case study.
+/// Runs the estimator study on one case study (serial path).
 pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> EstimatorCurves {
+    study_case_with(cs, config, seed, &Runner::serial())
+}
+
+/// [`study_case`] with an explicit [`Runner`]: the ideal estimator's
+/// samples and the `3 variants × reps` biased-estimator repetitions are
+/// independent seed branches, so both phases fan out across cores. The
+/// curves are bit-identical to the serial path for any thread count.
+pub fn study_case_with(
+    cs: &CaseStudy,
+    config: &Config,
+    seed: u64,
+    runner: &Runner,
+) -> EstimatorCurves {
     let algo = HpoAlgorithm::RandomSearch;
-    let ideal_run = ideal_estimator(cs, config.k_ideal, algo, config.budget, seed);
+    let ideal_run = ideal_estimator_with(cs, config.k_ideal, algo, config.budget, seed, runner);
     let sigma = std_dev(&ideal_run.measures);
     let ideal_fits_per_kmax = config.k_max * (config.budget + 1);
 
-    let mut biased = Vec::new();
-    for variant in [Randomize::Init, Randomize::Data, Randomize::All] {
-        let groups: Vec<Vec<f64>> = (0..config.reps)
-            .map(|r| {
-                fix_hopt_estimator(cs, config.k_max, algo, config.budget, seed, r as u64, variant)
-                    .measures
-            })
-            .collect();
-        let curve = std_err_curve(&groups, config.k_max);
-        biased.push((variant, curve, config.budget + config.k_max));
-    }
+    // One unit per (variant, repetition) pair; each unit is a full biased
+    // estimator run off its own repetition seed.
+    let variants = [Randomize::Init, Randomize::Data, Randomize::All];
+    let units: Vec<(Randomize, u64)> = variants
+        .iter()
+        .flat_map(|&v| (0..config.reps).map(move |r| (v, r as u64)))
+        .collect();
+    let groups = runner.map_seeds(&units, |_, &(variant, r)| {
+        fix_hopt_estimator(cs, config.k_max, algo, config.budget, seed, r, variant).measures
+    });
+
+    let biased = variants
+        .iter()
+        .enumerate()
+        .map(|(vi, &variant)| {
+            let group = groups[vi * config.reps..(vi + 1) * config.reps].to_vec();
+            let curve = std_err_curve(&group, config.k_max);
+            (variant, curve, config.budget + config.k_max)
+        })
+        .collect();
     EstimatorCurves {
         task: cs.name(),
         sigma_ideal: sigma,
@@ -117,8 +140,15 @@ pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> EstimatorCurves
     }
 }
 
-/// Runs the full Fig. 5 / H.4 reproduction.
+/// Runs the full Fig. 5 / H.4 reproduction with the default executor
+/// (thread count from `VARBENCH_THREADS`, all cores if unset).
 pub fn run(config: &Config) -> String {
+    run_with(config, &Runner::from_env())
+}
+
+/// [`run`] with an explicit [`Runner`]. The report text is byte-identical
+/// for every thread count; only wall-clock time changes.
+pub fn run_with(config: &Config, runner: &Runner) -> String {
     let mut out = String::new();
     out.push_str("Figure 5 / H.4: standard error of estimators vs number of samples k\n");
     out.push_str(&format!(
@@ -132,7 +162,7 @@ pub fn run(config: &Config) -> String {
         .collect();
 
     for cs in CaseStudy::all(config.effort.scale()) {
-        let curves = study_case(&cs, config, 0xF165);
+        let curves = study_case_with(&cs, config, 0xF165, runner);
         out.push_str(&format!(
             "== {} (sigma_ideal = {}, +/- band = sigma/sqrt(2(k-1)) ) ==\n",
             curves.task,
@@ -167,7 +197,10 @@ pub fn run(config: &Config) -> String {
         }
         out.push_str(&t.render());
         let band = std_of_std(curves.sigma_ideal, config.k_max.max(2));
-        out.push_str(&format!("uncertainty band at k_max: +/- {}\n\n", num(band, 5)));
+        out.push_str(&format!(
+            "uncertainty band at k_max: +/- {}\n\n",
+            num(band, 5)
+        ));
     }
     out.push_str(
         "Expected shape (paper): FixHOptEst(k, All) closest to IdealEst;\n\

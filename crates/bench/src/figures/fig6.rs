@@ -11,8 +11,9 @@
 use crate::args::Effort;
 use crate::calibrate::calibrate;
 use varbench_core::compare::PAPER_DELTA_MULTIPLIER;
-use varbench_core::report::{pct, num, Table};
-use varbench_core::simulation::{detection_study, DetectionConfig, SimulatedTask};
+use varbench_core::exec::Runner;
+use varbench_core::report::{num, pct, Table};
+use varbench_core::simulation::{detection_study_with, DetectionConfig, SimulatedTask};
 use varbench_pipeline::{CaseStudy, HpoAlgorithm};
 
 /// Configuration of the Fig. 6 study.
@@ -82,8 +83,16 @@ pub fn probability_sweep() -> Vec<f64> {
 }
 
 /// Runs the Fig. 6 reproduction: calibrate on one representative case
-/// study, then run the detection-rate simulation.
+/// study, then run the detection-rate simulation. Uses the default
+/// executor (thread count from `VARBENCH_THREADS`, all cores if unset).
 pub fn run(config: &Config) -> String {
+    run_with(config, &Runner::from_env())
+}
+
+/// [`run`] with an explicit [`Runner`]: the simulation grid fans out one
+/// unit per simulated comparison; the report is byte-identical for every
+/// thread count.
+pub fn run_with(config: &Config, runner: &Runner) -> String {
     let mut out = String::new();
     out.push_str("Figure 6: detection rates of comparison methods (calibrated simulation)\n\n");
 
@@ -91,7 +100,15 @@ pub fn run(config: &Config) -> String {
     // task); the qualitative picture is task-independent.
     let cs = CaseStudy::glue_rte_bert(config.effort.scale());
     let (k_ideal, k_cal, reps, budget) = config.calib;
-    let cal = calibrate(&cs, k_ideal, k_cal, reps, HpoAlgorithm::RandomSearch, budget, 0xF166);
+    let cal = calibrate(
+        &cs,
+        k_ideal,
+        k_cal,
+        reps,
+        HpoAlgorithm::RandomSearch,
+        budget,
+        0xF166,
+    );
     let task: SimulatedTask = cal.task;
     out.push_str(&format!(
         "calibration ({}): sigma = {}, bias_std = {}, measure_std = {}\n\n",
@@ -109,7 +126,7 @@ pub fn run(config: &Config) -> String {
         alpha: 0.05,
         resamples: config.resamples,
     };
-    let rows = detection_study(&task, &probability_sweep(), &det, 0xF1660);
+    let rows = detection_study_with(&task, &probability_sweep(), &det, 0xF1660, runner);
 
     let mut t = Table::new(vec![
         "P(A>B)".into(),

@@ -9,7 +9,11 @@ pub fn run() -> String {
     let mut out = String::new();
     out.push_str("Figure C.1: minimum sample size to detect P(A>B) > gamma\n");
     out.push_str("(alpha = 0.05, beta = 0.05)\n\n");
-    let mut t = Table::new(vec!["gamma".into(), "min sample size".into(), "note".into()]);
+    let mut t = Table::new(vec![
+        "gamma".into(),
+        "min sample size".into(),
+        "note".into(),
+    ]);
     for (gamma, n) in noether_curve(0.95, 18, 0.05, 0.05) {
         let note = if (gamma - RECOMMENDED_GAMMA).abs() < 1e-9 {
             "* recommended"

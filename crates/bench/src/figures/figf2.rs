@@ -100,7 +100,11 @@ pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> Vec<CurveSummar
                     (m, mean(&at), sd)
                 })
                 .collect();
-            let test_sd = if tests.len() >= 2 { std_dev(&tests) } else { 0.0 };
+            let test_sd = if tests.len() >= 2 {
+                std_dev(&tests)
+            } else {
+                0.0
+            };
             CurveSummary {
                 algo,
                 checkpoints,
@@ -114,11 +118,18 @@ pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> Vec<CurveSummar
 pub fn run(config: &Config) -> String {
     let mut out = String::new();
     out.push_str("Figure F.2: HPO best-so-far validation objective (mean +/- std)\n");
-    out.push_str(&format!("({} seeds, budget {})\n\n", config.reps, config.budget));
+    out.push_str(&format!(
+        "({} seeds, budget {})\n\n",
+        config.reps, config.budget
+    ));
     for cs in CaseStudy::all(config.effort.scale()) {
         out.push_str(&format!("== {} ==\n", cs.name()));
         let summaries = study_case(&cs, config, 0xF16F);
-        let marks: Vec<usize> = summaries[0].checkpoints.iter().map(|(m, _, _)| *m).collect();
+        let marks: Vec<usize> = summaries[0]
+            .checkpoints
+            .iter()
+            .map(|(m, _, _)| *m)
+            .collect();
         let mut t = Table::new(
             std::iter::once("algorithm".to_string())
                 .chain(marks.iter().map(|m| format!("t={m}")))

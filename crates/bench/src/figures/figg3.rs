@@ -114,7 +114,10 @@ fn panel_row(label: String, measures: &[f64]) -> (String, Option<f64>, f64) {
 pub fn run(config: &Config) -> String {
     let mut out = String::new();
     out.push_str("Figure G.3: Shapiro-Wilk normality of per-source performance\n");
-    out.push_str(&format!("(n = {} samples per distribution)\n\n", config.n_seeds));
+    out.push_str(&format!(
+        "(n = {} samples per distribution)\n\n",
+        config.n_seeds
+    ));
     for cs in CaseStudy::all(config.effort.scale()) {
         let panel = study_case(&cs, config, 0xF163);
         out.push_str(&format!("== {} ==\n", panel.task));

@@ -8,7 +8,8 @@
 
 use crate::args::Effort;
 use varbench_core::decompose::{decompose, Decomposition};
-use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator, Randomize};
+use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator_with, Randomize};
+use varbench_core::exec::Runner;
 use varbench_core::report::{num, Table};
 use varbench_pipeline::{CaseStudy, HpoAlgorithm};
 use varbench_stats::describe::mean;
@@ -83,21 +84,37 @@ pub struct TaskDecomposition {
     pub rows: Vec<(Randomize, Decomposition)>,
 }
 
-/// Runs the decomposition study on one case study.
+/// Runs the decomposition study on one case study (serial path).
 pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> TaskDecomposition {
+    study_case_with(cs, config, seed, &Runner::serial())
+}
+
+/// [`study_case`] with an explicit [`Runner`]: the ideal reference run
+/// and the `3 variants × reps` repetitions fan out across cores with
+/// bit-identical decompositions for any thread count.
+pub fn study_case_with(
+    cs: &CaseStudy,
+    config: &Config,
+    seed: u64,
+    runner: &Runner,
+) -> TaskDecomposition {
     let algo = HpoAlgorithm::RandomSearch;
-    let ideal = ideal_estimator(cs, config.k_ideal, algo, config.budget, seed);
+    let ideal = ideal_estimator_with(cs, config.k_ideal, algo, config.budget, seed, runner);
     let mu = mean(&ideal.measures);
-    let rows = [Randomize::Init, Randomize::Data, Randomize::All]
+    let variants = [Randomize::Init, Randomize::Data, Randomize::All];
+    let units: Vec<(Randomize, u64)> = variants
         .iter()
-        .map(|&variant| {
-            let groups: Vec<Vec<f64>> = (0..config.reps)
-                .map(|r| {
-                    fix_hopt_estimator(cs, config.k, algo, config.budget, seed, r as u64, variant)
-                        .measures
-                })
-                .collect();
-            (variant, decompose(&groups, mu))
+        .flat_map(|&v| (0..config.reps).map(move |r| (v, r as u64)))
+        .collect();
+    let groups = runner.map_seeds(&units, |_, &(variant, r)| {
+        fix_hopt_estimator(cs, config.k, algo, config.budget, seed, r, variant).measures
+    });
+    let rows = variants
+        .iter()
+        .enumerate()
+        .map(|(vi, &variant)| {
+            let group = groups[vi * config.reps..(vi + 1) * config.reps].to_vec();
+            (variant, decompose(&group, mu))
         })
         .collect();
     TaskDecomposition {
@@ -107,8 +124,15 @@ pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> TaskDecompositi
     }
 }
 
-/// Runs the full Fig. H.5 reproduction.
+/// Runs the full Fig. H.5 reproduction with the default executor (thread
+/// count from `VARBENCH_THREADS`, all cores if unset).
 pub fn run(config: &Config) -> String {
+    run_with(config, &Runner::from_env())
+}
+
+/// [`run`] with an explicit [`Runner`]; the report is byte-identical for
+/// every thread count.
+pub fn run_with(config: &Config, runner: &Runner) -> String {
     let mut out = String::new();
     out.push_str("Figure H.5: MSE decomposition of estimators (bias, Var, rho, MSE)\n");
     out.push_str(&format!(
@@ -116,7 +140,7 @@ pub fn run(config: &Config) -> String {
         config.k, config.reps, config.budget
     ));
     for cs in CaseStudy::all(config.effort.scale()) {
-        let d = study_case(&cs, config, 0xF164);
+        let d = study_case_with(&cs, config, 0xF164, runner);
         out.push_str(&format!("== {} (mu = {}) ==\n", d.task, num(d.mu, 4)));
         let mut t = Table::new(vec![
             "estimator".into(),

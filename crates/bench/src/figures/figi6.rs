@@ -7,9 +7,10 @@
 //! (the paper's conversion), the `P(A>B)` test, and a Welch t-test.
 
 use varbench_core::compare::{average_comparison, compare_paired};
-use varbench_core::report::{pct, num, Table};
+use varbench_core::exec::Runner;
+use varbench_core::report::{num, pct, Table};
 use varbench_core::simulation::{simulate_measures, SimEstimator, SimulatedTask};
-use varbench_rng::Rng;
+use varbench_rng::SeedTree;
 use varbench_stats::standard_normal_quantile;
 use varbench_stats::tests::{parametric::t_test_welch, Alternative};
 
@@ -65,43 +66,57 @@ pub struct RatePoint {
 }
 
 /// Measures detection rates at sample size `n`, threshold `gamma`, true
-/// probability `p_true`.
+/// probability `p_true` (serial path).
 pub fn rates_at(config: &Config, n: usize, gamma: f64, p_true: f64, seed: u64) -> RatePoint {
+    rates_at_with(config, n, gamma, p_true, seed, &Runner::serial())
+}
+
+/// [`rates_at`] with an explicit [`Runner`]: each simulated comparison
+/// draws from its own seed-tree branch, so the `n_simulations` units fan
+/// out across cores with bit-identical rates for any thread count.
+pub fn rates_at_with(
+    config: &Config,
+    n: usize,
+    gamma: f64,
+    p_true: f64,
+    seed: u64,
+    runner: &Runner,
+) -> RatePoint {
     let task = SimulatedTask::new(config.sigma, config.sigma / 2.0, config.sigma);
     let gap = task.gap_for_probability(p_true);
     // The paper converts gamma to an average threshold via
     // delta = Phi^-1(gamma) * sigma (Appendix I).
     let delta = standard_normal_quantile(gamma) * config.sigma;
-    let mut rng = Rng::seed_from_u64(seed);
-    let mut avg = 0usize;
-    let mut po = 0usize;
-    let mut tt = 0usize;
-    for _ in 0..config.n_simulations {
+    let tree = SeedTree::new(seed);
+    let outcomes = runner.map_indexed(config.n_simulations, |si| {
+        let mut rng = tree.rng_indexed("sim", si as u64);
         let a = simulate_measures(&task, SimEstimator::Ideal, 0.5 + gap, n, &mut rng);
         let b = simulate_measures(&task, SimEstimator::Ideal, 0.5, n, &mut rng);
-        if average_comparison(&a, &b, delta) {
-            avg += 1;
-        }
-        if compare_paired(&a, &b, gamma, 0.05, config.resamples, &mut rng).is_improvement() {
-            po += 1;
-        }
-        if t_test_welch(&a, &b, Alternative::Greater).p_value < 0.05 {
-            tt += 1;
-        }
-    }
+        let avg = average_comparison(&a, &b, delta);
+        let po = compare_paired(&a, &b, gamma, 0.05, config.resamples, &mut rng).is_improvement();
+        let tt = t_test_welch(&a, &b, Alternative::Greater).p_value < 0.05;
+        (avg, po, tt)
+    });
     let nf = config.n_simulations as f64;
     RatePoint {
-        average: avg as f64 / nf,
-        prob_outperform: po as f64 / nf,
-        t_test: tt as f64 / nf,
+        average: outcomes.iter().filter(|o| o.0).count() as f64 / nf,
+        prob_outperform: outcomes.iter().filter(|o| o.1).count() as f64 / nf,
+        t_test: outcomes.iter().filter(|o| o.2).count() as f64 / nf,
     }
 }
 
 /// The four true-probability panels of the paper's figure.
 pub const P_LEVELS: [f64; 4] = [0.5, 0.6, 0.7, 0.8];
 
-/// Runs the full Fig. I.6 reproduction.
+/// Runs the full Fig. I.6 reproduction with the default executor (thread
+/// count from `VARBENCH_THREADS`, all cores if unset).
 pub fn run(config: &Config) -> String {
+    run_with(config, &Runner::from_env())
+}
+
+/// [`run`] with an explicit [`Runner`]; the report is byte-identical for
+/// every thread count.
+pub fn run_with(config: &Config, runner: &Runner) -> String {
     let mut out = String::new();
     out.push_str("Figure I.6: robustness of comparison methods\n\n");
 
@@ -116,7 +131,7 @@ pub fn run(config: &Config) -> String {
             "t-test".into(),
         ]);
         for &n in &sizes {
-            let r = rates_at(config, n, 0.75, p, 0xF1166 + n as u64);
+            let r = rates_at_with(config, n, 0.75, p, 0xF1166 + n as u64, runner);
             t.add_row(vec![
                 n.to_string(),
                 pct(r.average),
@@ -139,7 +154,7 @@ pub fn run(config: &Config) -> String {
             "t-test".into(),
         ]);
         for &g in &gammas {
-            let r = rates_at(config, 50, g, p, 0xF1266 + (g * 100.0) as u64);
+            let r = rates_at_with(config, 50, g, p, 0xF1266 + (g * 100.0) as u64, runner);
             t.add_row(vec![
                 num(g, 2),
                 pct(r.average),

@@ -8,7 +8,8 @@
 //! sources are randomized *jointly* — the gap is the interaction.
 
 use crate::args::Effort;
-use varbench_core::estimator::{joint_variance_study, source_variance_study};
+use varbench_core::estimator::{joint_variance_study_with, source_variance_study_with};
+use varbench_core::exec::Runner;
 use varbench_core::report::{num, Table};
 use varbench_pipeline::{CaseStudy, HpoAlgorithm, VarianceSource};
 use varbench_stats::describe::variance;
@@ -80,8 +81,20 @@ impl InteractionRow {
     }
 }
 
-/// Measures the interaction for one case study.
+/// Measures the interaction for one case study (serial path).
 pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> InteractionRow {
+    study_case_with(cs, config, seed, &Runner::serial())
+}
+
+/// [`study_case`] with an explicit [`Runner`]: each marginal study's and
+/// the joint study's re-seeded trainings fan out across cores with
+/// bit-identical variances for any thread count.
+pub fn study_case_with(
+    cs: &CaseStudy,
+    config: &Config,
+    seed: u64,
+    runner: &Runner,
+) -> InteractionRow {
     let sources: Vec<VarianceSource> = cs
         .active_sources()
         .iter()
@@ -91,11 +104,19 @@ pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> InteractionRow 
     let sum_of_marginals: f64 = sources
         .iter()
         .map(|&s| {
-            let m = source_variance_study(cs, s, config.n_seeds, HpoAlgorithm::RandomSearch, 1, seed);
+            let m = source_variance_study_with(
+                cs,
+                s,
+                config.n_seeds,
+                HpoAlgorithm::RandomSearch,
+                1,
+                seed,
+                runner,
+            );
             variance(&m, 1)
         })
         .sum();
-    let joint_measures = joint_variance_study(cs, &sources, config.n_seeds, seed);
+    let joint_measures = joint_variance_study_with(cs, &sources, config.n_seeds, seed, runner);
     InteractionRow {
         task: cs.name(),
         sum_of_marginals,
@@ -103,11 +124,21 @@ pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> InteractionRow 
     }
 }
 
-/// Runs the interaction study across all case studies.
+/// Runs the interaction study across all case studies with the default
+/// executor (thread count from `VARBENCH_THREADS`, all cores if unset).
 pub fn run(config: &Config) -> String {
+    run_with(config, &Runner::from_env())
+}
+
+/// [`run`] with an explicit [`Runner`]; the report is byte-identical for
+/// every thread count.
+pub fn run_with(config: &Config, runner: &Runner) -> String {
     let mut out = String::new();
     out.push_str("Extension: interaction of variance sources\n");
-    out.push_str(&format!("(n = {} seeds per measurement)\n\n", config.n_seeds));
+    out.push_str(&format!(
+        "(n = {} seeds per measurement)\n\n",
+        config.n_seeds
+    ));
     let mut t = Table::new(vec![
         "task".into(),
         "sum of marginal Var".into(),
@@ -115,7 +146,7 @@ pub fn run(config: &Config) -> String {
         "joint / sum".into(),
     ]);
     for cs in CaseStudy::all(config.effort.scale()) {
-        let row = study_case(&cs, config, 0x1AC7);
+        let row = study_case_with(&cs, config, 0x1AC7, runner);
         t.add_row(vec![
             row.task.to_string(),
             format!("{:.3e}", row.sum_of_marginals),

@@ -81,11 +81,7 @@ pub fn render_search_spaces(scale: Scale) -> String {
             "default".into(),
         ]);
         for ((name, dim), default) in cs.search_space().dims().iter().zip(cs.default_params()) {
-            t.add_row(vec![
-                name.clone(),
-                format!("{dim:?}"),
-                format!("{default}"),
-            ]);
+            t.add_row(vec![name.clone(), format!("{dim:?}"), format!("{default}")]);
         }
         out.push_str(&t.render());
         out.push('\n');
@@ -98,7 +94,10 @@ pub fn render_infrastructure() -> String {
     let mut out = String::new();
     out.push_str("Tables 1/4/10: computational infrastructure\n\n");
     let mut t = Table::new(vec!["component".into(), "value".into()]);
-    t.add_row(vec!["implementation".into(), "pure Rust (this workspace)".into()]);
+    t.add_row(vec![
+        "implementation".into(),
+        "pure Rust (this workspace)".into(),
+    ]);
     t.add_row(vec![
         "determinism".into(),
         "bit-exact given seeds; no GPU nondeterminism".into(),
@@ -196,13 +195,19 @@ pub fn table8(config: &Config) -> Vec<Table8Row> {
     // Linear baseline for reference (ridge regression).
     let ridge = RidgeRegression::fit(&train, 1e-2);
 
-    let eval = |name: &'static str,
-                predict: &dyn Fn(&[f64]) -> f64|
-     -> Vec<Table8Row> {
+    let eval = |name: &'static str, predict: &dyn Fn(&[f64]) -> f64| -> Vec<Table8Row> {
         let mut rows = Vec::new();
         // In-distribution test set.
-        let scores: Vec<f64> = split.test().iter().map(|&i| predict(cs.pool().x(i))).collect();
-        let labels: Vec<bool> = split.test().iter().map(|&i| cs.pool().value(i) > 0.5).collect();
+        let scores: Vec<f64> = split
+            .test()
+            .iter()
+            .map(|&i| predict(cs.pool().x(i)))
+            .collect();
+        let labels: Vec<bool> = split
+            .test()
+            .iter()
+            .map(|&i| cs.pool().value(i) > 0.5)
+            .collect();
         let truths: Vec<f64> = split.test().iter().map(|&i| cs.pool().value(i)).collect();
         rows.push(Table8Row {
             model: name,
@@ -211,8 +216,12 @@ pub fn table8(config: &Config) -> Vec<Table8Row> {
             pcc: pearson(&scores, &truths),
         });
         // External shifted set.
-        let scores: Vec<f64> = (0..external.len()).map(|i| predict(external.x(i))).collect();
-        let labels: Vec<bool> = (0..external.len()).map(|i| external.value(i) > 0.5).collect();
+        let scores: Vec<f64> = (0..external.len())
+            .map(|i| predict(external.x(i)))
+            .collect();
+        let labels: Vec<bool> = (0..external.len())
+            .map(|i| external.value(i) > 0.5)
+            .collect();
         let truths: Vec<f64> = (0..external.len()).map(|i| external.value(i)).collect();
         rows.push(Table8Row {
             model: name,
@@ -224,8 +233,12 @@ pub fn table8(config: &Config) -> Vec<Table8Row> {
     };
 
     let mut rows = Vec::new();
-    rows.extend(eval("netmhcpan4-style (single MLP)", &|x| netmhc.predict_value(x)));
-    rows.extend(eval("mhcflurry-style (ensemble)", &|x| flurry.predict_value(x)));
+    rows.extend(eval("netmhcpan4-style (single MLP)", &|x| {
+        netmhc.predict_value(x)
+    }));
+    rows.extend(eval("mhcflurry-style (ensemble)", &|x| {
+        flurry.predict_value(x)
+    }));
     rows.extend(eval("mlp-mhc (ours, tuned)", &|x| tuned.predict_value(x)));
     rows.extend(eval("ridge baseline", &|x| ridge.predict(x)));
     rows

@@ -19,32 +19,120 @@ pub struct Entry {
 
 /// CIFAR10 test-accuracy milestones (paperswithcode-style transcription).
 pub const CIFAR10: [Entry; 12] = [
-    Entry { year: 2013, accuracy: 90.65, method: "Maxout" },
-    Entry { year: 2014, accuracy: 91.20, method: "Network in Network" },
-    Entry { year: 2014, accuracy: 91.78, method: "Deeply-Supervised Nets" },
-    Entry { year: 2015, accuracy: 92.75, method: "All-CNN" },
-    Entry { year: 2015, accuracy: 93.45, method: "ELU network" },
-    Entry { year: 2015, accuracy: 93.57, method: "ResNet-110" },
-    Entry { year: 2016, accuracy: 95.38, method: "Wide ResNet" },
-    Entry { year: 2016, accuracy: 96.54, method: "DenseNet-BC" },
-    Entry { year: 2017, accuracy: 97.14, method: "Shake-Shake" },
-    Entry { year: 2018, accuracy: 98.52, method: "AutoAugment" },
-    Entry { year: 2019, accuracy: 99.00, method: "BiT-L" },
-    Entry { year: 2020, accuracy: 99.37, method: "EffNet-L2 (SAM)" },
+    Entry {
+        year: 2013,
+        accuracy: 90.65,
+        method: "Maxout",
+    },
+    Entry {
+        year: 2014,
+        accuracy: 91.20,
+        method: "Network in Network",
+    },
+    Entry {
+        year: 2014,
+        accuracy: 91.78,
+        method: "Deeply-Supervised Nets",
+    },
+    Entry {
+        year: 2015,
+        accuracy: 92.75,
+        method: "All-CNN",
+    },
+    Entry {
+        year: 2015,
+        accuracy: 93.45,
+        method: "ELU network",
+    },
+    Entry {
+        year: 2015,
+        accuracy: 93.57,
+        method: "ResNet-110",
+    },
+    Entry {
+        year: 2016,
+        accuracy: 95.38,
+        method: "Wide ResNet",
+    },
+    Entry {
+        year: 2016,
+        accuracy: 96.54,
+        method: "DenseNet-BC",
+    },
+    Entry {
+        year: 2017,
+        accuracy: 97.14,
+        method: "Shake-Shake",
+    },
+    Entry {
+        year: 2018,
+        accuracy: 98.52,
+        method: "AutoAugment",
+    },
+    Entry {
+        year: 2019,
+        accuracy: 99.00,
+        method: "BiT-L",
+    },
+    Entry {
+        year: 2020,
+        accuracy: 99.37,
+        method: "EffNet-L2 (SAM)",
+    },
 ];
 
 /// GLUE SST-2 accuracy milestones.
 pub const SST2: [Entry; 10] = [
-    Entry { year: 2013, accuracy: 85.40, method: "RNTN" },
-    Entry { year: 2014, accuracy: 88.10, method: "CNN (Kim)" },
-    Entry { year: 2015, accuracy: 88.00, method: "Tree-LSTM" },
-    Entry { year: 2017, accuracy: 91.80, method: "bmLSTM" },
-    Entry { year: 2018, accuracy: 93.50, method: "BERT-base" },
-    Entry { year: 2018, accuracy: 94.90, method: "BERT-large" },
-    Entry { year: 2019, accuracy: 96.40, method: "RoBERTa" },
-    Entry { year: 2019, accuracy: 96.80, method: "XLNet" },
-    Entry { year: 2019, accuracy: 97.50, method: "T5-11B" },
-    Entry { year: 2020, accuracy: 97.50, method: "ALBERT ensemble" },
+    Entry {
+        year: 2013,
+        accuracy: 85.40,
+        method: "RNTN",
+    },
+    Entry {
+        year: 2014,
+        accuracy: 88.10,
+        method: "CNN (Kim)",
+    },
+    Entry {
+        year: 2015,
+        accuracy: 88.00,
+        method: "Tree-LSTM",
+    },
+    Entry {
+        year: 2017,
+        accuracy: 91.80,
+        method: "bmLSTM",
+    },
+    Entry {
+        year: 2018,
+        accuracy: 93.50,
+        method: "BERT-base",
+    },
+    Entry {
+        year: 2018,
+        accuracy: 94.90,
+        method: "BERT-large",
+    },
+    Entry {
+        year: 2019,
+        accuracy: 96.40,
+        method: "RoBERTa",
+    },
+    Entry {
+        year: 2019,
+        accuracy: 96.80,
+        method: "XLNet",
+    },
+    Entry {
+        year: 2019,
+        accuracy: 97.50,
+        method: "T5-11B",
+    },
+    Entry {
+        year: 2020,
+        accuracy: 97.50,
+        method: "ALBERT ensemble",
+    },
 ];
 
 /// Successive increments over the running best (percentage points).

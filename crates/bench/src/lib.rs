@@ -27,3 +27,4 @@ pub mod args;
 pub mod calibrate;
 pub mod figures;
 pub mod leaderboard;
+pub mod timing;

@@ -1,0 +1,161 @@
+//! Dependency-free micro-benchmark harness (`harness = false` bench
+//! targets), replacing `criterion` so the workspace builds with an empty
+//! cargo registry.
+//!
+//! Protocol: each benchmark is auto-calibrated to a per-rep target wall
+//! time, then timed over `reps` repetitions; the reported figure is the
+//! **median** per-iteration nanoseconds (robust to scheduler noise, like
+//! criterion's default estimator). Results are printed as one
+//! machine-readable line per benchmark:
+//!
+//! ```text
+//! bench suite=stats name=mean_n10000 iters=4096 reps=11 median_ns=182 min_ns=180 max_ns=190
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `VARBENCH_BENCH_REPS` — repetitions per benchmark (default 11);
+//! * `VARBENCH_BENCH_TARGET_MS` — calibrated wall time per rep in
+//!   milliseconds (default 5; lower it for smoke runs in CI).
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Reads a positive integer knob from the environment, with a default.
+fn env_knob(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Times one rep: `iters` back-to-back calls of `f`, total nanoseconds.
+fn time_rep<T>(f: &mut impl FnMut() -> T, iters: u64) -> u128 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_nanos()
+}
+
+/// Per-benchmark timing state handed to the closure, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    reps: u64,
+    target_ns: u128,
+    /// Filled by [`Bencher::iter`]: (iters, per-rep total nanoseconds).
+    result: Option<(u64, Vec<u128>)>,
+}
+
+impl Bencher {
+    /// Measures `f`, auto-calibrating the iteration count so one rep
+    /// takes roughly the configured target wall time.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Calibration: double iters until one rep crosses 1/8 of the
+        // target, then scale linearly to the target.
+        let mut iters: u64 = 1;
+        let mut elapsed = time_rep(&mut f, iters);
+        while elapsed * 8 < self.target_ns && iters < u64::MAX / 4 {
+            iters *= 2;
+            elapsed = time_rep(&mut f, iters);
+        }
+        if let Some(scaled) = (iters as u128 * self.target_ns).checked_div(elapsed) {
+            iters = u64::try_from(scaled.max(1)).unwrap_or(u64::MAX);
+        }
+        let samples = (0..self.reps).map(|_| time_rep(&mut f, iters)).collect();
+        self.result = Some((iters, samples));
+    }
+}
+
+/// Benchmark registry + reporter, mirroring the slice of
+/// `criterion::Criterion` the benches use.
+pub struct Harness {
+    suite: &'static str,
+    reps: u64,
+    target_ns: u128,
+}
+
+impl Harness {
+    /// Creates a harness for the named suite, reading the environment
+    /// knobs documented at module level.
+    pub fn new(suite: &'static str) -> Self {
+        Harness::with_config(
+            suite,
+            env_knob("VARBENCH_BENCH_REPS", 11),
+            env_knob("VARBENCH_BENCH_TARGET_MS", 5),
+        )
+    }
+
+    /// Creates a harness with explicit knobs (no environment reads):
+    /// `reps` repetitions per benchmark, `target_ms` calibrated wall time
+    /// per rep.
+    pub fn with_config(suite: &'static str, reps: u64, target_ms: u64) -> Self {
+        Harness {
+            suite,
+            reps,
+            target_ns: target_ms as u128 * 1_000_000,
+        }
+    }
+
+    /// Runs one benchmark and prints its machine-readable result line.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            reps: self.reps,
+            target_ns: self.target_ns,
+            result: None,
+        };
+        f(&mut b);
+        let (iters, mut samples) = b
+            .result
+            .unwrap_or_else(|| panic!("benchmark '{name}' never called Bencher::iter"));
+        samples.sort_unstable();
+        let per_iter = |total: u128| total / iters as u128;
+        let median = per_iter(samples[samples.len() / 2]);
+        let min = per_iter(samples[0]);
+        let max = per_iter(samples[samples.len() - 1]);
+        println!(
+            "bench suite={} name={} iters={} reps={} median_ns={} min_ns={} max_ns={}",
+            self.suite, name, iters, self.reps, median, min, max
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_reps() {
+        let mut b = Bencher {
+            reps: 5,
+            target_ns: 10_000,
+            result: None,
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        let (iters, samples) = b.result.expect("iter stored a result");
+        assert!(iters >= 1);
+        assert_eq!(samples.len(), 5);
+    }
+
+    #[test]
+    fn harness_runs_registered_benchmarks() {
+        // Explicit knobs: tests must not mutate process environment (other
+        // tests in this binary read it concurrently).
+        let mut h = Harness::with_config("selftest", 3, 1);
+        let mut ran = false;
+        h.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    #[should_panic(expected = "never called Bencher::iter")]
+    fn missing_iter_is_an_error() {
+        let mut h = Harness::with_config("selftest", 3, 1);
+        h.bench_function("forgot", |_b| {});
+    }
+}

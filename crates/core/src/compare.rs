@@ -1,10 +1,10 @@
 //! The three benchmark conclusion criteria of the paper's Section 4, and
 //! the recommended decision procedure of Appendix C.6.
 
+use varbench_rng::Rng;
 use varbench_stats::bootstrap::{percentile_ci_prob_outperform, prob_outperform};
 use varbench_stats::describe::mean;
 use varbench_stats::ConfidenceInterval;
-use varbench_rng::Rng;
 
 /// Outcome of the paper's recommended statistical test (Appendix C.6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -135,7 +135,9 @@ mod tests {
         (0..reps)
             .map(|_| {
                 let b = rng.normal(0.0, bias_std);
-                (0..k).map(|_| mu + b + rng.normal(0.0, noise_std)).collect()
+                (0..k)
+                    .map(|_| mu + b + rng.normal(0.0, noise_std))
+                    .collect()
             })
             .collect()
     }
@@ -155,7 +157,11 @@ mod tests {
         let groups = synthetic_groups(40, 30, 0.8, 0.05, 0.05, 2);
         let d = decompose(&groups, 0.8);
         assert!(d.rho > 0.3, "rho {}", d.rho);
-        assert!(d.variance > 0.05f64.powi(2) / 2.0, "variance {}", d.variance);
+        assert!(
+            d.variance > 0.05f64.powi(2) / 2.0,
+            "variance {}",
+            d.variance
+        );
         // MSE consistency.
         assert!((d.mse - (d.variance + d.bias * d.bias)).abs() < 1e-15);
     }
@@ -197,7 +203,10 @@ mod tests {
         let curve = std_err_curve(&groups, 50);
         // The shared group offset dominates: no 1/√k decay.
         let ratio = curve[0] / curve[49];
-        assert!(ratio < 2.0, "correlated curve should flatten: ratio {ratio}");
+        assert!(
+            ratio < 2.0,
+            "correlated curve should flatten: ratio {ratio}"
+        );
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! Estimators of expected pipeline performance: the paper's Algorithms 1
 //! and 2, and the per-source variance study of Fig. 1.
+//!
+//! Every estimator here is a map over independent seed branches, so each
+//! has a `*_with` variant taking an [`exec::Runner`](crate::exec::Runner)
+//! that fans the pipeline fits out across cores. The plain functions are
+//! the serial path; both produce bit-identical results.
 
+use crate::exec::Runner;
 use varbench_pipeline::{CaseStudy, HpoAlgorithm, SeedAssignment, VarianceSource};
 
 /// Which subset of ξ_O a [`fix_hopt_estimator`] run randomizes between
@@ -83,15 +89,34 @@ pub fn ideal_estimator(
     budget: usize,
     base_seed: u64,
 ) -> EstimatorRun {
+    ideal_estimator_with(cs, k, algo, budget, base_seed, &Runner::serial())
+}
+
+/// [`ideal_estimator`] with an explicit [`Runner`]: the `k` samples are
+/// independent seed branches (`SeedAssignment::all_random(base_seed, i)`),
+/// so they fan out across cores with bit-identical, seed-ordered results.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `budget == 0`.
+pub fn ideal_estimator_with(
+    cs: &CaseStudy,
+    k: usize,
+    algo: HpoAlgorithm,
+    budget: usize,
+    base_seed: u64,
+    runner: &Runner,
+) -> EstimatorRun {
     assert!(k > 0, "k must be > 0");
-    let mut measures = Vec::with_capacity(k);
-    let mut fits = 0;
-    for i in 0..k {
-        let seeds = SeedAssignment::all_random(base_seed, i as u64);
-        let result = cs.run_pipeline(&seeds, algo, budget);
-        measures.push(result.test_metric);
-        fits += result.fits;
-    }
+    let seeds: Vec<SeedAssignment> = (0..k)
+        .map(|i| SeedAssignment::all_random(base_seed, i as u64))
+        .collect();
+    let results = runner.map_seeds(&seeds, |_, s| {
+        let result = cs.run_pipeline(s, algo, budget);
+        (result.test_metric, result.fits)
+    });
+    let measures = results.iter().map(|&(m, _)| m).collect();
+    let fits = results.iter().map(|&(_, f)| f).sum();
     EstimatorRun { measures, fits }
 }
 
@@ -118,16 +143,48 @@ pub fn fix_hopt_estimator(
     repetition: u64,
     randomize: Randomize,
 ) -> EstimatorRun {
+    fix_hopt_estimator_with(
+        cs,
+        k,
+        algo,
+        budget,
+        base_seed,
+        repetition,
+        randomize,
+        &Runner::serial(),
+    )
+}
+
+/// [`fix_hopt_estimator`] with an explicit [`Runner`]: the single HPO
+/// procedure stays sequential (its trials form a dependent chain), then
+/// the `k` measures — independent ξ_O branches off the fixed seeds — fan
+/// out across cores with bit-identical, seed-ordered results.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `budget == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn fix_hopt_estimator_with(
+    cs: &CaseStudy,
+    k: usize,
+    algo: HpoAlgorithm,
+    budget: usize,
+    base_seed: u64,
+    repetition: u64,
+    randomize: Randomize,
+    runner: &Runner,
+) -> EstimatorRun {
     assert!(k > 0, "k must be > 0");
     // The arbitrary fixed ξ for this repetition.
     let fixed = SeedAssignment::all_random(base_seed ^ 0xF1F0, repetition);
     let (best_params, history) = cs.hopt(&fixed, algo, budget);
-    let mut measures = Vec::with_capacity(k);
-    for i in 0..k {
-        let variation = splitmix_like(base_seed, repetition, i as u64);
-        let seeds = fixed.with_varied_set(randomize.sources(), variation);
-        measures.push(cs.run_with_params(&best_params, &seeds));
-    }
+    let seeds: Vec<SeedAssignment> = (0..k)
+        .map(|i| {
+            let variation = splitmix_like(base_seed, repetition, i as u64);
+            fixed.with_varied_set(randomize.sources(), variation)
+        })
+        .collect();
+    let measures = runner.map_seeds(&seeds, |_, s| cs.run_with_params(&best_params, s));
     EstimatorRun {
         measures,
         fits: history.len() + k,
@@ -164,19 +221,38 @@ pub fn source_variance_study(
     budget: usize,
     base_seed: u64,
 ) -> Vec<f64> {
+    source_variance_study_with(cs, source, n, algo, budget, base_seed, &Runner::serial())
+}
+
+/// [`source_variance_study`] with an explicit [`Runner`]: the `n`
+/// re-seeded trainings are independent branches off the fixed ξ, so they
+/// fan out across cores with bit-identical, seed-ordered results.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, or `budget == 0` when `source` is `HyperOpt`.
+pub fn source_variance_study_with(
+    cs: &CaseStudy,
+    source: VarianceSource,
+    n: usize,
+    algo: HpoAlgorithm,
+    budget: usize,
+    base_seed: u64,
+    runner: &Runner,
+) -> Vec<f64> {
     assert!(n > 0, "n must be > 0");
     let fixed = SeedAssignment::all_fixed(base_seed);
     let params = cs.default_params().to_vec();
-    (0..n)
-        .map(|i| {
-            let seeds = fixed.with_varied(source, splitmix_like(base_seed, 0xA11, i as u64));
-            if source.is_hyperopt() {
-                cs.run_pipeline(&seeds, algo, budget).test_metric
-            } else {
-                cs.run_with_params(&params, &seeds)
-            }
-        })
-        .collect()
+    let seeds: Vec<SeedAssignment> = (0..n)
+        .map(|i| fixed.with_varied(source, splitmix_like(base_seed, 0xA11, i as u64)))
+        .collect();
+    runner.map_seeds(&seeds, |_, s| {
+        if source.is_hyperopt() {
+            cs.run_pipeline(s, algo, budget).test_metric
+        } else {
+            cs.run_with_params(&params, s)
+        }
+    })
 }
 
 /// Measures the variance when a *set* of sources is randomized jointly
@@ -197,6 +273,21 @@ pub fn joint_variance_study(
     n: usize,
     base_seed: u64,
 ) -> Vec<f64> {
+    joint_variance_study_with(cs, sources, n, base_seed, &Runner::serial())
+}
+
+/// [`joint_variance_study`] with an explicit [`Runner`].
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `sources` is empty.
+pub fn joint_variance_study_with(
+    cs: &CaseStudy,
+    sources: &[VarianceSource],
+    n: usize,
+    base_seed: u64,
+    runner: &Runner,
+) -> Vec<f64> {
     assert!(n > 0, "n must be > 0");
     assert!(!sources.is_empty(), "need at least one source");
     assert!(
@@ -205,12 +296,10 @@ pub fn joint_variance_study(
     );
     let fixed = SeedAssignment::all_fixed(base_seed);
     let params = cs.default_params().to_vec();
-    (0..n)
-        .map(|i| {
-            let seeds = fixed.with_varied_set(sources, splitmix_like(base_seed, 0x70F, i as u64));
-            cs.run_with_params(&params, &seeds)
-        })
-        .collect()
+    let seeds: Vec<SeedAssignment> = (0..n)
+        .map(|i| fixed.with_varied_set(sources, splitmix_like(base_seed, 0x70F, i as u64)))
+        .collect();
+    runner.map_seeds(&seeds, |_, s| cs.run_with_params(&params, s))
 }
 
 #[cfg(test)]
@@ -233,7 +322,15 @@ mod tests {
 
     #[test]
     fn biased_estimator_cost_accounting() {
-        let run = fix_hopt_estimator(&cs(), 6, HpoAlgorithm::RandomSearch, 4, 1, 0, Randomize::All);
+        let run = fix_hopt_estimator(
+            &cs(),
+            6,
+            HpoAlgorithm::RandomSearch,
+            4,
+            1,
+            0,
+            Randomize::All,
+        );
         assert_eq!(run.measures.len(), 6);
         assert_eq!(run.fits, 4 + 6, "T+k fits");
     }
@@ -261,10 +358,24 @@ mod tests {
     fn fix_hopt_variants_randomize_expected_sources() {
         // Init-only randomization keeps the split fixed → all measures
         // share the same test set; Data randomization changes it.
-        let run_init =
-            fix_hopt_estimator(&cs(), 4, HpoAlgorithm::RandomSearch, 3, 3, 0, Randomize::Init);
-        let run_data =
-            fix_hopt_estimator(&cs(), 4, HpoAlgorithm::RandomSearch, 3, 3, 0, Randomize::Data);
+        let run_init = fix_hopt_estimator(
+            &cs(),
+            4,
+            HpoAlgorithm::RandomSearch,
+            3,
+            3,
+            0,
+            Randomize::Init,
+        );
+        let run_data = fix_hopt_estimator(
+            &cs(),
+            4,
+            HpoAlgorithm::RandomSearch,
+            3,
+            3,
+            0,
+            Randomize::Data,
+        );
         // Both yield valid measures; Data variant should fluctuate at least
         // as much (bootstrap is the dominant source, paper Fig. 1).
         let s_init = std_dev(&run_init.measures);
@@ -275,15 +386,47 @@ mod tests {
 
     #[test]
     fn estimators_deterministic_given_seed() {
-        let a = fix_hopt_estimator(&cs(), 3, HpoAlgorithm::RandomSearch, 3, 7, 1, Randomize::All);
-        let b = fix_hopt_estimator(&cs(), 3, HpoAlgorithm::RandomSearch, 3, 7, 1, Randomize::All);
+        let a = fix_hopt_estimator(
+            &cs(),
+            3,
+            HpoAlgorithm::RandomSearch,
+            3,
+            7,
+            1,
+            Randomize::All,
+        );
+        let b = fix_hopt_estimator(
+            &cs(),
+            3,
+            HpoAlgorithm::RandomSearch,
+            3,
+            7,
+            1,
+            Randomize::All,
+        );
         assert_eq!(a, b);
     }
 
     #[test]
     fn repetitions_differ() {
-        let a = fix_hopt_estimator(&cs(), 3, HpoAlgorithm::RandomSearch, 3, 7, 0, Randomize::All);
-        let b = fix_hopt_estimator(&cs(), 3, HpoAlgorithm::RandomSearch, 3, 7, 1, Randomize::All);
+        let a = fix_hopt_estimator(
+            &cs(),
+            3,
+            HpoAlgorithm::RandomSearch,
+            3,
+            7,
+            0,
+            Randomize::All,
+        );
+        let b = fix_hopt_estimator(
+            &cs(),
+            3,
+            HpoAlgorithm::RandomSearch,
+            3,
+            7,
+            1,
+            Randomize::All,
+        );
         assert_ne!(a.measures, b.measures);
     }
 
@@ -345,6 +488,45 @@ mod tests {
     #[should_panic(expected = "joint study covers xi_O sources")]
     fn joint_study_rejects_hyperopt() {
         joint_variance_study(&cs(), &[VarianceSource::HyperOpt], 2, 1);
+    }
+
+    #[test]
+    fn parallel_estimators_bit_identical_to_serial() {
+        use crate::exec::Runner;
+        let cs = cs();
+        let serial = ideal_estimator(&cs, 4, HpoAlgorithm::RandomSearch, 3, 11);
+        let par = ideal_estimator_with(&cs, 4, HpoAlgorithm::RandomSearch, 3, 11, &Runner::new(4));
+        assert_eq!(serial, par);
+        let s2 = fix_hopt_estimator(&cs, 5, HpoAlgorithm::RandomSearch, 3, 11, 2, Randomize::All);
+        let p2 = fix_hopt_estimator_with(
+            &cs,
+            5,
+            HpoAlgorithm::RandomSearch,
+            3,
+            11,
+            2,
+            Randomize::All,
+            &Runner::new(3),
+        );
+        assert_eq!(s2, p2);
+        let s3 = source_variance_study(
+            &cs,
+            VarianceSource::DataSplit,
+            6,
+            HpoAlgorithm::RandomSearch,
+            2,
+            5,
+        );
+        let p3 = source_variance_study_with(
+            &cs,
+            VarianceSource::DataSplit,
+            6,
+            HpoAlgorithm::RandomSearch,
+            2,
+            5,
+            &Runner::new(4),
+        );
+        assert_eq!(s3, p3);
     }
 
     #[test]

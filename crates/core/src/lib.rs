@@ -19,7 +19,11 @@
 //!   used to characterize the error rates of those criteria (Figs. 6 and
 //!   I.6);
 //! * [`sample_size`] — Noether planning for `P(A > B)` tests (Fig. C.1);
-//! * [`report`] — plain-text tables for the experiment harness.
+//! * [`report`] — plain-text tables for the experiment harness;
+//! * [`exec`] — a deterministic scoped-thread work-stealing runner
+//!   ([`exec::Runner::map_seeds`]) that fans estimator sampling, the
+//!   simulation grid and the figure configs out across cores with
+//!   bit-identical, seed-ordered results.
 //!
 //! # The paper's recommended workflow
 //!
@@ -58,6 +62,7 @@ pub mod checklist;
 pub mod compare;
 pub mod decompose;
 pub mod estimator;
+pub mod exec;
 pub mod multiple_datasets;
 pub mod procedure;
 pub mod report;

@@ -9,7 +9,9 @@
 //! 4. **decide** with the three-zone criterion (C.6).
 
 use crate::compare::{compare_paired, Decision, ProbOutperformTest};
-use crate::sample_size::{noether_sample_size, RECOMMENDED_ALPHA, RECOMMENDED_BETA, RECOMMENDED_GAMMA};
+use crate::sample_size::{
+    noether_sample_size, RECOMMENDED_ALPHA, RECOMMENDED_BETA, RECOMMENDED_GAMMA,
+};
 use varbench_pipeline::{CaseStudy, SeedAssignment};
 use varbench_rng::Rng;
 use varbench_stats::describe::Summary;
@@ -52,7 +54,11 @@ impl<'a> ComparisonProcedure<'a> {
             gamma: RECOMMENDED_GAMMA,
             alpha: RECOMMENDED_ALPHA,
             resamples: 1000,
-            sample_size: noether_sample_size(RECOMMENDED_GAMMA, RECOMMENDED_ALPHA, RECOMMENDED_BETA),
+            sample_size: noether_sample_size(
+                RECOMMENDED_GAMMA,
+                RECOMMENDED_ALPHA,
+                RECOMMENDED_BETA,
+            ),
             seed: 0,
         }
     }
@@ -158,7 +164,13 @@ impl ProcedureReport {
 
 impl std::fmt::Display for ProcedureReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "comparison on {} ({} runs, metric: {})", self.task, self.a_measures.len(), self.metric)?;
+        writeln!(
+            f,
+            "comparison on {} ({} runs, metric: {})",
+            self.task,
+            self.a_measures.len(),
+            self.metric
+        )?;
         writeln!(f, "  A: {}", self.a_summary)?;
         writeln!(f, "  B: {}", self.b_summary)?;
         writeln!(f, "  {}", self.test)?;

@@ -5,7 +5,8 @@
 //! difference" (Figs. 6 and I.6).
 
 use crate::compare::{average_comparison, compare_paired, single_point_comparison};
-use varbench_rng::Rng;
+use crate::exec::Runner;
+use varbench_rng::{Rng, SeedTree};
 use varbench_stats::standard_normal_quantile;
 use varbench_stats::Normal;
 
@@ -129,7 +130,53 @@ pub struct DetectionRow {
     pub prob_out_biased: f64,
 }
 
+/// Outcome of one simulated comparison: did each criterion conclude that
+/// A improves on B?
+#[derive(Debug, Clone, Copy)]
+struct SimOutcome {
+    single: bool,
+    avg_ideal: bool,
+    avg_biased: bool,
+    po_ideal: bool,
+    po_biased: bool,
+}
+
+/// Runs one simulated comparison from its own RNG branch.
+fn simulate_one(
+    task: &SimulatedTask,
+    config: &DetectionConfig,
+    mu_a: f64,
+    mu_b: f64,
+    rng: &mut Rng,
+) -> SimOutcome {
+    // Ideal measures.
+    let a = simulate_measures(task, SimEstimator::Ideal, mu_a, config.k, rng);
+    let b = simulate_measures(task, SimEstimator::Ideal, mu_b, config.k, rng);
+    let single = single_point_comparison(a[0], b[0]);
+    let avg_ideal = average_comparison(&a, &b, config.delta);
+    let po_ideal =
+        compare_paired(&a, &b, config.gamma, config.alpha, config.resamples, rng).is_improvement();
+    // Biased measures.
+    let a = simulate_measures(task, SimEstimator::Biased, mu_a, config.k, rng);
+    let b = simulate_measures(task, SimEstimator::Biased, mu_b, config.k, rng);
+    let avg_biased = average_comparison(&a, &b, config.delta);
+    let po_biased =
+        compare_paired(&a, &b, config.gamma, config.alpha, config.resamples, rng).is_improvement();
+    SimOutcome {
+        single,
+        avg_ideal,
+        avg_biased,
+        po_ideal,
+        po_biased,
+    }
+}
+
 /// Runs the detection-rate study across a sweep of true `P(A > B)` values.
+///
+/// Each simulated comparison draws from its own seed-tree branch
+/// (`seed → point index → simulation index`), so the grid is a pure map
+/// over independent units — see [`detection_study_with`] for the parallel
+/// version, which produces bit-identical rows.
 ///
 /// # Panics
 ///
@@ -140,59 +187,54 @@ pub fn detection_study(
     config: &DetectionConfig,
     seed: u64,
 ) -> Vec<DetectionRow> {
+    detection_study_with(task, p_values, config, seed, &Runner::serial())
+}
+
+/// [`detection_study`] with an explicit [`Runner`]: the
+/// `p_values × n_simulations` grid fans out across cores, one unit per
+/// simulated comparison, with bit-identical results for any thread count.
+///
+/// # Panics
+///
+/// Panics if `p_values` is empty or config fields are degenerate.
+pub fn detection_study_with(
+    task: &SimulatedTask,
+    p_values: &[f64],
+    config: &DetectionConfig,
+    seed: u64,
+    runner: &Runner,
+) -> Vec<DetectionRow> {
     assert!(!p_values.is_empty(), "need probability points");
     assert!(config.k >= 2, "k must be >= 2");
     assert!(config.n_simulations > 0, "need simulations");
-    let mut rng = Rng::seed_from_u64(seed);
+    let tree = SeedTree::new(seed);
+    let units: Vec<(usize, usize)> = (0..p_values.len())
+        .flat_map(|pi| (0..config.n_simulations).map(move |si| (pi, si)))
+        .collect();
+    let outcomes = runner.map_seeds(&units, |_, &(pi, si)| {
+        let gap = task.gap_for_probability(p_values[pi]);
+        let mu_b = 0.5; // arbitrary base performance
+        let mu_a = mu_b + gap;
+        let mut rng = tree
+            .subtree_indexed("point", pi as u64)
+            .rng_indexed("sim", si as u64);
+        simulate_one(task, config, mu_a, mu_b, &mut rng)
+    });
+    let n = config.n_simulations as f64;
     p_values
         .iter()
-        .map(|&p| {
-            let gap = task.gap_for_probability(p);
-            let mu_b = 0.5; // arbitrary base performance
-            let mu_a = mu_b + gap;
-
-            let mut single = 0usize;
-            let mut avg_ideal = 0usize;
-            let mut avg_biased = 0usize;
-            let mut po_ideal = 0usize;
-            let mut po_biased = 0usize;
-
-            for _ in 0..config.n_simulations {
-                // Ideal measures.
-                let a = simulate_measures(task, SimEstimator::Ideal, mu_a, config.k, &mut rng);
-                let b = simulate_measures(task, SimEstimator::Ideal, mu_b, config.k, &mut rng);
-                if single_point_comparison(a[0], b[0]) {
-                    single += 1;
-                }
-                if average_comparison(&a, &b, config.delta) {
-                    avg_ideal += 1;
-                }
-                if compare_paired(&a, &b, config.gamma, config.alpha, config.resamples, &mut rng)
-                    .is_improvement()
-                {
-                    po_ideal += 1;
-                }
-                // Biased measures.
-                let a = simulate_measures(task, SimEstimator::Biased, mu_a, config.k, &mut rng);
-                let b = simulate_measures(task, SimEstimator::Biased, mu_b, config.k, &mut rng);
-                if average_comparison(&a, &b, config.delta) {
-                    avg_biased += 1;
-                }
-                if compare_paired(&a, &b, config.gamma, config.alpha, config.resamples, &mut rng)
-                    .is_improvement()
-                {
-                    po_biased += 1;
-                }
-            }
-            let n = config.n_simulations as f64;
+        .enumerate()
+        .map(|(pi, &p)| {
+            let rows = &outcomes[pi * config.n_simulations..(pi + 1) * config.n_simulations];
+            let count = |f: fn(&SimOutcome) -> bool| rows.iter().filter(|o| f(o)).count() as f64;
             DetectionRow {
                 p_true: p,
                 oracle: oracle_power(p, config.k, config.alpha),
-                single_point: single as f64 / n,
-                average_ideal: avg_ideal as f64 / n,
-                average_biased: avg_biased as f64 / n,
-                prob_out_ideal: po_ideal as f64 / n,
-                prob_out_biased: po_biased as f64 / n,
+                single_point: count(|o| o.single) / n,
+                average_ideal: count(|o| o.avg_ideal) / n,
+                average_biased: count(|o| o.avg_biased) / n,
+                prob_out_ideal: count(|o| o.po_ideal) / n,
+                prob_out_biased: count(|o| o.po_biased) / n,
             }
         })
         .collect()
@@ -318,6 +360,16 @@ mod tests {
         let a = detection_study(&task(), &[0.7], &config(), 5);
         let b = detection_study(&task(), &[0.7], &config(), 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_study_bit_identical_to_serial() {
+        let serial = detection_study(&task(), &[0.6, 0.8], &config(), 6);
+        for threads in [2, 4, 8] {
+            let par =
+                detection_study_with(&task(), &[0.6, 0.8], &config(), 6, &Runner::new(threads));
+            assert_eq!(serial, par, "threads={threads}");
+        }
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl Targets {
 
     fn subset(&self, indices: &[usize]) -> Targets {
         match self {
-            Targets::Labels { labels, num_classes } => Targets::Labels {
+            Targets::Labels {
+                labels,
+                num_classes,
+            } => Targets::Labels {
                 labels: indices.iter().map(|&i| labels[i]).collect(),
                 num_classes: *num_classes,
             },
@@ -85,9 +88,18 @@ impl Dataset {
     /// of rows disagrees with the number of targets.
     pub fn new(features: Vec<f64>, dim: usize, targets: Targets) -> Self {
         assert!(dim > 0, "dim must be > 0");
-        assert_eq!(features.len() % dim, 0, "feature buffer not a multiple of dim");
+        assert_eq!(
+            features.len() % dim,
+            0,
+            "feature buffer not a multiple of dim"
+        );
         let n = features.len() / dim;
-        assert_eq!(n, targets.len(), "feature rows ({n}) != targets ({})", targets.len());
+        assert_eq!(
+            n,
+            targets.len(),
+            "feature rows ({n}) != targets ({})",
+            targets.len()
+        );
         Self {
             features,
             dim,

@@ -53,7 +53,13 @@ impl Split {
 /// # Panics
 ///
 /// Panics if `n_train + n_valid + n_test > n`.
-pub fn holdout_split(n: usize, n_train: usize, n_valid: usize, n_test: usize, rng: &mut Rng) -> Split {
+pub fn holdout_split(
+    n: usize,
+    n_train: usize,
+    n_valid: usize,
+    n_test: usize,
+    rng: &mut Rng,
+) -> Split {
     assert!(
         n_train + n_valid + n_test <= n,
         "holdout sizes exceed population: {} + {} + {} > {n}",
@@ -196,7 +202,7 @@ mod tests {
         let mut rng = Rng::seed_from_u64(3);
         let folds = kfold(103, 5, &mut rng);
         assert_eq!(folds.len(), 5);
-        let mut covered = vec![false; 103];
+        let mut covered = [false; 103];
         for (train, test) in &folds {
             assert_eq!(train.len() + test.len(), 103);
             for &i in test {
@@ -207,7 +213,10 @@ mod tests {
                 assert!(!test.contains(&i));
             }
         }
-        assert!(covered.iter().all(|&c| c), "every index in exactly one test fold");
+        assert!(
+            covered.iter().all(|&c| c),
+            "every index in exactly one test fold"
+        );
     }
 
     #[test]

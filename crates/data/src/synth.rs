@@ -56,7 +56,10 @@ impl Default for GaussianMixtureConfig {
 /// Panics if any size parameter is zero or `label_noise` outside `[0, 1]`.
 pub fn gaussian_mixture(config: &GaussianMixtureConfig, rng: &mut Rng) -> Dataset {
     assert!(config.num_classes >= 2, "need at least 2 classes");
-    assert!(config.dim > 0 && config.n_per_class > 0, "sizes must be > 0");
+    assert!(
+        config.dim > 0 && config.n_per_class > 0,
+        "sizes must be > 0"
+    );
     assert!(
         (0.0..=1.0).contains(&config.label_noise),
         "label_noise must be in [0,1]"
@@ -76,10 +79,10 @@ pub fn gaussian_mixture(config: &GaussianMixtureConfig, rng: &mut Rng) -> Datase
     let n = config.num_classes * config.n_per_class;
     let mut features = Vec::with_capacity(n * config.dim);
     let mut labels = Vec::with_capacity(n);
-    for c in 0..config.num_classes {
+    for (c, mean) in means.iter().enumerate() {
         for _ in 0..config.n_per_class {
-            for d in 0..config.dim {
-                features.push(means[c][d] + rng.normal(0.0, config.within_std));
+            for &m in mean.iter().take(config.dim) {
+                features.push(m + rng.normal(0.0, config.within_std));
             }
             let label = if config.label_noise > 0.0 && rng.bernoulli(config.label_noise) {
                 rng.range_usize(config.num_classes)
@@ -140,8 +143,14 @@ impl Default for BinaryOverlapConfig {
 /// Panics if sizes are zero or probabilities outside `[0, 1]`.
 pub fn binary_overlap(config: &BinaryOverlapConfig, rng: &mut Rng) -> Dataset {
     assert!(config.n > 0 && config.dim > 0, "sizes must be > 0");
-    assert!((0.0..=1.0).contains(&config.label_noise), "label_noise in [0,1]");
-    assert!((0.0..=1.0).contains(&config.p_positive), "p_positive in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&config.label_noise),
+        "label_noise in [0,1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.p_positive),
+        "p_positive in [0,1]"
+    );
     let mut features = Vec::with_capacity(config.n * config.dim);
     let mut labels = Vec::with_capacity(config.n);
     for _ in 0..config.n {
@@ -229,7 +238,9 @@ pub fn mask_task(config: &MaskTaskConfig, rng: &mut Rng) -> Dataset {
     let mut features = Vec::with_capacity(config.n * config.dim);
     let mut masks = Vec::with_capacity(config.n);
     for _ in 0..config.n {
-        let z: Vec<f64> = (0..config.latent_dim).map(|_| rng.standard_normal()).collect();
+        let z: Vec<f64> = (0..config.latent_dim)
+            .map(|_| rng.standard_normal())
+            .collect();
         for d in 0..config.dim {
             let mut s = 0.0;
             for (l, zl) in z.iter().enumerate() {
@@ -303,7 +314,10 @@ pub fn binding_regression(config: &BindingConfig, rng: &mut Rng) -> Dataset {
     assert!(config.noise >= 0.0, "noise must be >= 0");
     // Deterministic pseudo-random coefficients (fixed task identity).
     let w: Vec<f64> = (0..config.dim)
-        .map(|d| ((d as f64 * 2.399_963_229_728_653).sin()) * 0.8 + config.shift * ((d as f64 * 1.1).cos()) * 0.3)
+        .map(|d| {
+            ((d as f64 * 2.399_963_229_728_653).sin()) * 0.8
+                + config.shift * ((d as f64 * 1.1).cos()) * 0.3
+        })
         .collect();
     let inter = 0.9 + config.shift * 0.4;
     let sin_coef = 0.7 - config.shift * 0.2;
@@ -395,7 +409,6 @@ mod tests {
             class_sep: 50.0,
             within_std: 0.1,
             label_noise: 0.3,
-            ..Default::default()
         };
         let ds = gaussian_mixture(&cfg, &mut rng);
         // ~30% of labels randomized (half of which land back on the true
@@ -489,8 +502,14 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        let a = gaussian_mixture(&GaussianMixtureConfig::default(), &mut Rng::seed_from_u64(42));
-        let b = gaussian_mixture(&GaussianMixtureConfig::default(), &mut Rng::seed_from_u64(42));
+        let a = gaussian_mixture(
+            &GaussianMixtureConfig::default(),
+            &mut Rng::seed_from_u64(42),
+        );
+        let b = gaussian_mixture(
+            &GaussianMixtureConfig::default(),
+            &mut Rng::seed_from_u64(42),
+        );
         assert_eq!(a, b);
     }
 

@@ -74,7 +74,10 @@ impl BayesOpt {
     /// or a non-positive lengthscale).
     pub fn new(space: SearchSpace, config: BayesOptConfig, seed: u64) -> Self {
         assert!(config.n_candidates > 0, "need candidates to score");
-        assert!(!config.lengthscales.is_empty(), "need candidate lengthscales");
+        assert!(
+            !config.lengthscales.is_empty(),
+            "need candidate lengthscales"
+        );
         assert!(
             config.lengthscales.iter().all(|&l| l > 0.0),
             "lengthscales must be positive"
@@ -142,11 +145,7 @@ impl Optimizer for BayesOpt {
         let objective = if objective.is_finite() {
             objective
         } else {
-            let worst = self
-                .y
-                .iter()
-                .cloned()
-                .fold(f64::NEG_INFINITY, f64::max);
+            let worst = self.y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             if worst.is_finite() {
                 worst + 3.0 * (worst.abs() + 1.0)
             } else {
@@ -382,7 +381,11 @@ mod tests {
         let h = minimize(&mut opt, 40, |p| {
             (p[0].ln() - 1e-2f64.ln()).powi(2) / 10.0 + (p[1] - 0.9).powi(2)
         });
-        assert!(h.best().unwrap().objective < 0.3, "{}", h.best().unwrap().objective);
+        assert!(
+            h.best().unwrap().objective < 0.3,
+            "{}",
+            h.best().unwrap().objective
+        );
     }
 
     #[test]

@@ -113,7 +113,11 @@ impl Optimizer for NoisyGridSearch {
 /// Lays out the (possibly perturbed) grid. With `noise` = `None` this is
 /// the plain grid of Appendix E.1; with an RNG it is the noisy grid of
 /// Appendix E.2.
-fn build_grid(space: &SearchSpace, points_per_dim: usize, mut noise: Option<&mut Rng>) -> Vec<Vec<f64>> {
+fn build_grid(
+    space: &SearchSpace,
+    points_per_dim: usize,
+    mut noise: Option<&mut Rng>,
+) -> Vec<Vec<f64>> {
     assert!(points_per_dim >= 2, "grid needs at least 2 points per dim");
     let total = (points_per_dim as f64).powi(space.len() as i32);
     assert!(total <= 1e7, "grid of {total} points is too large");

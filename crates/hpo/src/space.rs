@@ -38,7 +38,10 @@ impl Dim {
     ///
     /// Panics if `lo >= hi` or bounds are not finite.
     pub fn uniform(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "need finite lo < hi");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "need finite lo < hi"
+        );
         Dim::Uniform { lo, hi }
     }
 
@@ -96,8 +99,11 @@ impl Dim {
     pub fn from_unit(&self, u: f64) -> f64 {
         let u = u.clamp(0.0, 1.0);
         match *self {
-            Dim::Uniform { lo, hi } => lo + u * (hi - lo),
-            Dim::LogUniform { lo, hi } => (lo.ln() + u * (hi.ln() - lo.ln())).exp(),
+            // Clamp the continuous arms: float rounding can overshoot the
+            // bounds (e.g. exp(ln(100)) > 100), and callers rely on
+            // `from_unit` landing inside the dimension.
+            Dim::Uniform { lo, hi } => (lo + u * (hi - lo)).clamp(lo, hi),
+            Dim::LogUniform { lo, hi } => (lo.ln() + u * (hi.ln() - lo.ln())).exp().clamp(lo, hi),
             Dim::Integer { lo, hi } => (lo as f64 + u * (hi - lo) as f64).round(),
         }
     }
@@ -132,7 +138,11 @@ impl SearchSpace {
         assert!(!dims.is_empty(), "search space must have dimensions");
         for i in 0..dims.len() {
             for j in (i + 1)..dims.len() {
-                assert_ne!(dims[i].0, dims[j].0, "duplicate dimension name {}", dims[i].0);
+                assert_ne!(
+                    dims[i].0, dims[j].0,
+                    "duplicate dimension name {}",
+                    dims[i].0
+                );
             }
         }
         Self { dims }

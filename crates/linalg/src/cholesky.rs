@@ -70,7 +70,10 @@ impl Cholesky {
                 }
                 if i == j {
                     if sum <= 0.0 || !sum.is_finite() {
-                        return Err(NotPositiveDefiniteError { pivot: i, value: sum });
+                        return Err(NotPositiveDefiniteError {
+                            pivot: i,
+                            value: sum,
+                        });
                     }
                     l[(i, j)] = sum.sqrt();
                 } else {
@@ -100,7 +103,10 @@ impl Cholesky {
             Err(_) => {}
         }
         let mut jitter = initial_jitter.max(f64::MIN_POSITIVE);
-        let mut last = NotPositiveDefiniteError { pivot: 0, value: f64::NAN };
+        let mut last = NotPositiveDefiniteError {
+            pivot: 0,
+            value: f64::NAN,
+        };
         for _ in 0..max_tries {
             let mut aj = a.clone();
             aj.add_diagonal(jitter);
@@ -182,7 +188,11 @@ mod tests {
     use super::*;
 
     fn spd3() -> Matrix {
-        Matrix::from_rows(&[&[4.0, 12.0, -16.0], &[12.0, 37.0, -43.0], &[-16.0, -43.0, 98.0]])
+        Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ])
     }
 
     #[test]

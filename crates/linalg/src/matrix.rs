@@ -190,7 +190,11 @@ impl Matrix {
 
     /// Returns `self` scaled by `s`.
     pub fn scaled(&self, s: f64) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|a| a * s).collect())
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|a| a * s).collect(),
+        )
     }
 
     /// Adds `v` to the diagonal in place (e.g. jitter or ridge terms).
@@ -216,14 +220,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &mut self.data[i * self.cols + j]
     }
 }

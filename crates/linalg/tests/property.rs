@@ -1,7 +1,9 @@
-//! Property-based tests: Cholesky correctness on arbitrary SPD matrices.
+//! Property-based tests: Cholesky correctness on arbitrary SPD matrices,
+//! driven by the in-repo deterministic seed-sweep harness
+//! ([`varbench_rng::sweep`]).
 
-use proptest::prelude::*;
 use varbench_linalg::{Cholesky, Matrix};
+use varbench_rng::sweep::sweep;
 
 /// Builds a random SPD matrix A = BᵀB + εI from a flat coefficient list.
 fn spd_from(coeffs: &[f64], n: usize) -> Matrix {
@@ -11,65 +13,71 @@ fn spd_from(coeffs: &[f64], n: usize) -> Matrix {
     a
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn cholesky_reconstructs_spd(
-        coeffs in prop::collection::vec(-3.0f64..3.0, 16..=16),
-    ) {
-        let a = spd_from(&coeffs, 4);
+#[test]
+fn cholesky_reconstructs_spd() {
+    sweep("cholesky_reconstructs_spd", 48, |case| {
+        let c = case.f64s(-3.0, 3.0, 16);
+        let a = spd_from(&c, 4);
         let chol = Cholesky::new(&a).expect("SPD by construction");
         let r = chol.reconstruct();
         for i in 0..4 {
             for j in 0..4 {
-                prop_assert!(
+                assert!(
                     (r[(i, j)] - a[(i, j)]).abs() < 1e-8,
-                    "({i},{j}): {} vs {}", r[(i, j)], a[(i, j)]
+                    "({i},{j}): {} vs {}",
+                    r[(i, j)],
+                    a[(i, j)]
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn cholesky_solve_satisfies_system(
-        coeffs in prop::collection::vec(-3.0f64..3.0, 16..=16),
-        b in prop::collection::vec(-5.0f64..5.0, 4..=4),
-    ) {
-        let a = spd_from(&coeffs, 4);
+#[test]
+fn cholesky_solve_satisfies_system() {
+    sweep("cholesky_solve_satisfies_system", 48, |case| {
+        let c = case.f64s(-3.0, 3.0, 16);
+        let b = case.f64s(-5.0, 5.0, 4);
+        let a = spd_from(&c, 4);
         let chol = Cholesky::new(&a).expect("SPD");
         let x = chol.solve(&b);
         let ax = a.matvec(&x);
         for (got, want) in ax.iter().zip(&b) {
-            prop_assert!((got - want).abs() < 1e-7, "{got} vs {want}");
+            assert!((got - want).abs() < 1e-7, "{got} vs {want}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn log_det_is_finite_and_consistent_with_scaling(
-        coeffs in prop::collection::vec(-2.0f64..2.0, 9..=9),
-    ) {
-        let a = spd_from(&coeffs, 3);
-        let chol = Cholesky::new(&a).expect("SPD");
-        let ld = chol.log_det();
-        prop_assert!(ld.is_finite());
-        // det(2A) = 2³ det(A) for a 3×3 matrix.
-        let chol2 = Cholesky::new(&a.scaled(2.0)).expect("scaled SPD");
-        prop_assert!((chol2.log_det() - (ld + 3.0 * 2.0f64.ln())).abs() < 1e-8);
-    }
+#[test]
+fn log_det_is_finite_and_consistent_with_scaling() {
+    sweep(
+        "log_det_is_finite_and_consistent_with_scaling",
+        48,
+        |case| {
+            let c = case.f64s(-2.0, 2.0, 9);
+            let a = spd_from(&c, 3);
+            let chol = Cholesky::new(&a).expect("SPD");
+            let ld = chol.log_det();
+            assert!(ld.is_finite());
+            // det(2A) = 2³ det(A) for a 3×3 matrix.
+            let chol2 = Cholesky::new(&a.scaled(2.0)).expect("scaled SPD");
+            assert!((chol2.log_det() - (ld + 3.0 * 2.0f64.ln())).abs() < 1e-8);
+        },
+    );
+}
 
-    #[test]
-    fn matmul_associates_with_vectors(
-        coeffs in prop::collection::vec(-2.0f64..2.0, 12..=12),
-        v in prop::collection::vec(-3.0f64..3.0, 3..=3),
-    ) {
+#[test]
+fn matmul_associates_with_vectors() {
+    sweep("matmul_associates_with_vectors", 48, |case| {
         // (A·B)·v == A·(B·v) for a 4×3 and 3×3 pair.
-        let a = Matrix::from_vec(4, 3, coeffs[..12].to_vec());
-        let b = spd_from(&coeffs[..9.min(coeffs.len())], 3);
+        let c = case.f64s(-2.0, 2.0, 12);
+        let v = case.f64s(-3.0, 3.0, 3);
+        let a = Matrix::from_vec(4, 3, c[..12].to_vec());
+        let b = spd_from(&c[..9], 3);
         let lhs = a.matmul(&b).matvec(&v);
         let rhs = a.matvec(&b.matvec(&v));
         for (x, y) in lhs.iter().zip(&rhs) {
-            prop_assert!((x - y).abs() < 1e-9);
+            assert!((x - y).abs() < 1e-9);
         }
-    }
+    });
 }

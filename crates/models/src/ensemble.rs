@@ -65,11 +65,7 @@ impl MlpEnsemble {
     ///
     /// Panics if members do not have MSE heads.
     pub fn predict_value(&self, x: &[f64]) -> f64 {
-        self.members
-            .iter()
-            .map(|m| m.predict_value(x))
-            .sum::<f64>()
-            / self.members.len() as f64
+        self.members.iter().map(|m| m.predict_value(x)).sum::<f64>() / self.members.len() as f64
     }
 
     /// Averaged class probabilities.
@@ -112,7 +108,7 @@ impl MlpEnsemble {
 mod tests {
     use super::*;
     use varbench_data::augment::Identity;
-    use varbench_data::synth::{self, BindingConfig, BinaryOverlapConfig};
+    use varbench_data::synth::{self, BinaryOverlapConfig, BindingConfig};
     use varbench_rng::Rng;
 
     fn small_train() -> TrainConfig {
@@ -176,8 +172,15 @@ mod tests {
             .collect();
         let ensembles: Vec<f64> = (0..6)
             .map(|s| {
-                MlpEnsemble::train(6, &cfg, &small_train(), &ds, &Identity, &SeedTree::new(200 + s))
-                    .predict_value(&probe)
+                MlpEnsemble::train(
+                    6,
+                    &cfg,
+                    &small_train(),
+                    &ds,
+                    &Identity,
+                    &SeedTree::new(200 + s),
+                )
+                .predict_value(&probe)
             })
             .collect();
         let spread = |xs: &[f64]| {

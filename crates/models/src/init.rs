@@ -7,8 +7,7 @@ use varbench_rng::Rng;
 /// Initialization is one of the ξ_O variance sources the paper measures
 /// ("Weights init" row of Fig. 1); each scheme consumes the dedicated
 /// `weights_init` RNG stream.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Init {
     /// Glorot (Xavier) uniform: `U(−a, a)` with `a = sqrt(6/(fan_in + fan_out))`.
     /// The paper's CIFAR10-VGG11 and MHC-MLP setups use this scheme.
@@ -24,7 +23,6 @@ pub enum Init {
         std: f64,
     },
 }
-
 
 impl Init {
     /// Samples one weight for a layer with the given fan-in/fan-out.
@@ -51,7 +49,9 @@ mod tests {
 
     fn sample_many(init: Init, fan_in: usize, fan_out: usize, n: usize) -> Vec<f64> {
         let mut rng = Rng::seed_from_u64(1);
-        (0..n).map(|_| init.sample(fan_in, fan_out, &mut rng)).collect()
+        (0..n)
+            .map(|_| init.sample(fan_in, fan_out, &mut rng))
+            .collect()
     }
 
     #[test]

@@ -224,7 +224,10 @@ mod tests {
     #[test]
     fn ridge_deterministic() {
         let ds = Dataset::new(vec![1.0, 2.0, 3.0], 1, Targets::Values(vec![1.0, 2.0, 3.0]));
-        assert_eq!(RidgeRegression::fit(&ds, 0.1), RidgeRegression::fit(&ds, 0.1));
+        assert_eq!(
+            RidgeRegression::fit(&ds, 0.1),
+            RidgeRegression::fit(&ds, 0.1)
+        );
     }
 
     #[test]

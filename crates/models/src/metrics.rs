@@ -71,8 +71,16 @@ pub fn mask_iou(pred: &[f64], truth: &[f64]) -> f64 {
             union_bg += 1;
         }
     }
-    let iou_fg = if union_fg == 0 { 1.0 } else { inter_fg as f64 / union_fg as f64 };
-    let iou_bg = if union_bg == 0 { 1.0 } else { inter_bg as f64 / union_bg as f64 };
+    let iou_fg = if union_fg == 0 {
+        1.0
+    } else {
+        inter_fg as f64 / union_fg as f64
+    };
+    let iou_bg = if union_bg == 0 {
+        1.0
+    } else {
+        inter_bg as f64 / union_bg as f64
+    };
     (iou_fg + iou_bg) / 2.0
 }
 

@@ -206,10 +206,19 @@ impl Mlp {
         assert!(train.epochs > 0, "epochs must be > 0");
         assert!(train.batch_size > 0, "batch_size must be > 0");
         assert!(train.learning_rate > 0.0, "learning_rate must be > 0");
-        assert!((0.0..1.0).contains(&train.dropout), "dropout must be in [0,1)");
-        assert!((0.0..=1.0).contains(&train.momentum), "momentum must be in [0,1]");
+        assert!(
+            (0.0..1.0).contains(&train.dropout),
+            "dropout must be in [0,1)"
+        );
+        assert!(
+            (0.0..=1.0).contains(&train.momentum),
+            "momentum must be in [0,1]"
+        );
         assert!(train.weight_decay >= 0.0, "weight_decay must be >= 0");
-        assert!(train.lr_gamma > 0.0 && train.lr_gamma <= 1.0, "lr_gamma in (0,1]");
+        assert!(
+            train.lr_gamma > 0.0 && train.lr_gamma <= 1.0,
+            "lr_gamma in (0,1]"
+        );
         assert!(train.grad_noise >= 0.0, "grad_noise must be >= 0");
 
         let (head, out_dim) = match dataset.targets() {
@@ -236,7 +245,10 @@ impl Mlp {
 
         let mut ws = Workspace {
             acts: dims.iter().map(|&d| Vec::with_capacity(d)).collect(),
-            masks: dims[1..dims.len() - 1].iter().map(|&d| vec![1.0; d]).collect(),
+            masks: dims[1..dims.len() - 1]
+                .iter()
+                .map(|&d| vec![1.0; d])
+                .collect(),
             deltas: dims.iter().map(|&d| vec![0.0; d]).collect(),
             gw: model.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
             gb: model.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
@@ -361,8 +373,7 @@ impl Mlp {
                     for v in below.iter_mut() {
                         *v = 0.0;
                     }
-                    for o in 0..layer.out_dim {
-                        let d = delta[o];
+                    for (o, &d) in delta.iter().enumerate().take(layer.out_dim) {
                         if d != 0.0 {
                             let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
                             for (b, w) in below.iter_mut().zip(row) {
@@ -465,7 +476,11 @@ impl Mlp {
     ///
     /// Panics if the head is not [`Head::Softmax`].
     pub fn predict_class(&self, x: &[f64]) -> usize {
-        assert_eq!(self.head, Head::Softmax, "predict_class requires a softmax head");
+        assert_eq!(
+            self.head,
+            Head::Softmax,
+            "predict_class requires a softmax head"
+        );
         let logits = self.logits(x);
         argmax(&logits)
     }
@@ -476,7 +491,11 @@ impl Mlp {
     ///
     /// Panics if the head is not [`Head::Softmax`].
     pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(self.head, Head::Softmax, "predict_proba requires a softmax head");
+        assert_eq!(
+            self.head,
+            Head::Softmax,
+            "predict_proba requires a softmax head"
+        );
         let logits = self.logits(x);
         let mut out = Vec::with_capacity(logits.len());
         softmax_into(&logits, &mut out);
@@ -489,7 +508,11 @@ impl Mlp {
     ///
     /// Panics if the head is not [`Head::SigmoidBce`].
     pub fn predict_mask(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(self.head, Head::SigmoidBce, "predict_mask requires a sigmoid head");
+        assert_eq!(
+            self.head,
+            Head::SigmoidBce,
+            "predict_mask requires a sigmoid head"
+        );
         self.logits(x)
             .iter()
             .map(|z| 1.0 / (1.0 + (-z).exp()))
@@ -749,7 +772,10 @@ mod tests {
                 _ => unreachable!(),
             }
             let variant = Mlp::train(&cfg, &tc, &ds, &GaussianJitter::new(0.05), &mut s);
-            assert_ne!(base, variant, "varying the {label} seed must change the model");
+            assert_ne!(
+                base, variant,
+                "varying the {label} seed must change the model"
+            );
         }
     }
 

@@ -76,8 +76,14 @@ fn check_descent(ds: Dataset, label: &str) {
     let l2 = loss(&one_step(&ds, eta2, 7), &ds);
     let d1 = l0 - l1;
     let d2 = l0 - l2;
-    assert!(d1 > 0.0, "{label}: one SGD step must decrease the loss (d1 = {d1:e})");
-    assert!(d2 > 0.0, "{label}: one SGD step must decrease the loss (d2 = {d2:e})");
+    assert!(
+        d1 > 0.0,
+        "{label}: one SGD step must decrease the loss (d1 = {d1:e})"
+    );
+    assert!(
+        d2 > 0.0,
+        "{label}: one SGD step must decrease the loss (d2 = {d2:e})"
+    );
     let ratio = d2 / d1;
     assert!(
         (ratio - 2.0).abs() < 0.05,

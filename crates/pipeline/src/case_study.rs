@@ -626,7 +626,7 @@ mod tests {
     fn default_run_beats_chance_on_each_task() {
         let seeds = SeedAssignment::all_fixed(7);
         for cs in CaseStudy::all(Scale::Test) {
-            let perf = cs.run_with_params(&cs.default_params().to_vec(), &seeds);
+            let perf = cs.run_with_params(cs.default_params(), &seeds);
             // Chance: 0.1 for 10-class, 0.5 for binary/AUC/IoU-ish.
             let chance = match cs.name() {
                 "cifar10-vgg11" => 0.1,
@@ -645,8 +645,8 @@ mod tests {
     fn fixed_seeds_reproduce_exactly() {
         let cs = CaseStudy::glue_sst2_bert(Scale::Test);
         let seeds = SeedAssignment::all_fixed(3);
-        let a = cs.run_with_params(&cs.default_params().to_vec(), &seeds);
-        let b = cs.run_with_params(&cs.default_params().to_vec(), &seeds);
+        let a = cs.run_with_params(cs.default_params(), &seeds);
+        let b = cs.run_with_params(cs.default_params(), &seeds);
         assert_eq!(a, b, "identical seeds must give identical measures");
     }
 
@@ -714,7 +714,7 @@ mod tests {
     fn valid_test_variant_returns_both() {
         let cs = CaseStudy::mhc_mlp(Scale::Test);
         let seeds = SeedAssignment::all_fixed(17);
-        let (valid, test) = cs.run_with_params_valid_test(&cs.default_params().to_vec(), &seeds);
+        let (valid, test) = cs.run_with_params_valid_test(cs.default_params(), &seeds);
         assert!(valid > 0.5 && valid <= 1.0);
         assert!(test > 0.5 && test <= 1.0);
     }

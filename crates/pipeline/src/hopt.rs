@@ -46,9 +46,11 @@ impl HpoAlgorithm {
         let space = cs.search_space().clone();
         match self {
             HpoAlgorithm::RandomSearch => Box::new(RandomSearch::new(space, seed)),
-            HpoAlgorithm::GridSearch => {
-                Box::new(GridSearch::new(space, grid_points_per_dim(cs, budget), seed))
-            }
+            HpoAlgorithm::GridSearch => Box::new(GridSearch::new(
+                space,
+                grid_points_per_dim(cs, budget),
+                seed,
+            )),
             HpoAlgorithm::NoisyGridSearch => Box::new(NoisyGridSearch::new(
                 space,
                 grid_points_per_dim(cs, budget),
@@ -109,11 +111,7 @@ impl CaseStudy {
             let model = self.train_model(params, split.train(), seeds);
             1.0 - self.evaluate(&model, split.valid())
         });
-        let best = history
-            .best()
-            .expect("non-empty history")
-            .params
-            .clone();
+        let best = history.best().expect("non-empty history").params.clone();
         (best, history)
     }
 

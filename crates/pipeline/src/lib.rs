@@ -40,10 +40,10 @@
 
 mod case_study;
 mod hopt;
-mod measure;
+pub mod measure;
 mod variance;
 
 pub use case_study::{CaseStudy, Scale, SplitSpec};
 pub use hopt::{HpoAlgorithm, PipelineResult};
-pub use measure::MetricKind;
+pub use measure::{MetricKind, ParMap, SerialMap};
 pub use variance::{SeedAssignment, VarianceSource};

@@ -3,6 +3,41 @@
 use varbench_data::Dataset;
 use varbench_models::{metrics, Mlp};
 
+/// Strategy for mapping a function over an index range, preserving index
+/// order in the output.
+///
+/// This is the executor seam of the workspace: `varbench-pipeline` sits
+/// *below* `varbench-core` in the dependency graph, so it cannot name the
+/// work-stealing `Runner` in `varbench_core::exec` directly. Instead the
+/// metric hot paths are generic over this trait; [`SerialMap`] is the
+/// zero-cost default, and `Runner` implements `ParMap` upstream so callers
+/// that hold one can fan per-example evaluation out across cores.
+///
+/// Implementations must call `f` for every index in `0..n` exactly once
+/// and return the results in index order — callers rely on bit-identical
+/// output regardless of how the work is scheduled.
+pub trait ParMap {
+    /// Maps `f` over `0..n`, returning results in index order.
+    fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync;
+}
+
+/// The trivial sequential [`ParMap`]: a plain loop on the calling thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SerialMap;
+
+impl ParMap for SerialMap {
+    fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        (0..n).map(f).collect()
+    }
+}
+
 /// Which metric a case study reports — the `e` of the paper's
 /// `R̂_e(h, S)`. All metrics here are oriented *higher is better*; HPO
 /// minimizes `1 − metric`.
@@ -34,20 +69,43 @@ impl MetricKind {
     /// Panics if `indices` is empty or the model head does not match the
     /// dataset's targets.
     pub fn evaluate(&self, model: &Mlp, pool: &Dataset, indices: &[usize]) -> f64 {
+        self.evaluate_with(model, pool, indices, &SerialMap)
+    }
+
+    /// [`MetricKind::evaluate`] with an explicit execution strategy: the
+    /// per-example forward passes are mapped through `par`, so a parallel
+    /// [`ParMap`] (e.g. `varbench_core::exec::Runner`) spreads a large
+    /// evaluation pool across cores. Results are identical to the serial
+    /// path for any strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or the model head does not match the
+    /// dataset's targets.
+    pub fn evaluate_with<P: ParMap>(
+        &self,
+        model: &Mlp,
+        pool: &Dataset,
+        indices: &[usize],
+        par: &P,
+    ) -> f64 {
         assert!(!indices.is_empty(), "cannot evaluate on an empty set");
         match self {
             MetricKind::Accuracy => {
-                let pred: Vec<usize> = indices.iter().map(|&i| model.predict_class(pool.x(i))).collect();
+                let pred =
+                    par.map_indexed(indices.len(), |i| model.predict_class(pool.x(indices[i])));
                 let truth: Vec<usize> = indices.iter().map(|&i| pool.label(i)).collect();
                 metrics::accuracy(&pred, &truth)
             }
             MetricKind::MeanIou => {
-                let pred: Vec<Vec<f64>> = indices.iter().map(|&i| model.predict_mask(pool.x(i))).collect();
+                let pred =
+                    par.map_indexed(indices.len(), |i| model.predict_mask(pool.x(indices[i])));
                 let truth: Vec<Vec<f64>> = indices.iter().map(|&i| pool.mask(i).to_vec()).collect();
                 metrics::mean_iou(&pred, &truth)
             }
             MetricKind::Auc => {
-                let scores: Vec<f64> = indices.iter().map(|&i| model.predict_value(pool.x(i))).collect();
+                let scores =
+                    par.map_indexed(indices.len(), |i| model.predict_value(pool.x(indices[i])));
                 let labels: Vec<bool> = indices.iter().map(|&i| pool.value(i) > 0.5).collect();
                 metrics::roc_auc(&scores, &labels)
             }

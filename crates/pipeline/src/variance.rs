@@ -81,7 +81,10 @@ impl VarianceSource {
     }
 
     fn index(&self) -> usize {
-        Self::ALL.iter().position(|s| s == self).expect("source in ALL")
+        Self::ALL
+            .iter()
+            .position(|s| s == self)
+            .expect("source in ALL")
     }
 }
 
@@ -134,9 +137,7 @@ impl SeedAssignment {
     /// sources unchanged).
     pub fn with_varied(&self, source: VarianceSource, variation: u64) -> Self {
         let mut out = *self;
-        out.seeds[source.index()] = SeedTree::new(variation)
-            .seed(source.label())
-            .0;
+        out.seeds[source.index()] = SeedTree::new(variation).seed(source.label()).0;
         out
     }
 
@@ -209,7 +210,10 @@ mod tests {
         let base = SeedAssignment::all_fixed(1);
         let a = base.with_varied(VarianceSource::Dropout, 1);
         let b = base.with_varied(VarianceSource::Dropout, 2);
-        assert_ne!(a.seed_of(VarianceSource::Dropout), b.seed_of(VarianceSource::Dropout));
+        assert_ne!(
+            a.seed_of(VarianceSource::Dropout),
+            b.seed_of(VarianceSource::Dropout)
+        );
     }
 
     #[test]

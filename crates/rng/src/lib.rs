@@ -42,6 +42,7 @@ mod rng;
 mod sampling;
 mod seed_tree;
 mod splitmix;
+pub mod sweep;
 mod xoshiro;
 
 pub use rng::Rng;

@@ -330,8 +330,8 @@ mod tests {
         let mut r = rng(2);
         let mut below_geo_mean = 0;
         let n = 20_000;
-        let (lo, hi) = (1e-4, 1e0);
-        let geo_mean = (lo * hi as f64).sqrt(); // 1e-2
+        let (lo, hi) = (1e-4f64, 1e0f64);
+        let geo_mean = (lo * hi).sqrt(); // 1e-2
         for _ in 0..n {
             let x = r.log_uniform(lo, hi);
             assert!((lo..hi).contains(&x));

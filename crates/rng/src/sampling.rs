@@ -157,7 +157,15 @@ mod tests {
         let mut rng = Rng::seed_from_u64(5);
         // 3 classes with unbalanced populations.
         let labels: Vec<usize> = (0..300)
-            .map(|i| if i < 200 { 0 } else if i < 280 { 1 } else { 2 })
+            .map(|i| {
+                if i < 200 {
+                    0
+                } else if i < 280 {
+                    1
+                } else {
+                    2
+                }
+            })
             .collect();
         let idx = stratified_bootstrap_indices(&mut rng, &labels, 3, 40);
         assert_eq!(idx.len(), 120);

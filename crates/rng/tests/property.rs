@@ -1,56 +1,79 @@
-//! Property-based tests of the RNG substrate.
+//! Property-based tests of the RNG substrate, driven by the in-repo
+//! deterministic seed-sweep harness ([`varbench_rng::sweep`]).
 
-use proptest::prelude::*;
+use varbench_rng::sweep::sweep;
 use varbench_rng::{bootstrap_indices, oob_complement, Rng, SeedTree};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn range_usize_always_in_bounds(seed in 0u64..10_000, n in 1usize..10_000) {
+#[test]
+fn range_usize_always_in_bounds() {
+    sweep("range_usize_always_in_bounds", 64, |case| {
+        let seed = case.u64_in(0, 10_000);
+        let n = case.usize_in(1, 10_000);
         let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..50 {
-            prop_assert!(rng.range_usize(n) < n);
+            assert!(rng.range_usize(n) < n);
         }
-    }
+    });
+}
 
-    #[test]
-    fn uniform_in_half_open_interval(seed in 0u64..10_000, lo in -100.0f64..100.0, span in 0.001f64..100.0) {
+#[test]
+fn uniform_in_half_open_interval() {
+    sweep("uniform_in_half_open_interval", 64, |case| {
+        let seed = case.u64_in(0, 10_000);
+        let lo = case.f64_in(-100.0, 100.0);
+        let span = case.f64_in(0.001, 100.0);
         let mut rng = Rng::seed_from_u64(seed);
         let hi = lo + span;
         for _ in 0..20 {
             let x = rng.uniform(lo, hi);
-            prop_assert!((lo..hi).contains(&x));
+            assert!((lo..hi).contains(&x));
         }
-    }
+    });
+}
 
-    #[test]
-    fn binomial_never_exceeds_n(seed in 0u64..1000, n in 0u64..500, p in 0.0f64..1.0) {
+#[test]
+fn binomial_never_exceeds_n() {
+    sweep("binomial_never_exceeds_n", 64, |case| {
+        let seed = case.u64_in(0, 1000);
+        let n = case.u64_in(0, 500);
+        let p = case.f64_in(0.0, 1.0);
         let mut rng = Rng::seed_from_u64(seed);
-        prop_assert!(rng.binomial(n, p) <= n);
-    }
+        assert!(rng.binomial(n, p) <= n);
+    });
+}
 
-    #[test]
-    fn permutation_is_bijection(seed in 0u64..10_000, n in 1usize..200) {
+#[test]
+fn permutation_is_bijection() {
+    sweep("permutation_is_bijection", 64, |case| {
+        let seed = case.u64_in(0, 10_000);
+        let n = case.usize_in(1, 200);
         let mut rng = Rng::seed_from_u64(seed);
         let mut p = rng.permutation(n);
         p.sort_unstable();
-        prop_assert_eq!(p, (0..n).collect::<Vec<_>>());
-    }
+        assert_eq!(p, (0..n).collect::<Vec<_>>());
+    });
+}
 
-    #[test]
-    fn sample_indices_distinct(seed in 0u64..10_000, n in 1usize..300) {
+#[test]
+fn sample_indices_distinct() {
+    sweep("sample_indices_distinct", 64, |case| {
+        let seed = case.u64_in(0, 10_000);
+        let n = case.usize_in(1, 300);
         let mut rng = Rng::seed_from_u64(seed);
         let k = n / 2 + 1;
         let mut s = rng.sample_indices(n, k.min(n));
         let len = s.len();
         s.sort_unstable();
         s.dedup();
-        prop_assert_eq!(s.len(), len, "duplicates in sample");
-    }
+        assert_eq!(s.len(), len, "duplicates in sample");
+    });
+}
 
-    #[test]
-    fn oob_partition_is_exact(seed in 0u64..10_000, n in 1usize..500) {
+#[test]
+fn oob_partition_is_exact() {
+    sweep("oob_partition_is_exact", 64, |case| {
+        let seed = case.u64_in(0, 10_000);
+        let n = case.usize_in(1, 500);
         let mut rng = Rng::seed_from_u64(seed);
         let bag = bootstrap_indices(&mut rng, n, n);
         let oob = oob_complement(n, &bag);
@@ -61,23 +84,29 @@ proptest! {
         let mut all = uniq.clone();
         all.extend_from_slice(&oob);
         all.sort_unstable();
-        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
-    }
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+    });
+}
 
-    #[test]
-    fn seed_tree_deterministic_and_label_sensitive(root in 0u64..100_000) {
+#[test]
+fn seed_tree_deterministic_and_label_sensitive() {
+    sweep("seed_tree_deterministic_and_label_sensitive", 64, |case| {
+        let root = case.u64_in(0, 100_000);
         let t1 = SeedTree::new(root);
         let t2 = SeedTree::new(root);
-        prop_assert_eq!(t1.seed("a"), t2.seed("a"));
-        prop_assert_ne!(t1.seed("a"), t1.seed("b"));
-    }
+        assert_eq!(t1.seed("a"), t2.seed("a"));
+        assert_ne!(t1.seed("a"), t1.seed("b"));
+    });
+}
 
-    #[test]
-    fn split_streams_diverge(seed in 0u64..100_000) {
+#[test]
+fn split_streams_diverge() {
+    sweep("split_streams_diverge", 64, |case| {
+        let seed = case.u64_in(0, 100_000);
         let mut a = Rng::seed_from_u64(seed);
         let mut b = a.split();
         let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
         let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
-        prop_assert_ne!(xs, ys);
-    }
+        assert_ne!(xs, ys);
+    });
 }

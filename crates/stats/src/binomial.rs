@@ -200,7 +200,10 @@ mod tests {
     fn effective_test_size_shrinks_with_correlation() {
         assert_eq!(Binomial::effective_test_size(1000, 0.0), 1000.0);
         let eff = Binomial::effective_test_size(1000, 0.01);
-        assert!(eff < 100.0, "correlation should slash effective size: {eff}");
+        assert!(
+            eff < 100.0,
+            "correlation should slash effective size: {eff}"
+        );
         assert!((Binomial::effective_test_size(1000, 1.0) - 1.0).abs() < 1e-9);
     }
 

@@ -25,7 +25,10 @@ pub fn mean(xs: &[f64]) -> f64 {
 ///
 /// Panics if `xs.len() <= ddof`.
 pub fn variance(xs: &[f64], ddof: usize) -> f64 {
-    assert!(xs.len() > ddof, "variance requires more than {ddof} samples");
+    assert!(
+        xs.len() > ddof,
+        "variance requires more than {ddof} samples"
+    );
     let m = mean(xs);
     xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - ddof) as f64
 }

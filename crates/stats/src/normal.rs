@@ -32,13 +32,19 @@ impl Normal {
     /// Panics if `sigma <= 0` or either parameter is not finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
         assert!(mu.is_finite(), "mu must be finite");
-        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be finite and > 0");
+        assert!(
+            sigma.is_finite() && sigma > 0.0,
+            "sigma must be finite and > 0"
+        );
         Self { mu, sigma }
     }
 
     /// The standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Self { mu: 0.0, sigma: 1.0 }
+        Self {
+            mu: 0.0,
+            sigma: 1.0,
+        }
     }
 
     /// The mean.
@@ -200,7 +206,10 @@ mod tests {
         let n = Normal::standard();
         let got = n.sf(6.0);
         let expected = 9.865_876_450_376_946e-10;
-        assert!(((got - expected) / expected).abs() < 1e-6, "sf(6) = {got:e}");
+        assert!(
+            ((got - expected) / expected).abs() < 1e-6,
+            "sf(6) = {got:e}"
+        );
     }
 
     #[test]

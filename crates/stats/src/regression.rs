@@ -57,7 +57,11 @@ pub fn ols(x: &[f64], y: &[f64]) -> OlsFit {
     assert!(sxx > 0.0, "ols requires non-constant x");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     OlsFit {
         slope,
         intercept,

@@ -16,8 +16,7 @@ pub mod shapiro_wilk;
 pub mod wilcoxon;
 
 /// Direction of a one- or two-sided alternative hypothesis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Alternative {
     /// H1: the distributions differ (either direction).
     #[default]
@@ -27,4 +26,3 @@ pub enum Alternative {
     /// H1: the first sample is stochastically smaller.
     Less,
 }
-

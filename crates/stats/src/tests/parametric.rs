@@ -109,15 +109,17 @@ pub fn t_test_one_sample(xs: &[f64], mu0: f64, alternative: Alternative) -> Test
 /// Panics if either sample has fewer than 2 observations or both are
 /// constant.
 pub fn t_test_welch(a: &[f64], b: &[f64], alternative: Alternative) -> TestResult {
-    assert!(a.len() >= 2 && b.len() >= 2, "t-test requires >= 2 observations");
+    assert!(
+        a.len() >= 2 && b.len() >= 2,
+        "t-test requires >= 2 observations"
+    );
     let (na, nb) = (a.len() as f64, b.len() as f64);
     let (va, vb) = (variance(a, 1), variance(b, 1));
     assert!(va + vb > 0.0, "t-test undefined for two constant samples");
     let se2 = va / na + vb / nb;
     let t = (mean(a) - mean(b)) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let dof = se2 * se2
-        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    let dof = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
     TestResult {
         statistic: t,
         p_value: p_from_t(t, dof.max(1.0), alternative),

@@ -88,10 +88,7 @@ pub fn shapiro_wilk(xs: &[f64]) -> Result<ShapiroWilkResult, ShapiroWilkError> {
         a[1] = 0.0;
     } else {
         // Royston's polynomial corrections for the two extreme weights.
-        let a_n = c_last
-            + 0.221157 * rsn
-            - 0.147981 * rsn.powi(2)
-            - 2.071190 * rsn.powi(3)
+        let a_n = c_last + 0.221157 * rsn - 0.147981 * rsn.powi(2) - 2.071190 * rsn.powi(3)
             + 4.434685 * rsn.powi(4)
             - 2.706056 * rsn.powi(5);
         if n <= 5 {
@@ -104,10 +101,7 @@ pub fn shapiro_wilk(xs: &[f64]) -> Result<ShapiroWilkResult, ShapiroWilkError> {
             }
         } else {
             let c_prev = m[n - 2] / m_sq.sqrt();
-            let a_n1 = c_prev
-                + 0.042981 * rsn
-                - 0.293762 * rsn.powi(2)
-                - 1.752461 * rsn.powi(3)
+            let a_n1 = c_prev + 0.042981 * rsn - 0.293762 * rsn.powi(2) - 1.752461 * rsn.powi(3)
                 + 5.682633 * rsn.powi(4)
                 - 3.582633 * rsn.powi(5);
             let phi = (m_sq - 2.0 * m[n - 1] * m[n - 1] - 2.0 * m[n - 2] * m[n - 2])
@@ -131,8 +125,7 @@ pub fn shapiro_wilk(xs: &[f64]) -> Result<ShapiroWilkResult, ShapiroWilkError> {
 
     // P-value via Royston's normalizing transformations.
     let p_value = if n == 3 {
-        let p = 6.0 / std::f64::consts::PI
-            * ((w.sqrt()).asin() - (0.75f64.sqrt()).asin());
+        let p = 6.0 / std::f64::consts::PI * ((w.sqrt()).asin() - (0.75f64.sqrt()).asin());
         p.clamp(0.0, 1.0)
     } else if n <= 11 {
         let g = -2.273 + 0.459 * nf;
@@ -255,15 +248,17 @@ mod tests {
         // p = (6/π)(asin √W − asin √0.75) = 0.6376...
         let r = shapiro_wilk(&[1.0, 2.0, 4.0]).unwrap();
         assert!((r.w - 4.5 / (14.0 / 3.0)).abs() < 1e-10, "W = {}", r.w);
-        let expected_p = 6.0 / std::f64::consts::PI
-            * ((r.w.sqrt()).asin() - 0.75f64.sqrt().asin());
+        let expected_p = 6.0 / std::f64::consts::PI * ((r.w.sqrt()).asin() - 0.75f64.sqrt().asin());
         assert!((r.p_value - expected_p).abs() < 1e-12);
         assert!((r.p_value - 0.6376).abs() < 1e-3, "p = {}", r.p_value);
     }
 
     #[test]
     fn error_cases() {
-        assert_eq!(shapiro_wilk(&[1.0, 2.0]), Err(ShapiroWilkError::TooFewSamples));
+        assert_eq!(
+            shapiro_wilk(&[1.0, 2.0]),
+            Err(ShapiroWilkError::TooFewSamples)
+        );
         assert_eq!(
             shapiro_wilk(&[5.0, 5.0, 5.0, 5.0]),
             Err(ShapiroWilkError::ConstantSample)
@@ -274,6 +269,8 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ShapiroWilkError::TooFewSamples.to_string().contains("at least 3"));
+        assert!(ShapiroWilkError::TooFewSamples
+            .to_string()
+            .contains("at least 3"));
     }
 }

@@ -50,7 +50,10 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64], alternative: Alternative) -> W
         .map(|(x, y)| x - y)
         .filter(|d| *d != 0.0)
         .collect();
-    assert!(!diffs.is_empty(), "wilcoxon undefined when all differences are zero");
+    assert!(
+        !diffs.is_empty(),
+        "wilcoxon undefined when all differences are zero"
+    );
     let n = diffs.len();
     let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
     let r = ranks(&abs);

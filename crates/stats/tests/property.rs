@@ -1,70 +1,105 @@
-//! Property-based tests of the distributions and special functions.
+//! Property-based tests of the distributions and special functions, driven
+//! by the in-repo deterministic seed-sweep harness ([`varbench_rng::sweep`]).
 
-use proptest::prelude::*;
+use varbench_rng::sweep::sweep;
 use varbench_stats::special::{beta_inc, gamma_p, gamma_q, ln_gamma};
 use varbench_stats::{Binomial, Normal, StudentT};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn normal_cdf_monotone(mu in -5.0f64..5.0, sigma in 0.1f64..4.0, x in -10.0f64..10.0, dx in 0.01f64..1.0) {
+#[test]
+fn normal_cdf_monotone() {
+    sweep("normal_cdf_monotone", 64, |case| {
+        let mu = case.f64_in(-5.0, 5.0);
+        let sigma = case.f64_in(0.1, 4.0);
+        let x = case.f64_in(-10.0, 10.0);
+        let dx = case.f64_in(0.01, 1.0);
         let n = Normal::new(mu, sigma);
-        prop_assert!(n.cdf(x + dx) >= n.cdf(x));
-    }
+        assert!(n.cdf(x + dx) >= n.cdf(x));
+    });
+}
 
-    #[test]
-    fn normal_cdf_bounded(x in -50.0f64..50.0) {
+#[test]
+fn normal_cdf_bounded() {
+    sweep("normal_cdf_bounded", 64, |case| {
+        let x = case.f64_in(-50.0, 50.0);
         let c = Normal::standard().cdf(x);
-        prop_assert!((0.0..=1.0).contains(&c));
-    }
+        assert!((0.0..=1.0).contains(&c));
+    });
+}
 
-    #[test]
-    fn student_t_cdf_symmetric(nu in 1.0f64..50.0, x in 0.0f64..8.0) {
+#[test]
+fn student_t_cdf_symmetric() {
+    sweep("student_t_cdf_symmetric", 64, |case| {
+        let nu = case.f64_in(1.0, 50.0);
+        let x = case.f64_in(0.0, 8.0);
         let t = StudentT::new(nu);
-        prop_assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-10);
-    }
+        assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-10);
+    });
+}
 
-    #[test]
-    fn student_t_heavier_tails_than_normal(nu in 1.0f64..30.0, x in 2.0f64..6.0) {
+#[test]
+fn student_t_heavier_tails_than_normal() {
+    sweep("student_t_heavier_tails_than_normal", 64, |case| {
         // P(T > x) >= P(Z > x) for any finite nu.
+        let nu = case.f64_in(1.0, 30.0);
+        let x = case.f64_in(2.0, 6.0);
         let t = StudentT::new(nu);
         let n = Normal::standard();
-        prop_assert!(t.sf(x) >= n.sf(x) - 1e-12);
-    }
+        assert!(t.sf(x) >= n.sf(x) - 1e-12);
+    });
+}
 
-    #[test]
-    fn binomial_cdf_monotone_in_k(n in 1u64..200, p in 0.01f64..0.99) {
+#[test]
+fn binomial_cdf_monotone_in_k() {
+    sweep("binomial_cdf_monotone_in_k", 64, |case| {
+        let n = case.u64_in(1, 200);
+        let p = case.f64_in(0.01, 0.99);
         let b = Binomial::new(n, p);
         let mut prev = 0.0;
         for k in 0..=n.min(30) {
             let c = b.cdf(k);
-            prop_assert!(c + 1e-12 >= prev, "k={k}: {c} < {prev}");
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+            assert!(c + 1e-12 >= prev, "k={k}: {c} < {prev}");
+            assert!((0.0..=1.0 + 1e-12).contains(&c));
             prev = c;
         }
-    }
+    });
+}
 
-    #[test]
-    fn gamma_p_q_complement(a in 0.1f64..30.0, x in 0.0f64..60.0) {
-        prop_assert!((gamma_p(a, x) + gamma_q(a, x) - 1.0).abs() < 1e-10);
-    }
+#[test]
+fn gamma_p_q_complement() {
+    sweep("gamma_p_q_complement", 64, |case| {
+        let a = case.f64_in(0.1, 30.0);
+        let x = case.f64_in(0.0, 60.0);
+        assert!((gamma_p(a, x) + gamma_q(a, x) - 1.0).abs() < 1e-10);
+    });
+}
 
-    #[test]
-    fn ln_gamma_recurrence_holds(x in 0.1f64..50.0) {
+#[test]
+fn ln_gamma_recurrence_holds() {
+    sweep("ln_gamma_recurrence_holds", 64, |case| {
         // ln Γ(x+1) = ln x + ln Γ(x).
-        prop_assert!((ln_gamma(x + 1.0) - x.ln() - ln_gamma(x)).abs() < 1e-8);
-    }
+        let x = case.f64_in(0.1, 50.0);
+        assert!((ln_gamma(x + 1.0) - x.ln() - ln_gamma(x)).abs() < 1e-8);
+    });
+}
 
-    #[test]
-    fn beta_inc_monotone_in_x(a in 0.2f64..10.0, b in 0.2f64..10.0, x in 0.0f64..0.95, dx in 0.001f64..0.05) {
-        prop_assert!(beta_inc(a, b, x + dx) + 1e-12 >= beta_inc(a, b, x));
-    }
+#[test]
+fn beta_inc_monotone_in_x() {
+    sweep("beta_inc_monotone_in_x", 64, |case| {
+        let a = case.f64_in(0.2, 10.0);
+        let b = case.f64_in(0.2, 10.0);
+        let x = case.f64_in(0.0, 0.95);
+        let dx = case.f64_in(0.001, 0.05);
+        assert!(beta_inc(a, b, x + dx) + 1e-12 >= beta_inc(a, b, x));
+    });
+}
 
-    #[test]
-    fn accuracy_std_bounded_by_half_sqrt_n(n in 1u64..100_000, tau in 0.0f64..1.0) {
+#[test]
+fn accuracy_std_bounded_by_half_sqrt_n() {
+    sweep("accuracy_std_bounded_by_half_sqrt_n", 64, |case| {
         // σ = sqrt(τ(1−τ)/n) ≤ 0.5/√n, maximal at τ = 1/2.
+        let n = case.u64_in(1, 100_000);
+        let tau = case.f64_in(0.0, 1.0);
         let sd = Binomial::accuracy_std(n, tau);
-        prop_assert!(sd <= 0.5 / (n as f64).sqrt() + 1e-15);
-    }
+        assert!(sd <= 0.5 / (n as f64).sqrt() + 1e-15);
+    });
 }

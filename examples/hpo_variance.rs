@@ -47,7 +47,10 @@ fn main() {
         ]);
     }
     println!("{t}");
-    println!("test-metric spread across HPO seeds: {}", Summary::from_slice(&metrics));
+    println!(
+        "test-metric spread across HPO seeds: {}",
+        Summary::from_slice(&metrics)
+    );
     println!(
         "\nEvery row used identical data and identical training seeds; only\n\
          the tuner's own randomness differed. Benchmarks that tune once and\n\

@@ -55,7 +55,10 @@ fn main() {
     }
 
     let mut t = Table::new(vec!["quantity".into(), "mean over experiments".into()]);
-    t.add_row(vec!["corr(A, B) from shared seeds".into(), num(mean(&rhos), 3)]);
+    t.add_row(vec![
+        "corr(A, B) from shared seeds".into(),
+        num(mean(&rhos), 3),
+    ]);
     t.add_row(vec!["std(A - B), paired".into(), num(mean(&diff_stds), 5)]);
     t.add_row(vec![
         "sqrt(Var A + Var B) (unpaired noise)".into(),

@@ -29,8 +29,7 @@ fn main() {
         if src.is_hyperopt() {
             continue;
         }
-        let measures =
-            source_variance_study(&cs, src, n_seeds, HpoAlgorithm::RandomSearch, 1, 99);
+        let measures = source_variance_study(&cs, src, n_seeds, HpoAlgorithm::RandomSearch, 1, 99);
         rows.push((src.display_name().to_string(), std_dev(&measures)));
     }
     // Hyperparameter-optimization variance: independent tuning runs.

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus lint gates for the varbench workspace.
+#
+# Designed for fully offline machines: the workspace has zero external
+# dependencies, so everything here works with an empty cargo registry.
+# rustfmt/clippy steps skip gracefully when the components are absent.
+#
+# Usage: scripts/ci.sh
+# Env:
+#   VARBENCH_THREADS      thread count for Runner-driven paths (0 = all cores)
+#   CI_SKIP_SPEEDUP=1     skip the fig5 parallel-speedup benchmark even on
+#                         machines with >= 4 cores
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+say() { printf '\n== %s ==\n' "$*"; }
+
+say "tier-1: cargo build --release"
+cargo build --release --offline
+
+say "tier-1: cargo test -q"
+cargo test -q --offline
+
+say "benches compile and run one fast rep"
+VARBENCH_BENCH_REPS=3 VARBENCH_BENCH_TARGET_MS=1 cargo test -q --offline --benches
+
+say "rustfmt"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --check
+else
+    echo "rustfmt not installed; skipping"
+fi
+
+say "clippy"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --offline --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping"
+fi
+
+# The executor acceptance benchmark needs real cores to mean anything.
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "${CI_SKIP_SPEEDUP:-0}" != "1" ] && [ "$cores" -ge 4 ]; then
+    say "fig5 quick parallel speedup (>= 2x on $cores cores)"
+    cargo test --release --offline --test figures_smoke -- --ignored fig5_quick_parallel_speedup
+else
+    say "fig5 speedup benchmark skipped (cores=$cores, CI_SKIP_SPEEDUP=${CI_SKIP_SPEEDUP:-0})"
+fi
+
+say "all checks passed"

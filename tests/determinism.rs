@@ -1,7 +1,13 @@
 //! Reproducibility integration tests — the paper's Appendix A discipline:
 //! identical seeds must give identical results, varied seeds must vary
-//! them, and execution order across experiments must not matter.
+//! them, and execution order across experiments must not matter — and the
+//! parallel executor must not change a single bit of any of it.
 
+use varbench::core::estimator::{
+    fix_hopt_estimator_with, ideal_estimator_with, source_variance_study_with, Randomize,
+};
+use varbench::core::exec::Runner;
+use varbench::core::simulation::{detection_study_with, DetectionConfig, SimulatedTask};
 use varbench::pipeline::{CaseStudy, HpoAlgorithm, Scale, SeedAssignment, VarianceSource};
 
 #[test]
@@ -71,6 +77,71 @@ fn seed_variation_isolates_sources() {
     let _ = cs.run_with_params(&params, &varied);
     let restored = cs.run_with_params(&params, &base);
     assert_eq!(reference, restored, "fixed seeds must replay bit-exactly");
+}
+
+#[test]
+fn runner_map_seeds_thread_count_invariant() {
+    // The executor contract: Runner::map_seeds with 1 thread vs N threads
+    // yields bit-identical, seed-ordered outputs, because every unit draws
+    // from its own seed branch and results are collected by index.
+    let seeds: Vec<SeedAssignment> = (0..37).map(|i| SeedAssignment::all_random(3, i)).collect();
+    let cs = CaseStudy::glue_rte_bert(Scale::Test);
+    let params = cs.default_params().to_vec();
+    let work = |_: usize, s: &SeedAssignment| cs.run_with_params(&params, s);
+
+    let one_thread = Runner::new(1).map_seeds(&seeds, work);
+    for threads in [2, 4, 8] {
+        let n_threads = Runner::new(threads).map_seeds(&seeds, work);
+        assert_eq!(
+            one_thread, n_threads,
+            "map_seeds output differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn estimators_thread_count_invariant() {
+    // The paper's estimators through the executor: 1 thread vs N threads
+    // must produce bit-identical EstimatorRun contents.
+    let cs = CaseStudy::glue_rte_bert(Scale::Test);
+    let algo = HpoAlgorithm::RandomSearch;
+    let serial = Runner::new(1);
+    for threads in [4, 7] {
+        let parallel = Runner::new(threads);
+        assert_eq!(
+            ideal_estimator_with(&cs, 6, algo, 3, 21, &serial),
+            ideal_estimator_with(&cs, 6, algo, 3, 21, &parallel),
+            "ideal estimator differs at {threads} threads"
+        );
+        assert_eq!(
+            fix_hopt_estimator_with(&cs, 6, algo, 3, 21, 1, Randomize::All, &serial),
+            fix_hopt_estimator_with(&cs, 6, algo, 3, 21, 1, Randomize::All, &parallel),
+            "biased estimator differs at {threads} threads"
+        );
+        assert_eq!(
+            source_variance_study_with(&cs, VarianceSource::DataSplit, 6, algo, 2, 5, &serial),
+            source_variance_study_with(&cs, VarianceSource::DataSplit, 6, algo, 2, 5, &parallel),
+            "source study differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn simulation_grid_thread_count_invariant() {
+    let task = SimulatedTask::new(0.02, 0.012, 0.016);
+    let config = DetectionConfig {
+        k: 20,
+        n_simulations: 30,
+        gamma: 0.75,
+        delta: 0.04,
+        alpha: 0.05,
+        resamples: 50,
+    };
+    let one = detection_study_with(&task, &[0.5, 0.8], &config, 9, &Runner::new(1));
+    for threads in [2, 4, 8] {
+        let many = detection_study_with(&task, &[0.5, 0.8], &config, 9, &Runner::new(threads));
+        assert_eq!(one, many, "detection study differs at {threads} threads");
+    }
 }
 
 #[test]

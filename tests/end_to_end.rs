@@ -18,7 +18,10 @@ fn complete_benchmark_workflow() {
     assert!(ideal.fits > biased.fits, "ideal must cost more fits");
     let mu_ideal = ideal.mean();
     let mu_biased = biased.mean();
-    assert!((mu_ideal - mu_biased).abs() < 0.25, "estimators should agree roughly");
+    assert!(
+        (mu_ideal - mu_biased).abs() < 0.25,
+        "estimators should agree roughly"
+    );
 
     // 2. Compare a real improvement with the recommended test.
     let a_params = cs.default_params().to_vec();
@@ -30,7 +33,10 @@ fn complete_benchmark_workflow() {
         a.push(cs.run_with_params(&a_params, &seeds));
         b.push(cs.run_with_params(&b_params, &seeds));
     }
-    assert!(mean(&a) > mean(&b), "A should outperform the crippled B on average");
+    assert!(
+        mean(&a) > mean(&b),
+        "A should outperform the crippled B on average"
+    );
     let mut rng = Rng::seed_from_u64(9);
     let verdict = compare_paired(&a, &b, 0.75, 0.05, 500, &mut rng);
     assert!(

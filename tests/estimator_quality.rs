@@ -34,7 +34,11 @@ fn randomizing_all_sources_decorrelates_measures() {
         d_init.rho
     );
     // Init-only keeps split and order fixed: correlation should be high.
-    assert!(d_init.rho > 0.3, "rho(Init) = {} suspiciously low", d_init.rho);
+    assert!(
+        d_init.rho > 0.3,
+        "rho(Init) = {} suspiciously low",
+        d_init.rho
+    );
 }
 
 #[test]

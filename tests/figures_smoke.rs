@@ -1,6 +1,8 @@
 //! Smoke tests: every figure/table harness runs end-to-end at test preset
-//! and produces the expected report structure.
+//! and produces the expected report structure — and the parallel executor
+//! reproduces the serial reports byte for byte.
 
+use varbench::core::exec::Runner;
 use varbench_bench::figures::*;
 
 #[test]
@@ -92,4 +94,82 @@ fn ablations_smoke() {
     let r = ablations::run(&ablations::Config::test());
     assert!(r.contains("HPO budget"));
     assert!(r.contains("out-of-bootstrap"));
+}
+
+#[test]
+fn parallel_reports_byte_identical_to_serial() {
+    // The executor guarantee, end to end: every Runner-threaded figure
+    // renders the exact same report text at 1 thread and at 4 threads.
+    let serial = Runner::serial();
+    let parallel = Runner::new(4);
+
+    assert_eq!(
+        fig1::run_with(&fig1::Config::test(), &serial),
+        fig1::run_with(&fig1::Config::test(), &parallel),
+        "fig1 report differs"
+    );
+    assert_eq!(
+        fig5::run_with(&fig5::Config::test(), &serial),
+        fig5::run_with(&fig5::Config::test(), &parallel),
+        "fig5 report differs"
+    );
+    assert_eq!(
+        fig6::run_with(&fig6::Config::test(), &serial),
+        fig6::run_with(&fig6::Config::test(), &parallel),
+        "fig6 report differs"
+    );
+    assert_eq!(
+        figh5::run_with(&figh5::Config::test(), &serial),
+        figh5::run_with(&figh5::Config::test(), &parallel),
+        "figh5 report differs"
+    );
+    let i6 = figi6::Config {
+        n_simulations: 4,
+        resamples: 40,
+        sigma: 0.02,
+    };
+    assert_eq!(
+        figi6::run_with(&i6, &serial),
+        figi6::run_with(&i6, &parallel),
+        "figi6 report differs"
+    );
+    assert_eq!(
+        interactions::run_with(&interactions::Config::test(), &serial),
+        interactions::run_with(&interactions::Config::test(), &parallel),
+        "interactions report differs"
+    );
+}
+
+#[test]
+#[ignore = "wall-clock benchmark; run explicitly: cargo test --release -- --ignored fig5_quick"]
+fn fig5_quick_parallel_speedup() {
+    // Acceptance check: fig5's quick config through the Runner on >= 4
+    // threads must be >= 2x faster than the serial path, with the exact
+    // same report text. Wall-clock sensitive, so opt-in (scripts/ci.sh
+    // runs it in release mode when the host has enough cores).
+    let config = fig5::Config::quick();
+    let t0 = std::time::Instant::now();
+    let serial_report = fig5::run_with(&config, &Runner::serial());
+    let serial_time = t0.elapsed();
+
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get().min(8))
+        .max(4);
+    let t1 = std::time::Instant::now();
+    let parallel_report = fig5::run_with(&config, &Runner::new(threads));
+    let parallel_time = t1.elapsed();
+
+    assert_eq!(
+        serial_report, parallel_report,
+        "reports must be byte-identical"
+    );
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64();
+    println!(
+        "fig5 quick: serial {serial_time:?}, parallel({threads}) {parallel_time:?}, speedup {speedup:.2}x"
+    );
+    assert!(
+        speedup >= 2.0,
+        "expected >= 2x speedup on {threads} threads, got {speedup:.2}x \
+         (serial {serial_time:?}, parallel {parallel_time:?})"
+    );
 }

@@ -1,9 +1,10 @@
-//! Property-based tests (proptest) over the public API: invariants that
-//! must hold for arbitrary inputs, not just the unit-test examples.
+//! Property-based tests over the public API: invariants that must hold for
+//! generated inputs, not just the unit-test examples. Driven by the in-repo
+//! deterministic seed-sweep harness ([`varbench::rng::sweep`]).
 
-use proptest::prelude::*;
 use varbench::data::split::oob_split;
 use varbench::hpo::Dim;
+use varbench::rng::sweep::sweep;
 use varbench::rng::{Rng, SeedTree};
 use varbench::stats::bootstrap::{percentile_ci, prob_outperform};
 use varbench::stats::describe::{mean, quantile, std_dev, Summary};
@@ -12,89 +13,107 @@ use varbench::stats::tests::mann_whitney::mann_whitney_u;
 use varbench::stats::tests::Alternative;
 use varbench::stats::{standard_normal_quantile, Normal};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn normal_quantile_inverts_cdf(p in 0.001f64..0.999) {
+#[test]
+fn normal_quantile_inverts_cdf() {
+    sweep("normal_quantile_inverts_cdf", 64, |case| {
+        let p = case.f64_in(0.001, 0.999);
         let n = Normal::standard();
         let x = n.quantile(p);
-        prop_assert!((n.cdf(x) - p).abs() < 1e-9);
-    }
+        assert!((n.cdf(x) - p).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn normal_quantile_monotone(p1 in 0.01f64..0.98, dp in 0.001f64..0.01) {
-        prop_assert!(standard_normal_quantile(p1 + dp) > standard_normal_quantile(p1));
-    }
+#[test]
+fn normal_quantile_monotone() {
+    sweep("normal_quantile_monotone", 64, |case| {
+        let p1 = case.f64_in(0.01, 0.98);
+        let dp = case.f64_in(0.001, 0.01);
+        assert!(standard_normal_quantile(p1 + dp) > standard_normal_quantile(p1));
+    });
+}
 
-    #[test]
-    fn prob_outperform_bounds_and_antisymmetry(
-        a in prop::collection::vec(-1e3f64..1e3, 1..40),
-        b_offset in -10f64..10.0,
-    ) {
+#[test]
+fn prob_outperform_bounds_and_antisymmetry() {
+    sweep("prob_outperform_bounds_and_antisymmetry", 64, |case| {
+        let a = case.vec_f64(-1e3, 1e3, 1, 40);
+        let b_offset = case.f64_in(-10.0, 10.0);
         let b: Vec<f64> = a.iter().map(|x| x + b_offset).collect();
         let p_ab = prob_outperform(&a, &b);
         let p_ba = prob_outperform(&b, &a);
-        prop_assert!((0.0..=1.0).contains(&p_ab));
+        assert!((0.0..=1.0).contains(&p_ab));
         // With no exact ties (offset != 0) the two probabilities complement.
         if b_offset != 0.0 {
-            prop_assert!((p_ab + p_ba - 1.0).abs() < 1e-12);
+            assert!((p_ab + p_ba - 1.0).abs() < 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn percentile_ci_is_ordered(
-        data in prop::collection::vec(-100f64..100.0, 5..60),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn percentile_ci_is_ordered() {
+    sweep("percentile_ci_is_ordered", 64, |case| {
+        let data = case.vec_f64(-100.0, 100.0, 5, 60);
+        let seed = case.u64_in(0, 1000);
         let mut rng = Rng::seed_from_u64(seed);
         let ci = percentile_ci(&data, mean, 200, 0.05, &mut rng);
-        prop_assert!(ci.lo <= ci.hi);
+        assert!(ci.lo <= ci.hi);
         // The mean of a bounded sample lies within the bootstrap hull.
-        prop_assert!(ci.lo >= data.iter().cloned().fold(f64::INFINITY, f64::min) - 1e-9);
-        prop_assert!(ci.hi <= data.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 1e-9);
-    }
+        assert!(ci.lo >= data.iter().cloned().fold(f64::INFINITY, f64::min) - 1e-9);
+        assert!(ci.hi <= data.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 1e-9);
+    });
+}
 
-    #[test]
-    fn mann_whitney_p_value_valid(
-        a in prop::collection::vec(-10f64..10.0, 2..30),
-        b in prop::collection::vec(-10f64..10.0, 2..30),
-    ) {
+#[test]
+fn mann_whitney_p_value_valid() {
+    sweep("mann_whitney_p_value_valid", 64, |case| {
+        let a = case.vec_f64(-10.0, 10.0, 2, 30);
+        let b = case.vec_f64(-10.0, 10.0, 2, 30);
         let r = mann_whitney_u(&a, &b, Alternative::TwoSided);
-        prop_assert!((0.0..=1.0).contains(&r.p_value));
-        prop_assert!((0.0..=1.0).contains(&r.effect_size));
-        prop_assert!(r.u >= 0.0);
-        prop_assert!(r.u <= (a.len() * b.len()) as f64);
-    }
+        assert!((0.0..=1.0).contains(&r.p_value));
+        assert!((0.0..=1.0).contains(&r.effect_size));
+        assert!(r.u >= 0.0);
+        assert!(r.u <= (a.len() * b.len()) as f64);
+    });
+}
 
-    #[test]
-    fn noether_monotone_in_gamma(g1 in 0.55f64..0.94) {
+#[test]
+fn noether_monotone_in_gamma() {
+    sweep("noether_monotone_in_gamma", 64, |case| {
+        let g1 = case.f64_in(0.55, 0.94);
         let n1 = noether_sample_size(g1, 0.05, 0.05);
         let n2 = noether_sample_size(g1 + 0.05, 0.05, 0.05);
-        prop_assert!(n2 <= n1);
-    }
+        assert!(n2 <= n1);
+    });
+}
 
-    #[test]
-    fn oob_split_partitions_correctly(
-        n in 50usize..300,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn oob_split_partitions_correctly() {
+    sweep("oob_split_partitions_correctly", 64, |case| {
+        let n = case.usize_in(50, 300);
+        let seed = case.u64_in(0, 500);
         let n_eval = n / 10;
         let mut rng = Rng::seed_from_u64(seed);
         let s = oob_split(n, n, n_eval, n_eval, &mut rng);
         let train: std::collections::HashSet<usize> = s.train().iter().copied().collect();
         for &i in s.valid().iter().chain(s.test()) {
-            prop_assert!(i < n);
-            prop_assert!(!train.contains(&i), "eval index leaked into train");
+            assert!(i < n);
+            assert!(!train.contains(&i), "eval index leaked into train");
         }
         let valid: std::collections::HashSet<usize> = s.valid().iter().copied().collect();
         for &i in s.test() {
-            prop_assert!(!valid.contains(&i), "test overlaps valid");
+            assert!(!valid.contains(&i), "test overlaps valid");
         }
-    }
+    });
+}
 
-    #[test]
-    fn dim_from_unit_stays_in_bounds(u in 0.0f64..=1.0) {
+#[test]
+fn dim_from_unit_stays_in_bounds() {
+    sweep("dim_from_unit_stays_in_bounds", 64, |case| {
+        // Hit the closed upper endpoint explicitly; the sweep covers [0, 1).
+        let u = if case.index() == 0 {
+            1.0
+        } else {
+            case.f64_in(0.0, 1.0)
+        };
         let dims = [
             Dim::uniform(-3.0, 7.0),
             Dim::log_uniform(1e-6, 1e2),
@@ -102,42 +121,52 @@ proptest! {
         ];
         for d in dims {
             let v = d.from_unit(u);
-            prop_assert_eq!(d.clamp(v), v, "{:?} produced out-of-bounds {}", d, v);
+            assert_eq!(d.clamp(v), v, "{:?} produced out-of-bounds {}", d, v);
         }
-    }
+    });
+}
 
-    #[test]
-    fn seed_tree_labels_never_collide(root in 0u64..10_000, i in 0u64..1000, j in 0u64..1000) {
-        prop_assume!(i != j);
+#[test]
+fn seed_tree_labels_never_collide() {
+    sweep("seed_tree_labels_never_collide", 64, |case| {
+        let root = case.u64_in(0, 10_000);
+        let i = case.u64_in(0, 1000);
+        let j = case.u64_in(0, 1000);
+        if i == j {
+            return; // the old harness prop_assume!'d this away
+        }
         let tree = SeedTree::new(root);
-        prop_assert_ne!(tree.seed_indexed("x", i), tree.seed_indexed("x", j));
-    }
+        assert_ne!(tree.seed_indexed("x", i), tree.seed_indexed("x", j));
+    });
+}
 
-    #[test]
-    fn summary_orders_min_median_max(
-        data in prop::collection::vec(-1e6f64..1e6, 1..100),
-    ) {
+#[test]
+fn summary_orders_min_median_max() {
+    sweep("summary_orders_min_median_max", 64, |case| {
+        let data = case.vec_f64(-1e6, 1e6, 1, 100);
         let s = Summary::from_slice(&data);
-        prop_assert!(s.min <= s.median);
-        prop_assert!(s.median <= s.max);
-        prop_assert!(s.min <= s.mean && s.mean <= s.max);
-    }
+        assert!(s.min <= s.median);
+        assert!(s.median <= s.max);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+    });
+}
 
-    #[test]
-    fn quantile_monotone_in_q(
-        data in prop::collection::vec(-100f64..100.0, 2..50),
-        q1 in 0.0f64..0.5,
-        q2 in 0.5f64..1.0,
-    ) {
-        prop_assert!(quantile(&data, q1) <= quantile(&data, q2));
-    }
+#[test]
+fn quantile_monotone_in_q() {
+    sweep("quantile_monotone_in_q", 64, |case| {
+        let data = case.vec_f64(-100.0, 100.0, 2, 50);
+        let q1 = case.f64_in(0.0, 0.5);
+        let q2 = case.f64_in(0.5, 1.0);
+        assert!(quantile(&data, q1) <= quantile(&data, q2));
+    });
+}
 
-    #[test]
-    fn std_dev_shift_invariant(
-        data in prop::collection::vec(-100f64..100.0, 3..50),
-        shift in -1e3f64..1e3,
-    ) {
+#[test]
+fn std_dev_shift_invariant() {
+    sweep("std_dev_shift_invariant", 64, |case| {
+        let data = case.vec_f64(-100.0, 100.0, 3, 50);
+        let shift = case.f64_in(-1e3, 1e3);
         let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
-        prop_assert!((std_dev(&data) - std_dev(&shifted)).abs() < 1e-6);
-    }
+        assert!((std_dev(&data) - std_dev(&shifted)).abs() < 1e-6);
+    });
 }

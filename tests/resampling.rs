@@ -27,8 +27,8 @@ fn cv_train_sets_overlap_more_than_bootstrap_train_sets() {
     let s2 = oob_split(n, n, 50, 50, &mut rng);
     let unique1: HashSet<usize> = s1.train().iter().copied().collect();
     let unique2: HashSet<usize> = s2.train().iter().copied().collect();
-    let boot_overlap = unique1.intersection(&unique2).count() as f64
-        / unique1.len().min(unique2.len()) as f64;
+    let boot_overlap =
+        unique1.intersection(&unique2).count() as f64 / unique1.len().min(unique2.len()) as f64;
 
     assert!(
         cv_overlap > boot_overlap,
@@ -49,7 +49,9 @@ fn oob_supports_arbitrarily_many_resamples() {
     // cross-validation without affecting the training dataset sizes".
     // Bootstrap gives any number of same-sized splits.
     let mut rng = Rng::seed_from_u64(2);
-    let splits: Vec<_> = (0..25).map(|_| oob_split(300, 300, 30, 30, &mut rng)).collect();
+    let splits: Vec<_> = (0..25)
+        .map(|_| oob_split(300, 300, 30, 30, &mut rng))
+        .collect();
     for s in &splits {
         assert_eq!(s.train().len(), 300);
         assert_eq!(s.test().len(), 30);
