@@ -1,4 +1,5 @@
-//! Minimal command-line flag handling shared by the figure binaries.
+//! Command-line effort handling shared by the `varbench` CLI and the
+//! artifact registry.
 
 use varbench_pipeline::Scale;
 
@@ -15,22 +16,38 @@ pub enum Effort {
 
 impl Effort {
     /// Parses the effort from raw process arguments.
-    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Effort {
+    ///
+    /// Unknown arguments are an **error**, not a no-op: a `--ful` typo
+    /// must fail fast instead of silently running hours of Quick-effort
+    /// measurements. This is the library-level parser for effort-only
+    /// argument lists; the `varbench` CLI composes the same
+    /// [`Effort::from_flag`] primitive with its own flag set and applies
+    /// the same reject-unknown-flags policy (exercised in
+    /// `scripts/ci.sh`).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Effort, String> {
         let mut effort = Effort::Quick;
         for a in args {
-            match a.as_str() {
-                "--full" => effort = Effort::Full,
-                "--test" => effort = Effort::Test,
-                "--quick" => effort = Effort::Quick,
-                _ => {}
+            match Effort::from_flag(&a) {
+                Some(e) => effort = e,
+                None => {
+                    return Err(format!(
+                        "unknown argument '{a}' (expected --test, --quick, or --full)"
+                    ))
+                }
             }
         }
-        effort
+        Ok(effort)
     }
 
-    /// Parses from the current process environment.
-    pub fn from_env() -> Effort {
-        Effort::from_args(std::env::args().skip(1))
+    /// Maps a single effort flag (`--test` / `--quick` / `--full`) to its
+    /// preset; `None` for anything else.
+    pub fn from_flag(flag: &str) -> Option<Effort> {
+        match flag {
+            "--full" => Some(Effort::Full),
+            "--test" => Some(Effort::Test),
+            "--quick" => Some(Effort::Quick),
+            _ => None,
+        }
     }
 
     /// The case-study scale this effort implies.
@@ -39,6 +56,15 @@ impl Effort {
             Effort::Test => Scale::Test,
             Effort::Quick => Scale::Quick,
             Effort::Full => Scale::Full,
+        }
+    }
+
+    /// Stable lowercase label (CLI/JSON output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Effort::Test => "test",
+            Effort::Quick => "quick",
+            Effort::Full => "full",
         }
     }
 }
@@ -50,19 +76,33 @@ mod tests {
     #[test]
     fn parses_flags() {
         let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        assert_eq!(Effort::from_args(args(&[])), Effort::Quick);
-        assert_eq!(Effort::from_args(args(&["--full"])), Effort::Full);
-        assert_eq!(Effort::from_args(args(&["--test"])), Effort::Test);
+        assert_eq!(Effort::from_args(args(&[])), Ok(Effort::Quick));
+        assert_eq!(Effort::from_args(args(&["--full"])), Ok(Effort::Full));
+        assert_eq!(Effort::from_args(args(&["--test"])), Ok(Effort::Test));
         assert_eq!(
-            Effort::from_args(args(&["ignored", "--quick"])),
-            Effort::Quick
+            Effort::from_args(args(&["--full", "--quick"])),
+            Ok(Effort::Quick),
+            "last flag wins"
         );
     }
 
     #[test]
-    fn scales_map() {
+    fn unknown_flags_are_rejected() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let err = Effort::from_args(args(&["--ful"])).unwrap_err();
+        assert!(err.contains("--ful"), "error names the bad flag: {err}");
+        assert!(err.contains("--full"), "error suggests valid flags: {err}");
+        assert!(Effort::from_args(args(&["ignored"])).is_err());
+        assert!(Effort::from_args(args(&["--test", "-x"])).is_err());
+    }
+
+    #[test]
+    fn scales_and_labels_map() {
         assert_eq!(Effort::Test.scale(), Scale::Test);
         assert_eq!(Effort::Quick.scale(), Scale::Quick);
         assert_eq!(Effort::Full.scale(), Scale::Full);
+        assert_eq!(Effort::Full.label(), "full");
+        assert_eq!(Effort::from_flag("--test"), Some(Effort::Test));
+        assert_eq!(Effort::from_flag("--nope"), None);
     }
 }

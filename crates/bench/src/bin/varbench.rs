@@ -1,0 +1,268 @@
+//! The `varbench` CLI — the single entry point to every paper artifact,
+//! replacing the former 14 one-shot binaries.
+//!
+//! ```text
+//! varbench list
+//! varbench run <name ...|all> [--test|--quick|--full] [--filter SUBSTR]
+//!              [--json|--csv] [--out DIR] [--serial] [--no-cache]
+//!              [--threads N]
+//! ```
+//!
+//! Artifacts share one measurement cache (persisted across runs when
+//! `VARBENCH_CACHE_DIR` is set) and are scheduled in parallel on the
+//! work-stealing executor; per-artifact output is byte-identical to
+//! running each artifact alone, serially, without a cache.
+
+use varbench_bench::args::Effort;
+use varbench_bench::registry::{self, Spec};
+use varbench_core::exec::Runner;
+use varbench_core::report::{json_string, Report};
+use varbench_pipeline::MeasureCache;
+
+const USAGE: &str = "varbench — variance-aware benchmark reproduction harness
+
+USAGE:
+    varbench list
+    varbench run <name ...|all> [OPTIONS]
+
+OPTIONS (run):
+    --test | --quick | --full   effort preset (default: --quick)
+    --filter SUBSTR             keep only artifacts whose name contains SUBSTR
+    --json                      emit one JSON document instead of text
+    --csv                       emit the tables as CSV instead of text
+    --out DIR                   write per-artifact files to DIR instead of stdout
+    --serial                    run artifacts one at a time on one thread
+    --no-cache                  give every artifact a private measurement cache
+    --threads N                 worker threads (default: VARBENCH_THREADS or all cores)
+
+ENVIRONMENT:
+    VARBENCH_THREADS            default worker thread count (0 = all cores)
+    VARBENCH_CACHE_DIR          persist the measurement cache to this directory
+
+Run `varbench list` to see every artifact name.";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Csv,
+}
+
+impl Format {
+    fn extension(self) -> &'static str {
+        match self {
+            Format::Text => "txt",
+            Format::Json => "json",
+            Format::Csv => "csv",
+        }
+    }
+
+    /// Renders one report for a per-artifact output file. JSON files get
+    /// the same `varbench-report/1` envelope as the stdout document (with
+    /// a one-element `artifacts` array), so consumers parse both shapes
+    /// identically.
+    fn render(self, report: &Report, effort: Effort) -> String {
+        match self {
+            Format::Text => report.render_text(),
+            Format::Json => json_envelope(effort, &[report.to_json()]),
+            Format::Csv => report.to_csv(),
+        }
+    }
+}
+
+/// The `varbench-report/1` JSON document wrapping rendered artifacts.
+fn json_envelope(effort: Effort, artifact_docs: &[String]) -> String {
+    format!(
+        "{{\"schema\":\"varbench-report/1\",\"effort\":{},\"artifacts\":[{}]}}",
+        json_string(effort.label()),
+        artifact_docs.join(",")
+    )
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run `varbench --help` for usage");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+        Some("--help") | Some("-h") | Some("help") => println!("{USAGE}"),
+        Some("list") => {
+            if args.len() > 1 {
+                fail(&format!("unexpected argument '{}' after list", args[1]));
+            }
+            list();
+        }
+        Some("run") => run(&args[1..]),
+        Some(other) => fail(&format!("unknown command '{other}' (expected list or run)")),
+    }
+}
+
+fn list() {
+    let mut t = varbench_core::report::Table::new(vec![
+        "name".into(),
+        "title".into(),
+        "description".into(),
+    ]);
+    for spec in registry::all() {
+        t.add_row(vec![
+            spec.name.to_string(),
+            spec.title.to_string(),
+            spec.description.to_string(),
+        ]);
+    }
+    print!("{t}");
+}
+
+fn run(args: &[String]) {
+    let mut names: Vec<&str> = Vec::new();
+    let mut effort = Effort::Quick;
+    let mut filter: Option<String> = None;
+    let mut format = Format::Text;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut serial = false;
+    let mut no_cache = false;
+    let mut threads: Option<usize> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => format = Format::Json,
+            "--csv" => format = Format::Csv,
+            "--serial" => serial = true,
+            "--no-cache" => no_cache = true,
+            "--filter" => {
+                let v = it.next().unwrap_or_else(|| fail("--filter needs a value"));
+                filter = Some(v.clone());
+            }
+            "--out" => {
+                let v = it.next().unwrap_or_else(|| fail("--out needs a directory"));
+                out_dir = Some(v.into());
+            }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--threads needs a number"));
+                threads = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid thread count '{v}'"))),
+                );
+            }
+            flag if Effort::from_flag(flag).is_some() => {
+                effort = Effort::from_flag(flag).expect("checked");
+            }
+            flag if flag.starts_with('-') => {
+                fail(&format!("unknown flag '{flag}'"));
+            }
+            name => names.push(name),
+        }
+    }
+
+    // Resolve the artifact selection.
+    if names.is_empty() {
+        fail("run needs at least one artifact name (or 'all')");
+    }
+    let mut specs: Vec<&'static Spec> = if names == ["all"] {
+        registry::all().iter().collect()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                registry::find(n).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown artifact '{n}' (run `varbench list` for names)"
+                    ))
+                })
+            })
+            .collect()
+    };
+    if let Some(f) = &filter {
+        specs.retain(|s| s.name.contains(f.as_str()));
+        if specs.is_empty() {
+            fail(&format!("--filter {f} matched no artifacts"));
+        }
+    }
+
+    let runner = match (serial, threads) {
+        (true, _) => Runner::serial(),
+        (false, Some(n)) => Runner::new(n),
+        (false, None) => Runner::from_env(),
+    };
+
+    // --no-cache: each artifact gets its own throwaway cache (the library
+    // API always takes one), so nothing is shared or persisted — but the
+    // batch is still scheduled in parallel like the cached path.
+    let reports: Vec<Report> = if no_cache {
+        let ctx_runner = &runner;
+        let out = ctx_runner.map_indexed(specs.len(), |i| {
+            let cache = MeasureCache::new();
+            registry::run_specs(&[specs[i]], effort, ctx_runner, &cache)
+                .pop()
+                .expect("one report per spec")
+        });
+        eprintln!("cache: disabled (--no-cache)");
+        out
+    } else {
+        let cache = MeasureCache::from_env();
+        let reports = registry::run_specs(&specs, effort, &runner, &cache);
+        let s = cache.stats();
+        eprintln!(
+            "cache: {} full hits, {} extensions, {} misses; {} rows computed, {} served; {} hopt records computed ({} fits), {} served{}",
+            s.full_hits,
+            s.extensions,
+            s.misses,
+            s.rows_computed,
+            s.rows_served,
+            s.records_computed,
+            s.record_fits_computed,
+            s.records_served,
+            if cache.is_persistent() { " [disk]" } else { "" },
+        );
+        reports
+    };
+
+    // Emit.
+    if let Some(dir) = out_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            fail(&format!("cannot create {}: {e}", dir.display()));
+        }
+        for report in &reports {
+            let path = dir.join(format!("{}.{}", report.name(), format.extension()));
+            if let Err(e) = std::fs::write(&path, format.render(report, effort)) {
+                fail(&format!("cannot write {}: {e}", path.display()));
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        return;
+    }
+    match format {
+        Format::Text => {
+            if reports.len() == 1 {
+                print!("{}", reports[0].render_text());
+            } else {
+                for report in &reports {
+                    println!("\n================ {} ================\n", report.title());
+                    print!("{}", report.render_text());
+                }
+            }
+        }
+        Format::Json => {
+            let docs: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+            println!("{}", json_envelope(effort, &docs));
+        }
+        Format::Csv => {
+            for (i, report) in reports.iter().enumerate() {
+                if i > 0 {
+                    println!();
+                }
+                print!("{}", report.to_csv());
+            }
+        }
+    }
+}

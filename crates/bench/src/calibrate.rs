@@ -4,9 +4,11 @@
 //! distributions use the variances measured with the ideal and biased
 //! estimators on the case studies. This module performs that measurement.
 
-use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator, Randomize};
+use crate::registry::RunContext;
+use varbench_core::estimator::{fix_hopt_estimator_cached, ideal_estimator_cached, Randomize};
+use varbench_core::exec::Runner;
 use varbench_core::simulation::SimulatedTask;
-use varbench_pipeline::{CaseStudy, HpoAlgorithm};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache};
 use varbench_stats::describe::{mean, std_dev, variance};
 
 /// Calibration output: the simulated task plus the raw pieces.
@@ -38,16 +40,61 @@ pub fn calibrate(
     budget: usize,
     seed: u64,
 ) -> Calibration {
+    let cache = MeasureCache::new();
+    calibrate_with(
+        cs,
+        k_ideal,
+        k,
+        reps,
+        algo,
+        budget,
+        seed,
+        &RunContext::new(&Runner::serial(), &cache),
+    )
+}
+
+/// [`calibrate`] with an explicit [`RunContext`]: the ideal run and the
+/// repetition groups are served from (and stored into) the measurement
+/// cache, so a calibration at Fig. 5's seed and budget reuses Fig. 5's
+/// estimator matrices outright.
+///
+/// # Panics
+///
+/// Panics if `k_ideal < 2`, `k < 2`, or `reps < 2`.
+#[allow(clippy::too_many_arguments)]
+pub fn calibrate_with(
+    cs: &CaseStudy,
+    k_ideal: usize,
+    k: usize,
+    reps: usize,
+    algo: HpoAlgorithm,
+    budget: usize,
+    seed: u64,
+    ctx: &RunContext,
+) -> Calibration {
     assert!(
         k_ideal >= 2 && k >= 2 && reps >= 2,
         "need at least 2 of everything"
     );
-    let ideal = ideal_estimator(cs, k_ideal, algo, budget, seed);
+    let ideal = ideal_estimator_cached(cs, k_ideal, algo, budget, seed, ctx.runner, ctx.cache);
     let sigma = std_dev(&ideal.measures).max(1e-9);
     let mu = mean(&ideal.measures);
 
     let groups: Vec<Vec<f64>> = (0..reps)
-        .map(|r| fix_hopt_estimator(cs, k, algo, budget, seed, r as u64, Randomize::All).measures)
+        .map(|r| {
+            fix_hopt_estimator_cached(
+                cs,
+                k,
+                algo,
+                budget,
+                seed,
+                r as u64,
+                Randomize::All,
+                ctx.runner,
+                ctx.cache,
+            )
+            .measures
+        })
         .collect();
     let group_means: Vec<f64> = groups.iter().map(|g| mean(g)).collect();
     let bias_std = std_dev(&group_means).max(1e-9);

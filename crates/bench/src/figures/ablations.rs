@@ -15,10 +15,13 @@
 //!    correlation.
 
 use crate::args::Effort;
-use varbench_core::estimator::source_variance_study;
-use varbench_core::report::{num, Table};
+use crate::figures::hopt_study_seed;
+use crate::registry::RunContext;
+use varbench_core::estimator::source_variance_study_cached;
+use varbench_core::exec::Runner;
+use varbench_core::report::{num, Report, Table};
 use varbench_data::split::{kfold, Split};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, SeedAssignment, VarianceSource};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, SeedAssignment, VarianceSource};
 use varbench_rng::Rng;
 use varbench_stats::describe::std_dev;
 
@@ -76,19 +79,40 @@ impl Config {
     }
 }
 
-/// ξ_H std at each HPO budget level for one case study.
+/// ξ_H std at each HPO budget level for one case study (serial path,
+/// fresh cache).
 pub fn budget_sweep(cs: &CaseStudy, config: &Config, seed: u64) -> Vec<(usize, f64)> {
+    let cache = MeasureCache::new();
+    budget_sweep_with(
+        cs,
+        config,
+        seed,
+        &RunContext::new(&Runner::serial(), &cache),
+    )
+}
+
+/// [`budget_sweep`] with an explicit [`RunContext`]: each budget level's
+/// ξ_H matrix is cached; levels matching Fig. 1's HPO budget share its
+/// rows outright.
+pub fn budget_sweep_with(
+    cs: &CaseStudy,
+    config: &Config,
+    seed: u64,
+    ctx: &RunContext,
+) -> Vec<(usize, f64)> {
     config
         .budgets
         .iter()
         .map(|&budget| {
-            let measures = source_variance_study(
+            let measures = source_variance_study_cached(
                 cs,
                 VarianceSource::HyperOpt,
                 config.n_hopt,
                 HpoAlgorithm::RandomSearch,
                 budget,
                 seed,
+                ctx.runner,
+                ctx.cache,
             );
             (budget, std_dev(&measures))
         })
@@ -181,12 +205,12 @@ pub fn resampling_comparison(cs: &CaseStudy, config: &Config, seed: u64) -> Resa
     }
 }
 
-/// Runs both ablations and renders the report.
-pub fn run(config: &Config) -> String {
-    let mut out = String::new();
-    out.push_str("Extension ablations\n\n");
+/// Builds the full ablation report.
+pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
+    let mut r = Report::new("ablations", "Extension: ablations");
+    r.text("Extension ablations\n\n");
 
-    out.push_str("-- (1) xi_H std vs HPO budget T (random search) --\n");
+    r.text("-- (1) xi_H std vs HPO budget T (random search) --\n");
     let scale = config.effort.scale();
     let mut t = Table::new(
         std::iter::once("task".to_string())
@@ -194,20 +218,20 @@ pub fn run(config: &Config) -> String {
             .collect(),
     );
     for cs in [CaseStudy::glue_rte_bert(scale), CaseStudy::mhc_mlp(scale)] {
-        let sweep = budget_sweep(&cs, config, 0xAB1A);
+        let sweep = budget_sweep_with(&cs, config, hopt_study_seed(), ctx);
         let mut row = vec![cs.name().to_string()];
         for (_, sd) in &sweep {
             row.push(num(*sd, 5));
         }
         t.add_row(row);
     }
-    out.push_str(&t.render());
-    out.push_str(
+    r.table(t);
+    r.text(
         "Expected (paper Fig. F.2 discussion): the std does not shrink much\n\
          with larger budgets — xi_H variance is not a small-budget artifact.\n\n",
     );
 
-    out.push_str("-- (2) bootstrap vs cross-validation (paper Appendix B) --\n");
+    r.text("-- (2) bootstrap vs cross-validation (paper Appendix B) --\n");
     let cs = CaseStudy::glue_rte_bert(scale);
     let cmp = resampling_comparison(&cs, config, 0xAB1B);
     let mut t = Table::new(vec![
@@ -225,13 +249,19 @@ pub fn run(config: &Config) -> String {
         num(cmp.cv_train_overlap, 3),
         num(cmp.oob_train_overlap, 3),
     ]);
-    out.push_str(&t.render());
-    out.push_str(
+    r.table(t);
+    r.text(
         "CV folds share most of their training data (overlap ~ (k-2)/(k-1)),\n\
          correlating the measures; OOB splits are closer to independent draws\n\
          and support any number of resamples at constant train size.\n",
     );
-    out
+    r
+}
+
+/// Runs both ablations and renders the report.
+pub fn run(config: &Config) -> String {
+    let cache = MeasureCache::new();
+    report_with(config, &RunContext::new(&Runner::serial(), &cache)).render_text()
 }
 
 #[cfg(test)]

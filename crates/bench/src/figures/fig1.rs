@@ -7,10 +7,12 @@
 //! measured by running `n_hopt` independent HPO procedures per algorithm.
 
 use crate::args::Effort;
-use varbench_core::estimator::source_variance_study_with;
+use crate::figures::SOURCE_STUDY_SEED;
+use crate::registry::RunContext;
+use varbench_core::estimator::source_variance_study_cached;
 use varbench_core::exec::Runner;
-use varbench_core::report::{bar, num, Table};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, VarianceSource};
+use varbench_core::report::{bar, num, Report, Table};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, VarianceSource};
 use varbench_stats::describe::std_dev;
 
 /// Configuration of the Fig. 1 study.
@@ -78,19 +80,26 @@ pub struct TaskVariances {
     pub bootstrap_std: f64,
 }
 
-/// Runs the Fig. 1 study on one case study (serial path).
+/// Runs the Fig. 1 study on one case study (serial path, fresh cache).
 pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> TaskVariances {
-    study_case_with(cs, config, seed, &Runner::serial())
+    let cache = MeasureCache::new();
+    study_case_with(
+        cs,
+        config,
+        seed,
+        &RunContext::new(&Runner::serial(), &cache),
+    )
 }
 
-/// [`study_case`] with an explicit [`Runner`]: each source study's `n`
-/// re-seeded trainings (and each HPO algorithm's independent procedures)
-/// fan out across cores, bit-identical to the serial path.
+/// [`study_case`] with an explicit [`RunContext`]: each source study's
+/// `n` re-seeded trainings (and each HPO algorithm's independent
+/// procedures) fan out on the context's runner and are memoized in its
+/// measurement cache, bit-identical to the serial uncached path.
 pub fn study_case_with(
     cs: &CaseStudy,
     config: &Config,
     seed: u64,
-    runner: &Runner,
+    ctx: &RunContext,
 ) -> TaskVariances {
     let mut rows = Vec::new();
     let mut bootstrap_std = f64::NAN;
@@ -99,14 +108,15 @@ pub fn study_case_with(
         if src.is_hyperopt() {
             continue;
         }
-        let measures = source_variance_study_with(
+        let measures = source_variance_study_cached(
             cs,
             src,
             config.n_seeds,
             HpoAlgorithm::RandomSearch,
             1,
             seed,
-            runner,
+            ctx.runner,
+            ctx.cache,
         );
         let sd = std_dev(&measures);
         if src == VarianceSource::DataSplit {
@@ -116,14 +126,15 @@ pub fn study_case_with(
     }
     // ξ_H: one row per studied HPO algorithm.
     for algo in HpoAlgorithm::STUDIED {
-        let measures = source_variance_study_with(
+        let measures = source_variance_study_cached(
             cs,
             VarianceSource::HyperOpt,
             config.n_hopt,
             algo,
             config.budget,
             seed ^ 0xB0B0,
-            runner,
+            ctx.runner,
+            ctx.cache,
         );
         rows.push((algo.display_name().to_string(), std_dev(&measures)));
     }
@@ -134,24 +145,17 @@ pub fn study_case_with(
     }
 }
 
-/// Runs the full Fig. 1 reproduction with the default executor (thread
-/// count from `VARBENCH_THREADS`, all cores if unset).
-pub fn run(config: &Config) -> String {
-    run_with(config, &Runner::from_env())
-}
-
-/// [`run`] with an explicit [`Runner`]; the report is byte-identical for
-/// every thread count.
-pub fn run_with(config: &Config, runner: &Runner) -> String {
-    let mut out = String::new();
-    out.push_str("Figure 1: sources of variation, std as fraction of bootstrap std\n");
-    out.push_str(&format!(
+/// Builds the full Fig. 1 report.
+pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
+    let mut r = Report::new("fig1", "Figure 1");
+    r.text("Figure 1: sources of variation, std as fraction of bootstrap std\n");
+    r.text(format!(
         "(n_seeds = {}, n_hopt = {}, budget = {})\n\n",
         config.n_seeds, config.n_hopt, config.budget
     ));
     for cs in CaseStudy::all(config.effort.scale()) {
-        let tv = study_case_with(&cs, config, 0xF161, runner);
-        out.push_str(&format!("== {} ({}) ==\n", tv.task, cs.metric()));
+        let tv = study_case_with(&cs, config, SOURCE_STUDY_SEED, ctx);
+        r.text(format!("== {} ({}) ==\n", tv.task, cs.metric()));
         let mut table = Table::new(vec![
             "source".into(),
             "std".into(),
@@ -171,14 +175,27 @@ pub fn run_with(config: &Config, runner: &Runner) -> String {
                 bar(ratio, 2.0, 24),
             ]);
         }
-        out.push_str(&table.render());
-        out.push('\n');
+        r.table(table);
+        r.text("\n");
     }
-    out.push_str(
+    r.text(
         "Expected shape (paper): bootstrap largest; weights init / data order\n\
          ~0.2-0.7x bootstrap; HPO algorithms comparable to weights init.\n",
     );
-    out
+    r
+}
+
+/// Runs the full Fig. 1 reproduction with the default executor (thread
+/// count from `VARBENCH_THREADS`, all cores if unset) and a fresh cache.
+pub fn run(config: &Config) -> String {
+    run_with(config, &Runner::from_env())
+}
+
+/// [`run`] with an explicit [`Runner`]; the report is byte-identical for
+/// every thread count.
+pub fn run_with(config: &Config, runner: &Runner) -> String {
+    let cache = MeasureCache::new();
+    report_with(config, &RunContext::new(runner, &cache)).render_text()
 }
 
 #[cfg(test)]

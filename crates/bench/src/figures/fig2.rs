@@ -7,9 +7,12 @@
 //! classification case studies.
 
 use crate::args::Effort;
-use varbench_core::estimator::source_variance_study;
-use varbench_core::report::{num, Table};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, VarianceSource};
+use crate::figures::SOURCE_STUDY_SEED;
+use crate::registry::RunContext;
+use varbench_core::estimator::source_variance_study_cached;
+use varbench_core::exec::Runner;
+use varbench_core::report::{num, Report, Table};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, VarianceSource};
 use varbench_stats::describe::{mean, std_dev};
 use varbench_stats::Binomial;
 
@@ -73,15 +76,36 @@ pub struct EmpiricalPoint {
     pub binomial_std: f64,
 }
 
-/// Measures the empirical point for one classification case study.
+/// Measures the empirical point for one classification case study
+/// (serial path, fresh cache).
 pub fn empirical_point(cs: &CaseStudy, config: &Config, seed: u64) -> EmpiricalPoint {
-    let measures = source_variance_study(
+    let cache = MeasureCache::new();
+    empirical_point_with(
+        cs,
+        config,
+        seed,
+        &RunContext::new(&Runner::serial(), &cache),
+    )
+}
+
+/// [`empirical_point`] with an explicit [`RunContext`]: the bootstrap
+/// score matrix is shared with Fig. 1's `Data (bootstrap)` row through
+/// the measurement cache.
+pub fn empirical_point_with(
+    cs: &CaseStudy,
+    config: &Config,
+    seed: u64,
+    ctx: &RunContext,
+) -> EmpiricalPoint {
+    let measures = source_variance_study_cached(
         cs,
         VarianceSource::DataSplit,
         config.n_splits,
         HpoAlgorithm::RandomSearch,
         1,
         seed,
+        ctx.runner,
+        ctx.cache,
     );
     let tau = mean(&measures);
     let n_test = match cs.split_spec() {
@@ -116,12 +140,12 @@ pub fn theoretical_curves() -> Vec<(f64, Vec<(u64, f64)>)> {
         .collect()
 }
 
-/// Runs the Fig. 2 reproduction.
-pub fn run(config: &Config) -> String {
-    let mut out = String::new();
-    out.push_str("Figure 2: test-set sampling noise — binomial model vs bootstrap\n\n");
+/// Builds the full Fig. 2 report.
+pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
+    let mut r = Report::new("fig2", "Figure 2");
+    r.text("Figure 2: test-set sampling noise — binomial model vs bootstrap\n\n");
 
-    out.push_str("Theory: sigma(accuracy) = sqrt(tau(1-tau)/n'), in % accuracy\n");
+    r.text("Theory: sigma(accuracy) = sqrt(tau(1-tau)/n'), in % accuracy\n");
     let mut t = Table::new(vec![
         "tau".into(),
         "n=100".into(),
@@ -137,10 +161,10 @@ pub fn run(config: &Config) -> String {
         }
         t.add_row(row);
     }
-    out.push_str(&t.render());
-    out.push('\n');
+    r.table(t);
+    r.text("\n");
 
-    out.push_str("Practice: observed std across random splits (classification tasks)\n");
+    r.text("Practice: observed std across random splits (classification tasks)\n");
     let mut t = Table::new(vec![
         "task".into(),
         "n'".into(),
@@ -156,7 +180,7 @@ pub fn run(config: &Config) -> String {
         CaseStudy::cifar10_vgg11(scale),
     ];
     for cs in &tasks {
-        let p = empirical_point(cs, config, 0xF162);
+        let p = empirical_point_with(cs, config, SOURCE_STUDY_SEED, ctx);
         t.add_row(vec![
             p.task.to_string(),
             p.n_test.to_string(),
@@ -166,12 +190,18 @@ pub fn run(config: &Config) -> String {
             num(p.observed_std / p.binomial_std, 2),
         ]);
     }
-    out.push_str(&t.render());
-    out.push_str(
+    r.table(t);
+    r.text(
         "\nExpected shape (paper): observed std within ~2x of the binomial model,\n\
          confirming data-sampling variance is explained by test-set size.\n",
     );
-    out
+    r
+}
+
+/// Runs the Fig. 2 reproduction (default executor, fresh cache).
+pub fn run(config: &Config) -> String {
+    let cache = MeasureCache::new();
+    report_with(config, &RunContext::new(&Runner::from_env(), &cache)).render_text()
 }
 
 #[cfg(test)]

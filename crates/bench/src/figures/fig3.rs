@@ -8,29 +8,112 @@
 //! threshold is `z₀.₉₅ · √2 · σ` (two independent pipelines compared on
 //! one split).
 
+use crate::args::Effort;
+use crate::figures::SOURCE_STUDY_SEED;
 use crate::leaderboard::{increments, Entry, CIFAR10, SST2};
-use varbench_core::report::{num, Table};
+use crate::registry::RunContext;
+use varbench_core::estimator::{joint_variance_study_cached, source_variance_study_cached};
+use varbench_core::exec::Runner;
+use varbench_core::report::{num, Report, Table};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, Scale, VarianceSource};
+use varbench_stats::describe::variance;
 use varbench_stats::{standard_normal_quantile, Binomial};
 
 /// Configuration of the Fig. 3 analysis.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Config {
+    /// Effort preset (only `Full` changes the analysis: it replaces the
+    /// assumed inflation ratio with a measured one).
+    pub effort: Effort,
     /// Variance-inflation ratio: total benchmark variance relative to the
     /// pure test-set binomial variance. The paper's Fig. 1 study puts the
     /// all-sources total at ~1.5–2× the bootstrap variance; 2.0 is the
-    /// conservative default, and `fig1` measures the analog value.
-    pub inflation: f64,
+    /// conservative assumption, and `None` measures the analog value on
+    /// the CIFAR10 case study (all-ξ_O joint variance over bootstrap
+    /// variance) through the measurement cache.
+    pub inflation: Option<f64>,
     /// Significance level of the one-sided test.
     pub alpha: f64,
 }
 
-impl Default for Config {
-    fn default() -> Self {
+impl Config {
+    /// Smoke-test preset (assumed inflation — instant).
+    pub fn test() -> Self {
         Self {
-            inflation: 2.0,
+            effort: Effort::Test,
+            inflation: Some(2.0),
             alpha: 0.05,
         }
     }
+
+    /// Default preset (assumed inflation — instant).
+    pub fn quick() -> Self {
+        Self {
+            effort: Effort::Quick,
+            inflation: Some(2.0),
+            alpha: 0.05,
+        }
+    }
+
+    /// Paper-faithful preset: measure the inflation ratio on the
+    /// cifar10-vgg11 analog instead of assuming 2.0.
+    pub fn full() -> Self {
+        Self {
+            effort: Effort::Full,
+            inflation: None,
+            alpha: 0.05,
+        }
+    }
+
+    /// Preset for an effort level.
+    pub fn for_effort(effort: Effort) -> Self {
+        match effort {
+            Effort::Test => Self::test(),
+            Effort::Quick => Self::quick(),
+            Effort::Full => Self::full(),
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// Measurements per matrix when measuring the inflation ratio. Matches
+/// the Quick presets of Fig. 1 and the interaction study, so with a
+/// persistent cache (`VARBENCH_CACHE_DIR`) a prior quick-effort run pays
+/// for these matrices; within a single `--full` run they are computed
+/// once here (the other artifacts measure at Full scale).
+const INFLATION_N: usize = 30;
+
+/// Measures the variance-inflation ratio on the CIFAR10 analog:
+/// all-ξ_O joint variance over bootstrap-only variance, floored at 1
+/// (total variance cannot be below its bootstrap component). Measured at
+/// Quick scale deliberately — the ratio is scale-stable and Quick keeps
+/// `fig3 --full` from costing 60 Full-scale trainings for one scalar.
+pub fn measured_inflation(ctx: &RunContext) -> f64 {
+    let cs = CaseStudy::cifar10_vgg11(Scale::Quick);
+    let joint = joint_variance_study_cached(
+        &cs,
+        &VarianceSource::XI_O,
+        INFLATION_N,
+        SOURCE_STUDY_SEED,
+        ctx.runner,
+        ctx.cache,
+    );
+    let boot = source_variance_study_cached(
+        &cs,
+        VarianceSource::DataSplit,
+        INFLATION_N,
+        HpoAlgorithm::RandomSearch,
+        1,
+        SOURCE_STUDY_SEED,
+        ctx.runner,
+        ctx.cache,
+    );
+    (variance(&joint, 1) / variance(&boot, 1)).max(1.0)
 }
 
 /// Verdict for one published improvement.
@@ -48,14 +131,15 @@ pub struct Verdict {
     pub significant: bool,
 }
 
-/// Classifies every improving entry of a leaderboard.
-pub fn classify(entries: &[Entry], n_test: u64, config: &Config) -> Vec<Verdict> {
-    let z = standard_normal_quantile(1.0 - config.alpha);
+/// Classifies every improving entry of a leaderboard under an explicit
+/// inflation ratio and significance level.
+pub fn classify(entries: &[Entry], n_test: u64, inflation: f64, alpha: f64) -> Vec<Verdict> {
+    let z = standard_normal_quantile(1.0 - alpha);
     increments(entries)
         .into_iter()
         .map(|(entry, inc)| {
             let tau = (entry.accuracy / 100.0).clamp(0.01, 0.99);
-            let sigma = 100.0 * Binomial::accuracy_std(n_test, tau) * config.inflation.sqrt();
+            let sigma = 100.0 * Binomial::accuracy_std(n_test, tau) * inflation.sqrt();
             let threshold = z * std::f64::consts::SQRT_2 * sigma;
             Verdict {
                 entry,
@@ -68,14 +152,27 @@ pub fn classify(entries: &[Entry], n_test: u64, config: &Config) -> Vec<Verdict>
         .collect()
 }
 
-/// Runs the Fig. 3 reproduction.
-pub fn run(config: &Config) -> String {
-    let mut out = String::new();
-    out.push_str("Figure 3: published improvements vs benchmark variance\n");
-    out.push_str(&format!(
-        "(variance inflation x{:.1} over binomial, alpha = {})\n\n",
-        config.inflation, config.alpha
-    ));
+/// Builds the full Fig. 3 report.
+pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
+    let mut r = Report::new("fig3", "Figure 3");
+    r.text("Figure 3: published improvements vs benchmark variance\n");
+    let inflation = match config.inflation {
+        Some(x) => {
+            r.text(format!(
+                "(variance inflation x{x:.1} over binomial, alpha = {})\n\n",
+                config.alpha
+            ));
+            x
+        }
+        None => {
+            let x = measured_inflation(ctx);
+            r.text(format!(
+                "(variance inflation x{x:.2} measured on the cifar10-vgg11 analog, alpha = {})\n\n",
+                config.alpha
+            ));
+            x
+        }
+    };
     for (name, entries, n_test) in [
         ("cifar10 (n'=10000)", &CIFAR10[..], 10_000u64),
         (
@@ -84,7 +181,7 @@ pub fn run(config: &Config) -> String {
             872,
         ),
     ] {
-        out.push_str(&format!("== {name} ==\n"));
+        r.text(format!("== {name} ==\n"));
         let mut t = Table::new(vec![
             "year".into(),
             "method".into(),
@@ -94,7 +191,7 @@ pub fn run(config: &Config) -> String {
             "threshold".into(),
             "verdict".into(),
         ]);
-        let verdicts = classify(entries, n_test, config);
+        let verdicts = classify(entries, n_test, inflation, config.alpha);
         let mut n_sig = 0;
         for v in &verdicts {
             if v.significant {
@@ -114,18 +211,24 @@ pub fn run(config: &Config) -> String {
                 },
             ]);
         }
-        out.push_str(&t.render());
-        out.push_str(&format!(
+        r.table(t);
+        r.text(format!(
             "{} of {} improvements significant\n\n",
             n_sig,
             verdicts.len()
         ));
     }
-    out.push_str(
+    r.text(
         "Expected shape (paper): a substantial fraction of published increments\n\
          fall below the significance band, especially on the small SST-2 test set.\n",
     );
-    out
+    r
+}
+
+/// Runs the Fig. 3 reproduction (default executor, fresh cache).
+pub fn run(config: &Config) -> String {
+    let cache = MeasureCache::new();
+    report_with(config, &RunContext::new(&Runner::from_env(), &cache)).render_text()
 }
 
 #[cfg(test)]
@@ -134,7 +237,7 @@ mod tests {
 
     #[test]
     fn classification_splits_verdicts() {
-        let v = classify(&SST2, 872, &Config::default());
+        let v = classify(&SST2, 872, 2.0, 0.05);
         assert!(!v.is_empty());
         let sig = v.iter().filter(|x| x.significant).count();
         let non = v.len() - sig;
@@ -146,8 +249,8 @@ mod tests {
 
     #[test]
     fn bigger_test_set_tightens_threshold() {
-        let small = classify(&CIFAR10, 1_000, &Config::default());
-        let large = classify(&CIFAR10, 100_000, &Config::default());
+        let small = classify(&CIFAR10, 1_000, 2.0, 0.05);
+        let large = classify(&CIFAR10, 100_000, 2.0, 0.05);
         let sig_small = small.iter().filter(|v| v.significant).count();
         let sig_large = large.iter().filter(|v| v.significant).count();
         assert!(sig_large >= sig_small);
@@ -156,24 +259,21 @@ mod tests {
 
     #[test]
     fn inflation_raises_threshold() {
-        let base = classify(
-            &CIFAR10,
-            10_000,
-            &Config {
-                inflation: 1.0,
-                alpha: 0.05,
-            },
-        );
-        let inflated = classify(
-            &CIFAR10,
-            10_000,
-            &Config {
-                inflation: 4.0,
-                alpha: 0.05,
-            },
-        );
+        let base = classify(&CIFAR10, 10_000, 1.0, 0.05);
+        let inflated = classify(&CIFAR10, 10_000, 4.0, 0.05);
         assert!(inflated[0].threshold > base[0].threshold);
         assert!((inflated[0].threshold / base[0].threshold - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presets_cover_every_effort() {
+        assert_eq!(Config::for_effort(Effort::Test).inflation, Some(2.0));
+        assert_eq!(Config::for_effort(Effort::Quick), Config::default());
+        assert_eq!(
+            Config::for_effort(Effort::Full).inflation,
+            None,
+            "full effort measures the inflation ratio"
+        );
     }
 
     #[test]

@@ -9,11 +9,13 @@
 //! equivalent of µ̂(k≈2).
 
 use crate::args::Effort;
+use crate::figures::ESTIMATOR_SEED;
+use crate::registry::RunContext;
 use varbench_core::decompose::{equivalent_ideal_k, ideal_std_err_curve, std_err_curve};
-use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator_with, Randomize};
+use varbench_core::estimator::{fix_hopt_estimator_cached, ideal_estimator_cached, Randomize};
 use varbench_core::exec::Runner;
-use varbench_core::report::{num, Table};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm};
+use varbench_core::report::{num, Report, Table};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache};
 use varbench_stats::describe::{std_dev, std_of_std};
 
 /// Configuration of the Fig. 5 study.
@@ -91,36 +93,64 @@ pub struct EstimatorCurves {
     pub ideal_fits: usize,
 }
 
-/// Runs the estimator study on one case study (serial path).
+/// Runs the estimator study on one case study (serial path, fresh
+/// cache).
 pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> EstimatorCurves {
-    study_case_with(cs, config, seed, &Runner::serial())
+    let cache = MeasureCache::new();
+    study_case_with(
+        cs,
+        config,
+        seed,
+        &RunContext::new(&Runner::serial(), &cache),
+    )
 }
 
-/// [`study_case`] with an explicit [`Runner`]: the ideal estimator's
-/// samples and the `3 variants × reps` biased-estimator repetitions are
-/// independent seed branches, so both phases fan out across cores. The
-/// curves are bit-identical to the serial path for any thread count.
+/// [`study_case`] with an explicit [`RunContext`]: the ideal estimator's
+/// samples and each biased repetition's `k` measures are independent seed
+/// branches that fan out on the context's runner, and every matrix is
+/// memoized in the measurement cache (Fig. 6's calibration and Fig. H.5's
+/// decomposition reuse them). The curves are bit-identical to the serial
+/// uncached path for any thread count.
 pub fn study_case_with(
     cs: &CaseStudy,
     config: &Config,
     seed: u64,
-    runner: &Runner,
+    ctx: &RunContext,
 ) -> EstimatorCurves {
     let algo = HpoAlgorithm::RandomSearch;
-    let ideal_run = ideal_estimator_with(cs, config.k_ideal, algo, config.budget, seed, runner);
+    let ideal_run = ideal_estimator_cached(
+        cs,
+        config.k_ideal,
+        algo,
+        config.budget,
+        seed,
+        ctx.runner,
+        ctx.cache,
+    );
     let sigma = std_dev(&ideal_run.measures);
     let ideal_fits_per_kmax = config.k_max * (config.budget + 1);
 
-    // One unit per (variant, repetition) pair; each unit is a full biased
-    // estimator run off its own repetition seed.
+    // One biased-estimator run per (variant, repetition) pair; the
+    // parallelism lives inside each run's k measures.
     let variants = [Randomize::Init, Randomize::Data, Randomize::All];
-    let units: Vec<(Randomize, u64)> = variants
+    let groups: Vec<Vec<f64>> = variants
         .iter()
         .flat_map(|&v| (0..config.reps).map(move |r| (v, r as u64)))
+        .map(|(variant, r)| {
+            fix_hopt_estimator_cached(
+                cs,
+                config.k_max,
+                algo,
+                config.budget,
+                seed,
+                r,
+                variant,
+                ctx.runner,
+                ctx.cache,
+            )
+            .measures
+        })
         .collect();
-    let groups = runner.map_seeds(&units, |_, &(variant, r)| {
-        fix_hopt_estimator(cs, config.k_max, algo, config.budget, seed, r, variant).measures
-    });
 
     let biased = variants
         .iter()
@@ -140,18 +170,11 @@ pub fn study_case_with(
     }
 }
 
-/// Runs the full Fig. 5 / H.4 reproduction with the default executor
-/// (thread count from `VARBENCH_THREADS`, all cores if unset).
-pub fn run(config: &Config) -> String {
-    run_with(config, &Runner::from_env())
-}
-
-/// [`run`] with an explicit [`Runner`]. The report text is byte-identical
-/// for every thread count; only wall-clock time changes.
-pub fn run_with(config: &Config, runner: &Runner) -> String {
-    let mut out = String::new();
-    out.push_str("Figure 5 / H.4: standard error of estimators vs number of samples k\n");
-    out.push_str(&format!(
+/// Builds the full Fig. 5 / H.4 report.
+pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
+    let mut r = Report::new("fig5", "Figure 5 / H.4");
+    r.text("Figure 5 / H.4: standard error of estimators vs number of samples k\n");
+    r.text(format!(
         "(k_max = {}, reps = {}, budget = {})\n\n",
         config.k_max, config.reps, config.budget
     ));
@@ -162,8 +185,8 @@ pub fn run_with(config: &Config, runner: &Runner) -> String {
         .collect();
 
     for cs in CaseStudy::all(config.effort.scale()) {
-        let curves = study_case_with(&cs, config, 0xF165, runner);
-        out.push_str(&format!(
+        let curves = study_case_with(&cs, config, ESTIMATOR_SEED, ctx);
+        r.text(format!(
             "== {} (sigma_ideal = {}, +/- band = sigma/sqrt(2(k-1)) ) ==\n",
             curves.task,
             num(curves.sigma_ideal, 5)
@@ -195,19 +218,33 @@ pub fn run_with(config: &Config, runner: &Runner) -> String {
             row.push(eq.map_or("-".into(), |k| k.to_string()));
             t.add_row(row);
         }
-        out.push_str(&t.render());
+        r.table(t);
         let band = std_of_std(curves.sigma_ideal, config.k_max.max(2));
-        out.push_str(&format!(
+        r.text(format!(
             "uncertainty band at k_max: +/- {}\n\n",
             num(band, 5)
         ));
     }
-    out.push_str(
+    r.text(
         "Expected shape (paper): FixHOptEst(k, All) closest to IdealEst;\n\
          FixHOptEst(k, Init) flattens early (equivalent of ideal k ~ 2);\n\
          biased estimators cost O(k+T) fits vs O(kT) for the ideal (~51x).\n",
     );
-    out
+    r
+}
+
+/// Runs the full Fig. 5 / H.4 reproduction with the default executor
+/// (thread count from `VARBENCH_THREADS`, all cores if unset) and a
+/// fresh cache.
+pub fn run(config: &Config) -> String {
+    run_with(config, &Runner::from_env())
+}
+
+/// [`run`] with an explicit [`Runner`]. The report text is byte-identical
+/// for every thread count; only wall-clock time changes.
+pub fn run_with(config: &Config, runner: &Runner) -> String {
+    let cache = MeasureCache::new();
+    report_with(config, &RunContext::new(runner, &cache)).render_text()
 }
 
 #[cfg(test)]

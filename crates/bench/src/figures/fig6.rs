@@ -9,12 +9,14 @@
 //! with the biased estimator.
 
 use crate::args::Effort;
-use crate::calibrate::calibrate;
+use crate::calibrate::calibrate_with;
+use crate::figures::ESTIMATOR_SEED;
+use crate::registry::RunContext;
 use varbench_core::compare::PAPER_DELTA_MULTIPLIER;
 use varbench_core::exec::Runner;
-use varbench_core::report::{num, pct, Table};
+use varbench_core::report::{num, pct, Report, Table};
 use varbench_core::simulation::{detection_study_with, DetectionConfig, SimulatedTask};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache};
 
 /// Configuration of the Fig. 6 study.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,14 +47,16 @@ impl Config {
 
     /// Default preset. Calibration must run at Quick scale: at Test scale
     /// the tiny test sets inflate `Var(µ̃|ξ)` to the level of `Var(R̂|ξ)`,
-    /// which exaggerates the biased estimator's degradation.
+    /// which exaggerates the biased estimator's degradation. The
+    /// calibration budget matches Fig. 5's Quick budget so the two
+    /// figures share estimator matrices through the measurement cache.
     pub fn quick() -> Self {
         Self {
             effort: Effort::Quick,
             k: 50,
             n_simulations: 300,
             resamples: 200,
-            calib: (10, 12, 6, 10),
+            calib: (10, 12, 6, 15),
         }
     }
 
@@ -82,35 +86,29 @@ pub fn probability_sweep() -> Vec<f64> {
     (0..=12).map(|i| 0.4 + 0.05 * i as f64).collect()
 }
 
-/// Runs the Fig. 6 reproduction: calibrate on one representative case
-/// study, then run the detection-rate simulation. Uses the default
-/// executor (thread count from `VARBENCH_THREADS`, all cores if unset).
-pub fn run(config: &Config) -> String {
-    run_with(config, &Runner::from_env())
-}
-
-/// [`run`] with an explicit [`Runner`]: the simulation grid fans out one
-/// unit per simulated comparison; the report is byte-identical for every
-/// thread count.
-pub fn run_with(config: &Config, runner: &Runner) -> String {
-    let mut out = String::new();
-    out.push_str("Figure 6: detection rates of comparison methods (calibrated simulation)\n\n");
+/// Builds the full Fig. 6 report: calibrate on one representative case
+/// study (estimator matrices shared with Fig. 5 through the cache), then
+/// run the detection-rate simulation.
+pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
+    let mut r = Report::new("fig6", "Figure 6");
+    r.text("Figure 6: detection rates of comparison methods (calibrated simulation)\n\n");
 
     // Calibrate on the RTE analog (the paper's most variance-dominated
     // task); the qualitative picture is task-independent.
     let cs = CaseStudy::glue_rte_bert(config.effort.scale());
     let (k_ideal, k_cal, reps, budget) = config.calib;
-    let cal = calibrate(
+    let cal = calibrate_with(
         &cs,
         k_ideal,
         k_cal,
         reps,
         HpoAlgorithm::RandomSearch,
         budget,
-        0xF166,
+        ESTIMATOR_SEED,
+        ctx,
     );
     let task: SimulatedTask = cal.task;
-    out.push_str(&format!(
+    r.text(format!(
         "calibration ({}): sigma = {}, bias_std = {}, measure_std = {}\n\n",
         cs.name(),
         num(task.sigma, 5),
@@ -126,7 +124,7 @@ pub fn run_with(config: &Config, runner: &Runner) -> String {
         alpha: 0.05,
         resamples: config.resamples,
     };
-    let rows = detection_study_with(&task, &probability_sweep(), &det, 0xF1660, runner);
+    let rows = detection_study_with(&task, &probability_sweep(), &det, 0xF1660, ctx.runner);
 
     let mut t = Table::new(vec![
         "P(A>B)".into(),
@@ -137,28 +135,41 @@ pub fn run_with(config: &Config, runner: &Runner) -> String {
         "P(A>B) test (ideal)".into(),
         "P(A>B) test (biased)".into(),
     ]);
-    for r in &rows {
+    for row in &rows {
         t.add_row(vec![
-            num(r.p_true, 2),
-            pct(r.oracle),
-            pct(r.single_point),
-            pct(r.average_ideal),
-            pct(r.average_biased),
-            pct(r.prob_out_ideal),
-            pct(r.prob_out_biased),
+            num(row.p_true, 2),
+            pct(row.oracle),
+            pct(row.single_point),
+            pct(row.average_ideal),
+            pct(row.average_biased),
+            pct(row.prob_out_ideal),
+            pct(row.prob_out_biased),
         ]);
     }
-    out.push_str(&t.render());
-    out.push_str(&format!(
+    r.table(t);
+    r.text(format!(
         "\n(k = {}, {} simulations/point, gamma = 0.75, delta = 1.9952 sigma)\n",
         config.k, config.n_simulations
     ));
-    out.push_str(
+    r.text(
         "Expected shape (paper): single-point ~ coin flip everywhere; average\n\
          criterion conservative (<5% FP but ~90% FN at H1); P(A>B) test ~5% FP\n\
          and much lower FN, approaching the oracle with the ideal estimator.\n",
     );
-    out
+    r
+}
+
+/// Runs the Fig. 6 reproduction with the default executor (thread count
+/// from `VARBENCH_THREADS`, all cores if unset) and a fresh cache.
+pub fn run(config: &Config) -> String {
+    run_with(config, &Runner::from_env())
+}
+
+/// [`run`] with an explicit [`Runner`]; the report is byte-identical for
+/// every thread count.
+pub fn run_with(config: &Config, runner: &Runner) -> String {
+    let cache = MeasureCache::new();
+    report_with(config, &RunContext::new(runner, &cache)).render_text()
 }
 
 #[cfg(test)]

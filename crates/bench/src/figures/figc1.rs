@@ -1,20 +1,78 @@
 //! **Fig. C.1** — Noether's minimal sample size for reliably detecting
 //! `P(A > B) > γ`, as a function of γ.
 
-use varbench_core::report::{num, Table};
+use crate::args::Effort;
+use crate::registry::RunContext;
+use varbench_core::exec::Runner;
+use varbench_core::report::{num, Report, Table};
 use varbench_core::sample_size::{noether_curve, recommended, RECOMMENDED_GAMMA};
+use varbench_pipeline::MeasureCache;
 
-/// Runs the Fig. C.1 reproduction.
-pub fn run() -> String {
-    let mut out = String::new();
-    out.push_str("Figure C.1: minimum sample size to detect P(A>B) > gamma\n");
-    out.push_str("(alpha = 0.05, beta = 0.05)\n\n");
+/// Configuration of the Fig. C.1 sweep (pure computation — no training).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// Sweep points between γ = 0.5 and 0.95. Must be a multiple of 9 so
+    /// the recommended γ = 0.75 lands exactly on a sweep point.
+    pub points: usize,
+    /// Type-I error rate of the planned test.
+    pub alpha: f64,
+    /// Type-II error rate of the planned test.
+    pub beta: f64,
+}
+
+impl Config {
+    /// Smoke-test preset: a coarse sweep.
+    pub fn test() -> Self {
+        Self {
+            points: 9,
+            alpha: 0.05,
+            beta: 0.05,
+        }
+    }
+
+    /// Default preset (the paper's resolution).
+    pub fn quick() -> Self {
+        Self {
+            points: 18,
+            alpha: 0.05,
+            beta: 0.05,
+        }
+    }
+
+    /// Fine-sweep preset.
+    pub fn full() -> Self {
+        Self {
+            points: 36,
+            alpha: 0.05,
+            beta: 0.05,
+        }
+    }
+
+    /// Preset for an effort level.
+    pub fn for_effort(effort: Effort) -> Self {
+        match effort {
+            Effort::Test => Self::test(),
+            Effort::Quick => Self::quick(),
+            Effort::Full => Self::full(),
+        }
+    }
+}
+
+/// Builds the full Fig. C.1 report. The context is accepted for registry
+/// uniformity; this artifact is pure closed-form computation.
+pub fn report_with(config: &Config, _ctx: &RunContext) -> Report {
+    let mut r = Report::new("figc1", "Figure C.1");
+    r.text("Figure C.1: minimum sample size to detect P(A>B) > gamma\n");
+    r.text(format!(
+        "(alpha = {}, beta = {})\n\n",
+        config.alpha, config.beta
+    ));
     let mut t = Table::new(vec![
         "gamma".into(),
         "min sample size".into(),
         "note".into(),
     ]);
-    for (gamma, n) in noether_curve(0.95, 18, 0.05, 0.05) {
+    for (gamma, n) in noether_curve(0.95, config.points, config.alpha, config.beta) {
         let note = if (gamma - RECOMMENDED_GAMMA).abs() < 1e-9 {
             "* recommended"
         } else {
@@ -22,16 +80,22 @@ pub fn run() -> String {
         };
         t.add_row(vec![num(gamma, 3), n.to_string(), note.into()]);
     }
-    out.push_str(&t.render());
-    out.push_str(&format!(
+    r.table(t);
+    r.text(format!(
         "\nRecommended threshold gamma = {RECOMMENDED_GAMMA} -> N = {} trainings\n",
         recommended()
     ));
-    out.push_str(
+    r.text(
         "Expected shape (paper): below gamma ~ 0.6 sample sizes explode (>500);\n\
          at gamma = 0.75 a reasonable N = 29 suffices.\n",
     );
-    out
+    r
+}
+
+/// Runs the Fig. C.1 reproduction.
+pub fn run(config: &Config) -> String {
+    let cache = MeasureCache::new();
+    report_with(config, &RunContext::new(&Runner::serial(), &cache)).render_text()
 }
 
 #[cfg(test)]
@@ -39,17 +103,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn report_contains_recommendation() {
-        let r = run();
-        assert!(r.contains("N = 29"));
-        assert!(r.contains("recommended"));
+    fn report_contains_recommendation_at_every_preset() {
+        for config in [Config::test(), Config::quick(), Config::full()] {
+            let r = run(&config);
+            assert!(r.contains("N = 29"), "{config:?}");
+            assert!(r.contains("recommended"), "{config:?}");
+        }
     }
 
     #[test]
     fn report_shows_explosion_at_small_gamma() {
-        let r = run();
-        // The first sweep points (gamma near 0.525) need hundreds of
-        // samples; check a 3-digit-plus number appears.
+        let r = run(&Config::test());
+        // The first sweep points (gamma near the coin flip) need hundreds
+        // of samples; check a 3-digit-plus number appears.
         let big_n = r
             .lines()
             .filter_map(|l| l.split_whitespace().nth(1))
@@ -57,5 +123,14 @@ mod tests {
             .max()
             .unwrap_or(0);
         assert!(big_n > 400, "max N in table: {big_n}");
+    }
+
+    #[test]
+    fn preset_resolutions_scale() {
+        assert!(Config::test().points < Config::quick().points);
+        assert!(Config::quick().points < Config::full().points);
+        for c in [Config::test(), Config::quick(), Config::full()] {
+            assert_eq!(c.points % 9, 0, "0.75 must land on a sweep point");
+        }
     }
 }

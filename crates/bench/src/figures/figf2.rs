@@ -9,8 +9,10 @@
 //! variance.
 
 use crate::args::Effort;
-use varbench_core::report::{num, Table};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, SeedAssignment, VarianceSource};
+use crate::registry::RunContext;
+use varbench_core::exec::Runner;
+use varbench_core::report::{num, Report, Table};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, SeedAssignment, VarianceSource};
 use varbench_stats::describe::{mean, std_dev};
 
 /// Configuration of the Fig. F.2 study.
@@ -114,16 +116,20 @@ pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> Vec<CurveSummar
         .collect()
 }
 
-/// Runs the full Fig. F.2 reproduction.
-pub fn run(config: &Config) -> String {
-    let mut out = String::new();
-    out.push_str("Figure F.2: HPO best-so-far validation objective (mean +/- std)\n");
-    out.push_str(&format!(
+/// Builds the full Fig. F.2 report.
+///
+/// The optimization *curves* need whole `History` objects, not score
+/// matrices, so this artifact does not use the measurement cache; the
+/// context is accepted for registry uniformity.
+pub fn report_with(config: &Config, _ctx: &RunContext) -> Report {
+    let mut r = Report::new("figf2", "Figure F.2");
+    r.text("Figure F.2: HPO best-so-far validation objective (mean +/- std)\n");
+    r.text(format!(
         "({} seeds, budget {})\n\n",
         config.reps, config.budget
     ));
     for cs in CaseStudy::all(config.effort.scale()) {
-        out.push_str(&format!("== {} ==\n", cs.name()));
+        r.text(format!("== {} ==\n", cs.name()));
         let summaries = study_case(&cs, config, 0xF16F);
         let marks: Vec<usize> = summaries[0]
             .checkpoints
@@ -144,14 +150,20 @@ pub fn run(config: &Config) -> String {
             row.push(format!("{}+/-{}", num(s.test.0, 4), num(s.test.1, 4)));
             t.add_row(row);
         }
-        out.push_str(&t.render());
-        out.push('\n');
+        r.table(t);
+        r.text("\n");
     }
-    out.push_str(
+    r.text(
         "Expected shape (paper): all algorithms converge on these spaces; the\n\
          across-seed std stabilizes well before the full budget.\n",
     );
-    out
+    r
+}
+
+/// Runs the full Fig. F.2 reproduction.
+pub fn run(config: &Config) -> String {
+    let cache = MeasureCache::new();
+    report_with(config, &RunContext::new(&Runner::serial(), &cache)).render_text()
 }
 
 #[cfg(test)]

@@ -7,9 +7,12 @@
 //! modelling assumption of the simulation study.
 
 use crate::args::Effort;
-use varbench_core::estimator::source_variance_study;
-use varbench_core::report::{num, Table};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, SeedAssignment, VarianceSource};
+use crate::figures::SOURCE_STUDY_SEED;
+use crate::registry::RunContext;
+use varbench_core::estimator::{joint_variance_study_cached, source_variance_study_cached};
+use varbench_core::exec::Runner;
+use varbench_core::report::{num, Report, Table};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, VarianceSource};
 use varbench_stats::kde::Kde;
 use varbench_stats::tests::shapiro_wilk::shapiro_wilk;
 
@@ -67,32 +70,57 @@ pub struct NormalityPanel {
     pub rows: Vec<(String, Option<f64>, f64)>,
 }
 
-/// Runs the normality study on one case study.
+/// Runs the normality study on one case study (serial path, fresh
+/// cache).
 pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> NormalityPanel {
+    let cache = MeasureCache::new();
+    study_case_with(
+        cs,
+        config,
+        seed,
+        &RunContext::new(&Runner::serial(), &cache),
+    )
+}
+
+/// [`study_case`] with an explicit [`RunContext`]: both the per-source
+/// and the joint ("Altogether") score matrices come from the measurement
+/// cache, shared with Fig. 1 and the interaction study.
+pub fn study_case_with(
+    cs: &CaseStudy,
+    config: &Config,
+    seed: u64,
+    ctx: &RunContext,
+) -> NormalityPanel {
     let mut rows = Vec::new();
-    let mut sources: Vec<VarianceSource> = cs
+    let sources: Vec<VarianceSource> = cs
         .active_sources()
         .iter()
         .copied()
         .filter(|s| !s.is_hyperopt())
         .collect();
-    // "Altogether" row: randomize all ξ_O sources jointly.
     for &src in &sources {
-        let measures =
-            source_variance_study(cs, src, config.n_seeds, HpoAlgorithm::RandomSearch, 1, seed);
+        let measures = source_variance_study_cached(
+            cs,
+            src,
+            config.n_seeds,
+            HpoAlgorithm::RandomSearch,
+            1,
+            seed,
+            ctx.runner,
+            ctx.cache,
+        );
         rows.push(panel_row(src.display_name().to_string(), &measures));
     }
     // Joint randomization of all ξ_O (paper's "Altogether" row).
-    let fixed = SeedAssignment::all_fixed(seed);
-    let params = cs.default_params().to_vec();
-    let measures: Vec<f64> = (0..config.n_seeds)
-        .map(|i| {
-            let seeds = fixed.with_varied_set(&VarianceSource::XI_O, 7700 + i as u64);
-            cs.run_with_params(&params, &seeds)
-        })
-        .collect();
+    let measures = joint_variance_study_cached(
+        cs,
+        &VarianceSource::XI_O,
+        config.n_seeds,
+        seed,
+        ctx.runner,
+        ctx.cache,
+    );
     rows.push(panel_row("Altogether".to_string(), &measures));
-    sources.clear();
     NormalityPanel {
         task: cs.name(),
         rows,
@@ -110,17 +138,17 @@ fn panel_row(label: String, measures: &[f64]) -> (String, Option<f64>, f64) {
     }
 }
 
-/// Runs the full Fig. G.3 reproduction.
-pub fn run(config: &Config) -> String {
-    let mut out = String::new();
-    out.push_str("Figure G.3: Shapiro-Wilk normality of per-source performance\n");
-    out.push_str(&format!(
+/// Builds the full Fig. G.3 report.
+pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
+    let mut r = Report::new("figg3", "Figure G.3");
+    r.text("Figure G.3: Shapiro-Wilk normality of per-source performance\n");
+    r.text(format!(
         "(n = {} samples per distribution)\n\n",
         config.n_seeds
     ));
     for cs in CaseStudy::all(config.effort.scale()) {
-        let panel = study_case(&cs, config, 0xF163);
-        out.push_str(&format!("== {} ==\n", panel.task));
+        let panel = study_case_with(&cs, config, SOURCE_STUDY_SEED, ctx);
+        r.text(format!("== {} ==\n", panel.task));
         let mut t = Table::new(vec![
             "source".into(),
             "SW p-value".into(),
@@ -133,14 +161,20 @@ pub fn run(config: &Config) -> String {
                 num(*bw, 6),
             ]);
         }
-        out.push_str(&t.render());
-        out.push('\n');
+        r.table(t);
+        r.text("\n");
     }
-    out.push_str(
+    r.text(
         "Expected shape (paper): p-values mostly well above 0.05 (normal-ish);\n\
          the SST-2 analog may reject due to its discretized accuracies.\n",
     );
-    out
+    r
+}
+
+/// Runs the full Fig. G.3 reproduction.
+pub fn run(config: &Config) -> String {
+    let cache = MeasureCache::new();
+    report_with(config, &RunContext::new(&Runner::from_env(), &cache)).render_text()
 }
 
 #[cfg(test)]

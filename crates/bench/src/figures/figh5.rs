@@ -7,11 +7,13 @@
 //! MSE — the opposite of the "hold everything fixed" intuition.
 
 use crate::args::Effort;
+use crate::figures::ESTIMATOR_SEED;
+use crate::registry::RunContext;
 use varbench_core::decompose::{decompose, Decomposition};
-use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator_with, Randomize};
+use varbench_core::estimator::{fix_hopt_estimator_cached, ideal_estimator_cached, Randomize};
 use varbench_core::exec::Runner;
-use varbench_core::report::{num, Table};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm};
+use varbench_core::report::{num, Report, Table};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache};
 use varbench_stats::describe::mean;
 
 /// Configuration of the Fig. H.5 study.
@@ -41,14 +43,16 @@ impl Config {
         }
     }
 
-    /// Default preset.
+    /// Default preset. `k <= ` Fig. 5's Quick `k_max` and the budget
+    /// matches Fig. 5's, so the biased matrices are shared prefixes of
+    /// Fig. 5's through the measurement cache.
     pub fn quick() -> Self {
         Self {
             effort: Effort::Quick,
             k: 15,
             reps: 8,
             k_ideal: 15,
-            budget: 12,
+            budget: 15,
         }
     }
 
@@ -84,31 +88,58 @@ pub struct TaskDecomposition {
     pub rows: Vec<(Randomize, Decomposition)>,
 }
 
-/// Runs the decomposition study on one case study (serial path).
+/// Runs the decomposition study on one case study (serial path, fresh
+/// cache).
 pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> TaskDecomposition {
-    study_case_with(cs, config, seed, &Runner::serial())
+    let cache = MeasureCache::new();
+    study_case_with(
+        cs,
+        config,
+        seed,
+        &RunContext::new(&Runner::serial(), &cache),
+    )
 }
 
-/// [`study_case`] with an explicit [`Runner`]: the ideal reference run
-/// and the `3 variants × reps` repetitions fan out across cores with
+/// [`study_case`] with an explicit [`RunContext`]: the ideal reference
+/// run and every repetition's measures come from the measurement cache
+/// (shared with Fig. 5 when seeds and budgets line up), with
 /// bit-identical decompositions for any thread count.
 pub fn study_case_with(
     cs: &CaseStudy,
     config: &Config,
     seed: u64,
-    runner: &Runner,
+    ctx: &RunContext,
 ) -> TaskDecomposition {
     let algo = HpoAlgorithm::RandomSearch;
-    let ideal = ideal_estimator_with(cs, config.k_ideal, algo, config.budget, seed, runner);
+    let ideal = ideal_estimator_cached(
+        cs,
+        config.k_ideal,
+        algo,
+        config.budget,
+        seed,
+        ctx.runner,
+        ctx.cache,
+    );
     let mu = mean(&ideal.measures);
     let variants = [Randomize::Init, Randomize::Data, Randomize::All];
-    let units: Vec<(Randomize, u64)> = variants
+    let groups: Vec<Vec<f64>> = variants
         .iter()
         .flat_map(|&v| (0..config.reps).map(move |r| (v, r as u64)))
+        .map(|(variant, r)| {
+            fix_hopt_estimator_cached(
+                cs,
+                config.k,
+                algo,
+                config.budget,
+                seed,
+                r,
+                variant,
+                ctx.runner,
+                ctx.cache,
+            )
+            .measures
+        })
         .collect();
-    let groups = runner.map_seeds(&units, |_, &(variant, r)| {
-        fix_hopt_estimator(cs, config.k, algo, config.budget, seed, r, variant).measures
-    });
     let rows = variants
         .iter()
         .enumerate()
@@ -124,24 +155,17 @@ pub fn study_case_with(
     }
 }
 
-/// Runs the full Fig. H.5 reproduction with the default executor (thread
-/// count from `VARBENCH_THREADS`, all cores if unset).
-pub fn run(config: &Config) -> String {
-    run_with(config, &Runner::from_env())
-}
-
-/// [`run`] with an explicit [`Runner`]; the report is byte-identical for
-/// every thread count.
-pub fn run_with(config: &Config, runner: &Runner) -> String {
-    let mut out = String::new();
-    out.push_str("Figure H.5: MSE decomposition of estimators (bias, Var, rho, MSE)\n");
-    out.push_str(&format!(
+/// Builds the full Fig. H.5 report.
+pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
+    let mut r = Report::new("figh5", "Figure H.5");
+    r.text("Figure H.5: MSE decomposition of estimators (bias, Var, rho, MSE)\n");
+    r.text(format!(
         "(k = {}, reps = {}, budget = {})\n\n",
         config.k, config.reps, config.budget
     ));
     for cs in CaseStudy::all(config.effort.scale()) {
-        let d = study_case_with(&cs, config, 0xF164, runner);
-        out.push_str(&format!("== {} (mu = {}) ==\n", d.task, num(d.mu, 4)));
+        let d = study_case_with(&cs, config, ESTIMATOR_SEED, ctx);
+        r.text(format!("== {} (mu = {}) ==\n", d.task, num(d.mu, 4)));
         let mut t = Table::new(vec![
             "estimator".into(),
             "bias".into(),
@@ -160,15 +184,28 @@ pub fn run_with(config: &Config, runner: &Runner) -> String {
                 format!("{:.2e}", dec.mse),
             ]);
         }
-        out.push_str(&t.render());
-        out.push('\n');
+        r.table(t);
+        r.text("\n");
     }
-    out.push_str(
+    r.text(
         "Expected shape (paper): bias comparable across variants; rho and hence\n\
          Var and MSE drop sharply from Init to All — decorrelating measures is\n\
          what improves the estimator.\n",
     );
-    out
+    r
+}
+
+/// Runs the full Fig. H.5 reproduction with the default executor (thread
+/// count from `VARBENCH_THREADS`, all cores if unset) and a fresh cache.
+pub fn run(config: &Config) -> String {
+    run_with(config, &Runner::from_env())
+}
+
+/// [`run`] with an explicit [`Runner`]; the report is byte-identical for
+/// every thread count.
+pub fn run_with(config: &Config, runner: &Runner) -> String {
+    let cache = MeasureCache::new();
+    report_with(config, &RunContext::new(runner, &cache)).render_text()
 }
 
 #[cfg(test)]

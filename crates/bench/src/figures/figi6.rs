@@ -6,10 +6,13 @@
 //! γ (bottom row). Criteria: average comparison with δ = Φ⁻¹(γ)·σ·√2
 //! (the paper's conversion), the `P(A>B)` test, and a Welch t-test.
 
+use crate::args::Effort;
+use crate::registry::RunContext;
 use varbench_core::compare::{average_comparison, compare_paired};
 use varbench_core::exec::Runner;
-use varbench_core::report::{num, pct, Table};
+use varbench_core::report::{num, pct, Report, Table};
 use varbench_core::simulation::{simulate_measures, SimEstimator, SimulatedTask};
+use varbench_pipeline::MeasureCache;
 use varbench_rng::SeedTree;
 use varbench_stats::standard_normal_quantile;
 use varbench_stats::tests::{parametric::t_test_welch, Alternative};
@@ -50,6 +53,15 @@ impl Config {
             n_simulations: 1000,
             resamples: 1000,
             sigma: 0.02,
+        }
+    }
+
+    /// Preset for an effort level.
+    pub fn for_effort(effort: Effort) -> Self {
+        match effort {
+            Effort::Test => Self::test(),
+            Effort::Quick => Self::quick(),
+            Effort::Full => Self::full(),
         }
     }
 }
@@ -108,6 +120,65 @@ pub fn rates_at_with(
 /// The four true-probability panels of the paper's figure.
 pub const P_LEVELS: [f64; 4] = [0.5, 0.6, 0.7, 0.8];
 
+/// Builds the full Fig. I.6 report (pure simulation — the context's
+/// runner drives the grid; no case-study measurements to cache).
+pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
+    let mut report = Report::new("figi6", "Figure I.6");
+    report.text("Figure I.6: robustness of comparison methods\n\n");
+
+    report.text("-- detection rate vs sample size (gamma = 0.75) --\n");
+    let sizes = [5usize, 10, 20, 50, 100];
+    for &p in &P_LEVELS {
+        report.text(format!("true P(A>B) = {p}\n"));
+        let mut t = Table::new(vec![
+            "N".into(),
+            "average".into(),
+            "P(A>B) test".into(),
+            "t-test".into(),
+        ]);
+        for &n in &sizes {
+            let r = rates_at_with(config, n, 0.75, p, 0xF1166 + n as u64, ctx.runner);
+            t.add_row(vec![
+                n.to_string(),
+                pct(r.average),
+                pct(r.prob_outperform),
+                pct(r.t_test),
+            ]);
+        }
+        report.table(t);
+        report.text("\n");
+    }
+
+    report.text("-- detection rate vs gamma (N = 50) --\n");
+    let gammas = [0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9];
+    for &p in &P_LEVELS {
+        report.text(format!("true P(A>B) = {p}\n"));
+        let mut t = Table::new(vec![
+            "gamma".into(),
+            "average".into(),
+            "P(A>B) test".into(),
+            "t-test".into(),
+        ]);
+        for &g in &gammas {
+            let r = rates_at_with(config, 50, g, p, 0xF1266 + (g * 100.0) as u64, ctx.runner);
+            t.add_row(vec![
+                num(g, 2),
+                pct(r.average),
+                pct(r.prob_outperform),
+                pct(r.t_test),
+            ]);
+        }
+        report.table(t);
+        report.text("\n");
+    }
+    report.text(
+        "Expected shape (paper): at P=0.5 all criteria hold low false positives\n\
+         (t-test nominal 5%); detection of true effects grows with N; raising\n\
+         gamma makes the P(A>B) test more conservative.\n",
+    );
+    report
+}
+
 /// Runs the full Fig. I.6 reproduction with the default executor (thread
 /// count from `VARBENCH_THREADS`, all cores if unset).
 pub fn run(config: &Config) -> String {
@@ -117,60 +188,8 @@ pub fn run(config: &Config) -> String {
 /// [`run`] with an explicit [`Runner`]; the report is byte-identical for
 /// every thread count.
 pub fn run_with(config: &Config, runner: &Runner) -> String {
-    let mut out = String::new();
-    out.push_str("Figure I.6: robustness of comparison methods\n\n");
-
-    out.push_str("-- detection rate vs sample size (gamma = 0.75) --\n");
-    let sizes = [5usize, 10, 20, 50, 100];
-    for &p in &P_LEVELS {
-        out.push_str(&format!("true P(A>B) = {p}\n"));
-        let mut t = Table::new(vec![
-            "N".into(),
-            "average".into(),
-            "P(A>B) test".into(),
-            "t-test".into(),
-        ]);
-        for &n in &sizes {
-            let r = rates_at_with(config, n, 0.75, p, 0xF1166 + n as u64, runner);
-            t.add_row(vec![
-                n.to_string(),
-                pct(r.average),
-                pct(r.prob_outperform),
-                pct(r.t_test),
-            ]);
-        }
-        out.push_str(&t.render());
-        out.push('\n');
-    }
-
-    out.push_str("-- detection rate vs gamma (N = 50) --\n");
-    let gammas = [0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9];
-    for &p in &P_LEVELS {
-        out.push_str(&format!("true P(A>B) = {p}\n"));
-        let mut t = Table::new(vec![
-            "gamma".into(),
-            "average".into(),
-            "P(A>B) test".into(),
-            "t-test".into(),
-        ]);
-        for &g in &gammas {
-            let r = rates_at_with(config, 50, g, p, 0xF1266 + (g * 100.0) as u64, runner);
-            t.add_row(vec![
-                num(g, 2),
-                pct(r.average),
-                pct(r.prob_outperform),
-                pct(r.t_test),
-            ]);
-        }
-        out.push_str(&t.render());
-        out.push('\n');
-    }
-    out.push_str(
-        "Expected shape (paper): at P=0.5 all criteria hold low false positives\n\
-         (t-test nominal 5%); detection of true effects grows with N; raising\n\
-         gamma makes the P(A>B) test more conservative.\n",
-    );
-    out
+    let cache = MeasureCache::new();
+    report_with(config, &RunContext::new(runner, &cache)).render_text()
 }
 
 #[cfg(test)]

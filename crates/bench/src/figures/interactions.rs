@@ -8,10 +8,12 @@
 //! sources are randomized *jointly* — the gap is the interaction.
 
 use crate::args::Effort;
-use varbench_core::estimator::{joint_variance_study_with, source_variance_study_with};
+use crate::figures::SOURCE_STUDY_SEED;
+use crate::registry::RunContext;
+use varbench_core::estimator::{joint_variance_study_cached, source_variance_study_cached};
 use varbench_core::exec::Runner;
-use varbench_core::report::{num, Table};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, VarianceSource};
+use varbench_core::report::{num, Report, Table};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, VarianceSource};
 use varbench_stats::describe::variance;
 
 /// Configuration of the interaction study.
@@ -81,19 +83,26 @@ impl InteractionRow {
     }
 }
 
-/// Measures the interaction for one case study (serial path).
+/// Measures the interaction for one case study (serial path, fresh
+/// cache).
 pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> InteractionRow {
-    study_case_with(cs, config, seed, &Runner::serial())
+    let cache = MeasureCache::new();
+    study_case_with(
+        cs,
+        config,
+        seed,
+        &RunContext::new(&Runner::serial(), &cache),
+    )
 }
 
-/// [`study_case`] with an explicit [`Runner`]: each marginal study's and
-/// the joint study's re-seeded trainings fan out across cores with
-/// bit-identical variances for any thread count.
+/// [`study_case`] with an explicit [`RunContext`]: the marginal and joint
+/// score matrices come from the measurement cache (shared with Fig. 1 and
+/// Fig. G.3), bit-identical for any thread count.
 pub fn study_case_with(
     cs: &CaseStudy,
     config: &Config,
     seed: u64,
-    runner: &Runner,
+    ctx: &RunContext,
 ) -> InteractionRow {
     let sources: Vec<VarianceSource> = cs
         .active_sources()
@@ -104,24 +113,57 @@ pub fn study_case_with(
     let sum_of_marginals: f64 = sources
         .iter()
         .map(|&s| {
-            let m = source_variance_study_with(
+            let m = source_variance_study_cached(
                 cs,
                 s,
                 config.n_seeds,
                 HpoAlgorithm::RandomSearch,
                 1,
                 seed,
-                runner,
+                ctx.runner,
+                ctx.cache,
             );
             variance(&m, 1)
         })
         .sum();
-    let joint_measures = joint_variance_study_with(cs, &sources, config.n_seeds, seed, runner);
+    let joint_measures =
+        joint_variance_study_cached(cs, &sources, config.n_seeds, seed, ctx.runner, ctx.cache);
     InteractionRow {
         task: cs.name(),
         sum_of_marginals,
         joint: variance(&joint_measures, 1),
     }
+}
+
+/// Builds the full interaction report.
+pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
+    let mut r = Report::new("interactions", "Extension: interactions");
+    r.text("Extension: interaction of variance sources\n");
+    r.text(format!(
+        "(n = {} seeds per measurement)\n\n",
+        config.n_seeds
+    ));
+    let mut t = Table::new(vec![
+        "task".into(),
+        "sum of marginal Var".into(),
+        "joint Var (all xi_O)".into(),
+        "joint / sum".into(),
+    ]);
+    for cs in CaseStudy::all(config.effort.scale()) {
+        let row = study_case_with(&cs, config, SOURCE_STUDY_SEED, ctx);
+        t.add_row(vec![
+            row.task.to_string(),
+            format!("{:.3e}", row.sum_of_marginals),
+            format!("{:.3e}", row.joint),
+            num(row.interaction_ratio(), 2),
+        ]);
+    }
+    r.table(t);
+    r.text(
+        "\nRatio != 1 confirms the paper's caution: per-source variances do not\n\
+         add up; joint randomization is the only way to measure total variance.\n",
+    );
+    r
 }
 
 /// Runs the interaction study across all case studies with the default
@@ -133,33 +175,8 @@ pub fn run(config: &Config) -> String {
 /// [`run`] with an explicit [`Runner`]; the report is byte-identical for
 /// every thread count.
 pub fn run_with(config: &Config, runner: &Runner) -> String {
-    let mut out = String::new();
-    out.push_str("Extension: interaction of variance sources\n");
-    out.push_str(&format!(
-        "(n = {} seeds per measurement)\n\n",
-        config.n_seeds
-    ));
-    let mut t = Table::new(vec![
-        "task".into(),
-        "sum of marginal Var".into(),
-        "joint Var (all xi_O)".into(),
-        "joint / sum".into(),
-    ]);
-    for cs in CaseStudy::all(config.effort.scale()) {
-        let row = study_case_with(&cs, config, 0x1AC7, runner);
-        t.add_row(vec![
-            row.task.to_string(),
-            format!("{:.3e}", row.sum_of_marginals),
-            format!("{:.3e}", row.joint),
-            num(row.interaction_ratio(), 2),
-        ]);
-    }
-    out.push_str(&t.render());
-    out.push_str(
-        "\nRatio != 1 confirms the paper's caution: per-source variances do not\n\
-         add up; joint randomization is the only way to measure total variance.\n",
-    );
-    out
+    let cache = MeasureCache::new();
+    report_with(config, &RunContext::new(runner, &cache)).render_text()
 }
 
 #[cfg(test)]

@@ -1,5 +1,25 @@
-//! One module per paper artifact; each exposes a `Config` with presets and
-//! a `run` function returning the rendered report.
+//! One module per paper artifact; each exposes a `Config` with
+//! `test`/`quick`/`full` presets (selected uniformly via `for_effort`)
+//! and a `report_with` entry point returning a structured
+//! [`varbench_core::report::Report`]. The `run`/`run_with` helpers render
+//! the classic plain text. The registry in [`crate::registry`] wires all
+//! of them to the `varbench` CLI.
+//!
+//! # Shared measurement seeds
+//!
+//! Artifacts that measure the *same* quantity use the *same* base seed,
+//! so the measurement cache can serve one artifact's score matrices to
+//! another (matrices extend by prefix — see
+//! `varbench_pipeline::cache`):
+//!
+//! * [`SOURCE_STUDY_SEED`] roots every default-hyperparameter variance
+//!   study — Fig. 1's per-source rows, Fig. 2's bootstrap points,
+//!   Fig. G.3's normality panels, the interaction study's marginals and
+//!   joint matrices, and the ablation budget sweep (via
+//!   [`hopt_study_seed`]);
+//! * [`ESTIMATOR_SEED`] roots every estimator run — Fig. 5's curves,
+//!   Fig. 6's calibration, Fig. H.5's decomposition, and the Table 8
+//!   tuned model's hyperparameter search.
 
 pub mod ablations;
 pub mod fig1;
@@ -14,3 +34,17 @@ pub mod figh5;
 pub mod figi6;
 pub mod interactions;
 pub mod tables;
+
+/// Base seed of every default-hyperparameter variance study (per-source
+/// and joint score matrices).
+pub const SOURCE_STUDY_SEED: u64 = 0xF161;
+
+/// Base seed of every estimator measurement (ideal samples, biased
+/// repetitions, and their tuning procedures).
+pub const ESTIMATOR_SEED: u64 = 0xF165;
+
+/// Base seed of the ξ_H (independent-HPO) variance studies — Fig. 1's
+/// HPO-algorithm rows and the ablation budget sweep.
+pub const fn hopt_study_seed() -> u64 {
+    SOURCE_STUDY_SEED ^ 0xB0B0
+}

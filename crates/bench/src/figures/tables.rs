@@ -9,13 +9,18 @@
 //! designs on the binding task and on a shifted external dataset.
 
 use crate::args::Effort;
-use varbench_core::report::{num, Table};
+use crate::figures::ESTIMATOR_SEED;
+use crate::registry::RunContext;
+use varbench_core::estimator::hopt_cached;
+use varbench_core::exec::Runner;
+use varbench_core::report::{num, Report, Table};
 use varbench_data::augment::Identity;
 use varbench_data::synth::{binding_regression, BindingConfig};
 use varbench_models::ensemble::MlpEnsemble;
 use varbench_models::linear::RidgeRegression;
 use varbench_models::metrics::{pearson, roc_auc};
 use varbench_models::{Mlp, MlpConfig, TrainSeeds};
+use varbench_pipeline::MeasureCache;
 use varbench_pipeline::{CaseStudy, HpoAlgorithm, Scale, SeedAssignment};
 use varbench_rng::{Rng, SeedTree};
 
@@ -31,12 +36,17 @@ pub struct Config {
 }
 
 impl Config {
+    // The budgets match Fig. 5's presets: the tuned MLP-MHC model reuses
+    // the hyperparameter search of the biased estimator's first
+    // repetition through the measurement cache, so running `tables` after
+    // `fig5` pays nothing for the search.
+
     /// Smoke-test preset.
     pub fn test() -> Self {
         Self {
             effort: Effort::Test,
             ensemble_size: 3,
-            budget: 4,
+            budget: 3,
         }
     }
 
@@ -45,7 +55,7 @@ impl Config {
         Self {
             effort: Effort::Quick,
             ensemble_size: 8,
-            budget: 20,
+            budget: 15,
         }
     }
 
@@ -54,7 +64,7 @@ impl Config {
         Self {
             effort: Effort::Full,
             ensemble_size: 16,
-            budget: 100,
+            budget: 200,
         }
     }
 
@@ -131,9 +141,18 @@ pub struct Table8Row {
     pub pcc: f64,
 }
 
-/// Runs the Table 8 experiment: three model designs evaluated on the
-/// in-distribution test set and a shifted "HPV-like" external set.
+/// Runs the Table 8 experiment (serial path, fresh cache).
 pub fn table8(config: &Config) -> Vec<Table8Row> {
+    let cache = MeasureCache::new();
+    table8_with(config, &RunContext::new(&Runner::serial(), &cache))
+}
+
+/// [`table8`]: three model designs evaluated on the in-distribution test
+/// set and a shifted "HPV-like" external set. The tuned model's
+/// hyperparameter search is content-addressed in the measurement cache
+/// (it is the exact search of the biased estimator's repetition 0 on the
+/// MHC task, so Fig. 5 and the tables share it).
+pub fn table8_with(config: &Config, ctx: &RunContext) -> Vec<Table8Row> {
     let scale = config.effort.scale();
     let cs = CaseStudy::mhc_mlp(scale);
     let seeds = SeedAssignment::all_fixed(0x7AB8);
@@ -188,8 +207,18 @@ pub fn table8(config: &Config) -> Vec<Table8Row> {
     );
 
     // Model (c): MLP-MHC (ours) — single MLP with HPO-tuned hidden size
-    // and L2 (the paper's Table 6 space).
-    let (best, _) = cs.hopt(&seeds, HpoAlgorithm::RandomSearch, config.budget);
+    // and L2 (the paper's Table 6 space). The search runs under the
+    // biased estimator's repetition-0 seeds so its cache record is shared
+    // with Fig. 5; the tuned parameters are then applied to this table's
+    // own split.
+    let hopt_seeds = SeedAssignment::all_random(ESTIMATOR_SEED ^ 0xF1F0, 0);
+    let (best, _) = hopt_cached(
+        &cs,
+        &hopt_seeds,
+        HpoAlgorithm::RandomSearch,
+        config.budget,
+        ctx.cache,
+    );
     let tuned = cs.train_model(&best, &split.train_valid(), &seeds);
 
     // Linear baseline for reference (ridge regression).
@@ -244,21 +273,21 @@ pub fn table8(config: &Config) -> Vec<Table8Row> {
     rows
 }
 
-/// Runs the full tables reproduction.
-pub fn run(config: &Config) -> String {
-    let mut out = String::new();
-    out.push_str(&render_infrastructure());
-    out.push('\n');
-    out.push_str(&render_search_spaces(config.effort.scale()));
+/// Builds the full tables report.
+pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
+    let mut r = Report::new("tables", "Tables");
+    r.text(render_infrastructure());
+    r.text("\n");
+    r.text(render_search_spaces(config.effort.scale()));
 
-    out.push_str("Table 8: model comparison on the MHC binding task\n\n");
+    r.text("Table 8: model comparison on the MHC binding task\n\n");
     let mut t = Table::new(vec![
         "model".into(),
         "dataset".into(),
         "AUC".into(),
         "PCC".into(),
     ]);
-    for row in table8(config) {
+    for row in table8_with(config, ctx) {
         t.add_row(vec![
             row.model.to_string(),
             row.dataset.to_string(),
@@ -266,13 +295,19 @@ pub fn run(config: &Config) -> String {
             num(row.pcc, 3),
         ]);
     }
-    out.push_str(&t.render());
-    out.push_str(
+    r.table(t);
+    r.text(
         "\nExpected shape (paper Table 8): all shallow models in a similar AUC\n\
          band in-distribution; every model degrades on the external (shifted)\n\
          dataset, as NetMHCpan4/MHCflurry/MLP-MHC do on HPV.\n",
     );
-    out
+    r
+}
+
+/// Runs the full tables reproduction.
+pub fn run(config: &Config) -> String {
+    let cache = MeasureCache::new();
+    report_with(config, &RunContext::new(&Runner::serial(), &cache)).render_text()
 }
 
 #[cfg(test)]

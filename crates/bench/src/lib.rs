@@ -2,9 +2,13 @@
 //! *Accounting for Variance in Machine Learning Benchmarks*.
 //!
 //! Each paper artifact has a module under [`figures`] exposing a `Config`
-//! (with `quick()` and `full()` presets) and a `run` function returning the
-//! report text, plus a binary of the same name
-//! (`cargo run -p varbench-bench --release --bin fig1 [-- --full]`).
+//! (with `test()`/`quick()`/`full()` presets selected uniformly via
+//! `for_effort`) and a `report_with` entry point returning a structured
+//! [`varbench_core::report::Report`]. The [`registry`] wires every
+//! artifact to the single `varbench` CLI binary
+//! (`cargo run -p varbench-bench --release --bin varbench -- run fig1 --full`),
+//! which schedules independent artifacts in parallel and shares one
+//! measurement cache (`varbench_pipeline::MeasureCache`) across them.
 //!
 //! | Paper artifact | Module | What it shows |
 //! |---|---|---|
@@ -27,4 +31,5 @@ pub mod args;
 pub mod calibrate;
 pub mod figures;
 pub mod leaderboard;
+pub mod registry;
 pub mod timing;

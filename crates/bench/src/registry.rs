@@ -1,0 +1,215 @@
+//! The artifact registry: one [`Spec`] per paper artifact, replacing the
+//! former 14 one-shot binaries with a single uniform surface.
+//!
+//! Every artifact — figure, table, or extension experiment — is a pure
+//! function `(Effort, &RunContext) -> Report`. The registry gives each a
+//! stable name, a display title and a description, so the `varbench` CLI
+//! can list, filter, and run them uniformly, and so independent artifacts
+//! can be scheduled in parallel ([`run_specs`]) while sharing one
+//! measurement cache.
+
+use crate::args::Effort;
+use crate::figures::*;
+use varbench_core::exec::Runner;
+use varbench_core::report::Report;
+use varbench_pipeline::MeasureCache;
+
+/// Everything an artifact needs from its environment: an executor and the
+/// shared measurement cache. Pure configuration stays in the per-artifact
+/// `Config` types.
+#[derive(Clone, Copy)]
+pub struct RunContext<'a> {
+    /// Executor for fanning measurements across cores (results are
+    /// bit-identical for any thread count).
+    pub runner: &'a Runner,
+    /// Shared measurement cache; artifacts run with a fresh cache behave
+    /// identically (bit-for-bit) to artifacts run with a warm one.
+    pub cache: &'a MeasureCache,
+}
+
+impl<'a> RunContext<'a> {
+    /// Bundles an executor and a cache.
+    pub fn new(runner: &'a Runner, cache: &'a MeasureCache) -> RunContext<'a> {
+        RunContext { runner, cache }
+    }
+}
+
+/// A registered artifact: identity plus its entry point.
+pub struct Spec {
+    /// Stable registry name (the CLI argument), e.g. `fig1`.
+    pub name: &'static str,
+    /// Display title matching the paper, e.g. `Figure 5 / H.4`.
+    pub title: &'static str,
+    /// One-line description of what the artifact shows.
+    pub description: &'static str,
+    run: fn(Effort, &RunContext) -> Report,
+}
+
+impl Spec {
+    /// Runs the artifact at the given effort.
+    pub fn run(&self, effort: Effort, ctx: &RunContext) -> Report {
+        (self.run)(effort, ctx)
+    }
+}
+
+impl std::fmt::Debug for Spec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Spec")
+            .field("name", &self.name)
+            .field("title", &self.title)
+            .finish()
+    }
+}
+
+static REGISTRY: [Spec; 13] = [
+    Spec {
+        name: "fig1",
+        title: "Figure 1",
+        description: "variance of each source of variation vs bootstrap",
+        run: |e, ctx| fig1::report_with(&fig1::Config::for_effort(e), ctx),
+    },
+    Spec {
+        name: "fig2",
+        title: "Figure 2",
+        description: "binomial model of test-set sampling noise",
+        run: |e, ctx| fig2::report_with(&fig2::Config::for_effort(e), ctx),
+    },
+    Spec {
+        name: "fig3",
+        title: "Figure 3",
+        description: "published SOTA increments vs benchmark sigma",
+        run: |e, ctx| fig3::report_with(&fig3::Config::for_effort(e), ctx),
+    },
+    Spec {
+        name: "fig5",
+        title: "Figure 5 / H.4",
+        description: "standard error of estimators vs number of samples k",
+        run: |e, ctx| fig5::report_with(&fig5::Config::for_effort(e), ctx),
+    },
+    Spec {
+        name: "fig6",
+        title: "Figure 6",
+        description: "detection rates of comparison criteria (calibrated simulation)",
+        run: |e, ctx| fig6::report_with(&fig6::Config::for_effort(e), ctx),
+    },
+    Spec {
+        name: "figc1",
+        title: "Figure C.1",
+        description: "Noether minimal sample sizes vs gamma",
+        run: |e, ctx| figc1::report_with(&figc1::Config::for_effort(e), ctx),
+    },
+    Spec {
+        name: "figf2",
+        title: "Figure F.2",
+        description: "HPO best-so-far optimization curves",
+        run: |e, ctx| figf2::report_with(&figf2::Config::for_effort(e), ctx),
+    },
+    Spec {
+        name: "figg3",
+        title: "Figure G.3",
+        description: "Shapiro-Wilk normality of per-source performance",
+        run: |e, ctx| figg3::report_with(&figg3::Config::for_effort(e), ctx),
+    },
+    Spec {
+        name: "figh5",
+        title: "Figure H.5",
+        description: "bias/variance/rho/MSE decomposition of estimators",
+        run: |e, ctx| figh5::report_with(&figh5::Config::for_effort(e), ctx),
+    },
+    Spec {
+        name: "figi6",
+        title: "Figure I.6",
+        description: "robustness of comparison methods vs N and gamma",
+        run: |e, ctx| figi6::report_with(&figi6::Config::for_effort(e), ctx),
+    },
+    Spec {
+        name: "tables",
+        title: "Tables",
+        description: "configuration tables and the Table 8 model comparison",
+        run: |e, ctx| tables::report_with(&tables::Config::for_effort(e), ctx),
+    },
+    Spec {
+        name: "interactions",
+        title: "Extension: interactions",
+        description: "interaction of variance sources (joint vs sum of marginals)",
+        run: |e, ctx| interactions::report_with(&interactions::Config::for_effort(e), ctx),
+    },
+    Spec {
+        name: "ablations",
+        title: "Extension: ablations",
+        description: "HPO-budget sweep and bootstrap-vs-CV ablations",
+        run: |e, ctx| ablations::report_with(&ablations::Config::for_effort(e), ctx),
+    },
+];
+
+/// Every registered artifact, in the canonical report order (the order
+/// the old `all_figures` binary printed).
+pub fn all() -> &'static [Spec] {
+    &REGISTRY
+}
+
+/// Looks an artifact up by registry name.
+pub fn find(name: &str) -> Option<&'static Spec> {
+    REGISTRY.iter().find(|s| s.name == name)
+}
+
+/// Runs a batch of artifacts, returning their reports in input order.
+///
+/// Batches are scheduled **across** artifacts on `runner`, and every
+/// artifact also receives the full runner for its internal fan-out: the
+/// modest thread oversubscription while several artifacts overlap is far
+/// cheaper than leaving cores idle during the expensive tail artifact
+/// (at `--full`, one figure can dominate the whole batch). Each report
+/// is byte-identical to running that artifact alone, serially, without a
+/// cache: scheduling and cache sharing change who computes a
+/// measurement, never its value.
+pub fn run_specs(
+    specs: &[&'static Spec],
+    effort: Effort,
+    runner: &Runner,
+    cache: &MeasureCache,
+) -> Vec<Report> {
+    let ctx = RunContext::new(runner, cache);
+    if specs.len() <= 1 {
+        return specs.iter().map(|s| s.run(effort, &ctx)).collect();
+    }
+    runner.map_indexed(specs.len(), |i| specs[i].run(effort, &ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let mut names: Vec<&str> = all().iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 13);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 13, "duplicate registry names");
+        assert!(find("fig5").is_some());
+        assert!(find("tables").is_some());
+        assert!(find("all_figures").is_none());
+        assert_eq!(find("fig1").unwrap().title, "Figure 1");
+    }
+
+    #[test]
+    fn registry_order_matches_canonical_report_order() {
+        let order: Vec<&str> = all().iter().map(|s| s.name).collect();
+        assert_eq!(order[0], "fig1");
+        assert_eq!(order[order.len() - 1], "ablations");
+        let fig5 = order.iter().position(|n| *n == "fig5").unwrap();
+        let fig6 = order.iter().position(|n| *n == "fig6").unwrap();
+        assert!(fig5 < fig6);
+    }
+
+    #[test]
+    fn single_cheap_artifact_runs_via_registry() {
+        let cache = MeasureCache::new();
+        let runner = Runner::serial();
+        let spec = find("figc1").expect("registered");
+        let report = spec.run(Effort::Test, &RunContext::new(&runner, &cache));
+        assert_eq!(report.name(), "figc1");
+        assert!(report.render_text().contains("N = 29"));
+    }
+}

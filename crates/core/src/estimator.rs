@@ -7,7 +7,9 @@
 //! the serial path; both produce bit-identical results.
 
 use crate::exec::Runner;
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, SeedAssignment, VarianceSource};
+use varbench_pipeline::{
+    CaseStudy, HpoAlgorithm, MeasureCache, MeasureKey, MeasureKind, SeedAssignment, VarianceSource,
+};
 
 /// Which subset of ξ_O a [`fix_hopt_estimator`] run randomizes between
 /// samples (paper §3.3).
@@ -189,6 +191,233 @@ pub fn fix_hopt_estimator_with(
         measures,
         fits: history.len() + k,
     }
+}
+
+// ----------------------------------------------------------------------
+// Cached variants
+//
+// Every estimator above derives the seeds of measure `i` from
+// `(base_seed, i)` alone — never from the total count — so a score matrix
+// of `n` measures is a strict prefix of the same study at any larger `n`.
+// The `*_cached` variants below exploit that through
+// `varbench_pipeline::MeasureCache`: they serve cached prefixes, compute
+// only missing tail rows (fanning the tail out on the given `Runner`),
+// and return bit-identical results to their uncached counterparts.
+// ----------------------------------------------------------------------
+
+/// [`source_variance_study_with`] through a [`MeasureCache`].
+///
+/// Key: `(case study, scale, source, base_seed)` for ξ_O sources — the
+/// HPO algorithm and budget cannot affect default-hyperparameter
+/// trainings and are excluded so e.g. Fig. 1 and Fig. 2 share entries —
+/// plus `(algo, budget)` for [`VarianceSource::HyperOpt`] studies.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, or `budget == 0` when `source` is `HyperOpt`.
+#[allow(clippy::too_many_arguments)]
+pub fn source_variance_study_cached(
+    cs: &CaseStudy,
+    source: VarianceSource,
+    n: usize,
+    algo: HpoAlgorithm,
+    budget: usize,
+    base_seed: u64,
+    runner: &Runner,
+    cache: &MeasureCache,
+) -> Vec<f64> {
+    assert!(n > 0, "n must be > 0");
+    let kind = if source.is_hyperopt() {
+        MeasureKind::HyperOptStudy {
+            algo: algo.display_name(),
+            budget,
+        }
+    } else {
+        MeasureKind::SourceStudy { source }
+    };
+    let key = MeasureKey::new(cs, kind, base_seed);
+    let fixed = SeedAssignment::all_fixed(base_seed);
+    let params = cs.default_params().to_vec();
+    cache.matrix(&key, n, 1, |range| {
+        let seeds: Vec<SeedAssignment> = range
+            .map(|i| fixed.with_varied(source, splitmix_like(base_seed, 0xA11, i as u64)))
+            .collect();
+        runner.map_seeds(&seeds, |_, s| {
+            if source.is_hyperopt() {
+                cs.run_pipeline(s, algo, budget).test_metric
+            } else {
+                cs.run_with_params(&params, s)
+            }
+        })
+    })
+}
+
+/// [`joint_variance_study_with`] through a [`MeasureCache`].
+///
+/// The key's source set is normalized to the case study's active sources,
+/// so studies over `ξ_O` and over the active subset share one entry
+/// (their measures are bit-identical — inactive seeds never matter).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `sources` is empty, or `sources` contains
+/// [`VarianceSource::HyperOpt`].
+pub fn joint_variance_study_cached(
+    cs: &CaseStudy,
+    sources: &[VarianceSource],
+    n: usize,
+    base_seed: u64,
+    runner: &Runner,
+    cache: &MeasureCache,
+) -> Vec<f64> {
+    assert!(n > 0, "n must be > 0");
+    assert!(!sources.is_empty(), "need at least one source");
+    assert!(
+        sources.iter().all(|s| !s.is_hyperopt()),
+        "joint study covers xi_O sources; HyperOpt requires budget accounting"
+    );
+    let key = MeasureKey::new(
+        cs,
+        MeasureKind::JointStudy {
+            sources: sources.to_vec(),
+        },
+        base_seed,
+    );
+    let fixed = SeedAssignment::all_fixed(base_seed);
+    let params = cs.default_params().to_vec();
+    let sources = sources.to_vec();
+    cache.matrix(&key, n, 1, |range| {
+        let seeds: Vec<SeedAssignment> = range
+            .map(|i| fixed.with_varied_set(&sources, splitmix_like(base_seed, 0x70F, i as u64)))
+            .collect();
+        runner.map_seeds(&seeds, |_, s| cs.run_with_params(&params, s))
+    })
+}
+
+/// [`ideal_estimator_with`] through a [`MeasureCache`].
+///
+/// The cached matrix has two columns per sample — `(test metric, fits)` —
+/// so both the measures and the cost accounting replay exactly.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `budget == 0`.
+pub fn ideal_estimator_cached(
+    cs: &CaseStudy,
+    k: usize,
+    algo: HpoAlgorithm,
+    budget: usize,
+    base_seed: u64,
+    runner: &Runner,
+    cache: &MeasureCache,
+) -> EstimatorRun {
+    assert!(k > 0, "k must be > 0");
+    let key = MeasureKey::new(
+        cs,
+        MeasureKind::IdealEstimator {
+            algo: algo.display_name(),
+            budget,
+        },
+        base_seed,
+    );
+    let flat = cache.matrix(&key, k, 2, |range| {
+        let seeds: Vec<SeedAssignment> = range
+            .map(|i| SeedAssignment::all_random(base_seed, i as u64))
+            .collect();
+        let results = runner.map_seeds(&seeds, |_, s| {
+            let result = cs.run_pipeline(s, algo, budget);
+            (result.test_metric, result.fits)
+        });
+        results
+            .into_iter()
+            .flat_map(|(m, f)| [m, f as f64])
+            .collect()
+    });
+    let measures = flat.iter().step_by(2).copied().collect();
+    let fits = flat.iter().skip(1).step_by(2).map(|&f| f as usize).sum();
+    EstimatorRun { measures, fits }
+}
+
+/// [`fix_hopt_estimator_with`] through a [`MeasureCache`].
+///
+/// Two cache entries cooperate: the single HPO procedure is a *record*
+/// addressed by the exact seed assignment it tunes under (so e.g. the
+/// Table 8 experiment can reuse the tuned hyperparameters without paying
+/// for the search again), and the `k` conditioned measures are a
+/// prefix-extendable matrix keyed by `(algo, budget, repetition,
+/// randomized subset)`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `budget == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn fix_hopt_estimator_cached(
+    cs: &CaseStudy,
+    k: usize,
+    algo: HpoAlgorithm,
+    budget: usize,
+    base_seed: u64,
+    repetition: u64,
+    randomize: Randomize,
+    runner: &Runner,
+    cache: &MeasureCache,
+) -> EstimatorRun {
+    assert!(k > 0, "k must be > 0");
+    let fixed = SeedAssignment::all_random(base_seed ^ 0xF1F0, repetition);
+    let (best_params, hopt_fits) = hopt_cached(cs, &fixed, algo, budget, cache);
+    let key = MeasureKey::new(
+        cs,
+        MeasureKind::FixHOptMeasures {
+            algo: algo.display_name(),
+            budget,
+            repetition,
+            randomize: randomize.display_name(),
+        },
+        base_seed,
+    );
+    let measures = cache.matrix(&key, k, 1, |range| {
+        let seeds: Vec<SeedAssignment> = range
+            .map(|i| {
+                let variation = splitmix_like(base_seed, repetition, i as u64);
+                fixed.with_varied_set(randomize.sources(), variation)
+            })
+            .collect();
+        runner.map_seeds(&seeds, |_, s| cs.run_with_params(&best_params, s))
+    });
+    EstimatorRun {
+        measures,
+        fits: hopt_fits + k,
+    }
+}
+
+/// One hyperparameter-optimization outcome through a [`MeasureCache`]:
+/// returns `(best parameters, fits consumed)`, content-addressed by the
+/// full seed assignment so any artifact tuning under the same seeds —
+/// a biased-estimator repetition, the Table 8 tuned model — shares it.
+pub fn hopt_cached(
+    cs: &CaseStudy,
+    fixed: &SeedAssignment,
+    algo: HpoAlgorithm,
+    budget: usize,
+    cache: &MeasureCache,
+) -> (Vec<f64>, usize) {
+    // Array map keeps the length tied to VarianceSource::ALL: adding an
+    // 8th source fails to compile here instead of silently truncating
+    // the key (which would alias distinct seed assignments).
+    let seeds: [u64; 7] = VarianceSource::ALL.map(|source| fixed.seed_of(source));
+    let key = MeasureKey::new(
+        cs,
+        MeasureKind::HoptResult {
+            algo: algo.display_name(),
+            budget,
+            seeds,
+        },
+        0,
+    );
+    cache.record(&key, || {
+        let (best, history) = cs.hopt(fixed, algo, budget);
+        (best, history.len())
+    })
 }
 
 /// Derives a per-(repetition, sample) variation value.
@@ -527,6 +756,103 @@ mod tests {
             &Runner::new(4),
         );
         assert_eq!(s3, p3);
+    }
+
+    #[test]
+    fn cached_variants_bit_identical_to_uncached() {
+        let cs = cs();
+        let runner = Runner::serial();
+        let cache = MeasureCache::new();
+        let algo = HpoAlgorithm::RandomSearch;
+
+        let a = source_variance_study(&cs, VarianceSource::DataSplit, 5, algo, 2, 3);
+        let b = source_variance_study_cached(
+            &cs,
+            VarianceSource::DataSplit,
+            5,
+            algo,
+            2,
+            3,
+            &runner,
+            &cache,
+        );
+        assert_eq!(a, b);
+
+        let a = joint_variance_study(&cs, &VarianceSource::XI_O, 4, 3);
+        let b = joint_variance_study_cached(&cs, &VarianceSource::XI_O, 4, 3, &runner, &cache);
+        assert_eq!(a, b);
+
+        let a = ideal_estimator(&cs, 3, algo, 3, 5);
+        let b = ideal_estimator_cached(&cs, 3, algo, 3, 5, &runner, &cache);
+        assert_eq!(a, b, "measures and fits must replay exactly");
+
+        let a = fix_hopt_estimator(&cs, 4, algo, 3, 5, 1, Randomize::All);
+        let b = fix_hopt_estimator_cached(&cs, 4, algo, 3, 5, 1, Randomize::All, &runner, &cache);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cached_prefix_extension_matches_direct_computation() {
+        // Ask for 3, then 6: the second call computes only rows 3..6 but
+        // must return exactly what a direct 6-measure study returns.
+        let cs = cs();
+        let runner = Runner::serial();
+        let cache = MeasureCache::new();
+        let algo = HpoAlgorithm::RandomSearch;
+        let short = source_variance_study_cached(
+            &cs,
+            VarianceSource::WeightsInit,
+            3,
+            algo,
+            1,
+            7,
+            &runner,
+            &cache,
+        );
+        let long = source_variance_study_cached(
+            &cs,
+            VarianceSource::WeightsInit,
+            6,
+            algo,
+            1,
+            7,
+            &runner,
+            &cache,
+        );
+        assert_eq!(short, long[..3].to_vec());
+        let direct = source_variance_study(&cs, VarianceSource::WeightsInit, 6, algo, 1, 7);
+        assert_eq!(long, direct);
+        let stats = cache.stats();
+        assert_eq!(stats.rows_computed, 6, "no row computed twice");
+        assert_eq!(stats.extensions, 1);
+    }
+
+    #[test]
+    fn hopt_record_shared_across_callers() {
+        let cs = cs();
+        let cache = MeasureCache::new();
+        let runner = Runner::serial();
+        // A biased-estimator run tunes under repetition 0's fixed seeds...
+        let _ = fix_hopt_estimator_cached(
+            &cs,
+            3,
+            HpoAlgorithm::RandomSearch,
+            3,
+            9,
+            0,
+            Randomize::All,
+            &runner,
+            &cache,
+        );
+        let fits_after_first = cache.stats().record_fits_computed;
+        assert_eq!(fits_after_first, 3, "one HPO procedure of 3 trials");
+        // ...and a direct hopt_cached under the same seeds is free.
+        let fixed = SeedAssignment::all_random(9 ^ 0xF1F0, 0);
+        let (best, fits) = hopt_cached(&cs, &fixed, HpoAlgorithm::RandomSearch, 3, &cache);
+        assert_eq!(fits, 3);
+        assert_eq!(best.len(), cs.search_space().len());
+        assert_eq!(cache.stats().record_fits_computed, fits_after_first);
+        assert_eq!(cache.stats().records_served, 1);
     }
 
     #[test]

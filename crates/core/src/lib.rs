@@ -19,7 +19,8 @@
 //!   used to characterize the error rates of those criteria (Figs. 6 and
 //!   I.6);
 //! * [`sample_size`] — Noether planning for `P(A > B)` tests (Fig. C.1);
-//! * [`report`] — plain-text tables for the experiment harness;
+//! * [`report`] — structured experiment reports (text/JSON/CSV) and the
+//!   aligned-table formatter behind them;
 //! * [`exec`] — a deterministic scoped-thread work-stealing runner
 //!   ([`exec::Runner::map_seeds`]) that fans estimator sampling, the
 //!   simulation grid and the figure configs out across cores with

@@ -1,7 +1,12 @@
-//! Plain-text tables for experiment reports.
+//! Structured experiment reports: aligned text tables plus a [`Report`]
+//! container with text, JSON and CSV renderers.
 //!
-//! The bench harness regenerates every figure/table of the paper as
-//! aligned text; this module is the shared formatter.
+//! The bench harness regenerates every figure/table of the paper as a
+//! [`Report`] — an ordered sequence of prose blocks and [`Table`]s. The
+//! text rendering concatenates the blocks verbatim (so it is byte-for-byte
+//! what the pre-registry harness printed), while the JSON and CSV
+//! renderings expose the same tables machine-readably for downstream
+//! plotting and cross-run comparison.
 
 /// A simple aligned text table.
 ///
@@ -48,6 +53,16 @@ impl Table {
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
     }
 
     /// Whether the table has no data rows.
@@ -115,6 +130,161 @@ impl std::fmt::Display for Table {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.render())
     }
+}
+
+/// One element of a [`Report`]: either verbatim prose or a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Block {
+    /// Verbatim text, rendered as-is (including its own newlines).
+    Text(String),
+    /// An aligned table, rendered with [`Table::render`].
+    Table(Table),
+}
+
+/// A structured experiment report: named, titled, and composed of ordered
+/// [`Block`]s.
+///
+/// Built by the figure artifacts and rendered by the `varbench` CLI in
+/// three formats: [`Report::render_text`] reproduces the classic
+/// plain-text report byte-for-byte, [`Report::to_json`] and
+/// [`Report::to_csv`] expose the same content machine-readably.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    name: String,
+    title: String,
+    blocks: Vec<Block>,
+}
+
+impl Report {
+    /// Creates an empty report with an artifact `name` (e.g. `fig1`) and
+    /// a display `title` (e.g. `Figure 1`).
+    pub fn new(name: impl Into<String>, title: impl Into<String>) -> Report {
+        Report {
+            name: name.into(),
+            title: title.into(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// The artifact name (registry key, e.g. `fig5`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The display title (e.g. `Figure 5 / H.4`).
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The ordered blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Appends a verbatim text block.
+    pub fn text(&mut self, s: impl Into<String>) {
+        self.blocks.push(Block::Text(s.into()));
+    }
+
+    /// Appends a table block.
+    pub fn table(&mut self, t: Table) {
+        self.blocks.push(Block::Table(t));
+    }
+
+    /// Renders the report as plain text: text blocks verbatim, tables via
+    /// [`Table::render`], concatenated in order.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for b in &self.blocks {
+            match b {
+                Block::Text(s) => out.push_str(s),
+                Block::Table(t) => out.push_str(&t.render()),
+            }
+        }
+        out
+    }
+
+    /// Renders the report as a self-contained JSON object
+    /// (`{"name", "title", "blocks": [...]}`; tables carry `headers` and
+    /// `rows` arrays). Hand-rolled serialization — the workspace has no
+    /// serde — with full string escaping.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"name\":");
+        out.push_str(&json_string(&self.name));
+        out.push_str(",\"title\":");
+        out.push_str(&json_string(&self.title));
+        out.push_str(",\"blocks\":[");
+        for (i, b) in self.blocks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match b {
+                Block::Text(s) => {
+                    out.push_str("{\"type\":\"text\",\"text\":");
+                    out.push_str(&json_string(s));
+                    out.push('}');
+                }
+                Block::Table(t) => {
+                    out.push_str("{\"type\":\"table\",\"headers\":");
+                    out.push_str(&json_string_array(t.headers()));
+                    out.push_str(",\"rows\":[");
+                    for (j, row) in t.rows().iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&json_string_array(row));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders every table of the report as CSV, each preceded by a
+    /// `# <report name> table <index>` comment line (text blocks are
+    /// prose, not data, and are omitted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut idx = 0;
+        for b in &self.blocks {
+            if let Block::Table(t) = b {
+                if idx > 0 {
+                    out.push('\n');
+                }
+                out.push_str(&format!("# {} table {idx}\n", self.name));
+                out.push_str(&t.to_csv());
+                idx += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with surrounding quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", cells.join(","))
 }
 
 /// Formats a float with `prec` decimal places.
@@ -186,5 +356,62 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new(vec!["a".into()]);
         t.add_row(vec!["1".into(), "2".into()]);
+    }
+
+    fn sample_report() -> Report {
+        let mut r = Report::new("figx", "Figure X");
+        r.text("Figure X: header\n\n");
+        let mut t = Table::new(vec!["source".into(), "std".into()]);
+        t.add_row(vec!["weights \"init\"".into(), "0.0012".into()]);
+        r.table(t);
+        r.text("\nfootnote\n");
+        r
+    }
+
+    #[test]
+    fn report_text_is_block_concatenation() {
+        let r = sample_report();
+        let text = r.render_text();
+        assert!(text.starts_with("Figure X: header\n\n"));
+        assert!(text.contains("source"));
+        assert!(text.ends_with("\nfootnote\n"));
+        // Exactly the old hand-built string: header + table.render() + foot.
+        let mut expect = String::from("Figure X: header\n\n");
+        if let Block::Table(t) = &r.blocks()[1] {
+            expect.push_str(&t.render());
+        }
+        expect.push_str("\nfootnote\n");
+        assert_eq!(text, expect);
+    }
+
+    #[test]
+    fn report_json_escapes_and_structures() {
+        let j = sample_report().to_json();
+        assert!(j.starts_with("{\"name\":\"figx\",\"title\":\"Figure X\""));
+        assert!(j.contains("{\"type\":\"text\",\"text\":\"Figure X: header\\n\\n\"}"));
+        assert!(j.contains("\"headers\":[\"source\",\"std\"]"));
+        assert!(j.contains("weights \\\"init\\\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn report_csv_emits_each_table_with_marker() {
+        let mut r = sample_report();
+        let mut t2 = Table::new(vec!["k".into()]);
+        t2.add_row(vec!["1".into()]);
+        r.table(t2);
+        let csv = r.to_csv();
+        assert!(csv.contains("# figx table 0\n"));
+        assert!(csv.contains("# figx table 1\n"));
+        assert!(csv.contains("source,std"));
+        assert!(!csv.contains("footnote"), "prose omitted from CSV");
+    }
+
+    #[test]
+    fn json_string_control_chars() {
+        assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\there\"");
     }
 }

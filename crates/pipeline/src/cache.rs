@@ -1,0 +1,860 @@
+//! Content-addressed measurement cache for case-study score matrices.
+//!
+//! The paper's artifacts keep re-measuring the same quantities: Fig. 1,
+//! Fig. 2, Fig. G.3 and the interaction study all need per-source score
+//! matrices; Fig. 5, Fig. 6 and Fig. H.5 all need ideal- and
+//! biased-estimator runs; the Table 8 experiment needs the same tuned
+//! hyperparameters as the biased estimator's first repetition. Every one
+//! of those measurements is a *pure function of its key* — case study,
+//! scale, randomization set, budget and seed tree — so a run of several
+//! artifacts can share them instead of recomputing.
+//!
+//! [`MeasureCache`] memoizes two entry shapes:
+//!
+//! * **matrices** ([`MeasureCache::matrix`]) — score matrices whose rows
+//!   are derived from per-row seeds independent of the total row count.
+//!   Because row `i`'s seeds never depend on `n`, a matrix of `n` rows is
+//!   a strict *prefix* of the same key's matrix at any larger `n`: the
+//!   cache stores the longest matrix seen and serves prefixes, extending
+//!   on demand by computing only the missing tail rows;
+//! * **records** ([`MeasureCache::record`]) — fixed-shape results such as
+//!   a hyperparameter-optimization outcome (best parameters + fit count).
+//!
+//! Values are memoized bit-exactly: a cached value is the `f64` bits the
+//! compute closure produced, so cached and uncached paths are
+//! indistinguishable (`tests/measure_cache.rs` asserts this end to end).
+//!
+//! The store is in-memory by default; setting [`CACHE_DIR_ENV`]
+//! (`VARBENCH_CACHE_DIR`) — or constructing with
+//! [`MeasureCache::with_dir`] — adds a write-through on-disk store of
+//! versioned, hashed records so measurements survive across processes.
+//!
+//! # Compute contract
+//!
+//! The closure handed to [`MeasureCache::matrix`] must be a pure per-row
+//! function: `compute(a..b)` must return exactly the rows `a..b` that
+//! `compute(0..n)` would return for any `n >= b`. All measurement
+//! functions in `varbench_core::estimator` derive row seeds from
+//! `(base_seed, row_index)` only, which guarantees this.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use crate::case_study::{CaseStudy, Scale};
+use crate::variance::VarianceSource;
+
+/// Environment variable naming the optional on-disk store directory.
+pub const CACHE_DIR_ENV: &str = "VARBENCH_CACHE_DIR";
+
+/// On-disk record format version; bumping it invalidates old records
+/// (they live under a `v<N>` subdirectory and are simply never read).
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// What a cache entry measures — the "randomization set" part of the key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MeasureKind {
+    /// Fig. 1-style per-source variance study with default
+    /// hyperparameters (one ξ_O source re-seeded per row). The HPO
+    /// algorithm and budget are irrelevant to these rows and are
+    /// deliberately absent from the key.
+    SourceStudy {
+        /// The re-seeded source.
+        source: VarianceSource,
+    },
+    /// Joint randomization of a ξ_O source *set* with default
+    /// hyperparameters. The set is normalized at key construction.
+    JointStudy {
+        /// Normalized (active ∩ requested, sorted) source set.
+        sources: Vec<VarianceSource>,
+    },
+    /// Per-sample independent HPO procedures (the ξ_H rows of Fig. 1 and
+    /// the ablation budget sweep).
+    HyperOptStudy {
+        /// HPO algorithm label.
+        algo: &'static str,
+        /// Trials per procedure.
+        budget: usize,
+    },
+    /// Ideal-estimator samples (Algorithm 1): each row is one full
+    /// tune-retrain-measure pipeline; columns are `(test metric, fits)`.
+    IdealEstimator {
+        /// HPO algorithm label.
+        algo: &'static str,
+        /// Trials per procedure.
+        budget: usize,
+    },
+    /// Biased-estimator measures (Algorithm 2): `k` re-measures of one
+    /// tuned pipeline with a ξ_O subset re-seeded per row.
+    FixHOptMeasures {
+        /// HPO algorithm label.
+        algo: &'static str,
+        /// Trials of the single tuning procedure.
+        budget: usize,
+        /// Which arbitrary fixed ξ this repetition uses.
+        repetition: u64,
+        /// Label of the randomized ξ_O subset (e.g. `"All"`).
+        randomize: &'static str,
+    },
+    /// One hyperparameter-optimization outcome, addressed by the full
+    /// seed assignment it ran under.
+    HoptResult {
+        /// HPO algorithm label.
+        algo: &'static str,
+        /// Trials of the procedure.
+        budget: usize,
+        /// The seven per-source seeds of the fixed assignment.
+        seeds: [u64; 7],
+    },
+}
+
+/// Content address of one cached measurement: case study, scale,
+/// randomization set (the [`MeasureKind`]), base seed and a fingerprint
+/// of the default hyperparameters the studies train with.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MeasureKey {
+    case_study: &'static str,
+    scale: Scale,
+    kind: MeasureKind,
+    base_seed: u64,
+    defaults_fp: u64,
+    canon: String,
+}
+
+impl MeasureKey {
+    /// Builds the key for a measurement of `cs`.
+    ///
+    /// `JointStudy` source sets are normalized to the intersection with
+    /// the case study's active sources, sorted: re-seeding an *inactive*
+    /// source never changes a measure, so `{active ∪ inactive}` and
+    /// `{active}` joint studies produce bit-identical matrices and must
+    /// share one entry.
+    pub fn new(cs: &CaseStudy, kind: MeasureKind, base_seed: u64) -> MeasureKey {
+        let kind = match kind {
+            MeasureKind::JointStudy { sources } => {
+                let mut s: Vec<VarianceSource> = sources
+                    .into_iter()
+                    .filter(|s| cs.active_sources().contains(s))
+                    .collect();
+                s.sort_unstable();
+                s.dedup();
+                MeasureKind::JointStudy { sources: s }
+            }
+            other => other,
+        };
+        let defaults_fp = fingerprint_f64s(cs.default_params());
+        let canon = canonical(cs.name(), cs.scale(), &kind, base_seed, defaults_fp);
+        MeasureKey {
+            case_study: cs.name(),
+            scale: cs.scale(),
+            kind,
+            base_seed,
+            defaults_fp,
+            canon,
+        }
+    }
+
+    /// The canonical serialized form — the content address used for
+    /// in-memory lookup and on-disk record naming.
+    pub fn canon(&self) -> &str {
+        &self.canon
+    }
+}
+
+fn canonical(
+    case_study: &str,
+    scale: Scale,
+    kind: &MeasureKind,
+    base_seed: u64,
+    defaults_fp: u64,
+) -> String {
+    let kind_s = match kind {
+        MeasureKind::SourceStudy { source } => format!("source:{}", source.label()),
+        MeasureKind::JointStudy { sources } => {
+            let labels: Vec<&str> = sources.iter().map(|s| s.label()).collect();
+            format!("joint:{}", labels.join("+"))
+        }
+        MeasureKind::HyperOptStudy { algo, budget } => format!("hopt-study:{algo}:T{budget}"),
+        MeasureKind::IdealEstimator { algo, budget } => format!("ideal:{algo}:T{budget}"),
+        MeasureKind::FixHOptMeasures {
+            algo,
+            budget,
+            repetition,
+            randomize,
+        } => format!("fixhopt:{algo}:T{budget}:rep{repetition}:{randomize}"),
+        MeasureKind::HoptResult {
+            algo,
+            budget,
+            seeds,
+        } => {
+            let hex: Vec<String> = seeds.iter().map(|s| format!("{s:016x}")).collect();
+            format!("hopt-result:{algo}:T{budget}:{}", hex.join("."))
+        }
+    };
+    format!(
+        "v{CACHE_FORMAT_VERSION}|cs={case_study}|scale={}|{kind_s}|seed={base_seed:016x}|defaults={defaults_fp:016x}",
+        scale.label()
+    )
+}
+
+/// Hit/miss and work accounting, readable via [`MeasureCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Matrix lookups answered entirely from the store.
+    pub full_hits: u64,
+    /// Matrix lookups that extended an existing shorter entry.
+    pub extensions: u64,
+    /// Matrix lookups with no usable entry at all.
+    pub misses: u64,
+    /// Matrix rows computed fresh.
+    pub rows_computed: u64,
+    /// Matrix rows served from the store.
+    pub rows_served: u64,
+    /// Record lookups served from the store.
+    pub records_served: u64,
+    /// Record lookups that had to compute.
+    pub records_computed: u64,
+    /// Model fits performed inside computed records (HPO trials).
+    pub record_fits_computed: u64,
+    /// Entries loaded from the on-disk store.
+    pub disk_loads: u64,
+}
+
+impl CacheStats {
+    /// Total matrix lookups.
+    pub fn lookups(&self) -> u64 {
+        self.full_hits + self.extensions + self.misses
+    }
+
+    /// A single scalar for "how much pipeline work actually ran":
+    /// matrix rows computed plus model fits inside computed records.
+    /// The cache-effectiveness tests compare this across runs.
+    pub fn work(&self) -> u64 {
+        self.rows_computed + self.record_fits_computed
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Columns per row (1 for plain score matrices, 2 for (metric, fits)).
+    cols: usize,
+    /// Row-major values, `rows * cols` long.
+    values: Vec<f64>,
+    /// Prefix-extendable (matrix) vs fixed-shape (record).
+    extendable: bool,
+}
+
+impl Entry {
+    fn rows(&self) -> usize {
+        self.values.len() / self.cols
+    }
+}
+
+#[derive(Default)]
+struct CacheState {
+    entries: HashMap<String, Entry>,
+    stats: CacheStats,
+}
+
+/// A thread-safe, content-addressed store of case-study measurements.
+///
+/// Cheap to create; share one per experiment run (the registry hands the
+/// same cache to every artifact). All methods take `&self`.
+#[derive(Default)]
+pub struct MeasureCache {
+    state: Mutex<CacheState>,
+    dir: Option<PathBuf>,
+}
+
+impl MeasureCache {
+    /// A fresh in-memory cache.
+    pub fn new() -> MeasureCache {
+        MeasureCache::default()
+    }
+
+    /// A cache backed by a write-through on-disk store under `dir`
+    /// (created on first write).
+    pub fn with_dir(dir: impl Into<PathBuf>) -> MeasureCache {
+        MeasureCache {
+            state: Mutex::new(CacheState::default()),
+            dir: Some(dir.into()),
+        }
+    }
+
+    /// Reads [`CACHE_DIR_ENV`]: set and non-empty means disk-backed,
+    /// otherwise in-memory only.
+    pub fn from_env() -> MeasureCache {
+        match std::env::var(CACHE_DIR_ENV) {
+            Ok(dir) if !dir.is_empty() => MeasureCache::with_dir(dir),
+            _ => MeasureCache::new(),
+        }
+    }
+
+    /// Whether this cache persists to disk.
+    pub fn is_persistent(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// A snapshot of the accounting counters.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().expect("cache lock").stats
+    }
+
+    /// Number of distinct entries currently held in memory.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("cache lock").entries.len()
+    }
+
+    /// Whether the in-memory store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the first `rows` rows of the matrix at `key`, computing
+    /// only the rows the store does not already hold.
+    ///
+    /// `compute(a..b)` must return the rows `a..b` (row-major,
+    /// `(b - a) * cols` values) and obey the module-level compute
+    /// contract. Concurrent calls for the same key may both compute; the
+    /// contract makes their values identical, so either result may be
+    /// kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`, if a cached entry exists
+    /// with a different `cols`, or if `compute` returns the wrong number
+    /// of values.
+    pub fn matrix(
+        &self,
+        key: &MeasureKey,
+        rows: usize,
+        cols: usize,
+        compute: impl FnOnce(Range<usize>) -> Vec<f64>,
+    ) -> Vec<f64> {
+        assert!(rows > 0 && cols > 0, "matrix needs rows > 0 and cols > 0");
+        // Lookup copies only what this request needs: the requested
+        // prefix on a full hit, the whole (shorter) matrix as the
+        // extension base otherwise.
+        let bounded = |e: &Entry| {
+            assert_eq!(e.cols, cols, "column-shape mismatch for {}", key.canon());
+            assert!(
+                e.extendable,
+                "matrix/record kind mismatch for {}",
+                key.canon()
+            );
+            e.values[..e.values.len().min(rows * cols)].to_vec()
+        };
+        let cached: Option<Vec<f64>> = {
+            let st = self.state.lock().expect("cache lock");
+            st.entries.get(key.canon()).map(bounded)
+        }
+        .or_else(|| self.promote_from_disk(key).map(|e| bounded(&e)));
+        let have: Vec<f64> = {
+            let mut st = self.state.lock().expect("cache lock");
+            match cached {
+                Some(prefix) if prefix.len() == rows * cols => {
+                    st.stats.full_hits += 1;
+                    st.stats.rows_served += rows as u64;
+                    return prefix;
+                }
+                Some(prefix) => {
+                    st.stats.extensions += 1;
+                    prefix
+                }
+                None => {
+                    st.stats.misses += 1;
+                    Vec::new()
+                }
+            }
+        };
+        let have_rows = have.len() / cols;
+        // Compute the missing tail outside the lock so different keys
+        // (and artifacts) can measure concurrently.
+        let tail = compute(have_rows..rows);
+        assert_eq!(
+            tail.len(),
+            (rows - have_rows) * cols,
+            "compute returned the wrong number of values for {}",
+            key.canon()
+        );
+        let mut full = have;
+        full.extend_from_slice(&tail);
+        let to_persist = {
+            let mut st = self.state.lock().expect("cache lock");
+            st.stats.rows_computed += (rows - have_rows) as u64;
+            st.stats.rows_served += have_rows as u64;
+            let keep = match st.entries.get(key.canon()) {
+                // Another thread extended further while we computed; keep
+                // the longer entry (identical values by the compute
+                // contract).
+                Some(e) if e.rows() >= rows => false,
+                _ => true,
+            };
+            if keep {
+                let entry = Entry {
+                    cols,
+                    values: full.clone(),
+                    extendable: true,
+                };
+                st.entries.insert(key.canon().to_string(), entry.clone());
+                Some(entry)
+            } else {
+                None
+            }
+        };
+        // Disk write-through happens outside the lock: other artifacts'
+        // lookups must not serialize behind IO.
+        if let Some(entry) = to_persist {
+            self.persist(&entry, key);
+        }
+        full
+    }
+
+    /// Returns the fixed-shape record at `key`, computing it on a miss.
+    ///
+    /// The record is a value vector plus a fit count (the model fits the
+    /// computation consumed — counted into the stats so cache
+    /// effectiveness can be measured in units of pipeline work).
+    pub fn record(
+        &self,
+        key: &MeasureKey,
+        compute: impl FnOnce() -> (Vec<f64>, usize),
+    ) -> (Vec<f64>, usize) {
+        let unpack = |e: &Entry| {
+            assert!(
+                !e.extendable,
+                "matrix/record kind mismatch for {}",
+                key.canon()
+            );
+            (e.values[1..].to_vec(), e.values[0] as usize)
+        };
+        let cached: Option<(Vec<f64>, usize)> = {
+            let st = self.state.lock().expect("cache lock");
+            st.entries.get(key.canon()).map(unpack)
+        }
+        .or_else(|| self.promote_from_disk(key).map(|e| unpack(&e)));
+        if let Some(hit) = cached {
+            let mut st = self.state.lock().expect("cache lock");
+            st.stats.records_served += 1;
+            return hit;
+        }
+        let (values, fits) = compute();
+        let mut stored = Vec::with_capacity(values.len() + 1);
+        stored.push(fits as f64);
+        stored.extend_from_slice(&values);
+        let to_persist = {
+            let mut st = self.state.lock().expect("cache lock");
+            if !st.entries.contains_key(key.canon()) {
+                st.stats.records_computed += 1;
+                st.stats.record_fits_computed += fits as u64;
+                let entry = Entry {
+                    cols: 1,
+                    values: stored,
+                    extendable: false,
+                };
+                st.entries.insert(key.canon().to_string(), entry.clone());
+                Some(entry)
+            } else {
+                // Lost a race: the stored entry is identical by
+                // determinism, but this thread really did the work — the
+                // accounting must say so (matrix() counts discarded race
+                // computations the same way).
+                st.stats.records_computed += 1;
+                st.stats.record_fits_computed += fits as u64;
+                None
+            }
+        };
+        if let Some(entry) = to_persist {
+            self.persist(&entry, key);
+        }
+        (values, fits)
+    }
+
+    // ------------------------------------------------------------------
+    // On-disk store
+    // ------------------------------------------------------------------
+
+    fn record_path(&self, key: &MeasureKey) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| {
+            d.join(format!("v{CACHE_FORMAT_VERSION}"))
+                .join(format!("{:016x}.rec", fnv1a64(key.canon().as_bytes())))
+        })
+    }
+
+    /// Best-effort disk read on an in-memory miss; the file IO and
+    /// parsing run with the lock **released** so concurrent lookups of
+    /// other keys never queue behind disk reads. IO failures and
+    /// malformed or mismatched (hash-collided) records are treated as
+    /// misses — the cache is an accelerator, never a source of truth.
+    ///
+    /// Returns the entry now in memory for this key (loaded from disk,
+    /// or inserted by a racing thread in the meantime).
+    fn promote_from_disk(&self, key: &MeasureKey) -> Option<Entry> {
+        let path = self.record_path(key)?;
+        let text = std::fs::read_to_string(&path).ok()?;
+        let entry = parse_record(&text, key.canon())?;
+        let mut st = self.state.lock().expect("cache lock");
+        if let Some(existing) = st.entries.get(key.canon()) {
+            // A racing thread populated the key while we read the file;
+            // its entry may be longer (a fresh extension) — prefer it.
+            return Some(existing.clone());
+        }
+        st.stats.disk_loads += 1;
+        st.entries.insert(key.canon().to_string(), entry.clone());
+        Some(entry)
+    }
+
+    /// Best-effort write-through; IO errors are ignored. Called with the
+    /// cache lock released — serialization and IO must not block other
+    /// threads' lookups.
+    fn persist(&self, entry: &Entry, key: &MeasureKey) {
+        let Some(path) = self.record_path(key) else {
+            return;
+        };
+        if let Some(parent) = path.parent() {
+            if std::fs::create_dir_all(parent).is_err() {
+                return;
+            }
+        }
+        let _ = std::fs::write(&path, render_record(entry, key.canon()));
+    }
+}
+
+/// Serializes an entry: header lines then one hex-encoded `f64` per line
+/// (bit-exact round trip; no decimal formatting is involved).
+fn render_record(entry: &Entry, canon: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("varbench-cache {CACHE_FORMAT_VERSION}\n"));
+    out.push_str(&format!("key {canon}\n"));
+    out.push_str(&format!(
+        "entry rows={} cols={} extendable={}\n",
+        entry.rows(),
+        entry.cols,
+        u8::from(entry.extendable)
+    ));
+    for v in &entry.values {
+        out.push_str(&format!("{:016x}\n", v.to_bits()));
+    }
+    out
+}
+
+fn parse_record(text: &str, canon: &str) -> Option<Entry> {
+    let mut lines = text.lines();
+    if lines.next()? != format!("varbench-cache {CACHE_FORMAT_VERSION}") {
+        return None;
+    }
+    if lines.next()?.strip_prefix("key ")? != canon {
+        return None; // hash collision or stale record
+    }
+    let shape = lines.next()?.strip_prefix("entry ")?;
+    let mut rows = None;
+    let mut cols = None;
+    let mut extendable = None;
+    for part in shape.split_whitespace() {
+        let (k, v) = part.split_once('=')?;
+        match k {
+            "rows" => rows = v.parse::<usize>().ok(),
+            "cols" => cols = v.parse::<usize>().ok(),
+            "extendable" => extendable = v.parse::<u8>().ok(),
+            _ => return None,
+        }
+    }
+    let (rows, cols, extendable) = (rows?, cols?, extendable? != 0);
+    let values: Vec<f64> = lines
+        .map(|l| u64::from_str_radix(l.trim(), 16).ok().map(f64::from_bits))
+        .collect::<Option<Vec<f64>>>()?;
+    // No legitimate entry is empty: matrices persist only after >= 1 row,
+    // records always carry a leading fit count. An `entries rows=0` file
+    // (truncated or hand-edited) must be a miss, not a later panic.
+    if rows == 0 || cols == 0 || values.len() != rows * cols {
+        return None;
+    }
+    Some(Entry {
+        cols,
+        values,
+        extendable,
+    })
+}
+
+/// FNV-1a 64-bit hash — the content-address hash for on-disk records.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Order-sensitive fingerprint of an `f64` slice (bit-exact).
+fn fingerprint_f64s(xs: &[f64]) -> u64 {
+    let mut bytes = Vec::with_capacity(xs.len() * 8);
+    for x in xs {
+        bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cs() -> CaseStudy {
+        CaseStudy::glue_rte_bert(Scale::Test)
+    }
+
+    fn key(seed: u64) -> MeasureKey {
+        MeasureKey::new(
+            &test_cs(),
+            MeasureKind::SourceStudy {
+                source: VarianceSource::DataSplit,
+            },
+            seed,
+        )
+    }
+
+    /// A deterministic per-row compute obeying the prefix contract.
+    fn rowfn(range: Range<usize>) -> Vec<f64> {
+        range.map(|i| (i as f64) * 1.5 + 0.25).collect()
+    }
+
+    #[test]
+    fn miss_then_hit_then_extension() {
+        let cache = MeasureCache::new();
+        let k = key(1);
+        let a = cache.matrix(&k, 4, 1, rowfn);
+        assert_eq!(a, rowfn(0..4));
+        let s = cache.stats();
+        assert_eq!((s.misses, s.full_hits, s.extensions), (1, 0, 0));
+        assert_eq!((s.rows_computed, s.rows_served), (4, 0));
+
+        // Same length and a shorter prefix are both full hits.
+        assert_eq!(cache.matrix(&k, 4, 1, |_| unreachable!()), rowfn(0..4));
+        assert_eq!(cache.matrix(&k, 2, 1, |_| unreachable!()), rowfn(0..2));
+        let s = cache.stats();
+        assert_eq!((s.misses, s.full_hits, s.extensions), (1, 2, 0));
+        assert_eq!((s.rows_computed, s.rows_served), (4, 6));
+
+        // A longer request computes only the tail.
+        let b = cache.matrix(&k, 7, 1, |r| {
+            assert_eq!(r, 4..7, "only the tail is computed");
+            rowfn(r)
+        });
+        assert_eq!(b, rowfn(0..7));
+        let s = cache.stats();
+        assert_eq!((s.misses, s.full_hits, s.extensions), (1, 2, 1));
+        assert_eq!((s.rows_computed, s.rows_served), (7, 10));
+        assert_eq!(s.lookups(), 4);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_seed_is_a_different_entry() {
+        let cache = MeasureCache::new();
+        cache.matrix(&key(1), 3, 1, rowfn);
+        cache.matrix(&key(2), 3, 1, rowfn);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn key_distinguishes_case_scale_kind_seed() {
+        let cs_a = CaseStudy::glue_rte_bert(Scale::Test);
+        let cs_b = CaseStudy::glue_rte_bert(Scale::Quick);
+        let cs_c = CaseStudy::mhc_mlp(Scale::Test);
+        let mk = |cs: &CaseStudy, kind, seed| MeasureKey::new(cs, kind, seed);
+        let src = || MeasureKind::SourceStudy {
+            source: VarianceSource::DataSplit,
+        };
+        let base = mk(&cs_a, src(), 7);
+        assert_ne!(base.canon(), mk(&cs_b, src(), 7).canon(), "scale");
+        assert_ne!(base.canon(), mk(&cs_c, src(), 7).canon(), "case study");
+        assert_ne!(base.canon(), mk(&cs_a, src(), 8).canon(), "seed");
+        assert_ne!(
+            base.canon(),
+            mk(
+                &cs_a,
+                MeasureKind::SourceStudy {
+                    source: VarianceSource::WeightsInit
+                },
+                7
+            )
+            .canon(),
+            "source"
+        );
+        let budget = |b| MeasureKind::IdealEstimator {
+            algo: "Random Search",
+            budget: b,
+        };
+        assert_ne!(
+            mk(&cs_a, budget(3), 7).canon(),
+            mk(&cs_a, budget(4), 7).canon(),
+            "budget"
+        );
+    }
+
+    #[test]
+    fn joint_key_normalizes_to_active_sources() {
+        // RTE has no augmentation / numerical noise: a joint study over
+        // all of ξ_O addresses the same entry as one over the active
+        // subset (the measures are bit-identical either way).
+        let cs = test_cs();
+        let all = MeasureKey::new(
+            &cs,
+            MeasureKind::JointStudy {
+                sources: VarianceSource::XI_O.to_vec(),
+            },
+            5,
+        );
+        let active: Vec<VarianceSource> = cs
+            .active_sources()
+            .iter()
+            .copied()
+            .filter(|s| !s.is_hyperopt())
+            .collect();
+        let act = MeasureKey::new(&cs, MeasureKind::JointStudy { sources: active }, 5);
+        assert_eq!(all.canon(), act.canon());
+    }
+
+    #[test]
+    fn records_round_trip_with_fit_accounting() {
+        let cache = MeasureCache::new();
+        let k = MeasureKey::new(
+            &test_cs(),
+            MeasureKind::HoptResult {
+                algo: "Random Search",
+                budget: 5,
+                seeds: [1, 2, 3, 4, 5, 6, 7],
+            },
+            0,
+        );
+        let (v, fits) = cache.record(&k, || (vec![0.1, 0.2, 0.3], 5));
+        assert_eq!(v, vec![0.1, 0.2, 0.3]);
+        assert_eq!(fits, 5);
+        let (v2, fits2) = cache.record(&k, || unreachable!());
+        assert_eq!((v2, fits2), (v, fits));
+        let s = cache.stats();
+        assert_eq!((s.records_computed, s.records_served), (1, 1));
+        assert_eq!(s.record_fits_computed, 5);
+        assert_eq!(s.work(), 5);
+    }
+
+    #[test]
+    fn disk_store_round_trips_bit_exactly() {
+        let dir = std::env::temp_dir().join(format!(
+            "varbench-cache-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Awkward values: negative zero, subnormal, extreme exponents.
+        let vals = [-0.0, f64::MIN_POSITIVE / 2.0, 1e308, -1e-308, 0.1 + 0.2];
+        let weird =
+            move |r: Range<usize>| -> Vec<f64> { r.map(|i| vals[i % vals.len()]).collect() };
+        let a = {
+            let cache = MeasureCache::with_dir(&dir);
+            cache.matrix(&key(9), 5, 1, weird)
+        };
+        let b = {
+            let fresh = MeasureCache::with_dir(&dir);
+            let b = fresh.matrix(&key(9), 5, 1, |_| unreachable!("must load from disk"));
+            assert_eq!(fresh.stats().disk_loads, 1);
+            assert_eq!(fresh.stats().full_hits, 1);
+            b
+        };
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b), "disk round trip must be bit-exact");
+        // Records persist too.
+        let rk = MeasureKey::new(
+            &test_cs(),
+            MeasureKind::HoptResult {
+                algo: "Random Search",
+                budget: 2,
+                seeds: [0; 7],
+            },
+            0,
+        );
+        {
+            let cache = MeasureCache::with_dir(&dir);
+            cache.record(&rk, || (vec![1.25], 2));
+        }
+        {
+            let fresh = MeasureCache::with_dir(&dir);
+            let (v, fits) = fresh.record(&rk, || unreachable!("must load from disk"));
+            assert_eq!((v, fits), (vec![1.25], 2));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_disk_records_are_ignored() {
+        let dir = std::env::temp_dir().join(format!(
+            "varbench-cache-bad-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = MeasureCache::with_dir(&dir);
+        let k = key(11);
+        // Plant garbage where the record would live.
+        let path = cache.record_path(&k).expect("persistent cache");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, "not a cache record").unwrap();
+        let v = cache.matrix(&k, 3, 1, rowfn);
+        assert_eq!(v, rowfn(0..3));
+        assert_eq!(cache.stats().disk_loads, 0);
+
+        // An empty-but-well-formed record (e.g. a truncation artifact)
+        // must also read as a miss, never panic on values[0].
+        let rk = MeasureKey::new(
+            &test_cs(),
+            MeasureKind::HoptResult {
+                algo: "Random Search",
+                budget: 1,
+                seeds: [9; 7],
+            },
+            0,
+        );
+        let rpath = cache.record_path(&rk).expect("persistent cache");
+        std::fs::write(
+            &rpath,
+            format!(
+                "varbench-cache {CACHE_FORMAT_VERSION}\nkey {}\nentry rows=0 cols=1 extendable=0\n",
+                rk.canon()
+            ),
+        )
+        .unwrap();
+        let (v, fits) = cache.record(&rk, || (vec![0.5], 1));
+        assert_eq!((v, fits), (vec![0.5], 1), "rows=0 file treated as miss");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "column-shape mismatch")]
+    fn column_shape_is_checked() {
+        let cache = MeasureCache::new();
+        let k = key(1);
+        cache.matrix(&k, 2, 1, rowfn);
+        cache.matrix(&k, 2, 2, |r| r.flat_map(|i| [i as f64, 0.0]).collect());
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = MeasureCache::new();
+        let k = key(42);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = &cache;
+                let k = &k;
+                scope.spawn(move || {
+                    for n in 1..=8 {
+                        let got = cache.matrix(k, n + t % 2, 1, rowfn);
+                        assert_eq!(got, rowfn(0..n + t % 2));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -36,6 +36,17 @@ pub enum Scale {
     Full,
 }
 
+impl Scale {
+    /// Stable lowercase label (used in cache keys and CLI output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+}
+
 /// How a case study splits its pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SplitSpec {
@@ -91,6 +102,7 @@ impl AugmentKind {
 #[derive(Debug, Clone)]
 pub struct CaseStudy {
     name: &'static str,
+    scale: Scale,
     paper_task: &'static str,
     metric: MetricKind,
     pool: Dataset,
@@ -139,6 +151,7 @@ impl CaseStudy {
         ]);
         CaseStudy {
             name: "cifar10-vgg11",
+            scale,
             paper_task: "CIFAR10 image classification, VGG11",
             metric: MetricKind::Accuracy,
             pool,
@@ -196,6 +209,7 @@ impl CaseStudy {
         );
         CaseStudy {
             name: "glue-rte-bert",
+            scale,
             paper_task: "Glue-RTE entailment, BERT",
             metric: MetricKind::Accuracy,
             pool,
@@ -252,6 +266,7 @@ impl CaseStudy {
         );
         CaseStudy {
             name: "glue-sst2-bert",
+            scale,
             paper_task: "Glue-SST2 sentiment, BERT",
             metric: MetricKind::Accuracy,
             pool,
@@ -314,6 +329,7 @@ impl CaseStudy {
         ]);
         CaseStudy {
             name: "pascalvoc-resnet",
+            scale,
             paper_task: "PascalVOC segmentation, FCN + ResNet18",
             metric: MetricKind::MeanIou,
             pool,
@@ -374,6 +390,7 @@ impl CaseStudy {
         ]);
         CaseStudy {
             name: "mhc-mlp",
+            scale,
             paper_task: "MHC-I peptide binding, shallow MLP",
             metric: MetricKind::Auc,
             pool,
@@ -427,6 +444,11 @@ impl CaseStudy {
     /// Short identifier (e.g. `cifar10-vgg11`).
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// The scale this case study was built at.
+    pub fn scale(&self) -> Scale {
+        self.scale
     }
 
     /// The paper task this pipeline stands in for.

@@ -16,7 +16,11 @@
 //!   ξ_H)` (Eq. 2) with random search, noisy grid search, or Bayesian
 //!   optimization;
 //! * [`CaseStudy::run_pipeline`] is the complete pipeline `P(S_tv)` of
-//!   Eq. 3: tune, retrain on train+valid, measure on the held-out test set.
+//!   Eq. 3: tune, retrain on train+valid, measure on the held-out test set;
+//! * [`cache::MeasureCache`] memoizes case-study score matrices
+//!   content-addressed by (case study, scale, randomization set, budget,
+//!   seed tree), so the figure artifacts share measurements instead of
+//!   recomputing them (optionally persisted via `VARBENCH_CACHE_DIR`).
 //!
 //! # Example
 //!
@@ -38,11 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod case_study;
 mod hopt;
 pub mod measure;
 mod variance;
 
+pub use cache::{CacheStats, MeasureCache, MeasureKey, MeasureKind};
 pub use case_study::{CaseStudy, Scale, SplitSpec};
 pub use hopt::{HpoAlgorithm, PipelineResult};
 pub use measure::{MetricKind, ParMap, SerialMap};

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the timing-harness micro-benches and emits a machine-readable perf
+# snapshot as BENCH_<label>.json (an array of objects, one per benchmark
+# line printed by varbench_bench::timing).
+#
+# Usage: scripts/bench.sh [label]
+#   label   suffix of the output file (default: results)
+# Env:
+#   VARBENCH_BENCH_REPS        repetitions per benchmark (default harness: 11)
+#   VARBENCH_BENCH_TARGET_MS   calibrated wall time per rep (default: 5)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-results}"
+out="BENCH_${label}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== running timing-harness benches (cargo bench) ==" >&2
+cargo bench --offline -p varbench-bench 2>/dev/null | tee /dev/stderr | grep '^bench ' > "$raw" || {
+    echo "no benchmark lines captured" >&2
+    exit 1
+}
+
+# Convert `bench suite=stats name=mean_n10000 iters=.. reps=.. median_ns=..
+# min_ns=.. max_ns=..` lines into a JSON array.
+awk '
+BEGIN { print "["; first = 1 }
+{
+    line = ""
+    for (i = 2; i <= NF; i++) {
+        split($i, kv, "=")
+        if (kv[1] == "suite" || kv[1] == "name") {
+            field = "\"" kv[1] "\":\"" kv[2] "\""
+        } else {
+            field = "\"" kv[1] "\":" kv[2]
+        }
+        line = line (i > 2 ? "," : "") field
+    }
+    if (!first) printf(",\n")
+    printf("  {%s}", line)
+    first = 0
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+count=$(grep -c '^bench ' "$raw")
+echo "wrote $out ($count benchmarks)" >&2

@@ -22,6 +22,15 @@ cargo build --release --offline
 say "tier-1: cargo test -q"
 cargo test -q --offline
 
+say "varbench CLI: list + run all --test --json"
+target/release/varbench list
+target/release/varbench run all --test --json > /dev/null
+# Unknown flags must fail fast (the --ful typo regression).
+if target/release/varbench run fig1 --ful >/dev/null 2>&1; then
+    echo "ERROR: varbench accepted an unknown flag" >&2
+    exit 1
+fi
+
 say "benches compile and run one fast rep"
 VARBENCH_BENCH_REPS=3 VARBENCH_BENCH_TARGET_MS=1 cargo test -q --offline --benches
 

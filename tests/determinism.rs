@@ -161,3 +161,40 @@ fn numerical_noise_only_in_pascal_analog() {
         );
     }
 }
+
+#[test]
+fn artifact_output_cached_uncached_thread_count_invariant() {
+    // The acceptance guarantee of the measurement cache, end to end on a
+    // real artifact: cached == uncached == 1-thread == N-thread output.
+    use varbench::pipeline::MeasureCache;
+    use varbench_bench::figures::fig5;
+    use varbench_bench::registry::RunContext;
+
+    let config = fig5::Config::test();
+    let serial = Runner::serial();
+    let parallel = Runner::new(4);
+
+    // Uncached baseline: a fresh cache never hits, so every measurement
+    // is computed.
+    let fresh = MeasureCache::new();
+    let uncached = fig5::report_with(&config, &RunContext::new(&serial, &fresh)).render_text();
+    assert_eq!(fresh.stats().rows_served, 0, "baseline must be uncached");
+
+    // Cached: replaying against the warm cache computes nothing new.
+    let cached = fig5::report_with(&config, &RunContext::new(&serial, &fresh)).render_text();
+    let stats = fresh.stats();
+    assert_eq!(
+        stats.rows_computed, stats.rows_served,
+        "replay fully served"
+    );
+    assert_eq!(cached, uncached, "cached output differs from uncached");
+
+    // Thread-count invariance, cold and warm.
+    let fresh_par = MeasureCache::new();
+    let par_cold =
+        fig5::report_with(&config, &RunContext::new(&parallel, &fresh_par)).render_text();
+    let par_warm =
+        fig5::report_with(&config, &RunContext::new(&parallel, &fresh_par)).render_text();
+    assert_eq!(par_cold, uncached, "N-thread cold differs from 1-thread");
+    assert_eq!(par_warm, uncached, "N-thread warm differs from 1-thread");
+}
