@@ -3,6 +3,7 @@
 //! `varbench_bench::timing`.
 
 use varbench_bench::timing::Harness;
+use varbench_core::ctx::RunContext;
 use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator, Randomize};
 use varbench_pipeline::{CaseStudy, HpoAlgorithm, Scale, SeedAssignment};
 
@@ -16,11 +17,24 @@ fn bench_estimators(c: &mut Harness) {
     });
 
     c.bench_function("ideal_estimator_k2_t3", |b| {
-        b.iter(|| ideal_estimator(&cs, 2, HpoAlgorithm::RandomSearch, 3, 1))
+        let ctx = RunContext::serial();
+        b.iter(|| ideal_estimator(&cs, 2, HpoAlgorithm::RandomSearch, 3, 1, &ctx))
     });
 
     c.bench_function("fix_hopt_estimator_k4_t3_all", |b| {
-        b.iter(|| fix_hopt_estimator(&cs, 4, HpoAlgorithm::RandomSearch, 3, 1, 0, Randomize::All))
+        let ctx = RunContext::serial();
+        b.iter(|| {
+            fix_hopt_estimator(
+                &cs,
+                4,
+                HpoAlgorithm::RandomSearch,
+                3,
+                1,
+                0,
+                Randomize::All,
+                &ctx,
+            )
+        })
     });
 
     c.bench_function("hopt_bayes_budget6", |b| {

@@ -1,11 +1,13 @@
-//! The `varbench` CLI — the single entry point to every paper artifact,
-//! replacing the former 14 one-shot binaries.
+//! The `varbench` CLI — the single entry point to every paper artifact
+//! and registered workload.
 //!
 //! ```text
 //! varbench list
+//! varbench workloads [--test|--quick|--full]
 //! varbench run <name ...|all> [--test|--quick|--full] [--filter SUBSTR]
 //!              [--json|--csv] [--out DIR] [--serial] [--no-cache]
 //!              [--threads N]
+//! varbench cache stats|clear
 //! ```
 //!
 //! Artifacts share one measurement cache (persisted across runs when
@@ -14,16 +16,20 @@
 //! running each artifact alone, serially, without a cache.
 
 use varbench_bench::args::Effort;
-use varbench_bench::registry::{self, Spec};
+use varbench_bench::registry::{self, RunContext, Spec};
+use varbench_bench::workloads;
 use varbench_core::exec::Runner;
 use varbench_core::report::{json_string, Report};
+use varbench_pipeline::cache::{CACHE_DIR_ENV, CACHE_FORMAT_VERSION};
 use varbench_pipeline::MeasureCache;
 
 const USAGE: &str = "varbench — variance-aware benchmark reproduction harness
 
 USAGE:
     varbench list
+    varbench workloads [--test|--quick|--full]
     varbench run <name ...|all> [OPTIONS]
+    varbench cache stats|clear
 
 OPTIONS (run):
     --test | --quick | --full   effort preset (default: --quick)
@@ -39,7 +45,8 @@ ENVIRONMENT:
     VARBENCH_THREADS            default worker thread count (0 = all cores)
     VARBENCH_CACHE_DIR          persist the measurement cache to this directory
 
-Run `varbench list` to see every artifact name.";
+Run `varbench list` for artifact names and `varbench workloads` for the
+registered workloads (measure one with `varbench run workload-linear`).";
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -99,8 +106,12 @@ fn main() {
             }
             list();
         }
+        Some("workloads") => list_workloads(&args[1..]),
         Some("run") => run(&args[1..]),
-        Some(other) => fail(&format!("unknown command '{other}' (expected list or run)")),
+        Some("cache") => cache_command(&args[1..]),
+        Some(other) => fail(&format!(
+            "unknown command '{other}' (expected list, workloads, run, or cache)"
+        )),
     }
 }
 
@@ -118,6 +129,131 @@ fn list() {
         ]);
     }
     print!("{t}");
+}
+
+fn list_workloads(args: &[String]) {
+    let mut effort = Effort::Quick;
+    for a in args {
+        match Effort::from_flag(a) {
+            Some(e) => effort = e,
+            None => fail(&format!(
+                "unknown argument '{a}' after workloads (expected --test, --quick, or --full)"
+            )),
+        }
+    }
+    let mut t = varbench_core::report::Table::new(vec![
+        "name".into(),
+        "metric".into(),
+        "search dims".into(),
+        "active sources".into(),
+        "cache id".into(),
+        "run via".into(),
+    ]);
+    for w in workloads::all(effort.scale()) {
+        let sources: Vec<&str> = w.active_sources().iter().map(|s| s.label()).collect();
+        let run_via = workloads::artifact_for(w.name())
+            .map(|a| format!("run {a}"))
+            .unwrap_or_else(|| "paper figures (fig1 ...)".into());
+        t.add_row(vec![
+            w.name().to_string(),
+            w.metric_name().to_string(),
+            w.search_space().len().to_string(),
+            sources.join("+"),
+            w.cache_id(),
+            run_via,
+        ]);
+    }
+    print!("{t}");
+}
+
+/// The cache-owned `v<N>` record subdirectories under `dir` — the only
+/// paths `cache clear` is allowed to touch (the user may point
+/// `VARBENCH_CACHE_DIR` at a directory holding unrelated files).
+fn cache_version_dirs(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let is_version = name
+                .strip_prefix('v')
+                .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()));
+            if is_version && entry.path().is_dir() {
+                out.push(entry.path());
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn cache_command(args: &[String]) {
+    if args.len() > 1 {
+        fail(&format!(
+            "unexpected argument '{}' after cache {}",
+            args[1], args[0]
+        ));
+    }
+    let dir = match std::env::var(CACHE_DIR_ENV) {
+        Ok(d) if !d.is_empty() => Some(std::path::PathBuf::from(d)),
+        _ => None,
+    };
+    match args.first().map(String::as_str) {
+        Some("stats") => {
+            let Some(dir) = dir else {
+                println!("cache: in-memory only ({CACHE_DIR_ENV} not set); nothing persisted");
+                return;
+            };
+            println!(
+                "cache dir: {} (format v{CACHE_FORMAT_VERSION})",
+                dir.display()
+            );
+            let versions = cache_version_dirs(&dir);
+            if versions.is_empty() {
+                println!("no records on disk yet");
+                return;
+            }
+            for vdir in versions {
+                let (mut files, mut bytes) = (0u64, 0u64);
+                if let Ok(records) = std::fs::read_dir(&vdir) {
+                    for rec in records.flatten() {
+                        if let Ok(meta) = rec.metadata() {
+                            files += 1;
+                            bytes += meta.len();
+                        }
+                    }
+                }
+                let version = vdir.file_name().unwrap_or_default().to_string_lossy();
+                let current = if version == format!("v{CACHE_FORMAT_VERSION}") {
+                    " (current)"
+                } else {
+                    " (stale format, never read)"
+                };
+                println!("  {version}{current}: {files} records, {bytes} bytes");
+            }
+        }
+        Some("clear") => {
+            let Some(dir) = dir else {
+                fail(&format!("{CACHE_DIR_ENV} not set; nothing to clear"));
+            };
+            // Delete only the versioned record subdirectories the cache
+            // wrote — never the directory itself or anything else in it.
+            let versions = cache_version_dirs(&dir);
+            if versions.is_empty() {
+                println!("no cache records under {}; nothing to clear", dir.display());
+                return;
+            }
+            for vdir in versions {
+                match std::fs::remove_dir_all(&vdir) {
+                    Ok(()) => println!("cleared {}", vdir.display()),
+                    Err(e) => fail(&format!("cannot clear {}: {e}", vdir.display())),
+                }
+            }
+        }
+        Some(other) => fail(&format!(
+            "unknown cache subcommand '{other}' (expected stats or clear)"
+        )),
+        None => fail("cache needs a subcommand: stats or clear"),
+    }
 }
 
 fn run(args: &[String]) {
@@ -194,24 +330,22 @@ fn run(args: &[String]) {
         (false, Some(n)) => Runner::new(n),
         (false, None) => Runner::from_env(),
     };
-
-    // --no-cache: each artifact gets its own throwaway cache (the library
-    // API always takes one), so nothing is shared or persisted — but the
-    // batch is still scheduled in parallel like the cached path.
-    let reports: Vec<Report> = if no_cache {
-        let ctx_runner = &runner;
-        let out = ctx_runner.map_indexed(specs.len(), |i| {
-            let cache = MeasureCache::new();
-            registry::run_specs(&[specs[i]], effort, ctx_runner, &cache)
+    // --no-cache: each artifact gets its own throwaway in-memory cache,
+    // so nothing is shared across artifacts or persisted — but the batch
+    // is still scheduled in parallel, intra-artifact memoization (e.g.
+    // the HPO record shared by the FixHOpt variants) is preserved, and
+    // per-artifact output is bit-identical either way.
+    let reports = if no_cache {
+        runner.map_indexed(specs.len(), |i| {
+            let ctx = RunContext::new(runner, MeasureCache::new());
+            registry::run_specs(&[specs[i]], effort, &ctx)
                 .pop()
                 .expect("one report per spec")
-        });
-        eprintln!("cache: disabled (--no-cache)");
-        out
+        })
     } else {
-        let cache = MeasureCache::from_env();
-        let reports = registry::run_specs(&specs, effort, &runner, &cache);
-        let s = cache.stats();
+        let ctx = RunContext::new(runner, MeasureCache::from_env());
+        let reports = registry::run_specs(&specs, effort, &ctx);
+        let s = ctx.cache().stats();
         eprintln!(
             "cache: {} full hits, {} extensions, {} misses; {} rows computed, {} served; {} hopt records computed ({} fits), {} served{}",
             s.full_hits,
@@ -222,10 +356,13 @@ fn run(args: &[String]) {
             s.records_computed,
             s.record_fits_computed,
             s.records_served,
-            if cache.is_persistent() { " [disk]" } else { "" },
+            if ctx.cache().is_persistent() { " [disk]" } else { "" },
         );
         reports
     };
+    if no_cache {
+        eprintln!("cache: per-artifact private caches (--no-cache)");
+    }
 
     // Emit.
     if let Some(dir) = out_dir {

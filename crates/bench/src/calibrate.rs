@@ -5,10 +5,9 @@
 //! estimators on the case studies. This module performs that measurement.
 
 use crate::registry::RunContext;
-use varbench_core::estimator::{fix_hopt_estimator_cached, ideal_estimator_cached, Randomize};
-use varbench_core::exec::Runner;
+use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator, Randomize};
 use varbench_core::simulation::SimulatedTask;
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm};
 use varbench_stats::describe::{mean, std_dev, variance};
 
 /// Calibration output: the simulated task plus the raw pieces.
@@ -26,35 +25,8 @@ pub struct Calibration {
 
 /// Measures a [`SimulatedTask`] for `cs`: σ from one ideal-estimator run
 /// of `k_ideal` samples; `Var(µ̃|ξ)` and `Var(R̂|ξ)` from `reps`
-/// repetitions of `FixHOptEst(k, All)`.
-///
-/// # Panics
-///
-/// Panics if `k_ideal < 2`, `k < 2`, or `reps < 2`.
-pub fn calibrate(
-    cs: &CaseStudy,
-    k_ideal: usize,
-    k: usize,
-    reps: usize,
-    algo: HpoAlgorithm,
-    budget: usize,
-    seed: u64,
-) -> Calibration {
-    let cache = MeasureCache::new();
-    calibrate_with(
-        cs,
-        k_ideal,
-        k,
-        reps,
-        algo,
-        budget,
-        seed,
-        &RunContext::new(&Runner::serial(), &cache),
-    )
-}
-
-/// [`calibrate`] with an explicit [`RunContext`]: the ideal run and the
-/// repetition groups are served from (and stored into) the measurement
+/// repetitions of `FixHOptEst(k, All)`. The ideal run and the repetition
+/// groups are served from (and stored into) the context's measurement
 /// cache, so a calibration at Fig. 5's seed and budget reuses Fig. 5's
 /// estimator matrices outright.
 ///
@@ -62,7 +34,7 @@ pub fn calibrate(
 ///
 /// Panics if `k_ideal < 2`, `k < 2`, or `reps < 2`.
 #[allow(clippy::too_many_arguments)]
-pub fn calibrate_with(
+pub fn calibrate(
     cs: &CaseStudy,
     k_ideal: usize,
     k: usize,
@@ -76,24 +48,13 @@ pub fn calibrate_with(
         k_ideal >= 2 && k >= 2 && reps >= 2,
         "need at least 2 of everything"
     );
-    let ideal = ideal_estimator_cached(cs, k_ideal, algo, budget, seed, ctx.runner, ctx.cache);
+    let ideal = ideal_estimator(cs, k_ideal, algo, budget, seed, ctx);
     let sigma = std_dev(&ideal.measures).max(1e-9);
     let mu = mean(&ideal.measures);
 
     let groups: Vec<Vec<f64>> = (0..reps)
         .map(|r| {
-            fix_hopt_estimator_cached(
-                cs,
-                k,
-                algo,
-                budget,
-                seed,
-                r as u64,
-                Randomize::All,
-                ctx.runner,
-                ctx.cache,
-            )
-            .measures
+            fix_hopt_estimator(cs, k, algo, budget, seed, r as u64, Randomize::All, ctx).measures
         })
         .collect();
     let group_means: Vec<f64> = groups.iter().map(|g| mean(g)).collect();
@@ -117,7 +78,16 @@ mod tests {
     #[test]
     fn calibration_produces_positive_parameters() {
         let cs = CaseStudy::glue_rte_bert(Scale::Test);
-        let c = calibrate(&cs, 3, 4, 3, HpoAlgorithm::RandomSearch, 3, 1);
+        let c = calibrate(
+            &cs,
+            3,
+            4,
+            3,
+            HpoAlgorithm::RandomSearch,
+            3,
+            1,
+            &RunContext::serial(),
+        );
         assert!(c.task.sigma > 0.0);
         assert!(c.task.bias_std > 0.0);
         assert!(c.task.measure_std > 0.0);
@@ -130,8 +100,9 @@ mod tests {
     #[test]
     fn calibration_deterministic() {
         let cs = CaseStudy::glue_rte_bert(Scale::Test);
-        let a = calibrate(&cs, 2, 2, 2, HpoAlgorithm::RandomSearch, 2, 2);
-        let b = calibrate(&cs, 2, 2, 2, HpoAlgorithm::RandomSearch, 2, 2);
+        let ctx = RunContext::serial();
+        let a = calibrate(&cs, 2, 2, 2, HpoAlgorithm::RandomSearch, 2, 2, &ctx);
+        let b = calibrate(&cs, 2, 2, 2, HpoAlgorithm::RandomSearch, 2, 2, &ctx);
         assert_eq!(a, b);
     }
 }

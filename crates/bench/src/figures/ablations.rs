@@ -17,11 +17,10 @@
 use crate::args::Effort;
 use crate::figures::hopt_study_seed;
 use crate::registry::RunContext;
-use varbench_core::estimator::source_variance_study_cached;
-use varbench_core::exec::Runner;
+use varbench_core::estimator::source_variance_study;
 use varbench_core::report::{num, Report, Table};
 use varbench_data::split::{kfold, Split};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, SeedAssignment, VarianceSource};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, SeedAssignment, VarianceSource};
 use varbench_rng::Rng;
 use varbench_stats::describe::std_dev;
 
@@ -79,22 +78,10 @@ impl Config {
     }
 }
 
-/// ξ_H std at each HPO budget level for one case study (serial path,
-/// fresh cache).
-pub fn budget_sweep(cs: &CaseStudy, config: &Config, seed: u64) -> Vec<(usize, f64)> {
-    let cache = MeasureCache::new();
-    budget_sweep_with(
-        cs,
-        config,
-        seed,
-        &RunContext::new(&Runner::serial(), &cache),
-    )
-}
-
-/// [`budget_sweep`] with an explicit [`RunContext`]: each budget level's
-/// ξ_H matrix is cached; levels matching Fig. 1's HPO budget share its
-/// rows outright.
-pub fn budget_sweep_with(
+/// ξ_H std at each HPO budget level for one case study: each budget
+/// level's ξ_H matrix is cached; levels matching Fig. 1's HPO budget
+/// share its rows outright.
+pub fn budget_sweep(
     cs: &CaseStudy,
     config: &Config,
     seed: u64,
@@ -104,15 +91,14 @@ pub fn budget_sweep_with(
         .budgets
         .iter()
         .map(|&budget| {
-            let measures = source_variance_study_cached(
+            let measures = source_variance_study(
                 cs,
                 VarianceSource::HyperOpt,
                 config.n_hopt,
                 HpoAlgorithm::RandomSearch,
                 budget,
                 seed,
-                ctx.runner,
-                ctx.cache,
+                ctx,
             );
             (budget, std_dev(&measures))
         })
@@ -218,7 +204,7 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
             .collect(),
     );
     for cs in [CaseStudy::glue_rte_bert(scale), CaseStudy::mhc_mlp(scale)] {
-        let sweep = budget_sweep_with(&cs, config, hopt_study_seed(), ctx);
+        let sweep = budget_sweep(&cs, config, hopt_study_seed(), ctx);
         let mut row = vec![cs.name().to_string()];
         for (_, sd) in &sweep {
             row.push(num(*sd, 5));
@@ -258,12 +244,6 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
     r
 }
 
-/// Runs both ablations and renders the report.
-pub fn run(config: &Config) -> String {
-    let cache = MeasureCache::new();
-    report_with(config, &RunContext::new(&Runner::serial(), &cache)).render_text()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,7 +252,7 @@ mod tests {
     #[test]
     fn budget_sweep_shapes() {
         let cs = CaseStudy::mhc_mlp(Scale::Test);
-        let sweep = budget_sweep(&cs, &Config::test(), 1);
+        let sweep = budget_sweep(&cs, &Config::test(), 1, &RunContext::serial());
         assert_eq!(sweep.len(), 4);
         assert!(sweep.iter().all(|(_, sd)| sd.is_finite() && *sd >= 0.0));
     }
@@ -292,7 +272,7 @@ mod tests {
 
     #[test]
     fn report_renders_both_sections() {
-        let r = run(&Config::test());
+        let r = report_with(&Config::test(), &RunContext::serial()).render_text();
         assert!(r.contains("HPO budget"));
         assert!(r.contains("cross-validation"));
     }

@@ -9,10 +9,9 @@
 use crate::args::Effort;
 use crate::figures::SOURCE_STUDY_SEED;
 use crate::registry::RunContext;
-use varbench_core::estimator::source_variance_study_cached;
-use varbench_core::exec::Runner;
+use varbench_core::estimator::source_variance_study;
 use varbench_core::report::{bar, num, Report, Table};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, VarianceSource};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, VarianceSource};
 use varbench_stats::describe::std_dev;
 
 /// Configuration of the Fig. 1 study.
@@ -80,27 +79,11 @@ pub struct TaskVariances {
     pub bootstrap_std: f64,
 }
 
-/// Runs the Fig. 1 study on one case study (serial path, fresh cache).
-pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> TaskVariances {
-    let cache = MeasureCache::new();
-    study_case_with(
-        cs,
-        config,
-        seed,
-        &RunContext::new(&Runner::serial(), &cache),
-    )
-}
-
-/// [`study_case`] with an explicit [`RunContext`]: each source study's
-/// `n` re-seeded trainings (and each HPO algorithm's independent
-/// procedures) fan out on the context's runner and are memoized in its
-/// measurement cache, bit-identical to the serial uncached path.
-pub fn study_case_with(
-    cs: &CaseStudy,
-    config: &Config,
-    seed: u64,
-    ctx: &RunContext,
-) -> TaskVariances {
+/// Runs the Fig. 1 study on one case study: each source study's `n`
+/// re-seeded trainings (and each HPO algorithm's independent procedures)
+/// fan out on the context's runner and are memoized in its measurement
+/// cache, bit-identical for any context.
+pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64, ctx: &RunContext) -> TaskVariances {
     let mut rows = Vec::new();
     let mut bootstrap_std = f64::NAN;
     // ξ_O sources, bootstrap first (it is the reference).
@@ -108,15 +91,14 @@ pub fn study_case_with(
         if src.is_hyperopt() {
             continue;
         }
-        let measures = source_variance_study_cached(
+        let measures = source_variance_study(
             cs,
             src,
             config.n_seeds,
             HpoAlgorithm::RandomSearch,
             1,
             seed,
-            ctx.runner,
-            ctx.cache,
+            ctx,
         );
         let sd = std_dev(&measures);
         if src == VarianceSource::DataSplit {
@@ -126,15 +108,14 @@ pub fn study_case_with(
     }
     // ξ_H: one row per studied HPO algorithm.
     for algo in HpoAlgorithm::STUDIED {
-        let measures = source_variance_study_cached(
+        let measures = source_variance_study(
             cs,
             VarianceSource::HyperOpt,
             config.n_hopt,
             algo,
             config.budget,
             seed ^ 0xB0B0,
-            ctx.runner,
-            ctx.cache,
+            ctx,
         );
         rows.push((algo.display_name().to_string(), std_dev(&measures)));
     }
@@ -154,7 +135,7 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
         config.n_seeds, config.n_hopt, config.budget
     ));
     for cs in CaseStudy::all(config.effort.scale()) {
-        let tv = study_case_with(&cs, config, SOURCE_STUDY_SEED, ctx);
+        let tv = study_case(&cs, config, SOURCE_STUDY_SEED, ctx);
         r.text(format!("== {} ({}) ==\n", tv.task, cs.metric()));
         let mut table = Table::new(vec![
             "source".into(),
@@ -185,19 +166,6 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
     r
 }
 
-/// Runs the full Fig. 1 reproduction with the default executor (thread
-/// count from `VARBENCH_THREADS`, all cores if unset) and a fresh cache.
-pub fn run(config: &Config) -> String {
-    run_with(config, &Runner::from_env())
-}
-
-/// [`run`] with an explicit [`Runner`]; the report is byte-identical for
-/// every thread count.
-pub fn run_with(config: &Config, runner: &Runner) -> String {
-    let cache = MeasureCache::new();
-    report_with(config, &RunContext::new(runner, &cache)).render_text()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,7 +174,7 @@ mod tests {
     #[test]
     fn study_produces_rows_for_active_sources() {
         let cs = CaseStudy::glue_rte_bert(Scale::Test);
-        let tv = study_case(&cs, &Config::test(), 1);
+        let tv = study_case(&cs, &Config::test(), 1, &RunContext::serial());
         // 4 ξ_O active sources + 3 HPO algorithms.
         assert_eq!(tv.rows.len(), 4 + 3);
         assert!(tv.bootstrap_std > 0.0);
@@ -219,7 +187,7 @@ mod tests {
         // The paper's headline: data sampling variance >= init variance.
         // At Test scale noise is large, so only check both are measured.
         let cs = CaseStudy::glue_sst2_bert(Scale::Test);
-        let tv = study_case(&cs, &Config::test(), 2);
+        let tv = study_case(&cs, &Config::test(), 2, &RunContext::serial());
         let get = |name: &str| {
             tv.rows
                 .iter()
@@ -233,7 +201,7 @@ mod tests {
 
     #[test]
     fn report_renders_all_tasks() {
-        let report = run(&Config::test());
+        let report = report_with(&Config::test(), &RunContext::serial()).render_text();
         for task in [
             "glue-rte-bert",
             "glue-sst2-bert",

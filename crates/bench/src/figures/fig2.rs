@@ -9,10 +9,9 @@
 use crate::args::Effort;
 use crate::figures::SOURCE_STUDY_SEED;
 use crate::registry::RunContext;
-use varbench_core::estimator::source_variance_study_cached;
-use varbench_core::exec::Runner;
+use varbench_core::estimator::source_variance_study;
 use varbench_core::report::{num, Report, Table};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, VarianceSource};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, VarianceSource};
 use varbench_stats::describe::{mean, std_dev};
 use varbench_stats::Binomial;
 
@@ -76,36 +75,23 @@ pub struct EmpiricalPoint {
     pub binomial_std: f64,
 }
 
-/// Measures the empirical point for one classification case study
-/// (serial path, fresh cache).
-pub fn empirical_point(cs: &CaseStudy, config: &Config, seed: u64) -> EmpiricalPoint {
-    let cache = MeasureCache::new();
-    empirical_point_with(
-        cs,
-        config,
-        seed,
-        &RunContext::new(&Runner::serial(), &cache),
-    )
-}
-
-/// [`empirical_point`] with an explicit [`RunContext`]: the bootstrap
-/// score matrix is shared with Fig. 1's `Data (bootstrap)` row through
-/// the measurement cache.
-pub fn empirical_point_with(
+/// Measures the empirical point for one classification case study: the
+/// bootstrap score matrix is shared with Fig. 1's `Data (bootstrap)` row
+/// through the context's measurement cache.
+pub fn empirical_point(
     cs: &CaseStudy,
     config: &Config,
     seed: u64,
     ctx: &RunContext,
 ) -> EmpiricalPoint {
-    let measures = source_variance_study_cached(
+    let measures = source_variance_study(
         cs,
         VarianceSource::DataSplit,
         config.n_splits,
         HpoAlgorithm::RandomSearch,
         1,
         seed,
-        ctx.runner,
-        ctx.cache,
+        ctx,
     );
     let tau = mean(&measures);
     let n_test = match cs.split_spec() {
@@ -180,7 +166,7 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
         CaseStudy::cifar10_vgg11(scale),
     ];
     for cs in &tasks {
-        let p = empirical_point_with(cs, config, SOURCE_STUDY_SEED, ctx);
+        let p = empirical_point(cs, config, SOURCE_STUDY_SEED, ctx);
         t.add_row(vec![
             p.task.to_string(),
             p.n_test.to_string(),
@@ -196,12 +182,6 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
          confirming data-sampling variance is explained by test-set size.\n",
     );
     r
-}
-
-/// Runs the Fig. 2 reproduction (default executor, fresh cache).
-pub fn run(config: &Config) -> String {
-    let cache = MeasureCache::new();
-    report_with(config, &RunContext::new(&Runner::from_env(), &cache)).render_text()
 }
 
 #[cfg(test)]
@@ -224,7 +204,7 @@ mod tests {
     #[test]
     fn empirical_point_is_same_order_as_binomial() {
         let cs = CaseStudy::glue_sst2_bert(Scale::Test);
-        let p = empirical_point(&cs, &Config::test(), 1);
+        let p = empirical_point(&cs, &Config::test(), 1, &RunContext::serial());
         assert!(p.observed_std > 0.0);
         // Within an order of magnitude at tiny scale.
         let ratio = p.observed_std / p.binomial_std;
@@ -233,7 +213,7 @@ mod tests {
 
     #[test]
     fn report_contains_tables() {
-        let r = run(&Config::test());
+        let r = report_with(&Config::test(), &RunContext::serial()).render_text();
         assert!(r.contains("binomial"));
         assert!(r.contains("glue-rte-bert"));
         assert!(r.contains("cifar10-vgg11"));

@@ -12,10 +12,9 @@ use crate::args::Effort;
 use crate::figures::SOURCE_STUDY_SEED;
 use crate::leaderboard::{increments, Entry, CIFAR10, SST2};
 use crate::registry::RunContext;
-use varbench_core::estimator::{joint_variance_study_cached, source_variance_study_cached};
-use varbench_core::exec::Runner;
+use varbench_core::estimator::{joint_variance_study, source_variance_study};
 use varbench_core::report::{num, Report, Table};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, Scale, VarianceSource};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, Scale, VarianceSource};
 use varbench_stats::describe::variance;
 use varbench_stats::{standard_normal_quantile, Binomial};
 
@@ -95,23 +94,21 @@ const INFLATION_N: usize = 30;
 /// `fig3 --full` from costing 60 Full-scale trainings for one scalar.
 pub fn measured_inflation(ctx: &RunContext) -> f64 {
     let cs = CaseStudy::cifar10_vgg11(Scale::Quick);
-    let joint = joint_variance_study_cached(
+    let joint = joint_variance_study(
         &cs,
         &VarianceSource::XI_O,
         INFLATION_N,
         SOURCE_STUDY_SEED,
-        ctx.runner,
-        ctx.cache,
+        ctx,
     );
-    let boot = source_variance_study_cached(
+    let boot = source_variance_study(
         &cs,
         VarianceSource::DataSplit,
         INFLATION_N,
         HpoAlgorithm::RandomSearch,
         1,
         SOURCE_STUDY_SEED,
-        ctx.runner,
-        ctx.cache,
+        ctx,
     );
     (variance(&joint, 1) / variance(&boot, 1)).max(1.0)
 }
@@ -225,12 +222,6 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
     r
 }
 
-/// Runs the Fig. 3 reproduction (default executor, fresh cache).
-pub fn run(config: &Config) -> String {
-    let cache = MeasureCache::new();
-    report_with(config, &RunContext::new(&Runner::from_env(), &cache)).render_text()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,7 +269,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(&Config::default());
+        let r = report_with(&Config::default(), &RunContext::serial()).render_text();
         assert!(r.contains("cifar10"));
         assert!(r.contains("significant"));
         assert!(r.contains("BERT-base"));

@@ -12,10 +12,9 @@ use crate::args::Effort;
 use crate::figures::ESTIMATOR_SEED;
 use crate::registry::RunContext;
 use varbench_core::decompose::{equivalent_ideal_k, ideal_std_err_curve, std_err_curve};
-use varbench_core::estimator::{fix_hopt_estimator_cached, ideal_estimator_cached, Randomize};
-use varbench_core::exec::Runner;
+use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator, Randomize};
 use varbench_core::report::{num, Report, Table};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm};
 use varbench_stats::describe::{std_dev, std_of_std};
 
 /// Configuration of the Fig. 5 study.
@@ -93,40 +92,15 @@ pub struct EstimatorCurves {
     pub ideal_fits: usize,
 }
 
-/// Runs the estimator study on one case study (serial path, fresh
-/// cache).
-pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> EstimatorCurves {
-    let cache = MeasureCache::new();
-    study_case_with(
-        cs,
-        config,
-        seed,
-        &RunContext::new(&Runner::serial(), &cache),
-    )
-}
-
-/// [`study_case`] with an explicit [`RunContext`]: the ideal estimator's
+/// Runs the estimator study on one case study: the ideal estimator's
 /// samples and each biased repetition's `k` measures are independent seed
 /// branches that fan out on the context's runner, and every matrix is
 /// memoized in the measurement cache (Fig. 6's calibration and Fig. H.5's
 /// decomposition reuse them). The curves are bit-identical to the serial
 /// uncached path for any thread count.
-pub fn study_case_with(
-    cs: &CaseStudy,
-    config: &Config,
-    seed: u64,
-    ctx: &RunContext,
-) -> EstimatorCurves {
+pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64, ctx: &RunContext) -> EstimatorCurves {
     let algo = HpoAlgorithm::RandomSearch;
-    let ideal_run = ideal_estimator_cached(
-        cs,
-        config.k_ideal,
-        algo,
-        config.budget,
-        seed,
-        ctx.runner,
-        ctx.cache,
-    );
+    let ideal_run = ideal_estimator(cs, config.k_ideal, algo, config.budget, seed, ctx);
     let sigma = std_dev(&ideal_run.measures);
     let ideal_fits_per_kmax = config.k_max * (config.budget + 1);
 
@@ -137,18 +111,8 @@ pub fn study_case_with(
         .iter()
         .flat_map(|&v| (0..config.reps).map(move |r| (v, r as u64)))
         .map(|(variant, r)| {
-            fix_hopt_estimator_cached(
-                cs,
-                config.k_max,
-                algo,
-                config.budget,
-                seed,
-                r,
-                variant,
-                ctx.runner,
-                ctx.cache,
-            )
-            .measures
+            fix_hopt_estimator(cs, config.k_max, algo, config.budget, seed, r, variant, ctx)
+                .measures
         })
         .collect();
 
@@ -185,7 +149,7 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
         .collect();
 
     for cs in CaseStudy::all(config.effort.scale()) {
-        let curves = study_case_with(&cs, config, ESTIMATOR_SEED, ctx);
+        let curves = study_case(&cs, config, ESTIMATOR_SEED, ctx);
         r.text(format!(
             "== {} (sigma_ideal = {}, +/- band = sigma/sqrt(2(k-1)) ) ==\n",
             curves.task,
@@ -233,20 +197,6 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
     r
 }
 
-/// Runs the full Fig. 5 / H.4 reproduction with the default executor
-/// (thread count from `VARBENCH_THREADS`, all cores if unset) and a
-/// fresh cache.
-pub fn run(config: &Config) -> String {
-    run_with(config, &Runner::from_env())
-}
-
-/// [`run`] with an explicit [`Runner`]. The report text is byte-identical
-/// for every thread count; only wall-clock time changes.
-pub fn run_with(config: &Config, runner: &Runner) -> String {
-    let cache = MeasureCache::new();
-    report_with(config, &RunContext::new(runner, &cache)).render_text()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,7 +205,7 @@ mod tests {
     #[test]
     fn curves_have_expected_shapes() {
         let cs = CaseStudy::glue_rte_bert(Scale::Test);
-        let c = study_case(&cs, &Config::test(), 1);
+        let c = study_case(&cs, &Config::test(), 1, &RunContext::serial());
         assert_eq!(c.ideal.len(), 4);
         assert_eq!(c.biased.len(), 3);
         for (variant, curve, fits) in &c.biased {
@@ -271,7 +221,7 @@ mod tests {
 
     #[test]
     fn report_renders_estimators() {
-        let r = run(&Config::test());
+        let r = report_with(&Config::test(), &RunContext::serial()).render_text();
         assert!(r.contains("IdealEst"));
         assert!(r.contains("FixHOptEst(k, Init)"));
         assert!(r.contains("FixHOptEst(k, All)"));

@@ -9,14 +9,13 @@
 //! with the biased estimator.
 
 use crate::args::Effort;
-use crate::calibrate::calibrate_with;
+use crate::calibrate::calibrate;
 use crate::figures::ESTIMATOR_SEED;
 use crate::registry::RunContext;
 use varbench_core::compare::PAPER_DELTA_MULTIPLIER;
-use varbench_core::exec::Runner;
 use varbench_core::report::{num, pct, Report, Table};
 use varbench_core::simulation::{detection_study_with, DetectionConfig, SimulatedTask};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm};
 
 /// Configuration of the Fig. 6 study.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,7 +96,7 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
     // task); the qualitative picture is task-independent.
     let cs = CaseStudy::glue_rte_bert(config.effort.scale());
     let (k_ideal, k_cal, reps, budget) = config.calib;
-    let cal = calibrate_with(
+    let cal = calibrate(
         &cs,
         k_ideal,
         k_cal,
@@ -124,7 +123,7 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
         alpha: 0.05,
         resamples: config.resamples,
     };
-    let rows = detection_study_with(&task, &probability_sweep(), &det, 0xF1660, ctx.runner);
+    let rows = detection_study_with(&task, &probability_sweep(), &det, 0xF1660, ctx.runner());
 
     let mut t = Table::new(vec![
         "P(A>B)".into(),
@@ -159,19 +158,6 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
     r
 }
 
-/// Runs the Fig. 6 reproduction with the default executor (thread count
-/// from `VARBENCH_THREADS`, all cores if unset) and a fresh cache.
-pub fn run(config: &Config) -> String {
-    run_with(config, &Runner::from_env())
-}
-
-/// [`run`] with an explicit [`Runner`]; the report is byte-identical for
-/// every thread count.
-pub fn run_with(config: &Config, runner: &Runner) -> String {
-    let cache = MeasureCache::new();
-    report_with(config, &RunContext::new(runner, &cache)).render_text()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,7 +172,7 @@ mod tests {
 
     #[test]
     fn report_runs_and_orders_criteria() {
-        let r = run(&Config::test());
+        let r = report_with(&Config::test(), &RunContext::serial()).render_text();
         assert!(r.contains("calibration"));
         assert!(r.contains("oracle"));
         assert!(r.contains("single-point"));

@@ -3,10 +3,8 @@
 
 use crate::args::Effort;
 use crate::registry::RunContext;
-use varbench_core::exec::Runner;
 use varbench_core::report::{num, Report, Table};
 use varbench_core::sample_size::{noether_curve, recommended, RECOMMENDED_GAMMA};
-use varbench_pipeline::MeasureCache;
 
 /// Configuration of the Fig. C.1 sweep (pure computation — no training).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,12 +90,6 @@ pub fn report_with(config: &Config, _ctx: &RunContext) -> Report {
     r
 }
 
-/// Runs the Fig. C.1 reproduction.
-pub fn run(config: &Config) -> String {
-    let cache = MeasureCache::new();
-    report_with(config, &RunContext::new(&Runner::serial(), &cache)).render_text()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,7 +97,7 @@ mod tests {
     #[test]
     fn report_contains_recommendation_at_every_preset() {
         for config in [Config::test(), Config::quick(), Config::full()] {
-            let r = run(&config);
+            let r = report_with(&config, &RunContext::serial()).render_text();
             assert!(r.contains("N = 29"), "{config:?}");
             assert!(r.contains("recommended"), "{config:?}");
         }
@@ -113,7 +105,7 @@ mod tests {
 
     #[test]
     fn report_shows_explosion_at_small_gamma() {
-        let r = run(&Config::test());
+        let r = report_with(&Config::test(), &RunContext::serial()).render_text();
         // The first sweep points (gamma near the coin flip) need hundreds
         // of samples; check a 3-digit-plus number appears.
         let big_n = r

@@ -10,9 +10,8 @@
 
 use crate::args::Effort;
 use crate::registry::RunContext;
-use varbench_core::exec::Runner;
 use varbench_core::report::{num, Report, Table};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, SeedAssignment, VarianceSource};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, SeedAssignment, VarianceSource};
 use varbench_stats::describe::{mean, std_dev};
 
 /// Configuration of the Fig. F.2 study.
@@ -160,12 +159,6 @@ pub fn report_with(config: &Config, _ctx: &RunContext) -> Report {
     r
 }
 
-/// Runs the full Fig. F.2 reproduction.
-pub fn run(config: &Config) -> String {
-    let cache = MeasureCache::new();
-    report_with(config, &RunContext::new(&Runner::serial(), &cache)).render_text()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,7 +180,7 @@ mod tests {
 
     #[test]
     fn report_lists_algorithms() {
-        let r = run(&Config::test());
+        let r = report_with(&Config::test(), &RunContext::serial()).render_text();
         assert!(r.contains("Random Search"));
         assert!(r.contains("Noisy Grid Search"));
         assert!(r.contains("Bayes Opt"));

@@ -9,10 +9,9 @@
 use crate::args::Effort;
 use crate::figures::SOURCE_STUDY_SEED;
 use crate::registry::RunContext;
-use varbench_core::estimator::{joint_variance_study_cached, source_variance_study_cached};
-use varbench_core::exec::Runner;
+use varbench_core::estimator::{joint_variance_study, source_variance_study};
 use varbench_core::report::{num, Report, Table};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, VarianceSource};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, VarianceSource};
 use varbench_stats::kde::Kde;
 use varbench_stats::tests::shapiro_wilk::shapiro_wilk;
 
@@ -70,27 +69,10 @@ pub struct NormalityPanel {
     pub rows: Vec<(String, Option<f64>, f64)>,
 }
 
-/// Runs the normality study on one case study (serial path, fresh
-/// cache).
-pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> NormalityPanel {
-    let cache = MeasureCache::new();
-    study_case_with(
-        cs,
-        config,
-        seed,
-        &RunContext::new(&Runner::serial(), &cache),
-    )
-}
-
-/// [`study_case`] with an explicit [`RunContext`]: both the per-source
-/// and the joint ("Altogether") score matrices come from the measurement
-/// cache, shared with Fig. 1 and the interaction study.
-pub fn study_case_with(
-    cs: &CaseStudy,
-    config: &Config,
-    seed: u64,
-    ctx: &RunContext,
-) -> NormalityPanel {
+/// Runs the normality study on one case study: both the per-source and
+/// the joint ("Altogether") score matrices come from the context's
+/// measurement cache, shared with Fig. 1 and the interaction study.
+pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64, ctx: &RunContext) -> NormalityPanel {
     let mut rows = Vec::new();
     let sources: Vec<VarianceSource> = cs
         .active_sources()
@@ -99,27 +81,19 @@ pub fn study_case_with(
         .filter(|s| !s.is_hyperopt())
         .collect();
     for &src in &sources {
-        let measures = source_variance_study_cached(
+        let measures = source_variance_study(
             cs,
             src,
             config.n_seeds,
             HpoAlgorithm::RandomSearch,
             1,
             seed,
-            ctx.runner,
-            ctx.cache,
+            ctx,
         );
         rows.push(panel_row(src.display_name().to_string(), &measures));
     }
     // Joint randomization of all ξ_O (paper's "Altogether" row).
-    let measures = joint_variance_study_cached(
-        cs,
-        &VarianceSource::XI_O,
-        config.n_seeds,
-        seed,
-        ctx.runner,
-        ctx.cache,
-    );
+    let measures = joint_variance_study(cs, &VarianceSource::XI_O, config.n_seeds, seed, ctx);
     rows.push(panel_row("Altogether".to_string(), &measures));
     NormalityPanel {
         task: cs.name(),
@@ -147,7 +121,7 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
         config.n_seeds
     ));
     for cs in CaseStudy::all(config.effort.scale()) {
-        let panel = study_case_with(&cs, config, SOURCE_STUDY_SEED, ctx);
+        let panel = study_case(&cs, config, SOURCE_STUDY_SEED, ctx);
         r.text(format!("== {} ==\n", panel.task));
         let mut t = Table::new(vec![
             "source".into(),
@@ -171,12 +145,6 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
     r
 }
 
-/// Runs the full Fig. G.3 reproduction.
-pub fn run(config: &Config) -> String {
-    let cache = MeasureCache::new();
-    report_with(config, &RunContext::new(&Runner::from_env(), &cache)).render_text()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,7 +153,7 @@ mod tests {
     #[test]
     fn panel_includes_altogether_row() {
         let cs = CaseStudy::mhc_mlp(Scale::Test);
-        let p = study_case(&cs, &Config::test(), 1);
+        let p = study_case(&cs, &Config::test(), 1, &RunContext::serial());
         assert!(p.rows.iter().any(|(l, _, _)| l == "Altogether"));
         // Active sources have p-values.
         let data_row = p
@@ -201,7 +169,7 @@ mod tests {
 
     #[test]
     fn report_renders_panels() {
-        let r = run(&Config::test());
+        let r = report_with(&Config::test(), &RunContext::serial()).render_text();
         assert!(r.contains("Shapiro-Wilk"));
         assert!(r.contains("Altogether"));
     }

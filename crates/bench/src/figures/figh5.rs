@@ -10,10 +10,9 @@ use crate::args::Effort;
 use crate::figures::ESTIMATOR_SEED;
 use crate::registry::RunContext;
 use varbench_core::decompose::{decompose, Decomposition};
-use varbench_core::estimator::{fix_hopt_estimator_cached, ideal_estimator_cached, Randomize};
-use varbench_core::exec::Runner;
+use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator, Randomize};
 use varbench_core::report::{num, Report, Table};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm};
 use varbench_stats::describe::mean;
 
 /// Configuration of the Fig. H.5 study.
@@ -88,56 +87,25 @@ pub struct TaskDecomposition {
     pub rows: Vec<(Randomize, Decomposition)>,
 }
 
-/// Runs the decomposition study on one case study (serial path, fresh
-/// cache).
-pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> TaskDecomposition {
-    let cache = MeasureCache::new();
-    study_case_with(
-        cs,
-        config,
-        seed,
-        &RunContext::new(&Runner::serial(), &cache),
-    )
-}
-
-/// [`study_case`] with an explicit [`RunContext`]: the ideal reference
-/// run and every repetition's measures come from the measurement cache
-/// (shared with Fig. 5 when seeds and budgets line up), with
-/// bit-identical decompositions for any thread count.
-pub fn study_case_with(
+/// Runs the decomposition study on one case study: the ideal reference
+/// run and every repetition's measures come from the context's
+/// measurement cache (shared with Fig. 5 when seeds and budgets line
+/// up), with bit-identical decompositions for any thread count.
+pub fn study_case(
     cs: &CaseStudy,
     config: &Config,
     seed: u64,
     ctx: &RunContext,
 ) -> TaskDecomposition {
     let algo = HpoAlgorithm::RandomSearch;
-    let ideal = ideal_estimator_cached(
-        cs,
-        config.k_ideal,
-        algo,
-        config.budget,
-        seed,
-        ctx.runner,
-        ctx.cache,
-    );
+    let ideal = ideal_estimator(cs, config.k_ideal, algo, config.budget, seed, ctx);
     let mu = mean(&ideal.measures);
     let variants = [Randomize::Init, Randomize::Data, Randomize::All];
     let groups: Vec<Vec<f64>> = variants
         .iter()
         .flat_map(|&v| (0..config.reps).map(move |r| (v, r as u64)))
         .map(|(variant, r)| {
-            fix_hopt_estimator_cached(
-                cs,
-                config.k,
-                algo,
-                config.budget,
-                seed,
-                r,
-                variant,
-                ctx.runner,
-                ctx.cache,
-            )
-            .measures
+            fix_hopt_estimator(cs, config.k, algo, config.budget, seed, r, variant, ctx).measures
         })
         .collect();
     let rows = variants
@@ -164,7 +132,7 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
         config.k, config.reps, config.budget
     ));
     for cs in CaseStudy::all(config.effort.scale()) {
-        let d = study_case_with(&cs, config, ESTIMATOR_SEED, ctx);
+        let d = study_case(&cs, config, ESTIMATOR_SEED, ctx);
         r.text(format!("== {} (mu = {}) ==\n", d.task, num(d.mu, 4)));
         let mut t = Table::new(vec![
             "estimator".into(),
@@ -195,19 +163,6 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
     r
 }
 
-/// Runs the full Fig. H.5 reproduction with the default executor (thread
-/// count from `VARBENCH_THREADS`, all cores if unset) and a fresh cache.
-pub fn run(config: &Config) -> String {
-    run_with(config, &Runner::from_env())
-}
-
-/// [`run`] with an explicit [`Runner`]; the report is byte-identical for
-/// every thread count.
-pub fn run_with(config: &Config, runner: &Runner) -> String {
-    let cache = MeasureCache::new();
-    report_with(config, &RunContext::new(runner, &cache)).render_text()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,7 +171,7 @@ mod tests {
     #[test]
     fn decomposition_rows_complete() {
         let cs = CaseStudy::glue_rte_bert(Scale::Test);
-        let d = study_case(&cs, &Config::test(), 1);
+        let d = study_case(&cs, &Config::test(), 1, &RunContext::serial());
         assert_eq!(d.rows.len(), 3);
         for (_, dec) in &d.rows {
             assert!(dec.variance >= 0.0);
@@ -227,7 +182,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(&Config::test());
+        let r = report_with(&Config::test(), &RunContext::serial()).render_text();
         assert!(r.contains("MSE decomposition"));
         assert!(r.contains("FixHOptEst(k, All)"));
     }

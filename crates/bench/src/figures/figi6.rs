@@ -9,10 +9,8 @@
 use crate::args::Effort;
 use crate::registry::RunContext;
 use varbench_core::compare::{average_comparison, compare_paired};
-use varbench_core::exec::Runner;
 use varbench_core::report::{num, pct, Report, Table};
 use varbench_core::simulation::{simulate_measures, SimEstimator, SimulatedTask};
-use varbench_pipeline::MeasureCache;
 use varbench_rng::SeedTree;
 use varbench_stats::standard_normal_quantile;
 use varbench_stats::tests::{parametric::t_test_welch, Alternative};
@@ -78,21 +76,16 @@ pub struct RatePoint {
 }
 
 /// Measures detection rates at sample size `n`, threshold `gamma`, true
-/// probability `p_true` (serial path).
-pub fn rates_at(config: &Config, n: usize, gamma: f64, p_true: f64, seed: u64) -> RatePoint {
-    rates_at_with(config, n, gamma, p_true, seed, &Runner::serial())
-}
-
-/// [`rates_at`] with an explicit [`Runner`]: each simulated comparison
-/// draws from its own seed-tree branch, so the `n_simulations` units fan
-/// out across cores with bit-identical rates for any thread count.
-pub fn rates_at_with(
+/// probability `p_true`: each simulated comparison draws from its own
+/// seed-tree branch, so the `n_simulations` units fan out across the
+/// context's cores with bit-identical rates for any thread count.
+pub fn rates_at(
     config: &Config,
     n: usize,
     gamma: f64,
     p_true: f64,
     seed: u64,
-    runner: &Runner,
+    ctx: &RunContext,
 ) -> RatePoint {
     let task = SimulatedTask::new(config.sigma, config.sigma / 2.0, config.sigma);
     let gap = task.gap_for_probability(p_true);
@@ -100,7 +93,7 @@ pub fn rates_at_with(
     // delta = Phi^-1(gamma) * sigma (Appendix I).
     let delta = standard_normal_quantile(gamma) * config.sigma;
     let tree = SeedTree::new(seed);
-    let outcomes = runner.map_indexed(config.n_simulations, |si| {
+    let outcomes = ctx.runner().map_indexed(config.n_simulations, |si| {
         let mut rng = tree.rng_indexed("sim", si as u64);
         let a = simulate_measures(&task, SimEstimator::Ideal, 0.5 + gap, n, &mut rng);
         let b = simulate_measures(&task, SimEstimator::Ideal, 0.5, n, &mut rng);
@@ -137,7 +130,7 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
             "t-test".into(),
         ]);
         for &n in &sizes {
-            let r = rates_at_with(config, n, 0.75, p, 0xF1166 + n as u64, ctx.runner);
+            let r = rates_at(config, n, 0.75, p, 0xF1166 + n as u64, ctx);
             t.add_row(vec![
                 n.to_string(),
                 pct(r.average),
@@ -160,7 +153,7 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
             "t-test".into(),
         ]);
         for &g in &gammas {
-            let r = rates_at_with(config, 50, g, p, 0xF1266 + (g * 100.0) as u64, ctx.runner);
+            let r = rates_at(config, 50, g, p, 0xF1266 + (g * 100.0) as u64, ctx);
             t.add_row(vec![
                 num(g, 2),
                 pct(r.average),
@@ -179,34 +172,22 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
     report
 }
 
-/// Runs the full Fig. I.6 reproduction with the default executor (thread
-/// count from `VARBENCH_THREADS`, all cores if unset).
-pub fn run(config: &Config) -> String {
-    run_with(config, &Runner::from_env())
-}
-
-/// [`run`] with an explicit [`Runner`]; the report is byte-identical for
-/// every thread count.
-pub fn run_with(config: &Config, runner: &Runner) -> String {
-    let cache = MeasureCache::new();
-    report_with(config, &RunContext::new(runner, &cache)).render_text()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn null_rates_controlled() {
-        let r = rates_at(&Config::test(), 50, 0.75, 0.5, 1);
+        let r = rates_at(&Config::test(), 50, 0.75, 0.5, 1, &RunContext::serial());
         assert!(r.prob_outperform <= 0.15, "po {}", r.prob_outperform);
         assert!(r.t_test <= 0.2, "tt {}", r.t_test);
     }
 
     #[test]
     fn detection_grows_with_n() {
-        let small = rates_at(&Config::test(), 5, 0.75, 0.8, 2);
-        let large = rates_at(&Config::test(), 100, 0.75, 0.8, 2);
+        let ctx = RunContext::serial();
+        let small = rates_at(&Config::test(), 5, 0.75, 0.8, 2, &ctx);
+        let large = rates_at(&Config::test(), 100, 0.75, 0.8, 2, &ctx);
         assert!(large.t_test >= small.t_test);
     }
 
@@ -217,7 +198,7 @@ mod tests {
             resamples: 50,
             sigma: 0.02,
         };
-        let r = run(&cfg);
+        let r = report_with(&cfg, &RunContext::serial()).render_text();
         assert!(r.contains("vs sample size"));
         assert!(r.contains("vs gamma"));
         assert!(r.contains("true P(A>B) = 0.8"));

@@ -10,10 +10,9 @@
 use crate::args::Effort;
 use crate::figures::SOURCE_STUDY_SEED;
 use crate::registry::RunContext;
-use varbench_core::estimator::{joint_variance_study_cached, source_variance_study_cached};
-use varbench_core::exec::Runner;
+use varbench_core::estimator::{joint_variance_study, source_variance_study};
 use varbench_core::report::{num, Report, Table};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, VarianceSource};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, VarianceSource};
 use varbench_stats::describe::variance;
 
 /// Configuration of the interaction study.
@@ -83,27 +82,10 @@ impl InteractionRow {
     }
 }
 
-/// Measures the interaction for one case study (serial path, fresh
-/// cache).
-pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64) -> InteractionRow {
-    let cache = MeasureCache::new();
-    study_case_with(
-        cs,
-        config,
-        seed,
-        &RunContext::new(&Runner::serial(), &cache),
-    )
-}
-
-/// [`study_case`] with an explicit [`RunContext`]: the marginal and joint
-/// score matrices come from the measurement cache (shared with Fig. 1 and
-/// Fig. G.3), bit-identical for any thread count.
-pub fn study_case_with(
-    cs: &CaseStudy,
-    config: &Config,
-    seed: u64,
-    ctx: &RunContext,
-) -> InteractionRow {
+/// Measures the interaction for one case study: the marginal and joint
+/// score matrices come from the context's measurement cache (shared with
+/// Fig. 1 and Fig. G.3), bit-identical for any thread count.
+pub fn study_case(cs: &CaseStudy, config: &Config, seed: u64, ctx: &RunContext) -> InteractionRow {
     let sources: Vec<VarianceSource> = cs
         .active_sources()
         .iter()
@@ -113,21 +95,19 @@ pub fn study_case_with(
     let sum_of_marginals: f64 = sources
         .iter()
         .map(|&s| {
-            let m = source_variance_study_cached(
+            let m = source_variance_study(
                 cs,
                 s,
                 config.n_seeds,
                 HpoAlgorithm::RandomSearch,
                 1,
                 seed,
-                ctx.runner,
-                ctx.cache,
+                ctx,
             );
             variance(&m, 1)
         })
         .sum();
-    let joint_measures =
-        joint_variance_study_cached(cs, &sources, config.n_seeds, seed, ctx.runner, ctx.cache);
+    let joint_measures = joint_variance_study(cs, &sources, config.n_seeds, seed, ctx);
     InteractionRow {
         task: cs.name(),
         sum_of_marginals,
@@ -150,7 +130,7 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
         "joint / sum".into(),
     ]);
     for cs in CaseStudy::all(config.effort.scale()) {
-        let row = study_case_with(&cs, config, SOURCE_STUDY_SEED, ctx);
+        let row = study_case(&cs, config, SOURCE_STUDY_SEED, ctx);
         t.add_row(vec![
             row.task.to_string(),
             format!("{:.3e}", row.sum_of_marginals),
@@ -166,19 +146,6 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
     r
 }
 
-/// Runs the interaction study across all case studies with the default
-/// executor (thread count from `VARBENCH_THREADS`, all cores if unset).
-pub fn run(config: &Config) -> String {
-    run_with(config, &Runner::from_env())
-}
-
-/// [`run`] with an explicit [`Runner`]; the report is byte-identical for
-/// every thread count.
-pub fn run_with(config: &Config, runner: &Runner) -> String {
-    let cache = MeasureCache::new();
-    report_with(config, &RunContext::new(runner, &cache)).render_text()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,7 +154,7 @@ mod tests {
     #[test]
     fn interaction_row_is_finite_and_positive() {
         let cs = CaseStudy::glue_rte_bert(Scale::Test);
-        let row = study_case(&cs, &Config::test(), 1);
+        let row = study_case(&cs, &Config::test(), 1, &RunContext::serial());
         assert!(row.sum_of_marginals > 0.0);
         assert!(row.joint > 0.0);
         assert!(row.interaction_ratio().is_finite());
@@ -195,7 +162,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = run(&Config::test());
+        let r = report_with(&Config::test(), &RunContext::serial()).render_text();
         assert!(r.contains("interaction"));
         assert!(r.contains("joint / sum"));
     }

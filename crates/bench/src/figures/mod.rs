@@ -1,9 +1,11 @@
 //! One module per paper artifact; each exposes a `Config` with
 //! `test`/`quick`/`full` presets (selected uniformly via `for_effort`)
-//! and a `report_with` entry point returning a structured
-//! [`varbench_core::report::Report`]. The `run`/`run_with` helpers render
-//! the classic plain text. The registry in [`crate::registry`] wires all
-//! of them to the `varbench` CLI.
+//! and a single `report_with(config, &RunContext)` entry point returning
+//! a structured [`varbench_core::report::Report`] — the context's runner
+//! and measurement cache are the only execution knobs
+//! (`RunContext::serial()` reproduces the classic serial uncached path).
+//! The registry in [`crate::registry`] wires all of them to the
+//! `varbench` CLI.
 //!
 //! # Shared measurement seeds
 //!

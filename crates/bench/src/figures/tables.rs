@@ -11,8 +11,7 @@
 use crate::args::Effort;
 use crate::figures::ESTIMATOR_SEED;
 use crate::registry::RunContext;
-use varbench_core::estimator::hopt_cached;
-use varbench_core::exec::Runner;
+use varbench_core::estimator::hopt_record;
 use varbench_core::report::{num, Report, Table};
 use varbench_data::augment::Identity;
 use varbench_data::synth::{binding_regression, BindingConfig};
@@ -20,7 +19,6 @@ use varbench_models::ensemble::MlpEnsemble;
 use varbench_models::linear::RidgeRegression;
 use varbench_models::metrics::{pearson, roc_auc};
 use varbench_models::{Mlp, MlpConfig, TrainSeeds};
-use varbench_pipeline::MeasureCache;
 use varbench_pipeline::{CaseStudy, HpoAlgorithm, Scale, SeedAssignment};
 use varbench_rng::{Rng, SeedTree};
 
@@ -141,18 +139,12 @@ pub struct Table8Row {
     pub pcc: f64,
 }
 
-/// Runs the Table 8 experiment (serial path, fresh cache).
-pub fn table8(config: &Config) -> Vec<Table8Row> {
-    let cache = MeasureCache::new();
-    table8_with(config, &RunContext::new(&Runner::serial(), &cache))
-}
-
-/// [`table8`]: three model designs evaluated on the in-distribution test
+/// Table 8: three model designs evaluated on the in-distribution test
 /// set and a shifted "HPV-like" external set. The tuned model's
 /// hyperparameter search is content-addressed in the measurement cache
 /// (it is the exact search of the biased estimator's repetition 0 on the
 /// MHC task, so Fig. 5 and the tables share it).
-pub fn table8_with(config: &Config, ctx: &RunContext) -> Vec<Table8Row> {
+pub fn table8(config: &Config, ctx: &RunContext) -> Vec<Table8Row> {
     let scale = config.effort.scale();
     let cs = CaseStudy::mhc_mlp(scale);
     let seeds = SeedAssignment::all_fixed(0x7AB8);
@@ -212,12 +204,12 @@ pub fn table8_with(config: &Config, ctx: &RunContext) -> Vec<Table8Row> {
     // with Fig. 5; the tuned parameters are then applied to this table's
     // own split.
     let hopt_seeds = SeedAssignment::all_random(ESTIMATOR_SEED ^ 0xF1F0, 0);
-    let (best, _) = hopt_cached(
+    let (best, _) = hopt_record(
         &cs,
         &hopt_seeds,
         HpoAlgorithm::RandomSearch,
         config.budget,
-        ctx.cache,
+        ctx,
     );
     let tuned = cs.train_model(&best, &split.train_valid(), &seeds);
 
@@ -287,7 +279,7 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
         "AUC".into(),
         "PCC".into(),
     ]);
-    for row in table8_with(config, ctx) {
+    for row in table8(config, ctx) {
         t.add_row(vec![
             row.model.to_string(),
             row.dataset.to_string(),
@@ -304,19 +296,13 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
     r
 }
 
-/// Runs the full tables reproduction.
-pub fn run(config: &Config) -> String {
-    let cache = MeasureCache::new();
-    report_with(config, &RunContext::new(&Runner::serial(), &cache)).render_text()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn table8_has_all_models_and_datasets() {
-        let rows = table8(&Config::test());
+        let rows = table8(&Config::test(), &RunContext::serial());
         assert_eq!(rows.len(), 8);
         for row in &rows {
             assert!(row.auc >= 0.0 && row.auc <= 1.0, "{row:?}");
@@ -333,7 +319,7 @@ mod tests {
 
     #[test]
     fn external_shift_degrades_performance() {
-        let rows = table8(&Config::test());
+        let rows = table8(&Config::test(), &RunContext::serial());
         let auc_of = |model_substr: &str, ds: &str| {
             rows.iter()
                 .find(|r| r.model.contains(model_substr) && r.dataset == ds)
@@ -347,7 +333,7 @@ mod tests {
 
     #[test]
     fn report_renders_all_tables() {
-        let r = run(&Config::test());
+        let r = report_with(&Config::test(), &RunContext::serial()).render_text();
         assert!(r.contains("Tables 2/3/5/6/7"));
         assert!(r.contains("Table 8"));
         assert!(r.contains("learning_rate"));

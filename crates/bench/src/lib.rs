@@ -33,3 +33,4 @@ pub mod figures;
 pub mod leaderboard;
 pub mod registry;
 pub mod timing;
+pub mod workloads;

@@ -10,29 +10,10 @@
 
 use crate::args::Effort;
 use crate::figures::*;
-use varbench_core::exec::Runner;
+use crate::workloads;
 use varbench_core::report::Report;
-use varbench_pipeline::MeasureCache;
 
-/// Everything an artifact needs from its environment: an executor and the
-/// shared measurement cache. Pure configuration stays in the per-artifact
-/// `Config` types.
-#[derive(Clone, Copy)]
-pub struct RunContext<'a> {
-    /// Executor for fanning measurements across cores (results are
-    /// bit-identical for any thread count).
-    pub runner: &'a Runner,
-    /// Shared measurement cache; artifacts run with a fresh cache behave
-    /// identically (bit-for-bit) to artifacts run with a warm one.
-    pub cache: &'a MeasureCache,
-}
-
-impl<'a> RunContext<'a> {
-    /// Bundles an executor and a cache.
-    pub fn new(runner: &'a Runner, cache: &'a MeasureCache) -> RunContext<'a> {
-        RunContext { runner, cache }
-    }
-}
+pub use varbench_core::ctx::RunContext;
 
 /// A registered artifact: identity plus its entry point.
 pub struct Spec {
@@ -61,7 +42,7 @@ impl std::fmt::Debug for Spec {
     }
 }
 
-static REGISTRY: [Spec; 13] = [
+static REGISTRY: [Spec; 15] = [
     Spec {
         name: "fig1",
         title: "Figure 1",
@@ -140,6 +121,18 @@ static REGISTRY: [Spec; 13] = [
         description: "HPO-budget sweep and bootstrap-vs-CV ablations",
         run: |e, ctx| ablations::report_with(&ablations::Config::for_effort(e), ctx),
     },
+    Spec {
+        name: "workload-linear",
+        title: "Workload: linear",
+        description: "variance profile of the logistic-regression workload",
+        run: workloads::linear_report,
+    },
+    Spec {
+        name: "workload-synth",
+        title: "Workload: synthetic",
+        description: "variance profile of the closed-form ridge workload",
+        run: workloads::synth_report,
+    },
 ];
 
 /// Every registered artifact, in the canonical report order (the order
@@ -163,17 +156,12 @@ pub fn find(name: &str) -> Option<&'static Spec> {
 /// is byte-identical to running that artifact alone, serially, without a
 /// cache: scheduling and cache sharing change who computes a
 /// measurement, never its value.
-pub fn run_specs(
-    specs: &[&'static Spec],
-    effort: Effort,
-    runner: &Runner,
-    cache: &MeasureCache,
-) -> Vec<Report> {
-    let ctx = RunContext::new(runner, cache);
+pub fn run_specs(specs: &[&'static Spec], effort: Effort, ctx: &RunContext) -> Vec<Report> {
     if specs.len() <= 1 {
-        return specs.iter().map(|s| s.run(effort, &ctx)).collect();
+        return specs.iter().map(|s| s.run(effort, ctx)).collect();
     }
-    runner.map_indexed(specs.len(), |i| specs[i].run(effort, &ctx))
+    ctx.runner()
+        .map_indexed(specs.len(), |i| specs[i].run(effort, ctx))
 }
 
 #[cfg(test)]
@@ -183,12 +171,14 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let mut names: Vec<&str> = all().iter().map(|s| s.name).collect();
-        assert_eq!(names.len(), 13);
+        assert_eq!(names.len(), 15);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 13, "duplicate registry names");
+        assert_eq!(names.len(), 15, "duplicate registry names");
         assert!(find("fig5").is_some());
         assert!(find("tables").is_some());
+        assert!(find("workload-linear").is_some());
+        assert!(find("workload-synth").is_some());
         assert!(find("all_figures").is_none());
         assert_eq!(find("fig1").unwrap().title, "Figure 1");
     }
@@ -197,19 +187,36 @@ mod tests {
     fn registry_order_matches_canonical_report_order() {
         let order: Vec<&str> = all().iter().map(|s| s.name).collect();
         assert_eq!(order[0], "fig1");
-        assert_eq!(order[order.len() - 1], "ablations");
+        assert_eq!(order[order.len() - 1], "workload-synth");
         let fig5 = order.iter().position(|n| *n == "fig5").unwrap();
         let fig6 = order.iter().position(|n| *n == "fig6").unwrap();
         assert!(fig5 < fig6);
+        let ablations = order.iter().position(|n| *n == "ablations").unwrap();
+        let linear = order.iter().position(|n| *n == "workload-linear").unwrap();
+        assert!(ablations < linear, "workload artifacts come last");
     }
 
     #[test]
     fn single_cheap_artifact_runs_via_registry() {
-        let cache = MeasureCache::new();
-        let runner = Runner::serial();
         let spec = find("figc1").expect("registered");
-        let report = spec.run(Effort::Test, &RunContext::new(&runner, &cache));
+        let report = spec.run(Effort::Test, &RunContext::serial());
         assert_eq!(report.name(), "figc1");
         assert!(report.render_text().contains("N = 29"));
+    }
+
+    #[test]
+    fn workload_artifacts_run_via_registry() {
+        let ctx = RunContext::serial_cached();
+        for (name, workload_name) in [
+            ("workload-linear", "linear-logreg"),
+            ("workload-synth", "synthetic-ridge"),
+        ] {
+            let spec = find(name).expect("registered");
+            let report = spec.run(Effort::Test, &ctx);
+            assert_eq!(report.name(), name);
+            let text = report.render_text();
+            assert!(text.contains(workload_name), "{name}: {text}");
+            assert!(text.contains("Data (bootstrap)"), "{name}");
+        }
     }
 }

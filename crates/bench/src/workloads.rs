@@ -1,0 +1,105 @@
+//! The workload registry behind `varbench workloads` and the
+//! `workload-*` artifacts: every built-in [`Workload`] the CLI can
+//! measure, constructed at a given scale.
+//!
+//! The five MLP-backed case studies and the two non-MLP workloads
+//! ([`varbench_pipeline::LinearWorkload`],
+//! [`varbench_pipeline::SyntheticWorkload`]) all go through the same
+//! [`Study`] builder, so `varbench run workload-linear --test` produces a
+//! variance profile with the exact machinery the paper figures use.
+
+use crate::args::Effort;
+use varbench_core::ctx::RunContext;
+use varbench_core::report::Report;
+use varbench_core::study::Study;
+use varbench_pipeline::{CaseStudy, LinearWorkload, Scale, SyntheticWorkload, Workload};
+
+/// Every built-in workload at `scale`, case studies first.
+pub fn all(scale: Scale) -> Vec<Box<dyn Workload>> {
+    let mut out: Vec<Box<dyn Workload>> = CaseStudy::all(scale)
+        .into_iter()
+        .map(|cs| Box::new(cs) as Box<dyn Workload>)
+        .collect();
+    out.push(Box::new(LinearWorkload::new(scale)));
+    out.push(Box::new(SyntheticWorkload::new(scale)));
+    out
+}
+
+/// The registry artifact that measures `workload_name`'s variance
+/// profile (`varbench run <artifact>`), if one exists. The five case
+/// studies are measured by the paper-figure artifacts instead.
+pub fn artifact_for(workload_name: &str) -> Option<&'static str> {
+    match workload_name {
+        "linear-logreg" => Some("workload-linear"),
+        "synthetic-ridge" => Some("workload-synth"),
+        _ => None,
+    }
+}
+
+/// Study sizing per effort: `(seeds per source, HPO budget)`.
+fn study_preset(effort: Effort) -> (usize, usize) {
+    match effort {
+        Effort::Test => (4, 3),
+        Effort::Quick => (20, 15),
+        Effort::Full => (100, 50),
+    }
+}
+
+/// Runs the shared-seed study of one workload (the body of the
+/// `workload-*` artifacts).
+fn study_report(workload: &dyn Workload, name: &str, effort: Effort, ctx: &RunContext) -> Report {
+    let (seeds, budget) = study_preset(effort);
+    // One shared study seed so repeated runs can share cached matrices.
+    Study::new(workload)
+        .named(name)
+        .seeds(seeds)
+        .budget(budget)
+        .base_seed(crate::figures::SOURCE_STUDY_SEED)
+        .run(ctx)
+}
+
+/// The `workload-linear` artifact: variance profile of the
+/// logistic-regression workload.
+pub fn linear_report(effort: Effort, ctx: &RunContext) -> Report {
+    let w = LinearWorkload::new(effort.scale());
+    study_report(&w, "workload-linear", effort, ctx)
+}
+
+/// The `workload-synth` artifact: variance profile of the closed-form
+/// ridge workload.
+pub fn synth_report(effort: Effort, ctx: &RunContext) -> Report {
+    let w = SyntheticWorkload::new(effort.scale());
+    study_report(&w, "workload-synth", effort, ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_seven_unique_workloads() {
+        let ws = all(Scale::Test);
+        assert_eq!(ws.len(), 7);
+        let mut names: Vec<String> = ws.iter().map(|w| w.name().to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 7, "workload names must be unique");
+        assert!(names.iter().any(|n| n == "linear-logreg"));
+        assert!(names.iter().any(|n| n == "synthetic-ridge"));
+        for w in &ws {
+            assert_eq!(w.default_params().len(), w.search_space().len());
+            assert!(!w.active_sources().is_empty());
+        }
+    }
+
+    #[test]
+    fn reports_render_variance_profiles() {
+        let ctx = RunContext::serial_cached();
+        let linear = linear_report(Effort::Test, &ctx);
+        assert_eq!(linear.name(), "workload-linear");
+        assert!(linear.render_text().contains("Weights init"));
+        let synth = synth_report(Effort::Test, &ctx);
+        assert_eq!(synth.name(), "workload-synth");
+        assert!(synth.render_text().contains("HyperOpt"));
+    }
+}

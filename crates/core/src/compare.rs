@@ -58,6 +58,46 @@ impl std::fmt::Display for ProbOutperformTest {
     }
 }
 
+/// Why a comparison request was rejected before any verdict was
+/// computed. Returned by [`try_compare_paired`]; a silent verdict on
+/// degenerate input (empty samples, NaN scores, a γ at the coin-flip
+/// boundary) would be worse than no verdict at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompareError {
+    /// One or both score vectors are empty.
+    EmptySamples,
+    /// The paired vectors have different lengths.
+    MismatchedLengths(usize, usize),
+    /// A score is NaN or infinite.
+    NonFiniteMeasure,
+    /// `gamma` outside `(0.5, 1)` — at exactly 0.5 "meaningful" would
+    /// degenerate to "significant".
+    InvalidGamma(f64),
+    /// `alpha` outside `(0, 1)`.
+    InvalidAlpha(f64),
+    /// `resamples == 0`: no bootstrap distribution to build a CI from.
+    ZeroResamples,
+}
+
+impl std::fmt::Display for CompareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompareError::EmptySamples => f.write_str("score vectors must be non-empty"),
+            CompareError::MismatchedLengths(a, b) => {
+                write!(f, "paired score vectors differ in length ({a} vs {b})")
+            }
+            CompareError::NonFiniteMeasure => {
+                f.write_str("score vectors must contain only finite values")
+            }
+            CompareError::InvalidGamma(g) => write!(f, "gamma must be in (0.5, 1), got {g}"),
+            CompareError::InvalidAlpha(a) => write!(f, "alpha must be in (0, 1), got {a}"),
+            CompareError::ZeroResamples => f.write_str("resamples must be > 0"),
+        }
+    }
+}
+
+impl std::error::Error for CompareError {}
+
 /// The paper's recommended comparison: estimate `P(A > B)` from *paired*
 /// performance measures, bound it with a percentile bootstrap, and apply
 /// the three-zone decision of Appendix C.6.
@@ -65,10 +105,60 @@ impl std::fmt::Display for ProbOutperformTest {
 /// * significant: `CI_min > 0.5`
 /// * meaningful: `CI_max > γ` (γ = 0.75 recommended)
 ///
+/// Returns an error (never a silent verdict) on empty or mismatched
+/// samples, non-finite scores, γ outside `(0.5, 1)` — including the 0.5
+/// boundary — `alpha` outside `(0, 1)`, or zero resamples. Ties are
+/// valid input: a tie is not a win, so identical vectors yield
+/// `P(A > B) = 0` and [`Decision::NotSignificant`].
+pub fn try_compare_paired(
+    a: &[f64],
+    b: &[f64],
+    gamma: f64,
+    alpha: f64,
+    resamples: usize,
+    rng: &mut Rng,
+) -> Result<ProbOutperformTest, CompareError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(CompareError::EmptySamples);
+    }
+    if a.len() != b.len() {
+        return Err(CompareError::MismatchedLengths(a.len(), b.len()));
+    }
+    if a.iter().chain(b).any(|v| !v.is_finite()) {
+        return Err(CompareError::NonFiniteMeasure);
+    }
+    if !(gamma > 0.5 && gamma < 1.0) {
+        return Err(CompareError::InvalidGamma(gamma));
+    }
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(CompareError::InvalidAlpha(alpha));
+    }
+    if resamples == 0 {
+        return Err(CompareError::ZeroResamples);
+    }
+    let ci = percentile_ci_prob_outperform(a, b, resamples, alpha, rng);
+    let significant = ci.lo > 0.5;
+    let meaningful = ci.hi > gamma;
+    let decision = match (significant, meaningful) {
+        (false, _) => Decision::NotSignificant,
+        (true, false) => Decision::SignificantNotMeaningful,
+        (true, true) => Decision::SignificantAndMeaningful,
+    };
+    Ok(ProbOutperformTest {
+        p_a_gt_b: prob_outperform(a, b),
+        ci,
+        gamma,
+        decision,
+    })
+}
+
+/// [`try_compare_paired`] for callers that treat invalid input as a bug.
+///
 /// # Panics
 ///
-/// Panics if samples are empty/mismatched, `gamma` not in `(0.5, 1)`,
-/// `alpha` not in `(0, 1)`, or `resamples == 0`.
+/// Panics on every [`CompareError`] condition: empty/mismatched samples,
+/// non-finite scores, `gamma` not in `(0.5, 1)`, `alpha` not in `(0, 1)`,
+/// or `resamples == 0`.
 ///
 /// # Example
 ///
@@ -91,20 +181,10 @@ pub fn compare_paired(
     resamples: usize,
     rng: &mut Rng,
 ) -> ProbOutperformTest {
-    assert!(gamma > 0.5 && gamma < 1.0, "gamma must be in (0.5, 1)");
-    let ci = percentile_ci_prob_outperform(a, b, resamples, alpha, rng);
-    let significant = ci.lo > 0.5;
-    let meaningful = ci.hi > gamma;
-    let decision = match (significant, meaningful) {
-        (false, _) => Decision::NotSignificant,
-        (true, false) => Decision::SignificantNotMeaningful,
-        (true, true) => Decision::SignificantAndMeaningful,
-    };
-    ProbOutperformTest {
-        p_a_gt_b: prob_outperform(a, b),
-        ci,
-        gamma,
-        decision,
+    match try_compare_paired(a, b, gamma, alpha, resamples, rng) {
+        Ok(test) => test,
+        Err(CompareError::InvalidGamma(_)) => panic!("gamma must be in (0.5, 1)"),
+        Err(e) => panic!("compare_paired: {e}"),
     }
 }
 
@@ -250,5 +330,64 @@ mod tests {
     #[should_panic(expected = "gamma must be in (0.5, 1)")]
     fn bad_gamma_rejected() {
         compare_paired(&[1.0, 2.0], &[0.0, 1.0], 0.4, 0.05, 10, &mut rng());
+    }
+
+    #[test]
+    fn gamma_at_half_boundary_is_an_error() {
+        // γ = 0.5 exactly: "meaningful" would collapse into "significant";
+        // the boundary must be rejected, not silently accepted.
+        let a = [0.8, 0.9, 0.85];
+        let b = [0.7, 0.75, 0.72];
+        let err = try_compare_paired(&a, &b, 0.5, 0.05, 100, &mut rng()).unwrap_err();
+        assert_eq!(err, CompareError::InvalidGamma(0.5));
+        let err = try_compare_paired(&a, &b, 1.0, 0.05, 100, &mut rng()).unwrap_err();
+        assert_eq!(err, CompareError::InvalidGamma(1.0));
+        // Just inside the interval is fine.
+        assert!(try_compare_paired(&a, &b, 0.5001, 0.05, 100, &mut rng()).is_ok());
+    }
+
+    #[test]
+    fn ties_are_not_wins() {
+        // Identical paired vectors: every comparison is a tie, so
+        // P(A > B) = 0 and the verdict is NotSignificant — never an error,
+        // never an improvement.
+        let a = [0.8, 0.82, 0.84, 0.86];
+        let t = try_compare_paired(&a, &a, 0.75, 0.05, 500, &mut rng()).unwrap();
+        assert_eq!(t.p_a_gt_b, 0.0);
+        assert_eq!(t.decision, Decision::NotSignificant);
+    }
+
+    #[test]
+    fn nan_and_empty_inputs_are_errors_not_verdicts() {
+        let good = [0.8, 0.9];
+        let with_nan = [0.8, f64::NAN];
+        let with_inf = [0.8, f64::INFINITY];
+        assert_eq!(
+            try_compare_paired(&good, &with_nan, 0.75, 0.05, 100, &mut rng()).unwrap_err(),
+            CompareError::NonFiniteMeasure
+        );
+        assert_eq!(
+            try_compare_paired(&with_inf, &good, 0.75, 0.05, 100, &mut rng()).unwrap_err(),
+            CompareError::NonFiniteMeasure
+        );
+        assert_eq!(
+            try_compare_paired(&[], &[], 0.75, 0.05, 100, &mut rng()).unwrap_err(),
+            CompareError::EmptySamples
+        );
+        assert_eq!(
+            try_compare_paired(&good, &[0.7], 0.75, 0.05, 100, &mut rng()).unwrap_err(),
+            CompareError::MismatchedLengths(2, 1)
+        );
+        assert_eq!(
+            try_compare_paired(&good, &good, 0.75, 0.0, 100, &mut rng()).unwrap_err(),
+            CompareError::InvalidAlpha(0.0)
+        );
+        assert_eq!(
+            try_compare_paired(&good, &good, 0.75, 0.05, 0, &mut rng()).unwrap_err(),
+            CompareError::ZeroResamples
+        );
+        // Errors render a reason a caller can surface.
+        let msg = CompareError::NonFiniteMeasure.to_string();
+        assert!(msg.contains("finite"), "{msg}");
     }
 }

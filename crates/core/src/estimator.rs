@@ -1,14 +1,18 @@
 //! Estimators of expected pipeline performance: the paper's Algorithms 1
-//! and 2, and the per-source variance study of Fig. 1.
+//! and 2, and the per-source variance study of Fig. 1 — generic over any
+//! [`Workload`].
 //!
-//! Every estimator here is a map over independent seed branches, so each
-//! has a `*_with` variant taking an [`exec::Runner`](crate::exec::Runner)
-//! that fans the pipeline fits out across cores. The plain functions are
-//! the serial path; both produce bit-identical results.
+//! Every estimator is a single function taking a [`RunContext`]: the
+//! context's runner fans the independent seed branches across cores and
+//! its cache memoizes the resulting score matrices. With the default
+//! serial context ([`RunContext::serial`]) each function computes exactly
+//! what the old plain serial path computed; scheduling and caching are
+//! bit-invisible.
 
-use crate::exec::Runner;
+use crate::ctx::RunContext;
 use varbench_pipeline::{
-    CaseStudy, HpoAlgorithm, MeasureCache, MeasureKey, MeasureKind, SeedAssignment, VarianceSource,
+    hopt, run_pipeline, HpoAlgorithm, MeasureKey, MeasureKind, SeedAssignment, VarianceSource,
+    Workload,
 };
 
 /// Which subset of ξ_O a [`fix_hopt_estimator`] run randomizes between
@@ -79,46 +83,47 @@ impl EstimatorRun {
 /// Algorithm 1, `IdealEst`: every sample randomizes *all* sources (ξ_O and
 /// ξ_H) and pays for an independent hyperparameter optimization.
 ///
-/// Cost: `k × (budget + 1)` fits.
+/// Cost: `k × (budget + 1)` fits. The `k` samples are independent seed
+/// branches (`SeedAssignment::all_random(base_seed, i)`), fanned out on
+/// the context's runner; the cached matrix holds two columns per sample —
+/// `(test metric, fits)` — so both the measures and the cost accounting
+/// replay exactly.
 ///
 /// # Panics
 ///
 /// Panics if `k == 0` or `budget == 0`.
 pub fn ideal_estimator(
-    cs: &CaseStudy,
+    w: &dyn Workload,
     k: usize,
     algo: HpoAlgorithm,
     budget: usize,
     base_seed: u64,
-) -> EstimatorRun {
-    ideal_estimator_with(cs, k, algo, budget, base_seed, &Runner::serial())
-}
-
-/// [`ideal_estimator`] with an explicit [`Runner`]: the `k` samples are
-/// independent seed branches (`SeedAssignment::all_random(base_seed, i)`),
-/// so they fan out across cores with bit-identical, seed-ordered results.
-///
-/// # Panics
-///
-/// Panics if `k == 0` or `budget == 0`.
-pub fn ideal_estimator_with(
-    cs: &CaseStudy,
-    k: usize,
-    algo: HpoAlgorithm,
-    budget: usize,
-    base_seed: u64,
-    runner: &Runner,
+    ctx: &RunContext,
 ) -> EstimatorRun {
     assert!(k > 0, "k must be > 0");
-    let seeds: Vec<SeedAssignment> = (0..k)
-        .map(|i| SeedAssignment::all_random(base_seed, i as u64))
-        .collect();
-    let results = runner.map_seeds(&seeds, |_, s| {
-        let result = cs.run_pipeline(s, algo, budget);
-        (result.test_metric, result.fits)
+    let key = MeasureKey::new(
+        w,
+        MeasureKind::IdealEstimator {
+            algo: algo.display_name(),
+            budget,
+        },
+        base_seed,
+    );
+    let flat = ctx.cache().matrix(&key, k, 2, |range| {
+        let seeds: Vec<SeedAssignment> = range
+            .map(|i| SeedAssignment::all_random(base_seed, i as u64))
+            .collect();
+        let results = ctx.runner().map_seeds(&seeds, |_, s| {
+            let result = run_pipeline(w, s, algo, budget);
+            (result.test_metric, result.fits)
+        });
+        results
+            .into_iter()
+            .flat_map(|(m, f)| [m, f as f64])
+            .collect()
     });
-    let measures = results.iter().map(|&(m, _)| m).collect();
-    let fits = results.iter().map(|&(_, f)| f).sum();
+    let measures = flat.iter().step_by(2).copied().collect();
+    let fits = flat.iter().skip(1).step_by(2).map(|&f| f as usize).sum();
     EstimatorRun { measures, fits }
 }
 
@@ -133,217 +138,9 @@ pub fn ideal_estimator_with(
 /// `repetition` selects the arbitrary fixed ξ (the paper runs 20
 /// repetitions to measure `Var(µ̃(k) | ξ)`).
 ///
-/// # Panics
-///
-/// Panics if `k == 0` or `budget == 0`.
-pub fn fix_hopt_estimator(
-    cs: &CaseStudy,
-    k: usize,
-    algo: HpoAlgorithm,
-    budget: usize,
-    base_seed: u64,
-    repetition: u64,
-    randomize: Randomize,
-) -> EstimatorRun {
-    fix_hopt_estimator_with(
-        cs,
-        k,
-        algo,
-        budget,
-        base_seed,
-        repetition,
-        randomize,
-        &Runner::serial(),
-    )
-}
-
-/// [`fix_hopt_estimator`] with an explicit [`Runner`]: the single HPO
-/// procedure stays sequential (its trials form a dependent chain), then
-/// the `k` measures — independent ξ_O branches off the fixed seeds — fan
-/// out across cores with bit-identical, seed-ordered results.
-///
-/// # Panics
-///
-/// Panics if `k == 0` or `budget == 0`.
-#[allow(clippy::too_many_arguments)]
-pub fn fix_hopt_estimator_with(
-    cs: &CaseStudy,
-    k: usize,
-    algo: HpoAlgorithm,
-    budget: usize,
-    base_seed: u64,
-    repetition: u64,
-    randomize: Randomize,
-    runner: &Runner,
-) -> EstimatorRun {
-    assert!(k > 0, "k must be > 0");
-    // The arbitrary fixed ξ for this repetition.
-    let fixed = SeedAssignment::all_random(base_seed ^ 0xF1F0, repetition);
-    let (best_params, history) = cs.hopt(&fixed, algo, budget);
-    let seeds: Vec<SeedAssignment> = (0..k)
-        .map(|i| {
-            let variation = splitmix_like(base_seed, repetition, i as u64);
-            fixed.with_varied_set(randomize.sources(), variation)
-        })
-        .collect();
-    let measures = runner.map_seeds(&seeds, |_, s| cs.run_with_params(&best_params, s));
-    EstimatorRun {
-        measures,
-        fits: history.len() + k,
-    }
-}
-
-// ----------------------------------------------------------------------
-// Cached variants
-//
-// Every estimator above derives the seeds of measure `i` from
-// `(base_seed, i)` alone — never from the total count — so a score matrix
-// of `n` measures is a strict prefix of the same study at any larger `n`.
-// The `*_cached` variants below exploit that through
-// `varbench_pipeline::MeasureCache`: they serve cached prefixes, compute
-// only missing tail rows (fanning the tail out on the given `Runner`),
-// and return bit-identical results to their uncached counterparts.
-// ----------------------------------------------------------------------
-
-/// [`source_variance_study_with`] through a [`MeasureCache`].
-///
-/// Key: `(case study, scale, source, base_seed)` for ξ_O sources — the
-/// HPO algorithm and budget cannot affect default-hyperparameter
-/// trainings and are excluded so e.g. Fig. 1 and Fig. 2 share entries —
-/// plus `(algo, budget)` for [`VarianceSource::HyperOpt`] studies.
-///
-/// # Panics
-///
-/// Panics if `n == 0`, or `budget == 0` when `source` is `HyperOpt`.
-#[allow(clippy::too_many_arguments)]
-pub fn source_variance_study_cached(
-    cs: &CaseStudy,
-    source: VarianceSource,
-    n: usize,
-    algo: HpoAlgorithm,
-    budget: usize,
-    base_seed: u64,
-    runner: &Runner,
-    cache: &MeasureCache,
-) -> Vec<f64> {
-    assert!(n > 0, "n must be > 0");
-    let kind = if source.is_hyperopt() {
-        MeasureKind::HyperOptStudy {
-            algo: algo.display_name(),
-            budget,
-        }
-    } else {
-        MeasureKind::SourceStudy { source }
-    };
-    let key = MeasureKey::new(cs, kind, base_seed);
-    let fixed = SeedAssignment::all_fixed(base_seed);
-    let params = cs.default_params().to_vec();
-    cache.matrix(&key, n, 1, |range| {
-        let seeds: Vec<SeedAssignment> = range
-            .map(|i| fixed.with_varied(source, splitmix_like(base_seed, 0xA11, i as u64)))
-            .collect();
-        runner.map_seeds(&seeds, |_, s| {
-            if source.is_hyperopt() {
-                cs.run_pipeline(s, algo, budget).test_metric
-            } else {
-                cs.run_with_params(&params, s)
-            }
-        })
-    })
-}
-
-/// [`joint_variance_study_with`] through a [`MeasureCache`].
-///
-/// The key's source set is normalized to the case study's active sources,
-/// so studies over `ξ_O` and over the active subset share one entry
-/// (their measures are bit-identical — inactive seeds never matter).
-///
-/// # Panics
-///
-/// Panics if `n == 0`, `sources` is empty, or `sources` contains
-/// [`VarianceSource::HyperOpt`].
-pub fn joint_variance_study_cached(
-    cs: &CaseStudy,
-    sources: &[VarianceSource],
-    n: usize,
-    base_seed: u64,
-    runner: &Runner,
-    cache: &MeasureCache,
-) -> Vec<f64> {
-    assert!(n > 0, "n must be > 0");
-    assert!(!sources.is_empty(), "need at least one source");
-    assert!(
-        sources.iter().all(|s| !s.is_hyperopt()),
-        "joint study covers xi_O sources; HyperOpt requires budget accounting"
-    );
-    let key = MeasureKey::new(
-        cs,
-        MeasureKind::JointStudy {
-            sources: sources.to_vec(),
-        },
-        base_seed,
-    );
-    let fixed = SeedAssignment::all_fixed(base_seed);
-    let params = cs.default_params().to_vec();
-    let sources = sources.to_vec();
-    cache.matrix(&key, n, 1, |range| {
-        let seeds: Vec<SeedAssignment> = range
-            .map(|i| fixed.with_varied_set(&sources, splitmix_like(base_seed, 0x70F, i as u64)))
-            .collect();
-        runner.map_seeds(&seeds, |_, s| cs.run_with_params(&params, s))
-    })
-}
-
-/// [`ideal_estimator_with`] through a [`MeasureCache`].
-///
-/// The cached matrix has two columns per sample — `(test metric, fits)` —
-/// so both the measures and the cost accounting replay exactly.
-///
-/// # Panics
-///
-/// Panics if `k == 0` or `budget == 0`.
-pub fn ideal_estimator_cached(
-    cs: &CaseStudy,
-    k: usize,
-    algo: HpoAlgorithm,
-    budget: usize,
-    base_seed: u64,
-    runner: &Runner,
-    cache: &MeasureCache,
-) -> EstimatorRun {
-    assert!(k > 0, "k must be > 0");
-    let key = MeasureKey::new(
-        cs,
-        MeasureKind::IdealEstimator {
-            algo: algo.display_name(),
-            budget,
-        },
-        base_seed,
-    );
-    let flat = cache.matrix(&key, k, 2, |range| {
-        let seeds: Vec<SeedAssignment> = range
-            .map(|i| SeedAssignment::all_random(base_seed, i as u64))
-            .collect();
-        let results = runner.map_seeds(&seeds, |_, s| {
-            let result = cs.run_pipeline(s, algo, budget);
-            (result.test_metric, result.fits)
-        });
-        results
-            .into_iter()
-            .flat_map(|(m, f)| [m, f as f64])
-            .collect()
-    });
-    let measures = flat.iter().step_by(2).copied().collect();
-    let fits = flat.iter().skip(1).step_by(2).map(|&f| f as usize).sum();
-    EstimatorRun { measures, fits }
-}
-
-/// [`fix_hopt_estimator_with`] through a [`MeasureCache`].
-///
 /// Two cache entries cooperate: the single HPO procedure is a *record*
-/// addressed by the exact seed assignment it tunes under (so e.g. the
-/// Table 8 experiment can reuse the tuned hyperparameters without paying
-/// for the search again), and the `k` conditioned measures are a
+/// addressed by the exact seed assignment it tunes under (see
+/// [`hopt_record`]), and the `k` conditioned measures are a
 /// prefix-extendable matrix keyed by `(algo, budget, repetition,
 /// randomized subset)`.
 ///
@@ -351,22 +148,21 @@ pub fn ideal_estimator_cached(
 ///
 /// Panics if `k == 0` or `budget == 0`.
 #[allow(clippy::too_many_arguments)]
-pub fn fix_hopt_estimator_cached(
-    cs: &CaseStudy,
+pub fn fix_hopt_estimator(
+    w: &dyn Workload,
     k: usize,
     algo: HpoAlgorithm,
     budget: usize,
     base_seed: u64,
     repetition: u64,
     randomize: Randomize,
-    runner: &Runner,
-    cache: &MeasureCache,
+    ctx: &RunContext,
 ) -> EstimatorRun {
     assert!(k > 0, "k must be > 0");
     let fixed = SeedAssignment::all_random(base_seed ^ 0xF1F0, repetition);
-    let (best_params, hopt_fits) = hopt_cached(cs, &fixed, algo, budget, cache);
+    let (best_params, hopt_fits) = hopt_record(w, &fixed, algo, budget, ctx);
     let key = MeasureKey::new(
-        cs,
+        w,
         MeasureKind::FixHOptMeasures {
             algo: algo.display_name(),
             budget,
@@ -375,14 +171,15 @@ pub fn fix_hopt_estimator_cached(
         },
         base_seed,
     );
-    let measures = cache.matrix(&key, k, 1, |range| {
+    let measures = ctx.cache().matrix(&key, k, 1, |range| {
         let seeds: Vec<SeedAssignment> = range
             .map(|i| {
                 let variation = splitmix_like(base_seed, repetition, i as u64);
                 fixed.with_varied_set(randomize.sources(), variation)
             })
             .collect();
-        runner.map_seeds(&seeds, |_, s| cs.run_with_params(&best_params, s))
+        ctx.runner()
+            .map_seeds(&seeds, |_, s| w.run_with_params(&best_params, s))
     });
     EstimatorRun {
         measures,
@@ -390,23 +187,27 @@ pub fn fix_hopt_estimator_cached(
     }
 }
 
-/// One hyperparameter-optimization outcome through a [`MeasureCache`]:
+/// One hyperparameter-optimization outcome through the context's cache:
 /// returns `(best parameters, fits consumed)`, content-addressed by the
 /// full seed assignment so any artifact tuning under the same seeds —
 /// a biased-estimator repetition, the Table 8 tuned model — shares it.
-pub fn hopt_cached(
-    cs: &CaseStudy,
+///
+/// # Panics
+///
+/// Panics if `budget == 0`.
+pub fn hopt_record(
+    w: &dyn Workload,
     fixed: &SeedAssignment,
     algo: HpoAlgorithm,
     budget: usize,
-    cache: &MeasureCache,
+    ctx: &RunContext,
 ) -> (Vec<f64>, usize) {
     // Array map keeps the length tied to VarianceSource::ALL: adding an
     // 8th source fails to compile here instead of silently truncating
     // the key (which would alias distinct seed assignments).
     let seeds: [u64; 7] = VarianceSource::ALL.map(|source| fixed.seed_of(source));
     let key = MeasureKey::new(
-        cs,
+        w,
         MeasureKind::HoptResult {
             algo: algo.display_name(),
             budget,
@@ -414,8 +215,8 @@ pub fn hopt_cached(
         },
         0,
     );
-    cache.record(&key, || {
-        let (best, history) = cs.hopt(fixed, algo, budget);
+    ctx.cache().record(&key, || {
+        let (best, history) = hopt(w, fixed, algo, budget);
         (best, history.len())
     })
 }
@@ -434,53 +235,51 @@ fn splitmix_like(base: u64, rep: u64, i: u64) -> u64 {
 /// protocol): all other seeds held fixed, `n` trainings with `source`
 /// re-seeded each time.
 ///
-/// For ξ_O sources each training reuses the case study's default
+/// For ξ_O sources each training reuses the workload's default
 /// hyperparameters; for [`VarianceSource::HyperOpt`] each sample runs an
 /// independent HPO procedure with `algo`/`budget` and measures the test
 /// performance of the tuned pipeline.
+///
+/// Cache key: `(workload, source, base_seed)` for ξ_O sources — the HPO
+/// algorithm and budget cannot affect default-hyperparameter trainings
+/// and are excluded so e.g. Fig. 1 and Fig. 2 share entries — plus
+/// `(algo, budget)` for [`VarianceSource::HyperOpt`] studies.
 ///
 /// # Panics
 ///
 /// Panics if `n == 0`, or `budget == 0` when `source` is `HyperOpt`.
 pub fn source_variance_study(
-    cs: &CaseStudy,
+    w: &dyn Workload,
     source: VarianceSource,
     n: usize,
     algo: HpoAlgorithm,
     budget: usize,
     base_seed: u64,
-) -> Vec<f64> {
-    source_variance_study_with(cs, source, n, algo, budget, base_seed, &Runner::serial())
-}
-
-/// [`source_variance_study`] with an explicit [`Runner`]: the `n`
-/// re-seeded trainings are independent branches off the fixed ξ, so they
-/// fan out across cores with bit-identical, seed-ordered results.
-///
-/// # Panics
-///
-/// Panics if `n == 0`, or `budget == 0` when `source` is `HyperOpt`.
-pub fn source_variance_study_with(
-    cs: &CaseStudy,
-    source: VarianceSource,
-    n: usize,
-    algo: HpoAlgorithm,
-    budget: usize,
-    base_seed: u64,
-    runner: &Runner,
+    ctx: &RunContext,
 ) -> Vec<f64> {
     assert!(n > 0, "n must be > 0");
-    let fixed = SeedAssignment::all_fixed(base_seed);
-    let params = cs.default_params().to_vec();
-    let seeds: Vec<SeedAssignment> = (0..n)
-        .map(|i| fixed.with_varied(source, splitmix_like(base_seed, 0xA11, i as u64)))
-        .collect();
-    runner.map_seeds(&seeds, |_, s| {
-        if source.is_hyperopt() {
-            cs.run_pipeline(s, algo, budget).test_metric
-        } else {
-            cs.run_with_params(&params, s)
+    let kind = if source.is_hyperopt() {
+        MeasureKind::HyperOptStudy {
+            algo: algo.display_name(),
+            budget,
         }
+    } else {
+        MeasureKind::SourceStudy { source }
+    };
+    let key = MeasureKey::new(w, kind, base_seed);
+    let fixed = SeedAssignment::all_fixed(base_seed);
+    let params = w.default_params().to_vec();
+    ctx.cache().matrix(&key, n, 1, |range| {
+        let seeds: Vec<SeedAssignment> = range
+            .map(|i| fixed.with_varied(source, splitmix_like(base_seed, 0xA11, i as u64)))
+            .collect();
+        ctx.runner().map_seeds(&seeds, |_, s| {
+            if source.is_hyperopt() {
+                run_pipeline(w, s, algo, budget).test_metric
+            } else {
+                w.run_with_params(&params, s)
+            }
+        })
     })
 }
 
@@ -491,31 +290,23 @@ pub fn source_variance_study_with(
 /// are not independent, the total variance cannot be obtained by simply
 /// adding them up"; comparing [`source_variance_study`] sums against this
 /// joint measurement quantifies the interaction (see the `interactions`
-/// bench binary).
+/// artifact).
+///
+/// The cache key's source set is normalized to the workload's active
+/// sources, so studies over `ξ_O` and over the active subset share one
+/// entry (their measures are bit-identical — inactive seeds never
+/// matter).
 ///
 /// # Panics
 ///
-/// Panics if `n == 0` or `sources` is empty.
+/// Panics if `n == 0`, `sources` is empty, or `sources` contains
+/// [`VarianceSource::HyperOpt`].
 pub fn joint_variance_study(
-    cs: &CaseStudy,
+    w: &dyn Workload,
     sources: &[VarianceSource],
     n: usize,
     base_seed: u64,
-) -> Vec<f64> {
-    joint_variance_study_with(cs, sources, n, base_seed, &Runner::serial())
-}
-
-/// [`joint_variance_study`] with an explicit [`Runner`].
-///
-/// # Panics
-///
-/// Panics if `n == 0` or `sources` is empty.
-pub fn joint_variance_study_with(
-    cs: &CaseStudy,
-    sources: &[VarianceSource],
-    n: usize,
-    base_seed: u64,
-    runner: &Runner,
+    ctx: &RunContext,
 ) -> Vec<f64> {
     assert!(n > 0, "n must be > 0");
     assert!(!sources.is_empty(), "need at least one source");
@@ -523,27 +314,43 @@ pub fn joint_variance_study_with(
         sources.iter().all(|s| !s.is_hyperopt()),
         "joint study covers xi_O sources; HyperOpt requires budget accounting"
     );
+    let key = MeasureKey::new(
+        w,
+        MeasureKind::JointStudy {
+            sources: sources.to_vec(),
+        },
+        base_seed,
+    );
     let fixed = SeedAssignment::all_fixed(base_seed);
-    let params = cs.default_params().to_vec();
-    let seeds: Vec<SeedAssignment> = (0..n)
-        .map(|i| fixed.with_varied_set(sources, splitmix_like(base_seed, 0x70F, i as u64)))
-        .collect();
-    runner.map_seeds(&seeds, |_, s| cs.run_with_params(&params, s))
+    let params = w.default_params().to_vec();
+    let sources = sources.to_vec();
+    ctx.cache().matrix(&key, n, 1, |range| {
+        let seeds: Vec<SeedAssignment> = range
+            .map(|i| fixed.with_varied_set(&sources, splitmix_like(base_seed, 0x70F, i as u64)))
+            .collect();
+        ctx.runner()
+            .map_seeds(&seeds, |_, s| w.run_with_params(&params, s))
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use varbench_pipeline::Scale;
+    use crate::exec::Runner;
+    use varbench_pipeline::{CaseStudy, MeasureCache, Scale};
     use varbench_stats::describe::std_dev;
 
     fn cs() -> CaseStudy {
         CaseStudy::glue_rte_bert(Scale::Test)
     }
 
+    fn ctx() -> RunContext {
+        RunContext::serial()
+    }
+
     #[test]
     fn ideal_estimator_cost_accounting() {
-        let run = ideal_estimator(&cs(), 3, HpoAlgorithm::RandomSearch, 4, 1);
+        let run = ideal_estimator(&cs(), 3, HpoAlgorithm::RandomSearch, 4, 1, &ctx());
         assert_eq!(run.measures.len(), 3);
         assert_eq!(run.fits, 3 * 5, "k(T+1) fits");
         assert!(run.measures.iter().all(|&m| m > 0.0 && m <= 1.0));
@@ -559,6 +366,7 @@ mod tests {
             1,
             0,
             Randomize::All,
+            &ctx(),
         );
         assert_eq!(run.measures.len(), 6);
         assert_eq!(run.fits, 4 + 6, "T+k fits");
@@ -579,7 +387,7 @@ mod tests {
 
     #[test]
     fn ideal_measures_fluctuate() {
-        let run = ideal_estimator(&cs(), 4, HpoAlgorithm::RandomSearch, 3, 2);
+        let run = ideal_estimator(&cs(), 4, HpoAlgorithm::RandomSearch, 3, 2, &ctx());
         assert!(std_dev(&run.measures) > 0.0, "ideal estimator must vary");
     }
 
@@ -595,6 +403,7 @@ mod tests {
             3,
             0,
             Randomize::Init,
+            &ctx(),
         );
         let run_data = fix_hopt_estimator(
             &cs(),
@@ -604,6 +413,7 @@ mod tests {
             3,
             0,
             Randomize::Data,
+            &ctx(),
         );
         // Both yield valid measures; Data variant should fluctuate at least
         // as much (bootstrap is the dominant source, paper Fig. 1).
@@ -623,6 +433,7 @@ mod tests {
             7,
             1,
             Randomize::All,
+            &ctx(),
         );
         let b = fix_hopt_estimator(
             &cs(),
@@ -632,6 +443,7 @@ mod tests {
             7,
             1,
             Randomize::All,
+            &ctx(),
         );
         assert_eq!(a, b);
     }
@@ -646,6 +458,7 @@ mod tests {
             7,
             0,
             Randomize::All,
+            &ctx(),
         );
         let b = fix_hopt_estimator(
             &cs(),
@@ -655,6 +468,7 @@ mod tests {
             7,
             1,
             Randomize::All,
+            &ctx(),
         );
         assert_ne!(a.measures, b.measures);
     }
@@ -669,6 +483,7 @@ mod tests {
             HpoAlgorithm::RandomSearch,
             2,
             5,
+            &ctx(),
         );
         assert_eq!(std_dev(&measures), 0.0);
     }
@@ -682,6 +497,7 @@ mod tests {
             HpoAlgorithm::RandomSearch,
             2,
             5,
+            &ctx(),
         );
         assert!(std_dev(&measures) > 0.0);
     }
@@ -695,6 +511,7 @@ mod tests {
             HpoAlgorithm::RandomSearch,
             3,
             6,
+            &ctx(),
         );
         assert_eq!(measures.len(), 3);
         assert!(measures.iter().all(|&m| m > 0.0 && m <= 1.0));
@@ -707,6 +524,7 @@ mod tests {
             &[VarianceSource::WeightsInit, VarianceSource::DataOrder],
             5,
             9,
+            &ctx(),
         );
         assert_eq!(measures.len(), 5);
         assert!(measures.iter().all(|&m| (0.0..=1.0).contains(&m)));
@@ -716,78 +534,83 @@ mod tests {
     #[test]
     #[should_panic(expected = "joint study covers xi_O sources")]
     fn joint_study_rejects_hyperopt() {
-        joint_variance_study(&cs(), &[VarianceSource::HyperOpt], 2, 1);
+        joint_variance_study(&cs(), &[VarianceSource::HyperOpt], 2, 1, &ctx());
     }
 
     #[test]
     fn parallel_estimators_bit_identical_to_serial() {
-        use crate::exec::Runner;
         let cs = cs();
-        let serial = ideal_estimator(&cs, 4, HpoAlgorithm::RandomSearch, 3, 11);
-        let par = ideal_estimator_with(&cs, 4, HpoAlgorithm::RandomSearch, 3, 11, &Runner::new(4));
-        assert_eq!(serial, par);
-        let s2 = fix_hopt_estimator(&cs, 5, HpoAlgorithm::RandomSearch, 3, 11, 2, Randomize::All);
-        let p2 = fix_hopt_estimator_with(
-            &cs,
-            5,
-            HpoAlgorithm::RandomSearch,
-            3,
-            11,
-            2,
-            Randomize::All,
-            &Runner::new(3),
+        let serial = ctx();
+        let parallel = RunContext::new(Runner::new(4), MeasureCache::disabled());
+        assert_eq!(
+            ideal_estimator(&cs, 4, HpoAlgorithm::RandomSearch, 3, 11, &serial),
+            ideal_estimator(&cs, 4, HpoAlgorithm::RandomSearch, 3, 11, &parallel),
         );
-        assert_eq!(s2, p2);
-        let s3 = source_variance_study(
-            &cs,
-            VarianceSource::DataSplit,
-            6,
-            HpoAlgorithm::RandomSearch,
-            2,
-            5,
+        assert_eq!(
+            fix_hopt_estimator(
+                &cs,
+                5,
+                HpoAlgorithm::RandomSearch,
+                3,
+                11,
+                2,
+                Randomize::All,
+                &serial
+            ),
+            fix_hopt_estimator(
+                &cs,
+                5,
+                HpoAlgorithm::RandomSearch,
+                3,
+                11,
+                2,
+                Randomize::All,
+                &parallel
+            ),
         );
-        let p3 = source_variance_study_with(
-            &cs,
-            VarianceSource::DataSplit,
-            6,
-            HpoAlgorithm::RandomSearch,
-            2,
-            5,
-            &Runner::new(4),
+        assert_eq!(
+            source_variance_study(
+                &cs,
+                VarianceSource::DataSplit,
+                6,
+                HpoAlgorithm::RandomSearch,
+                2,
+                5,
+                &serial
+            ),
+            source_variance_study(
+                &cs,
+                VarianceSource::DataSplit,
+                6,
+                HpoAlgorithm::RandomSearch,
+                2,
+                5,
+                &parallel
+            ),
         );
-        assert_eq!(s3, p3);
     }
 
     #[test]
-    fn cached_variants_bit_identical_to_uncached() {
+    fn cached_context_bit_identical_to_uncached() {
         let cs = cs();
-        let runner = Runner::serial();
-        let cache = MeasureCache::new();
+        let uncached = ctx();
+        let cached = RunContext::serial_cached();
         let algo = HpoAlgorithm::RandomSearch;
 
-        let a = source_variance_study(&cs, VarianceSource::DataSplit, 5, algo, 2, 3);
-        let b = source_variance_study_cached(
-            &cs,
-            VarianceSource::DataSplit,
-            5,
-            algo,
-            2,
-            3,
-            &runner,
-            &cache,
-        );
+        let a = source_variance_study(&cs, VarianceSource::DataSplit, 5, algo, 2, 3, &uncached);
+        let b = source_variance_study(&cs, VarianceSource::DataSplit, 5, algo, 2, 3, &cached);
         assert_eq!(a, b);
 
-        let a = joint_variance_study(&cs, &VarianceSource::XI_O, 4, 3);
-        let b = joint_variance_study_cached(&cs, &VarianceSource::XI_O, 4, 3, &runner, &cache);
+        let a = joint_variance_study(&cs, &VarianceSource::XI_O, 4, 3, &uncached);
+        let b = joint_variance_study(&cs, &VarianceSource::XI_O, 4, 3, &cached);
         assert_eq!(a, b);
 
-        let a = ideal_estimator(&cs, 3, algo, 3, 5);
-        let b = ideal_estimator_cached(&cs, 3, algo, 3, 5, &runner, &cache);
+        let a = ideal_estimator(&cs, 3, algo, 3, 5, &uncached);
+        let b = ideal_estimator(&cs, 3, algo, 3, 5, &cached);
         assert_eq!(a, b, "measures and fits must replay exactly");
 
-        let a = fix_hopt_estimator(&cs, 4, algo, 3, 5, 1, Randomize::All);
-        let b = fix_hopt_estimator_cached(&cs, 4, algo, 3, 5, 1, Randomize::All, &runner, &cache);
+        let a = fix_hopt_estimator(&cs, 4, algo, 3, 5, 1, Randomize::All, &uncached);
+        let b = fix_hopt_estimator(&cs, 4, algo, 3, 5, 1, Randomize::All, &cached);
         assert_eq!(a, b);
     }
 
@@ -796,33 +619,14 @@ mod tests {
         // Ask for 3, then 6: the second call computes only rows 3..6 but
         // must return exactly what a direct 6-measure study returns.
         let cs = cs();
-        let runner = Runner::serial();
-        let cache = MeasureCache::new();
+        let cached = RunContext::serial_cached();
         let algo = HpoAlgorithm::RandomSearch;
-        let short = source_variance_study_cached(
-            &cs,
-            VarianceSource::WeightsInit,
-            3,
-            algo,
-            1,
-            7,
-            &runner,
-            &cache,
-        );
-        let long = source_variance_study_cached(
-            &cs,
-            VarianceSource::WeightsInit,
-            6,
-            algo,
-            1,
-            7,
-            &runner,
-            &cache,
-        );
+        let short = source_variance_study(&cs, VarianceSource::WeightsInit, 3, algo, 1, 7, &cached);
+        let long = source_variance_study(&cs, VarianceSource::WeightsInit, 6, algo, 1, 7, &cached);
         assert_eq!(short, long[..3].to_vec());
-        let direct = source_variance_study(&cs, VarianceSource::WeightsInit, 6, algo, 1, 7);
+        let direct = source_variance_study(&cs, VarianceSource::WeightsInit, 6, algo, 1, 7, &ctx());
         assert_eq!(long, direct);
-        let stats = cache.stats();
+        let stats = cached.cache().stats();
         assert_eq!(stats.rows_computed, 6, "no row computed twice");
         assert_eq!(stats.extensions, 1);
     }
@@ -830,10 +634,9 @@ mod tests {
     #[test]
     fn hopt_record_shared_across_callers() {
         let cs = cs();
-        let cache = MeasureCache::new();
-        let runner = Runner::serial();
+        let cached = RunContext::serial_cached();
         // A biased-estimator run tunes under repetition 0's fixed seeds...
-        let _ = fix_hopt_estimator_cached(
+        let _ = fix_hopt_estimator(
             &cs,
             3,
             HpoAlgorithm::RandomSearch,
@@ -841,18 +644,50 @@ mod tests {
             9,
             0,
             Randomize::All,
-            &runner,
-            &cache,
+            &cached,
         );
-        let fits_after_first = cache.stats().record_fits_computed;
+        let fits_after_first = cached.cache().stats().record_fits_computed;
         assert_eq!(fits_after_first, 3, "one HPO procedure of 3 trials");
-        // ...and a direct hopt_cached under the same seeds is free.
+        // ...and a direct hopt_record under the same seeds is free.
         let fixed = SeedAssignment::all_random(9 ^ 0xF1F0, 0);
-        let (best, fits) = hopt_cached(&cs, &fixed, HpoAlgorithm::RandomSearch, 3, &cache);
+        let (best, fits) = hopt_record(&cs, &fixed, HpoAlgorithm::RandomSearch, 3, &cached);
         assert_eq!(fits, 3);
         assert_eq!(best.len(), cs.search_space().len());
-        assert_eq!(cache.stats().record_fits_computed, fits_after_first);
-        assert_eq!(cache.stats().records_served, 1);
+        assert_eq!(
+            cached.cache().stats().record_fits_computed,
+            fits_after_first
+        );
+        assert_eq!(cached.cache().stats().records_served, 1);
+    }
+
+    #[test]
+    fn estimators_accept_non_mlp_workloads() {
+        // The point of the trait: the same estimator stack runs a
+        // closed-form workload end to end.
+        let w = varbench_pipeline::SyntheticWorkload::new(Scale::Test);
+        let run = ideal_estimator(&w, 3, HpoAlgorithm::RandomSearch, 2, 4, &ctx());
+        assert_eq!(run.measures.len(), 3);
+        assert!(run.measures.iter().all(|&m| m > 0.0 && m <= 1.0));
+        let study = source_variance_study(
+            &w,
+            VarianceSource::DataSplit,
+            5,
+            HpoAlgorithm::RandomSearch,
+            1,
+            4,
+            &ctx(),
+        );
+        assert!(std_dev(&study) > 0.0, "split variance must be live");
+        let inert = source_variance_study(
+            &w,
+            VarianceSource::WeightsInit,
+            4,
+            HpoAlgorithm::RandomSearch,
+            1,
+            4,
+            &ctx(),
+        );
+        assert_eq!(std_dev(&inert), 0.0, "closed-form fit has no init noise");
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! * [`simulation`] — the calibrated two-stage normal simulation of §4.2
 //!   used to characterize the error rates of those criteria (Figs. 6 and
 //!   I.6);
+//! * [`ctx`] — [`RunContext`], the one execution environment every
+//!   estimator takes (executor + measurement cache; serial + no-op cache
+//!   by default);
+//! * [`study`] — the fluent [`Study`] builder: from any
+//!   `varbench_pipeline::Workload` to a finished variance report;
 //! * [`sample_size`] — Noether planning for `P(A > B)` tests (Fig. C.1);
 //! * [`report`] — structured experiment reports (text/JSON/CSV) and the
 //!   aligned-table formatter behind them;
@@ -61,6 +66,7 @@
 
 pub mod checklist;
 pub mod compare;
+pub mod ctx;
 pub mod decompose;
 pub mod estimator;
 pub mod exec;
@@ -69,3 +75,7 @@ pub mod procedure;
 pub mod report;
 pub mod sample_size;
 pub mod simulation;
+pub mod study;
+
+pub use ctx::RunContext;
+pub use study::Study;

@@ -12,12 +12,12 @@ use crate::compare::{compare_paired, Decision, ProbOutperformTest};
 use crate::sample_size::{
     noether_sample_size, RECOMMENDED_ALPHA, RECOMMENDED_BETA, RECOMMENDED_GAMMA,
 };
-use varbench_pipeline::{CaseStudy, SeedAssignment};
+use varbench_pipeline::{SeedAssignment, Workload};
 use varbench_rng::Rng;
 use varbench_stats::describe::Summary;
 
 /// Builder for a paired, variance-accounting comparison of two
-/// hyperparameter configurations of a [`CaseStudy`].
+/// hyperparameter configurations of any [`Workload`].
 ///
 /// # Example
 ///
@@ -35,9 +35,9 @@ use varbench_stats::describe::Summary;
 /// println!("{report}");
 /// assert_eq!(report.a_measures.len(), 8);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ComparisonProcedure<'a> {
-    case_study: &'a CaseStudy,
+    workload: &'a dyn Workload,
     gamma: f64,
     alpha: f64,
     resamples: usize,
@@ -45,12 +45,25 @@ pub struct ComparisonProcedure<'a> {
     seed: u64,
 }
 
+impl std::fmt::Debug for ComparisonProcedure<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComparisonProcedure")
+            .field("workload", &self.workload.name())
+            .field("gamma", &self.gamma)
+            .field("alpha", &self.alpha)
+            .field("resamples", &self.resamples)
+            .field("sample_size", &self.sample_size)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
 impl<'a> ComparisonProcedure<'a> {
-    /// Starts a procedure on `case_study` with the paper's recommended
+    /// Starts a procedure on `workload` with the paper's recommended
     /// settings: γ = 0.75, α = 0.05, Noether-planned sample size (29).
-    pub fn new(case_study: &'a CaseStudy) -> Self {
+    pub fn new(workload: &'a dyn Workload) -> Self {
         Self {
-            case_study,
+            workload,
             gamma: RECOMMENDED_GAMMA,
             alpha: RECOMMENDED_ALPHA,
             resamples: 1000,
@@ -110,7 +123,7 @@ impl<'a> ComparisonProcedure<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if parameter vectors do not match the case study's search
+    /// Panics if parameter vectors do not match the workload's search
     /// space.
     pub fn run(&self, params_a: &[f64], params_b: &[f64]) -> ProcedureReport {
         let mut a = Vec::with_capacity(self.sample_size);
@@ -119,14 +132,14 @@ impl<'a> ComparisonProcedure<'a> {
             // Pairing: identical seed assignment for both configurations
             // (Appendix C.2).
             let seeds = SeedAssignment::all_random(self.seed, i as u64);
-            a.push(self.case_study.run_with_params(params_a, &seeds));
-            b.push(self.case_study.run_with_params(params_b, &seeds));
+            a.push(self.workload.run_with_params(params_a, &seeds));
+            b.push(self.workload.run_with_params(params_b, &seeds));
         }
         let mut rng = Rng::seed_from_u64(self.seed ^ 0xB007);
         let test = compare_paired(&a, &b, self.gamma, self.alpha, self.resamples, &mut rng);
         ProcedureReport {
-            task: self.case_study.name().to_string(),
-            metric: self.case_study.metric().name().to_string(),
+            task: self.workload.name().to_string(),
+            metric: self.workload.metric_name().to_string(),
             a_summary: Summary::from_slice(&a),
             b_summary: Summary::from_slice(&b),
             test,
@@ -189,7 +202,7 @@ impl std::fmt::Display for ProcedureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use varbench_pipeline::Scale;
+    use varbench_pipeline::{CaseStudy, Scale};
 
     #[test]
     fn detects_crippled_baseline() {

@@ -1,0 +1,311 @@
+//! The fluent study builder: one entry point from *any* workload to a
+//! finished variance report.
+//!
+//! ```
+//! use varbench_core::ctx::RunContext;
+//! use varbench_core::study::Study;
+//! use varbench_pipeline::{Scale, SyntheticWorkload};
+//!
+//! let w = SyntheticWorkload::new(Scale::Test);
+//! let report = Study::new(&w).seeds(4).budget(2).run(&RunContext::serial());
+//! assert!(report.render_text().contains("synthetic-ridge"));
+//! ```
+
+#![deny(missing_docs)]
+
+use crate::ctx::RunContext;
+use crate::estimator::{joint_variance_study, source_variance_study};
+use crate::report::{bar, num, Report, Table};
+use varbench_pipeline::{HpoAlgorithm, VarianceSource, Workload};
+use varbench_stats::describe::{mean, std_dev};
+
+/// Builds and runs a per-source variance study of one [`Workload`] —
+/// the paper's Fig. 1 protocol as a reusable, fluent API.
+///
+/// Defaults: randomize every active ξ_O source, 10 seeds per source,
+/// random search, no ξ_H row (enable it with [`Study::budget`]).
+pub struct Study<'w> {
+    workload: &'w dyn Workload,
+    sources: Option<Vec<VarianceSource>>,
+    n_seeds: usize,
+    base_seed: u64,
+    algo: HpoAlgorithm,
+    budget: usize,
+    report_name: Option<String>,
+}
+
+impl<'w> Study<'w> {
+    /// Starts a study of `workload` with the defaults above.
+    pub fn new(workload: &'w dyn Workload) -> Study<'w> {
+        Study {
+            workload,
+            sources: None,
+            n_seeds: 10,
+            base_seed: 0xA11D,
+            algo: HpoAlgorithm::RandomSearch,
+            budget: 0,
+            report_name: None,
+        }
+    }
+
+    /// Restricts the study to `sources` (intersected with the workload's
+    /// active ξ_O sources; [`VarianceSource::HyperOpt`] is controlled by
+    /// [`Study::budget`] instead).
+    pub fn randomize(mut self, sources: &[VarianceSource]) -> Study<'w> {
+        self.sources = Some(sources.to_vec());
+        self
+    }
+
+    /// Sets the number of re-seeded measurements per source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (a variance needs at least two measures).
+    pub fn seeds(mut self, n: usize) -> Study<'w> {
+        assert!(n >= 2, "a variance study needs at least 2 seeds");
+        self.n_seeds = n;
+        self
+    }
+
+    /// Sets the base seed every measurement derives from.
+    pub fn base_seed(mut self, seed: u64) -> Study<'w> {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Enables the ξ_H (hyperparameter-optimization) row: `budget` trials
+    /// per independent tuning procedure. `0` (the default) skips it.
+    pub fn budget(mut self, budget: usize) -> Study<'w> {
+        self.budget = budget;
+        self
+    }
+
+    /// Selects the HPO algorithm for the ξ_H row.
+    pub fn algorithm(mut self, algo: HpoAlgorithm) -> Study<'w> {
+        self.algo = algo;
+        self
+    }
+
+    /// Overrides the report's registry name (default `study-<workload>`).
+    pub fn named(mut self, name: impl Into<String>) -> Study<'w> {
+        self.report_name = Some(name.into());
+        self
+    }
+
+    /// Runs every measurement through `ctx` and renders the variance
+    /// profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source selection leaves nothing to randomize.
+    pub fn run(&self, ctx: &RunContext) -> Report {
+        let w = self.workload;
+        let active_xi_o: Vec<VarianceSource> = w
+            .active_sources()
+            .iter()
+            .copied()
+            .filter(|s| !s.is_hyperopt())
+            .collect();
+        let chosen: Vec<VarianceSource> = match &self.sources {
+            Some(requested) => active_xi_o
+                .iter()
+                .copied()
+                .filter(|s| requested.contains(s))
+                .collect(),
+            None => active_xi_o,
+        };
+        assert!(
+            !chosen.is_empty(),
+            "study of {} has no active source to randomize",
+            w.name()
+        );
+
+        let name = self
+            .report_name
+            .clone()
+            .unwrap_or_else(|| format!("study-{}", w.name()));
+        let mut r = Report::new(name, format!("Study: {}", w.name()));
+        r.text(format!(
+            "variance profile of {} ({}, metric: {}, {} search dims)\n",
+            w.name(),
+            w.cache_id(),
+            w.metric_name(),
+            w.search_space().len()
+        ));
+        r.text(format!(
+            "(n = {} seeds per source, base seed = {:#x})\n\n",
+            self.n_seeds, self.base_seed
+        ));
+
+        // Per-source rows, in active-source order.
+        let mut rows: Vec<(String, f64)> = Vec::new();
+        let mut first_marginal: Option<Vec<f64>> = None;
+        for &src in &chosen {
+            let measures = source_variance_study(
+                w,
+                src,
+                self.n_seeds,
+                self.algo,
+                self.budget.max(1),
+                self.base_seed,
+                ctx,
+            );
+            rows.push((src.display_name().to_string(), std_dev(&measures)));
+            first_marginal.get_or_insert(measures);
+        }
+        // Joint randomization of the chosen set. With a single source the
+        // joint study IS that source's marginal study — reuse its matrix
+        // instead of paying n more measurements, and skip the redundant
+        // table row.
+        let joint = if chosen.len() > 1 {
+            let joint = joint_variance_study(w, &chosen, self.n_seeds, self.base_seed, ctx);
+            rows.push(("Altogether (joint)".to_string(), std_dev(&joint)));
+            joint
+        } else {
+            first_marginal.expect("chosen is non-empty")
+        };
+        // Optional ξ_H row.
+        if self.budget > 0 {
+            let measures = source_variance_study(
+                w,
+                VarianceSource::HyperOpt,
+                self.n_seeds,
+                self.algo,
+                self.budget,
+                self.base_seed ^ 0xB0B0,
+                ctx,
+            );
+            rows.push((
+                format!("HyperOpt ({}, T={})", self.algo.display_name(), self.budget),
+                std_dev(&measures),
+            ));
+        }
+
+        // The ratio column is relative to the bootstrap row when the
+        // study includes it, otherwise to the first chosen source — and
+        // the header says which.
+        let (ref_header, reference) = rows
+            .iter()
+            .find(|(l, _)| l == VarianceSource::DataSplit.display_name())
+            .map(|(_, s)| ("ratio/bootstrap".to_string(), *s))
+            .or_else(|| {
+                rows.first()
+                    .map(|(l, s)| (format!("ratio/{}", l.to_lowercase()), *s))
+            })
+            .unwrap_or(("ratio".to_string(), f64::NAN));
+        let mut t = Table::new(vec!["source".into(), "std".into(), ref_header, "".into()]);
+        for (label, sd) in &rows {
+            let ratio = if reference > 0.0 {
+                sd / reference
+            } else {
+                f64::NAN
+            };
+            t.add_row(vec![
+                label.clone(),
+                num(*sd, 5),
+                num(ratio, 2),
+                bar(ratio, 2.0, 24),
+            ]);
+        }
+        r.table(t);
+        let summary_label = if chosen.len() > 1 {
+            "joint randomization"
+        } else {
+            "randomized source"
+        };
+        r.text(format!(
+            "\n{summary_label}: mean {} = {}, std = {}\n",
+            w.metric_name(),
+            num(mean(&joint), 5),
+            num(std_dev(&joint), 5)
+        ));
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varbench_pipeline::{CaseStudy, LinearWorkload, Scale, SyntheticWorkload};
+
+    #[test]
+    fn study_profiles_a_case_study() {
+        let cs = CaseStudy::glue_rte_bert(Scale::Test);
+        let report = Study::new(&cs).seeds(4).run(&RunContext::serial());
+        let text = report.render_text();
+        assert!(text.contains("glue-rte-bert"));
+        assert!(text.contains("Data (bootstrap)"));
+        assert!(text.contains("Altogether (joint)"));
+        assert!(!text.contains("HyperOpt"), "no budget, no xi_H row");
+    }
+
+    #[test]
+    fn study_budget_adds_hopt_row() {
+        let w = SyntheticWorkload::new(Scale::Test);
+        let report = Study::new(&w).seeds(3).budget(2).run(&RunContext::serial());
+        assert!(report
+            .render_text()
+            .contains("HyperOpt (Random Search, T=2)"));
+    }
+
+    #[test]
+    fn study_randomize_restricts_sources() {
+        let w = LinearWorkload::new(Scale::Test);
+        let report = Study::new(&w)
+            .randomize(&[VarianceSource::WeightsInit])
+            .seeds(3)
+            .run(&RunContext::serial());
+        let text = report.render_text();
+        assert!(text.contains("Weights init"));
+        assert!(!text.contains("Data (bootstrap)"));
+        // No bootstrap row: the ratio column must say what it is relative
+        // to, and a single-source study has no separate joint row.
+        assert!(text.contains("ratio/weights init"), "{text}");
+        assert!(!text.contains("ratio/bootstrap"));
+        assert!(!text.contains("Altogether (joint)"));
+        assert!(text.contains("randomized source: mean"));
+    }
+
+    #[test]
+    fn single_source_study_reuses_the_marginal_matrix() {
+        // SyntheticWorkload's only xi_O source is the data split: the
+        // summary must come from the marginal matrix, not a second
+        // (redundant) joint measurement.
+        let w = SyntheticWorkload::new(Scale::Test);
+        let ctx = RunContext::serial_cached();
+        let _ = Study::new(&w).seeds(4).run(&ctx);
+        assert_eq!(
+            ctx.cache().stats().rows_computed,
+            4,
+            "exactly one 4-row matrix measured"
+        );
+    }
+
+    #[test]
+    fn study_is_deterministic_and_cache_invariant() {
+        let w = LinearWorkload::new(Scale::Test);
+        let a = Study::new(&w).seeds(3).run(&RunContext::serial());
+        let b = Study::new(&w).seeds(3).run(&RunContext::serial_cached());
+        assert_eq!(a.render_text(), b.render_text());
+    }
+
+    #[test]
+    fn named_overrides_report_name() {
+        let w = SyntheticWorkload::new(Scale::Test);
+        let report = Study::new(&w)
+            .named("workload-synth")
+            .seeds(2)
+            .run(&RunContext::serial());
+        assert_eq!(report.name(), "workload-synth");
+    }
+
+    #[test]
+    #[should_panic(expected = "no active source")]
+    fn empty_selection_rejected() {
+        let w = SyntheticWorkload::new(Scale::Test);
+        // Weight init is inert for the closed-form workload.
+        let _ = Study::new(&w)
+            .randomize(&[VarianceSource::WeightsInit])
+            .run(&RunContext::serial());
+    }
+}

@@ -1,12 +1,13 @@
-//! Content-addressed measurement cache for case-study score matrices.
+//! Content-addressed measurement cache for workload score matrices.
 //!
 //! The paper's artifacts keep re-measuring the same quantities: Fig. 1,
 //! Fig. 2, Fig. G.3 and the interaction study all need per-source score
 //! matrices; Fig. 5, Fig. 6 and Fig. H.5 all need ideal- and
 //! biased-estimator runs; the Table 8 experiment needs the same tuned
 //! hyperparameters as the biased estimator's first repetition. Every one
-//! of those measurements is a *pure function of its key* — case study,
-//! scale, randomization set, budget and seed tree — so a run of several
+//! of those measurements is a *pure function of its key* — workload
+//! identity (name, version, scale and content fingerprint),
+//! randomization set, budget and seed tree — so a run of several
 //! artifacts can share them instead of recomputing.
 //!
 //! [`MeasureCache`] memoizes two entry shapes:
@@ -42,15 +43,17 @@ use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
-use crate::case_study::{CaseStudy, Scale};
 use crate::variance::VarianceSource;
+use crate::workload::Workload;
 
 /// Environment variable naming the optional on-disk store directory.
 pub const CACHE_DIR_ENV: &str = "VARBENCH_CACHE_DIR";
 
 /// On-disk record format version; bumping it invalidates old records
 /// (they live under a `v<N>` subdirectory and are simply never read).
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+/// v2: keys address workloads by `name@version:scale` plus a content
+/// fingerprint instead of the bare case-study name.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// What a cache entry measures — the "randomization set" part of the key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -109,33 +112,36 @@ pub enum MeasureKind {
     },
 }
 
-/// Content address of one cached measurement: case study, scale,
-/// randomization set (the [`MeasureKind`]), base seed and a fingerprint
-/// of the default hyperparameters the studies train with.
+/// Content address of one cached measurement: the workload identity
+/// (`name@version:scale` plus its content fingerprint), the
+/// randomization set (the [`MeasureKind`]) and the base seed.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MeasureKey {
-    case_study: &'static str,
-    scale: Scale,
+    workload: String,
+    fingerprint: u64,
     kind: MeasureKind,
     base_seed: u64,
-    defaults_fp: u64,
     canon: String,
 }
 
 impl MeasureKey {
-    /// Builds the key for a measurement of `cs`.
+    /// Builds the key for a measurement of `workload`.
+    ///
+    /// The key embeds [`Workload::cache_id`] (name, version and scale)
+    /// **and** [`Workload::fingerprint`], so two workloads that merely
+    /// share a name can never alias each other's measurements.
     ///
     /// `JointStudy` source sets are normalized to the intersection with
-    /// the case study's active sources, sorted: re-seeding an *inactive*
+    /// the workload's active sources, sorted: re-seeding an *inactive*
     /// source never changes a measure, so `{active ∪ inactive}` and
     /// `{active}` joint studies produce bit-identical matrices and must
     /// share one entry.
-    pub fn new(cs: &CaseStudy, kind: MeasureKind, base_seed: u64) -> MeasureKey {
+    pub fn new(workload: &dyn Workload, kind: MeasureKind, base_seed: u64) -> MeasureKey {
         let kind = match kind {
             MeasureKind::JointStudy { sources } => {
                 let mut s: Vec<VarianceSource> = sources
                     .into_iter()
-                    .filter(|s| cs.active_sources().contains(s))
+                    .filter(|s| workload.active_sources().contains(s))
                     .collect();
                 s.sort_unstable();
                 s.dedup();
@@ -143,14 +149,14 @@ impl MeasureKey {
             }
             other => other,
         };
-        let defaults_fp = fingerprint_f64s(cs.default_params());
-        let canon = canonical(cs.name(), cs.scale(), &kind, base_seed, defaults_fp);
+        let id = workload.cache_id();
+        let fingerprint = workload.fingerprint();
+        let canon = canonical(&id, fingerprint, &kind, base_seed);
         MeasureKey {
-            case_study: cs.name(),
-            scale: cs.scale(),
+            workload: id,
+            fingerprint,
             kind,
             base_seed,
-            defaults_fp,
             canon,
         }
     }
@@ -162,13 +168,7 @@ impl MeasureKey {
     }
 }
 
-fn canonical(
-    case_study: &str,
-    scale: Scale,
-    kind: &MeasureKind,
-    base_seed: u64,
-    defaults_fp: u64,
-) -> String {
+fn canonical(workload_id: &str, fingerprint: u64, kind: &MeasureKind, base_seed: u64) -> String {
     let kind_s = match kind {
         MeasureKind::SourceStudy { source } => format!("source:{}", source.label()),
         MeasureKind::JointStudy { sources } => {
@@ -193,8 +193,7 @@ fn canonical(
         }
     };
     format!(
-        "v{CACHE_FORMAT_VERSION}|cs={case_study}|scale={}|{kind_s}|seed={base_seed:016x}|defaults={defaults_fp:016x}",
-        scale.label()
+        "v{CACHE_FORMAT_VERSION}|w={workload_id}|fp={fingerprint:016x}|{kind_s}|seed={base_seed:016x}"
     )
 }
 
@@ -257,7 +256,7 @@ struct CacheState {
     stats: CacheStats,
 }
 
-/// A thread-safe, content-addressed store of case-study measurements.
+/// A thread-safe, content-addressed store of workload measurements.
 ///
 /// Cheap to create; share one per experiment run (the registry hands the
 /// same cache to every artifact). All methods take `&self`.
@@ -265,6 +264,7 @@ struct CacheState {
 pub struct MeasureCache {
     state: Mutex<CacheState>,
     dir: Option<PathBuf>,
+    off: bool,
 }
 
 impl MeasureCache {
@@ -273,12 +273,26 @@ impl MeasureCache {
         MeasureCache::default()
     }
 
+    /// A no-op cache: every lookup misses and nothing is ever stored —
+    /// the behaviour of the pre-cache serial measurement path, used by
+    /// the default serial `RunContext`. (The CLI's `--no-cache` flag
+    /// instead gives each artifact a private in-memory cache, preserving
+    /// intra-artifact memoization.) Work accounting still counts what
+    /// was computed.
+    pub fn disabled() -> MeasureCache {
+        MeasureCache {
+            off: true,
+            ..MeasureCache::default()
+        }
+    }
+
     /// A cache backed by a write-through on-disk store under `dir`
     /// (created on first write).
     pub fn with_dir(dir: impl Into<PathBuf>) -> MeasureCache {
         MeasureCache {
             state: Mutex::new(CacheState::default()),
             dir: Some(dir.into()),
+            off: false,
         }
     }
 
@@ -294,6 +308,16 @@ impl MeasureCache {
     /// Whether this cache persists to disk.
     pub fn is_persistent(&self) -> bool {
         self.dir.is_some()
+    }
+
+    /// Whether this is a no-op ([`MeasureCache::disabled`]) cache.
+    pub fn is_disabled(&self) -> bool {
+        self.off
+    }
+
+    /// The on-disk store directory, if persistent.
+    pub fn dir(&self) -> Option<&std::path::Path> {
+        self.dir.as_deref()
     }
 
     /// A snapshot of the accounting counters.
@@ -333,6 +357,19 @@ impl MeasureCache {
         compute: impl FnOnce(Range<usize>) -> Vec<f64>,
     ) -> Vec<f64> {
         assert!(rows > 0 && cols > 0, "matrix needs rows > 0 and cols > 0");
+        if self.off {
+            let values = compute(0..rows);
+            assert_eq!(
+                values.len(),
+                rows * cols,
+                "compute returned the wrong number of values for {}",
+                key.canon()
+            );
+            let mut st = self.state.lock().expect("cache lock");
+            st.stats.misses += 1;
+            st.stats.rows_computed += rows as u64;
+            return values;
+        }
         // Lookup copies only what this request needs: the requested
         // prefix on a full hit, the whole (shorter) matrix as the
         // extension base otherwise.
@@ -421,6 +458,13 @@ impl MeasureCache {
         key: &MeasureKey,
         compute: impl FnOnce() -> (Vec<f64>, usize),
     ) -> (Vec<f64>, usize) {
+        if self.off {
+            let (values, fits) = compute();
+            let mut st = self.state.lock().expect("cache lock");
+            st.stats.records_computed += 1;
+            st.stats.record_fits_computed += fits as u64;
+            return (values, fits);
+        }
         let unpack = |e: &Entry| {
             assert!(
                 !e.extendable,
@@ -577,8 +621,9 @@ fn parse_record(text: &str, canon: &str) -> Option<Entry> {
     })
 }
 
-/// FNV-1a 64-bit hash — the content-address hash for on-disk records.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit hash — the content-address hash for on-disk records and
+/// the default [`Workload::fingerprint`].
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -587,18 +632,10 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Order-sensitive fingerprint of an `f64` slice (bit-exact).
-fn fingerprint_f64s(xs: &[f64]) -> u64 {
-    let mut bytes = Vec::with_capacity(xs.len() * 8);
-    for x in xs {
-        bytes.extend_from_slice(&x.to_bits().to_le_bytes());
-    }
-    fnv1a64(&bytes)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::case_study::{CaseStudy, Scale};
 
     fn test_cs() -> CaseStudy {
         CaseStudy::glue_rte_bert(Scale::Test)
@@ -692,6 +729,98 @@ mod tests {
             mk(&cs_a, budget(4), 7).canon(),
             "budget"
         );
+    }
+
+    /// A minimal fake workload for key-collision tests.
+    struct Fake {
+        version: u32,
+        defaults: Vec<f64>,
+        space: varbench_hpo::SearchSpace,
+    }
+
+    impl Fake {
+        fn new(version: u32, default: f64) -> Fake {
+            Fake {
+                version,
+                defaults: vec![default],
+                space: varbench_hpo::SearchSpace::new(vec![(
+                    "x".into(),
+                    varbench_hpo::Dim::uniform(0.0, 1.0),
+                )]),
+            }
+        }
+    }
+
+    impl Workload for Fake {
+        fn name(&self) -> &str {
+            "collider" // deliberately shared across instances
+        }
+        fn version(&self) -> u32 {
+            self.version
+        }
+        fn metric_name(&self) -> &'static str {
+            "accuracy"
+        }
+        fn search_space(&self) -> &varbench_hpo::SearchSpace {
+            &self.space
+        }
+        fn default_params(&self) -> &[f64] {
+            &self.defaults
+        }
+        fn active_sources(&self) -> &[VarianceSource] {
+            &[VarianceSource::DataSplit]
+        }
+        fn run_with_params(&self, _params: &[f64], _seeds: &crate::SeedAssignment) -> f64 {
+            0.5
+        }
+        fn run_valid_test(&self, _params: &[f64], _seeds: &crate::SeedAssignment) -> (f64, f64) {
+            (0.5, 0.5)
+        }
+    }
+
+    #[test]
+    fn workloads_sharing_a_name_never_alias_cache_entries() {
+        // Two distinct workloads named "collider": same name, different
+        // version or different configuration. Their keys — and therefore
+        // their cached matrices — must stay separate.
+        let v1 = Fake::new(1, 0.5);
+        let v2 = Fake::new(2, 0.5); // same config, bumped version
+        let other = Fake::new(1, 0.75); // same version, different defaults
+        let kind = || MeasureKind::SourceStudy {
+            source: VarianceSource::DataSplit,
+        };
+        let k1 = MeasureKey::new(&v1, kind(), 7);
+        let k2 = MeasureKey::new(&v2, kind(), 7);
+        let k3 = MeasureKey::new(&other, kind(), 7);
+        assert_ne!(k1.canon(), k2.canon(), "version must separate keys");
+        assert_ne!(k1.canon(), k3.canon(), "fingerprint must separate keys");
+
+        // End to end: the second workload must not be served the first
+        // workload's rows.
+        let cache = MeasureCache::new();
+        let a = cache.matrix(&k1, 3, 1, |r| r.map(|i| i as f64).collect());
+        let b = cache.matrix(&k3, 3, 1, |r| r.map(|i| i as f64 + 100.0).collect());
+        assert_ne!(a, b, "same-name workloads must compute independently");
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn disabled_cache_always_computes_and_stores_nothing() {
+        let cache = MeasureCache::disabled();
+        assert!(cache.is_disabled());
+        let k = key(1);
+        let a = cache.matrix(&k, 3, 1, rowfn);
+        let b = cache.matrix(&k, 3, 1, rowfn);
+        assert_eq!(a, b, "values still deterministic");
+        assert!(cache.is_empty(), "nothing stored");
+        let s = cache.stats();
+        assert_eq!((s.misses, s.rows_computed, s.rows_served), (2, 6, 0));
+        let (v, fits) = cache.record(&k, || (vec![1.0], 2));
+        let (v2, _) = cache.record(&k, || (vec![1.0], 2));
+        assert_eq!(v, v2);
+        assert_eq!(fits, 2);
+        assert_eq!(cache.stats().records_computed, 2, "recomputed every time");
     }
 
     #[test]

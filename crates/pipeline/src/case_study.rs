@@ -588,6 +588,48 @@ impl CaseStudy {
     }
 }
 
+impl crate::workload::Workload for CaseStudy {
+    fn name(&self) -> &str {
+        CaseStudy::name(self)
+    }
+
+    fn scale_label(&self) -> &'static str {
+        self.scale.label()
+    }
+
+    fn metric_name(&self) -> &'static str {
+        self.metric.name()
+    }
+
+    fn search_space(&self) -> &SearchSpace {
+        CaseStudy::search_space(self)
+    }
+
+    fn default_params(&self) -> &[f64] {
+        CaseStudy::default_params(self)
+    }
+
+    fn active_sources(&self) -> &[VarianceSource] {
+        CaseStudy::active_sources(self)
+    }
+
+    fn run_with_params(&self, params: &[f64], seeds: &SeedAssignment) -> f64 {
+        CaseStudy::run_with_params(self, params, seeds)
+    }
+
+    fn run_valid_test(&self, params: &[f64], seeds: &SeedAssignment) -> (f64, f64) {
+        CaseStudy::run_with_params_valid_test(self, params, seeds)
+    }
+
+    fn run_valid(&self, params: &[f64], seeds: &SeedAssignment) -> f64 {
+        // HOpt hot path: skip the test-set forward passes the default
+        // implementation would pay for and throw away.
+        let split = self.split(seeds.seed_of(VarianceSource::DataSplit));
+        let model = self.train_model(params, split.train(), seeds);
+        self.evaluate(&model, split.valid())
+    }
+}
+
 /// The Table 3-shaped search space shared by the two BERT analogs:
 /// learning rate (log), weight decay (log), classifier-head init std
 /// (log). Ranges adapted to our substrate (documented in EXPERIMENTS.md).

@@ -1,11 +1,13 @@
-//! Hyperparameter optimization of a case study — `HOpt(S_tv; ξ_O, ξ_H)`
-//! (paper Eq. 2) — and the complete pipeline `P(S_tv)` (Eq. 3).
+//! Hyperparameter optimization of a workload — `HOpt(S_tv; ξ_O, ξ_H)`
+//! (paper Eq. 2) — and the complete pipeline `P(S_tv)` (Eq. 3), generic
+//! over any [`Workload`].
 
 use crate::case_study::CaseStudy;
 use crate::variance::{SeedAssignment, VarianceSource};
+use crate::workload::Workload;
 use varbench_hpo::{
     minimize, BayesOpt, BayesOptConfig, GridSearch, History, NoisyGridSearch, Optimizer,
-    RandomSearch,
+    RandomSearch, SearchSpace,
 };
 
 /// The hyperparameter-optimization algorithms studied by the paper
@@ -42,20 +44,18 @@ impl HpoAlgorithm {
         }
     }
 
-    fn build(&self, cs: &CaseStudy, budget: usize, seed: u64) -> Box<dyn Optimizer> {
-        let space = cs.search_space().clone();
+    fn build(&self, space: &SearchSpace, budget: usize, seed: u64) -> Box<dyn Optimizer> {
+        let space = space.clone();
         match self {
             HpoAlgorithm::RandomSearch => Box::new(RandomSearch::new(space, seed)),
-            HpoAlgorithm::GridSearch => Box::new(GridSearch::new(
-                space,
-                grid_points_per_dim(cs, budget),
-                seed,
-            )),
-            HpoAlgorithm::NoisyGridSearch => Box::new(NoisyGridSearch::new(
-                space,
-                grid_points_per_dim(cs, budget),
-                seed,
-            )),
+            HpoAlgorithm::GridSearch => {
+                let points = grid_points_per_dim(space.len(), budget);
+                Box::new(GridSearch::new(space, points, seed))
+            }
+            HpoAlgorithm::NoisyGridSearch => {
+                let points = grid_points_per_dim(space.len(), budget);
+                Box::new(NoisyGridSearch::new(space, points, seed))
+            }
             HpoAlgorithm::BayesOpt => {
                 Box::new(BayesOpt::new(space, BayesOptConfig::default(), seed))
             }
@@ -70,8 +70,8 @@ impl std::fmt::Display for HpoAlgorithm {
 }
 
 /// Points per grid dimension so the full grid roughly matches `budget`.
-fn grid_points_per_dim(cs: &CaseStudy, budget: usize) -> usize {
-    let d = cs.search_space().len() as f64;
+fn grid_points_per_dim(dims: usize, budget: usize) -> usize {
+    let d = dims as f64;
     ((budget as f64).powf(1.0 / d).floor() as usize).max(2)
 }
 
@@ -89,11 +89,58 @@ pub struct PipelineResult {
     pub fits: usize,
 }
 
+/// Runs `HOpt(S_tv; ξ_O, ξ_H)` (paper Eq. 2) on any workload: optimizes
+/// the validation objective `1 − metric` via [`Workload::run_valid`],
+/// holding all ξ_O seeds fixed, with the ξ_H stream driving the
+/// optimizer. Returns the best parameters and the trial history.
+///
+/// # Panics
+///
+/// Panics if `budget == 0`.
+pub fn hopt(
+    workload: &dyn Workload,
+    seeds: &SeedAssignment,
+    algo: HpoAlgorithm,
+    budget: usize,
+) -> (Vec<f64>, History) {
+    assert!(budget > 0, "HPO budget must be > 0");
+    let mut optimizer = algo.build(
+        workload.search_space(),
+        budget,
+        seeds.seed_of(VarianceSource::HyperOpt),
+    );
+    let history = minimize(optimizer.as_mut(), budget, |params| {
+        1.0 - workload.run_valid(params, seeds)
+    });
+    let best = history.best().expect("non-empty history").params.clone();
+    (best, history)
+}
+
+/// Runs the complete pipeline `P(S_tv)` (paper Eq. 3 / Algorithm 1 body)
+/// on any workload: HOpt, retrain on train+valid with the selected λ̂*,
+/// measure on the held-out test set.
+///
+/// # Panics
+///
+/// Panics if `budget == 0`.
+pub fn run_pipeline(
+    workload: &dyn Workload,
+    seeds: &SeedAssignment,
+    algo: HpoAlgorithm,
+    budget: usize,
+) -> PipelineResult {
+    let (best_params, history) = hopt(workload, seeds, algo, budget);
+    let test_metric = workload.run_with_params(&best_params, seeds);
+    PipelineResult {
+        best_params,
+        history,
+        test_metric,
+        fits: budget + 1,
+    }
+}
+
 impl CaseStudy {
-    /// Runs `HOpt(S_tv; ξ_O, ξ_H)` (paper Eq. 2): optimizes the validation
-    /// objective `1 − metric` on the split drawn from the `DataSplit` seed,
-    /// holding all ξ_O seeds fixed, with the ξ_H stream driving the
-    /// optimizer. Returns the best parameters and the trial history.
+    /// [`hopt`] on this case study (convenience inherent form).
     ///
     /// # Panics
     ///
@@ -104,20 +151,10 @@ impl CaseStudy {
         algo: HpoAlgorithm,
         budget: usize,
     ) -> (Vec<f64>, History) {
-        assert!(budget > 0, "HPO budget must be > 0");
-        let split = self.split(seeds.seed_of(VarianceSource::DataSplit));
-        let mut optimizer = algo.build(self, budget, seeds.seed_of(VarianceSource::HyperOpt));
-        let history = minimize(optimizer.as_mut(), budget, |params| {
-            let model = self.train_model(params, split.train(), seeds);
-            1.0 - self.evaluate(&model, split.valid())
-        });
-        let best = history.best().expect("non-empty history").params.clone();
-        (best, history)
+        hopt(self, seeds, algo, budget)
     }
 
-    /// Runs the complete pipeline `P(S_tv)` (paper Eq. 3 / Algorithm 1
-    /// body): HOpt, retrain on train+valid with the selected λ̂*, measure
-    /// on the held-out test set.
+    /// [`run_pipeline`] on this case study (convenience inherent form).
     ///
     /// # Panics
     ///
@@ -128,16 +165,7 @@ impl CaseStudy {
         algo: HpoAlgorithm,
         budget: usize,
     ) -> PipelineResult {
-        let (best_params, history) = self.hopt(seeds, algo, budget);
-        let split = self.split(seeds.seed_of(VarianceSource::DataSplit));
-        let model = self.train_model(&best_params, &split.train_valid(), seeds);
-        let test_metric = self.evaluate(&model, split.test());
-        PipelineResult {
-            best_params,
-            history,
-            test_metric,
-            fits: budget + 1,
-        }
+        run_pipeline(self, seeds, algo, budget)
     }
 }
 
@@ -188,6 +216,21 @@ mod tests {
     }
 
     #[test]
+    fn run_pipeline_matches_hand_inlined_sequence() {
+        // The generic pipeline must equal hopt + a retrain-on-train+valid
+        // measurement, spelled out by hand (guards the delegation chain
+        // against drift).
+        let cs = CaseStudy::mhc_mlp(Scale::Test);
+        let seeds = SeedAssignment::all_fixed(6);
+        let result = run_pipeline(&cs, &seeds, HpoAlgorithm::RandomSearch, 3);
+        let (best, history) = hopt(&cs, &seeds, HpoAlgorithm::RandomSearch, 3);
+        assert_eq!(result.best_params, best);
+        assert_eq!(result.history, history);
+        assert_eq!(result.test_metric, cs.run_with_params(&best, &seeds));
+        assert_eq!(result.fits, 4);
+    }
+
+    #[test]
     fn all_algorithms_run() {
         let cs = CaseStudy::glue_rte_bert(Scale::Test);
         let seeds = SeedAssignment::all_fixed(5);
@@ -205,11 +248,9 @@ mod tests {
 
     #[test]
     fn grid_points_scale_with_budget_and_dims() {
-        let cs = CaseStudy::cifar10_vgg11(Scale::Test); // 4 dims
-        assert_eq!(grid_points_per_dim(&cs, 16), 2);
-        assert_eq!(grid_points_per_dim(&cs, 81), 3);
-        let cs2 = CaseStudy::mhc_mlp(Scale::Test); // 2 dims
-        assert_eq!(grid_points_per_dim(&cs2, 25), 5);
+        assert_eq!(grid_points_per_dim(4, 16), 2);
+        assert_eq!(grid_points_per_dim(4, 81), 3);
+        assert_eq!(grid_points_per_dim(2, 25), 5);
     }
 
     #[test]

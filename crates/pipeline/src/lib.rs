@@ -12,11 +12,17 @@
 //!   out-of-bootstrap splitting, model architecture, training procedure
 //!   `Opt(S_t, λ; ξ_O)`, search space, and metric — for each of the five
 //!   paper tasks (see `DESIGN.md` for the substitution table);
-//! * [`HpoAlgorithm`] + [`CaseStudy::hopt`] implement `HOpt(S_tv; ξ_O,
-//!   ξ_H)` (Eq. 2) with random search, noisy grid search, or Bayesian
-//!   optimization;
-//! * [`CaseStudy::run_pipeline`] is the complete pipeline `P(S_tv)` of
-//!   Eq. 3: tune, retrain on train+valid, measure on the held-out test set;
+//! * [`Workload`] is the object-safe abstraction every estimator works
+//!   through: any pipeline exposing a name, metric, search space, active
+//!   sources and the two measurement entry points plugs into the whole
+//!   stack ([`CaseStudy`] is one implementation;
+//!   [`workloads::LinearWorkload`] and [`workloads::SyntheticWorkload`]
+//!   prove the trait over non-MLP model families);
+//! * [`HpoAlgorithm`] + [`hopt`] implement `HOpt(S_tv; ξ_O, ξ_H)`
+//!   (Eq. 2) with random search, noisy grid search, or Bayesian
+//!   optimization, generically over any workload;
+//! * [`run_pipeline`] is the complete pipeline `P(S_tv)` of Eq. 3: tune,
+//!   retrain on train+valid, measure on the held-out test set;
 //! * [`cache::MeasureCache`] memoizes case-study score matrices
 //!   content-addressed by (case study, scale, randomization set, budget,
 //!   seed tree), so the figure artifacts share measurements instead of
@@ -47,9 +53,13 @@ mod case_study;
 mod hopt;
 pub mod measure;
 mod variance;
+pub mod workload;
+pub mod workloads;
 
 pub use cache::{CacheStats, MeasureCache, MeasureKey, MeasureKind};
 pub use case_study::{CaseStudy, Scale, SplitSpec};
-pub use hopt::{HpoAlgorithm, PipelineResult};
+pub use hopt::{hopt, run_pipeline, HpoAlgorithm, PipelineResult};
 pub use measure::{MetricKind, ParMap, SerialMap};
 pub use variance::{SeedAssignment, VarianceSource};
+pub use workload::Workload;
+pub use workloads::{LinearWorkload, SyntheticWorkload};

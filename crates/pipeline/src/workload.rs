@@ -1,0 +1,152 @@
+//! The workload abstraction: any benchmark pipeline the variance
+//! estimators can measure.
+//!
+//! The paper's estimators and decision criteria apply to *any* learning
+//! pipeline, not just the five case studies shipped here. [`Workload`]
+//! captures the minimal contract they need: an identity (for cache
+//! addressing and reports), a hyperparameter search space with defaults,
+//! the set of active variance sources, and the two measurement entry
+//! points — `run_with_params` (train on train+valid, report the test
+//! metric) and `run_valid_test` (train on train only, report both the
+//! validation and test metrics; the inner loop of hyperparameter
+//! optimization).
+//!
+//! Everything downstream — `HOpt` ([`crate::hopt`]), every estimator in
+//! `varbench_core::estimator`, the measurement cache, the `Study` builder
+//! and the `varbench` CLI — is generic over `&dyn Workload`, so a
+//! user-defined workload plugs into the entire stack. See
+//! `examples/custom_workload.rs` for a complete implementation in under
+//! 60 lines.
+//!
+//! # Determinism contract
+//!
+//! `run_with_params` and `run_valid_test` must be **pure functions of
+//! `(params, seeds)`**: identical inputs must reproduce identical metrics
+//! bit for bit, and sources not listed in [`Workload::active_sources`]
+//! must not influence the result. The estimators rely on this for
+//! bit-identical parallel execution and for the measurement cache.
+
+#![deny(missing_docs)]
+
+use crate::variance::{SeedAssignment, VarianceSource};
+use varbench_hpo::SearchSpace;
+
+/// A complete, self-contained benchmark pipeline (the paper's §2.1
+/// `P(S_tv)` minus the hyperparameter-optimization loop, which
+/// [`crate::hopt`] provides generically on top of this trait).
+///
+/// The trait is object-safe: the whole measurement stack works through
+/// `&dyn Workload`.
+pub trait Workload: Send + Sync {
+    /// Short stable identifier (e.g. `cifar10-vgg11`). Two workloads may
+    /// share a name only if [`Workload::version`] or
+    /// [`Workload::fingerprint`] distinguishes them — all three are part
+    /// of every cache key.
+    fn name(&self) -> &str;
+
+    /// Implementation version. Bump when the pipeline's behaviour changes
+    /// so stale cached measurements can never be served for the new code.
+    fn version(&self) -> u32 {
+        1
+    }
+
+    /// Label of the size preset this instance was built at (`test` /
+    /// `quick` / `full` for the built-in workloads). Part of the cache
+    /// identity: the same workload at two scales measures different
+    /// quantities.
+    fn scale_label(&self) -> &'static str {
+        "default"
+    }
+
+    /// Display name of the reported metric (higher is better).
+    fn metric_name(&self) -> &'static str;
+
+    /// The hyperparameter search space `HOpt` explores.
+    fn search_space(&self) -> &SearchSpace;
+
+    /// Default hyperparameters (the "pre-selected reasonable choices"
+    /// used for the ξ_O variance studies). Must match the search-space
+    /// arity.
+    fn default_params(&self) -> &[f64];
+
+    /// The variance sources that exist in this pipeline. Sources not
+    /// listed here must not influence the measures.
+    fn active_sources(&self) -> &[VarianceSource];
+
+    /// Content fingerprint mixed into every cache key alongside
+    /// [`Workload::name`] and [`Workload::version`].
+    ///
+    /// The default hashes the metric, the search space and the default
+    /// hyperparameters — enough to separate two differently-configured
+    /// workloads that share a name. Override it if your workload has
+    /// configuration (pool sizes, difficulty knobs) beyond those.
+    fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(self.metric_name().as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(format!("{:?}", self.search_space().dims()).as_bytes());
+        bytes.push(0);
+        for p in self.default_params() {
+            bytes.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+        crate::cache::fnv1a64(&bytes)
+    }
+
+    /// One complete *fixed-hyperparameter* measure: split, train on
+    /// train+valid, return the held-out test metric. The inner loop of
+    /// the paper's Algorithm 2 and of every ξ_O variance study.
+    fn run_with_params(&self, params: &[f64], seeds: &SeedAssignment) -> f64;
+
+    /// Like [`Workload::run_with_params`] but trains on the train portion
+    /// only and returns `(validation metric, test metric)` — used where
+    /// both are needed, e.g. the validation/test correlation study.
+    fn run_valid_test(&self, params: &[f64], seeds: &SeedAssignment) -> (f64, f64);
+
+    /// The validation metric alone — the `HOpt` objective, called once
+    /// per trial. Defaults to [`Workload::run_valid_test`]`.0`; override
+    /// it when evaluating the test set costs something (the built-in
+    /// case studies skip the test-set forward passes here).
+    fn run_valid(&self, params: &[f64], seeds: &SeedAssignment) -> f64 {
+        self.run_valid_test(params, seeds).0
+    }
+
+    /// The canonical cache identity: `name@vN:scale`. Every cache key
+    /// embeds this together with [`Workload::fingerprint`].
+    fn cache_id(&self) -> String {
+        format!("{}@v{}:{}", self.name(), self.version(), self.scale_label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study::{CaseStudy, Scale};
+
+    #[test]
+    fn case_study_implements_workload() {
+        let cs = CaseStudy::glue_rte_bert(Scale::Test);
+        let w: &dyn Workload = &cs;
+        assert_eq!(w.name(), "glue-rte-bert");
+        assert_eq!(w.scale_label(), "test");
+        assert_eq!(w.metric_name(), "accuracy");
+        assert_eq!(w.default_params().len(), w.search_space().len());
+        assert_eq!(w.cache_id(), "glue-rte-bert@v1:test");
+        let seeds = SeedAssignment::all_fixed(1);
+        let m = w.run_with_params(w.default_params(), &seeds);
+        assert_eq!(
+            m,
+            cs.run_with_params(cs.default_params(), &seeds),
+            "trait and inherent paths must agree"
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_configurations() {
+        let a = CaseStudy::glue_rte_bert(Scale::Test);
+        let b = CaseStudy::mhc_mlp(Scale::Test);
+        assert_ne!(Workload::fingerprint(&a), Workload::fingerprint(&b));
+        // Same configuration fingerprints identically.
+        let a2 = CaseStudy::glue_rte_bert(Scale::Test);
+        assert_eq!(Workload::fingerprint(&a), Workload::fingerprint(&a2));
+    }
+}

@@ -1,0 +1,127 @@
+//! Bring your own workload: implement the `Workload` trait for a custom
+//! pipeline — here a shrunken-nearest-centroid classifier whose only
+//! hyperparameter is the shrinkage factor — and the entire measurement
+//! stack (estimators, cache, `Study` builder) applies to it unchanged.
+//! The trait implementation below is under 60 lines.
+//!
+//! Run with: `cargo run --release --example custom_workload`
+
+use varbench::hpo::{Dim, SearchSpace};
+use varbench::pipeline::{SeedAssignment, VarianceSource, Workload};
+use varbench::rng::Rng;
+use varbench::{RunContext, Study};
+
+/// Two asymmetric Gaussian point clouds classified by their nearest
+/// (shrunken) class centroid. The training sample is re-drawn per split
+/// seed, so `DataSplit` is the single ξ_O source.
+struct CentroidWorkload {
+    space: SearchSpace,
+    defaults: Vec<f64>,
+}
+
+/// Class center of class `c` (asymmetric on purpose: shrinking the
+/// centroids toward the origin moves the decision boundary, so the
+/// hyperparameter genuinely matters).
+fn center(class: usize) -> f64 {
+    if class == 0 {
+        -0.6
+    } else {
+        1.4
+    }
+}
+
+fn draw(rng: &mut Rng, class: usize) -> (f64, f64) {
+    let c = center(class);
+    (c + rng.normal(0.0, 1.2), c + rng.normal(0.0, 1.2))
+}
+
+impl CentroidWorkload {
+    fn new() -> Self {
+        let space = SearchSpace::new(vec![("shrinkage".into(), Dim::uniform(0.0, 0.9))]);
+        CentroidWorkload {
+            space,
+            defaults: vec![0.1],
+        }
+    }
+
+    /// Trains ONE model: class centroids of a fresh training sample,
+    /// shrunk toward the origin.
+    fn fit(&self, shrinkage: f64, split_seed: u64) -> [(f64, f64); 2] {
+        let mut rng = Rng::seed_from_u64(split_seed);
+        let n = 120;
+        let mut centroids = [(0.0f64, 0.0f64); 2];
+        for i in 0..n {
+            let class = i % 2;
+            let (x, y) = draw(&mut rng, class);
+            centroids[class].0 += x * 2.0 / n as f64;
+            centroids[class].1 += y * 2.0 / n as f64;
+        }
+        for c in &mut centroids {
+            *c = (c.0 * (1.0 - shrinkage), c.1 * (1.0 - shrinkage));
+        }
+        centroids
+    }
+
+    /// Scores the SAME fitted model on a held-out sample (`stream`
+    /// separates the validation draw from the test draw).
+    fn evaluate(&self, centroids: &[(f64, f64); 2], split_seed: u64, stream: u64) -> f64 {
+        let mut rng = Rng::seed_from_u64(split_seed.rotate_left(17) ^ (0xE7A1 + stream));
+        let n = 120;
+        let hits = (0..n)
+            .filter(|&i| {
+                let truth = i % 2;
+                let (x, y) = draw(&mut rng, truth);
+                let d = |cc: (f64, f64)| (x - cc.0).powi(2) + (y - cc.1).powi(2);
+                usize::from(d(centroids[1]) < d(centroids[0])) == truth
+            })
+            .count();
+        hits as f64 / n as f64
+    }
+}
+
+impl Workload for CentroidWorkload {
+    fn name(&self) -> &str {
+        "nearest-centroid"
+    }
+    fn metric_name(&self) -> &'static str {
+        "accuracy"
+    }
+    fn search_space(&self) -> &SearchSpace {
+        &self.space
+    }
+    fn default_params(&self) -> &[f64] {
+        &self.defaults
+    }
+    fn active_sources(&self) -> &[VarianceSource] {
+        &[VarianceSource::DataSplit, VarianceSource::HyperOpt]
+    }
+    fn run_with_params(&self, params: &[f64], seeds: &SeedAssignment) -> f64 {
+        let shrinkage = self.space.dims()[0].1.clamp(params[0]);
+        let split = seeds.seed_of(VarianceSource::DataSplit);
+        self.evaluate(&self.fit(shrinkage, split), split, 2)
+    }
+    fn run_valid_test(&self, params: &[f64], seeds: &SeedAssignment) -> (f64, f64) {
+        // One trained model, two held-out evaluations — the trait's
+        // contract (a validation/test-correlation study relies on it).
+        let shrinkage = self.space.dims()[0].1.clamp(params[0]);
+        let split = seeds.seed_of(VarianceSource::DataSplit);
+        let model = self.fit(shrinkage, split);
+        (
+            self.evaluate(&model, split, 1),
+            self.evaluate(&model, split, 2),
+        )
+    }
+}
+
+fn main() {
+    let workload = CentroidWorkload::new();
+    let report = Study::new(&workload)
+        .seeds(12)
+        .budget(5) // adds the xi_H row: 5-trial random searches
+        .run(&RunContext::serial());
+    print!("{}", report.render_text());
+    println!(
+        "\nThe same Study, estimators, cache and CLI machinery that measures\n\
+         the paper's five case studies just measured this custom workload."
+    );
+}

@@ -10,12 +10,14 @@
 //!
 //! Run with: `cargo run --release --example variance_study`
 
+use varbench::core::ctx::RunContext;
 use varbench::core::estimator::source_variance_study;
 use varbench::core::report::{bar, num, Table};
 use varbench::pipeline::{CaseStudy, HpoAlgorithm, Scale};
 use varbench::stats::describe::std_dev;
 
 fn main() {
+    let ctx = RunContext::serial();
     let cs = CaseStudy::glue_sst2_bert(Scale::Test);
     let n_seeds = 12;
     println!(
@@ -29,7 +31,8 @@ fn main() {
         if src.is_hyperopt() {
             continue;
         }
-        let measures = source_variance_study(&cs, src, n_seeds, HpoAlgorithm::RandomSearch, 1, 99);
+        let measures =
+            source_variance_study(&cs, src, n_seeds, HpoAlgorithm::RandomSearch, 1, 99, &ctx);
         rows.push((src.display_name().to_string(), std_dev(&measures)));
     }
     // Hyperparameter-optimization variance: independent tuning runs.
@@ -40,6 +43,7 @@ fn main() {
         HpoAlgorithm::RandomSearch,
         5,
         99,
+        &ctx,
     );
     rows.push(("HyperOpt (random search)".into(), std_dev(&hopt)));
 

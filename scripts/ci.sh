@@ -22,14 +22,21 @@ cargo build --release --offline
 say "tier-1: cargo test -q"
 cargo test -q --offline
 
-say "varbench CLI: list + run all --test --json"
+say "varbench CLI: list + workloads + run all --test --json"
 target/release/varbench list
+target/release/varbench workloads --test
 target/release/varbench run all --test --json > /dev/null
+# The two non-MLP workloads must produce variance reports end to end.
+target/release/varbench run workload-linear workload-synth --test > /dev/null
+target/release/varbench cache stats
 # Unknown flags must fail fast (the --ful typo regression).
 if target/release/varbench run fig1 --ful >/dev/null 2>&1; then
     echo "ERROR: varbench accepted an unknown flag" >&2
     exit 1
 fi
+
+say "cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --quiet
 
 say "benches compile and run one fast rep"
 VARBENCH_BENCH_REPS=3 VARBENCH_BENCH_TARGET_MS=1 cargo test -q --offline --benches

@@ -18,8 +18,29 @@
 //! | [`data`] | `varbench-data` | synthetic datasets, out-of-bootstrap splits |
 //! | [`models`] | `varbench-models` | seedable MLPs, linear models, ensembles |
 //! | [`hpo`] | `varbench-hpo` | random/grid/noisy-grid/Bayesian optimization |
-//! | [`pipeline`] | `varbench-pipeline` | variance sources + 5 case studies |
-//! | [`core`] | `varbench-core` | estimators, comparisons, simulation |
+//! | [`pipeline`] | `varbench-pipeline` | [`Workload`] trait, variance sources, 7 workloads |
+//! | [`core`] | `varbench-core` | estimators, comparisons, simulation, [`Study`] |
+//!
+//! # Bring your own workload
+//!
+//! Every estimator, the measurement cache and the `varbench` CLI are
+//! generic over the [`Workload`] trait: implement it for your pipeline
+//! (see `examples/custom_workload.rs` for a complete implementation in
+//! under 60 lines) and the whole stack — including the fluent [`Study`]
+//! builder — applies unchanged:
+//!
+//! ```
+//! use varbench::pipeline::{Scale, SyntheticWorkload, VarianceSource};
+//! use varbench::{RunContext, Study};
+//!
+//! let workload = SyntheticWorkload::new(Scale::Test);
+//! let report = Study::new(&workload)
+//!     .randomize(&[VarianceSource::DataSplit])
+//!     .budget(2) // adds the xi_H (hyperparameter-optimization) row
+//!     .seeds(4)
+//!     .run(&RunContext::serial());
+//! assert!(report.render_text().contains("synthetic-ridge"));
+//! ```
 //!
 //! # The paper's three recommendations, as code
 //!
@@ -61,3 +82,7 @@ pub use varbench_models as models;
 pub use varbench_pipeline as pipeline;
 pub use varbench_rng as rng;
 pub use varbench_stats as stats;
+
+pub use varbench_core::ctx::RunContext;
+pub use varbench_core::study::Study;
+pub use varbench_pipeline::Workload;

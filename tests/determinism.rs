@@ -3,11 +3,13 @@
 //! them, and execution order across experiments must not matter — and the
 //! parallel executor must not change a single bit of any of it.
 
+use varbench::core::ctx::RunContext;
 use varbench::core::estimator::{
-    fix_hopt_estimator_with, ideal_estimator_with, source_variance_study_with, Randomize,
+    fix_hopt_estimator, ideal_estimator, source_variance_study, Randomize,
 };
 use varbench::core::exec::Runner;
 use varbench::core::simulation::{detection_study_with, DetectionConfig, SimulatedTask};
+use varbench::pipeline::MeasureCache;
 use varbench::pipeline::{CaseStudy, HpoAlgorithm, Scale, SeedAssignment, VarianceSource};
 
 #[test]
@@ -105,22 +107,22 @@ fn estimators_thread_count_invariant() {
     // must produce bit-identical EstimatorRun contents.
     let cs = CaseStudy::glue_rte_bert(Scale::Test);
     let algo = HpoAlgorithm::RandomSearch;
-    let serial = Runner::new(1);
+    let serial = RunContext::serial();
     for threads in [4, 7] {
-        let parallel = Runner::new(threads);
+        let parallel = RunContext::new(Runner::new(threads), MeasureCache::disabled());
         assert_eq!(
-            ideal_estimator_with(&cs, 6, algo, 3, 21, &serial),
-            ideal_estimator_with(&cs, 6, algo, 3, 21, &parallel),
+            ideal_estimator(&cs, 6, algo, 3, 21, &serial),
+            ideal_estimator(&cs, 6, algo, 3, 21, &parallel),
             "ideal estimator differs at {threads} threads"
         );
         assert_eq!(
-            fix_hopt_estimator_with(&cs, 6, algo, 3, 21, 1, Randomize::All, &serial),
-            fix_hopt_estimator_with(&cs, 6, algo, 3, 21, 1, Randomize::All, &parallel),
+            fix_hopt_estimator(&cs, 6, algo, 3, 21, 1, Randomize::All, &serial),
+            fix_hopt_estimator(&cs, 6, algo, 3, 21, 1, Randomize::All, &parallel),
             "biased estimator differs at {threads} threads"
         );
         assert_eq!(
-            source_variance_study_with(&cs, VarianceSource::DataSplit, 6, algo, 2, 5, &serial),
-            source_variance_study_with(&cs, VarianceSource::DataSplit, 6, algo, 2, 5, &parallel),
+            source_variance_study(&cs, VarianceSource::DataSplit, 6, algo, 2, 5, &serial),
+            source_variance_study(&cs, VarianceSource::DataSplit, 6, algo, 2, 5, &parallel),
             "source study differs at {threads} threads"
         );
     }
@@ -166,35 +168,36 @@ fn numerical_noise_only_in_pascal_analog() {
 fn artifact_output_cached_uncached_thread_count_invariant() {
     // The acceptance guarantee of the measurement cache, end to end on a
     // real artifact: cached == uncached == 1-thread == N-thread output.
-    use varbench::pipeline::MeasureCache;
     use varbench_bench::figures::fig5;
-    use varbench_bench::registry::RunContext;
 
     let config = fig5::Config::test();
-    let serial = Runner::serial();
-    let parallel = Runner::new(4);
 
-    // Uncached baseline: a fresh cache never hits, so every measurement
-    // is computed.
-    let fresh = MeasureCache::new();
-    let uncached = fig5::report_with(&config, &RunContext::new(&serial, &fresh)).render_text();
-    assert_eq!(fresh.stats().rows_served, 0, "baseline must be uncached");
+    // Uncached baseline: the default no-op cache never serves a row.
+    let no_cache = RunContext::serial();
+    let uncached = fig5::report_with(&config, &no_cache).render_text();
+    assert_eq!(
+        no_cache.cache().stats().rows_served,
+        0,
+        "baseline must be uncached"
+    );
 
     // Cached: replaying against the warm cache computes nothing new.
-    let cached = fig5::report_with(&config, &RunContext::new(&serial, &fresh)).render_text();
-    let stats = fresh.stats();
+    let warm = RunContext::serial_cached();
+    let cached_cold = fig5::report_with(&config, &warm).render_text();
+    let cold_stats = warm.cache().stats();
+    let cached_warm = fig5::report_with(&config, &warm).render_text();
+    let stats = warm.cache().stats();
     assert_eq!(
-        stats.rows_computed, stats.rows_served,
-        "replay fully served"
+        stats.rows_computed, cold_stats.rows_computed,
+        "replay must compute nothing new"
     );
-    assert_eq!(cached, uncached, "cached output differs from uncached");
+    assert_eq!(cached_cold, uncached, "cached output differs from uncached");
+    assert_eq!(cached_warm, uncached, "warm replay differs from uncached");
 
     // Thread-count invariance, cold and warm.
-    let fresh_par = MeasureCache::new();
-    let par_cold =
-        fig5::report_with(&config, &RunContext::new(&parallel, &fresh_par)).render_text();
-    let par_warm =
-        fig5::report_with(&config, &RunContext::new(&parallel, &fresh_par)).render_text();
+    let par = RunContext::new(Runner::new(4), MeasureCache::new());
+    let par_cold = fig5::report_with(&config, &par).render_text();
+    let par_warm = fig5::report_with(&config, &par).render_text();
     assert_eq!(par_cold, uncached, "N-thread cold differs from 1-thread");
     assert_eq!(par_warm, uncached, "N-thread warm differs from 1-thread");
 }

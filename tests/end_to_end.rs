@@ -3,6 +3,7 @@
 //! crates.
 
 use varbench::core::compare::{compare_paired, Decision};
+use varbench::core::ctx::RunContext;
 use varbench::core::estimator::{fix_hopt_estimator, ideal_estimator, Randomize};
 use varbench::pipeline::{CaseStudy, HpoAlgorithm, Scale, SeedAssignment};
 use varbench::rng::Rng;
@@ -13,8 +14,18 @@ fn complete_benchmark_workflow() {
     let cs = CaseStudy::glue_rte_bert(Scale::Test);
 
     // 1. Estimate expected performance with both estimators.
-    let ideal = ideal_estimator(&cs, 4, HpoAlgorithm::RandomSearch, 4, 1);
-    let biased = fix_hopt_estimator(&cs, 6, HpoAlgorithm::RandomSearch, 4, 1, 0, Randomize::All);
+    let ctx = RunContext::serial();
+    let ideal = ideal_estimator(&cs, 4, HpoAlgorithm::RandomSearch, 4, 1, &ctx);
+    let biased = fix_hopt_estimator(
+        &cs,
+        6,
+        HpoAlgorithm::RandomSearch,
+        4,
+        1,
+        0,
+        Randomize::All,
+        &ctx,
+    );
     assert!(ideal.fits > biased.fits, "ideal must cost more fits");
     let mu_ideal = ideal.mean();
     let mu_biased = biased.mean();

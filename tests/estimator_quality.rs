@@ -2,15 +2,27 @@
 //! scale: randomizing more sources decorrelates measures, and the biased
 //! estimator costs a fraction of the ideal one.
 
+use varbench::core::ctx::RunContext;
 use varbench::core::decompose::{decompose, std_err_curve};
 use varbench::core::estimator::{fix_hopt_estimator, ideal_estimator, Randomize};
 use varbench::pipeline::{CaseStudy, HpoAlgorithm, Scale};
 use varbench::stats::describe::mean;
 
 fn groups(cs: &CaseStudy, variant: Randomize, reps: usize, k: usize) -> Vec<Vec<f64>> {
+    let ctx = RunContext::serial();
     (0..reps)
         .map(|r| {
-            fix_hopt_estimator(cs, k, HpoAlgorithm::RandomSearch, 3, 77, r as u64, variant).measures
+            fix_hopt_estimator(
+                cs,
+                k,
+                HpoAlgorithm::RandomSearch,
+                3,
+                77,
+                r as u64,
+                variant,
+                &ctx,
+            )
+            .measures
         })
         .collect()
 }
@@ -22,7 +34,14 @@ fn randomizing_all_sources_decorrelates_measures() {
     let cs = CaseStudy::glue_rte_bert(Scale::Test);
     let reps = 6;
     let k = 8;
-    let ideal = ideal_estimator(&cs, 6, HpoAlgorithm::RandomSearch, 3, 77);
+    let ideal = ideal_estimator(
+        &cs,
+        6,
+        HpoAlgorithm::RandomSearch,
+        3,
+        77,
+        &RunContext::serial(),
+    );
     let mu = mean(&ideal.measures);
 
     let d_init = decompose(&groups(&cs, Randomize::Init, reps, k), mu);
@@ -59,8 +78,18 @@ fn cost_accounting_matches_theory() {
     let cs = CaseStudy::mhc_mlp(Scale::Test);
     let k = 5;
     let t = 4;
-    let ideal = ideal_estimator(&cs, k, HpoAlgorithm::RandomSearch, t, 1);
-    let biased = fix_hopt_estimator(&cs, k, HpoAlgorithm::RandomSearch, t, 1, 0, Randomize::All);
+    let ctx = RunContext::serial();
+    let ideal = ideal_estimator(&cs, k, HpoAlgorithm::RandomSearch, t, 1, &ctx);
+    let biased = fix_hopt_estimator(
+        &cs,
+        k,
+        HpoAlgorithm::RandomSearch,
+        t,
+        1,
+        0,
+        Randomize::All,
+        &ctx,
+    );
     assert_eq!(ideal.fits, k * (t + 1));
     assert_eq!(biased.fits, t + k);
     // The paper's 51x claim at k=100, T=200; here the ratio is smaller but
@@ -72,8 +101,9 @@ fn cost_accounting_matches_theory() {
 fn ideal_estimator_mean_is_stable_across_seeds() {
     // Two independent ideal-estimator runs must agree within a few sigma.
     let cs = CaseStudy::mhc_mlp(Scale::Test);
-    let a = ideal_estimator(&cs, 5, HpoAlgorithm::RandomSearch, 3, 100);
-    let b = ideal_estimator(&cs, 5, HpoAlgorithm::RandomSearch, 3, 200);
+    let ctx = RunContext::serial();
+    let a = ideal_estimator(&cs, 5, HpoAlgorithm::RandomSearch, 3, 100, &ctx);
+    let b = ideal_estimator(&cs, 5, HpoAlgorithm::RandomSearch, 3, 200, &ctx);
     let spread = a.std().max(b.std()).max(1e-6);
     assert!(
         (a.mean() - b.mean()).abs() < 6.0 * spread,

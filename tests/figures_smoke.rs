@@ -3,69 +3,79 @@
 //! its shared measurement cache and artifact-level parallel scheduling)
 //! reproduces the standalone serial reports byte for byte.
 
+use varbench::core::ctx::RunContext;
 use varbench::core::exec::Runner;
 use varbench::pipeline::MeasureCache;
 use varbench_bench::args::Effort;
 use varbench_bench::figures::*;
-use varbench_bench::registry;
+use varbench_bench::{registry, workloads};
+
+/// A standalone render: the module entry point, serially, with a private
+/// in-memory cache — what the pre-registry one-shot binaries printed.
+fn render<F>(report_with: F) -> String
+where
+    F: Fn(&RunContext) -> varbench::core::report::Report,
+{
+    report_with(&RunContext::serial_cached()).render_text()
+}
 
 #[test]
 fn fig1_smoke() {
-    let r = fig1::run(&fig1::Config::test());
+    let r = render(|ctx| fig1::report_with(&fig1::Config::test(), ctx));
     assert!(r.contains("Figure 1"));
     assert!(r.contains("Data (bootstrap)"));
 }
 
 #[test]
 fn fig2_smoke() {
-    let r = fig2::run(&fig2::Config::test());
+    let r = render(|ctx| fig2::report_with(&fig2::Config::test(), ctx));
     assert!(r.contains("Figure 2"));
     assert!(r.contains("tau"));
 }
 
 #[test]
 fn fig3_smoke() {
-    let r = fig3::run(&fig3::Config::default());
+    let r = render(|ctx| fig3::report_with(&fig3::Config::default(), ctx));
     assert!(r.contains("Figure 3"));
     assert!(r.contains("AutoAugment"));
 }
 
 #[test]
 fn fig5_smoke() {
-    let r = fig5::run(&fig5::Config::test());
+    let r = render(|ctx| fig5::report_with(&fig5::Config::test(), ctx));
     assert!(r.contains("Figure 5"));
     assert!(r.contains("IdealEst"));
 }
 
 #[test]
 fn fig6_smoke() {
-    let r = fig6::run(&fig6::Config::test());
+    let r = render(|ctx| fig6::report_with(&fig6::Config::test(), ctx));
     assert!(r.contains("Figure 6"));
     assert!(r.contains("oracle"));
 }
 
 #[test]
 fn figc1_smoke() {
-    let r = figc1::run(&figc1::Config::test());
+    let r = render(|ctx| figc1::report_with(&figc1::Config::test(), ctx));
     assert!(r.contains("N = 29"));
 }
 
 #[test]
 fn figf2_smoke() {
-    let r = figf2::run(&figf2::Config::test());
+    let r = render(|ctx| figf2::report_with(&figf2::Config::test(), ctx));
     assert!(r.contains("Figure F.2"));
     assert!(r.contains("Bayes Opt"));
 }
 
 #[test]
 fn figg3_smoke() {
-    let r = figg3::run(&figg3::Config::test());
+    let r = render(|ctx| figg3::report_with(&figg3::Config::test(), ctx));
     assert!(r.contains("Shapiro-Wilk"));
 }
 
 #[test]
 fn figh5_smoke() {
-    let r = figh5::run(&figh5::Config::test());
+    let r = render(|ctx| figh5::report_with(&figh5::Config::test(), ctx));
     assert!(r.contains("MSE decomposition"));
 }
 
@@ -76,55 +86,69 @@ fn figi6_smoke() {
         resamples: 40,
         sigma: 0.02,
     };
-    let r = figi6::run(&cfg);
+    let r = render(|ctx| figi6::report_with(&cfg, ctx));
     assert!(r.contains("robustness"));
 }
 
 #[test]
 fn tables_smoke() {
-    let r = tables::run(&tables::Config::test());
+    let r = render(|ctx| tables::report_with(&tables::Config::test(), ctx));
     assert!(r.contains("Table 8"));
     assert!(r.contains("search spaces"));
 }
 
 #[test]
 fn interactions_smoke() {
-    let r = interactions::run(&interactions::Config::test());
+    let r = render(|ctx| interactions::report_with(&interactions::Config::test(), ctx));
     assert!(r.contains("joint / sum"));
 }
 
 #[test]
 fn ablations_smoke() {
-    let r = ablations::run(&ablations::Config::test());
+    let r = render(|ctx| ablations::report_with(&ablations::Config::test(), ctx));
     assert!(r.contains("HPO budget"));
     assert!(r.contains("out-of-bootstrap"));
+}
+
+#[test]
+fn workload_artifacts_smoke() {
+    // The acceptance check for the two non-MLP workloads: `varbench run
+    // workload-linear workload-synth --test` produces variance reports.
+    let linear = render(|ctx| workloads::linear_report(Effort::Test, ctx));
+    assert!(linear.contains("linear-logreg"));
+    assert!(linear.contains("Weights init"));
+    assert!(linear.contains("Altogether (joint)"));
+    let synth = render(|ctx| workloads::synth_report(Effort::Test, ctx));
+    assert!(synth.contains("synthetic-ridge"));
+    assert!(synth.contains("Data (bootstrap)"));
+    assert!(synth.contains("HyperOpt"));
 }
 
 #[test]
 fn parallel_reports_byte_identical_to_serial() {
     // The executor guarantee, end to end: every Runner-threaded figure
     // renders the exact same report text at 1 thread and at 4 threads.
-    let serial = Runner::serial();
-    let parallel = Runner::new(4);
+    let serial = RunContext::serial();
+    let parallel = || RunContext::new(Runner::new(4), MeasureCache::disabled());
 
     assert_eq!(
-        fig1::run_with(&fig1::Config::test(), &serial),
-        fig1::run_with(&fig1::Config::test(), &parallel),
+        fig1::report_with(&fig1::Config::test(), &serial).render_text(),
+        fig1::report_with(&fig1::Config::test(), &parallel()).render_text(),
         "fig1 report differs"
     );
     assert_eq!(
-        fig5::run_with(&fig5::Config::test(), &serial),
-        fig5::run_with(&fig5::Config::test(), &parallel),
+        fig5::report_with(&fig5::Config::test(), &serial).render_text(),
+        fig5::report_with(&fig5::Config::test(), &parallel()).render_text(),
         "fig5 report differs"
     );
     assert_eq!(
-        fig6::run_with(&fig6::Config::test(), &serial),
-        fig6::run_with(&fig6::Config::test(), &parallel),
+        fig6::report_with(&fig6::Config::test(), &serial).render_text(),
+        fig6::report_with(&fig6::Config::test(), &parallel()).render_text(),
         "fig6 report differs"
     );
     assert_eq!(
-        figh5::run_with(&figh5::Config::test(), &serial),
-        figh5::run_with(&figh5::Config::test(), &parallel),
+        figh5::report_with(&figh5::Config::test(), &serial).render_text(),
+        figh5::report_with(&figh5::Config::test(), &parallel()).render_text(),
         "figh5 report differs"
     );
     let i6 = figi6::Config {
@@ -133,56 +157,81 @@ fn parallel_reports_byte_identical_to_serial() {
         sigma: 0.02,
     };
     assert_eq!(
-        figi6::run_with(&i6, &serial),
-        figi6::run_with(&i6, &parallel),
+        figi6::report_with(&i6, &serial).render_text(),
+        figi6::report_with(&i6, &parallel()).render_text(),
         "figi6 report differs"
     );
     assert_eq!(
-        interactions::run_with(&interactions::Config::test(), &serial),
-        interactions::run_with(&interactions::Config::test(), &parallel),
+        interactions::report_with(&interactions::Config::test(), &serial).render_text(),
+        interactions::report_with(&interactions::Config::test(), &parallel()).render_text(),
         "interactions report differs"
     );
 }
 
 /// The standalone path: each artifact through its own module entry point,
-/// serially, with a fresh (therefore never-hitting) cache — exactly what
-/// the pre-registry one-shot binaries printed.
+/// serially, with a private cache — exactly what the pre-registry
+/// one-shot binaries printed.
 fn standalone_reports(effort: Effort) -> Vec<(&'static str, String)> {
-    let serial = Runner::serial();
     vec![
         (
             "fig1",
-            fig1::run_with(&fig1::Config::for_effort(effort), &serial),
+            render(|c| fig1::report_with(&fig1::Config::for_effort(effort), c)),
         ),
-        ("fig2", fig2::run(&fig2::Config::for_effort(effort))),
-        ("fig3", fig3::run(&fig3::Config::for_effort(effort))),
+        (
+            "fig2",
+            render(|c| fig2::report_with(&fig2::Config::for_effort(effort), c)),
+        ),
+        (
+            "fig3",
+            render(|c| fig3::report_with(&fig3::Config::for_effort(effort), c)),
+        ),
         (
             "fig5",
-            fig5::run_with(&fig5::Config::for_effort(effort), &serial),
+            render(|c| fig5::report_with(&fig5::Config::for_effort(effort), c)),
         ),
         (
             "fig6",
-            fig6::run_with(&fig6::Config::for_effort(effort), &serial),
+            render(|c| fig6::report_with(&fig6::Config::for_effort(effort), c)),
         ),
-        ("figc1", figc1::run(&figc1::Config::for_effort(effort))),
-        ("figf2", figf2::run(&figf2::Config::for_effort(effort))),
-        ("figg3", figg3::run(&figg3::Config::for_effort(effort))),
+        (
+            "figc1",
+            render(|c| figc1::report_with(&figc1::Config::for_effort(effort), c)),
+        ),
+        (
+            "figf2",
+            render(|c| figf2::report_with(&figf2::Config::for_effort(effort), c)),
+        ),
+        (
+            "figg3",
+            render(|c| figg3::report_with(&figg3::Config::for_effort(effort), c)),
+        ),
         (
             "figh5",
-            figh5::run_with(&figh5::Config::for_effort(effort), &serial),
+            render(|c| figh5::report_with(&figh5::Config::for_effort(effort), c)),
         ),
         (
             "figi6",
-            figi6::run_with(&figi6::Config::for_effort(effort), &serial),
+            render(|c| figi6::report_with(&figi6::Config::for_effort(effort), c)),
         ),
-        ("tables", tables::run(&tables::Config::for_effort(effort))),
+        (
+            "tables",
+            render(|c| tables::report_with(&tables::Config::for_effort(effort), c)),
+        ),
         (
             "interactions",
-            interactions::run_with(&interactions::Config::for_effort(effort), &serial),
+            render(|c| interactions::report_with(&interactions::Config::for_effort(effort), c)),
         ),
         (
             "ablations",
-            ablations::run(&ablations::Config::for_effort(effort)),
+            render(|c| ablations::report_with(&ablations::Config::for_effort(effort), c)),
+        ),
+        (
+            "workload-linear",
+            render(|c| workloads::linear_report(effort, c)),
+        ),
+        (
+            "workload-synth",
+            render(|c| workloads::synth_report(effort, c)),
         ),
     ]
 }
@@ -191,24 +240,16 @@ fn standalone_reports(effort: Effort) -> Vec<(&'static str, String)> {
 fn registry_run_all_byte_identical_to_standalone_artifacts() {
     // The `varbench run all --test` path: every artifact through the
     // registry, scheduled in parallel, sharing one measurement cache.
-    // Each report must match the standalone serial uncached output byte
-    // for byte — the cache and the scheduler may change who computes a
-    // measurement, never its value.
-    //
-    // Baseline note: the standalone modules are this PR's refactored
-    // ones. fig1 and fig5 are additionally byte-identical to the
-    // pre-registry binaries; the other measuring artifacts were
-    // re-seeded onto the shared SOURCE_STUDY_SEED/ESTIMATOR_SEED roots
-    // (and a few quick budgets aligned) so cross-figure sharing exists
-    // at all — their numbers differ from pre-refactor output by design,
-    // as recorded in CHANGES.md.
-    let cache = MeasureCache::new();
+    // Each report must match the standalone serial output byte for byte —
+    // the cache and the scheduler may change who computes a measurement,
+    // never its value.
+    let ctx = RunContext::new(Runner::new(4), MeasureCache::new());
     let specs: Vec<_> = registry::all().iter().collect();
-    let reports = registry::run_specs(&specs, Effort::Test, &Runner::new(4), &cache);
+    let reports = registry::run_specs(&specs, Effort::Test, &ctx);
     let expected = standalone_reports(Effort::Test);
     assert_eq!(reports.len(), expected.len());
     assert!(
-        cache.stats().rows_served > 0,
+        ctx.cache().stats().rows_served > 0,
         "the shared cache must actually serve cross-artifact measurements"
     );
     for (report, (name, text)) in reports.iter().zip(&expected) {
@@ -230,14 +271,15 @@ fn fig5_quick_parallel_speedup() {
     // runs it in release mode when the host has enough cores).
     let config = fig5::Config::quick();
     let t0 = std::time::Instant::now();
-    let serial_report = fig5::run_with(&config, &Runner::serial());
+    let serial_report = render(|c| fig5::report_with(&config, c));
     let serial_time = t0.elapsed();
 
     let threads = std::thread::available_parallelism()
         .map_or(4, |n| n.get().min(8))
         .max(4);
     let t1 = std::time::Instant::now();
-    let parallel_report = fig5::run_with(&config, &Runner::new(threads));
+    let parallel_ctx = RunContext::new(Runner::new(threads), MeasureCache::new());
+    let parallel_report = fig5::report_with(&config, &parallel_ctx).render_text();
     let parallel_time = t1.elapsed();
 
     assert_eq!(

@@ -1,38 +1,36 @@
 //! Integration tests of the cross-figure measurement cache: hit/miss
 //! accounting on real artifacts, key sensitivity (changing seed, budget,
-//! or scale must miss), bit-identical cached vs uncached results, disk
-//! persistence, and the headline cache-effectiveness property — running
-//! artifacts together performs strictly fewer case-study measurements
-//! than running them independently.
+//! scale, or workload identity must miss), bit-identical cached vs
+//! uncached results, disk persistence, and the headline
+//! cache-effectiveness property — running artifacts together performs
+//! strictly fewer workload measurements than running them independently.
 
-use varbench::core::estimator::{
-    ideal_estimator, ideal_estimator_cached, source_variance_study, source_variance_study_cached,
-};
+use varbench::core::ctx::RunContext;
+use varbench::core::estimator::{ideal_estimator, source_variance_study};
 use varbench::core::exec::Runner;
-use varbench::pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, Scale, VarianceSource};
+use varbench::pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, Scale, VarianceSource, Workload};
 use varbench_bench::args::Effort;
-use varbench_bench::registry::{self, RunContext};
+use varbench_bench::registry;
 
-fn work_of(names: &[&str], cache: &MeasureCache) -> u64 {
+fn work_of(names: &[&str], ctx: &RunContext) -> u64 {
     let specs: Vec<_> = names
         .iter()
         .map(|n| registry::find(n).expect("registered artifact"))
         .collect();
     // Serial scheduling: deterministic accounting (parallel artifacts can
     // race to compute the same key, which is correct but double-counts).
-    let _ = registry::run_specs(&specs, Effort::Test, &Runner::serial(), cache);
-    cache.stats().work()
+    let _ = registry::run_specs(&specs, Effort::Test, ctx);
+    ctx.cache().stats().work()
 }
 
 #[test]
 fn fig5_and_tables_together_measure_strictly_less_than_apart() {
-    // The ISSUE's acceptance property: fig5 + tables share the MHC
-    // hyperparameter search (the biased estimator's repetition 0), so a
-    // joint run performs strictly fewer model fits than the sum of
-    // independent runs.
-    let alone_fig5 = work_of(&["fig5"], &MeasureCache::new());
-    let alone_tables = work_of(&["tables"], &MeasureCache::new());
-    let together = work_of(&["fig5", "tables"], &MeasureCache::new());
+    // fig5 + tables share the MHC hyperparameter search (the biased
+    // estimator's repetition 0), so a joint run performs strictly fewer
+    // model fits than the sum of independent runs.
+    let alone_fig5 = work_of(&["fig5"], &RunContext::serial_cached());
+    let alone_tables = work_of(&["tables"], &RunContext::serial_cached());
+    let together = work_of(&["fig5", "tables"], &RunContext::serial_cached());
     assert!(
         together < alone_fig5 + alone_tables,
         "shared cache saved nothing: {together} >= {alone_fig5} + {alone_tables}"
@@ -43,10 +41,10 @@ fn fig5_and_tables_together_measure_strictly_less_than_apart() {
 fn figh5_reuses_fig5_estimator_matrices() {
     // figh5's biased repetitions are prefixes of fig5's at test preset:
     // with a warm cache the marginal cost collapses.
-    let alone = work_of(&["figh5"], &MeasureCache::new());
-    let cache = MeasureCache::new();
-    let after_fig5 = work_of(&["fig5"], &cache);
-    let after_both = work_of(&["figh5"], &cache);
+    let alone = work_of(&["figh5"], &RunContext::serial_cached());
+    let ctx = RunContext::serial_cached();
+    let after_fig5 = work_of(&["fig5"], &ctx);
+    let after_both = work_of(&["figh5"], &ctx);
     let marginal = after_both - after_fig5;
     assert!(
         marginal < alone,
@@ -59,29 +57,28 @@ fn source_study_family_shares_one_matrix_per_source() {
     // fig1 (n=4), fig2 (n=5), figg3 (n=8) and interactions (n=6) all
     // draw bootstrap matrices from the same key; the longest request
     // bounds the total rows computed for that key.
-    let cache = MeasureCache::new();
-    let runner = Runner::serial();
+    let ctx = RunContext::serial_cached();
     let cs = CaseStudy::glue_rte_bert(Scale::Test);
     let seed = varbench_bench::figures::SOURCE_STUDY_SEED;
     for n in [4, 5, 8, 6] {
-        let m = source_variance_study_cached(
+        let m = source_variance_study(
             &cs,
             VarianceSource::DataSplit,
             n,
             HpoAlgorithm::RandomSearch,
             1,
             seed,
-            &runner,
-            &cache,
+            &ctx,
         );
         assert_eq!(m.len(), n);
     }
-    let stats = cache.stats();
+    let stats = ctx.cache().stats();
     assert_eq!(stats.rows_computed, 8, "only the longest request computes");
     assert_eq!(stats.misses, 1, "only the first request misses outright");
     assert_eq!(stats.extensions, 2, "n=5 and n=8 extend the prefix");
     assert_eq!(stats.full_hits, 1, "n=6 is served outright");
-    // And the matrix is exactly what the uncached study measures.
+    // And the matrix is exactly what the uncached (default-context) study
+    // measures.
     let direct = source_variance_study(
         &cs,
         VarianceSource::DataSplit,
@@ -89,89 +86,88 @@ fn source_study_family_shares_one_matrix_per_source() {
         HpoAlgorithm::RandomSearch,
         1,
         seed,
+        &RunContext::serial(),
     );
-    let cached = source_variance_study_cached(
+    let cached = source_variance_study(
         &cs,
         VarianceSource::DataSplit,
         8,
         HpoAlgorithm::RandomSearch,
         1,
         seed,
-        &runner,
-        &cache,
+        &ctx,
     );
     assert_eq!(direct, cached, "cached matrix must be bit-identical");
 }
 
 #[test]
-fn changing_seed_budget_or_scale_misses() {
-    let cache = MeasureCache::new();
-    let runner = Runner::serial();
+fn changing_seed_budget_scale_or_workload_misses() {
+    let ctx = RunContext::serial_cached();
     let algo = HpoAlgorithm::RandomSearch;
     let cs = CaseStudy::glue_rte_bert(Scale::Test);
 
-    let base = ideal_estimator_cached(&cs, 2, algo, 2, 11, &runner, &cache);
-    assert_eq!(cache.stats().misses, 1);
+    let base = ideal_estimator(&cs, 2, algo, 2, 11, &ctx);
+    assert_eq!(ctx.cache().stats().misses, 1);
 
     // Same key: full hit, identical run.
-    let replay = ideal_estimator_cached(&cs, 2, algo, 2, 11, &runner, &cache);
+    let replay = ideal_estimator(&cs, 2, algo, 2, 11, &ctx);
     assert_eq!(replay, base);
-    assert_eq!(cache.stats().full_hits, 1);
+    assert_eq!(ctx.cache().stats().full_hits, 1);
 
     // Different seed: miss, different measures.
-    let other_seed = ideal_estimator_cached(&cs, 2, algo, 2, 12, &runner, &cache);
-    assert_eq!(cache.stats().misses, 2);
+    let other_seed = ideal_estimator(&cs, 2, algo, 2, 12, &ctx);
+    assert_eq!(ctx.cache().stats().misses, 2);
     assert_ne!(other_seed.measures, base.measures);
 
     // Different budget: miss (budget changes the tuning, hence measures).
-    let other_budget = ideal_estimator_cached(&cs, 2, algo, 3, 11, &runner, &cache);
-    assert_eq!(cache.stats().misses, 3);
+    let other_budget = ideal_estimator(&cs, 2, algo, 3, 11, &ctx);
+    assert_eq!(ctx.cache().stats().misses, 3);
     assert_ne!(other_budget.measures, base.measures);
 
     // Different scale: miss (same name, bigger pools).
     let quick = CaseStudy::glue_rte_bert(Scale::Quick);
-    let _ = source_variance_study_cached(
-        &cs,
-        VarianceSource::WeightsInit,
-        2,
-        algo,
-        1,
-        5,
-        &runner,
-        &cache,
+    let _ = source_variance_study(&cs, VarianceSource::WeightsInit, 2, algo, 1, 5, &ctx);
+    let misses_before = ctx.cache().stats().misses;
+    let _ = source_variance_study(&quick, VarianceSource::WeightsInit, 2, algo, 1, 5, &ctx);
+    assert_eq!(
+        ctx.cache().stats().misses,
+        misses_before + 1,
+        "scale must miss"
     );
-    let misses_before = cache.stats().misses;
-    let _ = source_variance_study_cached(
-        &quick,
-        VarianceSource::WeightsInit,
-        2,
-        algo,
-        1,
-        5,
-        &runner,
-        &cache,
+
+    // Different workload sharing nothing but the API: its own entries.
+    let synth = varbench::pipeline::SyntheticWorkload::new(Scale::Test);
+    let misses_before = ctx.cache().stats().misses;
+    let _ = source_variance_study(&synth, VarianceSource::DataSplit, 2, algo, 1, 5, &ctx);
+    assert_eq!(
+        ctx.cache().stats().misses,
+        misses_before + 1,
+        "another workload must miss"
     );
-    assert_eq!(cache.stats().misses, misses_before + 1, "scale must miss");
+    assert!(
+        synth.cache_id().contains("synthetic-ridge@v1:test"),
+        "cache identity carries name, version and scale: {}",
+        synth.cache_id()
+    );
 }
 
 #[test]
 fn disk_backed_cache_replays_bit_identically_across_instances() {
     let dir = std::env::temp_dir().join(format!("varbench-it-cache-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let runner = Runner::serial();
     let cs = CaseStudy::mhc_mlp(Scale::Test);
     let algo = HpoAlgorithm::RandomSearch;
 
     let first = {
-        let cache = MeasureCache::with_dir(&dir);
-        ideal_estimator_cached(&cs, 3, algo, 2, 21, &runner, &cache)
+        let ctx = RunContext::new(Runner::serial(), MeasureCache::with_dir(&dir));
+        ideal_estimator(&cs, 3, algo, 2, 21, &ctx)
     };
     let second = {
         // A brand-new process-like instance: must load from disk, compute
         // nothing, and replay the exact bits.
-        let cache = MeasureCache::with_dir(&dir);
-        let run = ideal_estimator_cached(&cs, 3, algo, 2, 21, &runner, &cache);
-        let stats = cache.stats();
+        let ctx = RunContext::new(Runner::serial(), MeasureCache::with_dir(&dir));
+        let run = ideal_estimator(&cs, 3, algo, 2, 21, &ctx);
+        let stats = ctx.cache().stats();
         assert_eq!(stats.rows_computed, 0, "must be served from disk");
         assert_eq!(stats.disk_loads, 1);
         run
@@ -180,7 +176,7 @@ fn disk_backed_cache_replays_bit_identically_across_instances() {
     assert_eq!(bits(&first.measures), bits(&second.measures));
     assert_eq!(first.fits, second.fits);
     // Against the uncached ground truth too.
-    let direct = ideal_estimator(&cs, 3, algo, 2, 21);
+    let direct = ideal_estimator(&cs, 3, algo, 2, 21, &RunContext::serial());
     assert_eq!(bits(&direct.measures), bits(&first.measures));
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -191,37 +187,31 @@ fn fig3_full_effort_measures_inflation_through_the_cache() {
     // matrices instead of assuming 2.0. Exercised at a reduced size here:
     // just check the measured path is finite, >= 1, and cache-served on
     // replay.
-    let cache = MeasureCache::new();
-    let runner = Runner::serial();
-    let ctx = RunContext::new(&runner, &cache);
+    let ctx = RunContext::serial_cached();
     // Quick-scale measurement is minutes; measure the mechanism on the
     // smaller direct API instead of the full preset.
     let x = {
-        use varbench::core::estimator::{
-            joint_variance_study_cached, source_variance_study_cached,
-        };
+        use varbench::core::estimator::joint_variance_study;
         use varbench::stats::describe::variance;
         let cs = CaseStudy::cifar10_vgg11(Scale::Test);
-        let joint = joint_variance_study_cached(
+        let joint = joint_variance_study(
             &cs,
             &VarianceSource::XI_O,
             6,
             varbench_bench::figures::SOURCE_STUDY_SEED,
-            ctx.runner,
-            ctx.cache,
+            &ctx,
         );
-        let boot = source_variance_study_cached(
+        let boot = source_variance_study(
             &cs,
             VarianceSource::DataSplit,
             6,
             HpoAlgorithm::RandomSearch,
             1,
             varbench_bench::figures::SOURCE_STUDY_SEED,
-            ctx.runner,
-            ctx.cache,
+            &ctx,
         );
         (variance(&joint, 1) / variance(&boot, 1)).max(1.0)
     };
     assert!(x.is_finite() && x >= 1.0, "inflation ratio {x}");
-    assert!(cache.stats().rows_computed >= 12);
+    assert!(ctx.cache().stats().rows_computed >= 12);
 }
