@@ -1,37 +1,8 @@
-//! Benchmarks of the comparison/decision machinery (in-repo timing
-//! harness; see `varbench_bench::timing`).
+//! `cargo bench` wrapper for the shared compare suite
+//! (`varbench_bench::suites::compare`; also runnable via `varbench bench`).
 
-use varbench_bench::timing::{black_box, Harness};
-use varbench_core::compare::compare_paired;
-use varbench_core::simulation::{detection_study, DetectionConfig, SimulatedTask};
-use varbench_rng::Rng;
-
-fn bench_compare(c: &mut Harness) {
-    let mut rng = Rng::seed_from_u64(1);
-    let a: Vec<f64> = (0..29).map(|_| rng.normal(0.76, 0.02)).collect();
-    let b: Vec<f64> = (0..29).map(|_| rng.normal(0.75, 0.02)).collect();
-
-    c.bench_function("compare_paired_k29_r1000", |bch| {
-        bch.iter(|| {
-            let mut r = Rng::seed_from_u64(2);
-            compare_paired(black_box(&a), black_box(&b), 0.75, 0.05, 1000, &mut r)
-        })
-    });
-
-    c.bench_function("detection_point_20sims", |bch| {
-        let task = SimulatedTask::new(0.02, 0.01, 0.015);
-        let config = DetectionConfig {
-            k: 50,
-            n_simulations: 20,
-            gamma: 0.75,
-            delta: 0.04,
-            alpha: 0.05,
-            resamples: 100,
-        };
-        bch.iter(|| detection_study(black_box(&task), &[0.75], &config, 3))
-    });
-}
+use varbench_bench::timing::Harness;
 
 fn main() {
-    bench_compare(&mut Harness::new("compare"));
+    varbench_bench::suites::compare(&mut Harness::new("compare"));
 }

@@ -1,48 +1,9 @@
-//! Benchmarks of the performance estimators on Test-scale pipelines (the
-//! end-to-end cost the library's users pay). In-repo timing harness; see
-//! `varbench_bench::timing`.
+//! `cargo bench` wrapper for the shared estimators suite
+//! (`varbench_bench::suites::estimators`; also runnable via `varbench
+//! bench`).
 
 use varbench_bench::timing::Harness;
-use varbench_core::ctx::RunContext;
-use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator, Randomize};
-use varbench_pipeline::{CaseStudy, HpoAlgorithm, Scale, SeedAssignment};
-
-fn bench_estimators(c: &mut Harness) {
-    let cs = CaseStudy::glue_rte_bert(Scale::Test);
-
-    c.bench_function("pipeline_single_training", |b| {
-        let seeds = SeedAssignment::all_fixed(1);
-        let params = cs.default_params().to_vec();
-        b.iter(|| cs.run_with_params(&params, &seeds))
-    });
-
-    c.bench_function("ideal_estimator_k2_t3", |b| {
-        let ctx = RunContext::serial();
-        b.iter(|| ideal_estimator(&cs, 2, HpoAlgorithm::RandomSearch, 3, 1, &ctx))
-    });
-
-    c.bench_function("fix_hopt_estimator_k4_t3_all", |b| {
-        let ctx = RunContext::serial();
-        b.iter(|| {
-            fix_hopt_estimator(
-                &cs,
-                4,
-                HpoAlgorithm::RandomSearch,
-                3,
-                1,
-                0,
-                Randomize::All,
-                &ctx,
-            )
-        })
-    });
-
-    c.bench_function("hopt_bayes_budget6", |b| {
-        let seeds = SeedAssignment::all_fixed(2);
-        b.iter(|| cs.hopt(&seeds, HpoAlgorithm::BayesOpt, 6))
-    });
-}
 
 fn main() {
-    bench_estimators(&mut Harness::new("estimators"));
+    varbench_bench::suites::estimators(&mut Harness::new("estimators"));
 }

@@ -1,43 +1,8 @@
-//! Benchmarks of the hyperparameter optimizers (in-repo timing harness;
-//! see `varbench_bench::timing`).
+//! `cargo bench` wrapper for the shared hpo suite
+//! (`varbench_bench::suites::hpo`; also runnable via `varbench bench`).
 
-use varbench_bench::timing::{black_box, Harness};
-use varbench_hpo::{
-    minimize, BayesOpt, BayesOptConfig, Dim, NoisyGridSearch, RandomSearch, SearchSpace,
-};
-
-fn space() -> SearchSpace {
-    SearchSpace::new(vec![
-        ("lr".into(), Dim::log_uniform(1e-4, 1e0)),
-        ("wd".into(), Dim::log_uniform(1e-6, 1e-2)),
-        ("mom".into(), Dim::uniform(0.5, 0.99)),
-    ])
-}
-
-fn quadratic(p: &[f64]) -> f64 {
-    (p[0].ln() - (1e-2f64).ln()).powi(2) + (p[2] - 0.9).powi(2)
-}
-
-fn bench_hpo(c: &mut Harness) {
-    c.bench_function("random_search_30_trials", |b| {
-        b.iter(|| {
-            let mut opt = RandomSearch::new(space(), 1);
-            minimize(&mut opt, 30, |p| quadratic(black_box(p)))
-        })
-    });
-
-    c.bench_function("noisy_grid_construction_27pts", |b| {
-        b.iter(|| NoisyGridSearch::new(black_box(space()), 3, 2))
-    });
-
-    c.bench_function("bayesopt_30_trials", |b| {
-        b.iter(|| {
-            let mut opt = BayesOpt::new(space(), BayesOptConfig::default(), 3);
-            minimize(&mut opt, 30, |p| quadratic(black_box(p)))
-        })
-    });
-}
+use varbench_bench::timing::Harness;
 
 fn main() {
-    bench_hpo(&mut Harness::new("hpo"));
+    varbench_bench::suites::hpo(&mut Harness::new("hpo"));
 }

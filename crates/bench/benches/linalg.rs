@@ -1,0 +1,8 @@
+//! `cargo bench` wrapper for the shared linalg kernel suite
+//! (`varbench_bench::suites::linalg`; also runnable via `varbench bench`).
+
+use varbench_bench::timing::Harness;
+
+fn main() {
+    varbench_bench::suites::linalg(&mut Harness::new("linalg"));
+}

@@ -1,78 +1,8 @@
-//! Benchmarks of model training and inference (in-repo timing harness;
-//! see `varbench_bench::timing`).
+//! `cargo bench` wrapper for the shared models suite
+//! (`varbench_bench::suites::models`; also runnable via `varbench bench`).
 
-use varbench_bench::timing::{black_box, Harness};
-use varbench_data::augment::Identity;
-use varbench_data::synth::{binary_overlap, BinaryOverlapConfig};
-use varbench_models::linear::RidgeRegression;
-use varbench_models::{Mlp, MlpConfig, TrainConfig, TrainSeeds};
-use varbench_rng::{Rng, SeedTree};
-
-fn bench_models(c: &mut Harness) {
-    let mut rng = Rng::seed_from_u64(1);
-    let ds = binary_overlap(
-        &BinaryOverlapConfig {
-            n: 500,
-            dim: 16,
-            separation: 2.0,
-            ..Default::default()
-        },
-        &mut rng,
-    );
-
-    c.bench_function("mlp_train_1epoch_n500", |b| {
-        b.iter(|| {
-            let mut seeds = TrainSeeds::from_tree(&SeedTree::new(2));
-            Mlp::train(
-                &MlpConfig::default(),
-                &TrainConfig {
-                    epochs: 1,
-                    ..Default::default()
-                },
-                black_box(&ds),
-                &Identity,
-                &mut seeds,
-            )
-        })
-    });
-
-    let mut seeds = TrainSeeds::from_tree(&SeedTree::new(3));
-    let mlp = Mlp::train(
-        &MlpConfig::default(),
-        &TrainConfig {
-            epochs: 2,
-            ..Default::default()
-        },
-        &ds,
-        &Identity,
-        &mut seeds,
-    );
-    let x = ds.x(0).to_vec();
-    c.bench_function("mlp_predict", |b| {
-        b.iter(|| mlp.predict_class(black_box(&x)))
-    });
-
-    // Regression data for ridge.
-    let mut rng = Rng::seed_from_u64(4);
-    let n = 400;
-    let d = 16;
-    let mut features = Vec::with_capacity(n * d);
-    let mut values = Vec::with_capacity(n);
-    for _ in 0..n {
-        let mut s = 0.0;
-        for j in 0..d {
-            let v = rng.normal(0.0, 1.0);
-            s += v * (j as f64 * 0.1);
-            features.push(v);
-        }
-        values.push(s);
-    }
-    let reg = varbench_data::Dataset::new(features, d, varbench_data::Targets::Values(values));
-    c.bench_function("ridge_fit_n400_d16", |b| {
-        b.iter(|| RidgeRegression::fit(black_box(&reg), 1e-3))
-    });
-}
+use varbench_bench::timing::Harness;
 
 fn main() {
-    bench_models(&mut Harness::new("models"));
+    varbench_bench::suites::models(&mut Harness::new("models"));
 }

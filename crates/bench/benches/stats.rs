@@ -1,59 +1,8 @@
-//! Micro-benchmarks of the statistical primitives (in-repo timing
-//! harness; see `varbench_bench::timing`).
+//! `cargo bench` wrapper for the shared stats suite
+//! (`varbench_bench::suites::stats`; also runnable via `varbench bench`).
 
-use varbench_bench::timing::{black_box, Harness};
-use varbench_rng::Rng;
-use varbench_stats::bootstrap::percentile_ci_prob_outperform;
-use varbench_stats::describe::mean;
-use varbench_stats::power::noether_sample_size;
-use varbench_stats::tests::mann_whitney::mann_whitney_u;
-use varbench_stats::tests::shapiro_wilk::shapiro_wilk;
-use varbench_stats::tests::Alternative;
-use varbench_stats::{standard_normal_quantile, Normal};
-
-fn sample(n: usize, seed: u64) -> Vec<f64> {
-    let mut rng = Rng::seed_from_u64(seed);
-    (0..n).map(|_| rng.normal(0.0, 1.0)).collect()
-}
-
-fn bench_stats(c: &mut Harness) {
-    c.bench_function("normal_quantile", |b| {
-        b.iter(|| standard_normal_quantile(black_box(0.975)))
-    });
-
-    c.bench_function("normal_cdf", |b| {
-        let n = Normal::standard();
-        b.iter(|| n.cdf(black_box(1.3)))
-    });
-
-    let a = sample(50, 1);
-    let bb = sample(50, 2);
-    c.bench_function("mann_whitney_n50", |b| {
-        b.iter(|| mann_whitney_u(black_box(&a), black_box(&bb), Alternative::TwoSided))
-    });
-
-    let xs = sample(100, 3);
-    c.bench_function("shapiro_wilk_n100", |b| {
-        b.iter(|| shapiro_wilk(black_box(&xs)).unwrap())
-    });
-
-    let pa = sample(29, 4);
-    let pb = sample(29, 5);
-    c.bench_function("bootstrap_ci_prob_outperform_k29_r500", |b| {
-        b.iter(|| {
-            let mut rng = Rng::seed_from_u64(6);
-            percentile_ci_prob_outperform(black_box(&pa), black_box(&pb), 500, 0.05, &mut rng)
-        })
-    });
-
-    c.bench_function("noether_sample_size", |b| {
-        b.iter(|| noether_sample_size(black_box(0.75), 0.05, 0.05))
-    });
-
-    let big = sample(10_000, 7);
-    c.bench_function("mean_n10000", |b| b.iter(|| mean(black_box(&big))));
-}
+use varbench_bench::timing::Harness;
 
 fn main() {
-    bench_stats(&mut Harness::new("stats"));
+    varbench_bench::suites::stats(&mut Harness::new("stats"));
 }

@@ -17,7 +17,8 @@
 
 use varbench_bench::args::Effort;
 use varbench_bench::registry::{self, RunContext, Spec};
-use varbench_bench::workloads;
+use varbench_bench::timing::{parse_snapshot, BenchResult, Harness, Output};
+use varbench_bench::{suites, workloads};
 use varbench_core::exec::Runner;
 use varbench_core::report::{json_string, Report};
 use varbench_pipeline::cache::{CACHE_DIR_ENV, CACHE_FORMAT_VERSION};
@@ -29,7 +30,18 @@ USAGE:
     varbench list
     varbench workloads [--test|--quick|--full]
     varbench run <name ...|all> [OPTIONS]
+    varbench bench [SUITE ...] [--quick] [--json]
+                   [--baseline FILE] [--max-regress PCT]
     varbench cache stats|clear
+
+OPTIONS (bench):
+    SUITE ...                   suites to run (default: all; see `varbench bench --list`)
+    --quick                     fast smoke knobs (5 reps, 2 ms targets)
+    --json                      emit the BENCH_*.json snapshot on stdout
+                                (bench lines go to stderr)
+    --baseline FILE             compare medians against a committed snapshot
+    --max-regress PCT           fail if any shared bench is slower by more
+                                than PCT percent (default 25; needs --baseline)
 
 OPTIONS (run):
     --test | --quick | --full   effort preset (default: --quick)
@@ -108,9 +120,10 @@ fn main() {
         }
         Some("workloads") => list_workloads(&args[1..]),
         Some("run") => run(&args[1..]),
+        Some("bench") => bench_command(&args[1..]),
         Some("cache") => cache_command(&args[1..]),
         Some(other) => fail(&format!(
-            "unknown command '{other}' (expected list, workloads, run, or cache)"
+            "unknown command '{other}' (expected list, workloads, run, bench, or cache)"
         )),
     }
 }
@@ -253,6 +266,127 @@ fn cache_command(args: &[String]) {
             "unknown cache subcommand '{other}' (expected stats or clear)"
         )),
         None => fail("cache needs a subcommand: stats or clear"),
+    }
+}
+
+/// `varbench bench`: run the timing suites in-process and optionally gate
+/// the medians against a committed `BENCH_*.json` snapshot — the shipped
+/// binary reproduces the perf trajectory without cargo.
+fn bench_command(args: &[String]) {
+    let mut selected: Vec<&str> = Vec::new();
+    let mut quick = false;
+    let mut json = false;
+    let mut baseline: Option<std::path::PathBuf> = None;
+    let mut max_regress = 25.0_f64;
+    let mut max_regress_set = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--list" => {
+                for (name, _) in suites::SUITES {
+                    println!("{name}");
+                }
+                return;
+            }
+            "--baseline" => {
+                let v = it.next().unwrap_or_else(|| fail("--baseline needs a file"));
+                baseline = Some(v.into());
+            }
+            "--max-regress" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--max-regress needs a percentage"));
+                max_regress = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid percentage '{v}'")));
+                if max_regress <= 0.0 || max_regress.is_nan() {
+                    fail("--max-regress must be > 0");
+                }
+                max_regress_set = true;
+            }
+            flag if flag.starts_with('-') => fail(&format!("unknown flag '{flag}'")),
+            name => selected.push(name),
+        }
+    }
+    for name in &selected {
+        if suites::find(name).is_none() {
+            fail(&format!(
+                "unknown suite '{name}' (run `varbench bench --list`)"
+            ));
+        }
+    }
+    if max_regress_set && baseline.is_none() {
+        fail("--max-regress needs --baseline (no gate would run otherwise)");
+    }
+
+    let output = if json { Output::Stderr } else { Output::Stdout };
+    let mut results: Vec<BenchResult> = Vec::new();
+    for &(name, body) in suites::SUITES {
+        if !selected.is_empty() && !selected.contains(&name) {
+            continue;
+        }
+        let mut h = if quick {
+            Harness::with_config(name, 5, 2)
+        } else {
+            Harness::new(name)
+        }
+        .with_output(output);
+        body(&mut h);
+        results.extend(h.into_results());
+    }
+
+    if json {
+        let docs: Vec<String> = results
+            .iter()
+            .map(|r| format!("  {}", r.to_json()))
+            .collect();
+        println!("[\n{}\n]", docs.join(",\n"));
+    }
+
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+        let base = parse_snapshot(&text)
+            .unwrap_or_else(|e| fail(&format!("cannot parse {}: {e}", path.display())));
+        let mut regressions = 0usize;
+        let mut compared = 0usize;
+        eprintln!(
+            "perf gate vs {} (max regression {max_regress:.0}%):",
+            path.display()
+        );
+        for r in &results {
+            let Some(b) = base.iter().find(|b| b.suite == r.suite && b.name == r.name) else {
+                eprintln!("  {}/{}: not in baseline (skipped)", r.suite, r.name);
+                continue;
+            };
+            compared += 1;
+            let delta = r.median_ns as f64 / (b.median_ns.max(1)) as f64 - 1.0;
+            let verdict = if delta * 100.0 > max_regress {
+                regressions += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "  {}/{}: {} ns vs {} ns ({:+.1}%) {}",
+                r.suite,
+                r.name,
+                r.median_ns,
+                b.median_ns,
+                delta * 100.0,
+                verdict
+            );
+        }
+        eprintln!("{compared} benches compared, {regressions} regression(s)");
+        if compared == 0 {
+            fail("baseline shares no benches with this run");
+        }
+        if regressions > 0 {
+            std::process::exit(1);
+        }
     }
 }
 

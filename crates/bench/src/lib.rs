@@ -32,5 +32,6 @@ pub mod calibrate;
 pub mod figures;
 pub mod leaderboard;
 pub mod registry;
+pub mod suites;
 pub mod timing;
 pub mod workloads;

@@ -1,0 +1,295 @@
+//! The benchmark suites, shared by the `cargo bench` targets (each
+//! `benches/*.rs` is a thin wrapper) and the `varbench bench` CLI
+//! subcommand — so the perf trajectory in `BENCH_*.json` is reproducible
+//! from the shipped binary without cargo.
+
+use crate::timing::{black_box, Harness};
+use varbench_core::compare::compare_paired;
+use varbench_core::ctx::RunContext;
+use varbench_core::estimator::{fix_hopt_estimator, ideal_estimator, Randomize};
+use varbench_core::simulation::{detection_study, DetectionConfig, SimulatedTask};
+use varbench_data::augment::Identity;
+use varbench_data::synth::{binary_overlap, BinaryOverlapConfig};
+use varbench_hpo::{
+    minimize, BayesOpt, BayesOptConfig, Dim, NoisyGridSearch, RandomSearch, SearchSpace,
+};
+use varbench_linalg::{Cholesky, Matrix};
+use varbench_models::linear::RidgeRegression;
+use varbench_models::{Mlp, MlpConfig, PredictBuffer, TrainConfig, TrainSeeds};
+use varbench_pipeline::{CaseStudy, HpoAlgorithm, Scale, SeedAssignment};
+use varbench_rng::{Rng, SeedTree};
+use varbench_stats::bootstrap::percentile_ci_prob_outperform;
+use varbench_stats::describe::mean;
+use varbench_stats::power::noether_sample_size;
+use varbench_stats::tests::mann_whitney::mann_whitney_u;
+use varbench_stats::tests::shapiro_wilk::shapiro_wilk;
+use varbench_stats::tests::Alternative;
+use varbench_stats::{standard_normal_quantile, Normal};
+
+/// A suite body: fills a [`Harness`] with its benchmarks.
+pub type SuiteFn = fn(&mut Harness);
+
+/// Every suite, in the order `varbench bench` runs them.
+pub const SUITES: &[(&str, SuiteFn)] = &[
+    ("linalg", linalg),
+    ("stats", stats),
+    ("models", models),
+    ("estimators", estimators),
+    ("compare", compare),
+    ("hpo", hpo),
+];
+
+/// Looks up a suite body by name.
+pub fn find(name: &str) -> Option<SuiteFn> {
+    SUITES.iter().find(|(n, _)| *n == name).map(|&(_, f)| f)
+}
+
+fn sample(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.normal(0.0, 1.0)).collect()
+}
+
+/// Dense kernels: matmul (plain and transpose-aware), matvec, Cholesky.
+pub fn linalg(c: &mut Harness) {
+    let n = 64;
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) as f64 * 0.01).sin());
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 7) as f64 * 0.02).cos());
+
+    c.bench_function("matmul_n64", |bch| {
+        bch.iter(|| black_box(&a).matmul(black_box(&b)))
+    });
+
+    c.bench_function("matmul_transb_n64", |bch| {
+        bch.iter(|| black_box(&a).matmul_transb(black_box(&b)))
+    });
+
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+    let mut out = vec![0.0; n];
+    c.bench_function("matvec_into_n64", |bch| {
+        bch.iter(|| {
+            black_box(&a).matvec_into(black_box(&x), &mut out);
+            out[0]
+        })
+    });
+
+    // SPD matrix for factorization/solve.
+    let mut spd = a.matmul_transb(&a);
+    spd.add_diagonal(1.0);
+    c.bench_function("cholesky_factor_n64", |bch| {
+        bch.iter(|| Cholesky::new(black_box(&spd)).expect("SPD"))
+    });
+
+    let chol = Cholesky::new(&spd).expect("SPD");
+    c.bench_function("cholesky_solve_n64", |bch| {
+        bch.iter(|| chol.solve(black_box(&x)))
+    });
+}
+
+/// Statistical primitives.
+pub fn stats(c: &mut Harness) {
+    c.bench_function("normal_quantile", |b| {
+        b.iter(|| standard_normal_quantile(black_box(0.975)))
+    });
+
+    c.bench_function("normal_cdf", |b| {
+        let n = Normal::standard();
+        b.iter(|| n.cdf(black_box(1.3)))
+    });
+
+    let a = sample(50, 1);
+    let bb = sample(50, 2);
+    c.bench_function("mann_whitney_n50", |b| {
+        b.iter(|| mann_whitney_u(black_box(&a), black_box(&bb), Alternative::TwoSided))
+    });
+
+    let xs = sample(100, 3);
+    c.bench_function("shapiro_wilk_n100", |b| {
+        b.iter(|| shapiro_wilk(black_box(&xs)).unwrap())
+    });
+
+    let pa = sample(29, 4);
+    let pb = sample(29, 5);
+    c.bench_function("bootstrap_ci_prob_outperform_k29_r500", |b| {
+        b.iter(|| {
+            let mut rng = Rng::seed_from_u64(6);
+            percentile_ci_prob_outperform(black_box(&pa), black_box(&pb), 500, 0.05, &mut rng)
+        })
+    });
+
+    c.bench_function("noether_sample_size", |b| {
+        b.iter(|| noether_sample_size(black_box(0.75), 0.05, 0.05))
+    });
+
+    let big = sample(10_000, 7);
+    c.bench_function("mean_n10000", |b| b.iter(|| mean(black_box(&big))));
+}
+
+/// Model training and inference.
+pub fn models(c: &mut Harness) {
+    let mut rng = Rng::seed_from_u64(1);
+    let ds = binary_overlap(
+        &BinaryOverlapConfig {
+            n: 500,
+            dim: 16,
+            separation: 2.0,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+
+    c.bench_function("mlp_train_1epoch_n500", |b| {
+        b.iter(|| {
+            let mut seeds = TrainSeeds::from_tree(&SeedTree::new(2));
+            Mlp::train(
+                &MlpConfig::default(),
+                &TrainConfig {
+                    epochs: 1,
+                    ..Default::default()
+                },
+                black_box(&ds),
+                &Identity,
+                &mut seeds,
+            )
+        })
+    });
+
+    let mut seeds = TrainSeeds::from_tree(&SeedTree::new(3));
+    let mlp = Mlp::train(
+        &MlpConfig::default(),
+        &TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+        &ds,
+        &Identity,
+        &mut seeds,
+    );
+    let x = ds.x(0).to_vec();
+    c.bench_function("mlp_predict", |b| {
+        b.iter(|| mlp.predict_class(black_box(&x)))
+    });
+
+    // The allocation-free evaluation hot path.
+    let mut buf = PredictBuffer::new();
+    c.bench_function("mlp_predict_buffered", |b| {
+        b.iter(|| mlp.predict_class_with(black_box(&x), &mut buf))
+    });
+
+    // Regression data for ridge.
+    let mut rng = Rng::seed_from_u64(4);
+    let n = 400;
+    let d = 16;
+    let mut features = Vec::with_capacity(n * d);
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut s = 0.0;
+        for j in 0..d {
+            let v = rng.normal(0.0, 1.0);
+            s += v * (j as f64 * 0.1);
+            features.push(v);
+        }
+        values.push(s);
+    }
+    let reg = varbench_data::Dataset::new(features, d, varbench_data::Targets::Values(values));
+    c.bench_function("ridge_fit_n400_d16", |b| {
+        b.iter(|| RidgeRegression::fit(black_box(&reg), 1e-3))
+    });
+}
+
+/// Performance estimators on Test-scale pipelines (the end-to-end cost the
+/// library's users pay).
+pub fn estimators(c: &mut Harness) {
+    let cs = CaseStudy::glue_rte_bert(Scale::Test);
+
+    c.bench_function("pipeline_single_training", |b| {
+        let seeds = SeedAssignment::all_fixed(1);
+        let params = cs.default_params().to_vec();
+        b.iter(|| cs.run_with_params(&params, &seeds))
+    });
+
+    c.bench_function("ideal_estimator_k2_t3", |b| {
+        let ctx = RunContext::serial();
+        b.iter(|| ideal_estimator(&cs, 2, HpoAlgorithm::RandomSearch, 3, 1, &ctx))
+    });
+
+    c.bench_function("fix_hopt_estimator_k4_t3_all", |b| {
+        let ctx = RunContext::serial();
+        b.iter(|| {
+            fix_hopt_estimator(
+                &cs,
+                4,
+                HpoAlgorithm::RandomSearch,
+                3,
+                1,
+                0,
+                Randomize::All,
+                &ctx,
+            )
+        })
+    });
+
+    c.bench_function("hopt_bayes_budget6", |b| {
+        let seeds = SeedAssignment::all_fixed(2);
+        b.iter(|| cs.hopt(&seeds, HpoAlgorithm::BayesOpt, 6))
+    });
+}
+
+/// Comparison/decision machinery.
+pub fn compare(c: &mut Harness) {
+    let mut rng = Rng::seed_from_u64(1);
+    let a: Vec<f64> = (0..29).map(|_| rng.normal(0.76, 0.02)).collect();
+    let b: Vec<f64> = (0..29).map(|_| rng.normal(0.75, 0.02)).collect();
+
+    c.bench_function("compare_paired_k29_r1000", |bch| {
+        bch.iter(|| {
+            let mut r = Rng::seed_from_u64(2);
+            compare_paired(black_box(&a), black_box(&b), 0.75, 0.05, 1000, &mut r)
+        })
+    });
+
+    c.bench_function("detection_point_20sims", |bch| {
+        let task = SimulatedTask::new(0.02, 0.01, 0.015);
+        let config = DetectionConfig {
+            k: 50,
+            n_simulations: 20,
+            gamma: 0.75,
+            delta: 0.04,
+            alpha: 0.05,
+            resamples: 100,
+        };
+        bch.iter(|| detection_study(black_box(&task), &[0.75], &config, 3))
+    });
+}
+
+/// Hyperparameter optimizers.
+pub fn hpo(c: &mut Harness) {
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![
+            ("lr".into(), Dim::log_uniform(1e-4, 1e0)),
+            ("wd".into(), Dim::log_uniform(1e-6, 1e-2)),
+            ("mom".into(), Dim::uniform(0.5, 0.99)),
+        ])
+    }
+
+    fn quadratic(p: &[f64]) -> f64 {
+        (p[0].ln() - (1e-2f64).ln()).powi(2) + (p[2] - 0.9).powi(2)
+    }
+
+    c.bench_function("random_search_30_trials", |b| {
+        b.iter(|| {
+            let mut opt = RandomSearch::new(space(), 1);
+            minimize(&mut opt, 30, |p| quadratic(black_box(p)))
+        })
+    });
+
+    c.bench_function("noisy_grid_construction_27pts", |b| {
+        b.iter(|| NoisyGridSearch::new(black_box(space()), 3, 2))
+    });
+
+    c.bench_function("bayesopt_30_trials", |b| {
+        b.iter(|| {
+            let mut opt = BayesOpt::new(space(), BayesOptConfig::default(), 3);
+            minimize(&mut opt, 30, |p| quadratic(black_box(p)))
+        })
+    });
+}

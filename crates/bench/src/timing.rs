@@ -69,12 +69,130 @@ impl Bencher {
     }
 }
 
+/// One benchmark's measured result, as printed on its machine-readable
+/// line (and serialized into `BENCH_*.json` snapshots).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchResult {
+    /// Suite the benchmark belongs to (e.g. `models`).
+    pub suite: String,
+    /// Benchmark name (e.g. `mlp_train_1epoch_n500`).
+    pub name: String,
+    /// Calibrated iterations per repetition.
+    pub iters: u64,
+    /// Repetitions timed.
+    pub reps: u64,
+    /// Median per-iteration nanoseconds (the headline figure).
+    pub median_ns: u128,
+    /// Fastest repetition's per-iteration nanoseconds.
+    pub min_ns: u128,
+    /// Slowest repetition's per-iteration nanoseconds.
+    pub max_ns: u128,
+}
+
+impl BenchResult {
+    /// The machine-readable `bench …` line for this result.
+    pub fn line(&self) -> String {
+        format!(
+            "bench suite={} name={} iters={} reps={} median_ns={} min_ns={} max_ns={}",
+            self.suite, self.name, self.iters, self.reps, self.median_ns, self.min_ns, self.max_ns
+        )
+    }
+
+    /// This result as a flat JSON object (the element shape of
+    /// `BENCH_*.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"suite\":\"{}\",\"name\":\"{}\",\"iters\":{},\"reps\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+            self.suite, self.name, self.iters, self.reps, self.median_ns, self.min_ns, self.max_ns
+        )
+    }
+}
+
+/// Parses a `BENCH_*.json` snapshot: a JSON array of flat objects with
+/// string `suite`/`name` fields and integer timing fields, exactly the
+/// shape `varbench bench --json` (and historically `scripts/bench.sh`)
+/// emits. Not a general JSON parser — unknown keys are ignored, nesting
+/// is rejected.
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed construct.
+pub fn parse_snapshot(s: &str) -> Result<Vec<BenchResult>, String> {
+    let body = s.trim();
+    let body = body
+        .strip_prefix('[')
+        .and_then(|b| b.strip_suffix(']'))
+        .ok_or("snapshot is not a JSON array")?;
+    let mut out = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let start = rest.find('{').ok_or("expected an object")?;
+        let end = rest[start..]
+            .find('}')
+            .ok_or("unterminated object in snapshot")?
+            + start;
+        let obj = &rest[start + 1..end];
+        let mut r = BenchResult {
+            suite: String::new(),
+            name: String::new(),
+            iters: 0,
+            reps: 0,
+            median_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+        };
+        for field in obj.split(',') {
+            let (k, v) = field
+                .split_once(':')
+                .ok_or_else(|| format!("malformed field '{field}'"))?;
+            let k = k.trim().trim_matches('"');
+            let v = v.trim();
+            let int = || -> Result<u128, String> {
+                v.parse::<u128>()
+                    .map_err(|_| format!("non-integer value for '{k}': {v}"))
+            };
+            match k {
+                "suite" => r.suite = v.trim_matches('"').to_string(),
+                "name" => r.name = v.trim_matches('"').to_string(),
+                "iters" => r.iters = int()? as u64,
+                "reps" => r.reps = int()? as u64,
+                "median_ns" => r.median_ns = int()?,
+                "min_ns" => r.min_ns = int()?,
+                "max_ns" => r.max_ns = int()?,
+                _ => {}
+            }
+        }
+        if r.suite.is_empty() || r.name.is_empty() {
+            return Err("snapshot entry missing suite/name".into());
+        }
+        out.push(r);
+        rest = rest[end + 1..].trim_start().trim_start_matches(',').trim();
+    }
+    Ok(out)
+}
+
+/// Where a [`Harness`] prints its per-benchmark result lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Output {
+    /// Print to stdout (the `cargo bench` contract `scripts/bench.sh`
+    /// greps).
+    Stdout,
+    /// Print to stderr — used by `varbench bench --json`, whose stdout
+    /// must stay a single valid JSON document.
+    Stderr,
+    /// Print nothing; results are only collected.
+    Quiet,
+}
+
 /// Benchmark registry + reporter, mirroring the slice of
-/// `criterion::Criterion` the benches use.
+/// `criterion::Criterion` the benches use. Results are printed as they
+/// complete *and* collected for programmatic use ([`Harness::results`]).
 pub struct Harness {
     suite: &'static str,
     reps: u64,
     target_ns: u128,
+    output: Output,
+    results: Vec<BenchResult>,
 }
 
 impl Harness {
@@ -96,10 +214,29 @@ impl Harness {
             suite,
             reps,
             target_ns: target_ms as u128 * 1_000_000,
+            output: Output::Stdout,
+            results: Vec::new(),
         }
     }
 
-    /// Runs one benchmark and prints its machine-readable result line.
+    /// Redirects (or silences) the per-benchmark result lines.
+    pub fn with_output(mut self, output: Output) -> Self {
+        self.output = output;
+        self
+    }
+
+    /// The results collected so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Consumes the harness, returning the collected results.
+    pub fn into_results(self) -> Vec<BenchResult> {
+        self.results
+    }
+
+    /// Runs one benchmark, prints its machine-readable result line (per
+    /// the configured [`Output`]), and records the result.
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
         let mut b = Bencher {
             reps: self.reps,
@@ -112,13 +249,21 @@ impl Harness {
             .unwrap_or_else(|| panic!("benchmark '{name}' never called Bencher::iter"));
         samples.sort_unstable();
         let per_iter = |total: u128| total / iters as u128;
-        let median = per_iter(samples[samples.len() / 2]);
-        let min = per_iter(samples[0]);
-        let max = per_iter(samples[samples.len() - 1]);
-        println!(
-            "bench suite={} name={} iters={} reps={} median_ns={} min_ns={} max_ns={}",
-            self.suite, name, iters, self.reps, median, min, max
-        );
+        let result = BenchResult {
+            suite: self.suite.to_string(),
+            name: name.to_string(),
+            iters,
+            reps: self.reps,
+            median_ns: per_iter(samples[samples.len() / 2]),
+            min_ns: per_iter(samples[0]),
+            max_ns: per_iter(samples[samples.len() - 1]),
+        };
+        match self.output {
+            Output::Stdout => println!("{}", result.line()),
+            Output::Stderr => eprintln!("{}", result.line()),
+            Output::Quiet => {}
+        }
+        self.results.push(result);
     }
 }
 
@@ -157,5 +302,38 @@ mod tests {
     fn missing_iter_is_an_error() {
         let mut h = Harness::with_config("selftest", 3, 1);
         h.bench_function("forgot", |_b| {});
+    }
+
+    #[test]
+    fn results_are_collected_and_roundtrip_through_json() {
+        let mut h = Harness::with_config("selftest", 3, 1).with_output(Output::Quiet);
+        h.bench_function("alpha", |b| b.iter(|| black_box(2u64) * 3));
+        h.bench_function("beta", |b| b.iter(|| black_box(5u64) + 7));
+        let results = h.into_results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].name, "alpha");
+        let json = format!(
+            "[\n  {},\n  {}\n]",
+            results[0].to_json(),
+            results[1].to_json()
+        );
+        let parsed = parse_snapshot(&json).expect("roundtrip");
+        assert_eq!(parsed, results);
+    }
+
+    #[test]
+    fn parse_snapshot_rejects_junk() {
+        assert!(parse_snapshot("not json").is_err());
+        assert!(
+            parse_snapshot("[{\"suite\":\"s\"}]").is_err(),
+            "missing name"
+        );
+        assert!(parse_snapshot("[{\"suite\":\"s\",\"name\":\"n\",\"median_ns\":x}]").is_err());
+    }
+
+    #[test]
+    fn parse_snapshot_accepts_empty_array() {
+        assert_eq!(parse_snapshot("[]").unwrap(), vec![]);
+        assert_eq!(parse_snapshot("[\n]").unwrap(), vec![]);
     }
 }

@@ -15,6 +15,14 @@ use varbench_rng::Rng;
 pub trait Augment: std::fmt::Debug {
     /// Perturbs the feature vector `x` in place.
     fn augment(&self, x: &mut [f64], rng: &mut Rng);
+
+    /// `true` if this augmentation never changes `x` and never draws from
+    /// the RNG, letting hot loops skip the virtual call (and the input
+    /// copy it would require) entirely. Default `false`; only override
+    /// for genuine no-ops.
+    fn is_noop(&self) -> bool {
+        false
+    }
 }
 
 /// The identity augmentation (no-op). Used when a pipeline has no
@@ -24,6 +32,10 @@ pub struct Identity;
 
 impl Augment for Identity {
     fn augment(&self, _x: &mut [f64], _rng: &mut Rng) {}
+
+    fn is_noop(&self) -> bool {
+        true
+    }
 }
 
 /// Additive Gaussian jitter: `x ← x + ε`, `ε ∼ N(0, σ²)` per coordinate.

@@ -112,6 +112,10 @@ impl Optimizer for BayesOpt {
 
         let mut best_ei = f64::NEG_INFINITY;
         let mut best_candidate: Option<Vec<f64>> = None;
+        // Scratch reused across the candidate loop (kernel vector +
+        // triangular solve) — two allocations per `ask` instead of two per
+        // candidate.
+        let mut scratch = GpScratch::default();
         for c in 0..self.config.n_candidates {
             // Mix global exploration with local perturbations of the
             // incumbent (a cheap trust-region flavor).
@@ -127,7 +131,7 @@ impl Optimizer for BayesOpt {
             } else {
                 unit_sample(self.space.len(), &mut self.rng)
             };
-            let (mu, var) = gp.predict(&u);
+            let (mu, var) = gp.predict_with(&u, &mut scratch);
             let ei = expected_improvement(mu, var.max(0.0).sqrt(), best_y, self.config.xi);
             if ei > best_ei {
                 best_ei = ei;
@@ -212,6 +216,14 @@ struct Gp {
     y_std: f64,
 }
 
+/// Reusable scratch for [`Gp::predict_with`]: the kernel vector `k*` and
+/// the triangular-solve output, recycled across an `ask`'s candidate loop.
+#[derive(Debug, Clone, Default)]
+struct GpScratch {
+    k_star: Vec<f64>,
+    v: Vec<f64>,
+}
+
 impl Gp {
     /// Fits a GP, selecting the lengthscale by marginal likelihood over the
     /// configured candidates. Returns `None` if no candidate produces a
@@ -227,7 +239,10 @@ impl Gp {
         let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
         let noise = config.noise_fraction.max(1e-9);
 
-        let mut best: Option<(f64, Gp)> = None;
+        // Keep only the winning (mll, lengthscale, factor, alpha); the
+        // observation matrix is cloned once for the winner, not per
+        // candidate lengthscale.
+        let mut best: Option<(f64, f64, Cholesky, Vec<f64>)> = None;
         for &ls in &config.lengthscales {
             let mut k = Matrix::from_fn(n, n, |i, j| matern52(&x[i], &x[j], ls));
             k.add_diagonal(noise);
@@ -239,34 +254,44 @@ impl Gp {
             // Marginal log likelihood (up to constants).
             let fit_term: f64 = ys.iter().zip(&alpha).map(|(a, b)| a * b).sum();
             let mll = -0.5 * fit_term - 0.5 * chol.log_det();
-            let candidate = Gp {
-                x: x.to_vec(),
-                alpha,
-                chol,
-                lengthscale: ls,
-                amplitude: 1.0,
-                y_mean,
-                y_std,
-            };
             match &best {
-                None => best = Some((mll, candidate)),
-                Some((best_mll, _)) if mll > *best_mll => best = Some((mll, candidate)),
-                _ => {}
+                Some((best_mll, ..)) if mll <= *best_mll => {}
+                _ => best = Some((mll, ls, chol, alpha)),
             }
         }
-        best.map(|(_, gp)| gp)
+        best.map(|(_, lengthscale, chol, alpha)| Gp {
+            x: x.to_vec(),
+            alpha,
+            chol,
+            lengthscale,
+            amplitude: 1.0,
+            y_mean,
+            y_std,
+        })
     }
 
     /// Posterior mean and variance at `u` (original objective scale).
+    #[cfg(test)]
     fn predict(&self, u: &[f64]) -> (f64, f64) {
-        let k_star: Vec<f64> = self
-            .x
+        self.predict_with(u, &mut GpScratch::default())
+    }
+
+    /// [`Gp::predict`] with reused scratch buffers — allocation-free once
+    /// the scratch is warm (the acquisition loop calls this hundreds of
+    /// times per `ask`).
+    fn predict_with(&self, u: &[f64], scratch: &mut GpScratch) -> (f64, f64) {
+        scratch.k_star.clear();
+        scratch
+            .k_star
+            .extend(self.x.iter().map(|xi| matern52(xi, u, self.lengthscale)));
+        let mu_std: f64 = scratch
+            .k_star
             .iter()
-            .map(|xi| matern52(xi, u, self.lengthscale))
-            .collect();
-        let mu_std: f64 = k_star.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
-        let v = self.chol.solve_lower(&k_star);
-        let var_std = (self.amplitude - v.iter().map(|x| x * x).sum::<f64>()).max(0.0);
+            .zip(&self.alpha)
+            .map(|(a, b)| a * b)
+            .sum();
+        self.chol.solve_lower_into(&scratch.k_star, &mut scratch.v);
+        let var_std = (self.amplitude - scratch.v.iter().map(|x| x * x).sum::<f64>()).max(0.0);
         (
             self.y_mean + self.y_std * mu_std,
             self.y_std * self.y_std * var_std,

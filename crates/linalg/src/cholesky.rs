@@ -64,10 +64,19 @@ impl Cholesky {
         let mut l = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..=i {
-                let mut sum = a[(i, j)];
-                for k in 0..j {
-                    sum -= l[(i, k)] * l[(j, k)];
-                }
+                // sum = a_ij − Σ_{k<j} l_ik · l_jk, subtracted in ascending
+                // k exactly like the seed's index-by-index loop — but read
+                // through contiguous row slices so the inner loop carries
+                // no bounds checks or index arithmetic.
+                let sum = {
+                    let ri = &l.row(i)[..j];
+                    let rj = &l.row(j)[..j];
+                    let mut s = a[(i, j)];
+                    for (x, y) in ri.iter().zip(rj) {
+                        s -= x * y;
+                    }
+                    s
+                };
                 if i == j {
                     if sum <= 0.0 || !sum.is_finite() {
                         return Err(NotPositiveDefiniteError {
@@ -140,17 +149,31 @@ impl Cholesky {
     ///
     /// Panics if `b.len()` does not match the matrix dimension.
     pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = Vec::new();
+        self.solve_lower_into(b, &mut y);
+        y
+    }
+
+    /// [`Cholesky::solve_lower`] into a caller-provided buffer (resized as
+    /// needed; no allocation once warm) — for hot loops like the GP
+    /// posterior that solve thousands of right-hand sides per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve_lower_into(&self, b: &[f64], y: &mut Vec<f64>) {
         let n = self.l.rows();
         assert_eq!(b.len(), n, "solve dimension mismatch");
-        let mut y = vec![0.0; n];
+        y.clear();
+        y.resize(n, 0.0);
         for i in 0..n {
+            let row = self.l.row(i);
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[(i, k)] * y[k];
+            for (x, yk) in row[..i].iter().zip(y.iter()) {
+                sum -= x * yk;
             }
-            y[i] = sum / self.l[(i, i)];
+            y[i] = sum / row[i];
         }
-        y
     }
 
     /// Solves the upper-triangular system `Lᵀ x = y`.
@@ -178,8 +201,12 @@ impl Cholesky {
     }
 
     /// Reconstructs `A = L Lᵀ` (mainly for testing).
+    ///
+    /// Uses the transpose-aware kernel directly — no `transpose()`
+    /// allocation — with output bit-identical to
+    /// `l.matmul(&l.transpose())`.
     pub fn reconstruct(&self) -> Matrix {
-        self.l.matmul(&self.l.transpose())
+        self.l.matmul_transb(&self.l)
     }
 }
 

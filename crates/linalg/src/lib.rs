@@ -28,4 +28,4 @@ mod ops;
 
 pub use cholesky::{Cholesky, NotPositiveDefiniteError};
 pub use matrix::Matrix;
-pub use ops::{axpy, dot, norm2, scale, sub};
+pub use ops::{axpy, dot, matvec_cols_init, matvec_rows, matvec_rows_init, norm2, scale, sub};

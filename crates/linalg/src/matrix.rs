@@ -134,6 +134,12 @@ impl Matrix {
 
     /// Matrix–matrix product `self * other`.
     ///
+    /// Cache-friendly ikj loop order: the inner loop streams one row of
+    /// `other` into one row of the output, which autovectorizes. Each
+    /// output element still accumulates its `k` terms in ascending order
+    /// (and skips exact-zero `a_ik` terms), so results are bit-identical
+    /// run to run and against the seed kernel.
+    ///
     /// # Panics
     ///
     /// Panics if inner dimensions disagree.
@@ -144,17 +150,111 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
+        // `.max(1)`: `chunks_exact` rejects a zero chunk size; degenerate
+        // 0-column operands simply produce the all-zero result.
+        for (arow, out_row) in self
+            .data
+            .chunks_exact(self.cols.max(1))
+            .zip(out.data.chunks_exact_mut(other.cols.max(1)))
+        {
+            for (&a, orow) in arow.iter().zip(other.data.chunks_exact(other.cols.max(1))) {
                 if a == 0.0 {
                     continue;
                 }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(orow.iter()) {
+                for (o, &b) in out_row.iter_mut().zip(orow) {
                     *o += a * b;
                 }
+            }
+        }
+        out
+    }
+
+    /// Matrix product with a transposed right-hand side: `self * otherᵀ`,
+    /// without materializing the transpose.
+    ///
+    /// `out[i][j]` is the dot product of row `i` of `self` and row `j` of
+    /// `other` — both contiguous in memory, so no `transpose()` allocation
+    /// or strided access is needed. The accumulation order per output
+    /// element (ascending `k`, exact-zero `self` terms skipped) matches
+    /// `self.matmul(&other.transpose())` bit for bit.
+    ///
+    /// Throughput note: the dot-form accumulator chains vectorize less
+    /// aggressively than [`Matrix::matmul`]'s streaming inner loop, so at
+    /// large dense sizes this trades a little arithmetic speed for the
+    /// absent transpose allocation — prefer it in allocation-sensitive
+    /// loops and for the small/sparse-row shapes of this workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions (`self.cols` vs `other.cols`)
+    /// disagree.
+    pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transb dimension mismatch: {}x{} * ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        if self.cols == 0 {
+            // Zero inner dimension: every dot product is the empty sum.
+            return out;
+        }
+        // The skip set of an output row depends only on the `self` row, so
+        // compact the non-zero k's once per row (branch-free) instead of
+        // branching on every term of every dot product.
+        let mut nzk: Vec<usize> = vec![0; self.cols];
+        for (arow, out_row) in self
+            .data
+            .chunks_exact(self.cols)
+            .zip(out.data.chunks_exact_mut(other.rows.max(1)))
+        {
+            let mut nnz = 0;
+            for (k, &a) in arow.iter().enumerate() {
+                nzk[nnz] = k;
+                nnz += usize::from(a != 0.0);
+            }
+            let mut brows = other.data.chunks_exact(other.cols);
+            let mut j = 0;
+            // Four independent accumulator chains (one per B row) hide
+            // FP-add latency; each output element still sums its terms in
+            // ascending-k order with exact-zero `self` terms skipped, so
+            // results are bit-identical to `self.matmul(&other.transpose())`.
+            while j + 4 <= out_row.len() {
+                let b0 = brows.next().expect("row");
+                let b1 = brows.next().expect("row");
+                let b2 = brows.next().expect("row");
+                let b3 = brows.next().expect("row");
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                if nnz == arow.len() {
+                    // Dense row: straight contiguous dots.
+                    for (k, &a) in arow.iter().enumerate() {
+                        s0 += a * b0[k];
+                        s1 += a * b1[k];
+                        s2 += a * b2[k];
+                        s3 += a * b3[k];
+                    }
+                } else {
+                    for &k in &nzk[..nnz] {
+                        let a = arow[k];
+                        s0 += a * b0[k];
+                        s1 += a * b1[k];
+                        s2 += a * b2[k];
+                        s3 += a * b3[k];
+                    }
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            for o in out_row[j..].iter_mut() {
+                let brow = brows.next().expect("row");
+                let mut s = 0.0;
+                for &k in &nzk[..nnz] {
+                    s += arow[k] * brow[k];
+                }
+                *o = s;
             }
         }
         out
@@ -166,10 +266,22 @@ impl Matrix {
     ///
     /// Panics if `v.len() != cols`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// Matrix–vector product `self * v` written into a caller-provided
+    /// buffer (no allocation). Accumulation order per output element is
+    /// identical to [`Matrix::matvec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        crate::ops::matvec_rows(&self.data, v, out);
     }
 
     /// Element-wise sum `self + other`.
@@ -269,6 +381,45 @@ mod tests {
         let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
         let c = a.matmul(&b);
         assert_eq!(c, Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]));
+    }
+
+    #[test]
+    fn matmul_transb_matches_transpose_route() {
+        // Odd sizes exercise the 4-row block and the tail; planted zeros
+        // exercise the sparse-row compaction path.
+        let mut a = Matrix::from_fn(5, 7, |i, j| ((i * 7 + j) as f64 * 0.37).sin());
+        a[(1, 3)] = 0.0;
+        a[(4, 0)] = 0.0;
+        a[(4, 6)] = 0.0;
+        let b = Matrix::from_fn(6, 7, |i, j| ((i * 5 + j) as f64 * 0.53).cos());
+        let via_transpose = a.matmul(&b.transpose());
+        let direct = a.matmul_transb(&b);
+        assert_eq!(direct.rows(), 5);
+        assert_eq!(direct.cols(), 6);
+        for (x, y) in direct.as_slice().iter().zip(via_transpose.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_transb_degenerate_inner_dim() {
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(3, 0);
+        let c = a.matmul_transb(&b);
+        assert_eq!((c.rows(), c.cols()), (2, 3));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let a = Matrix::from_fn(6, 5, |i, j| ((i + 2 * j) as f64 * 0.71).sin());
+        let v: Vec<f64> = (0..5).map(|i| (i as f64 * 0.9).cos()).collect();
+        let mut out = vec![0.0; 6];
+        a.matvec_into(&v, &mut out);
+        let owned = a.matvec(&v);
+        for (x, y) in out.iter().zip(&owned) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

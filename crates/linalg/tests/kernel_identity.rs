@@ -1,0 +1,155 @@
+//! Golden bit-identity tests: the rewritten (vectorized / blocked /
+//! transpose-aware) kernels must reproduce the seed implementations
+//! **exactly**, bit for bit, on randomized shapes and contents — this is
+//! the contract that keeps every paper artifact byte-identical across
+//! perf work. Driven by the in-repo seed-sweep harness
+//! ([`varbench_rng::sweep`]).
+
+use varbench_linalg::{Cholesky, Matrix};
+use varbench_rng::sweep::sweep;
+
+/// Verbatim copy of the seed `matmul` loop (ikj order, ascending-k
+/// accumulation per output element, exact-zero `a` terms skipped).
+fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let av = a[(i, k)];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                out[(i, j)] += av * b[(k, j)];
+            }
+        }
+    }
+    out
+}
+
+/// Verbatim copy of the seed `matvec` (one sum per row, ascending k).
+fn reference_matvec(a: &Matrix, v: &[f64]) -> Vec<f64> {
+    (0..a.rows())
+        .map(|i| a.row(i).iter().zip(v).map(|(x, y)| x * y).sum())
+        .collect()
+}
+
+/// Verbatim copy of the seed Cholesky factorization loop.
+fn reference_cholesky(a: &Matrix) -> Option<Matrix> {
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return None;
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: element {i} differs ({g} vs {w})"
+        );
+    }
+}
+
+/// Random matrix with a sprinkling of exact zeros (so the zero-skip paths
+/// are exercised, not just the dense fast paths).
+fn random_matrix(case: &mut varbench_rng::sweep::Case, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        if case.f64_in(0.0, 1.0) < 0.15 {
+            0.0
+        } else {
+            case.f64_in(-3.0, 3.0)
+        }
+    })
+}
+
+#[test]
+fn matmul_bit_identical_to_seed_loop() {
+    sweep("matmul_bit_identical_to_seed_loop", 64, |case| {
+        let (m, k, n) = (
+            case.usize_in(1, 13),
+            case.usize_in(1, 13),
+            case.usize_in(1, 13),
+        );
+        let a = random_matrix(case, m, k);
+        let b = random_matrix(case, k, n);
+        let got = a.matmul(&b);
+        let want = reference_matmul(&a, &b);
+        assert_bits_eq(got.as_slice(), want.as_slice(), "matmul");
+    });
+}
+
+#[test]
+fn matmul_transb_bit_identical_to_transpose_route() {
+    sweep(
+        "matmul_transb_bit_identical_to_transpose_route",
+        64,
+        |case| {
+            let (m, k, n) = (
+                case.usize_in(1, 13),
+                case.usize_in(1, 13),
+                case.usize_in(1, 13),
+            );
+            let a = random_matrix(case, m, k);
+            let b = random_matrix(case, n, k);
+            let got = a.matmul_transb(&b);
+            let want = reference_matmul(&a, &b.transpose());
+            assert_bits_eq(got.as_slice(), want.as_slice(), "matmul_transb");
+        },
+    );
+}
+
+#[test]
+fn matvec_bit_identical_to_seed_loop() {
+    sweep("matvec_bit_identical_to_seed_loop", 64, |case| {
+        let (m, k) = (case.usize_in(1, 24), case.usize_in(1, 24));
+        let a = random_matrix(case, m, k);
+        let v = case.f64s(-2.0, 2.0, k);
+        let want = reference_matvec(&a, &v);
+        assert_bits_eq(&a.matvec(&v), &want, "matvec");
+        let mut out = vec![0.0; m];
+        a.matvec_into(&v, &mut out);
+        assert_bits_eq(&out, &want, "matvec_into");
+    });
+}
+
+#[test]
+fn cholesky_bit_identical_to_seed_loop() {
+    sweep("cholesky_bit_identical_to_seed_loop", 48, |case| {
+        let n = case.usize_in(1, 10);
+        // SPD by construction: BᵀB + I.
+        let b = random_matrix(case, n, n);
+        let mut a = b.transpose().matmul(&b);
+        a.add_diagonal(1.0);
+        let want = reference_cholesky(&a).expect("SPD by construction");
+        let got = Cholesky::new(&a).expect("SPD by construction");
+        assert_bits_eq(got.factor().as_slice(), want.as_slice(), "cholesky");
+        // The triangular solves must match the seed's elimination order too.
+        let rhs = case.f64s(-5.0, 5.0, n);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = rhs[i];
+            for k in 0..i {
+                sum -= want[(i, k)] * y[k];
+            }
+            y[i] = sum / want[(i, i)];
+        }
+        assert_bits_eq(&got.solve_lower(&rhs), &y, "solve_lower");
+    });
+}

@@ -99,14 +99,24 @@ impl RidgeRegression {
             xa[..d].copy_from_slice(dataset.x(i));
             xa[d] = 1.0;
             let y = dataset.value(i);
+            // Full-square rank-1 update through contiguous row slices.
+            // Redundant work below the diagonal (the mirror pass
+            // overwrites it anyway), but every row is a full-width
+            // bounds-check-free pass the compiler vectorizes — measurably
+            // faster than the ragged triangle at these dimensions. The
+            // upper-triangle elements receive exactly the same ascending-
+            // sample additions as the seed's triangular loop.
             for r in 0..da {
-                for c in r..da {
-                    xtx[(r, c)] += xa[r] * xa[c];
+                let xr = xa[r];
+                for (acc, &xc) in xtx.row_mut(r).iter_mut().zip(&xa) {
+                    *acc += xr * xc;
                 }
-                xty[r] += xa[r] * y;
+                xty[r] += xr * y;
             }
         }
-        // Mirror the upper triangle.
+        // Mirror the upper triangle (the accumulated lower triangle is
+        // already bit-identical by commutativity of each product, but the
+        // explicit mirror keeps the seed's invariant self-evident).
         for r in 0..da {
             for c in 0..r {
                 xtx[(r, c)] = xtx[(c, r)];

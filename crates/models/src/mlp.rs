@@ -3,6 +3,7 @@
 use crate::init::Init;
 use varbench_data::augment::Augment;
 use varbench_data::{Dataset, Targets};
+use varbench_linalg::{axpy, matvec_cols_init, matvec_rows_init};
 use varbench_rng::{Rng, SeedTree};
 
 /// Output head of an [`Mlp`], selected from the dataset's target kind.
@@ -117,9 +118,21 @@ impl TrainSeeds {
     }
 }
 
+/// Output-row count at which the transposed forward kernel wins over the
+/// row-major one. The choice depends only on the layer shape (never on
+/// data), and both kernels accumulate each output element in the same
+/// ascending-k order, so it cannot affect results — only speed.
+const COLS_KERNEL_MIN_OUT: usize = 8;
+
 #[derive(Debug, Clone, PartialEq)]
 struct Dense {
-    w: Vec<f64>, // out_dim × in_dim, row-major
+    /// Canonical weights, out_dim × in_dim row-major — the layout backprop
+    /// streams (one contiguous row per output's gradient/delta axpy).
+    w: Vec<f64>,
+    /// Transposed copy (in_dim × out_dim) for the forward pass: the inner
+    /// loop runs contiguously over outputs and autovectorizes. Kept in
+    /// sync with `w` by [`Dense::sync_wt`] after every optimizer step.
+    wt: Vec<f64>,
     b: Vec<f64>,
     in_dim: usize,
     out_dim: usize,
@@ -127,26 +140,55 @@ struct Dense {
 
 impl Dense {
     fn new(in_dim: usize, out_dim: usize, init: Init, rng: &mut Rng) -> Self {
-        let w = (0..in_dim * out_dim)
+        // Draw order is positional in the row-major layout (weight (o, k)
+        // is draw number o·in_dim + k) — the transposed copy is derived
+        // afterwards so seeded initialization is unchanged.
+        let w: Vec<f64> = (0..in_dim * out_dim)
             .map(|_| init.sample(in_dim, out_dim, rng))
             .collect();
-        Self {
+        let mut layer = Self {
             w,
+            wt: vec![0.0; in_dim * out_dim],
             b: vec![0.0; out_dim],
             in_dim,
             out_dim,
+        };
+        layer.sync_wt();
+        layer
+    }
+
+    /// Rebuilds the transposed weight copy from the canonical row-major
+    /// weights (called once per optimizer step; O(weights), trivially
+    /// cheap next to the per-example work of a batch).
+    fn sync_wt(&mut self) {
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            for (k, &v) in row.iter().enumerate() {
+                self.wt[k * self.out_dim + o] = v;
+            }
         }
     }
 
     fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
-        out.clear();
-        for o in 0..self.out_dim {
-            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
-            let mut s = self.b[o];
-            for (wi, xi) in row.iter().zip(x) {
-                s += wi * xi;
-            }
-            out.push(s);
+        // Both kernels overwrite every output element, so a correctly
+        // sized buffer (the steady state in inference loops) needs no
+        // refill.
+        if out.len() != self.out_dim {
+            out.clear();
+            out.resize(self.out_dim, 0.0);
+        }
+        self.forward_into(x, out);
+    }
+
+    /// The single kernel-dispatch point for this layer's forward pass —
+    /// training and inference both route here, so the row/column kernel
+    /// choice can never drift between the two (a bit-identity hazard,
+    /// not just duplication).
+    fn forward_into(&self, x: &[f64], out: &mut [f64]) {
+        if self.out_dim >= COLS_KERNEL_MIN_OUT {
+            matvec_cols_init(&self.wt, &self.b, x, out);
+        } else {
+            matvec_rows_init(&self.w, &self.b, x, out);
         }
     }
 }
@@ -163,22 +205,38 @@ pub struct Mlp {
     out_dim: usize,
 }
 
-/// Scratch buffers reused across examples during training.
-struct Workspace {
-    /// Pre-activation and post-activation values per layer.
-    acts: Vec<Vec<f64>>,
-    /// Dropout keep-masks per hidden layer.
+/// Preallocated training scratch: every buffer `train_batch` touches.
+///
+/// Built once per [`Mlp::train`] call, before the epoch loop; after that
+/// warm-up the epoch loop performs **zero heap allocations** — every
+/// forward activation, dropout mask, backprop delta, gradient accumulator
+/// and momentum buffer lives here and is reused in place (verified by the
+/// allocation-count test in `tests/alloc_count.rs`).
+struct TrainWorkspace {
+    /// Staged (augmented) inputs, `batch × in_dim` example-major.
+    xb: Vec<f64>,
+    /// Post-activation outputs per layer, each `batch × width`
+    /// example-major (`ab[l]` is what layer `l` produced for every example
+    /// of the current batch, after ReLU/dropout for hidden layers).
+    ab: Vec<Vec<f64>>,
+    /// Backpropagated deltas at each layer's output, `batch × width`.
+    db: Vec<Vec<f64>>,
+    /// Transposed-delta scratch (`width × batch`) for the gradient pass.
+    dt: Vec<f64>,
+    /// Dropout keep-masks per hidden layer, `batch × width` example-major
+    /// — drawn for the whole batch in one tight pass (see `train_batch`)
+    /// because interleaving RNG draws with the forward kernels spills the
+    /// generator state on every burst.
     masks: Vec<Vec<f64>>,
-    /// Backpropagated deltas per layer.
-    deltas: Vec<Vec<f64>>,
     /// Gradient accumulators (same shapes as weights/biases).
     gw: Vec<Vec<f64>>,
     gb: Vec<Vec<f64>>,
     /// Momentum buffers.
     vw: Vec<Vec<f64>>,
     vb: Vec<Vec<f64>>,
-    /// Augmented input copy.
-    x: Vec<f64>,
+    /// Scratch for the branch-free non-zero compactions in backprop
+    /// (sized to `max(batch, widest layer)`).
+    nz: Vec<usize>,
 }
 
 impl Mlp {
@@ -243,18 +301,22 @@ impl Mlp {
             out_dim,
         };
 
-        let mut ws = Workspace {
-            acts: dims.iter().map(|&d| Vec::with_capacity(d)).collect(),
+        let b = train.batch_size.min(dataset.len());
+        let widest = dims[1..].iter().copied().max().unwrap_or(0);
+        let mut ws = TrainWorkspace {
+            xb: vec![0.0; b * dataset.dim()],
+            ab: dims[1..].iter().map(|&d| vec![0.0; d * b]).collect(),
+            db: dims[1..].iter().map(|&d| vec![0.0; d * b]).collect(),
+            dt: vec![0.0; widest * b],
             masks: dims[1..dims.len() - 1]
                 .iter()
-                .map(|&d| vec![1.0; d])
+                .map(|&d| vec![1.0; d * b])
                 .collect(),
-            deltas: dims.iter().map(|&d| vec![0.0; d]).collect(),
             gw: model.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
             gb: model.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
             vw: model.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
             vb: model.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
-            x: vec![0.0; dataset.dim()],
+            nz: vec![0; widest.max(b)],
         };
 
         let n = dataset.len();
@@ -279,7 +341,7 @@ impl Mlp {
         augment: &dyn Augment,
         train: &TrainConfig,
         lr: f64,
-        ws: &mut Workspace,
+        ws: &mut TrainWorkspace,
         seeds: &mut TrainSeeds,
     ) {
         for g in ws.gw.iter_mut().chain(ws.gb.iter_mut()) {
@@ -287,137 +349,229 @@ impl Mlp {
                 *v = 0.0;
             }
         }
+        // A no-op augmentation (the common case) draws nothing from the
+        // RNG, so skipping the virtual call per example is stream-exact.
+        let aug_noop = augment.is_noop();
 
-        for &i in batch {
-            // Augmented input.
-            ws.x.copy_from_slice(dataset.x(i));
-            augment.augment(&mut ws.x, &mut seeds.augment);
-
-            // Forward with dropout on hidden activations.
-            ws.acts[0].clear();
-            ws.acts[0].extend_from_slice(&ws.x);
-            for (l, layer) in self.layers.iter().enumerate() {
-                let (lo, hi) = ws.acts.split_at_mut(l + 1);
-                layer.forward(&lo[l], &mut hi[0]);
-                let is_hidden = l < self.layers.len() - 1;
-                if is_hidden {
-                    // ReLU.
-                    for a in hi[0].iter_mut() {
-                        if *a < 0.0 {
-                            *a = 0.0;
-                        }
-                    }
-                    // Inverted dropout.
-                    if train.dropout > 0.0 {
-                        let keep = 1.0 - train.dropout;
-                        for (a, m) in hi[0].iter_mut().zip(ws.masks[l].iter_mut()) {
-                            *m = if seeds.dropout.bernoulli(keep) {
-                                1.0 / keep
-                            } else {
-                                0.0
-                            };
-                            *a *= *m;
-                        }
+        // Draw every dropout mask for the batch in one tight pass. The
+        // draw order (per example, then per hidden layer, then per unit)
+        // is exactly the order the per-example loop consumed the stream
+        // in, so the masks are draw-for-draw identical — but the RNG
+        // state stays in registers here instead of spilling on every
+        // 16-draw burst between forward kernels (~5x faster per draw).
+        if train.dropout > 0.0 {
+            let keep = 1.0 - train.dropout;
+            let inv_keep = 1.0 / keep;
+            let n_hidden = self.layers.len() - 1;
+            for s in 0..batch.len() {
+                for l in 0..n_hidden {
+                    let d = self.layers[l].out_dim;
+                    for m in ws.masks[l][s * d..(s + 1) * d].iter_mut() {
+                        *m = if seeds.dropout.next_f64() < keep {
+                            inv_keep
+                        } else {
+                            0.0
+                        };
                     }
                 }
             }
+        }
 
-            // Output delta = dLoss/dLogits.
-            let last = self.layers.len();
-            let out = &ws.acts[last];
-            let delta_out = &mut ws.deltas[last];
+        let b = batch.len();
+        let nl = self.layers.len();
+
+        // Stage (and augment) every input row for the batch — the augment
+        // stream is consumed in example order, exactly as the per-example
+        // loop consumed it.
+        let in_dim = self.in_dim;
+        for (si, &i) in batch.iter().enumerate() {
+            let row = &mut ws.xb[si * in_dim..(si + 1) * in_dim];
+            row.copy_from_slice(dataset.x(i));
+            if !aug_noop {
+                augment.augment(row, &mut seeds.augment);
+            }
+        }
+
+        // Forward, layer-major over the whole batch. Each example's chain
+        // of per-element operations is untouched — batching only reorders
+        // work across *independent* examples, so every activation is
+        // bit-identical to the example-at-a-time loop.
+        for l in 0..nl {
+            let layer = &self.layers[l];
+            let (d_in, d_out) = (layer.in_dim, layer.out_dim);
+            let (ab_lo, ab_hi) = ws.ab.split_at_mut(l);
+            let input: &[f64] = if l == 0 { &ws.xb } else { &ab_lo[l - 1] };
+            let out_all = &mut ab_hi[0];
+            for si in 0..b {
+                let x = &input[si * d_in..(si + 1) * d_in];
+                layer.forward_into(x, &mut out_all[si * d_out..(si + 1) * d_out]);
+            }
+            if l < nl - 1 {
+                // ReLU in select form over the whole batch slab: one
+                // branch-free vector pass (ReLU sign patterns are
+                // data-dependent and would mispredict as branches).
+                // `-0.0` inputs keep their bits, like the seed's `< 0.0`
+                // branch.
+                let slab = &mut out_all[..b * d_out];
+                for a in slab.iter_mut() {
+                    *a = if *a < 0.0 { 0.0 } else { *a };
+                }
+                // Inverted dropout: the batch-drawn masks share the slab's
+                // example-major layout, so this is one contiguous pass.
+                if train.dropout > 0.0 {
+                    for (a, &m) in slab.iter_mut().zip(&ws.masks[l][..b * d_out]) {
+                        *a *= m;
+                    }
+                }
+            }
+        }
+
+        // Output deltas dLoss/dLogits, one row per example.
+        let last = nl - 1;
+        let d_last = self.out_dim;
+        for (si, &i) in batch.iter().enumerate() {
+            let out = &ws.ab[last][si * d_last..(si + 1) * d_last];
+            let delta = &mut ws.db[last][si * d_last..(si + 1) * d_last];
             match self.head {
                 Head::Softmax => {
-                    softmax_into(out, delta_out);
-                    let y = dataset.label(i);
-                    delta_out[y] -= 1.0;
+                    softmax_row(out, delta);
+                    delta[dataset.label(i)] -= 1.0;
                 }
                 Head::SigmoidBce => {
-                    let mask = dataset.mask(i);
-                    delta_out.clear();
-                    delta_out.extend(
-                        out.iter()
-                            .zip(mask)
-                            .map(|(z, y)| 1.0 / (1.0 + (-z).exp()) - y),
-                    );
-                }
-                Head::Mse => {
-                    delta_out.clear();
-                    delta_out.push(out[0] - dataset.value(i));
-                }
-            }
-
-            // Backward.
-            for l in (0..self.layers.len()).rev() {
-                let layer = &self.layers[l];
-                // Gradients for layer l: delta[l+1] ⊗ act[l].
-                let (d_lo, d_hi) = ws.deltas.split_at_mut(l + 1);
-                let delta = &d_hi[0];
-                let act = &ws.acts[l];
-                let gw = &mut ws.gw[l];
-                let gb = &mut ws.gb[l];
-                for o in 0..layer.out_dim {
-                    let d = delta[o];
-                    if d != 0.0 {
-                        let row = &mut gw[o * layer.in_dim..(o + 1) * layer.in_dim];
-                        for (g, a) in row.iter_mut().zip(act) {
-                            *g += d * a;
-                        }
-                        gb[o] += d;
+                    for ((dst, z), y) in delta.iter_mut().zip(out).zip(dataset.mask(i)) {
+                        *dst = 1.0 / (1.0 + (-z).exp()) - y;
                     }
                 }
-                // Delta for layer below (if any): Wᵀ delta, gated by ReLU'
-                // and the dropout mask.
-                if l > 0 {
-                    let below = &mut d_lo[l];
+                Head::Mse => delta[0] = out[0] - dataset.value(i),
+            }
+        }
+
+        // Backward, layer-major. ReLU gating makes the zero patterns of
+        // the deltas irregular, so `if d != 0.0` branches inside row loops
+        // mispredict badly; every skip below is driven by a branch-free
+        // index compaction instead (`nnz` advances by a bool cast, never
+        // a jump). The skips themselves are load-bearing for bit-identity:
+        // a diverged training can hold ∞ activations, and 0·∞ would poison
+        // the gradient with NaN where the seed code skipped the term.
+        for l in (0..nl).rev() {
+            let layer = &self.layers[l];
+            let (d_in, d_out) = (layer.in_dim, layer.out_dim);
+            // Transpose this layer's deltas so each output's batch column
+            // is contiguous for the gradient pass.
+            let db_l = &ws.db[l];
+            for si in 0..b {
+                for o in 0..d_out {
+                    ws.dt[o * b + si] = db_l[si * d_out + o];
+                }
+            }
+            // Gradients for layer l: gw[o] = Σ_examples delta[o] ⊗ act.
+            // Looping outputs outer and examples inner keeps each gw row
+            // hot across the whole batch; per element the accumulation is
+            // still ascending-example with zero deltas skipped — exactly
+            // the order (and the adds) of the example-at-a-time loop.
+            let act: &[f64] = if l == 0 { &ws.xb } else { &ws.ab[l - 1] };
+            let gw = &mut ws.gw[l];
+            let gb = &mut ws.gb[l];
+            for o in 0..d_out {
+                let drow = &ws.dt[o * b..(o + 1) * b];
+                let mut nnz = 0;
+                for (s, &d) in drow.iter().enumerate() {
+                    ws.nz[nnz] = s;
+                    nnz += usize::from(d != 0.0);
+                }
+                let grow = &mut gw[o * d_in..(o + 1) * d_in];
+                let mut gbo = gb[o];
+                for &s in &ws.nz[..nnz] {
+                    let d = drow[s];
+                    axpy(d, &act[s * d_in..(s + 1) * d_in], grow);
+                    gbo += d;
+                }
+                gb[o] = gbo;
+            }
+            // Delta for the layer below (if any): Wᵀ delta per example,
+            // gated by ReLU' and the dropout mask.
+            if l > 0 {
+                let (db_lo, db_hi) = ws.db.split_at_mut(l);
+                let below_all = &mut db_lo[l - 1];
+                let delta_all = &db_hi[0];
+                let act_below = &ws.ab[l - 1];
+                for si in 0..b {
+                    let delta = &delta_all[si * d_out..(si + 1) * d_out];
+                    let below = &mut below_all[si * d_in..(si + 1) * d_in];
                     for v in below.iter_mut() {
                         *v = 0.0;
                     }
-                    for (o, &d) in delta.iter().enumerate().take(layer.out_dim) {
-                        if d != 0.0 {
-                            let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
-                            for (b, w) in below.iter_mut().zip(row) {
-                                *b += d * w;
-                            }
-                        }
+                    let mut nnz = 0;
+                    for (o, &d) in delta.iter().enumerate() {
+                        ws.nz[nnz] = o;
+                        nnz += usize::from(d != 0.0);
                     }
-                    let act_below = &ws.acts[l];
-                    let mask = &ws.masks[l - 1];
-                    for (j, b) in below.iter_mut().enumerate() {
-                        // ReLU derivative (post-activation > 0) and dropout
-                        // gate; act_below already includes the mask so a
-                        // dropped unit has activation 0 and passes no grad.
-                        if act_below[j] <= 0.0 {
-                            *b = 0.0;
-                        } else if train.dropout > 0.0 {
-                            *b *= mask[j];
+                    for &o in &ws.nz[..nnz] {
+                        // Wᵀ·delta without materializing the transpose:
+                        // one axpy per non-zero delta row.
+                        axpy(delta[o], &layer.w[o * d_in..(o + 1) * d_in], below);
+                    }
+                    let arow = &act_below[si * d_in..(si + 1) * d_in];
+                    // ReLU'/dropout gate in select form (branch-free; the
+                    // selected values are exactly what the branchy version
+                    // produced). `arow` already includes the dropout mask,
+                    // so a dropped unit has activation 0 and passes no
+                    // gradient.
+                    if train.dropout > 0.0 {
+                        let mrow = &ws.masks[l - 1][si * d_in..(si + 1) * d_in];
+                        for ((bv, &a), &m) in below.iter_mut().zip(arow).zip(mrow) {
+                            *bv = if a <= 0.0 { 0.0 } else { *bv * m };
+                        }
+                    } else {
+                        for (bv, &a) in below.iter_mut().zip(arow) {
+                            *bv = if a <= 0.0 { 0.0 } else { *bv };
                         }
                     }
                 }
             }
         }
 
-        // SGD update with momentum, weight decay, and optional noise.
+        // SGD update with momentum, weight decay, and optional noise. The
+        // noise branch is hoisted out of the elementwise loops so the
+        // (common) noiseless path autovectorizes; per-element arithmetic
+        // and the noise-draw order match the seed loop exactly.
         let scale = 1.0 / batch.len() as f64;
         for (l, layer) in self.layers.iter_mut().enumerate() {
-            for (idx, w) in layer.w.iter_mut().enumerate() {
-                let mut g = ws.gw[l][idx] * scale + train.weight_decay * *w;
-                if train.grad_noise > 0.0 {
+            let (gw, vw) = (&ws.gw[l], &mut ws.vw[l]);
+            if train.grad_noise > 0.0 {
+                for ((w, &g0), v) in layer.w.iter_mut().zip(gw).zip(vw.iter_mut()) {
+                    let mut g = g0 * scale + train.weight_decay * *w;
                     g += seeds.noise.normal(0.0, train.grad_noise);
+                    let vn = train.momentum * *v - lr * g;
+                    *v = vn;
+                    *w += vn;
                 }
-                let v = train.momentum * ws.vw[l][idx] - lr * g;
-                ws.vw[l][idx] = v;
-                *w += v;
+            } else {
+                for ((w, &g0), v) in layer.w.iter_mut().zip(gw).zip(vw.iter_mut()) {
+                    let g = g0 * scale + train.weight_decay * *w;
+                    let vn = train.momentum * *v - lr * g;
+                    *v = vn;
+                    *w += vn;
+                }
             }
-            for (idx, b) in layer.b.iter_mut().enumerate() {
-                let mut g = ws.gb[l][idx] * scale;
-                if train.grad_noise > 0.0 {
+            let (gb, vb) = (&ws.gb[l], &mut ws.vb[l]);
+            if train.grad_noise > 0.0 {
+                for ((b, &g0), v) in layer.b.iter_mut().zip(gb).zip(vb.iter_mut()) {
+                    let mut g = g0 * scale;
                     g += seeds.noise.normal(0.0, train.grad_noise);
+                    let vn = train.momentum * *v - lr * g;
+                    *v = vn;
+                    *b += vn;
                 }
-                let v = train.momentum * ws.vb[l][idx] - lr * g;
-                ws.vb[l][idx] = v;
-                *b += v;
+            } else {
+                for ((b, &g0), v) in layer.b.iter_mut().zip(gb).zip(vb.iter_mut()) {
+                    let g = g0 * scale;
+                    let vn = train.momentum * *v - lr * g;
+                    *v = vn;
+                    *b += vn;
+                }
             }
+            layer.sync_wt();
         }
     }
 
@@ -449,25 +603,41 @@ impl Mlp {
 
     /// Raw output logits for input `x` (no dropout).
     ///
+    /// Allocates fresh buffers per call; evaluation loops should prefer
+    /// [`Mlp::logits_into`] with a reused [`PredictBuffer`].
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != in_dim`.
     pub fn logits(&self, x: &[f64]) -> Vec<f64> {
+        let mut buf = PredictBuffer::new();
+        self.logits_into(x, &mut buf);
+        buf.cur
+    }
+
+    /// Raw output logits for input `x` (no dropout), computed into a
+    /// caller-provided scratch buffer — zero heap allocations once the
+    /// buffer is warm. Returns the logits slice borrowed from the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    pub fn logits_into<'a>(&self, x: &[f64], buf: &'a mut PredictBuffer) -> &'a [f64] {
         assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
-        let mut cur = x.to_vec();
-        let mut next = Vec::new();
+        buf.cur.clear();
+        buf.cur.extend_from_slice(x);
         for (l, layer) in self.layers.iter().enumerate() {
-            layer.forward(&cur, &mut next);
+            layer.forward(&buf.cur, &mut buf.next);
             if l < self.layers.len() - 1 {
-                for a in next.iter_mut() {
+                for a in buf.next.iter_mut() {
                     if *a < 0.0 {
                         *a = 0.0;
                     }
                 }
             }
-            std::mem::swap(&mut cur, &mut next);
+            std::mem::swap(&mut buf.cur, &mut buf.next);
         }
-        cur
+        &buf.cur
     }
 
     /// Predicted class (argmax of logits).
@@ -476,13 +646,22 @@ impl Mlp {
     ///
     /// Panics if the head is not [`Head::Softmax`].
     pub fn predict_class(&self, x: &[f64]) -> usize {
+        self.predict_class_with(x, &mut PredictBuffer::new())
+    }
+
+    /// [`Mlp::predict_class`] with a reused scratch buffer (no
+    /// allocation once warm) — the evaluation hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not [`Head::Softmax`].
+    pub fn predict_class_with(&self, x: &[f64], buf: &mut PredictBuffer) -> usize {
         assert_eq!(
             self.head,
             Head::Softmax,
             "predict_class requires a softmax head"
         );
-        let logits = self.logits(x);
-        argmax(&logits)
+        argmax(self.logits_into(x, buf))
     }
 
     /// Class probabilities (softmax of logits).
@@ -508,15 +687,26 @@ impl Mlp {
     ///
     /// Panics if the head is not [`Head::SigmoidBce`].
     pub fn predict_mask(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.predict_mask_into(x, &mut PredictBuffer::new(), &mut out);
+        out
+    }
+
+    /// [`Mlp::predict_mask`] into reused scratch and output buffers (no
+    /// allocation once warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not [`Head::SigmoidBce`].
+    pub fn predict_mask_into(&self, x: &[f64], buf: &mut PredictBuffer, out: &mut Vec<f64>) {
         assert_eq!(
             self.head,
             Head::SigmoidBce,
             "predict_mask requires a sigmoid head"
         );
-        self.logits(x)
-            .iter()
-            .map(|z| 1.0 / (1.0 + (-z).exp()))
-            .collect()
+        let logits = self.logits_into(x, buf);
+        out.clear();
+        out.extend(logits.iter().map(|z| 1.0 / (1.0 + (-z).exp())));
     }
 
     /// Regression prediction.
@@ -525,15 +715,56 @@ impl Mlp {
     ///
     /// Panics if the head is not [`Head::Mse`].
     pub fn predict_value(&self, x: &[f64]) -> f64 {
+        self.predict_value_with(x, &mut PredictBuffer::new())
+    }
+
+    /// [`Mlp::predict_value`] with a reused scratch buffer (no allocation
+    /// once warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not [`Head::Mse`].
+    pub fn predict_value_with(&self, x: &[f64], buf: &mut PredictBuffer) -> f64 {
         assert_eq!(self.head, Head::Mse, "predict_value requires an MSE head");
-        self.logits(x)[0]
+        self.logits_into(x, buf)[0]
+    }
+}
+
+/// Reusable inference scratch for the `Mlp::*_with` prediction methods.
+///
+/// Holds the two ping-pong activation buffers a forward pass needs; after
+/// the first prediction both have reached the network's maximum layer
+/// width and every further call is allocation-free. Create one per
+/// evaluation loop (or per worker thread) and pass it to
+/// [`Mlp::predict_class_with`] / [`Mlp::predict_mask_into`] /
+/// [`Mlp::predict_value_with`] / [`Mlp::logits_into`].
+#[derive(Debug, Clone, Default)]
+pub struct PredictBuffer {
+    cur: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl PredictBuffer {
+    /// Creates an empty buffer (it warms up on first use).
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
 fn softmax_into(logits: &[f64], out: &mut Vec<f64>) {
-    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     out.clear();
-    out.extend(logits.iter().map(|z| (z - max).exp()));
+    out.resize(logits.len(), 0.0);
+    softmax_row(logits, out);
+}
+
+/// Softmax into an equal-length slice: max-shift, exponentiate, normalize
+/// — each pass in ascending index order (the op sequence of the seed
+/// implementation, so results are bit-identical).
+fn softmax_row(logits: &[f64], out: &mut [f64]) {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    for (p, z) in out.iter_mut().zip(logits) {
+        *p = (z - max).exp();
+    }
     let total: f64 = out.iter().sum();
     for p in out.iter_mut() {
         *p /= total;

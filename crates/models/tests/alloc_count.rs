@@ -1,0 +1,94 @@
+//! Allocation-count smoke test: the MLP epoch loop must be heap-silent.
+//!
+//! `Mlp::train` preallocates every training buffer (`TrainWorkspace`)
+//! before the epoch loop, so two trainings that differ **only** in epoch
+//! count must perform exactly the same number of heap allocations — the
+//! extra epochs add zero. This pins the zero-allocation property without
+//! needing heap instrumentation inside the library itself.
+//!
+//! The counting allocator is process-global, so this file holds exactly
+//! one `#[test]` (a second test would race the counters).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use varbench_data::augment::Identity;
+use varbench_data::synth::{binary_overlap, BinaryOverlapConfig};
+use varbench_models::{Mlp, MlpConfig, TrainConfig, TrainSeeds};
+use varbench_rng::{Rng, SeedTree};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts every allocation (and counts
+/// reallocations, which matter here: a growing `Vec` inside the epoch
+/// loop would show up as extra reallocs).
+struct CountingAllocator;
+
+// SAFETY: delegates every operation unchanged to the `System` allocator;
+// the counter is a side effect only.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn train_alloc_count(tc: &TrainConfig, ds: &varbench_data::Dataset, seed: u64) -> u64 {
+    let cfg = MlpConfig::default();
+    let mut seeds = TrainSeeds::from_tree(&SeedTree::new(seed));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let model = Mlp::train(&cfg, tc, ds, &Identity, &mut seeds);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    // Keep the model alive through the second read so its drop (which
+    // only frees) cannot reorder into the window.
+    drop(model);
+    after - before
+}
+
+#[test]
+fn epoch_loop_allocates_nothing_after_warmup() {
+    let mut rng = Rng::seed_from_u64(1);
+    let ds = binary_overlap(
+        &BinaryOverlapConfig {
+            n: 300,
+            dim: 16,
+            separation: 2.0,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    // Dropout on: the mask path must be allocation-free too.
+    let short = TrainConfig {
+        epochs: 2,
+        dropout: 0.2,
+        ..Default::default()
+    };
+    let long = TrainConfig {
+        epochs: 12,
+        ..short.clone()
+    };
+    // Warm up once (lazy runtime init — e.g. the first RNG or fmt path —
+    // must not pollute the measured windows).
+    train_alloc_count(&short, &ds, 7);
+
+    let short_allocs = train_alloc_count(&short, &ds, 7);
+    let long_allocs = train_alloc_count(&long, &ds, 7);
+    assert!(short_allocs > 0, "setup must allocate the workspace");
+    assert_eq!(
+        short_allocs, long_allocs,
+        "10 extra epochs must add zero heap allocations \
+         (epoch loop is not allocation-free)"
+    );
+}

@@ -1,7 +1,16 @@
 //! Performance metrics used by the case studies.
 
 use varbench_data::Dataset;
-use varbench_models::{metrics, Mlp};
+use varbench_models::{metrics, Mlp, PredictBuffer};
+
+/// Examples per evaluation work unit.
+///
+/// Each chunk reuses one [`PredictBuffer`] (and, for masks, one output
+/// buffer) across its examples, so forward passes allocate nothing once
+/// warm. The chunking is a fixed function of the pool size — never of the
+/// thread count — so results are bit-identical for every [`ParMap`]
+/// strategy.
+const EVAL_CHUNK: usize = 64;
 
 /// Strategy for mapping a function over an index range, preserving index
 /// order in the output.
@@ -90,22 +99,52 @@ impl MetricKind {
         par: &P,
     ) -> f64 {
         assert!(!indices.is_empty(), "cannot evaluate on an empty set");
+        let n = indices.len();
+        let chunks = n.div_ceil(EVAL_CHUNK);
+        let chunk_of = |c: usize| &indices[c * EVAL_CHUNK..((c + 1) * EVAL_CHUNK).min(n)];
         match self {
             MetricKind::Accuracy => {
-                let pred =
-                    par.map_indexed(indices.len(), |i| model.predict_class(pool.x(indices[i])));
-                let truth: Vec<usize> = indices.iter().map(|&i| pool.label(i)).collect();
-                metrics::accuracy(&pred, &truth)
+                // Exact integer hit counts sum associatively, so per-chunk
+                // counting gives the same accuracy as per-example mapping.
+                let hits: usize = par
+                    .map_indexed(chunks, |c| {
+                        let mut buf = PredictBuffer::new();
+                        chunk_of(c)
+                            .iter()
+                            .filter(|&&i| {
+                                model.predict_class_with(pool.x(i), &mut buf) == pool.label(i)
+                            })
+                            .count()
+                    })
+                    .into_iter()
+                    .sum();
+                hits as f64 / n as f64
             }
             MetricKind::MeanIou => {
-                let pred =
-                    par.map_indexed(indices.len(), |i| model.predict_mask(pool.x(indices[i])));
-                let truth: Vec<Vec<f64>> = indices.iter().map(|&i| pool.mask(i).to_vec()).collect();
-                metrics::mean_iou(&pred, &truth)
+                // Per-example IoUs come back in index order and are summed
+                // sequentially — the same reduction order as `mean_iou`.
+                let ious = par.map_indexed(chunks, |c| {
+                    let mut buf = PredictBuffer::new();
+                    let mut mask = Vec::new();
+                    chunk_of(c)
+                        .iter()
+                        .map(|&i| {
+                            model.predict_mask_into(pool.x(i), &mut buf, &mut mask);
+                            metrics::mask_iou(&mask, pool.mask(i))
+                        })
+                        .collect::<Vec<f64>>()
+                });
+                ious.iter().flatten().sum::<f64>() / n as f64
             }
             MetricKind::Auc => {
-                let scores =
-                    par.map_indexed(indices.len(), |i| model.predict_value(pool.x(indices[i])));
+                let scores = par.map_indexed(chunks, |c| {
+                    let mut buf = PredictBuffer::new();
+                    chunk_of(c)
+                        .iter()
+                        .map(|&i| model.predict_value_with(pool.x(i), &mut buf))
+                        .collect::<Vec<f64>>()
+                });
+                let scores: Vec<f64> = scores.into_iter().flatten().collect();
                 let labels: Vec<bool> = indices.iter().map(|&i| pool.value(i) > 0.5).collect();
                 metrics::roc_auc(&scores, &labels)
             }

@@ -156,6 +156,15 @@ pub fn prob_outperform(a: &[f64], b: &[f64]) -> f64 {
 /// Percentile-bootstrap confidence interval for `P(A > B)` on paired
 /// measures — the exact procedure of the paper's Appendix C.4–C.5.
 ///
+/// Specialized fast path: whether pair `j` is a win (`a_j > b_j`) does not
+/// depend on the resample it lands in, so the win indicators are computed
+/// once up front and each bootstrap replicate reduces to an integer count
+/// over resampled indices — no floating-point compares or pair-buffer
+/// writes inside the resample loop. The RNG draw sequence and every
+/// replicate's statistic are identical to routing
+/// [`prob_outperform`] through [`percentile_ci_paired`], so the interval
+/// is bit-for-bit unchanged.
+///
 /// # Panics
 ///
 /// As [`percentile_ci_paired`].
@@ -166,7 +175,30 @@ pub fn percentile_ci_prob_outperform(
     alpha: f64,
     rng: &mut Rng,
 ) -> ConfidenceInterval {
-    percentile_ci_paired(a, b, prob_outperform, resamples, alpha, rng)
+    assert_eq!(a.len(), b.len(), "paired bootstrap requires equal lengths");
+    assert!(!a.is_empty(), "bootstrap of empty sample");
+    assert!(resamples > 0, "resamples must be > 0");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    let estimate = prob_outperform(a, b);
+    let n = a.len();
+    let wins: Vec<u32> = a.iter().zip(b).map(|(x, y)| u32::from(x > y)).collect();
+    let mut stats = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut count = 0u32;
+        for _ in 0..n {
+            count += wins[rng.range_usize(n)];
+        }
+        stats.push(count as f64 / n as f64);
+    }
+    // Win fractions are finite and never negative zero, so an unstable
+    // sort cannot perturb the quantiles.
+    stats.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN bootstrap statistic"));
+    ConfidenceInterval {
+        estimate,
+        lo: quantile_sorted(&stats, alpha / 2.0),
+        hi: quantile_sorted(&stats, 1.0 - alpha / 2.0),
+        confidence: 1.0 - alpha,
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +280,23 @@ mod tests {
         let mut rng = Rng::seed_from_u64(5);
         let ci = percentile_ci_prob_outperform(&a, &b, 2000, 0.05, &mut rng);
         assert!(ci.contains(0.5), "{ci}");
+    }
+
+    #[test]
+    fn fast_prob_outperform_ci_matches_generic_path() {
+        // The win-indicator fast path must be bit-identical to routing the
+        // statistic through the generic paired bootstrap (same RNG draws,
+        // same replicate values, same quantiles).
+        let mut gen = Rng::seed_from_u64(40);
+        let a: Vec<f64> = (0..37).map(|_| gen.normal(0.0, 1.0)).collect();
+        let b: Vec<f64> = (0..37).map(|_| gen.normal(0.1, 1.0)).collect();
+        let mut r1 = Rng::seed_from_u64(41);
+        let mut r2 = Rng::seed_from_u64(41);
+        let fast = percentile_ci_prob_outperform(&a, &b, 700, 0.1, &mut r1);
+        let generic = percentile_ci_paired(&a, &b, prob_outperform, 700, 0.1, &mut r2);
+        assert_eq!(fast, generic);
+        // Both must leave the RNG in the same state.
+        assert_eq!(r1.next_u64(), r2.next_u64());
     }
 
     #[test]

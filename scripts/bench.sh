@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Runs the timing-harness micro-benches and emits a machine-readable perf
-# snapshot as BENCH_<label>.json (an array of objects, one per benchmark
-# line printed by varbench_bench::timing).
+# Runs the timing-harness suites through the shipped `varbench bench`
+# subcommand and emits a machine-readable perf snapshot as
+# BENCH_<label>.json (a JSON array of objects, one per benchmark).
 #
-# Usage: scripts/bench.sh [label]
-#   label   suffix of the output file (default: results)
+# The same snapshot is reproducible without cargo from the built binary:
+#   target/release/varbench bench --json > BENCH_results.json
+#
+# Usage: scripts/bench.sh [label] [--quick]
+#   label     suffix of the output file (default: results)
+#   --quick   fast smoke knobs (5 reps, 2 ms targets) — for CI gating,
+#             not for committed trajectory snapshots
 # Env:
 #   VARBENCH_BENCH_REPS        repetitions per benchmark (default harness: 11)
 #   VARBENCH_BENCH_TARGET_MS   calibrated wall time per rep (default: 5)
@@ -12,38 +17,22 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-label="${1:-results}"
+label="results"
+quick=()
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick=(--quick) ;;
+        -*) echo "unknown flag $arg" >&2; exit 2 ;;
+        *) label="$arg" ;;
+    esac
+done
 out="BENCH_${label}.json"
-raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
 
-echo "== running timing-harness benches (cargo bench) ==" >&2
-cargo bench --offline -p varbench-bench 2>/dev/null | tee /dev/stderr | grep '^bench ' > "$raw" || {
-    echo "no benchmark lines captured" >&2
-    exit 1
-}
+echo "== building varbench (release) ==" >&2
+cargo build --release --offline -p varbench-bench --bin varbench >&2
 
-# Convert `bench suite=stats name=mean_n10000 iters=.. reps=.. median_ns=..
-# min_ns=.. max_ns=..` lines into a JSON array.
-awk '
-BEGIN { print "["; first = 1 }
-{
-    line = ""
-    for (i = 2; i <= NF; i++) {
-        split($i, kv, "=")
-        if (kv[1] == "suite" || kv[1] == "name") {
-            field = "\"" kv[1] "\":\"" kv[2] "\""
-        } else {
-            field = "\"" kv[1] "\":" kv[2]
-        }
-        line = line (i > 2 ? "," : "") field
-    }
-    if (!first) printf(",\n")
-    printf("  {%s}", line)
-    first = 0
-}
-END { print "\n]" }
-' "$raw" > "$out"
+echo "== running timing suites (varbench bench) ==" >&2
+target/release/varbench bench "${quick[@]}" --json > "$out"
 
-count=$(grep -c '^bench ' "$raw")
+count=$(grep -c '"name"' "$out" || true)
 echo "wrote $out ($count benchmarks)" >&2

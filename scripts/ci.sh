@@ -64,4 +64,14 @@ else
     say "fig5 speedup benchmark skipped (cores=$cores, CI_SKIP_SPEEDUP=${CI_SKIP_SPEEDUP:-0})"
 fi
 
+# Perf-regression gate: quick-mode timing suites vs the committed
+# BENCH_4.json baseline. Timing on a 1-CPU box is noise, so it skips
+# there (the PR-1 convention for perf assertions).
+if [ "${CI_SKIP_PERF_GATE:-0}" != "1" ] && [ "$cores" -ge 2 ] && [ -f BENCH_4.json ]; then
+    say "perf regression gate (quick bench vs BENCH_4.json, +25% budget)"
+    target/release/varbench bench --quick --json --baseline BENCH_4.json --max-regress 25 > /dev/null
+else
+    say "perf gate skipped (cores=$cores, CI_SKIP_PERF_GATE=${CI_SKIP_PERF_GATE:-0})"
+fi
+
 say "all checks passed"
