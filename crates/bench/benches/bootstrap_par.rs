@@ -1,0 +1,9 @@
+//! `cargo bench` wrapper for the shared bootstrap suite
+//! (`varbench_bench::suites::bootstrap_par`; also runnable via
+//! `varbench bench`).
+
+use varbench_bench::timing::Harness;
+
+fn main() {
+    varbench_bench::suites::bootstrap_par(&mut Harness::new("bootstrap_par"));
+}

@@ -1,0 +1,8 @@
+//! `cargo bench` wrapper for the shared batch-GEMM kernel suite
+//! (`varbench_bench::suites::gemm`; also runnable via `varbench bench`).
+
+use varbench_bench::timing::Harness;
+
+fn main() {
+    varbench_bench::suites::gemm(&mut Harness::new("gemm"));
+}

@@ -19,6 +19,7 @@ use varbench_bench::args::Effort;
 use varbench_bench::registry::{self, RunContext, Spec};
 use varbench_bench::timing::{parse_snapshot, BenchResult, Harness, Output};
 use varbench_bench::{suites, workloads};
+use varbench_core::ctx::BootstrapMode;
 use varbench_core::exec::Runner;
 use varbench_core::report::{json_string, Report};
 use varbench_pipeline::cache::{CACHE_DIR_ENV, CACHE_FORMAT_VERSION};
@@ -52,10 +53,16 @@ OPTIONS (run):
     --serial                    run artifacts one at a time on one thread
     --no-cache                  give every artifact a private measurement cache
     --threads N                 worker threads (default: VARBENCH_THREADS or all cores)
+    --par-bootstrap             split-stream parallel bootstrap: resample loops
+                                fan out across cores (bit-identical for any
+                                thread count, but a different randomization
+                                than the committed serial-bootstrap artifacts;
+                                cached measurements use a quarantined key space)
 
 ENVIRONMENT:
     VARBENCH_THREADS            default worker thread count (0 = all cores)
     VARBENCH_CACHE_DIR          persist the measurement cache to this directory
+    VARBENCH_PAR_BOOTSTRAP      1/true = default `run` to --par-bootstrap
 
 Run `varbench list` for artifact names and `varbench workloads` for the
 registered workloads (measure one with `varbench run workload-linear`).";
@@ -339,11 +346,7 @@ fn bench_command(args: &[String]) {
     }
 
     if json {
-        let docs: Vec<String> = results
-            .iter()
-            .map(|r| format!("  {}", r.to_json()))
-            .collect();
-        println!("[\n{}\n]", docs.join(",\n"));
+        print!("{}", varbench_bench::timing::render_snapshot(&results));
     }
 
     if let Some(path) = baseline {
@@ -357,13 +360,29 @@ fn bench_command(args: &[String]) {
             "perf gate vs {} (max regression {max_regress:.0}%):",
             path.display()
         );
+        // Aligned columns: benchmark, current median, baseline median,
+        // speedup (baseline/current — >1x is faster than the snapshot),
+        // signed delta, verdict.
+        let name_w = results
+            .iter()
+            .map(|r| r.suite.len() + r.name.len() + 1)
+            .max()
+            .unwrap_or(0)
+            .max("benchmark".len());
+        eprintln!(
+            "  {:<name_w$}  {:>12}  {:>12}  {:>8}  {:>8}  verdict",
+            "benchmark", "median_ns", "base_ns", "speedup", "delta"
+        );
         for r in &results {
+            let label = format!("{}/{}", r.suite, r.name);
             let Some(b) = base.iter().find(|b| b.suite == r.suite && b.name == r.name) else {
-                eprintln!("  {}/{}: not in baseline (skipped)", r.suite, r.name);
+                eprintln!("  {label:<name_w$}  (not in baseline; skipped)");
                 continue;
             };
             compared += 1;
-            let delta = r.median_ns as f64 / (b.median_ns.max(1)) as f64 - 1.0;
+            let base_ns = b.median_ns.max(1) as f64;
+            let delta = r.median_ns as f64 / base_ns - 1.0;
+            let speedup = base_ns / (r.median_ns.max(1) as f64);
             let verdict = if delta * 100.0 > max_regress {
                 regressions += 1;
                 "REGRESSED"
@@ -371,13 +390,11 @@ fn bench_command(args: &[String]) {
                 "ok"
             };
             eprintln!(
-                "  {}/{}: {} ns vs {} ns ({:+.1}%) {}",
-                r.suite,
-                r.name,
+                "  {label:<name_w$}  {:>12}  {:>12}  {:>7.2}x  {:>+7.1}%  {verdict}",
                 r.median_ns,
                 b.median_ns,
+                speedup,
                 delta * 100.0,
-                verdict
             );
         }
         eprintln!("{compared} benches compared, {regressions} regression(s)");
@@ -398,6 +415,7 @@ fn run(args: &[String]) {
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut serial = false;
     let mut no_cache = false;
+    let mut par_bootstrap = false;
     let mut threads: Option<usize> = None;
 
     let mut it = args.iter();
@@ -407,6 +425,7 @@ fn run(args: &[String]) {
             "--csv" => format = Format::Csv,
             "--serial" => serial = true,
             "--no-cache" => no_cache = true,
+            "--par-bootstrap" => par_bootstrap = true,
             "--filter" => {
                 let v = it.next().unwrap_or_else(|| fail("--filter needs a value"));
                 filter = Some(v.clone());
@@ -464,6 +483,17 @@ fn run(args: &[String]) {
         (false, Some(n)) => Runner::new(n),
         (false, None) => Runner::from_env(),
     };
+    let bootstrap = if par_bootstrap {
+        BootstrapMode::SplitPerReplicate
+    } else {
+        BootstrapMode::from_env()
+    };
+    if bootstrap == BootstrapMode::SplitPerReplicate {
+        eprintln!(
+            "bootstrap: split-stream (parallel) — output is thread-count stable but \
+             not byte-comparable to serial-bootstrap artifacts"
+        );
+    }
     // --no-cache: each artifact gets its own throwaway in-memory cache,
     // so nothing is shared across artifacts or persisted — but the batch
     // is still scheduled in parallel, intra-artifact memoization (e.g.
@@ -471,13 +501,13 @@ fn run(args: &[String]) {
     // per-artifact output is bit-identical either way.
     let reports = if no_cache {
         runner.map_indexed(specs.len(), |i| {
-            let ctx = RunContext::new(runner, MeasureCache::new());
+            let ctx = RunContext::new(runner, MeasureCache::new()).with_bootstrap(bootstrap);
             registry::run_specs(&[specs[i]], effort, &ctx)
                 .pop()
                 .expect("one report per spec")
         })
     } else {
-        let ctx = RunContext::new(runner, MeasureCache::from_env());
+        let ctx = RunContext::new(runner, MeasureCache::from_env()).with_bootstrap(bootstrap);
         let reports = registry::run_specs(&specs, effort, &ctx);
         let s = ctx.cache().stats();
         eprintln!(

@@ -123,7 +123,7 @@ pub fn report_with(config: &Config, ctx: &RunContext) -> Report {
         alpha: 0.05,
         resamples: config.resamples,
     };
-    let rows = detection_study_with(&task, &probability_sweep(), &det, 0xF1660, ctx.runner());
+    let rows = detection_study_with(&task, &probability_sweep(), &det, 0xF1660, ctx);
 
     let mut t = Table::new(vec![
         "P(A>B)".into(),

@@ -32,7 +32,9 @@ pub type SuiteFn = fn(&mut Harness);
 /// Every suite, in the order `varbench bench` runs them.
 pub const SUITES: &[(&str, SuiteFn)] = &[
     ("linalg", linalg),
+    ("gemm", gemm),
     ("stats", stats),
+    ("bootstrap_par", bootstrap_par),
     ("models", models),
     ("estimators", estimators),
     ("compare", compare),
@@ -85,6 +87,81 @@ pub fn linalg(c: &mut Harness) {
     });
 }
 
+/// The batch-GEMM training kernels, at the shapes `Mlp::train` drives
+/// them with on the default architecture (batch 32, 16 → 32 → 2 net).
+pub fn gemm(c: &mut Harness) {
+    use varbench_linalg::{compact_nonzero, gemm_col_nz_into, gemm_rows_into, gemm_transb_into};
+
+    let (b, d, m) = (32usize, 16usize, 32usize);
+    let x: Vec<f64> = (0..b * d).map(|i| (i as f64 * 0.23).sin()).collect();
+    let w: Vec<f64> = (0..m * d).map(|i| (i as f64 * 0.71).cos()).collect();
+    let mut wt = vec![0.0; m * d];
+    for o in 0..m {
+        for k in 0..d {
+            wt[k * m + o] = w[o * d + k];
+        }
+    }
+    let bias: Vec<f64> = (0..m).map(|i| i as f64 * 0.01).collect();
+    let mut out = vec![0.0; b * m];
+    // The hidden-layer forward: 32 example rows through 16 → 32.
+    c.bench_function("gemm_rows_fwd_b32_16x32", |bch| {
+        bch.iter(|| {
+            gemm_rows_into(black_box(&x), black_box(&wt), &bias, m, &mut out);
+            out[0]
+        })
+    });
+
+    // The 2-logit output head: 32 example rows through 32 → 2.
+    let act: Vec<f64> = (0..b * m)
+        .map(|i| ((i as f64 * 0.11).sin()).max(0.0))
+        .collect();
+    let w2: Vec<f64> = (0..2 * m).map(|i| (i as f64 * 0.31).cos()).collect();
+    let bias2 = [0.05, -0.05];
+    let mut out2 = vec![0.0; b * 2];
+    c.bench_function("gemm_transb_head_b32_32x2", |bch| {
+        bch.iter(|| {
+            gemm_transb_into(black_box(&act), black_box(&w2), &bias2, 2, &mut out2);
+            out2[0]
+        })
+    });
+
+    // The gradient pass: 32 output rows of Δᵀ·X with ReLU-sparse deltas
+    // (~half zero), deltas read strided from the example-major slab.
+    let deltas: Vec<f64> = (0..b * m)
+        .map(|i| {
+            if (i * 7) % 13 < 6 {
+                0.0
+            } else {
+                (i as f64 * 0.17).sin()
+            }
+        })
+        .collect();
+    let mut idx = vec![0usize; b];
+    let mut col = vec![0.0; b];
+    let mut grow = vec![0.0; d];
+    c.bench_function("gemm_col_nz_grad_b32_32x16", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0;
+            for o in 0..m {
+                for (si, cv) in col.iter_mut().enumerate() {
+                    *cv = deltas[si * m + o];
+                }
+                let nnz = compact_nonzero(&col, &mut idx);
+                acc += gemm_col_nz_into(
+                    black_box(&deltas),
+                    m,
+                    o,
+                    &idx[..nnz],
+                    black_box(&x),
+                    d,
+                    &mut grow,
+                );
+            }
+            acc
+        })
+    });
+}
+
 /// Statistical primitives.
 pub fn stats(c: &mut Harness) {
     c.bench_function("normal_quantile", |b| {
@@ -122,6 +199,53 @@ pub fn stats(c: &mut Harness) {
 
     let big = sample(10_000, 7);
     c.bench_function("mean_n10000", |b| b.iter(|| mean(black_box(&big))));
+}
+
+/// Bootstrap confidence intervals: the serial stream, the split-stream
+/// serial driver, and the split stream fanned across the executor (on a
+/// multi-core box the last scales near-linearly in the resample loop; on
+/// one core it measures the scheduling overhead).
+pub fn bootstrap_par(c: &mut Harness) {
+    use varbench_core::compare::compare_paired_with;
+    use varbench_core::ctx::BootstrapMode;
+    use varbench_core::exec::Runner;
+    use varbench_pipeline::MeasureCache;
+    use varbench_stats::bootstrap::percentile_ci_prob_outperform_split;
+
+    let mut gen = Rng::seed_from_u64(9);
+    let a: Vec<f64> = (0..50).map(|_| gen.normal(0.76, 0.02)).collect();
+    let b: Vec<f64> = (0..50).map(|_| gen.normal(0.75, 0.02)).collect();
+
+    c.bench_function("bootstrap_serial_k50_r1000", |bch| {
+        bch.iter(|| {
+            let mut rng = Rng::seed_from_u64(10);
+            percentile_ci_prob_outperform(black_box(&a), black_box(&b), 1000, 0.05, &mut rng)
+        })
+    });
+
+    c.bench_function("bootstrap_split_k50_r1000", |bch| {
+        bch.iter(|| {
+            let mut rng = Rng::seed_from_u64(10);
+            percentile_ci_prob_outperform_split(black_box(&a), black_box(&b), 1000, 0.05, &mut rng)
+        })
+    });
+
+    let par = RunContext::new(Runner::new(0), MeasureCache::disabled())
+        .with_bootstrap(BootstrapMode::SplitPerReplicate);
+    c.bench_function("bootstrap_split_par_k50_r1000", |bch| {
+        bch.iter(|| {
+            let mut rng = Rng::seed_from_u64(10);
+            compare_paired_with(
+                black_box(&a),
+                black_box(&b),
+                0.75,
+                0.05,
+                1000,
+                &mut rng,
+                &par,
+            )
+        })
+    });
 }
 
 /// Model training and inference.

@@ -108,6 +108,24 @@ impl BenchResult {
     }
 }
 
+/// Renders results as a `BENCH_*.json` snapshot document — the exact
+/// bytes `varbench bench --json` writes to stdout (one flat object per
+/// line, trailing newline). [`parse_snapshot`] inverts it bit-exactly:
+/// `render_snapshot(&parse_snapshot(s)?) == s` for any snapshot this
+/// function produced, which is what keeps the committed `BENCH_*.json`
+/// files machine-readable as fields evolve (pinned by
+/// `crates/bench/tests/snapshot_roundtrip.rs`).
+pub fn render_snapshot(results: &[BenchResult]) -> String {
+    if results.is_empty() {
+        return "[]\n".to_string();
+    }
+    let docs: Vec<String> = results
+        .iter()
+        .map(|r| format!("  {}", r.to_json()))
+        .collect();
+    format!("[\n{}\n]\n", docs.join(",\n"))
+}
+
 /// Parses a `BENCH_*.json` snapshot: a JSON array of flat objects with
 /// string `suite`/`name` fields and integer timing fields, exactly the
 /// shape `varbench bench --json` (and historically `scripts/bench.sh`)

@@ -1,0 +1,78 @@
+//! Round-trip guarantee for `BENCH_*.json` perf snapshots: render →
+//! parse → render must be byte-identical, so the committed trajectory
+//! files stay machine-readable as fields evolve (a parser that silently
+//! drops or reorders a field would break the perf gate without anyone
+//! noticing).
+
+use varbench_bench::timing::{parse_snapshot, render_snapshot, BenchResult};
+
+fn sample_results() -> Vec<BenchResult> {
+    vec![
+        BenchResult {
+            suite: "gemm".into(),
+            name: "gemm_rows_fwd_b32_16x32".into(),
+            iters: 4096,
+            reps: 11,
+            median_ns: 1402,
+            min_ns: 1377,
+            max_ns: 1893,
+        },
+        BenchResult {
+            suite: "bootstrap_par".into(),
+            name: "bootstrap_split_k50_r1000".into(),
+            iters: 64,
+            reps: 11,
+            median_ns: 61234,
+            min_ns: 60000,
+            max_ns: 70011,
+        },
+    ]
+}
+
+#[test]
+fn render_parse_render_is_byte_identical() {
+    let results = sample_results();
+    let rendered = render_snapshot(&results);
+    let parsed = parse_snapshot(&rendered).expect("own snapshot must parse");
+    assert_eq!(parsed, results, "parse must preserve every field");
+    let rerendered = render_snapshot(&parsed);
+    assert_eq!(rendered, rerendered, "round trip must be byte-identical");
+}
+
+#[test]
+fn empty_snapshot_round_trips() {
+    let rendered = render_snapshot(&[]);
+    let parsed = parse_snapshot(&rendered).expect("empty snapshot must parse");
+    assert!(parsed.is_empty());
+    assert_eq!(render_snapshot(&parsed), rendered);
+}
+
+#[test]
+fn committed_bench_snapshots_round_trip() {
+    // Every committed BENCH_*.json at the repo root must survive
+    // parse → render byte-exactly: they were produced by
+    // `varbench bench --json`, whose stdout is `render_snapshot`.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&root).expect("repo root") {
+        let path = entry.expect("dir entry").path();
+        let name = path
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .into_owned();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("snapshot readable");
+        let parsed = parse_snapshot(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!parsed.is_empty(), "{name} holds no benchmarks");
+        assert_eq!(
+            render_snapshot(&parsed),
+            text,
+            "{name}: parse → render must reproduce the committed bytes"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 1, "no committed BENCH_*.json found");
+}

@@ -1,8 +1,12 @@
 //! The three benchmark conclusion criteria of the paper's Section 4, and
 //! the recommended decision procedure of Appendix C.6.
 
+use crate::ctx::{BootstrapMode, RunContext};
 use varbench_rng::Rng;
-use varbench_stats::bootstrap::{percentile_ci_prob_outperform, prob_outperform};
+use varbench_stats::bootstrap::{
+    ci_from_replicates, percentile_ci_prob_outperform, prob_outperform, prob_outperform_replicate,
+    split_replicate_seeds, win_indicators,
+};
 use varbench_stats::describe::mean;
 use varbench_stats::ConfidenceInterval;
 
@@ -118,6 +122,79 @@ pub fn try_compare_paired(
     resamples: usize,
     rng: &mut Rng,
 ) -> Result<ProbOutperformTest, CompareError> {
+    validate_comparison(a, b, gamma, alpha, resamples)?;
+    let ci = percentile_ci_prob_outperform(a, b, resamples, alpha, rng);
+    Ok(verdict(a, b, ci, gamma))
+}
+
+/// [`try_compare_paired`] under an execution context: the bootstrap
+/// randomization follows `ctx.bootstrap()`.
+///
+/// * [`BootstrapMode::Serial`] — byte-identical to
+///   [`try_compare_paired`] (one generator threaded through every
+///   replicate, the stream every committed artifact was produced with).
+/// * [`BootstrapMode::SplitPerReplicate`] — one `Rng::split` child per
+///   replicate, fanned across the context's [`crate::exec::Runner`] cores. Results
+///   are bit-identical for any thread count (each replicate is a pure
+///   function of its child seed and the precomputed win indicators, and
+///   the executor collects by index), but the interval comes from a
+///   *different* — equally valid — randomization than the serial
+///   stream. Either way `rng` advances deterministically: `n·resamples`
+///   index draws serial, `resamples` split draws otherwise.
+pub fn try_compare_paired_with(
+    a: &[f64],
+    b: &[f64],
+    gamma: f64,
+    alpha: f64,
+    resamples: usize,
+    rng: &mut Rng,
+    ctx: &RunContext,
+) -> Result<ProbOutperformTest, CompareError> {
+    validate_comparison(a, b, gamma, alpha, resamples)?;
+    let ci = match ctx.bootstrap() {
+        BootstrapMode::Serial => percentile_ci_prob_outperform(a, b, resamples, alpha, rng),
+        BootstrapMode::SplitPerReplicate => {
+            let estimate = prob_outperform(a, b);
+            let wins = win_indicators(a, b);
+            let seeds = split_replicate_seeds(rng, resamples);
+            let stats = ctx
+                .runner()
+                .map_seeds(&seeds, |_, &s| prob_outperform_replicate(&wins, s));
+            ci_from_replicates(estimate, stats, alpha)
+        }
+    };
+    Ok(verdict(a, b, ci, gamma))
+}
+
+/// [`try_compare_paired_with`] for callers that treat invalid input as a
+/// bug.
+///
+/// # Panics
+///
+/// As [`compare_paired`].
+pub fn compare_paired_with(
+    a: &[f64],
+    b: &[f64],
+    gamma: f64,
+    alpha: f64,
+    resamples: usize,
+    rng: &mut Rng,
+    ctx: &RunContext,
+) -> ProbOutperformTest {
+    match try_compare_paired_with(a, b, gamma, alpha, resamples, rng, ctx) {
+        Ok(test) => test,
+        Err(CompareError::InvalidGamma(_)) => panic!("gamma must be in (0.5, 1)"),
+        Err(e) => panic!("compare_paired: {e}"),
+    }
+}
+
+fn validate_comparison(
+    a: &[f64],
+    b: &[f64],
+    gamma: f64,
+    alpha: f64,
+    resamples: usize,
+) -> Result<(), CompareError> {
     if a.is_empty() || b.is_empty() {
         return Err(CompareError::EmptySamples);
     }
@@ -136,7 +213,10 @@ pub fn try_compare_paired(
     if resamples == 0 {
         return Err(CompareError::ZeroResamples);
     }
-    let ci = percentile_ci_prob_outperform(a, b, resamples, alpha, rng);
+    Ok(())
+}
+
+fn verdict(a: &[f64], b: &[f64], ci: ConfidenceInterval, gamma: f64) -> ProbOutperformTest {
     let significant = ci.lo > 0.5;
     let meaningful = ci.hi > gamma;
     let decision = match (significant, meaningful) {
@@ -144,12 +224,12 @@ pub fn try_compare_paired(
         (true, false) => Decision::SignificantNotMeaningful,
         (true, true) => Decision::SignificantAndMeaningful,
     };
-    Ok(ProbOutperformTest {
+    ProbOutperformTest {
         p_a_gt_b: prob_outperform(a, b),
         ci,
         gamma,
         decision,
-    })
+    }
 }
 
 /// [`try_compare_paired`] for callers that treat invalid input as a bug.
@@ -312,6 +392,45 @@ mod tests {
     fn bonferroni_divides() {
         assert!((bonferroni_alpha(0.05, 5) - 0.01).abs() < 1e-15);
         assert_eq!(bonferroni_alpha(0.05, 1), 0.05);
+    }
+
+    #[test]
+    fn serial_ctx_compare_is_byte_identical_to_plain_compare() {
+        let mut g = Rng::seed_from_u64(60);
+        let a: Vec<f64> = (0..40).map(|_| g.normal(0.76, 0.02)).collect();
+        let b: Vec<f64> = (0..40).map(|_| g.normal(0.74, 0.02)).collect();
+        let plain = compare_paired(&a, &b, 0.75, 0.05, 800, &mut rng());
+        let via_ctx =
+            compare_paired_with(&a, &b, 0.75, 0.05, 800, &mut rng(), &RunContext::serial());
+        assert_eq!(plain, via_ctx);
+    }
+
+    #[test]
+    fn split_ctx_compare_detects_the_same_clear_winner() {
+        let a: Vec<f64> = (0..30).map(|i| 0.9 + 0.001 * (i % 3) as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| 0.7 + 0.001 * (i % 4) as f64).collect();
+        let ctx = RunContext::serial().with_bootstrap(BootstrapMode::SplitPerReplicate);
+        let t = compare_paired_with(&a, &b, 0.75, 0.05, 1000, &mut rng(), &ctx);
+        assert_eq!(t.decision, Decision::SignificantAndMeaningful);
+        assert_eq!(t.p_a_gt_b, 1.0);
+    }
+
+    #[test]
+    fn split_ctx_compare_validates_like_the_serial_path() {
+        let ctx = RunContext::serial().with_bootstrap(BootstrapMode::SplitPerReplicate);
+        let good = [0.8, 0.9];
+        assert_eq!(
+            try_compare_paired_with(&[], &[], 0.75, 0.05, 100, &mut rng(), &ctx).unwrap_err(),
+            CompareError::EmptySamples
+        );
+        assert_eq!(
+            try_compare_paired_with(&good, &good, 0.5, 0.05, 100, &mut rng(), &ctx).unwrap_err(),
+            CompareError::InvalidGamma(0.5)
+        );
+        assert_eq!(
+            try_compare_paired_with(&good, &good, 0.75, 0.05, 0, &mut rng(), &ctx).unwrap_err(),
+            CompareError::ZeroResamples
+        );
     }
 
     #[test]

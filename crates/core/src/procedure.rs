@@ -8,7 +8,8 @@
 //! 3. **estimate** `P(A > B)` (C.4) with a percentile-bootstrap CI (C.5);
 //! 4. **decide** with the three-zone criterion (C.6).
 
-use crate::compare::{compare_paired, Decision, ProbOutperformTest};
+use crate::compare::{compare_paired_with, Decision, ProbOutperformTest};
+use crate::ctx::RunContext;
 use crate::sample_size::{
     noether_sample_size, RECOMMENDED_ALPHA, RECOMMENDED_BETA, RECOMMENDED_GAMMA,
 };
@@ -126,17 +127,48 @@ impl<'a> ComparisonProcedure<'a> {
     /// Panics if parameter vectors do not match the workload's search
     /// space.
     pub fn run(&self, params_a: &[f64], params_b: &[f64]) -> ProcedureReport {
-        let mut a = Vec::with_capacity(self.sample_size);
-        let mut b = Vec::with_capacity(self.sample_size);
-        for i in 0..self.sample_size {
-            // Pairing: identical seed assignment for both configurations
-            // (Appendix C.2).
-            let seeds = SeedAssignment::all_random(self.seed, i as u64);
-            a.push(self.workload.run_with_params(params_a, &seeds));
-            b.push(self.workload.run_with_params(params_b, &seeds));
-        }
+        self.run_with(params_a, params_b, &RunContext::serial())
+    }
+
+    /// [`ComparisonProcedure::run`] under an execution context: the
+    /// `sample_size` paired trainings fan out across the context's cores
+    /// (each pair is its own seed branch, so results are bit-identical
+    /// to the serial loop for any thread count), and the bootstrap
+    /// follows the context's [`crate::ctx::BootstrapMode`] — under the
+    /// split mode the resample loop parallelizes too, the procedure's
+    /// other multi-core axis.
+    ///
+    /// # Panics
+    ///
+    /// As [`ComparisonProcedure::run`].
+    pub fn run_with(
+        &self,
+        params_a: &[f64],
+        params_b: &[f64],
+        ctx: &RunContext,
+    ) -> ProcedureReport {
+        // Pairing: identical seed assignment for both configurations
+        // (Appendix C.2).
+        let seeds: Vec<SeedAssignment> = (0..self.sample_size)
+            .map(|i| SeedAssignment::all_random(self.seed, i as u64))
+            .collect();
+        let pairs = ctx.runner().map_seeds(&seeds, |_, s| {
+            (
+                self.workload.run_with_params(params_a, s),
+                self.workload.run_with_params(params_b, s),
+            )
+        });
+        let (a, b): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
         let mut rng = Rng::seed_from_u64(self.seed ^ 0xB007);
-        let test = compare_paired(&a, &b, self.gamma, self.alpha, self.resamples, &mut rng);
+        let test = compare_paired_with(
+            &a,
+            &b,
+            self.gamma,
+            self.alpha,
+            self.resamples,
+            &mut rng,
+            ctx,
+        );
         ProcedureReport {
             task: self.workload.name().to_string(),
             metric: self.workload.metric_name().to_string(),

@@ -4,8 +4,8 @@
 //! rates as the true `P(A > B)` sweeps from "no difference" to "large
 //! difference" (Figs. 6 and I.6).
 
-use crate::compare::{average_comparison, compare_paired, single_point_comparison};
-use crate::exec::Runner;
+use crate::compare::{average_comparison, compare_paired_with, single_point_comparison};
+use crate::ctx::RunContext;
 use varbench_rng::{Rng, SeedTree};
 use varbench_stats::standard_normal_quantile;
 use varbench_stats::Normal;
@@ -142,26 +142,41 @@ struct SimOutcome {
 }
 
 /// Runs one simulated comparison from its own RNG branch.
+///
+/// `unit_ctx` must be a *serial* context: this function already runs
+/// inside one executor unit, so its bootstraps must not spawn a nested
+/// worker scope — the context exists to carry the bootstrap mode.
 fn simulate_one(
     task: &SimulatedTask,
     config: &DetectionConfig,
     mu_a: f64,
     mu_b: f64,
     rng: &mut Rng,
+    unit_ctx: &RunContext,
 ) -> SimOutcome {
+    let cmp = |a: &[f64], b: &[f64], rng: &mut Rng| {
+        compare_paired_with(
+            a,
+            b,
+            config.gamma,
+            config.alpha,
+            config.resamples,
+            rng,
+            unit_ctx,
+        )
+        .is_improvement()
+    };
     // Ideal measures.
     let a = simulate_measures(task, SimEstimator::Ideal, mu_a, config.k, rng);
     let b = simulate_measures(task, SimEstimator::Ideal, mu_b, config.k, rng);
     let single = single_point_comparison(a[0], b[0]);
     let avg_ideal = average_comparison(&a, &b, config.delta);
-    let po_ideal =
-        compare_paired(&a, &b, config.gamma, config.alpha, config.resamples, rng).is_improvement();
+    let po_ideal = cmp(&a, &b, rng);
     // Biased measures.
     let a = simulate_measures(task, SimEstimator::Biased, mu_a, config.k, rng);
     let b = simulate_measures(task, SimEstimator::Biased, mu_b, config.k, rng);
     let avg_biased = average_comparison(&a, &b, config.delta);
-    let po_biased =
-        compare_paired(&a, &b, config.gamma, config.alpha, config.resamples, rng).is_improvement();
+    let po_biased = cmp(&a, &b, rng);
     SimOutcome {
         single,
         avg_ideal,
@@ -187,12 +202,15 @@ pub fn detection_study(
     config: &DetectionConfig,
     seed: u64,
 ) -> Vec<DetectionRow> {
-    detection_study_with(task, p_values, config, seed, &Runner::serial())
+    detection_study_with(task, p_values, config, seed, &RunContext::serial())
 }
 
-/// [`detection_study`] with an explicit [`Runner`]: the
-/// `p_values × n_simulations` grid fans out across cores, one unit per
-/// simulated comparison, with bit-identical results for any thread count.
+/// [`detection_study`] under an execution context: the
+/// `p_values × n_simulations` grid fans out across the context's cores,
+/// one unit per simulated comparison, with bit-identical results for any
+/// thread count; the bootstraps inside each unit follow the context's
+/// [`crate::ctx::BootstrapMode`] (each unit runs them serially on its own
+/// thread — the grid is already the parallel axis).
 ///
 /// # Panics
 ///
@@ -202,23 +220,25 @@ pub fn detection_study_with(
     p_values: &[f64],
     config: &DetectionConfig,
     seed: u64,
-    runner: &Runner,
+    ctx: &RunContext,
 ) -> Vec<DetectionRow> {
     assert!(!p_values.is_empty(), "need probability points");
     assert!(config.k >= 2, "k must be >= 2");
     assert!(config.n_simulations > 0, "need simulations");
     let tree = SeedTree::new(seed);
+    let bootstrap = ctx.bootstrap();
     let units: Vec<(usize, usize)> = (0..p_values.len())
         .flat_map(|pi| (0..config.n_simulations).map(move |si| (pi, si)))
         .collect();
-    let outcomes = runner.map_seeds(&units, |_, &(pi, si)| {
+    let outcomes = ctx.runner().map_seeds(&units, |_, &(pi, si)| {
         let gap = task.gap_for_probability(p_values[pi]);
         let mu_b = 0.5; // arbitrary base performance
         let mu_a = mu_b + gap;
         let mut rng = tree
             .subtree_indexed("point", pi as u64)
             .rng_indexed("sim", si as u64);
-        simulate_one(task, config, mu_a, mu_b, &mut rng)
+        let unit_ctx = RunContext::serial().with_bootstrap(bootstrap);
+        simulate_one(task, config, mu_a, mu_b, &mut rng, &unit_ctx)
     });
     let n = config.n_simulations as f64;
     p_values
@@ -364,12 +384,44 @@ mod tests {
 
     #[test]
     fn parallel_study_bit_identical_to_serial() {
+        use crate::exec::Runner;
+        use varbench_pipeline::MeasureCache;
+
         let serial = detection_study(&task(), &[0.6, 0.8], &config(), 6);
         for threads in [2, 4, 8] {
-            let par =
-                detection_study_with(&task(), &[0.6, 0.8], &config(), 6, &Runner::new(threads));
+            let ctx = RunContext::new(Runner::new(threads), MeasureCache::disabled());
+            let par = detection_study_with(&task(), &[0.6, 0.8], &config(), 6, &ctx);
             assert_eq!(serial, par, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn split_bootstrap_study_thread_count_invariant_but_new_stream() {
+        use crate::ctx::BootstrapMode;
+        use crate::exec::Runner;
+        use varbench_pipeline::MeasureCache;
+
+        let split_serial = detection_study_with(
+            &task(),
+            &[0.7],
+            &config(),
+            7,
+            &RunContext::serial().with_bootstrap(BootstrapMode::SplitPerReplicate),
+        );
+        let split_par = detection_study_with(
+            &task(),
+            &[0.7],
+            &config(),
+            7,
+            &RunContext::new(Runner::new(4), MeasureCache::disabled())
+                .with_bootstrap(BootstrapMode::SplitPerReplicate),
+        );
+        assert_eq!(split_serial, split_par, "split mode must be 1-vs-N stable");
+        // The split stream is a different randomization than the serial
+        // stream — detection rates are estimates of the same quantities
+        // but need not match bitwise (documented, not a bug).
+        let serial = detection_study(&task(), &[0.7], &config(), 7);
+        assert_eq!(split_serial.len(), serial.len());
     }
 
     #[test]

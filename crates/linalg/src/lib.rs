@@ -28,4 +28,8 @@ mod ops;
 
 pub use cholesky::{Cholesky, NotPositiveDefiniteError};
 pub use matrix::Matrix;
-pub use ops::{axpy, dot, matvec_cols_init, matvec_rows, matvec_rows_init, norm2, scale, sub};
+pub use ops::{
+    axpy, compact_nonzero, dot, gemm_col_nz_into, gemm_rows_into, gemm_transb_into,
+    matvec_cols_init, matvec_rows, matvec_rows_init, norm2, scale, sub, vecmat_into,
+    vecmat_nz_into,
+};

@@ -174,6 +174,479 @@ pub fn matvec_cols_init(wt: &[f64], init: &[f64], x: &[f64], out: &mut [f64]) {
     }
 }
 
+/// Batched row-streaming GEMM: `out = X · W + init` with the weights in
+/// input-major ("transposed") layout — the true batch kernel behind the
+/// MLP's layer-major forward phase.
+///
+/// Shapes: `x` is `n × d` example-major, `wt` is `d × m` input-major (the
+/// weights of output `o` for input `k` live at `wt[k·m + o]`), `out` is
+/// `n × m` example-major, and `init` (a bias) is broadcast to every row
+/// (empty = all zeros).
+///
+/// Register blocking runs **across example rows**: four examples advance
+/// together through four fused `k` steps, so each weight row is loaded
+/// once per four examples (instead of once per example, as the
+/// per-example [`matvec_cols_init`] loop pays) and each output row is
+/// loaded/stored once per four `k` steps. Per output element the
+/// accumulation is still one separately rounded add per `k`, in ascending
+/// `k` — bit-identical to the per-example kernel it batches.
+///
+/// # Panics
+///
+/// Panics if the shapes are inconsistent (`out.len()` not a multiple of
+/// `m`, `x.len()` not a multiple of the row count, `wt.len() ≠ d·m`) or
+/// `init` is neither empty nor of length `m`.
+pub fn gemm_rows_into(x: &[f64], wt: &[f64], init: &[f64], m: usize, out: &mut [f64]) {
+    assert!(m > 0, "gemm_rows_into needs m > 0");
+    assert_eq!(out.len() % m, 0, "gemm_rows_into output shape mismatch");
+    let n = out.len() / m;
+    if n == 0 {
+        return;
+    }
+    assert_eq!(x.len() % n, 0, "gemm_rows_into input shape mismatch");
+    let d = x.len() / n;
+    assert_eq!(wt.len(), d * m, "gemm_rows_into weight length mismatch");
+    assert!(
+        init.is_empty() || init.len() == m,
+        "gemm_rows_into init length mismatch"
+    );
+    let mut s = 0;
+    while s + 4 <= n {
+        let (x0, x1, x2, x3) = (
+            &x[s * d..(s + 1) * d],
+            &x[(s + 1) * d..(s + 2) * d],
+            &x[(s + 2) * d..(s + 3) * d],
+            &x[(s + 3) * d..(s + 4) * d],
+        );
+        let slab = &mut out[s * m..(s + 4) * m];
+        let (o0, rest) = slab.split_at_mut(m);
+        let (o1, rest) = rest.split_at_mut(m);
+        let (o2, o3) = rest.split_at_mut(m);
+        let mut k = 0;
+        if d >= 4 {
+            // Peeled first pass: accumulators start from the bias
+            // directly, so the output rows are never pre-filled and
+            // re-loaded (one full slab write+read round trip saved).
+            let w0 = &wt[..m];
+            let w1 = &wt[m..2 * m];
+            let w2 = &wt[2 * m..3 * m];
+            let w3 = &wt[3 * m..4 * m];
+            for j in 0..m {
+                let base = if init.is_empty() { 0.0 } else { init[j] };
+                let (a, b, c, e) = (w0[j], w1[j], w2[j], w3[j]);
+                let mut t0 = base;
+                t0 += a * x0[0];
+                t0 += b * x0[1];
+                t0 += c * x0[2];
+                t0 += e * x0[3];
+                o0[j] = t0;
+                let mut t1 = base;
+                t1 += a * x1[0];
+                t1 += b * x1[1];
+                t1 += c * x1[2];
+                t1 += e * x1[3];
+                o1[j] = t1;
+                let mut t2 = base;
+                t2 += a * x2[0];
+                t2 += b * x2[1];
+                t2 += c * x2[2];
+                t2 += e * x2[3];
+                o2[j] = t2;
+                let mut t3 = base;
+                t3 += a * x3[0];
+                t3 += b * x3[1];
+                t3 += c * x3[2];
+                t3 += e * x3[3];
+                o3[j] = t3;
+            }
+            k = 4;
+        } else if d > 0 {
+            // 1–3 inputs (e.g. backpropagating a 2-logit head): seed the
+            // rows from the bias inside the k = 0 pass — no fill, no
+            // reload — then fall through to the single-k accumulate
+            // passes for k ≥ 1. `base + w·x` rounds identically to the
+            // seed's `t = base; t += w·x`.
+            let w0 = &wt[..m];
+            let (a0, a1, a2, a3) = (x0[0], x1[0], x2[0], x3[0]);
+            for j in 0..m {
+                let base = if init.is_empty() { 0.0 } else { init[j] };
+                let w = w0[j];
+                o0[j] = base + w * a0;
+                o1[j] = base + w * a1;
+                o2[j] = base + w * a2;
+                o3[j] = base + w * a3;
+            }
+            k = 1;
+        } else {
+            // No inputs at all: the product is just the bias.
+            for row in [&mut *o0, &mut *o1, &mut *o2, &mut *o3] {
+                if init.is_empty() {
+                    row.fill(0.0);
+                } else {
+                    row.copy_from_slice(init);
+                }
+            }
+        }
+        // Four fused k steps: each output row is read and written once
+        // per four adds (the adds stay separately rounded, ascending k).
+        while k + 4 <= d {
+            let w0 = &wt[k * m..k * m + m];
+            let w1 = &wt[(k + 1) * m..(k + 1) * m + m];
+            let w2 = &wt[(k + 2) * m..(k + 2) * m + m];
+            let w3 = &wt[(k + 3) * m..(k + 3) * m + m];
+            for j in 0..m {
+                let (a, b, c, e) = (w0[j], w1[j], w2[j], w3[j]);
+                let mut t0 = o0[j];
+                t0 += a * x0[k];
+                t0 += b * x0[k + 1];
+                t0 += c * x0[k + 2];
+                t0 += e * x0[k + 3];
+                o0[j] = t0;
+                let mut t1 = o1[j];
+                t1 += a * x1[k];
+                t1 += b * x1[k + 1];
+                t1 += c * x1[k + 2];
+                t1 += e * x1[k + 3];
+                o1[j] = t1;
+                let mut t2 = o2[j];
+                t2 += a * x2[k];
+                t2 += b * x2[k + 1];
+                t2 += c * x2[k + 2];
+                t2 += e * x2[k + 3];
+                o2[j] = t2;
+                let mut t3 = o3[j];
+                t3 += a * x3[k];
+                t3 += b * x3[k + 1];
+                t3 += c * x3[k + 2];
+                t3 += e * x3[k + 3];
+                o3[j] = t3;
+            }
+            k += 4;
+        }
+        while k < d {
+            let w0 = &wt[k * m..k * m + m];
+            let (a0, a1, a2, a3) = (x0[k], x1[k], x2[k], x3[k]);
+            for j in 0..m {
+                let w = w0[j];
+                o0[j] += w * a0;
+                o1[j] += w * a1;
+                o2[j] += w * a2;
+                o3[j] += w * a3;
+            }
+            k += 1;
+        }
+        s += 4;
+    }
+    // Example-row remainder: the per-example kernel (same per-element
+    // accumulation order, so the block boundary is invisible in the bits).
+    while s < n {
+        matvec_cols_init(
+            wt,
+            init,
+            &x[s * d..(s + 1) * d],
+            &mut out[s * m..(s + 1) * m],
+        );
+        s += 1;
+    }
+}
+
+/// Batched `out = X · Wᵀ + init` with **row-major** weights — the batch
+/// analog of [`matvec_rows_init`], used for layers too narrow for the
+/// vectorizable input-major kernel (e.g. output heads).
+///
+/// Shapes: `x` is `n × d` example-major, `w` is `m × d` row-major, `out`
+/// is `n × m` example-major, `init` broadcast per row (empty = zeros).
+///
+/// Register blocking runs across example rows: four examples × two weight
+/// rows share eight scalar accumulator chains, so each weight element is
+/// loaded once per four examples ("weights held in registers"). Per
+/// output element the accumulation is ascending-`k`, bit-identical to the
+/// per-example row kernel.
+///
+/// # Panics
+///
+/// As [`gemm_rows_into`], with `w.len() ≠ m·d`.
+pub fn gemm_transb_into(x: &[f64], w: &[f64], init: &[f64], m: usize, out: &mut [f64]) {
+    assert!(m > 0, "gemm_transb_into needs m > 0");
+    assert_eq!(out.len() % m, 0, "gemm_transb_into output shape mismatch");
+    let n = out.len() / m;
+    if n == 0 {
+        return;
+    }
+    assert_eq!(x.len() % n, 0, "gemm_transb_into input shape mismatch");
+    let d = x.len() / n;
+    assert_eq!(w.len(), m * d, "gemm_transb_into weight length mismatch");
+    assert!(
+        init.is_empty() || init.len() == m,
+        "gemm_transb_into init length mismatch"
+    );
+    let bias = |o: usize| if init.is_empty() { 0.0 } else { init[o] };
+    let mut s = 0;
+    while s + 4 <= n {
+        let (x0, x1, x2, x3) = (
+            &x[s * d..(s + 1) * d],
+            &x[(s + 1) * d..(s + 2) * d],
+            &x[(s + 2) * d..(s + 3) * d],
+            &x[(s + 3) * d..(s + 4) * d],
+        );
+        let mut o = 0;
+        while o + 2 <= m {
+            let wa = &w[o * d..o * d + d];
+            let wb = &w[(o + 1) * d..(o + 1) * d + d];
+            let (mut s0a, mut s0b) = (bias(o), bias(o + 1));
+            let (mut s1a, mut s1b) = (bias(o), bias(o + 1));
+            let (mut s2a, mut s2b) = (bias(o), bias(o + 1));
+            let (mut s3a, mut s3b) = (bias(o), bias(o + 1));
+            for k in 0..d {
+                let (va, vb) = (wa[k], wb[k]);
+                s0a += va * x0[k];
+                s0b += vb * x0[k];
+                s1a += va * x1[k];
+                s1b += vb * x1[k];
+                s2a += va * x2[k];
+                s2b += vb * x2[k];
+                s3a += va * x3[k];
+                s3b += vb * x3[k];
+            }
+            out[s * m + o] = s0a;
+            out[s * m + o + 1] = s0b;
+            out[(s + 1) * m + o] = s1a;
+            out[(s + 1) * m + o + 1] = s1b;
+            out[(s + 2) * m + o] = s2a;
+            out[(s + 2) * m + o + 1] = s2b;
+            out[(s + 3) * m + o] = s3a;
+            out[(s + 3) * m + o + 1] = s3b;
+            o += 2;
+        }
+        if o < m {
+            let wa = &w[o * d..o * d + d];
+            let (mut s0, mut s1, mut s2, mut s3) = (bias(o), bias(o), bias(o), bias(o));
+            for k in 0..d {
+                let va = wa[k];
+                s0 += va * x0[k];
+                s1 += va * x1[k];
+                s2 += va * x2[k];
+                s3 += va * x3[k];
+            }
+            out[s * m + o] = s0;
+            out[(s + 1) * m + o] = s1;
+            out[(s + 2) * m + o] = s2;
+            out[(s + 3) * m + o] = s3;
+        }
+        s += 4;
+    }
+    while s < n {
+        matvec_rows_init(
+            w,
+            init,
+            &x[s * d..(s + 1) * d],
+            &mut out[s * m..(s + 1) * m],
+        );
+        s += 1;
+    }
+}
+
+/// Branch-free compaction of the indices of non-zero elements: writes the
+/// ascending positions of every `xs[i] != 0.0` into the front of `idx`
+/// and returns how many there are. The cursor advances by a bool cast,
+/// never a data-dependent jump — zero patterns from ReLU gating are
+/// irregular and would mispredict as branches.
+///
+/// # Panics
+///
+/// Panics if `idx` is shorter than `xs`.
+pub fn compact_nonzero(xs: &[f64], idx: &mut [usize]) -> usize {
+    assert!(idx.len() >= xs.len(), "compact_nonzero scratch too short");
+    let mut nnz = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        idx[nnz] = i;
+        nnz += usize::from(x != 0.0);
+    }
+    nnz
+}
+
+/// Sparse-coefficient vector–matrix product:
+/// `out[k] = Σ_j coef[idx[j]] · rows[idx[j]·d + k]`, accumulated in
+/// ascending `j` — the shared batch kernel of the MLP's gradient and
+/// backward-delta phases (`G = Δᵀ·X` row by row, `δ_below = Δ·W` row by
+/// row), with `idx` the [`compact_nonzero`] prefix of the coefficient
+/// vector. `idx` must be ascending and duplicate-free (the
+/// [`compact_nonzero`] contract): a full-length `idx` is taken to be the
+/// identity and dispatches to the dense [`vecmat_into`] fast path.
+///
+/// `out` is overwritten (an empty `idx` zero-fills it). Skipping the
+/// zero coefficients via `idx` is load-bearing for bit-identity, not just
+/// speed: a diverged training can hold `±∞` activations, and `0·∞` would
+/// poison the sum with NaN where the seed loop skipped the term.
+///
+/// The accumulators are held in registers across the whole `j` loop,
+/// eight `k` lanes at a time, so the output row costs one store per
+/// element instead of the load/store per contributing row an
+/// [`axpy`]-based loop pays.
+///
+/// # Panics
+///
+/// Panics if `out.len() != d`, or an index in `idx` addresses past the
+/// end of `coef` or `rows`.
+pub fn vecmat_nz_into(coef: &[f64], idx: &[usize], rows: &[f64], d: usize, out: &mut [f64]) {
+    assert_eq!(out.len(), d, "vecmat_nz_into output length mismatch");
+    // A full index list means there is nothing to skip: drop the
+    // indirection and stream the coefficients directly (same adds, same
+    // order — the dense loop is just the sparse loop with `idx[j] = j`).
+    if idx.len() == coef.len() {
+        return vecmat_into(coef, rows, d, out);
+    }
+    let mut k0 = 0;
+    while k0 + 8 <= d {
+        let mut acc = [0.0f64; 8];
+        for &j in idx {
+            let c = coef[j];
+            let r = &rows[j * d + k0..j * d + k0 + 8];
+            acc[0] += c * r[0];
+            acc[1] += c * r[1];
+            acc[2] += c * r[2];
+            acc[3] += c * r[3];
+            acc[4] += c * r[4];
+            acc[5] += c * r[5];
+            acc[6] += c * r[6];
+            acc[7] += c * r[7];
+        }
+        out[k0..k0 + 8].copy_from_slice(&acc);
+        k0 += 8;
+    }
+    if k0 < d {
+        let tail = &mut out[k0..];
+        tail.fill(0.0);
+        for &j in idx {
+            let c = coef[j];
+            let r = &rows[j * d + k0..j * d + d];
+            for (o, &v) in tail.iter_mut().zip(r) {
+                *o += c * v;
+            }
+        }
+    }
+}
+
+/// Dense form of [`vecmat_nz_into`]: `out[k] = Σ_j coef[j] · rows[j·d + k]`
+/// with every coefficient included (ascending `j`, same register-tiled
+/// accumulation). Only correct as a replacement for the sparse kernel
+/// when `coef` holds no exact zeros — with zeros present it would add
+/// `0·row` terms the seed loop skipped (a `0·∞ = NaN` hazard, and
+/// `+0.0` can flip a `-0.0` partial sum).
+///
+/// # Panics
+///
+/// Panics if `out.len() != d` or `rows` is shorter than `coef.len()·d`
+/// (a longer `rows` is allowed: callers hand in whole preallocated slabs
+/// whose tail a partial batch leaves unused).
+pub fn vecmat_into(coef: &[f64], rows: &[f64], d: usize, out: &mut [f64]) {
+    assert_eq!(out.len(), d, "vecmat_into output length mismatch");
+    assert!(
+        rows.len() >= coef.len() * d,
+        "vecmat_into rows length mismatch"
+    );
+    let mut k0 = 0;
+    while k0 + 8 <= d {
+        let mut acc = [0.0f64; 8];
+        for (j, &c) in coef.iter().enumerate() {
+            let r = &rows[j * d + k0..j * d + k0 + 8];
+            acc[0] += c * r[0];
+            acc[1] += c * r[1];
+            acc[2] += c * r[2];
+            acc[3] += c * r[3];
+            acc[4] += c * r[4];
+            acc[5] += c * r[5];
+            acc[6] += c * r[6];
+            acc[7] += c * r[7];
+        }
+        out[k0..k0 + 8].copy_from_slice(&acc);
+        k0 += 8;
+    }
+    if k0 < d {
+        let tail = &mut out[k0..];
+        tail.fill(0.0);
+        for (j, &c) in coef.iter().enumerate() {
+            let r = &rows[j * d + k0..j * d + d];
+            for (o, &v) in tail.iter_mut().zip(r) {
+                *o += c * v;
+            }
+        }
+    }
+}
+
+/// One output row of the batched gradient GEMM `G = Δᵀ·Act`, read
+/// straight from the example-major delta slab — no transposed copy of Δ
+/// is ever materialized.
+///
+/// `out[k] = Σ_j Δ[idx[j]·stride + col] · act[idx[j]·d + k]` accumulated
+/// in ascending `j` (ascending example order), with `idx` the
+/// [`compact_nonzero`] index list of column `col`'s non-zero deltas
+/// (ascending, duplicate-free — the zero-skip is the seed loop's `0·∞`
+/// guard). Returns the coefficient sum `Σ_j Δ[idx[j]·stride + col]` —
+/// the matching bias gradient, summed in the same ascending order the
+/// seed loop used.
+///
+/// Accumulators live in registers across the whole example walk, sixteen
+/// `k` lanes at a time (one walk for layers up to 16 inputs), so the
+/// gradient row costs one store per element and the strided coefficient
+/// loads hit the L1-resident slab.
+///
+/// # Panics
+///
+/// Panics if `out.len() != d`, or an index walks past `delta`/`act`.
+pub fn gemm_col_nz_into(
+    delta: &[f64],
+    stride: usize,
+    col: usize,
+    idx: &[usize],
+    act: &[f64],
+    d: usize,
+    out: &mut [f64],
+) -> f64 {
+    assert_eq!(out.len(), d, "gemm_col_nz_into output length mismatch");
+    let mut csum = 0.0;
+    for &j in idx {
+        csum += delta[j * stride + col];
+    }
+    let mut k0 = 0;
+    while k0 + 16 <= d {
+        let mut acc = [0.0f64; 16];
+        for &j in idx {
+            let c = delta[j * stride + col];
+            let r = &act[j * d + k0..j * d + k0 + 16];
+            for (a, &v) in acc.iter_mut().zip(r) {
+                *a += c * v;
+            }
+        }
+        out[k0..k0 + 16].copy_from_slice(&acc);
+        k0 += 16;
+    }
+    if k0 + 8 <= d {
+        let mut acc = [0.0f64; 8];
+        for &j in idx {
+            let c = delta[j * stride + col];
+            let r = &act[j * d + k0..j * d + k0 + 8];
+            for (a, &v) in acc.iter_mut().zip(r) {
+                *a += c * v;
+            }
+        }
+        out[k0..k0 + 8].copy_from_slice(&acc);
+        k0 += 8;
+    }
+    if k0 < d {
+        let tail = &mut out[k0..];
+        tail.fill(0.0);
+        for &j in idx {
+            let c = delta[j * stride + col];
+            let r = &act[j * d + k0..j * d + d];
+            for (o, &v) in tail.iter_mut().zip(r) {
+                *o += c * v;
+            }
+        }
+    }
+    csum
+}
+
 /// Element-wise difference `a - b` as a new vector.
 ///
 /// # Panics
@@ -272,6 +745,136 @@ mod tests {
     #[test]
     fn sub_elementwise() {
         assert_eq!(sub(&[3.0, 2.0], &[1.0, 5.0]), vec![2.0, -3.0]);
+    }
+
+    /// Shared fixture: n examples × d inputs × m outputs with deterministic
+    /// awkward values, plus both weight layouts.
+    fn gemm_fixture(n: usize, d: usize, m: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let x: Vec<f64> = (0..n * d).map(|i| (i as f64 * 0.23).sin()).collect();
+        let w: Vec<f64> = (0..m * d).map(|i| (i as f64 * 0.71).cos()).collect();
+        let mut wt = vec![0.0; m * d];
+        for o in 0..m {
+            for k in 0..d {
+                wt[k * m + o] = w[o * d + k];
+            }
+        }
+        let bias: Vec<f64> = (0..m).map(|i| i as f64 * 0.4 - 1.1).collect();
+        (x, w, wt, bias)
+    }
+
+    #[test]
+    fn gemm_kernels_match_per_example_matvec_bitwise() {
+        // Sizes straddle every block boundary: example blocks of 4 (n = 7
+        // exercises block + 3-row tail), k fusion of 4 (d = 6), and the
+        // 2-wide output blocking with an odd m.
+        for (n, d, m) in [(7, 6, 5), (4, 4, 8), (9, 3, 2), (1, 10, 3), (5, 1, 1)] {
+            let (x, w, wt, bias) = gemm_fixture(n, d, m);
+            let mut want = vec![0.0; n * m];
+            for s in 0..n {
+                matvec_rows_init(
+                    &w,
+                    &bias,
+                    &x[s * d..(s + 1) * d],
+                    &mut want[s * m..(s + 1) * m],
+                );
+            }
+            let mut by_rows = vec![f64::NAN; n * m];
+            gemm_rows_into(&x, &wt, &bias, m, &mut by_rows);
+            let mut by_transb = vec![f64::NAN; n * m];
+            gemm_transb_into(&x, &w, &bias, m, &mut by_transb);
+            for i in 0..n * m {
+                assert_eq!(
+                    by_rows[i].to_bits(),
+                    want[i].to_bits(),
+                    "rows {n}x{d}x{m} @{i}"
+                );
+                assert_eq!(
+                    by_transb[i].to_bits(),
+                    want[i].to_bits(),
+                    "transb {n}x{d}x{m} @{i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_empty_init_means_zero_bias() {
+        let (x, w, wt, _) = gemm_fixture(6, 5, 4);
+        let zeros = vec![0.0; 4];
+        let mut with_zeros = vec![0.0; 24];
+        gemm_rows_into(&x, &wt, &zeros, 4, &mut with_zeros);
+        let mut with_empty = vec![0.0; 24];
+        gemm_rows_into(&x, &wt, &[], 4, &mut with_empty);
+        assert_eq!(with_zeros, with_empty);
+        let mut tb = vec![0.0; 24];
+        gemm_transb_into(&x, &w, &[], 4, &mut tb);
+        assert_eq!(tb, with_empty);
+    }
+
+    #[test]
+    fn gemm_zero_rows_is_a_noop() {
+        let mut out: [f64; 0] = [];
+        gemm_rows_into(&[], &[1.0, 2.0], &[], 2, &mut out);
+        gemm_transb_into(&[], &[1.0, 2.0], &[], 2, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm_rows_into weight length mismatch")]
+    fn gemm_rows_shape_checked() {
+        let mut out = [0.0; 4];
+        gemm_rows_into(&[1.0, 2.0, 3.0, 4.0], &[1.0; 3], &[], 2, &mut out);
+    }
+
+    #[test]
+    fn compact_nonzero_indices_ascending() {
+        let xs = [0.0, 1.5, -0.0, 2.5, 0.0, -3.0];
+        let mut idx = [0usize; 6];
+        // -0.0 == 0.0, so index 2 is skipped like the seed's `!= 0.0` test.
+        let nnz = compact_nonzero(&xs, &mut idx);
+        assert_eq!(&idx[..nnz], &[1, 3, 5]);
+        assert_eq!(compact_nonzero(&[], &mut idx), 0);
+    }
+
+    #[test]
+    fn vecmat_nz_matches_axpy_loop_bitwise() {
+        // d = 11 exercises the 8-lane tile plus a 3-lane tail.
+        let (n, d) = (6, 11);
+        let rows: Vec<f64> = (0..n * d).map(|i| (i as f64 * 0.37).sin()).collect();
+        let coef = [0.4, 0.0, -1.2, 0.0, 0.7, 2.5];
+        let mut idx = [0usize; 6];
+        let nnz = compact_nonzero(&coef, &mut idx);
+        let mut got = vec![f64::NAN; d];
+        vecmat_nz_into(&coef, &idx[..nnz], &rows, d, &mut got);
+        // Seed loop: zero-fill then one axpy per non-zero coefficient.
+        let mut want = vec![0.0; d];
+        for (j, &c) in coef.iter().enumerate() {
+            if c != 0.0 {
+                axpy(c, &rows[j * d..(j + 1) * d], &mut want);
+            }
+        }
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn vecmat_nz_skips_inf_rows_under_zero_coef() {
+        // The zero-skip is semantic, not cosmetic: 0·∞ must never reach
+        // the sum (a diverged training holds ∞ activations).
+        let rows = [f64::INFINITY, f64::NEG_INFINITY, 1.0, 2.0];
+        let coef = [0.0, 3.0];
+        let mut idx = [0usize; 2];
+        let nnz = compact_nonzero(&coef, &mut idx);
+        let mut out = [0.0; 2];
+        vecmat_nz_into(&coef, &idx[..nnz], &rows, 2, &mut out);
+        assert_eq!(out, [3.0, 6.0]);
+    }
+
+    #[test]
+    fn vecmat_nz_empty_index_zero_fills() {
+        let mut out = [f64::NAN; 10];
+        vecmat_nz_into(&[], &[], &[], 10, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! perf work. Driven by the in-repo seed-sweep harness
 //! ([`varbench_rng::sweep`]).
 
-use varbench_linalg::{Cholesky, Matrix};
+use varbench_linalg::{
+    compact_nonzero, gemm_rows_into, gemm_transb_into, vecmat_nz_into, Cholesky, Matrix,
+};
 use varbench_rng::sweep::sweep;
 
 /// Verbatim copy of the seed `matmul` loop (ikj order, ascending-k
@@ -126,6 +128,99 @@ fn matvec_bit_identical_to_seed_loop() {
         let mut out = vec![0.0; m];
         a.matvec_into(&v, &mut out);
         assert_bits_eq(&out, &want, "matvec_into");
+    });
+}
+
+/// Verbatim copy of the seed per-example forward loop: one bias-seeded
+/// ascending-k dot product per (example, output) pair — the accumulation
+/// order both batch-GEMM kernels must preserve per element.
+fn reference_batch_forward(
+    x: &[f64],
+    w: &[f64],
+    bias: &[f64],
+    n: usize,
+    d: usize,
+    m: usize,
+) -> Vec<f64> {
+    let mut out = vec![0.0; n * m];
+    for s in 0..n {
+        for o in 0..m {
+            let mut acc = bias[o];
+            for k in 0..d {
+                acc += w[o * d + k] * x[s * d + k];
+            }
+            out[s * m + o] = acc;
+        }
+    }
+    out
+}
+
+#[test]
+fn batch_gemm_bit_identical_to_seed_forward_loop() {
+    sweep(
+        "batch_gemm_bit_identical_to_seed_forward_loop",
+        64,
+        |case| {
+            // Shapes straddle the 4-example block, the 4-fused-k pass and the
+            // 2-wide output blocking (plus their tails).
+            let (n, d, m) = (
+                case.usize_in(1, 11),
+                case.usize_in(1, 11),
+                case.usize_in(1, 11),
+            );
+            let x = random_matrix(case, n, d);
+            let w = random_matrix(case, m, d);
+            let bias: Vec<f64> = (0..m).map(|_| case.f64_in(-1.0, 1.0)).collect();
+            let want = reference_batch_forward(x.as_slice(), w.as_slice(), &bias, n, d, m);
+
+            let wt = w.transpose();
+            let mut by_rows = vec![f64::NAN; n * m];
+            gemm_rows_into(x.as_slice(), wt.as_slice(), &bias, m, &mut by_rows);
+            assert_bits_eq(&by_rows, &want, "gemm_rows_into");
+
+            let mut by_transb = vec![f64::NAN; n * m];
+            gemm_transb_into(x.as_slice(), w.as_slice(), &bias, m, &mut by_transb);
+            assert_bits_eq(&by_transb, &want, "gemm_transb_into");
+        },
+    );
+}
+
+#[test]
+fn vecmat_nz_bit_identical_to_seed_delta_loop() {
+    sweep("vecmat_nz_bit_identical_to_seed_delta_loop", 64, |case| {
+        let (n, d) = (case.usize_in(1, 12), case.usize_in(1, 20));
+        let rows = random_matrix(case, n, d);
+        // ReLU-like coefficient sparsity, with exact zeros guarding ±∞
+        // rows (the 0·∞ hazard the seed's skip exists for).
+        let coef: Vec<f64> = (0..n)
+            .map(|_| {
+                if case.f64_in(0.0, 1.0) < 0.4 {
+                    0.0
+                } else {
+                    case.f64_in(-2.0, 2.0)
+                }
+            })
+            .collect();
+        let mut rows = rows.as_slice().to_vec();
+        for (j, &c) in coef.iter().enumerate() {
+            if c == 0.0 && case.f64_in(0.0, 1.0) < 0.5 {
+                rows[j * d] = f64::INFINITY;
+            }
+        }
+        // Seed loop: zero-fill then ascending-j axpys over non-zeros.
+        let mut want = vec![0.0; d];
+        for (j, &c) in coef.iter().enumerate() {
+            if c != 0.0 {
+                for k in 0..d {
+                    want[k] += c * rows[j * d + k];
+                }
+            }
+        }
+        let mut idx = vec![0usize; n];
+        let nnz = compact_nonzero(&coef, &mut idx);
+        let mut got = vec![f64::NAN; d];
+        vecmat_nz_into(&coef, &idx[..nnz], &rows, d, &mut got);
+        assert_bits_eq(&got, &want, "vecmat_nz_into");
     });
 }
 

@@ -3,7 +3,10 @@
 use crate::init::Init;
 use varbench_data::augment::Augment;
 use varbench_data::{Dataset, Targets};
-use varbench_linalg::{axpy, matvec_cols_init, matvec_rows_init};
+use varbench_linalg::{
+    compact_nonzero, gemm_col_nz_into, gemm_rows_into, gemm_transb_into, matvec_cols_init,
+    matvec_rows_init, vecmat_nz_into,
+};
 use varbench_rng::{Rng, SeedTree};
 
 /// Output head of an [`Mlp`], selected from the dataset's target kind.
@@ -191,6 +194,19 @@ impl Dense {
             matvec_rows_init(&self.w, &self.b, x, out);
         }
     }
+
+    /// Batched forward over example-major slabs (`x` is `n × in_dim`,
+    /// `out` is `n × out_dim`): the training hot path. Dispatches on the
+    /// same shape threshold as [`Dense::forward_into`], and the batch
+    /// GEMM kernels are golden-tested bit-identical per element to the
+    /// per-example kernels, so training and inference cannot drift.
+    fn forward_batch_into(&self, x: &[f64], out: &mut [f64]) {
+        if self.out_dim >= COLS_KERNEL_MIN_OUT {
+            gemm_rows_into(x, &self.wt, &self.b, self.out_dim, out);
+        } else {
+            gemm_transb_into(x, &self.w, &self.b, self.out_dim, out);
+        }
+    }
 }
 
 /// A trained multilayer perceptron.
@@ -220,9 +236,9 @@ struct TrainWorkspace {
     /// of the current batch, after ReLU/dropout for hidden layers).
     ab: Vec<Vec<f64>>,
     /// Backpropagated deltas at each layer's output, `batch × width`.
+    /// The gradient pass reads them strided, straight from this
+    /// example-major layout — no transposed copy exists.
     db: Vec<Vec<f64>>,
-    /// Transposed-delta scratch (`width × batch`) for the gradient pass.
-    dt: Vec<f64>,
     /// Dropout keep-masks per hidden layer, `batch × width` example-major
     /// — drawn for the whole batch in one tight pass (see `train_batch`)
     /// because interleaving RNG draws with the forward kernels spills the
@@ -237,6 +253,13 @@ struct TrainWorkspace {
     /// Scratch for the branch-free non-zero compactions in backprop
     /// (sized to `max(batch, widest layer)`).
     nz: Vec<usize>,
+    /// Per-output non-zero example lists for the gradient pass, filled
+    /// while the delta transpose already touches every element (row `o`
+    /// occupies `nzs[o·batch..]`, `nnzs[o]` entries) — compacting in a
+    /// separate pass would re-walk the whole `batch × width` slab.
+    nzs: Vec<usize>,
+    /// Lengths of the `nzs` rows.
+    nnzs: Vec<usize>,
 }
 
 impl Mlp {
@@ -307,16 +330,23 @@ impl Mlp {
             xb: vec![0.0; b * dataset.dim()],
             ab: dims[1..].iter().map(|&d| vec![0.0; d * b]).collect(),
             db: dims[1..].iter().map(|&d| vec![0.0; d * b]).collect(),
-            dt: vec![0.0; widest * b],
-            masks: dims[1..dims.len() - 1]
-                .iter()
-                .map(|&d| vec![1.0; d * b])
-                .collect(),
+            // Without dropout the masks are never read — skip the
+            // allocation entirely (one of the larger setup buffers).
+            masks: if train.dropout > 0.0 {
+                dims[1..dims.len() - 1]
+                    .iter()
+                    .map(|&d| vec![1.0; d * b])
+                    .collect()
+            } else {
+                Vec::new()
+            },
             gw: model.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
             gb: model.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
             vw: model.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
             vb: model.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
             nz: vec![0; widest.max(b)],
+            nzs: vec![0; widest * b],
+            nnzs: vec![0; widest],
         };
 
         let n = dataset.len();
@@ -344,11 +374,8 @@ impl Mlp {
         ws: &mut TrainWorkspace,
         seeds: &mut TrainSeeds,
     ) {
-        for g in ws.gw.iter_mut().chain(ws.gb.iter_mut()) {
-            for v in g.iter_mut() {
-                *v = 0.0;
-            }
-        }
+        // (No gradient zeroing pass: the batched gradient kernel below
+        // overwrites every gw row and gb entry each batch.)
         // A no-op augmentation (the common case) draws nothing from the
         // RNG, so skipping the virtual call per example is stream-exact.
         let aug_noop = augment.is_noop();
@@ -392,20 +419,24 @@ impl Mlp {
             }
         }
 
-        // Forward, layer-major over the whole batch. Each example's chain
-        // of per-element operations is untouched — batching only reorders
-        // work across *independent* examples, so every activation is
-        // bit-identical to the example-at-a-time loop.
+        // Forward, layer-major over the whole batch through the true
+        // batch-GEMM kernels: four example rows advance together, sharing
+        // every weight load. Each example's chain of per-element
+        // operations is untouched — batching only reorders work across
+        // *independent* examples — so every activation is bit-identical
+        // to the example-at-a-time loop (pinned by the golden tests in
+        // `crates/linalg/tests/kernel_identity.rs`).
         for l in 0..nl {
             let layer = &self.layers[l];
             let (d_in, d_out) = (layer.in_dim, layer.out_dim);
             let (ab_lo, ab_hi) = ws.ab.split_at_mut(l);
-            let input: &[f64] = if l == 0 { &ws.xb } else { &ab_lo[l - 1] };
+            let input: &[f64] = if l == 0 {
+                &ws.xb[..b * d_in]
+            } else {
+                &ab_lo[l - 1][..b * d_in]
+            };
             let out_all = &mut ab_hi[0];
-            for si in 0..b {
-                let x = &input[si * d_in..(si + 1) * d_in];
-                layer.forward_into(x, &mut out_all[si * d_out..(si + 1) * d_out]);
-            }
+            layer.forward_batch_into(input, &mut out_all[..b * d_out]);
             if l < nl - 1 {
                 // ReLU in select form over the whole batch slab: one
                 // branch-free vector pass (ReLU sign patterns are
@@ -456,60 +487,76 @@ impl Mlp {
         for l in (0..nl).rev() {
             let layer = &self.layers[l];
             let (d_in, d_out) = (layer.in_dim, layer.out_dim);
-            // Transpose this layer's deltas so each output's batch column
-            // is contiguous for the gradient pass.
+            // Compact each output column's non-zero example list in one
+            // branch-free sweep (the cursor advances by a bool cast,
+            // never a jump). Walking output-major keeps the cursor in a
+            // register; the strided reads hit the L1-resident slab.
             let db_l = &ws.db[l];
-            for si in 0..b {
-                for o in 0..d_out {
-                    ws.dt[o * b + si] = db_l[si * d_out + o];
+            for o in 0..d_out {
+                let nzrow = &mut ws.nzs[o * b..(o + 1) * b];
+                let mut c = 0;
+                for si in 0..b {
+                    nzrow[c] = si;
+                    c += usize::from(db_l[si * d_out + o] != 0.0);
                 }
+                ws.nnzs[o] = c;
             }
-            // Gradients for layer l: gw[o] = Σ_examples delta[o] ⊗ act.
-            // Looping outputs outer and examples inner keeps each gw row
-            // hot across the whole batch; per element the accumulation is
-            // still ascending-example with zero deltas skipped — exactly
-            // the order (and the adds) of the example-at-a-time loop.
+            // Gradients for layer l: gw[o] = Σ_examples delta[o] ⊗ act,
+            // one `gemm_col_nz_into` call per output row, reading the
+            // deltas strided straight from the example-major slab (no
+            // transposed copy) with the gradient row held in registers
+            // across the whole batch — instead of paying a gw load/store
+            // per contributing example (the axpy formulation's cost).
+            // Per element the accumulation is still ascending-example
+            // with zero deltas skipped — exactly the order (and the
+            // adds) of the example-at-a-time loop.
             let act: &[f64] = if l == 0 { &ws.xb } else { &ws.ab[l - 1] };
             let gw = &mut ws.gw[l];
             let gb = &mut ws.gb[l];
             for o in 0..d_out {
-                let drow = &ws.dt[o * b..(o + 1) * b];
-                let mut nnz = 0;
-                for (s, &d) in drow.iter().enumerate() {
-                    ws.nz[nnz] = s;
-                    nnz += usize::from(d != 0.0);
-                }
-                let grow = &mut gw[o * d_in..(o + 1) * d_in];
-                let mut gbo = gb[o];
-                for &s in &ws.nz[..nnz] {
-                    let d = drow[s];
-                    axpy(d, &act[s * d_in..(s + 1) * d_in], grow);
-                    gbo += d;
-                }
-                gb[o] = gbo;
+                let idx = &ws.nzs[o * b..o * b + ws.nnzs[o]];
+                gb[o] = gemm_col_nz_into(
+                    db_l,
+                    d_out,
+                    o,
+                    idx,
+                    act,
+                    d_in,
+                    &mut gw[o * d_in..(o + 1) * d_in],
+                );
             }
             // Delta for the layer below (if any): Wᵀ delta per example,
             // gated by ReLU' and the dropout mask.
             if l > 0 {
                 let (db_lo, db_hi) = ws.db.split_at_mut(l);
                 let below_all = &mut db_lo[l - 1];
-                let delta_all = &db_hi[0];
+                let delta_all = &db_hi[0][..b * d_out];
                 let act_below = &ws.ab[l - 1];
+                // Wᵀ·delta without materializing the transpose. The
+                // zero-delta skip exists because 0·∞ would poison a
+                // diverged gradient with NaN (and an explicit +0.0 term
+                // can flip a -0.0 partial sum) — but when the slab holds
+                // no exact zero there is nothing to skip, and the dense
+                // batch GEMM produces the same ascending-delta adds.
+                // Top-layer deltas (softmax/sigmoid/MSE residuals) are
+                // zero-free outside saturation, so the batched kernel is
+                // the common case; ReLU-gated hidden deltas take the
+                // per-example sparse path. The dispatch reads only data
+                // whose zero pattern already decides which terms exist,
+                // so it can never change a value.
+                let any_zero = delta_all.iter().fold(false, |z, &d| z | (d == 0.0));
+                if !any_zero {
+                    // layer.w is `d_out × d_in` row-major, which is
+                    // exactly the input-major layout gemm_rows_into
+                    // streams: below = Δ · W.
+                    gemm_rows_into(delta_all, &layer.w, &[], d_in, &mut below_all[..b * d_in]);
+                }
                 for si in 0..b {
                     let delta = &delta_all[si * d_out..(si + 1) * d_out];
                     let below = &mut below_all[si * d_in..(si + 1) * d_in];
-                    for v in below.iter_mut() {
-                        *v = 0.0;
-                    }
-                    let mut nnz = 0;
-                    for (o, &d) in delta.iter().enumerate() {
-                        ws.nz[nnz] = o;
-                        nnz += usize::from(d != 0.0);
-                    }
-                    for &o in &ws.nz[..nnz] {
-                        // Wᵀ·delta without materializing the transpose:
-                        // one axpy per non-zero delta row.
-                        axpy(delta[o], &layer.w[o * d_in..(o + 1) * d_in], below);
+                    if any_zero {
+                        let nnz = compact_nonzero(delta, &mut ws.nz);
+                        vecmat_nz_into(delta, &ws.nz[..nnz], &layer.w, d_in, below);
                     }
                     let arow = &act_below[si * d_in..(si + 1) * d_in];
                     // ReLU'/dropout gate in select form (branch-free; the

@@ -45,16 +45,42 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
-fn train_alloc_count(tc: &TrainConfig, ds: &varbench_data::Dataset, seed: u64) -> u64 {
-    let cfg = MlpConfig::default();
+fn train_alloc_count(
+    cfg: &MlpConfig,
+    tc: &TrainConfig,
+    ds: &varbench_data::Dataset,
+    seed: u64,
+) -> u64 {
     let mut seeds = TrainSeeds::from_tree(&SeedTree::new(seed));
     let before = ALLOCATIONS.load(Ordering::Relaxed);
-    let model = Mlp::train(&cfg, tc, ds, &Identity, &mut seeds);
+    let model = Mlp::train(cfg, tc, ds, &Identity, &mut seeds);
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     // Keep the model alive through the second read so its drop (which
     // only frees) cannot reorder into the window.
     drop(model);
     after - before
+}
+
+/// Asserts that adding 10 epochs adds zero heap allocations for the
+/// given architecture/optimizer combination.
+fn assert_epoch_loop_heap_silent(cfg: &MlpConfig, base: &TrainConfig, ds: &varbench_data::Dataset) {
+    let short = TrainConfig {
+        epochs: 2,
+        ..base.clone()
+    };
+    let long = TrainConfig {
+        epochs: 12,
+        ..base.clone()
+    };
+    let short_allocs = train_alloc_count(cfg, &short, ds, 7);
+    let long_allocs = train_alloc_count(cfg, &long, ds, 7);
+    assert!(short_allocs > 0, "setup must allocate the workspace");
+    assert_eq!(
+        short_allocs, long_allocs,
+        "10 extra epochs must add zero heap allocations for {:?} \
+         (epoch loop is not allocation-free)",
+        cfg.hidden
+    );
 }
 
 #[test]
@@ -69,26 +95,45 @@ fn epoch_loop_allocates_nothing_after_warmup() {
         },
         &mut rng,
     );
-    // Dropout on: the mask path must be allocation-free too.
-    let short = TrainConfig {
+    // Warm up once (lazy runtime init — e.g. the first RNG or fmt path —
+    // must not pollute the measured windows).
+    let warm = TrainConfig {
         epochs: 2,
         dropout: 0.2,
         ..Default::default()
     };
-    let long = TrainConfig {
-        epochs: 12,
-        ..short.clone()
-    };
-    // Warm up once (lazy runtime init — e.g. the first RNG or fmt path —
-    // must not pollute the measured windows).
-    train_alloc_count(&short, &ds, 7);
+    train_alloc_count(&MlpConfig::default(), &warm, &ds, 7);
 
-    let short_allocs = train_alloc_count(&short, &ds, 7);
-    let long_allocs = train_alloc_count(&long, &ds, 7);
-    assert!(short_allocs > 0, "setup must allocate the workspace");
-    assert_eq!(
-        short_allocs, long_allocs,
-        "10 extra epochs must add zero heap allocations \
-         (epoch loop is not allocation-free)"
+    // Dropout on: the mask path must be allocation-free too.
+    assert_epoch_loop_heap_silent(
+        &MlpConfig::default(),
+        &TrainConfig {
+            dropout: 0.2,
+            ..Default::default()
+        },
+        &ds,
+    );
+
+    // Dropout off: the batched GEMM phases alone — forward through
+    // `gemm_rows_into`/`gemm_transb_into`, the strided `gemm_col_nz_into`
+    // gradient pass, and the dense below-delta fast path all run inside
+    // this window and must stay heap-silent.
+    assert_epoch_loop_heap_silent(&MlpConfig::default(), &TrainConfig::default(), &ds);
+
+    // Deeper and wider: two hidden layers exercise the hidden-to-hidden
+    // sparse backward path (ReLU-gated deltas) plus every example-block
+    // and k-fusion tail (widths 24/12 are not multiples of the 4-row
+    // blocks; batch 300 % 32 leaves a 12-example tail batch).
+    assert_epoch_loop_heap_silent(
+        &MlpConfig {
+            hidden: vec![24, 12],
+            ..Default::default()
+        },
+        &TrainConfig {
+            dropout: 0.1,
+            momentum: 0.8,
+            ..Default::default()
+        },
+        &ds,
     );
 }
