@@ -8,12 +8,15 @@
 //!              [--json|--csv] [--out DIR] [--serial] [--no-cache]
 //!              [--threads N]
 //! varbench cache stats|clear
+//! varbench lint [--json|--list] [PATHS ...]
 //! ```
 //!
 //! Artifacts share one measurement cache (persisted across runs when
 //! `VARBENCH_CACHE_DIR` is set) and are scheduled in parallel on the
 //! work-stealing executor; per-artifact output is byte-identical to
 //! running each artifact alone, serially, without a cache.
+
+#![forbid(unsafe_code)]
 
 use varbench_bench::args::Effort;
 use varbench_bench::registry::{self, RunContext, Spec};
@@ -34,6 +37,15 @@ USAGE:
     varbench bench [SUITE ...] [--quick] [--json]
                    [--baseline FILE] [--max-regress PCT]
     varbench cache stats|clear
+    varbench lint [--json|--list] [PATHS ...]
+
+OPTIONS (lint):
+    PATHS ...                   files or directories to check, relative to the
+                                workspace root (default: the whole repo)
+    --json                      emit the varbench-lint/1 JSON document
+    --list                      print the lint catalogue and exit
+    exits 1 when any diagnostic fires; suppress a finding with an inline
+    `// lint:allow(L00N): <reason>` marker on or above the offending line
 
 OPTIONS (bench):
     SUITE ...                   suites to run (default: all; see `varbench bench --list`)
@@ -129,8 +141,9 @@ fn main() {
         Some("run") => run(&args[1..]),
         Some("bench") => bench_command(&args[1..]),
         Some("cache") => cache_command(&args[1..]),
+        Some("lint") => lint_command(&args[1..]),
         Some(other) => fail(&format!(
-            "unknown command '{other}' (expected list, workloads, run, bench, or cache)"
+            "unknown command '{other}' (expected list, workloads, run, bench, cache, or lint)"
         )),
     }
 }
@@ -204,6 +217,66 @@ fn cache_version_dirs(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
     }
     out.sort();
     out
+}
+
+/// `varbench lint [--json|--list] [PATHS ...]` — run the repo-invariant
+/// checker (see `varbench_lint` for the catalogue). Exits 0 when clean,
+/// 1 when any diagnostic fires, 2 on usage errors.
+fn lint_command(args: &[String]) {
+    let mut json = false;
+    let mut list = false;
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list" => list = true,
+            flag if flag.starts_with('-') => fail(&format!(
+                "unknown lint option '{flag}' (expected --json or --list)"
+            )),
+            path => paths.push(std::path::PathBuf::from(path)),
+        }
+    }
+    if list {
+        if json || !paths.is_empty() {
+            fail("--list takes no other arguments");
+        }
+        for info in varbench_lint::CATALOGUE {
+            println!("{} {:<20} {}", info.id, info.name, info.summary);
+        }
+        return;
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|e| fail(&format!("cannot read cwd: {e}")));
+    let Some(root) = varbench_lint::find_workspace_root(&cwd) else {
+        fail("not inside a varbench workspace (no root Cargo.toml with [workspace] found)");
+    };
+    // Relative PATHS are workspace-root-relative so diagnostics always
+    // print repo-relative locations regardless of the caller's cwd.
+    for p in &mut paths {
+        if p.is_relative() {
+            *p = root.join(&p);
+        }
+    }
+    let diags = match varbench_lint::check_paths(&root, &paths) {
+        Ok(d) => d,
+        Err(e) => fail(&format!("lint failed: {e}")),
+    };
+    if json {
+        println!("{}", varbench_lint::render_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if !diags.is_empty() {
+            let n = diags.len();
+            eprintln!(
+                "lint: {n} finding{} (suppress with `// lint:allow(<id>): <reason>`)",
+                if n == 1 { "" } else { "s" }
+            );
+        }
+    }
+    if !diags.is_empty() {
+        std::process::exit(1);
+    }
 }
 
 fn cache_command(args: &[String]) {

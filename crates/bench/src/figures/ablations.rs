@@ -157,11 +157,30 @@ pub fn resampling_comparison(cs: &CaseStudy, config: &Config, seed: u64) -> Resa
         })
         .collect();
 
-    // Train-set overlaps.
+    // Train-set overlaps: |unique(a) ∩ unique(b)| / min(|unique(a)|,
+    // |unique(b)|), via a sorted merge (same value a hash-set
+    // intersection gave, without the nondeterministic iteration).
     let overlap = |a: &[usize], b: &[usize]| -> f64 {
-        let sa: std::collections::HashSet<usize> = a.iter().copied().collect();
-        let sb: std::collections::HashSet<usize> = b.iter().copied().collect();
-        sa.intersection(&sb).count() as f64 / sa.len().min(sb.len()).max(1) as f64
+        let dedup = |xs: &[usize]| {
+            let mut v = xs.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let (sa, sb) = (dedup(a), dedup(b));
+        let (mut i, mut j, mut common) = (0usize, 0usize, 0usize);
+        while i < sa.len() && j < sb.len() {
+            match sa[i].cmp(&sb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    common += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        common as f64 / sa.len().min(sb.len()).max(1) as f64
     };
     let mut cv_overlap = Vec::new();
     for i in 0..folds.len() {

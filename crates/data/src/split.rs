@@ -226,13 +226,19 @@ mod tests {
         assert_eq!(s.train().len(), 1000);
         assert_eq!(s.valid().len(), 100);
         assert_eq!(s.test().len(), 100);
-        let in_bag: std::collections::HashSet<usize> = s.train().iter().copied().collect();
+        // Sorted-vec membership instead of a hash set (clippy.toml / L001).
+        let mut in_bag = s.train().to_vec();
+        in_bag.sort_unstable();
         for &i in s.valid().iter().chain(s.test()) {
-            assert!(!in_bag.contains(&i), "eval index {i} leaked into train");
+            assert!(
+                in_bag.binary_search(&i).is_err(),
+                "eval index {i} leaked into train"
+            );
         }
         // valid and test are themselves disjoint.
-        let v: std::collections::HashSet<usize> = s.valid().iter().copied().collect();
-        assert!(s.test().iter().all(|i| !v.contains(i)));
+        let mut v = s.valid().to_vec();
+        v.sort_unstable();
+        assert!(s.test().iter().all(|i| v.binary_search(i).is_err()));
     }
 
     #[test]
@@ -272,9 +278,10 @@ mod tests {
             assert_eq!(count(s.valid(), c), 20);
             assert_eq!(count(s.test(), c), 20);
         }
-        let in_bag: std::collections::HashSet<usize> = s.train().iter().copied().collect();
+        let mut in_bag = s.train().to_vec();
+        in_bag.sort_unstable();
         for &i in s.valid().iter().chain(s.test()) {
-            assert!(!in_bag.contains(&i));
+            assert!(in_bag.binary_search(&i).is_err());
         }
     }
 

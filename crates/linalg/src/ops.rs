@@ -76,6 +76,7 @@ pub fn matvec_rows(w: &[f64], x: &[f64], out: &mut [f64]) {
 ///
 /// Panics if `w.len() != out.len() * x.len()`, or `init` is neither empty
 /// nor of length `out.len()`.
+// lint: no-alloc
 pub fn matvec_rows_init(w: &[f64], init: &[f64], x: &[f64], out: &mut [f64]) {
     let d = x.len();
     let m = out.len();
@@ -134,6 +135,7 @@ pub fn matvec_rows_init(w: &[f64], init: &[f64], x: &[f64], out: &mut [f64]) {
 ///
 /// Panics if `wt.len() != out.len() * x.len()`, or `init` is neither
 /// empty nor of length `out.len()`.
+// lint: no-alloc
 pub fn matvec_cols_init(wt: &[f64], init: &[f64], x: &[f64], out: &mut [f64]) {
     let d = x.len();
     let m = out.len();
@@ -196,6 +198,7 @@ pub fn matvec_cols_init(wt: &[f64], init: &[f64], x: &[f64], out: &mut [f64]) {
 /// Panics if the shapes are inconsistent (`out.len()` not a multiple of
 /// `m`, `x.len()` not a multiple of the row count, `wt.len() ≠ d·m`) or
 /// `init` is neither empty nor of length `m`.
+// lint: no-alloc
 pub fn gemm_rows_into(x: &[f64], wt: &[f64], init: &[f64], m: usize, out: &mut [f64]) {
     assert!(m > 0, "gemm_rows_into needs m > 0");
     assert_eq!(out.len() % m, 0, "gemm_rows_into output shape mismatch");
@@ -366,6 +369,7 @@ pub fn gemm_rows_into(x: &[f64], wt: &[f64], init: &[f64], m: usize, out: &mut [
 /// # Panics
 ///
 /// As [`gemm_rows_into`], with `w.len() ≠ m·d`.
+// lint: no-alloc
 pub fn gemm_transb_into(x: &[f64], w: &[f64], init: &[f64], m: usize, out: &mut [f64]) {
     assert!(m > 0, "gemm_transb_into needs m > 0");
     assert_eq!(out.len() % m, 0, "gemm_transb_into output shape mismatch");
@@ -455,6 +459,7 @@ pub fn gemm_transb_into(x: &[f64], w: &[f64], init: &[f64], m: usize, out: &mut 
 /// # Panics
 ///
 /// Panics if `idx` is shorter than `xs`.
+// lint: no-alloc
 pub fn compact_nonzero(xs: &[f64], idx: &mut [usize]) -> usize {
     assert!(idx.len() >= xs.len(), "compact_nonzero scratch too short");
     let mut nnz = 0;
@@ -488,6 +493,7 @@ pub fn compact_nonzero(xs: &[f64], idx: &mut [usize]) -> usize {
 ///
 /// Panics if `out.len() != d`, or an index in `idx` addresses past the
 /// end of `coef` or `rows`.
+// lint: no-alloc
 pub fn vecmat_nz_into(coef: &[f64], idx: &[usize], rows: &[f64], d: usize, out: &mut [f64]) {
     assert_eq!(out.len(), d, "vecmat_nz_into output length mismatch");
     // A full index list means there is nothing to skip: drop the
@@ -539,6 +545,7 @@ pub fn vecmat_nz_into(coef: &[f64], idx: &[usize], rows: &[f64], d: usize, out: 
 /// Panics if `out.len() != d` or `rows` is shorter than `coef.len()·d`
 /// (a longer `rows` is allowed: callers hand in whole preallocated slabs
 /// whose tail a partial batch leaves unused).
+// lint: no-alloc
 pub fn vecmat_into(coef: &[f64], rows: &[f64], d: usize, out: &mut [f64]) {
     assert_eq!(out.len(), d, "vecmat_into output length mismatch");
     assert!(
@@ -594,6 +601,7 @@ pub fn vecmat_into(coef: &[f64], rows: &[f64], d: usize, out: &mut [f64]) {
 /// # Panics
 ///
 /// Panics if `out.len() != d`, or an index walks past `delta`/`act`.
+// lint: no-alloc
 pub fn gemm_col_nz_into(
     delta: &[f64],
     stride: usize,

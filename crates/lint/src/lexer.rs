@@ -1,0 +1,394 @@
+//! A hand-rolled lossy Rust lexer — just enough fidelity for lints.
+//!
+//! The lints in this crate are token-pattern checks: "ident `HashMap`
+//! outside a string", "comment containing `SAFETY:` above an `unsafe`",
+//! and so on. What they need from a lexer is *not* full grammar — only
+//! that the four hard token classes are classified correctly, because
+//! misclassifying any of them turns lint matching into text matching:
+//!
+//! * **comments** — line comments, doc comments and *nested* block
+//!   comments (`/* /* */ */` is one comment in Rust);
+//! * **string-likes** — plain strings with escapes, raw strings with
+//!   arbitrary `#` fences (`r##"…"##` may contain `"#`, `//` and `*/`
+//!   without ending anything), byte and C variants;
+//! * **char vs lifetime** — `'a'` is a char, `'a` is a lifetime,
+//!   `'\u{41}'` is a char, `'outer:` is a label;
+//! * **idents** — including raw idents (`r#fn`), so `r#"…"#` raw strings
+//!   and `r#match` raw idents disambiguate on the byte after the fence.
+//!
+//! The lexer is *lossy* by design: numbers are folded greedily
+//! (`1e-5` lexes as `1e`, `-`, `5`), every unrecognized byte becomes a
+//! one-byte [`TokenKind::Punct`], and unterminated literals run to end of
+//! file instead of erroring. None of that affects any lint, and it means
+//! the lexer total-functions over arbitrary input — fixture files and
+//! half-written code lex fine. Guaranteed behaviour is pinned by the
+//! golden tests in `tests/lexer_golden.rs`.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unsafe`, …).
+    Ident,
+    /// A raw identifier (`r#fn`), fence included in the token text.
+    RawIdent,
+    /// A lifetime or loop label (`'a`, `'static`), quote included.
+    Lifetime,
+    /// A char or byte-char literal (`'x'`, `b'\n'`), quotes included.
+    Char,
+    /// A plain (possibly byte/C) string literal, quotes included.
+    Str,
+    /// A raw (possibly byte/C) string literal, fences included.
+    RawStr,
+    /// A numeric literal (greedy: digits, `_`, alphanumeric suffixes and
+    /// decimal points followed by a digit).
+    Number,
+    /// A `//` comment (doc comments `///` and `//!` included), newline
+    /// excluded.
+    LineComment,
+    /// A `/* … */` comment (nesting respected), delimiters included.
+    BlockComment,
+    /// Any other single byte: operators, brackets, `#`, `!`, ….
+    Punct,
+}
+
+/// One token: a classification plus the byte span it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The source text the token covers.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a whitespace-free token stream.
+///
+/// Never fails: unrecognized bytes become [`TokenKind::Punct`] and
+/// unterminated literals extend to end of input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b.is_ascii_whitespace() {
+                self.bump();
+                continue;
+            }
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.token(b);
+            out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos < self.src.len() {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes one token starting at byte `b` and returns its kind.
+    fn token(&mut self, b: u8) -> TokenKind {
+        match b {
+            b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'\'' => self.quote(),
+            b'"' => self.string(),
+            b'r' | b'b' | b'c' => self.maybe_prefixed(),
+            _ if is_ident_start(b) => self.ident(),
+            _ if b.is_ascii_digit() => self.number(),
+            _ => {
+                self.bump();
+                TokenKind::Punct
+            }
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.bump();
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump_n(2); // consume `/*`
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// `'` — a char literal, a lifetime, or a stray quote.
+    fn quote(&mut self) -> TokenKind {
+        self.bump(); // consume `'`
+        match self.peek(0) {
+            // Escaped char literal: `\` plus the escaped char are
+            // consumed unconditionally (so `'\''` closes on the *third*
+            // quote), then scan to the closing quote.
+            Some(b'\\') => {
+                self.bump_n(2);
+                while self.pos < self.src.len() {
+                    match self.src[self.pos] {
+                        b'\\' => self.bump_n(2),
+                        b'\'' => {
+                            self.bump();
+                            return TokenKind::Char;
+                        }
+                        _ => self.bump(),
+                    }
+                }
+                TokenKind::Char // unterminated: runs to EOF
+            }
+            Some(c) => {
+                // One char (UTF-8 aware) then a quote => char literal;
+                // ident-start => lifetime/label; otherwise stray punct.
+                let len = utf8_len(c);
+                if self.peek(len) == Some(b'\'') {
+                    self.bump_n(len + 1);
+                    TokenKind::Char
+                } else if is_ident_start(c) {
+                    while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                        self.bump();
+                    }
+                    TokenKind::Lifetime
+                } else {
+                    TokenKind::Punct // the bare `'` already consumed
+                }
+            }
+            None => TokenKind::Punct,
+        }
+    }
+
+    /// A plain `"…"` string body (opening quote not yet consumed).
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // consume `"`
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return TokenKind::Str;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str // unterminated
+    }
+
+    /// `r`, `b` or `c`: raw strings, byte/C strings, raw idents, or a
+    /// plain ident that merely starts with one of those letters.
+    fn maybe_prefixed(&mut self) -> TokenKind {
+        let b0 = self.src[self.pos];
+        // Prefix letters: `r`, `b`, `br`, `c`, `cr` … normalize to
+        // (has_r, offset past the letters).
+        let (has_r, letters) = match (b0, self.peek(1)) {
+            (b'r', _) => (true, 1),
+            (b'b' | b'c', Some(b'r')) => (true, 2),
+            (b'b' | b'c', _) => (false, 1),
+            _ => (false, 1),
+        };
+        if has_r {
+            // Count `#` fence after the letters.
+            let mut fence = 0usize;
+            while self.peek(letters + fence) == Some(b'#') {
+                fence += 1;
+            }
+            match self.peek(letters + fence) {
+                Some(b'"') => {
+                    self.bump_n(letters + fence + 1);
+                    return self.raw_string_body(fence);
+                }
+                Some(c) if fence == 1 && b0 == b'r' && is_ident_start(c) => {
+                    // Raw ident `r#foo`.
+                    self.bump_n(2);
+                    while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                        self.bump();
+                    }
+                    return TokenKind::RawIdent;
+                }
+                _ => {}
+            }
+        } else {
+            match self.peek(letters) {
+                Some(b'"') => {
+                    self.bump_n(letters);
+                    return self.string();
+                }
+                Some(b'\'') if b0 == b'b' => {
+                    self.bump_n(letters);
+                    return self.quote();
+                }
+                _ => {}
+            }
+        }
+        self.ident()
+    }
+
+    /// The body of a raw string after `r#…#"`: ends at `"` + `fence` `#`s.
+    fn raw_string_body(&mut self, fence: usize) -> TokenKind {
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' {
+                let mut matched = 0usize;
+                while matched < fence && self.peek(1 + matched) == Some(b'#') {
+                    matched += 1;
+                }
+                if matched == fence {
+                    self.bump_n(1 + fence);
+                    return TokenKind::RawStr;
+                }
+            }
+            self.bump();
+        }
+        TokenKind::RawStr // unterminated
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+
+    fn number(&mut self) -> TokenKind {
+        self.bump();
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else if b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()) {
+                // `1.5` continues the number; `1..n` does not.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Number
+    }
+}
+
+/// Byte length of the UTF-8 char starting with `b` (1 for ASCII/invalid).
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    #[test]
+    fn comments_and_idents() {
+        let src = "let x = 1; // trailing\n/* a /* nested */ b */ fn";
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::LineComment, "// trailing")));
+        assert!(toks.contains(&(TokenKind::BlockComment, "/* a /* nested */ b */")));
+        assert_eq!(toks.last(), Some(&(TokenKind::Ident, "fn")));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        assert_eq!(
+            kinds("'a' 'a 'static '\\'' b'x'"),
+            vec![
+                (TokenKind::Char, "'a'"),
+                (TokenKind::Lifetime, "'a"),
+                (TokenKind::Lifetime, "'static"),
+                (TokenKind::Char, "'\\''"),
+                (TokenKind::Char, "b'x'"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_string_vs_raw_ident() {
+        let src = "r#\"body \"# r#match r\"plain\" br##\"x\"# still\"##";
+        assert_eq!(
+            kinds(src),
+            vec![
+                (TokenKind::RawStr, "r#\"body \"#"),
+                (TokenKind::RawIdent, "r#match"),
+                (TokenKind::RawStr, "r\"plain\""),
+                (TokenKind::RawStr, "br##\"x\"# still\"##"),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n  c");
+        assert_eq!(
+            toks.iter().map(|t| t.line).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+}

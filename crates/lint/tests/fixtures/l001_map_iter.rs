@@ -1,0 +1,22 @@
+// L001 fixture: hash collections in library code.
+use std::collections::HashMap; // fire: line 2
+use std::collections::HashSet; // fire: line 3
+use std::collections::BTreeMap; // clean
+
+// lint:allow(L001): membership-only set, never iterated
+use std::collections::HashSet as AllowedSet; // suppressed by the marker above
+
+fn strings_do_not_count() -> &'static str {
+    "HashMap in a string literal is fine" // clean: not an ident
+}
+
+// A doc comment mentioning HashMap is fine too: comments are not idents.
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap; // clean: cfg(test) mod is test code
+
+    fn helper() {
+        let _m: HashMap<u32, u32> = HashMap::new(); // clean
+    }
+}

@@ -1,0 +1,23 @@
+// L002 fixture: wall-clock reads outside the timing module.
+use std::time::Instant; // fire: line 2
+
+fn measure() -> u64 {
+    let t0 = Instant::now(); // fire: line 5
+    let _st = std::time::SystemTime::now(); // fire: line 6
+    t0.elapsed().as_nanos() as u64
+}
+
+fn allowed() {
+    // lint:allow(L002): one-off startup banner, never feeds a measurement
+    let _boot = std::time::SystemTime::now(); // suppressed (marker above)
+    let _t = Instant::now(); // lint:allow(L002): trailing same-line marker
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant; // clean: test code
+
+    fn t() {
+        let _ = Instant::now(); // clean
+    }
+}

@@ -1,0 +1,5 @@
+//! L003 fixture: a crate root that forbids unsafe code — no diagnostic.
+
+#![forbid(unsafe_code)]
+
+fn fine() {}

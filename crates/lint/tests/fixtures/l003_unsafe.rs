@@ -1,0 +1,20 @@
+// L003 fixture: a crate root (pretend path src/lib.rs) that neither
+// forbids unsafe code nor justifies its unsafe blocks.
+// (The missing #![forbid(unsafe_code)] fires on line 1.)
+
+fn naked() {
+    let x = [1u8, 2];
+    let _ = unsafe { *x.as_ptr() }; // fire: line 7 (no SAFETY comment)
+}
+
+fn documented() {
+    let x = [1u8, 2];
+    // SAFETY: as_ptr() of a live array is valid to read at offset 0.
+    let _ = unsafe { *x.as_ptr() }; // clean: adjacent SAFETY comment
+}
+
+fn waived() {
+    let x = [1u8, 2];
+    // lint:allow(L003): exercising the suppression path in the fixture
+    let _ = unsafe { *x.as_ptr() }; // suppressed
+}

@@ -1,0 +1,25 @@
+// L004 fixture: cache-key firewall breaches from an unregistered file.
+
+fn minted_elsewhere(w: &dyn Workload) -> MeasureKey {
+    MeasureKey::with_variant(w, kind(), 7, "rogue-mode") // fire: line 4
+}
+
+fn ad_hoc_format(seed: u64) -> String {
+    format!("v2|w=rogue|var=boot-split|seed={seed:016x}") // fire: line 8
+}
+
+fn waived(w: &dyn Workload) -> MeasureKey {
+    // lint:allow(L004): fixture demonstrating the suppression path
+    MeasureKey::with_variant(w, kind(), 7, "waived-mode") // suppressed
+}
+
+fn unrelated_pipe_string() -> &'static str {
+    "a|b|c" // clean: no key-segment marker
+}
+
+#[cfg(test)]
+mod tests {
+    fn asserts_on_canon() {
+        assert!(canon.ends_with("|var=boot-split")); // clean: test code
+    }
+}

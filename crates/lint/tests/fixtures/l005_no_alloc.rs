@@ -1,0 +1,16 @@
+// L005 fixture: allocation calls inside a marked region.
+
+// lint: no-alloc
+fn hot_loop(xs: &[f64], out: &mut [f64]) {
+    let copied = xs.to_vec(); // fire: line 5
+    let label = format!("step {}", out.len()); // fire: line 6
+    let mut scratch = Vec::new(); // fire: line 7 (Vec::new)
+    let grown = vec![0.0; 4]; // fire: line 8 (vec!)
+    // lint:allow(L005): fixture demonstrating the suppression path
+    let waived = xs.to_vec(); // suppressed
+    out[0] = copied[0] + grown[0] + waived[0] + label.len() as f64 + scratch.pop().unwrap_or(0.0);
+}
+
+fn cold_path(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec() // clean: unmarked fn may allocate freely
+}

@@ -1,0 +1,14 @@
+// L006 fixture: FMA contraction outside the kernel files.
+
+fn contracted(a: f64, b: f64, c: f64) -> f64 {
+    a.mul_add(b, c) // fire: line 4
+}
+
+fn separate(a: f64, b: f64, c: f64) -> f64 {
+    a * b + c // clean: two roundings, matches the committed artifacts
+}
+
+fn waived(a: f64, b: f64, c: f64) -> f64 {
+    // lint:allow(L006): fixture demonstrating the suppression path
+    a.mul_add(b, c) // suppressed
+}

@@ -1,0 +1,159 @@
+//! Golden tests pinning the lexer's guaranteed behaviour on adversarial
+//! token sequences. Every case that could flip a lint from token
+//! matching to text matching lives here: nested block comments, raw
+//! strings with `#` fences, char/lifetime ambiguity, comment-looking
+//! content inside strings, string-looking content inside comments.
+
+use varbench_lint::lexer::lex;
+
+/// Compact golden form: one `kind:text` entry per token.
+fn dump(src: &str) -> Vec<String> {
+    lex(src)
+        .iter()
+        .map(|t| format!("{:?}:{}", t.kind, t.text(src)))
+        .collect()
+}
+
+#[test]
+fn nested_block_comments_are_one_token() {
+    assert_eq!(
+        dump("a /* x /* deeper /* deepest */ */ still comment */ b"),
+        vec![
+            "Ident:a",
+            "BlockComment:/* x /* deeper /* deepest */ */ still comment */",
+            "Ident:b",
+        ]
+    );
+}
+
+#[test]
+fn raw_strings_with_fences_swallow_terminators() {
+    // `"#` inside a `##` fence terminates nothing; neither do `//`, `*/`
+    // or an unmatched `"`.
+    let src = r####"r##"contains "# and // and */ and " quote"## after"####;
+    assert_eq!(
+        dump(src),
+        vec![
+            format!(
+                "RawStr:{}",
+                r####"r##"contains "# and // and */ and " quote"##"####
+            ),
+            "Ident:after".to_string(),
+        ]
+    );
+}
+
+#[test]
+fn raw_ident_vs_raw_string_disambiguates_on_the_fence_byte() {
+    assert_eq!(
+        dump("r#match r#\"str\"# r\"plain\" br\"bytes\" b\"b\" b'q'"),
+        vec![
+            "RawIdent:r#match",
+            "RawStr:r#\"str\"#",
+            "RawStr:r\"plain\"",
+            "RawStr:br\"bytes\"",
+            "Str:b\"b\"",
+            "Char:b'q'",
+        ]
+    );
+}
+
+#[test]
+fn char_lifetime_and_label_ambiguity() {
+    assert_eq!(
+        dump("'a' 'a 'static '\\'' '\\u{41}' 'outer: loop <'b>"),
+        vec![
+            "Char:'a'",
+            "Lifetime:'a",
+            "Lifetime:'static",
+            "Char:'\\''",
+            "Char:'\\u{41}'",
+            "Lifetime:'outer",
+            "Punct::",
+            "Ident:loop",
+            "Punct:<",
+            "Lifetime:'b",
+            "Punct:>",
+        ]
+    );
+}
+
+#[test]
+fn comment_content_inside_strings_stays_a_string() {
+    assert_eq!(
+        dump(r#"let s = "// not a comment /* nor this */";"#),
+        vec![
+            "Ident:let",
+            "Ident:s",
+            "Punct:=",
+            r#"Str:"// not a comment /* nor this */""#,
+            "Punct:;",
+        ]
+    );
+}
+
+#[test]
+fn string_content_inside_comments_stays_a_comment() {
+    assert_eq!(
+        dump("// \"unterminated in a comment\nnext"),
+        vec!["LineComment:// \"unterminated in a comment", "Ident:next",]
+    );
+}
+
+#[test]
+fn escaped_quotes_do_not_end_strings() {
+    assert_eq!(dump(r#""a \" b" c"#), vec![r#"Str:"a \" b""#, "Ident:c"]);
+}
+
+#[test]
+fn numbers_ranges_and_floats() {
+    // `1.5` is one number; `0..n` keeps the range dots as punctuation.
+    assert_eq!(
+        dump("1.5 0..n 0x1f_u64 1_000"),
+        vec![
+            "Number:1.5",
+            "Number:0",
+            "Punct:.",
+            "Punct:.",
+            "Ident:n",
+            "Number:0x1f_u64",
+            "Number:1_000",
+        ]
+    );
+}
+
+#[test]
+fn doc_comments_are_comments() {
+    assert_eq!(
+        dump("/// outer doc\n//! inner doc\n/** block doc */ x"),
+        vec![
+            "LineComment:/// outer doc",
+            "LineComment://! inner doc",
+            "BlockComment:/** block doc */",
+            "Ident:x",
+        ]
+    );
+}
+
+#[test]
+fn unterminated_literals_run_to_eof_without_panicking() {
+    assert_eq!(dump("\"open"), vec!["Str:\"open"]);
+    assert_eq!(dump("r#\"open"), vec!["RawStr:r#\"open"]);
+    assert_eq!(dump("/* open"), vec!["BlockComment:/* open"]);
+    assert_eq!(dump("'\\x"), vec!["Char:'\\x"]);
+}
+
+#[test]
+fn every_byte_is_covered_and_lines_are_monotonic() {
+    let src = "fn main() {\n    let s = \"x\\ny\";\n    // done\n}\n";
+    let toks = lex(src);
+    let mut last_end = 0usize;
+    let mut last_line = 1u32;
+    for t in &toks {
+        assert!(t.start >= last_end, "tokens must not overlap");
+        assert!(t.line >= last_line, "line numbers must be monotonic");
+        last_end = t.end;
+        last_line = t.line;
+    }
+    assert_eq!(toks.last().map(|t| t.text(src)), Some("}"));
+}

@@ -1,0 +1,50 @@
+//! The self-check the CI gate relies on: the committed tree must be
+//! lint-clean, including this crate itself. Any new violation anywhere
+//! in the workspace fails this test with the exact diagnostics the
+//! `varbench lint` CLI would print.
+
+use std::path::Path;
+
+#[test]
+fn committed_tree_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let diags = varbench_lint::check_paths(&root, &[]).expect("lint walk succeeds");
+    assert!(
+        diags.is_empty(),
+        "the committed tree must be lint-clean; found:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn lint_crate_is_clean_on_its_own() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let diags =
+        varbench_lint::check_paths(&root, &[root.join("crates/lint")]).expect("lint walk succeeds");
+    assert!(
+        diags.is_empty(),
+        "varbench-lint must pass its own catalogue; found:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

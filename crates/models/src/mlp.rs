@@ -363,6 +363,7 @@ impl Mlp {
         model
     }
 
+    // lint: no-alloc
     #[allow(clippy::too_many_arguments)]
     fn train_batch(
         &mut self,

@@ -38,7 +38,7 @@
 //! functions in `varbench_core::estimator` derive row seeds from
 //! `(base_seed, row_index)` only, which guarantees this.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::Mutex;
@@ -284,7 +284,11 @@ impl Entry {
 
 #[derive(Default)]
 struct CacheState {
-    entries: HashMap<String, Entry>,
+    /// Keyed by canonical form. A `BTreeMap` rather than a hash map so
+    /// any future iteration (compaction, `cache stats` dumps) is
+    /// deterministic by construction — varbench lint L001 enforces this
+    /// choice workspace-wide.
+    entries: BTreeMap<String, Entry>,
     stats: CacheStats,
 }
 

@@ -35,6 +35,23 @@ if target/release/varbench run fig1 --ful >/dev/null 2>&1; then
     exit 1
 fi
 
+say "varbench lint (repo-invariant checker; hard gate)"
+target/release/varbench lint
+# The gate must actually detect violations: seed one and expect exit 1
+# with the stable lint ID in the output.
+lintdir=$(mktemp -d)
+trap 'rm -rf "$lintdir"' EXIT
+mkdir -p "$lintdir/src"
+printf 'use std::collections::HashMap;\n' > "$lintdir/src/seeded.rs"
+if out=$(target/release/varbench lint "$lintdir" 2>&1); then
+    echo "ERROR: varbench lint missed a seeded violation" >&2
+    exit 1
+fi
+case "$out" in
+    *L001*) ;;
+    *) echo "ERROR: seeded violation did not report L001: $out" >&2; exit 1 ;;
+esac
+
 say "cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --quiet
 

@@ -93,14 +93,20 @@ fn oob_split_partitions_correctly() {
         let n_eval = n / 10;
         let mut rng = Rng::seed_from_u64(seed);
         let s = oob_split(n, n, n_eval, n_eval, &mut rng);
-        let train: std::collections::HashSet<usize> = s.train().iter().copied().collect();
+        // Sorted-vec membership instead of a hash set (clippy.toml / L001).
+        let mut train: Vec<usize> = s.train().to_vec();
+        train.sort_unstable();
         for &i in s.valid().iter().chain(s.test()) {
             assert!(i < n);
-            assert!(!train.contains(&i), "eval index leaked into train");
+            assert!(
+                train.binary_search(&i).is_err(),
+                "eval index leaked into train"
+            );
         }
-        let valid: std::collections::HashSet<usize> = s.valid().iter().copied().collect();
+        let mut valid: Vec<usize> = s.valid().to_vec();
+        valid.sort_unstable();
         for &i in s.test() {
-            assert!(!valid.contains(&i), "test overlaps valid");
+            assert!(valid.binary_search(&i).is_err(), "test overlaps valid");
         }
     });
 }

@@ -1,14 +1,33 @@
 //! Integration tests of the resampling schemes, including the paper's
 //! Appendix B argument for bootstrap over cross-validation.
 
-use std::collections::HashSet;
 use varbench::data::split::{kfold, oob_split, stratified_oob_split};
 use varbench::rng::Rng;
 
+/// Sorted, deduplicated copy of an index list (sorted-vec stand-in for a
+/// set; see clippy.toml / lint L001 on why we avoid hash collections).
+fn uniques(xs: &[usize]) -> Vec<usize> {
+    let mut v = xs.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// `|a ∩ b| / min(|a|, |b|)` over the unique elements, via sorted merge.
 fn overlap_fraction(a: &[usize], b: &[usize]) -> f64 {
-    let sa: HashSet<usize> = a.iter().copied().collect();
-    let sb: HashSet<usize> = b.iter().copied().collect();
-    let inter = sa.intersection(&sb).count();
+    let (sa, sb) = (uniques(a), uniques(b));
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < sa.len() && j < sb.len() {
+        match sa[i].cmp(&sb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
     inter as f64 / sa.len().min(sb.len()).max(1) as f64
 }
 
@@ -25,10 +44,7 @@ fn cv_train_sets_overlap_more_than_bootstrap_train_sets() {
 
     let s1 = oob_split(n, n, 50, 50, &mut rng);
     let s2 = oob_split(n, n, 50, 50, &mut rng);
-    let unique1: HashSet<usize> = s1.train().iter().copied().collect();
-    let unique2: HashSet<usize> = s2.train().iter().copied().collect();
-    let boot_overlap =
-        unique1.intersection(&unique2).count() as f64 / unique1.len().min(unique2.len()) as f64;
+    let boot_overlap = overlap_fraction(s1.train(), s2.train());
 
     assert!(
         cv_overlap > boot_overlap,
