@@ -1,0 +1,8 @@
+//! `cargo bench` wrapper for the shared eval suite
+//! (`varbench_bench::suites::eval`; also runnable via `varbench bench`).
+
+use varbench_bench::timing::Harness;
+
+fn main() {
+    varbench_bench::suites::eval(&mut Harness::new("eval"));
+}

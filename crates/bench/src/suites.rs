@@ -36,6 +36,7 @@ pub const SUITES: &[(&str, SuiteFn)] = &[
     ("stats", stats),
     ("bootstrap_par", bootstrap_par),
     ("models", models),
+    ("eval", eval),
     ("estimators", estimators),
     ("compare", compare),
     ("hpo", hpo),
@@ -317,6 +318,156 @@ pub fn models(c: &mut Harness) {
     let reg = varbench_data::Dataset::new(features, d, varbench_data::Targets::Values(values));
     c.bench_function("ridge_fit_n400_d16", |b| {
         b.iter(|| RidgeRegression::fit(black_box(&reg), 1e-3))
+    });
+}
+
+/// The batched inference path: the same 64-example scoring work driven
+/// per example (warm buffers, the pre-batching hot path) and through the
+/// batch-GEMM kernels — the pair is the honest A/B for the eval rewrite,
+/// since both sides do identical arithmetic and produce bit-identical
+/// outputs. Plus the metric evaluator that sits on top of it.
+pub fn eval(c: &mut Harness) {
+    use varbench_models::ensemble::{EnsembleBuffer, MlpEnsemble};
+    use varbench_models::EvalWorkspace;
+    use varbench_pipeline::MetricKind;
+
+    const BATCH: usize = 64;
+    let mut rng = Rng::seed_from_u64(1);
+    let ds = binary_overlap(
+        &BinaryOverlapConfig {
+            n: 500,
+            dim: 16,
+            separation: 2.0,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let mut seeds = TrainSeeds::from_tree(&SeedTree::new(3));
+    let mlp = Mlp::train(
+        &MlpConfig::default(),
+        &TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+        &ds,
+        &Identity,
+        &mut seeds,
+    );
+
+    // A side: one warm-buffer forward pass per example, 64 examples.
+    let mut buf = PredictBuffer::new();
+    c.bench_function("mlp_predict_loop64", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..BATCH {
+                acc += mlp.predict_class_with(black_box(ds.x(i)), &mut buf);
+            }
+            acc
+        })
+    });
+
+    // B side: the same 64 examples through one batched forward pass.
+    let mut ws = EvalWorkspace::new();
+    let mut classes: Vec<usize> = Vec::new();
+    c.bench_function("mlp_predict_batch64", |b| {
+        b.iter(|| {
+            mlp.predict_classes_batch_into(
+                BATCH,
+                |si, row| row.copy_from_slice(black_box(ds.x(si))),
+                &mut ws,
+                &mut classes,
+            );
+            classes[0]
+        })
+    });
+
+    // The metric evaluator over the full pool (chunked batched forward).
+    let indices: Vec<usize> = (0..ds.len()).collect();
+    c.bench_function("eval_accuracy_n500", |b| {
+        b.iter(|| MetricKind::Accuracy.evaluate(black_box(&mlp), black_box(&ds), &indices))
+    });
+
+    // Ensemble scoring: per-example warm-buffer loop vs one batched pass.
+    let reg = {
+        let mut r = Rng::seed_from_u64(5);
+        varbench_data::synth::binding_regression(
+            &varbench_data::synth::BindingConfig {
+                n: 500,
+                dim: 16,
+                ..Default::default()
+            },
+            &mut r,
+        )
+    };
+    let ens = MlpEnsemble::train(
+        3,
+        &MlpConfig::default(),
+        &TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+        &reg,
+        &Identity,
+        &SeedTree::new(6),
+    );
+    let mut eb = EnsembleBuffer::new();
+    c.bench_function("ensemble_value_loop64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..BATCH {
+                acc += ens.predict_value_with(black_box(reg.x(i)), &mut eb);
+            }
+            acc
+        })
+    });
+    let mut vals: Vec<f64> = Vec::new();
+    c.bench_function("ensemble_value_batch64", |b| {
+        b.iter(|| {
+            ens.predict_values_batch_into(
+                BATCH,
+                |si, row| row.copy_from_slice(black_box(reg.x(si))),
+                &mut eb,
+                &mut vals,
+            );
+            vals[0]
+        })
+    });
+
+    // Ridge scoring: per-example dot products vs one transposed GEMM.
+    let ridge = {
+        let mut r = Rng::seed_from_u64(7);
+        let (n, d) = (400usize, 16usize);
+        let mut features = Vec::with_capacity(n * d);
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut s = 0.0;
+            for j in 0..d {
+                let v = r.normal(0.0, 1.0);
+                s += v * (j as f64 * 0.1);
+                features.push(v);
+            }
+            values.push(s);
+        }
+        let reg_ds =
+            varbench_data::Dataset::new(features, d, varbench_data::Targets::Values(values));
+        RidgeRegression::fit(&reg_ds, 1e-3)
+    };
+    let staged: Vec<f64> = (0..BATCH * 16).map(|i| (i as f64 * 0.17).sin()).collect();
+    c.bench_function("ridge_predict_loop64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for row in staged.chunks_exact(16) {
+                acc += ridge.predict(black_box(row));
+            }
+            acc
+        })
+    });
+    let mut scores = vec![0.0; BATCH];
+    c.bench_function("ridge_predict_batch64", |b| {
+        b.iter(|| {
+            ridge.predict_batch_into(black_box(&staged), &mut scores);
+            scores[0]
+        })
     });
 }
 

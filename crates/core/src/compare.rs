@@ -4,8 +4,8 @@
 use crate::ctx::{BootstrapMode, RunContext};
 use varbench_rng::Rng;
 use varbench_stats::bootstrap::{
-    ci_from_replicates, percentile_ci_prob_outperform, prob_outperform, prob_outperform_replicate,
-    split_replicate_seeds, win_indicators,
+    ci_from_replicates, paired_replicate, percentile_ci_paired, percentile_ci_prob_outperform,
+    prob_outperform, prob_outperform_replicate, split_replicate_seeds, win_indicators,
 };
 use varbench_stats::describe::mean;
 use varbench_stats::ConfidenceInterval;
@@ -164,6 +164,55 @@ pub fn try_compare_paired_with(
         }
     };
     Ok(verdict(a, b, ci, gamma))
+}
+
+/// The generic paired percentile bootstrap under an execution context —
+/// [`varbench_stats::bootstrap::percentile_ci_paired`] with the same
+/// mode dispatch as [`try_compare_paired_with`]:
+///
+/// * [`BootstrapMode::Serial`] — byte-identical to
+///   `percentile_ci_paired` (one generator threaded through every
+///   replicate).
+/// * [`BootstrapMode::SplitPerReplicate`] — one child generator per
+///   replicate ([`paired_replicate`]), fanned across the context's
+///   [`crate::exec::Runner`] cores; bit-identical for any thread count,
+///   but a *different* — equally valid — randomization than the serial
+///   stream (cache keys must carry the `|var=boot-split` variant, which
+///   [`RunContext::measure_key`] stamps).
+///
+/// # Panics
+///
+/// As `percentile_ci_paired`: empty or mismatched samples, zero
+/// resamples, or `alpha` outside `(0, 1)`.
+pub fn percentile_ci_paired_with<S>(
+    a: &[f64],
+    b: &[f64],
+    stat: S,
+    resamples: usize,
+    alpha: f64,
+    rng: &mut Rng,
+    ctx: &RunContext,
+) -> ConfidenceInterval
+where
+    S: Fn(&[f64], &[f64]) -> f64 + Sync,
+{
+    match ctx.bootstrap() {
+        BootstrapMode::Serial => percentile_ci_paired(a, b, stat, resamples, alpha, rng),
+        BootstrapMode::SplitPerReplicate => {
+            assert_eq!(a.len(), b.len(), "paired bootstrap requires equal lengths");
+            assert!(!a.is_empty(), "bootstrap of empty sample");
+            assert!(resamples > 0, "resamples must be > 0");
+            let estimate = stat(a, b);
+            let n = a.len();
+            let seeds = split_replicate_seeds(rng, resamples);
+            let stats = ctx.runner().map_seeds(&seeds, |_, &s| {
+                let mut ra = vec![0.0; n];
+                let mut rb = vec![0.0; n];
+                paired_replicate(a, b, &stat, s, &mut ra, &mut rb)
+            });
+            ci_from_replicates(estimate, stats, alpha)
+        }
+    }
 }
 
 /// [`try_compare_paired_with`] for callers that treat invalid input as a
@@ -431,6 +480,83 @@ mod tests {
             try_compare_paired_with(&good, &good, 0.75, 0.05, 0, &mut rng(), &ctx).unwrap_err(),
             CompareError::ZeroResamples
         );
+    }
+
+    #[test]
+    fn paired_ci_with_serial_ctx_matches_plain_driver() {
+        let mut g = Rng::seed_from_u64(70);
+        let a: Vec<f64> = (0..35).map(|_| g.normal(0.8, 0.05)).collect();
+        let b: Vec<f64> = (0..35).map(|_| g.normal(0.78, 0.05)).collect();
+        let stat = |x: &[f64], y: &[f64]| {
+            x.iter().zip(y).map(|(p, q)| p - q).sum::<f64>() / x.len() as f64
+        };
+        let plain = varbench_stats::bootstrap::percentile_ci_paired(
+            &a,
+            &b,
+            stat,
+            600,
+            0.05,
+            &mut Rng::seed_from_u64(71),
+        );
+        let via_ctx = percentile_ci_paired_with(
+            &a,
+            &b,
+            stat,
+            600,
+            0.05,
+            &mut Rng::seed_from_u64(71),
+            &RunContext::serial(),
+        );
+        assert_eq!(plain, via_ctx);
+    }
+
+    #[test]
+    fn paired_ci_with_split_ctx_matches_serial_split_driver_for_any_threads() {
+        use crate::exec::Runner;
+        use varbench_pipeline::MeasureCache;
+        let mut g = Rng::seed_from_u64(72);
+        let a: Vec<f64> = (0..31).map(|_| g.normal(0.8, 0.05)).collect();
+        let b: Vec<f64> = (0..31).map(|_| g.normal(0.78, 0.05)).collect();
+        let stat = |x: &[f64], y: &[f64]| {
+            x.iter().zip(y).map(|(p, q)| p - q).sum::<f64>() / x.len() as f64
+        };
+        // Reference: the serial driver of the split stream in
+        // varbench-stats.
+        let reference = varbench_stats::bootstrap::percentile_ci_paired_split(
+            &a,
+            &b,
+            stat,
+            500,
+            0.05,
+            &mut Rng::seed_from_u64(73),
+        );
+        // One thread and all cores must both reproduce it bit for bit.
+        for runner in [Runner::serial(), Runner::new(0)] {
+            let ctx = RunContext::new(runner, MeasureCache::disabled())
+                .with_bootstrap(BootstrapMode::SplitPerReplicate);
+            let got = percentile_ci_paired_with(
+                &a,
+                &b,
+                stat,
+                500,
+                0.05,
+                &mut Rng::seed_from_u64(73),
+                &ctx,
+            );
+            assert_eq!(reference, got);
+        }
+        // And the split stream is a genuinely different randomization than
+        // the serial one (distinctness guard for the cache-key firewall).
+        let serial = varbench_stats::bootstrap::percentile_ci_paired(
+            &a,
+            &b,
+            stat,
+            500,
+            0.05,
+            &mut Rng::seed_from_u64(73),
+        );
+        assert_eq!(reference.estimate, serial.estimate);
+        assert_ne!((reference.lo, reference.hi), (serial.lo, serial.hi));
     }
 
     #[test]

@@ -110,36 +110,47 @@ impl Optimizer for BayesOpt {
         };
         let best_y = self.y.iter().cloned().fold(f64::INFINITY, f64::min);
 
-        let mut best_ei = f64::NEG_INFINITY;
-        let mut best_candidate: Option<Vec<f64>> = None;
-        // Scratch reused across the candidate loop (kernel vector +
-        // triangular solve) — two allocations per `ask` instead of two per
-        // candidate.
-        let mut scratch = GpScratch::default();
-        for c in 0..self.config.n_candidates {
+        // Draw every candidate up front into one flat slab (one allocation
+        // per `ask` instead of one per candidate), in the exact RNG order
+        // of the old per-candidate loop: candidate-major, every 4th row a
+        // local perturbation of the incumbent, the rest uniform.
+        let dim = self.space.len();
+        let nc = self.config.n_candidates;
+        let incumbent = argmin(&self.y);
+        let mut cand = vec![0.0; nc * dim];
+        for c in 0..nc {
+            let row = &mut cand[c * dim..(c + 1) * dim];
             // Mix global exploration with local perturbations of the
             // incumbent (a cheap trust-region flavor).
-            let u = if c % 4 == 0 {
-                if let Some(i) = argmin(&self.y) {
-                    self.x[i]
-                        .iter()
-                        .map(|&v| (v + self.rng.normal(0.0, 0.08)).clamp(0.0, 1.0))
-                        .collect()
-                } else {
-                    unit_sample(self.space.len(), &mut self.rng)
+            match incumbent {
+                Some(i) if c % 4 == 0 => {
+                    for (slot, &v) in row.iter_mut().zip(&self.x[i]) {
+                        *slot = (v + self.rng.normal(0.0, 0.08)).clamp(0.0, 1.0);
+                    }
                 }
-            } else {
-                unit_sample(self.space.len(), &mut self.rng)
-            };
-            let (mu, var) = gp.predict_with(&u, &mut scratch);
+                _ => {
+                    for slot in row.iter_mut() {
+                        *slot = self.rng.next_f64();
+                    }
+                }
+            }
+        }
+        // Score the whole slab through the batched GP posterior (kernel
+        // slab + one batched triangular solve), then pick the EI winner.
+        let mut scratch = GpScratch::default();
+        gp.predict_batch_with(&cand, dim, &mut scratch);
+        let mut best_ei = f64::NEG_INFINITY;
+        let mut best_c: Option<usize> = None;
+        for c in 0..nc {
+            let (mu, var) = (scratch.mu[c], scratch.var[c]);
             let ei = expected_improvement(mu, var.max(0.0).sqrt(), best_y, self.config.xi);
             if ei > best_ei {
                 best_ei = ei;
-                best_candidate = Some(u);
+                best_c = Some(c);
             }
         }
-        let u = best_candidate.expect("at least one candidate scored");
-        self.space.from_unit(&u)
+        let c = best_c.expect("at least one candidate scored");
+        self.space.from_unit(&cand[c * dim..(c + 1) * dim])
     }
 
     fn tell(&mut self, params: &[f64], objective: f64) {
@@ -159,10 +170,6 @@ impl Optimizer for BayesOpt {
         self.x.push(self.space.to_unit(params));
         self.y.push(objective);
     }
-}
-
-fn unit_sample(d: usize, rng: &mut Rng) -> Vec<f64> {
-    (0..d).map(|_| rng.next_f64()).collect()
 }
 
 fn argmin(y: &[f64]) -> Option<usize> {
@@ -216,12 +223,16 @@ struct Gp {
     y_std: f64,
 }
 
-/// Reusable scratch for [`Gp::predict_with`]: the kernel vector `k*` and
-/// the triangular-solve output, recycled across an `ask`'s candidate loop.
+/// Reusable scratch for the GP posterior: the kernel vector(s) `k*` and
+/// the triangular-solve output, plus the per-candidate mean/variance the
+/// batched path fills. In batch use `k_star`/`v` hold `count × n`
+/// candidate-major slabs.
 #[derive(Debug, Clone, Default)]
 struct GpScratch {
     k_star: Vec<f64>,
     v: Vec<f64>,
+    mu: Vec<f64>,
+    var: Vec<f64>,
 }
 
 impl Gp {
@@ -277,8 +288,10 @@ impl Gp {
     }
 
     /// [`Gp::predict`] with reused scratch buffers — allocation-free once
-    /// the scratch is warm (the acquisition loop calls this hundreds of
-    /// times per `ask`).
+    /// the scratch is warm. The reference single-candidate path; the
+    /// acquisition loop now goes through [`Gp::predict_batch_with`], which
+    /// is pinned bitwise to this one by test.
+    #[cfg(test)]
     fn predict_with(&self, u: &[f64], scratch: &mut GpScratch) -> (f64, f64) {
         scratch.k_star.clear();
         scratch
@@ -296,6 +309,54 @@ impl Gp {
             self.y_mean + self.y_std * mu_std,
             self.y_std * self.y_std * var_std,
         )
+    }
+
+    /// Batched posterior over `cand` (`count × dim` candidate-major unit
+    /// coordinates), filling `scratch.mu`/`scratch.var`.
+    ///
+    /// Per candidate the computation is the exact chain of
+    /// [`Gp::predict_with`] — kernel row in ascending observation order,
+    /// `k*·α` summed from `0.0` ascending, one triangular solve (batched
+    /// across candidates by [`Cholesky::solve_lower_batch_into`], which
+    /// leaves each candidate's elimination chain untouched), `Σ v²`
+    /// ascending — so the results are bitwise identical to calling the
+    /// single-candidate path `count` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cand.len()` is not a multiple of `dim`.
+    // lint: no-alloc
+    fn predict_batch_with(&self, cand: &[f64], dim: usize, scratch: &mut GpScratch) {
+        assert_eq!(cand.len() % dim, 0, "candidate slab shape mismatch");
+        let count = cand.len() / dim;
+        let n = self.x.len();
+        scratch.k_star.clear();
+        scratch.k_star.resize(count * n, 0.0);
+        scratch.mu.clear();
+        scratch.mu.resize(count, 0.0);
+        scratch.var.clear();
+        scratch.var.resize(count, 0.0);
+        for c in 0..count {
+            let u = &cand[c * dim..(c + 1) * dim];
+            let ks = &mut scratch.k_star[c * n..(c + 1) * n];
+            for (slot, xi) in ks.iter_mut().zip(&self.x) {
+                *slot = matern52(xi, u, self.lengthscale);
+            }
+            let mut mu_std = 0.0;
+            for (a, b) in ks.iter().zip(&self.alpha) {
+                mu_std += a * b;
+            }
+            scratch.mu[c] = self.y_mean + self.y_std * mu_std;
+        }
+        self.chol
+            .solve_lower_batch_into(&scratch.k_star, count, &mut scratch.v);
+        for c in 0..count {
+            let mut s2 = 0.0;
+            for v in &scratch.v[c * n..(c + 1) * n] {
+                s2 += v * v;
+            }
+            scratch.var[c] = self.y_std * self.y_std * (self.amplitude - s2).max(0.0);
+        }
     }
 }
 
@@ -344,6 +405,35 @@ mod tests {
         let (_, var_far) = gp.predict(&[0.0]);
         let (_, var_at) = gp.predict(&[0.4]);
         assert!(var_far > var_at);
+    }
+
+    #[test]
+    fn gp_batch_predict_matches_single_bitwise() {
+        // 5 observations × 2 dims, 7 candidates (odd count exercises any
+        // batching remainder); the batched posterior must agree bit for
+        // bit with the single-candidate reference path.
+        let x: Vec<Vec<f64>> = vec![
+            vec![0.10, 0.90],
+            vec![0.40, 0.20],
+            vec![0.70, 0.50],
+            vec![0.95, 0.30],
+            vec![0.33, 0.66],
+        ];
+        let y: Vec<f64> = x.iter().map(|p| (4.0 * p[0]).sin() + p[1]).collect();
+        let gp = Gp::fit(&x, &y, &BayesOptConfig::default()).unwrap();
+        let dim = 2;
+        let nc = 7;
+        let cand: Vec<f64> = (0..nc * dim)
+            .map(|i| (i as f64 * 0.37).sin() * 0.5 + 0.5)
+            .collect();
+        let mut batch = GpScratch::default();
+        gp.predict_batch_with(&cand, dim, &mut batch);
+        let mut single = GpScratch::default();
+        for c in 0..nc {
+            let (mu, var) = gp.predict_with(&cand[c * dim..(c + 1) * dim], &mut single);
+            assert_eq!(mu.to_bits(), batch.mu[c].to_bits(), "mu @{c}");
+            assert_eq!(var.to_bits(), batch.var[c].to_bits(), "var @{c}");
+        }
     }
 
     #[test]

@@ -176,6 +176,40 @@ impl Cholesky {
         }
     }
 
+    /// Batched [`Cholesky::solve_lower_into`]: solves `L y_c = b_c` for
+    /// `count` independent right-hand sides packed candidate-major in `b`
+    /// (`count × n`), writing the solutions candidate-major into `y`.
+    ///
+    /// The row loop is hoisted outside the candidate loop so each `L` row
+    /// is read once per `count` eliminations instead of once per
+    /// candidate. Per right-hand side the elimination chain — seed with
+    /// `b[i]`, subtract `L[i][k]·y[k]` in ascending `k`, one divide by the
+    /// pivot — is untouched, so every element is bitwise identical to
+    /// `count` separate [`Cholesky::solve_lower_into`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != count * n`.
+    // lint: no-alloc
+    pub fn solve_lower_batch_into(&self, b: &[f64], count: usize, y: &mut Vec<f64>) {
+        let n = self.l.rows();
+        assert_eq!(b.len(), count * n, "solve dimension mismatch");
+        y.clear();
+        y.resize(count * n, 0.0);
+        for i in 0..n {
+            let row = self.l.row(i);
+            let pivot = row[i];
+            for c in 0..count {
+                let yc = &mut y[c * n..(c + 1) * n];
+                let mut sum = b[c * n + i];
+                for (x, yk) in row[..i].iter().zip(yc.iter()) {
+                    sum -= x * yk;
+                }
+                yc[i] = sum / pivot;
+            }
+        }
+    }
+
     /// Solves the upper-triangular system `Lᵀ x = y`.
     ///
     /// # Panics

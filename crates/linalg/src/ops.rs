@@ -214,6 +214,166 @@ pub fn gemm_rows_into(x: &[f64], wt: &[f64], init: &[f64], m: usize, out: &mut [
         "gemm_rows_into init length mismatch"
     );
     let mut s = 0;
+    // Eight example rows per block first: one weight-row load feeds eight
+    // accumulator chains instead of four. Widening the example block only
+    // adds more *independent* chains per weight load — each output
+    // element's chain is still the bias-seeded ascending-k order, so the
+    // 8/4/1 block boundaries are invisible in the bits. (Eight f64 chains
+    // plus four weight vectors fit the 32-register AVX-512 file; the
+    // fixed-size array loops below unroll fully.)
+    while s + 8 <= n {
+        let (x0, x1, x2, x3, x4, x5, x6, x7) = (
+            &x[s * d..(s + 1) * d],
+            &x[(s + 1) * d..(s + 2) * d],
+            &x[(s + 2) * d..(s + 3) * d],
+            &x[(s + 3) * d..(s + 4) * d],
+            &x[(s + 4) * d..(s + 5) * d],
+            &x[(s + 5) * d..(s + 6) * d],
+            &x[(s + 6) * d..(s + 7) * d],
+            &x[(s + 7) * d..(s + 8) * d],
+        );
+        let slab = &mut out[s * m..(s + 8) * m];
+        let (o0, rest) = slab.split_at_mut(m);
+        let (o1, rest) = rest.split_at_mut(m);
+        let (o2, rest) = rest.split_at_mut(m);
+        let (o3, rest) = rest.split_at_mut(m);
+        let (o4, rest) = rest.split_at_mut(m);
+        let (o5, rest) = rest.split_at_mut(m);
+        let (o6, o7) = rest.split_at_mut(m);
+        let mut k = 0;
+        if d >= 2 {
+            // Peeled bias-seeded first pass over two fused k steps (two,
+            // not four: eight accumulator chains double the live state,
+            // so the k fusion is halved to keep the j loop's working set
+            // inside the vector register file).
+            let w0 = &wt[..m];
+            let w1 = &wt[m..2 * m];
+            for j in 0..m {
+                let base = if init.is_empty() { 0.0 } else { init[j] };
+                let (a, b) = (w0[j], w1[j]);
+                let mut t0 = base;
+                t0 += a * x0[0];
+                t0 += b * x0[1];
+                o0[j] = t0;
+                let mut t1 = base;
+                t1 += a * x1[0];
+                t1 += b * x1[1];
+                o1[j] = t1;
+                let mut t2 = base;
+                t2 += a * x2[0];
+                t2 += b * x2[1];
+                o2[j] = t2;
+                let mut t3 = base;
+                t3 += a * x3[0];
+                t3 += b * x3[1];
+                o3[j] = t3;
+                let mut t4 = base;
+                t4 += a * x4[0];
+                t4 += b * x4[1];
+                o4[j] = t4;
+                let mut t5 = base;
+                t5 += a * x5[0];
+                t5 += b * x5[1];
+                o5[j] = t5;
+                let mut t6 = base;
+                t6 += a * x6[0];
+                t6 += b * x6[1];
+                o6[j] = t6;
+                let mut t7 = base;
+                t7 += a * x7[0];
+                t7 += b * x7[1];
+                o7[j] = t7;
+            }
+            k = 2;
+        } else if d == 1 {
+            let w0 = &wt[..m];
+            let (a0, a1, a2, a3) = (x0[0], x1[0], x2[0], x3[0]);
+            let (a4, a5, a6, a7) = (x4[0], x5[0], x6[0], x7[0]);
+            for j in 0..m {
+                let base = if init.is_empty() { 0.0 } else { init[j] };
+                let w = w0[j];
+                o0[j] = base + w * a0;
+                o1[j] = base + w * a1;
+                o2[j] = base + w * a2;
+                o3[j] = base + w * a3;
+                o4[j] = base + w * a4;
+                o5[j] = base + w * a5;
+                o6[j] = base + w * a6;
+                o7[j] = base + w * a7;
+            }
+            k = 1;
+        } else {
+            for row in [
+                &mut *o0, &mut *o1, &mut *o2, &mut *o3, &mut *o4, &mut *o5, &mut *o6, &mut *o7,
+            ] {
+                if init.is_empty() {
+                    row.fill(0.0);
+                } else {
+                    row.copy_from_slice(init);
+                }
+            }
+        }
+        // Two fused k steps per pass: each output row is read and written
+        // once per two adds (the adds stay separately rounded, ascending
+        // k).
+        while k + 2 <= d {
+            let w0 = &wt[k * m..k * m + m];
+            let w1 = &wt[(k + 1) * m..(k + 1) * m + m];
+            for j in 0..m {
+                let (a, b) = (w0[j], w1[j]);
+                let mut t0 = o0[j];
+                t0 += a * x0[k];
+                t0 += b * x0[k + 1];
+                o0[j] = t0;
+                let mut t1 = o1[j];
+                t1 += a * x1[k];
+                t1 += b * x1[k + 1];
+                o1[j] = t1;
+                let mut t2 = o2[j];
+                t2 += a * x2[k];
+                t2 += b * x2[k + 1];
+                o2[j] = t2;
+                let mut t3 = o3[j];
+                t3 += a * x3[k];
+                t3 += b * x3[k + 1];
+                o3[j] = t3;
+                let mut t4 = o4[j];
+                t4 += a * x4[k];
+                t4 += b * x4[k + 1];
+                o4[j] = t4;
+                let mut t5 = o5[j];
+                t5 += a * x5[k];
+                t5 += b * x5[k + 1];
+                o5[j] = t5;
+                let mut t6 = o6[j];
+                t6 += a * x6[k];
+                t6 += b * x6[k + 1];
+                o6[j] = t6;
+                let mut t7 = o7[j];
+                t7 += a * x7[k];
+                t7 += b * x7[k + 1];
+                o7[j] = t7;
+            }
+            k += 2;
+        }
+        if k < d {
+            let w0 = &wt[k * m..k * m + m];
+            let (a0, a1, a2, a3) = (x0[k], x1[k], x2[k], x3[k]);
+            let (a4, a5, a6, a7) = (x4[k], x5[k], x6[k], x7[k]);
+            for j in 0..m {
+                let w = w0[j];
+                o0[j] += w * a0;
+                o1[j] += w * a1;
+                o2[j] += w * a2;
+                o3[j] += w * a3;
+                o4[j] += w * a4;
+                o5[j] += w * a5;
+                o6[j] += w * a6;
+                o7[j] += w * a7;
+            }
+        }
+        s += 8;
+    }
     while s + 4 <= n {
         let (x0, x1, x2, x3) = (
             &x[s * d..(s + 1) * d],

@@ -248,3 +248,33 @@ fn cholesky_bit_identical_to_seed_loop() {
         assert_bits_eq(&got.solve_lower(&rhs), &y, "solve_lower");
     });
 }
+
+#[test]
+fn solve_lower_batch_bit_identical_to_per_rhs_solves() {
+    sweep(
+        "solve_lower_batch_bit_identical_to_per_rhs_solves",
+        48,
+        |case| {
+            let n = case.usize_in(1, 10);
+            // Candidate counts straddle any batching granularity, including
+            // the empty batch.
+            let count = case.usize_in(0, 9);
+            let b = random_matrix(case, n, n);
+            let mut a = b.transpose().matmul(&b);
+            a.add_diagonal(1.0);
+            let chol = Cholesky::new(&a).expect("SPD by construction");
+            let rhs = case.f64s(-5.0, 5.0, count * n);
+            // Reference: one per-candidate `solve_lower_into` call each —
+            // the exact elimination chain the batch kernel must preserve.
+            let mut want = Vec::new();
+            let mut y = Vec::new();
+            for c in 0..count {
+                chol.solve_lower_into(&rhs[c * n..(c + 1) * n], &mut y);
+                want.extend_from_slice(&y);
+            }
+            let mut got = vec![f64::NAN; 0];
+            chol.solve_lower_batch_into(&rhs, count, &mut got);
+            assert_bits_eq(&got, &want, "solve_lower_batch_into");
+        },
+    );
+}

@@ -8,7 +8,7 @@
 //! theoretical reference point for why randomizing variance sources reduces
 //! estimator variance (§5 cites Breiman 1996).
 
-use crate::mlp::{Mlp, MlpConfig, TrainConfig, TrainSeeds};
+use crate::mlp::{argmax, EvalWorkspace, Mlp, MlpConfig, PredictBuffer, TrainConfig, TrainSeeds};
 use varbench_data::augment::Augment;
 use varbench_data::Dataset;
 use varbench_rng::{bootstrap_indices, SeedTree};
@@ -17,6 +17,32 @@ use varbench_rng::{bootstrap_indices, SeedTree};
 #[derive(Debug, Clone, PartialEq)]
 pub struct MlpEnsemble {
     members: Vec<Mlp>,
+}
+
+/// Reusable scratch for the `MlpEnsemble::*_with` / `*_batch_into`
+/// prediction methods: one forward-pass buffer (and batched workspace)
+/// shared across every member, plus the probability accumulators.
+///
+/// Before this existed, each convenience call allocated one fresh
+/// [`PredictBuffer`] *per member per example*; with a warm buffer the
+/// whole ensemble prediction is allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct EnsembleBuffer {
+    /// Per-example forward scratch, shared by all members.
+    buf: PredictBuffer,
+    /// Batched forward scratch, shared by all members.
+    eval: EvalWorkspace,
+    /// Per-member probabilities / values before accumulation.
+    probs: Vec<f64>,
+    /// Running member average.
+    acc: Vec<f64>,
+}
+
+impl EnsembleBuffer {
+    /// Creates an empty buffer (it warms up on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl MlpEnsemble {
@@ -65,7 +91,26 @@ impl MlpEnsemble {
     ///
     /// Panics if members do not have MSE heads.
     pub fn predict_value(&self, x: &[f64]) -> f64 {
-        self.members.iter().map(|m| m.predict_value(x)).sum::<f64>() / self.members.len() as f64
+        let mut eb = EnsembleBuffer::new();
+        self.predict_value_with(x, &mut eb)
+    }
+
+    /// Averaged regression prediction reusing caller scratch.
+    ///
+    /// Bitwise identical to [`Self::predict_value`]: the member sum is
+    /// seeded at `0.0` and accumulated in member order, exactly as the
+    /// iterator `sum` the convenience wrapper used to run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if members do not have MSE heads.
+    // lint: no-alloc
+    pub fn predict_value_with(&self, x: &[f64], eb: &mut EnsembleBuffer) -> f64 {
+        let mut sum = 0.0;
+        for m in &self.members {
+            sum += m.predict_value_with(x, &mut eb.buf);
+        }
+        sum / self.members.len() as f64
     }
 
     /// Averaged class probabilities.
@@ -74,17 +119,32 @@ impl MlpEnsemble {
     ///
     /// Panics if members do not have softmax heads.
     pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        let mut acc = self.members[0].predict_proba(x);
+        let mut eb = EnsembleBuffer::new();
+        self.predict_proba_with(x, &mut eb).to_vec()
+    }
+
+    /// Averaged class probabilities reusing caller scratch.
+    ///
+    /// Bitwise identical to [`Self::predict_proba`]: member 0 seeds the
+    /// accumulator, members 1.. add in order, then one divide by `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if members do not have softmax heads.
+    // lint: no-alloc
+    pub fn predict_proba_with<'a>(&self, x: &[f64], eb: &'a mut EnsembleBuffer) -> &'a [f64] {
+        self.members[0].predict_proba_into(x, &mut eb.buf, &mut eb.acc);
         for m in &self.members[1..] {
-            for (a, p) in acc.iter_mut().zip(m.predict_proba(x)) {
-                *a += p;
+            m.predict_proba_into(x, &mut eb.buf, &mut eb.probs);
+            for (a, p) in eb.acc.iter_mut().zip(eb.probs.iter()) {
+                *a += *p;
             }
         }
         let k = self.members.len() as f64;
-        for a in acc.iter_mut() {
+        for a in eb.acc.iter_mut() {
             *a /= k;
         }
-        acc
+        &eb.acc
     }
 
     /// Majority-probability class prediction.
@@ -93,14 +153,51 @@ impl MlpEnsemble {
     ///
     /// Panics if members do not have softmax heads.
     pub fn predict_class(&self, x: &[f64]) -> usize {
-        let p = self.predict_proba(x);
-        let mut best = 0;
-        for (i, &v) in p.iter().enumerate() {
-            if v > p[best] {
-                best = i;
+        let mut eb = EnsembleBuffer::new();
+        self.predict_class_with(x, &mut eb)
+    }
+
+    /// Majority-probability class prediction reusing caller scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if members do not have softmax heads.
+    // lint: no-alloc
+    pub fn predict_class_with(&self, x: &[f64], eb: &mut EnsembleBuffer) -> usize {
+        argmax(self.predict_proba_with(x, eb))
+    }
+
+    /// Batched averaged regression predictions over `n` staged examples.
+    ///
+    /// `stage(si, row)` fills input row `si`, exactly as in
+    /// [`Mlp::predict_values_batch_into`]. Per example the member sum is
+    /// seeded at `0.0` and accumulated in member order, then divided once
+    /// by `k` — the same chain as [`Self::predict_value`], so results are
+    /// bitwise identical to the per-example path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if members do not have MSE heads or `n == 0`.
+    // lint: no-alloc
+    pub fn predict_values_batch_into(
+        &self,
+        n: usize,
+        mut stage: impl FnMut(usize, &mut [f64]),
+        eb: &mut EnsembleBuffer,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(n, 0.0);
+        for m in &self.members {
+            m.predict_values_batch_into(n, &mut stage, &mut eb.eval, &mut eb.probs);
+            for (o, v) in out.iter_mut().zip(eb.probs.iter()) {
+                *o += *v;
             }
         }
-        best
+        let k = self.members.len() as f64;
+        for o in out.iter_mut() {
+            *o /= k;
+        }
     }
 }
 

@@ -55,4 +55,4 @@ mod init;
 mod mlp;
 
 pub use init::Init;
-pub use mlp::{Head, Mlp, MlpConfig, PredictBuffer, TrainConfig, TrainSeeds};
+pub use mlp::{EvalWorkspace, Head, Mlp, MlpConfig, PredictBuffer, TrainConfig, TrainSeeds};

@@ -1,10 +1,10 @@
 //! Linear models: logistic regression and closed-form ridge regression.
 
 use crate::init::Init;
-use crate::mlp::{Mlp, MlpConfig, TrainConfig, TrainSeeds};
+use crate::mlp::{EvalWorkspace, Mlp, MlpConfig, PredictBuffer, TrainConfig, TrainSeeds};
 use varbench_data::augment::Identity;
 use varbench_data::Dataset;
-use varbench_linalg::{Cholesky, Matrix};
+use varbench_linalg::{gemm_transb_into, Cholesky, Matrix};
 
 /// Logistic / softmax regression: an [`Mlp`] with no hidden layers.
 ///
@@ -46,9 +46,30 @@ impl LogisticRegression {
         self.inner.predict_class(x)
     }
 
+    /// Predicted class reusing caller scratch (bitwise identical to
+    /// [`Self::predict_class`]).
+    // lint: no-alloc
+    pub fn predict_class_with(&self, x: &[f64], buf: &mut PredictBuffer) -> usize {
+        self.inner.predict_class_with(x, buf)
+    }
+
     /// Class probabilities.
     pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
         self.inner.predict_proba(x)
+    }
+
+    /// Batched class predictions over `n` staged examples; delegates to
+    /// [`Mlp::predict_classes_batch_into`], so each prediction is bitwise
+    /// identical to the per-example path.
+    // lint: no-alloc
+    pub fn predict_classes_batch_into(
+        &self,
+        n: usize,
+        stage: impl FnMut(usize, &mut [f64]),
+        ws: &mut EvalWorkspace,
+        out: &mut Vec<usize>,
+    ) {
+        self.inner.predict_classes_batch_into(n, stage, ws, out);
     }
 }
 
@@ -146,6 +167,31 @@ impl RidgeRegression {
                 .zip(x)
                 .map(|(w, xi)| w * xi)
                 .sum::<f64>()
+    }
+
+    /// Batched prediction over `xs` (`n × d` example-major): routes the
+    /// shared weight vector through the batch GEMM kernel, then applies
+    /// the intercept per element.
+    ///
+    /// Bitwise identical to [`Self::predict`] per element: the kernel
+    /// accumulates `Σ_k w_k·x_k` from `0.0` in ascending `k` (exactly the
+    /// iterator sum of the scalar path), and `bias + sum` stays one final
+    /// separately rounded add.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != out.len() * self.weights.len()`.
+    // lint: no-alloc
+    pub fn predict_batch_into(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            xs.len(),
+            out.len() * self.weights.len(),
+            "input dimension mismatch"
+        );
+        gemm_transb_into(xs, &self.weights, &[], 1, out);
+        for o in out.iter_mut() {
+            *o += self.bias;
+        }
     }
 
     /// The fitted weights.

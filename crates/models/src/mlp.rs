@@ -776,6 +776,186 @@ impl Mlp {
         assert_eq!(self.head, Head::Mse, "predict_value requires an MSE head");
         self.logits_into(x, buf)[0]
     }
+
+    /// [`Mlp::predict_proba`] into reused scratch and output buffers (no
+    /// allocation once warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not [`Head::Softmax`].
+    pub fn predict_proba_into(&self, x: &[f64], buf: &mut PredictBuffer, out: &mut Vec<f64>) {
+        assert_eq!(
+            self.head,
+            Head::Softmax,
+            "predict_proba requires a softmax head"
+        );
+        let logits = self.logits_into(x, buf);
+        softmax_into(logits, out);
+    }
+
+    /// Batched forward pass over `n` input rows: the inference analog of
+    /// the training slab loop. `stage(si, row)` fills input row `si`
+    /// (length `in_dim`); rows then advance through the network layer by
+    /// layer via the same batch-GEMM kernels training uses
+    /// ([`gemm_rows_into`] / [`gemm_transb_into`] above the
+    /// `COLS_KERNEL_MIN_OUT` shape threshold, per-example matvec tails
+    /// below it). Returns the `n × out_dim` logit slab borrowed from the
+    /// workspace.
+    ///
+    /// Per output element the accumulation order is exactly that of
+    /// [`Mlp::logits_into`] — batching only interleaves *independent*
+    /// example chains — so every logit is bit-identical to the
+    /// example-at-a-time path (pinned by `tests/batch_identity.rs`).
+    /// Allocation-free once the workspace is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    // lint: no-alloc
+    pub fn logits_batch_into<'a>(
+        &self,
+        n: usize,
+        mut stage: impl FnMut(usize, &mut [f64]),
+        ws: &'a mut EvalWorkspace,
+    ) -> &'a [f64] {
+        assert!(n > 0, "cannot run a batched forward over zero examples");
+        let in_dim = self.in_dim;
+        ws.xb.resize(n * in_dim, 0.0);
+        for si in 0..n {
+            stage(si, &mut ws.xb[si * in_dim..(si + 1) * in_dim]);
+        }
+        let nl = self.layers.len();
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (d_in, d_out) = (layer.in_dim, layer.out_dim);
+            ws.next.resize(n * d_out, 0.0);
+            let input: &[f64] = if l == 0 {
+                &ws.xb[..n * d_in]
+            } else {
+                &ws.cur[..n * d_in]
+            };
+            layer.forward_batch_into(input, &mut ws.next[..n * d_out]);
+            if l < nl - 1 {
+                // ReLU in select form over the whole slab — bit-identical
+                // to the per-example branch form (see `train_batch`).
+                for a in ws.next[..n * d_out].iter_mut() {
+                    *a = if *a < 0.0 { 0.0 } else { *a };
+                }
+            }
+            std::mem::swap(&mut ws.cur, &mut ws.next);
+        }
+        &ws.cur[..n * self.out_dim]
+    }
+
+    /// Batched [`Mlp::predict_class_with`]: argmax per logit row of a
+    /// [`Mlp::logits_batch_into`] pass, written into `out` (resized to
+    /// `n`). Allocation-free once buffers are warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not [`Head::Softmax`] or `n == 0`.
+    // lint: no-alloc
+    pub fn predict_classes_batch_into(
+        &self,
+        n: usize,
+        stage: impl FnMut(usize, &mut [f64]),
+        ws: &mut EvalWorkspace,
+        out: &mut Vec<usize>,
+    ) {
+        assert_eq!(
+            self.head,
+            Head::Softmax,
+            "predict_class requires a softmax head"
+        );
+        out.clear();
+        out.resize(n, 0);
+        let m = self.out_dim;
+        let logits = self.logits_batch_into(n, stage, ws);
+        for (si, slot) in out.iter_mut().enumerate() {
+            *slot = argmax(&logits[si * m..(si + 1) * m]);
+        }
+    }
+
+    /// Batched [`Mlp::predict_value_with`]: one regression output per
+    /// row, written into `out` (resized to `n`). Allocation-free once
+    /// buffers are warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not [`Head::Mse`] or `n == 0`.
+    // lint: no-alloc
+    pub fn predict_values_batch_into(
+        &self,
+        n: usize,
+        stage: impl FnMut(usize, &mut [f64]),
+        ws: &mut EvalWorkspace,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(self.head, Head::Mse, "predict_value requires an MSE head");
+        out.clear();
+        out.resize(n, 0.0);
+        let m = self.out_dim;
+        let logits = self.logits_batch_into(n, stage, ws);
+        for (si, slot) in out.iter_mut().enumerate() {
+            *slot = logits[si * m];
+        }
+    }
+
+    /// Batched [`Mlp::predict_mask_into`]: sigmoid over every logit of a
+    /// batched forward pass. Returns the `n × out_dim` probability slab
+    /// borrowed from the workspace (row `si` is example `si`'s mask).
+    /// Allocation-free once the workspace is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not [`Head::SigmoidBce`] or `n == 0`.
+    // lint: no-alloc
+    pub fn predict_masks_batch_into<'a>(
+        &self,
+        n: usize,
+        stage: impl FnMut(usize, &mut [f64]),
+        ws: &'a mut EvalWorkspace,
+    ) -> &'a [f64] {
+        assert_eq!(
+            self.head,
+            Head::SigmoidBce,
+            "predict_mask requires a sigmoid head"
+        );
+        self.logits_batch_into(n, stage, ws);
+        let len = n * self.out_dim;
+        ws.out.resize(len, 0.0);
+        // Same per-element expression as `predict_mask_into`, in the same
+        // ascending order.
+        for (p, z) in ws.out[..len].iter_mut().zip(&ws.cur[..len]) {
+            *p = 1.0 / (1.0 + (-z).exp());
+        }
+        &ws.out[..len]
+    }
+
+    /// Batched [`Mlp::predict_proba`]: softmax per logit row of a batched
+    /// forward pass. Returns the `n × out_dim` probability slab borrowed
+    /// from the workspace. Allocation-free once the workspace is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not [`Head::Softmax`] or `n == 0`.
+    // lint: no-alloc
+    pub fn predict_proba_batch_into<'a>(
+        &self,
+        n: usize,
+        stage: impl FnMut(usize, &mut [f64]),
+        ws: &'a mut EvalWorkspace,
+    ) -> &'a [f64] {
+        assert_eq!(
+            self.head,
+            Head::Softmax,
+            "predict_proba requires a softmax head"
+        );
+        self.logits_batch_into(n, stage, ws);
+        let m = self.out_dim;
+        ws.out.resize(n * m, 0.0);
+        softmax_rows(&ws.cur[..n * m], m, &mut ws.out[..n * m]);
+        &ws.out[..n * m]
+    }
 }
 
 /// Reusable inference scratch for the `Mlp::*_with` prediction methods.
@@ -794,6 +974,35 @@ pub struct PredictBuffer {
 
 impl PredictBuffer {
     /// Creates an empty buffer (it warms up on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Reusable batched-inference scratch for the `Mlp::*_batch_into`
+/// prediction methods: staged input rows plus the ping-pong activation
+/// slabs and head-output slab a batched forward pass needs.
+///
+/// Buffers grow to the largest `n × width` seen and are then reused in
+/// place, so after the first batch every further call is allocation-free
+/// (verified by the allocation-count test in
+/// `tests/alloc_count_eval.rs`). Create one per evaluation loop (or per
+/// worker thread) and pass it to [`Mlp::logits_batch_into`] /
+/// [`Mlp::predict_classes_batch_into`] / [`Mlp::predict_masks_batch_into`]
+/// / [`Mlp::predict_values_batch_into`] / [`Mlp::predict_proba_batch_into`].
+#[derive(Debug, Clone, Default)]
+pub struct EvalWorkspace {
+    /// Staged input rows, `n × in_dim` example-major.
+    xb: Vec<f64>,
+    /// Ping-pong activation slabs (`n × width` each).
+    cur: Vec<f64>,
+    next: Vec<f64>,
+    /// Head outputs (softmax / sigmoid probabilities), `n × out_dim`.
+    out: Vec<f64>,
+}
+
+impl EvalWorkspace {
+    /// Creates an empty workspace (it warms up on first use).
     pub fn new() -> Self {
         Self::default()
     }
@@ -819,7 +1028,17 @@ fn softmax_row(logits: &[f64], out: &mut [f64]) {
     }
 }
 
-fn argmax(xs: &[f64]) -> usize {
+/// Softmax over `m`-wide rows: [`softmax_row`] applied per row, so each
+/// row's max-shift / exponentiate / normalize passes run in exactly the
+/// per-example order (bit-identical to calling [`softmax_row`] yourself).
+// lint: no-alloc
+fn softmax_rows(logits: &[f64], m: usize, out: &mut [f64]) {
+    for (lrow, orow) in logits.chunks_exact(m).zip(out.chunks_exact_mut(m)) {
+        softmax_row(lrow, orow);
+    }
+}
+
+pub(crate) fn argmax(xs: &[f64]) -> usize {
     let mut best = 0;
     for (i, &x) in xs.iter().enumerate() {
         if x > xs[best] {

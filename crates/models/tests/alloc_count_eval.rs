@@ -1,0 +1,146 @@
+//! Allocation-count test for the batched inference path: once the
+//! workspaces are warm, scoring further batches must be allocation-free.
+//!
+//! The batched eval kernels (`Mlp::*_batch_into`, the ensemble's
+//! `predict_values_batch_into`, ridge's `predict_batch_into`) manage
+//! their slabs with `resize` on caller-owned buffers, so after one
+//! warm-up batch at the working size every subsequent batch touches the
+//! heap zero times. This is the eval-path analog of
+//! `tests/alloc_count.rs` (which pins the training epoch loop).
+//!
+//! The counting allocator is process-global, so this file holds exactly
+//! one `#[test]` (a second test would race the counters).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use varbench_data::augment::Identity;
+use varbench_data::synth::{
+    binary_overlap, binding_regression, BinaryOverlapConfig, BindingConfig,
+};
+use varbench_data::{Dataset, Targets};
+use varbench_models::ensemble::{EnsembleBuffer, MlpEnsemble};
+use varbench_models::linear::RidgeRegression;
+use varbench_models::{EvalWorkspace, Mlp, MlpConfig, TrainConfig, TrainSeeds};
+use varbench_rng::{Rng, SeedTree};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts every allocation and
+/// reallocation (a growing `Vec` inside the scoring loop would show up
+/// as reallocs).
+struct CountingAllocator;
+
+// SAFETY: delegates every operation unchanged to the `System` allocator;
+// the counter is a side effect only.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout contract as the caller's, forwarded as-is.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: ptr/layout come from the paired alloc above, unchanged.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: ptr/layout/new_size are forwarded to System unchanged.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn count_allocs(mut f: impl FnMut()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    after - before
+}
+
+#[test]
+fn batched_eval_allocates_nothing_after_warmup() {
+    const BATCH: usize = 64;
+    let mut rng = Rng::seed_from_u64(1);
+    let cls = binary_overlap(
+        &BinaryOverlapConfig {
+            n: 200,
+            dim: 16,
+            separation: 2.0,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let reg = binding_regression(
+        &BindingConfig {
+            n: 200,
+            dim: 16,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let cfg = MlpConfig {
+        hidden: vec![16, 12],
+        ..Default::default()
+    };
+    let tc = TrainConfig {
+        epochs: 2,
+        ..Default::default()
+    };
+    let mut seeds = TrainSeeds::from_tree(&SeedTree::new(2));
+    let mlp = Mlp::train(&cfg, &tc, &cls, &Identity, &mut seeds);
+    let ens = MlpEnsemble::train(3, &cfg, &tc, &reg, &Identity, &SeedTree::new(3));
+    let xs: Vec<f64> = (0..200 * 16).map(|i| (i as f64 * 0.17).sin()).collect();
+    let ys: Vec<f64> = (0..200).map(|r| xs[r * 16] * 2.0 - 0.3).collect();
+    let ridge_ds = Dataset::new(xs, 16, Targets::Values(ys));
+    let ridge = RidgeRegression::fit(&ridge_ds, 1e-4);
+
+    let mut ws = EvalWorkspace::new();
+    let mut eb = EnsembleBuffer::new();
+    let mut classes: Vec<usize> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    let mut staged = vec![0.0; BATCH * 16];
+    let mut scores = vec![0.0; BATCH];
+    for (si, row) in staged.chunks_exact_mut(16).enumerate() {
+        row.copy_from_slice(ridge_ds.x(si));
+    }
+
+    let mut run_all = |ws: &mut EvalWorkspace, eb: &mut EnsembleBuffer| {
+        mlp.predict_classes_batch_into(
+            BATCH,
+            |si, row| row.copy_from_slice(cls.x(si)),
+            ws,
+            &mut classes,
+        );
+        mlp.predict_proba_batch_into(BATCH, |si, row| row.copy_from_slice(cls.x(si)), ws);
+        ens.predict_values_batch_into(
+            BATCH,
+            |si, row| row.copy_from_slice(reg.x(si)),
+            eb,
+            &mut vals,
+        );
+        ridge.predict_batch_into(&staged, &mut scores);
+    };
+
+    // Warm-up: first batch sizes every slab (and hits any lazy runtime
+    // init); it must allocate.
+    let warm = count_allocs(|| run_all(&mut ws, &mut eb));
+    assert!(warm > 0, "warm-up must allocate the workspaces");
+
+    // Steady state: 25 more batches through every batched eval kernel
+    // must perform zero heap allocations.
+    let steady = count_allocs(|| {
+        for _ in 0..25 {
+            run_all(&mut ws, &mut eb);
+        }
+    });
+    assert_eq!(
+        steady, 0,
+        "batched eval must be allocation-free once warm ({steady} allocs in 25 batches)"
+    );
+}

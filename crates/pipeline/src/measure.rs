@@ -1,16 +1,29 @@
 //! Performance metrics used by the case studies.
 
 use varbench_data::Dataset;
-use varbench_models::{metrics, Mlp, PredictBuffer};
+use varbench_models::{metrics, EvalWorkspace, Mlp};
 
 /// Examples per evaluation work unit.
 ///
-/// Each chunk reuses one [`PredictBuffer`] (and, for masks, one output
-/// buffer) across its examples, so forward passes allocate nothing once
-/// warm. The chunking is a fixed function of the pool size — never of the
-/// thread count — so results are bit-identical for every [`ParMap`]
-/// strategy.
+/// Each chunk stages its examples into one [`EvalWorkspace`] and scores
+/// them with a single batched forward pass through the batch-GEMM kernels
+/// (allocation-free once the workspace slabs are warm). The chunking is a
+/// fixed function of the pool size — never of the thread count — so
+/// results are bit-identical for every [`ParMap`] strategy; and the
+/// batched kernels preserve each example's per-element accumulation order,
+/// so they are bit-identical to the per-example forward path too.
 const EVAL_CHUNK: usize = 64;
+
+thread_local! {
+    /// Per-thread batched-eval scratch, reused across chunks and across
+    /// [`MetricKind::evaluate`] calls. Every slab is fully overwritten by
+    /// the batched pass that uses it, so reuse cannot change a result —
+    /// it only removes the per-chunk allocate-and-zero round trip from
+    /// the measurement hot loop (fields: forward workspace, class
+    /// buffer, value buffer).
+    static EVAL_SCRATCH: std::cell::RefCell<(EvalWorkspace, Vec<usize>, Vec<f64>)> =
+        std::cell::RefCell::new((EvalWorkspace::new(), Vec::new(), Vec::new()));
+}
 
 /// Strategy for mapping a function over an index range, preserving index
 /// order in the output.
@@ -82,7 +95,7 @@ impl MetricKind {
     }
 
     /// [`MetricKind::evaluate`] with an explicit execution strategy: the
-    /// per-example forward passes are mapped through `par`, so a parallel
+    /// per-chunk batched forward passes are mapped through `par`, so a parallel
     /// [`ParMap`] (e.g. `varbench_core::exec::Runner`) spreads a large
     /// evaluation pool across cores. Results are identical to the serial
     /// path for any strategy.
@@ -108,13 +121,21 @@ impl MetricKind {
                 // counting gives the same accuracy as per-example mapping.
                 let hits: usize = par
                     .map_indexed(chunks, |c| {
-                        let mut buf = PredictBuffer::new();
-                        chunk_of(c)
-                            .iter()
-                            .filter(|&&i| {
-                                model.predict_class_with(pool.x(i), &mut buf) == pool.label(i)
-                            })
-                            .count()
+                        let idx = chunk_of(c);
+                        EVAL_SCRATCH.with(|s| {
+                            let (ws, classes, _) = &mut *s.borrow_mut();
+                            model.predict_classes_batch_into(
+                                idx.len(),
+                                |si, row| row.copy_from_slice(pool.x(idx[si])),
+                                ws,
+                                classes,
+                            );
+                            classes
+                                .iter()
+                                .zip(idx)
+                                .filter(|&(&c, &i)| c == pool.label(i))
+                                .count()
+                        })
                     })
                     .into_iter()
                     .sum();
@@ -124,25 +145,38 @@ impl MetricKind {
                 // Per-example IoUs come back in index order and are summed
                 // sequentially — the same reduction order as `mean_iou`.
                 let ious = par.map_indexed(chunks, |c| {
-                    let mut buf = PredictBuffer::new();
-                    let mut mask = Vec::new();
-                    chunk_of(c)
-                        .iter()
-                        .map(|&i| {
-                            model.predict_mask_into(pool.x(i), &mut buf, &mut mask);
-                            metrics::mask_iou(&mask, pool.mask(i))
-                        })
-                        .collect::<Vec<f64>>()
+                    let idx = chunk_of(c);
+                    EVAL_SCRATCH.with(|s| {
+                        let (ws, _, _) = &mut *s.borrow_mut();
+                        let masks = model.predict_masks_batch_into(
+                            idx.len(),
+                            |si, row| row.copy_from_slice(pool.x(idx[si])),
+                            ws,
+                        );
+                        let m = masks.len() / idx.len();
+                        idx.iter()
+                            .enumerate()
+                            .map(|(si, &i)| {
+                                metrics::mask_iou(&masks[si * m..(si + 1) * m], pool.mask(i))
+                            })
+                            .collect::<Vec<f64>>()
+                    })
                 });
                 ious.iter().flatten().sum::<f64>() / n as f64
             }
             MetricKind::Auc => {
                 let scores = par.map_indexed(chunks, |c| {
-                    let mut buf = PredictBuffer::new();
-                    chunk_of(c)
-                        .iter()
-                        .map(|&i| model.predict_value_with(pool.x(i), &mut buf))
-                        .collect::<Vec<f64>>()
+                    let idx = chunk_of(c);
+                    EVAL_SCRATCH.with(|s| {
+                        let (ws, _, vals) = &mut *s.borrow_mut();
+                        model.predict_values_batch_into(
+                            idx.len(),
+                            |si, row| row.copy_from_slice(pool.x(idx[si])),
+                            ws,
+                            vals,
+                        );
+                        vals.clone()
+                    })
                 });
                 let scores: Vec<f64> = scores.into_iter().flatten().collect();
                 let labels: Vec<bool> = indices.iter().map(|&i| pool.value(i) > 0.5).collect();

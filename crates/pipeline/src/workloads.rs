@@ -31,7 +31,7 @@ use varbench_data::Dataset;
 use varbench_hpo::{Dim, SearchSpace};
 use varbench_models::linear::{LogisticRegression, RidgeRegression};
 use varbench_models::metrics::roc_auc;
-use varbench_models::TrainConfig;
+use varbench_models::{EvalWorkspace, TrainConfig};
 use varbench_rng::Rng;
 
 /// Logistic-regression workload on a binary Gaussian-overlap task.
@@ -110,9 +110,20 @@ impl LinearWorkload {
 
     fn accuracy(&self, model: &LogisticRegression, indices: &[usize]) -> f64 {
         assert!(!indices.is_empty(), "cannot evaluate on an empty set");
-        let correct = indices
+        // One batched forward over the whole index set (bitwise identical
+        // to the per-example loop); hit counting is exact integers.
+        let mut ws = EvalWorkspace::new();
+        let mut classes = Vec::new();
+        model.predict_classes_batch_into(
+            indices.len(),
+            |si, row| row.copy_from_slice(self.pool.x(indices[si])),
+            &mut ws,
+            &mut classes,
+        );
+        let correct = classes
             .iter()
-            .filter(|&&i| model.predict_class(self.pool.x(i)) == self.pool.label(i))
+            .zip(indices)
+            .filter(|&(&c, &i)| c == self.pool.label(i))
             .count();
         correct as f64 / indices.len() as f64
     }
@@ -227,10 +238,15 @@ impl SyntheticWorkload {
 
     fn auc(&self, model: &RidgeRegression, indices: &[usize]) -> f64 {
         assert!(!indices.is_empty(), "cannot evaluate on an empty set");
-        let scores: Vec<f64> = indices
-            .iter()
-            .map(|&i| model.predict(self.pool.x(i)))
-            .collect();
+        // Stage the index set example-major and score it through the
+        // batch GEMM kernel (bitwise identical to per-example `predict`).
+        let d = self.pool.dim();
+        let mut xs = vec![0.0; indices.len() * d];
+        for (si, &i) in indices.iter().enumerate() {
+            xs[si * d..(si + 1) * d].copy_from_slice(self.pool.x(i));
+        }
+        let mut scores = vec![0.0; indices.len()];
+        model.predict_batch_into(&xs, &mut scores);
         let labels: Vec<bool> = indices.iter().map(|&i| self.pool.value(i) > 0.5).collect();
         roc_auc(&scores, &labels)
     }

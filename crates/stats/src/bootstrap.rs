@@ -297,6 +297,78 @@ pub fn percentile_ci_prob_outperform_split(
     ci_from_replicates(estimate, stats, alpha)
 }
 
+/// One split-stream replicate of the generic *paired* bootstrap: seeds a
+/// child generator, resamples the pairs `(a_j, b_j)` into the caller's
+/// `ra`/`rb` buffers, and evaluates `stat` on the resample. A pure
+/// function of `(a, b, stat, seed)` — the unit the parallel driver in
+/// `varbench-core` fans out. The resampling loop is verbatim the body of
+/// [`percentile_ci_paired`]'s replicate loop, just drawing from the child
+/// stream.
+///
+/// # Panics
+///
+/// Panics if `ra`/`rb` lengths differ from `a`/`b` or the samples are
+/// empty.
+// lint: no-alloc
+pub fn paired_replicate(
+    a: &[f64],
+    b: &[f64],
+    stat: impl Fn(&[f64], &[f64]) -> f64,
+    seed: u64,
+    ra: &mut [f64],
+    rb: &mut [f64],
+) -> f64 {
+    let n = a.len();
+    assert!(n > 0, "bootstrap of empty sample");
+    assert!(
+        b.len() == n && ra.len() == n && rb.len() == n,
+        "paired bootstrap requires equal lengths"
+    );
+    let mut rng = Rng::seed_from_u64(seed);
+    for i in 0..n {
+        let j = rng.range_usize(n);
+        ra[i] = a[j];
+        rb[i] = b[j];
+    }
+    stat(ra, rb)
+}
+
+/// Split-stream percentile bootstrap for an arbitrary statistic of
+/// *paired* samples — the `*_split` analog of [`percentile_ci_paired`],
+/// serial driver of the parallelizable path. Each replicate resamples the
+/// pairs under its own child generator ([`paired_replicate`]), so
+/// replicates are pure `(inputs, seed)` units; the parallel fan-out in
+/// `varbench-core` is bit-identical to this function for any thread
+/// count. Like every `*_split` driver this is a *different* randomization
+/// than the serial [`percentile_ci_paired`] stream (same estimate,
+/// equally valid bounds — callers must key caches accordingly).
+///
+/// # Panics
+///
+/// As [`percentile_ci_paired`].
+pub fn percentile_ci_paired_split(
+    a: &[f64],
+    b: &[f64],
+    stat: impl Fn(&[f64], &[f64]) -> f64,
+    resamples: usize,
+    alpha: f64,
+    rng: &mut Rng,
+) -> ConfidenceInterval {
+    assert_eq!(a.len(), b.len(), "paired bootstrap requires equal lengths");
+    assert!(!a.is_empty(), "bootstrap of empty sample");
+    assert!(resamples > 0, "resamples must be > 0");
+    let estimate = stat(a, b);
+    let n = a.len();
+    let seeds = split_replicate_seeds(rng, resamples);
+    let mut ra = vec![0.0; n];
+    let mut rb = vec![0.0; n];
+    let stats: Vec<f64> = seeds
+        .iter()
+        .map(|&s| paired_replicate(a, b, &stat, s, &mut ra, &mut rb))
+        .collect();
+    ci_from_replicates(estimate, stats, alpha)
+}
+
 /// Split-stream percentile bootstrap for an arbitrary statistic of a
 /// single sample: the `*_split` analog of [`percentile_ci`]. Each
 /// replicate resamples under its own child generator, so replicates are
@@ -485,6 +557,60 @@ mod tests {
             reference.next_u64();
         }
         assert_eq!(used.next_u64(), reference.next_u64());
+    }
+
+    #[test]
+    fn paired_split_ci_deterministic_and_differs_from_serial() {
+        let a: Vec<f64> = (0..25).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..25).map(|i| (i as f64 * 0.5).cos()).collect();
+        let stat = |x: &[f64], y: &[f64]| {
+            x.iter().zip(y).map(|(p, q)| p - q).sum::<f64>() / x.len() as f64
+        };
+        let split1 =
+            percentile_ci_paired_split(&a, &b, stat, 400, 0.05, &mut Rng::seed_from_u64(60));
+        let split2 =
+            percentile_ci_paired_split(&a, &b, stat, 400, 0.05, &mut Rng::seed_from_u64(60));
+        assert_eq!(split1, split2, "split driver must be deterministic");
+        assert!(split1.lo <= split1.estimate && split1.estimate <= split1.hi);
+        let serial = percentile_ci_paired(&a, &b, stat, 400, 0.05, &mut Rng::seed_from_u64(60));
+        // Same point estimate; the bounds come from a different (equally
+        // valid) randomization and will not match bitwise.
+        assert_eq!(split1.estimate, serial.estimate);
+        assert_ne!((split1.lo, split1.hi), (serial.lo, serial.hi));
+    }
+
+    #[test]
+    fn paired_split_driver_consumes_exactly_one_draw_per_replicate() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [0.5, 2.5, 1.0, 3.5];
+        let mut used = Rng::seed_from_u64(61);
+        let mut reference = used.clone();
+        percentile_ci_paired_split(&a, &b, prob_outperform, 29, 0.1, &mut used);
+        for _ in 0..29 {
+            reference.next_u64();
+        }
+        assert_eq!(used.next_u64(), reference.next_u64());
+    }
+
+    #[test]
+    fn paired_split_generic_matches_prob_outperform_fast_path() {
+        // Routing `prob_outperform` through the generic paired split driver
+        // must reproduce the specialized win-indicator driver bit for bit:
+        // same child seeds, same replicate statistics, same quantiles.
+        let mut gen = Rng::seed_from_u64(62);
+        let a: Vec<f64> = (0..33).map(|_| gen.normal(0.0, 1.0)).collect();
+        let b: Vec<f64> = (0..33).map(|_| gen.normal(0.1, 1.0)).collect();
+        let generic = percentile_ci_paired_split(
+            &a,
+            &b,
+            prob_outperform,
+            600,
+            0.1,
+            &mut Rng::seed_from_u64(63),
+        );
+        let fast =
+            percentile_ci_prob_outperform_split(&a, &b, 600, 0.1, &mut Rng::seed_from_u64(63));
+        assert_eq!(generic, fast);
     }
 
     #[test]

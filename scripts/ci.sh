@@ -82,14 +82,14 @@ else
 fi
 
 # Perf-regression gate: quick-mode timing suites vs the committed
-# quick-mode companion baseline BENCH_5_quick.json — comparing quick
+# quick-mode companion baseline BENCH_6_quick.json — comparing quick
 # medians against quick medians, not against the full-mode trajectory
 # snapshot (quick mode's short reps read systematically slower on slow
 # boxes, which made the old full-baseline gate cry wolf). Timing on a
 # 1-CPU box is noise, so it skips there (the PR-1 convention).
-if [ "${CI_SKIP_PERF_GATE:-0}" != "1" ] && [ "$cores" -ge 2 ] && [ -f BENCH_5_quick.json ]; then
-    say "perf regression gate (quick bench vs BENCH_5_quick.json, +25% budget)"
-    target/release/varbench bench --quick --json --baseline BENCH_5_quick.json --max-regress 25 > /dev/null
+if [ "${CI_SKIP_PERF_GATE:-0}" != "1" ] && [ "$cores" -ge 2 ] && [ -f BENCH_6_quick.json ]; then
+    say "perf regression gate (quick bench vs BENCH_6_quick.json, +25% budget)"
+    target/release/varbench bench --quick --json --baseline BENCH_6_quick.json --max-regress 25 > /dev/null
 else
     say "perf gate skipped (cores=$cores, CI_SKIP_PERF_GATE=${CI_SKIP_PERF_GATE:-0})"
 fi
