@@ -1,0 +1,8 @@
+//! `cargo bench` wrapper for the shared serve suite
+//! (`varbench_bench::suites::serve`; also runnable via `varbench bench`).
+
+use varbench_bench::timing::Harness;
+
+fn main() {
+    varbench_bench::suites::serve(&mut Harness::new("serve"));
+}

@@ -50,6 +50,18 @@ impl Effort {
         }
     }
 
+    /// Maps a stable label (`test` / `quick` / `full` — the
+    /// [`Effort::label`] vocabulary, used by the serve protocol) to its
+    /// preset; `None` for anything else.
+    pub fn from_label(label: &str) -> Option<Effort> {
+        match label {
+            "test" => Some(Effort::Test),
+            "quick" => Some(Effort::Quick),
+            "full" => Some(Effort::Full),
+            _ => None,
+        }
+    }
+
     /// The case-study scale this effort implies.
     pub fn scale(&self) -> Scale {
         match self {
@@ -104,5 +116,14 @@ mod tests {
         assert_eq!(Effort::Full.label(), "full");
         assert_eq!(Effort::from_flag("--test"), Some(Effort::Test));
         assert_eq!(Effort::from_flag("--nope"), None);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for e in [Effort::Test, Effort::Quick, Effort::Full] {
+            assert_eq!(Effort::from_label(e.label()), Some(e));
+        }
+        assert_eq!(Effort::from_label("--test"), None);
+        assert_eq!(Effort::from_label("Full"), None);
     }
 }

@@ -7,25 +7,31 @@
 //! varbench run <name ...|all> [--test|--quick|--full] [--filter SUBSTR]
 //!              [--json|--csv] [--out DIR] [--serial] [--no-cache]
 //!              [--threads N]
-//! varbench cache stats|clear
+//! varbench study <workload> [--seeds N] [--budget N] [--gamma G] ...
+//! varbench serve [--addr HOST:PORT] [--ready-file FILE]
+//! varbench query PATH [BODY] [--addr HOST:PORT]
+//! varbench cache stats|gc|clear
 //! varbench lint [--json|--list] [PATHS ...]
 //! ```
 //!
 //! Artifacts share one measurement cache (persisted across runs when
 //! `VARBENCH_CACHE_DIR` is set) and are scheduled in parallel on the
 //! work-stealing executor; per-artifact output is byte-identical to
-//! running each artifact alone, serially, without a cache.
+//! running each artifact alone, serially, without a cache — and
+//! byte-identical again when served over HTTP by `varbench serve`.
 
 #![forbid(unsafe_code)]
 
 use varbench_bench::args::Effort;
+use varbench_bench::protocol::{json_envelope, parse_algo, parse_source, StudyRequest};
 use varbench_bench::registry::{self, RunContext, Spec};
+use varbench_bench::serve::{http_request, ServeState, Server};
 use varbench_bench::timing::{parse_snapshot, BenchResult, Harness, Output};
 use varbench_bench::{suites, workloads};
 use varbench_core::ctx::BootstrapMode;
 use varbench_core::exec::Runner;
-use varbench_core::report::{json_string, Report};
-use varbench_pipeline::cache::{CACHE_DIR_ENV, CACHE_FORMAT_VERSION};
+use varbench_core::report::Report;
+use varbench_pipeline::cache::{gc_dir, CACHE_DIR_ENV, CACHE_FORMAT_VERSION};
 use varbench_pipeline::MeasureCache;
 
 const USAGE: &str = "varbench — variance-aware benchmark reproduction harness
@@ -34,10 +40,44 @@ USAGE:
     varbench list
     varbench workloads [--test|--quick|--full]
     varbench run <name ...|all> [OPTIONS]
+    varbench study <workload> [OPTIONS]
+    varbench serve [OPTIONS]
+    varbench query PATH [BODY] [--addr HOST:PORT]
     varbench bench [SUITE ...] [--quick] [--json]
                    [--baseline FILE] [--max-regress PCT]
-    varbench cache stats|clear
+    varbench cache stats|gc|clear
     varbench lint [--json|--list] [PATHS ...]
+
+OPTIONS (study):
+    --test | --quick | --full   effort preset / workload scale (default: --quick)
+    --seeds N                   measurements per source (default 10, min 2)
+    --budget N                  HPO trials; > 0 adds the xi_H row (default 0)
+    --gamma G                   add the Noether comparison-planning block for
+                                detecting P(A > B) > G (G in (0,1), != 0.5)
+    --sources a,b,...           restrict to these source labels (see workloads)
+    --algo NAME                 HPO algorithm display name (e.g. 'Grid Search')
+    --base-seed N               base seed every measurement derives from
+    --name NAME                 report name override
+    --json                      emit the varbench-report/1 envelope
+    --addr HOST:PORT            run the study on a `varbench serve` instance
+                                instead of in-process (response is identical)
+    --serial / --threads N      local execution knobs (as for run)
+
+OPTIONS (serve):
+    --addr HOST:PORT            listen address (default 127.0.0.1:7878; port 0
+                                picks a free port)
+    --ready-file FILE           write the bound address to FILE once listening
+                                (lets scripts wait without polling)
+    --serial / --threads N      executor knobs shared by all requests
+    --par-bootstrap             as for run
+    endpoints: GET /health /v1/workloads /v1/artifacts /v1/cache/stats;
+    POST /v1/run /v1/study /v1/shutdown (JSON; see README 'Serving')
+
+OPTIONS (query):
+    PATH                        endpoint path (e.g. /v1/workloads)
+    BODY                        JSON request body (implies POST)
+    --addr HOST:PORT            server address (default 127.0.0.1:7878)
+    --post                      force POST without a body (e.g. /v1/shutdown)
 
 OPTIONS (lint):
     PATHS ...                   files or directories to check, relative to the
@@ -108,15 +148,6 @@ impl Format {
     }
 }
 
-/// The `varbench-report/1` JSON document wrapping rendered artifacts.
-fn json_envelope(effort: Effort, artifact_docs: &[String]) -> String {
-    format!(
-        "{{\"schema\":\"varbench-report/1\",\"effort\":{},\"artifacts\":[{}]}}",
-        json_string(effort.label()),
-        artifact_docs.join(",")
-    )
-}
-
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!("run `varbench --help` for usage");
@@ -139,11 +170,15 @@ fn main() {
         }
         Some("workloads") => list_workloads(&args[1..]),
         Some("run") => run(&args[1..]),
+        Some("study") => study_command(&args[1..]),
+        Some("serve") => serve_command(&args[1..]),
+        Some("query") => query_command(&args[1..]),
         Some("bench") => bench_command(&args[1..]),
         Some("cache") => cache_command(&args[1..]),
         Some("lint") => lint_command(&args[1..]),
         Some(other) => fail(&format!(
-            "unknown command '{other}' (expected list, workloads, run, bench, cache, or lint)"
+            "unknown command '{other}' (expected list, workloads, run, study, serve, \
+             query, bench, cache, or lint)"
         )),
     }
 }
@@ -324,6 +359,28 @@ fn cache_command(args: &[String]) {
                 println!("  {version}{current}: {files} records, {bytes} bytes");
             }
         }
+        Some("gc") => {
+            let Some(dir) = dir else {
+                fail(&format!("{CACHE_DIR_ENV} not set; nothing to collect"));
+            };
+            let report = gc_dir(&dir)
+                .unwrap_or_else(|e| fail(&format!("cache gc failed in {}: {e}", dir.display())));
+            println!(
+                "cache gc: kept {} records ({} bytes) under {}",
+                report.kept_records,
+                report.kept_bytes,
+                dir.display()
+            );
+            println!(
+                "removed {} files (stale-format {}, torn {}, orphan-tmp {}); \
+                 reclaimed {} bytes",
+                report.files_removed(),
+                report.stale_version_files,
+                report.torn_files,
+                report.tmp_files,
+                report.bytes_reclaimed
+            );
+        }
         Some("clear") => {
             let Some(dir) = dir else {
                 fail(&format!("{CACHE_DIR_ENV} not set; nothing to clear"));
@@ -343,9 +400,305 @@ fn cache_command(args: &[String]) {
             }
         }
         Some(other) => fail(&format!(
-            "unknown cache subcommand '{other}' (expected stats or clear)"
+            "unknown cache subcommand '{other}' (expected stats, gc, or clear)"
         )),
-        None => fail("cache needs a subcommand: stats or clear"),
+        None => fail("cache needs a subcommand: stats, gc, or clear"),
+    }
+}
+
+/// Builds the execution context `serve`/`study` run against: executor
+/// knobs plus the (possibly disk-backed) shared measurement cache.
+fn build_ctx(serial: bool, threads: Option<usize>, par_bootstrap: bool) -> RunContext {
+    let runner = match (serial, threads) {
+        (true, _) => Runner::serial(),
+        (false, Some(n)) => Runner::new(n),
+        (false, None) => Runner::from_env(),
+    };
+    let bootstrap = if par_bootstrap {
+        BootstrapMode::SplitPerReplicate
+    } else {
+        BootstrapMode::from_env()
+    };
+    RunContext::new(runner, MeasureCache::from_env()).with_bootstrap(bootstrap)
+}
+
+fn resolve_addr(addr: &str) -> std::net::SocketAddr {
+    use std::net::ToSocketAddrs;
+    addr.to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .unwrap_or_else(|| fail(&format!("cannot resolve address '{addr}'")))
+}
+
+/// `varbench serve`: the long-running study server. All requests share
+/// one executor and one measurement cache, so repeated and overlapping
+/// studies answer from warm matrices (see `varbench_bench::serve`).
+fn serve_command(args: &[String]) {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut serial = false;
+    let mut threads: Option<usize> = None;
+    let mut par_bootstrap = false;
+    let mut ready_file: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--serial" => serial = true,
+            "--par-bootstrap" => par_bootstrap = true,
+            "--addr" => {
+                addr = it
+                    .next()
+                    .unwrap_or_else(|| fail("--addr needs HOST:PORT"))
+                    .clone();
+            }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--threads needs a number"));
+                threads = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid thread count '{v}'"))),
+                );
+            }
+            "--ready-file" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--ready-file needs a path"));
+                ready_file = Some(v.into());
+            }
+            other => fail(&format!("unknown serve argument '{other}'")),
+        }
+    }
+    let ctx = build_ctx(serial, threads, par_bootstrap);
+    let persistent = ctx.cache().is_persistent();
+    let server = Server::bind(&addr, ServeState::new(ctx))
+        .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
+    let local = server
+        .local_addr()
+        .unwrap_or_else(|e| fail(&format!("cannot read bound address: {e}")));
+    eprintln!(
+        "varbench serve: listening on {local} (measurement cache: {})",
+        if persistent {
+            "disk-backed"
+        } else {
+            "in-memory"
+        }
+    );
+    if let Some(path) = ready_file {
+        // Written only once the listener is live: a script that waits for
+        // this file never races the bind.
+        if let Err(e) = std::fs::write(&path, format!("{local}\n")) {
+            fail(&format!("cannot write {}: {e}", path.display()));
+        }
+    }
+    if let Err(e) = server.run() {
+        fail(&format!("serve failed: {e}"));
+    }
+    eprintln!("varbench serve: shut down");
+}
+
+/// `varbench query`: one HTTP exchange with a running server, body to
+/// stdout — the std-only curl stand-in used by scripts/ci.sh.
+fn query_command(args: &[String]) {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut post = false;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--post" => post = true,
+            "--addr" => {
+                addr = it
+                    .next()
+                    .unwrap_or_else(|| fail("--addr needs HOST:PORT"))
+                    .clone();
+            }
+            flag if flag.starts_with('-') => fail(&format!("unknown query flag '{flag}'")),
+            _ => positional.push(a),
+        }
+    }
+    let Some(path) = positional.first() else {
+        fail("query needs an endpoint PATH (e.g. /v1/workloads)");
+    };
+    if positional.len() > 2 {
+        fail("query takes at most PATH and BODY");
+    }
+    let body = positional.get(1).map(|s| s.as_str());
+    let method = if post || body.is_some() {
+        "POST"
+    } else {
+        "GET"
+    };
+    let (status, response) =
+        http_request(resolve_addr(&addr), method, path, body).unwrap_or_else(|e| {
+            fail(&format!(
+                "request to {addr} failed: {e} (is `varbench serve` running there?)"
+            ))
+        });
+    print!("{response}");
+    if status != 200 {
+        eprintln!("HTTP {status}");
+        std::process::exit(1);
+    }
+}
+
+/// `varbench study`: the Study builder as a first-class subcommand —
+/// locally in-process, or (with --addr) on a running `varbench serve`,
+/// with byte-identical JSON either way.
+fn study_command(args: &[String]) {
+    let mut workload: Option<String> = None;
+    let mut effort = Effort::Quick;
+    let mut sources: Option<Vec<varbench_pipeline::VarianceSource>> = None;
+    let mut seeds: Option<usize> = None;
+    let mut base_seed: Option<u64> = None;
+    let mut budget: Option<usize> = None;
+    let mut algo: Option<varbench_pipeline::HpoAlgorithm> = None;
+    let mut gamma: Option<f64> = None;
+    let mut name: Option<String> = None;
+    let mut json = false;
+    let mut serial = false;
+    let mut threads: Option<usize> = None;
+    let mut remote: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str, what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs {what}")))
+                .clone()
+        };
+        match a.as_str() {
+            "--json" => json = true,
+            "--serial" => serial = true,
+            "--addr" => remote = Some(value("--addr", "HOST:PORT")),
+            "--name" => name = Some(value("--name", "a report name")),
+            "--seeds" => {
+                let v = value("--seeds", "a count >= 2");
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid seed count '{v}'")));
+                if n < 2 {
+                    fail("a variance study needs at least 2 seeds");
+                }
+                seeds = Some(n);
+            }
+            "--budget" => {
+                let v = value("--budget", "a trial count");
+                budget = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid budget '{v}'"))),
+                );
+            }
+            "--base-seed" => {
+                let v = value("--base-seed", "a seed");
+                base_seed = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid seed '{v}'"))),
+                );
+            }
+            "--threads" => {
+                let v = value("--threads", "a number");
+                threads = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid thread count '{v}'"))),
+                );
+            }
+            "--gamma" => {
+                let v = value("--gamma", "a probability");
+                let g: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid gamma '{v}'")));
+                if !(g > 0.0 && g < 1.0) || (g - 0.5).abs() <= 1e-9 {
+                    fail("--gamma must be in (0, 1) and differ from 0.5");
+                }
+                gamma = Some(g);
+            }
+            "--sources" => {
+                let v = value("--sources", "a comma-separated label list");
+                let parsed: Vec<_> = v
+                    .split(',')
+                    .map(|label| {
+                        parse_source(label.trim()).unwrap_or_else(|| {
+                            fail(&format!(
+                                "unknown variance source '{label}' (see `varbench workloads`)"
+                            ))
+                        })
+                    })
+                    .collect();
+                sources = Some(parsed);
+            }
+            "--algo" => {
+                let v = value("--algo", "an algorithm name");
+                algo = Some(parse_algo(&v).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown algorithm '{v}' (expected 'Random Search', 'Grid Search', \
+                         'Noisy Grid Search', or 'Bayes Opt')"
+                    ))
+                }));
+            }
+            flag if Effort::from_flag(flag).is_some() => {
+                effort = Effort::from_flag(flag).expect("checked");
+            }
+            flag if flag.starts_with('-') => fail(&format!("unknown study flag '{flag}'")),
+            positional => {
+                if workload.is_some() {
+                    fail(&format!(
+                        "study takes one workload, got extra '{positional}'"
+                    ));
+                }
+                workload = Some(positional.to_string());
+            }
+        }
+    }
+    let Some(workload) = workload else {
+        fail("study needs a workload name (run `varbench workloads` for the registry)");
+    };
+    let req = StudyRequest {
+        workload,
+        effort,
+        sources,
+        seeds,
+        base_seed,
+        budget,
+        algo,
+        gamma,
+        name,
+    };
+
+    if let Some(addr) = remote {
+        if serial || threads.is_some() {
+            fail("--serial/--threads are local knobs; the server owns remote execution");
+        }
+        let (status, response) = http_request(
+            resolve_addr(&addr),
+            "POST",
+            "/v1/study",
+            Some(&req.to_json()),
+        )
+        .unwrap_or_else(|e| {
+            fail(&format!(
+                "request to {addr} failed: {e} (is `varbench serve` running there?)"
+            ))
+        });
+        if status != 200 {
+            eprint!("{response}");
+            fail(&format!("server rejected the study (HTTP {status})"));
+        }
+        // The server's envelope is byte-identical to local --json output.
+        print!("{response}");
+        return;
+    }
+
+    let ctx = build_ctx(serial, threads, false);
+    if json {
+        match req.run_json(&ctx) {
+            Ok(body) => print!("{body}"),
+            Err(e) => fail(&e),
+        }
+    } else {
+        match req.run(&ctx) {
+            Ok(report) => print!("{}", report.render_text()),
+            Err(e) => fail(&e),
+        }
     }
 }
 

@@ -31,7 +31,9 @@ pub mod args;
 pub mod calibrate;
 pub mod figures;
 pub mod leaderboard;
+pub mod protocol;
 pub mod registry;
+pub mod serve;
 pub mod suites;
 pub mod timing;
 pub mod workloads;

@@ -1,0 +1,527 @@
+//! `varbench serve` — a std-only HTTP/1.1 + JSON study server over the
+//! shared measurement cache.
+//!
+//! The paper's score matrices are community infrastructure: queried far
+//! more often than they are computed. This module turns the one-shot CLI
+//! into a long-running service — a thread-per-connection loop where
+//! every request runs against **one** [`RunContext`], so the
+//! `MeasureCache` answers warm requests instantly from memory or disk,
+//! schedules only the missing matrix delta for cold ones, and coalesces
+//! concurrent identical requests into a single computation.
+//!
+//! # Endpoints
+//!
+//! | method & path | body | answers |
+//! |---|---|---|
+//! | `GET /health` | — | liveness probe |
+//! | `GET /v1/workloads` | — | registered workload names + sources |
+//! | `GET /v1/artifacts` | — | registry artifact names |
+//! | `GET /v1/cache/stats` | — | cache hit/miss/coalescing counters |
+//! | `POST /v1/run` | [`RunRequest`] | `varbench-report/1` envelope |
+//! | `POST /v1/study` | [`StudyRequest`] | `varbench-report/1` envelope |
+//! | `POST /v1/shutdown` | — | acks, then stops accepting |
+//!
+//! Every response is `Connection: close` JSON. Report responses are
+//! **byte-identical** to the equivalent offline CLI invocation
+//! (`varbench run ... --json` / `varbench study ... --json`): the
+//! protocol layer shares the CLI's envelope and builders, and the cache
+//! guarantees cached == uncached bytes, so where a value is computed —
+//! this process, an earlier process, another thread — never shows in
+//! the response.
+//!
+//! The server reads no wall clock (socket timeouts are plain
+//! `Duration`s); it is deterministic in its inputs like everything else
+//! in the workspace.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::args::Effort;
+use crate::protocol::{RunRequest, StudyRequest};
+use crate::registry;
+use crate::workloads;
+use varbench_core::ctx::RunContext;
+use varbench_core::json::Json;
+use varbench_core::report::json_string;
+
+/// Per-connection socket timeout (read and write). Generous: a cold
+/// `--full` study computes for a while before the response starts.
+const IO_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Maximum accepted request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+
+/// Maximum accepted request body.
+const MAX_BODY: usize = 1024 * 1024;
+
+/// Shared server state: the one execution context every request runs
+/// against. Sharing the context is the entire point — it is what makes
+/// request N answerable from the matrices requests 1..N-1 computed.
+pub struct ServeState {
+    ctx: RunContext,
+}
+
+impl ServeState {
+    /// Wraps an execution context for serving.
+    pub fn new(ctx: RunContext) -> ServeState {
+        ServeState { ctx }
+    }
+
+    /// The shared execution context.
+    pub fn ctx(&self) -> &RunContext {
+        &self.ctx
+    }
+}
+
+/// Dispatches one parsed request to its handler — the pure core of the
+/// server (no sockets), so tests and benches drive it directly.
+/// Returns `(status, body)`; bodies are JSON and newline-terminated.
+pub fn route(state: &ServeState, method: &str, path: &str, body: &str) -> (u16, String) {
+    match (method, path) {
+        ("GET", "/health") => (200, "{\"ok\":true}\n".into()),
+        ("GET", "/v1/workloads") => (200, workloads_body()),
+        ("GET", "/v1/artifacts") => (200, artifacts_body()),
+        ("GET", "/v1/cache/stats") => (200, cache_stats_body(state)),
+        ("POST", "/v1/run") => match parse_body(body).and_then(|doc| RunRequest::from_json(&doc)) {
+            Ok(req) => (200, req.run(state.ctx())),
+            Err(e) => (400, error_body(&e)),
+        },
+        ("POST", "/v1/study") => {
+            match parse_body(body).and_then(|doc| StudyRequest::from_json(&doc)) {
+                Ok(req) => match req.run_json(state.ctx()) {
+                    Ok(body) => (200, body),
+                    Err(e) => (400, error_body(&e)),
+                },
+                Err(e) => (400, error_body(&e)),
+            }
+        }
+        ("POST", "/v1/shutdown") => (200, "{\"ok\":true,\"shutting_down\":true}\n".into()),
+        // Known path, wrong method → 405; anything else → 404.
+        (_, "/health" | "/v1/workloads" | "/v1/artifacts" | "/v1/cache/stats") => {
+            (405, error_body("use GET for this endpoint"))
+        }
+        (_, "/v1/run" | "/v1/study" | "/v1/shutdown") => {
+            (405, error_body("use POST for this endpoint"))
+        }
+        _ => (404, error_body(&format!("no such endpoint: {path}"))),
+    }
+}
+
+fn parse_body(body: &str) -> Result<Json, String> {
+    if body.trim().is_empty() {
+        return Err("request body must be a JSON object".into());
+    }
+    Json::parse(body).map_err(|e| format!("invalid JSON: {e}"))
+}
+
+fn error_body(message: &str) -> String {
+    format!("{{\"error\":{}}}\n", json_string(message))
+}
+
+fn workloads_body() -> String {
+    let items: Vec<String> = workloads::all(Effort::Quick.scale())
+        .iter()
+        .map(|w| {
+            let sources: Vec<String> = w
+                .active_sources()
+                .iter()
+                .map(|s| json_string(s.label()))
+                .collect();
+            format!(
+                "{{\"name\":{},\"metric\":{},\"sources\":[{}]}}",
+                json_string(w.name()),
+                json_string(w.metric_name()),
+                sources.join(",")
+            )
+        })
+        .collect();
+    format!("{{\"workloads\":[{}]}}\n", items.join(","))
+}
+
+fn artifacts_body() -> String {
+    let items: Vec<String> = registry::all()
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"name\":{},\"title\":{},\"description\":{}}}",
+                json_string(s.name),
+                json_string(s.title),
+                json_string(s.description)
+            )
+        })
+        .collect();
+    format!("{{\"artifacts\":[{}]}}\n", items.join(","))
+}
+
+fn cache_stats_body(state: &ServeState) -> String {
+    let s = state.ctx().cache().stats();
+    format!(
+        "{{\"full_hits\":{},\"extensions\":{},\"misses\":{},\"rows_computed\":{},\
+         \"rows_served\":{},\"records_computed\":{},\"records_served\":{},\
+         \"record_fits_computed\":{},\"disk_loads\":{},\"coalesced\":{},\
+         \"persistent\":{}}}\n",
+        s.full_hits,
+        s.extensions,
+        s.misses,
+        s.rows_computed,
+        s.rows_served,
+        s.records_computed,
+        s.records_served,
+        s.record_fits_computed,
+        s.disk_loads,
+        s.coalesced,
+        state.ctx().cache().is_persistent(),
+    )
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Reads and parses one HTTP/1.x request. Errors map to a ready-to-send
+/// `(status, body)` pair.
+fn read_request(stream: &mut TcpStream) -> Result<Request, (u16, String)> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(i) = find_head_end(&buf) {
+            break i;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err((413, error_body("request head too large")));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err((400, error_body("connection closed mid-request"))),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err((408, error_body(&format!("read failed: {e}")))),
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| (400, error_body("request head is not UTF-8")))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = (
+        parts.next().unwrap_or(""),
+        parts.next().unwrap_or(""),
+        parts.next().unwrap_or(""),
+    );
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err((400, error_body("malformed request line")));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| (400, error_body("bad Content-Length")))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err((413, error_body("request body too large")));
+    }
+    let mut body_bytes = buf[head_end + 4..].to_vec();
+    while body_bytes.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err((400, error_body("connection closed mid-body"))),
+            Ok(n) => body_bytes.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err((408, error_body(&format!("read failed: {e}")))),
+        }
+    }
+    body_bytes.truncate(content_length);
+    let body = String::from_utf8(body_bytes)
+        .map_err(|_| (400, error_body("request body is not UTF-8")))?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn render_response(status: u16, body: &str) -> String {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Serves one connection; returns whether it was an acknowledged
+/// shutdown request.
+fn handle_connection(mut stream: TcpStream, state: &ServeState) -> bool {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let (status, body, shutdown) = match read_request(&mut stream) {
+        Ok(req) => {
+            // A panicking handler (a bug, or a workload assert) must kill
+            // one response, not the server.
+            let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                route(state, &req.method, &req.path, &req.body)
+            }));
+            let (status, body) = routed
+                .unwrap_or_else(|_| (500, error_body("internal error: request handler panicked")));
+            let is_shutdown = status == 200 && req.method == "POST" && req.path == "/v1/shutdown";
+            (status, body, is_shutdown)
+        }
+        Err((status, body)) => (status, body, false),
+    };
+    let _ = stream.write_all(render_response(status, &body).as_bytes());
+    let _ = stream.flush();
+    shutdown
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`, or port `0` for an
+    /// OS-assigned one).
+    pub fn bind(addr: &str, state: ServeState) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            state: Arc::new(state),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections until a `POST /v1/shutdown` is acknowledged,
+    /// one handler thread per connection, then drains in-flight
+    /// handlers and returns.
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for conn in self.listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            workers.retain(|w| !w.is_finished());
+            let state = Arc::clone(&self.state);
+            let shutdown_flag = Arc::clone(&shutdown);
+            workers.push(std::thread::spawn(move || {
+                if handle_connection(stream, &state) {
+                    shutdown_flag.store(true, Ordering::SeqCst);
+                    // Poke the accept loop so it observes the flag; the
+                    // poke connection is accepted and dropped unserved.
+                    let _ = TcpStream::connect(addr);
+                }
+            }));
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// A minimal std-only HTTP/1.1 client for one request/response exchange
+/// (`Connection: close`) — the `varbench query` transport, the CI smoke
+/// test's curl replacement, and the serve bench driver.
+///
+/// `body = None` sends a bare request (GET-style); `Some` posts it.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    stream.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    stream.flush()?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    parse_response(&response)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+fn parse_response(raw: &[u8]) -> Option<(u16, String)> {
+    let head_end = find_head_end(raw)?;
+    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+    let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
+    let body = String::from_utf8(raw[head_end + 4..].to_vec()).ok()?;
+    Some((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::json_envelope;
+
+    fn state() -> ServeState {
+        ServeState::new(RunContext::serial_cached())
+    }
+
+    #[test]
+    fn route_serves_discovery_endpoints() {
+        let s = state();
+        let (status, body) = route(&s, "GET", "/health", "");
+        assert_eq!((status, body.as_str()), (200, "{\"ok\":true}\n"));
+
+        let (status, body) = route(&s, "GET", "/v1/workloads", "");
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).expect("workloads body is valid JSON");
+        let items = doc.get("workloads").and_then(Json::as_array).unwrap();
+        assert_eq!(items.len(), 7);
+        assert!(items
+            .iter()
+            .any(|w| w.get("name").and_then(Json::as_str) == Some("synthetic-ridge")));
+
+        let (status, body) = route(&s, "GET", "/v1/artifacts", "");
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).expect("artifacts body is valid JSON");
+        let items = doc.get("artifacts").and_then(Json::as_array).unwrap();
+        assert_eq!(items.len(), registry::all().len());
+
+        let (status, body) = route(&s, "GET", "/v1/cache/stats", "");
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).expect("stats body is valid JSON");
+        assert_eq!(doc.get("full_hits").and_then(Json::as_u64), Some(0));
+        assert_eq!(doc.get("coalesced").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn route_maps_errors_to_statuses() {
+        let s = state();
+        assert_eq!(route(&s, "GET", "/nope", "").0, 404);
+        assert_eq!(route(&s, "POST", "/health", "").0, 405);
+        assert_eq!(route(&s, "GET", "/v1/run", "").0, 405);
+        let (status, body) = route(&s, "POST", "/v1/run", "{not json");
+        assert_eq!(status, 400);
+        assert!(body.contains("invalid JSON"), "{body}");
+        let (status, body) = route(&s, "POST", "/v1/run", "");
+        assert_eq!(status, 400);
+        assert!(body.contains("JSON object"), "{body}");
+        let (status, body) = route(&s, "POST", "/v1/study", r#"{"workload":"nope"}"#);
+        assert_eq!(status, 400);
+        assert!(body.contains("unknown workload"), "{body}");
+    }
+
+    #[test]
+    fn route_run_matches_cli_bytes_and_reuses_the_cache() {
+        let s = state();
+        let (status, body) = route(
+            &s,
+            "POST",
+            "/v1/run",
+            r#"{"artifacts":["workload-synth"],"effort":"test"}"#,
+        );
+        assert_eq!(status, 200);
+        let spec = registry::find("workload-synth").unwrap();
+        let report = spec.run(Effort::Test, &RunContext::serial());
+        let expect = json_envelope(Effort::Test, &[report.to_json()]) + "\n";
+        assert_eq!(body, expect, "serve response == CLI --json stdout");
+
+        let computed = s.ctx().cache().stats().rows_computed;
+        assert!(computed > 0, "cold request computed the matrices");
+        // Same request again: answered entirely from the shared cache.
+        let (status, warm) = route(
+            &s,
+            "POST",
+            "/v1/run",
+            r#"{"artifacts":["workload-synth"],"effort":"test"}"#,
+        );
+        assert_eq!(status, 200);
+        assert_eq!(warm, body, "warm response is bit-identical");
+        assert_eq!(
+            s.ctx().cache().stats().rows_computed,
+            computed,
+            "warm request computed nothing new"
+        );
+    }
+
+    #[test]
+    fn server_round_trips_over_a_real_socket() {
+        let server = Server::bind("127.0.0.1:0", state()).expect("bind loopback");
+        let addr = server.local_addr().expect("bound addr");
+        let handle = std::thread::spawn(move || server.run());
+
+        let (status, body) = http_request(addr, "GET", "/health", None).unwrap();
+        assert_eq!((status, body.as_str()), (200, "{\"ok\":true}\n"));
+
+        let study = r#"{"workload":"synthetic-ridge","effort":"test","seeds":3}"#;
+        let (status, body) = http_request(addr, "POST", "/v1/study", Some(study)).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(
+            body.starts_with("{\"schema\":\"varbench-report/1\""),
+            "{body}"
+        );
+        assert!(body.ends_with('\n'));
+
+        let (status, _) = http_request(addr, "GET", "/bogus", None).unwrap();
+        assert_eq!(status, 404);
+
+        let (status, body) = http_request(addr, "POST", "/v1/shutdown", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("shutting_down"), "{body}");
+        handle
+            .join()
+            .expect("server thread exits cleanly")
+            .expect("accept loop exits without io error");
+    }
+
+    #[test]
+    fn malformed_requests_get_4xx_not_hangs() {
+        let server = Server::bind("127.0.0.1:0", state()).expect("bind loopback");
+        let addr = server.local_addr().expect("bound addr");
+        let handle = std::thread::spawn(move || server.run());
+
+        // Garbage request line.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"BLARGH\r\n\r\n").unwrap();
+        let mut raw = Vec::new();
+        s.read_to_end(&mut raw).unwrap();
+        let (status, _) = parse_response(&raw).expect("well-formed error response");
+        assert_eq!(status, 400);
+
+        // Connection dropped before the head completes.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /health HTTP/1.1\r\n").unwrap();
+        drop(s);
+
+        // Server still answers afterwards.
+        let (status, _) = http_request(addr, "GET", "/health", None).unwrap();
+        assert_eq!(status, 200);
+        let _ = http_request(addr, "POST", "/v1/shutdown", None).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+}

@@ -40,6 +40,7 @@ pub const SUITES: &[(&str, SuiteFn)] = &[
     ("estimators", estimators),
     ("compare", compare),
     ("hpo", hpo),
+    ("serve", serve),
 ];
 
 /// Looks up a suite body by name.
@@ -533,6 +534,46 @@ pub fn compare(c: &mut Harness) {
             resamples: 100,
         };
         bch.iter(|| detection_study(black_box(&task), &[0.75], &config, 3))
+    });
+}
+
+/// The serve subsystem's request path: `route()` driven directly (no
+/// sockets), so the numbers isolate dispatch + protocol + cache lookup
+/// from kernel networking. The warm-cache request benches are the
+/// headline: a served study that answers without computing anything.
+pub fn serve(c: &mut Harness) {
+    use crate::protocol::StudyRequest;
+    use crate::serve::{route, ServeState};
+    use varbench_core::json::Json;
+
+    let state = ServeState::new(RunContext::serial_cached());
+
+    c.bench_function("route_health", |b| {
+        b.iter(|| route(black_box(&state), "GET", "/health", ""))
+    });
+
+    c.bench_function("route_workloads", |b| {
+        b.iter(|| route(black_box(&state), "GET", "/v1/workloads", ""))
+    });
+
+    let study = r#"{"workload":"synthetic-ridge","effort":"test","seeds":4,"gamma":0.75}"#;
+    c.bench_function("study_request_parse", |b| {
+        b.iter(|| StudyRequest::from_json(&Json::parse(black_box(study)).unwrap()))
+    });
+
+    // Warm the shared cache once, then measure pure cache-hit serving —
+    // the steady state of a long-running server.
+    let (status, _) = route(&state, "POST", "/v1/study", study);
+    assert_eq!(status, 200, "warmup request succeeds");
+    c.bench_function("route_study_warm_cache", |b| {
+        b.iter(|| route(black_box(&state), "POST", "/v1/study", black_box(study)))
+    });
+
+    let run = r#"{"artifacts":["workload-synth"],"effort":"test"}"#;
+    let (status, _) = route(&state, "POST", "/v1/run", run);
+    assert_eq!(status, 200, "warmup request succeeds");
+    c.bench_function("route_run_warm_cache", |b| {
+        b.iter(|| route(black_box(&state), "POST", "/v1/run", black_box(run)))
     });
 }
 

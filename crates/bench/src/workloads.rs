@@ -25,6 +25,12 @@ pub fn all(scale: Scale) -> Vec<Box<dyn Workload>> {
     out
 }
 
+/// Looks a workload up by registered name at `scale` (the serve
+/// protocol's workload resolution).
+pub fn find(name: &str, scale: Scale) -> Option<Box<dyn Workload>> {
+    all(scale).into_iter().find(|w| w.name() == name)
+}
+
 /// The registry artifact that measures `workload_name`'s variance
 /// profile (`varbench run <artifact>`), if one exists. The five case
 /// studies are measured by the paper-figure artifacts instead.

@@ -1,0 +1,529 @@
+//! A minimal JSON value model and recursive-descent parser.
+//!
+//! The workspace is dependency-free, so the serve protocol parses its
+//! request bodies with this module instead of serde. It is the *reading*
+//! half only — writing stays with [`crate::report`]'s renderers
+//! ([`crate::report::json_string`] and friends), which the protocol and
+//! CLI already share.
+//!
+//! Scope: RFC 8259 minus two deliberate simplifications that cannot
+//! affect the serve protocol's request grammar:
+//!
+//! * numbers are parsed as `f64` (the protocol's integers are small
+//!   counts — seeds, budgets, ports — all exactly representable);
+//! * `\uXXXX` escapes decode the Basic Multilingual Plane only; lone
+//!   and paired surrogates are rejected rather than combined (workload
+//!   names and source labels are ASCII).
+//!
+//! Objects preserve insertion order in a `Vec<(String, Json)>` — no hash
+//! maps (varbench lint L001), and re-rendering is deterministic by
+//! construction.
+
+use std::fmt;
+
+/// Maximum nesting depth [`Json::parse`] accepts; deeper documents are
+/// a [`JsonError`], not a stack overflow. The serve protocol needs 2.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (see module docs: parsed as `f64`).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order. Duplicate keys are rejected at
+    /// parse time, so lookup by first match is unambiguous.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses one complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer: `None` unless this
+    /// is a number that is an exact unsigned integer (no fraction, no
+    /// loss) — `3.5`, `-1` and `1e300` all return `None`.
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n >= 0.0 && n <= u64::MAX as f64 && n.fract() == 0.0 {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields in document order, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// A short name for this value's type (for error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "boolean",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string().map_err(|e| JsonError {
+                message: format!("object key: {}", e.message),
+                offset: e.offset,
+            })?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                // A duplicate key means two contradictory settings in one
+                // request; silently keeping either one would be a trap.
+                return Err(self.err(format!("duplicate object key \"{key}\"")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy the longest run of plain bytes in one slice.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // Always a char boundary: '"' and '\\' are ASCII and UTF-8
+            // continuation bytes are >= 0x80.
+            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("input is str"));
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(_) => return Err(self.err("unescaped control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let c = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hex = self
+                    .bytes
+                    .get(self.pos..self.pos + 4)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| self.err("malformed \\u escape"))?;
+                self.pos += 4;
+                char::from_u32(hex).ok_or_else(|| self.err("surrogate \\u escape (unsupported)"))?
+            }
+            other => return Err(self.err(format!("unknown escape '\\{}'", other as char))),
+        })
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // Delegating validation entirely to f64::from_str would accept
+        // non-JSON spellings ("inf", "1.", ".5"); check the grammar first.
+        if !valid_number(text) {
+            return Err(JsonError {
+                message: format!("malformed number \"{text}\""),
+                offset: start,
+            });
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(format!("unparseable number \"{text}\"")))
+    }
+}
+
+/// JSON number grammar: `-? int frac? exp?` with no leading zeros.
+fn valid_number(s: &str) -> bool {
+    let s = s.strip_prefix('-').unwrap_or(s);
+    let (int, rest) = match s.find(['.', 'e', 'E']) {
+        Some(i) => s.split_at(i),
+        None => (s, ""),
+    };
+    let int_ok = !int.is_empty()
+        && int.bytes().all(|b| b.is_ascii_digit())
+        && (int == "0" || !int.starts_with('0'));
+    let frac_exp_ok = match rest.strip_prefix('.') {
+        Some(after) => {
+            let (frac, exp) = match after.find(['e', 'E']) {
+                Some(i) => after.split_at(i),
+                None => (after, ""),
+            };
+            !frac.is_empty() && frac.bytes().all(|b| b.is_ascii_digit()) && valid_exp(exp)
+        }
+        None => valid_exp(rest),
+    };
+    int_ok && frac_exp_ok
+}
+
+fn valid_exp(s: &str) -> bool {
+    if s.is_empty() {
+        return true;
+    }
+    let digits = s
+        .strip_prefix(['e', 'E'])
+        .map(|d| d.strip_prefix(['+', '-']).unwrap_or(d));
+    digits.is_some_and(|d| !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse(" false ").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::Num(42.0));
+        assert_eq!(Json::parse("-0.5e2").unwrap(), Json::Num(-50.0));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn structures_and_accessors() {
+        let doc = Json::parse(
+            r#"{"workload": "synthetic-ridge", "seeds": 10, "gamma": 0.75,
+                "sources": ["data_split", "weights_init"], "deep": {"a": null}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("workload").unwrap().as_str(),
+            Some("synthetic-ridge")
+        );
+        assert_eq!(doc.get("seeds").unwrap().as_u64(), Some(10));
+        assert_eq!(doc.get("gamma").unwrap().as_f64(), Some(0.75));
+        assert_eq!(doc.get("sources").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(doc.get("deep").unwrap().get("a"), Some(&Json::Null));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(doc.as_object().unwrap().len(), 5);
+        assert_eq!(doc.type_name(), "object");
+        // Accessors are type-checked, not coercing.
+        assert_eq!(doc.get("seeds").unwrap().as_str(), None);
+        assert_eq!(doc.get("workload").unwrap().as_f64(), None);
+    }
+
+    #[test]
+    fn as_u64_requires_exact_unsigned_integers() {
+        assert_eq!(Json::parse("3").unwrap().as_u64(), Some(3));
+        assert_eq!(Json::parse("3.0").unwrap().as_u64(), Some(3));
+        assert_eq!(Json::parse("3.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-1").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("1e300").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = Json::parse(r#""a\"b\\c\n\tAé""#).unwrap();
+        assert_eq!(s.as_str(), Some("a\"b\\c\n\tA\u{e9}"));
+        assert!(Json::parse(r#""\ud800""#).is_err(), "lone surrogate");
+        assert!(Json::parse(r#""\q""#).is_err(), "unknown escape");
+        assert!(Json::parse("\"a\nb\"").is_err(), "raw control char");
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let s = Json::parse("\"ξ_O and γ\"").unwrap();
+        assert_eq!(s.as_str(), Some("ξ_O and γ"));
+    }
+
+    #[test]
+    fn round_trips_report_json() {
+        // The parser must read what report.rs writes — the serve client
+        // round-trips envelopes through exactly this pair.
+        let mut r = crate::report::Report::new("figx", "Figure X");
+        r.text("header ξ\n");
+        let mut t = crate::report::Table::new(vec!["source".into(), "std".into()]);
+        t.add_row(vec!["weights \"init\"".into(), "0.0012".into()]);
+        r.table(t);
+        let doc = Json::parse(&r.to_json()).unwrap();
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("figx"));
+        let blocks = doc.get("blocks").unwrap().as_array().unwrap();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].get("text").unwrap().as_str(), Some("header ξ\n"));
+        assert_eq!(
+            blocks[1].get("rows").unwrap().as_array().unwrap()[0]
+                .as_array()
+                .unwrap()[0]
+                .as_str(),
+            Some("weights \"init\"")
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "01",
+            "1.",
+            ".5",
+            "+1",
+            "1e",
+            "--1",
+            "\"unterminated",
+            "{} extra",
+            "{\"a\":1,}",
+            "[1,]",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let err = Json::parse(r#"{"seeds": 3, "seeds": 4}"#).unwrap_err();
+        assert!(err.message.contains("duplicate object key"), "{err}");
+    }
+
+    #[test]
+    fn depth_limit_is_an_error_not_an_overflow() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting deeper"), "{err}");
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = Json::parse("[1, @]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("at byte 4"));
+    }
+}

@@ -24,6 +24,8 @@
 //! * [`study`] — the fluent [`Study`] builder: from any
 //!   `varbench_pipeline::Workload` to a finished variance report;
 //! * [`sample_size`] — Noether planning for `P(A > B)` tests (Fig. C.1);
+//! * [`json`] — a dependency-free JSON value model and parser (the
+//!   reading half of the serve protocol; [`report`] is the writing half);
 //! * [`report`] — structured experiment reports (text/JSON/CSV) and the
 //!   aligned-table formatter behind them;
 //! * [`exec`] — a deterministic scoped-thread work-stealing runner
@@ -70,6 +72,7 @@ pub mod ctx;
 pub mod decompose;
 pub mod estimator;
 pub mod exec;
+pub mod json;
 pub mod multiple_datasets;
 pub mod procedure;
 pub mod report;

@@ -18,6 +18,7 @@ use crate::estimator::{joint_variance_study, source_variance_study};
 use crate::report::{bar, num, Report, Table};
 use varbench_pipeline::{HpoAlgorithm, VarianceSource, Workload};
 use varbench_stats::describe::{mean, std_dev};
+use varbench_stats::power::noether_sample_size;
 
 /// Builds and runs a per-source variance study of one [`Workload`] —
 /// the paper's Fig. 1 protocol as a reusable, fluent API.
@@ -31,6 +32,7 @@ pub struct Study<'w> {
     base_seed: u64,
     algo: HpoAlgorithm,
     budget: usize,
+    gamma: Option<f64>,
     report_name: Option<String>,
 }
 
@@ -44,6 +46,7 @@ impl<'w> Study<'w> {
             base_seed: 0xA11D,
             algo: HpoAlgorithm::RandomSearch,
             budget: 0,
+            gamma: None,
             report_name: None,
         }
     }
@@ -83,6 +86,23 @@ impl<'w> Study<'w> {
     /// Selects the HPO algorithm for the ξ_H row.
     pub fn algorithm(mut self, algo: HpoAlgorithm) -> Study<'w> {
         self.algo = algo;
+        self
+    }
+
+    /// Adds a comparison-planning block: the Noether sample size needed
+    /// to reliably detect `P(A > B) > gamma` at α = β = 0.05 (paper
+    /// Appendix C.3), so the report says how many paired runs a
+    /// conclusion drawn *from* this study's variance would need.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is outside `(0, 1)` or equal to `0.5` (the
+    /// sample-size formula diverges: no effect to detect).
+    pub fn gamma(mut self, gamma: f64) -> Study<'w> {
+        // Validate eagerly: a bad gamma should fail at the builder, not
+        // after the measurements have been paid for.
+        let _ = noether_sample_size(gamma, 0.05, 0.05);
+        self.gamma = Some(gamma);
         self
     }
 
@@ -219,6 +239,14 @@ impl<'w> Study<'w> {
             num(mean(&joint), 5),
             num(std_dev(&joint), 5)
         ));
+        if let Some(gamma) = self.gamma {
+            let n = noether_sample_size(gamma, 0.05, 0.05);
+            r.text(format!(
+                "comparison planning: detecting P(A > B) > {} (alpha = beta = 0.05) \
+                 needs >= {n} paired runs (Noether)\n",
+                num(gamma, 2)
+            ));
+        }
         r
     }
 }
@@ -287,6 +315,30 @@ mod tests {
         let a = Study::new(&w).seeds(3).run(&RunContext::serial());
         let b = Study::new(&w).seeds(3).run(&RunContext::serial_cached());
         assert_eq!(a.render_text(), b.render_text());
+    }
+
+    #[test]
+    fn gamma_adds_planning_row() {
+        let w = SyntheticWorkload::new(Scale::Test);
+        let report = Study::new(&w)
+            .seeds(2)
+            .gamma(0.75)
+            .run(&RunContext::serial());
+        let text = report.render_text();
+        assert!(
+            text.contains("P(A > B) > 0.75") && text.contains(">= 29 paired runs"),
+            "{text}"
+        );
+        // Without gamma the block is absent.
+        let plain = Study::new(&w).seeds(2).run(&RunContext::serial());
+        assert!(!plain.render_text().contains("comparison planning"));
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must differ from 0.5")]
+    fn gamma_half_rejected_at_builder() {
+        let w = SyntheticWorkload::new(Scale::Test);
+        let _ = Study::new(&w).gamma(0.5);
     }
 
     #[test]

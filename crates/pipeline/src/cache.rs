@@ -30,6 +30,35 @@
 //! [`MeasureCache::with_dir`] — adds a write-through on-disk store of
 //! versioned, hashed records so measurements survive across processes.
 //!
+//! # Concurrency model
+//!
+//! The cache is safe to share between threads *and* between processes
+//! pointed at one directory:
+//!
+//! * **In-process coalescing** — concurrent lookups of the same key
+//!   rendezvous on an in-flight table: the first caller computes, the
+//!   rest block until it publishes and are then served from the store,
+//!   so N identical requests cost one computation (the serving hot
+//!   path's headline property). Lookups of *different* keys never wait
+//!   on each other.
+//! * **Atomic disk publishes** — records are written to a unique
+//!   `.tmp.<pid>.<seq>` sibling and `rename`d into place, so a
+//!   concurrent reader (another process sharing the directory) observes
+//!   either the old complete record or the new complete record, never a
+//!   torn prefix. Before publishing, the writer re-reads the record on
+//!   disk and keeps whichever holds more rows — a racing process that
+//!   extended further wins, and a shorter prefix never replaces a
+//!   longer record.
+//! * **Collision checks on read** — a record is only served if its
+//!   stored key matches the requested canonical key byte-for-byte, so a
+//!   filename-hash collision degrades to a miss, never a wrong value.
+//!
+//! Cross-process publishes of the same key may still both compute (the
+//! coalescing table is per-process); the compute contract makes the
+//! values identical, so either publish is correct. [`gc_dir`] compacts a
+//! shared directory: stale format versions, torn/alien records and
+//! orphaned temporaries from crashed writers are dropped.
+//!
 //! # Compute contract
 //!
 //! The closure handed to [`MeasureCache::matrix`] must be a pure per-row
@@ -40,8 +69,9 @@
 
 use std::collections::BTreeMap;
 use std::ops::Range;
-use std::path::PathBuf;
-use std::sync::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::variance::VarianceSource;
 use crate::workload::Workload;
@@ -250,6 +280,11 @@ pub struct CacheStats {
     pub record_fits_computed: u64,
     /// Entries loaded from the on-disk store.
     pub disk_loads: u64,
+    /// Lookups that waited for an identical in-flight computation on
+    /// another thread instead of computing it again (request
+    /// coalescing). Each wait resolves into one of the outcomes above
+    /// once the leader publishes.
+    pub coalesced: u64,
 }
 
 impl CacheStats {
@@ -292,6 +327,46 @@ struct CacheState {
     stats: CacheStats,
 }
 
+/// One in-flight computation that concurrent same-key lookups can wait
+/// on instead of recomputing.
+#[derive(Default)]
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Leadership of one key's in-flight computation. Dropping the lease —
+/// on success *or* unwind — retires the flight and wakes every waiter,
+/// so a panicking compute can never strand them: they re-check the
+/// store and one of them takes over.
+struct FlightLease<'c> {
+    cache: &'c MeasureCache,
+    canon: String,
+}
+
+impl Drop for FlightLease<'_> {
+    fn drop(&mut self) {
+        let flight = self
+            .cache
+            .inflight
+            .lock()
+            .expect("inflight lock")
+            .remove(&self.canon);
+        if let Some(flight) = flight {
+            *flight.done.lock().expect("flight lock") = true;
+            flight.cv.notify_all();
+        }
+    }
+}
+
+/// Outcome of trying to claim a key's in-flight slot.
+enum Claim<'c> {
+    /// This caller computes; the lease retires the flight when dropped.
+    Lead(FlightLease<'c>),
+    /// Another caller is already computing this key; wait on its flight.
+    Join(Arc<Flight>),
+}
+
 /// A thread-safe, content-addressed store of workload measurements.
 ///
 /// Cheap to create; share one per experiment run (the registry hands the
@@ -299,6 +374,8 @@ struct CacheState {
 #[derive(Default)]
 pub struct MeasureCache {
     state: Mutex<CacheState>,
+    /// In-flight computations by canonical key (request coalescing).
+    inflight: Mutex<BTreeMap<String, Arc<Flight>>>,
     dir: Option<PathBuf>,
     off: bool,
 }
@@ -326,9 +403,8 @@ impl MeasureCache {
     /// (created on first write).
     pub fn with_dir(dir: impl Into<PathBuf>) -> MeasureCache {
         MeasureCache {
-            state: Mutex::new(CacheState::default()),
             dir: Some(dir.into()),
-            off: false,
+            ..MeasureCache::default()
         }
     }
 
@@ -371,14 +447,42 @@ impl MeasureCache {
         self.len() == 0
     }
 
+    /// Tries to claim the in-flight slot for `canon`; joins the existing
+    /// flight instead when another thread already computes this key.
+    fn claim(&self, canon: &str) -> Claim<'_> {
+        let mut inflight = self.inflight.lock().expect("inflight lock");
+        match inflight.get(canon) {
+            Some(flight) => Claim::Join(Arc::clone(flight)),
+            None => {
+                inflight.insert(canon.to_string(), Arc::new(Flight::default()));
+                Claim::Lead(FlightLease {
+                    cache: self,
+                    canon: canon.to_string(),
+                })
+            }
+        }
+    }
+
+    /// Blocks until `flight` retires, then bumps the coalescing counter.
+    fn wait_for(&self, flight: &Flight) {
+        let mut done = flight.done.lock().expect("flight lock");
+        while !*done {
+            done = flight.cv.wait(done).expect("flight lock");
+        }
+        drop(done);
+        self.state.lock().expect("cache lock").stats.coalesced += 1;
+    }
+
     /// Returns the first `rows` rows of the matrix at `key`, computing
     /// only the rows the store does not already hold.
     ///
     /// `compute(a..b)` must return the rows `a..b` (row-major,
     /// `(b - a) * cols` values) and obey the module-level compute
-    /// contract. Concurrent calls for the same key may both compute; the
-    /// contract makes their values identical, so either result may be
-    /// kept.
+    /// contract. Concurrent calls for the same key coalesce: one caller
+    /// computes while the rest wait and are then served from the store
+    /// (so `compute` must never recursively request its own key — that
+    /// would wait on itself). Callers wanting *more* rows than a
+    /// concurrent leader computes wait, then extend.
     ///
     /// # Panics
     ///
@@ -418,11 +522,32 @@ impl MeasureCache {
             );
             e.values[..e.values.len().min(rows * cols)].to_vec()
         };
-        let cached: Option<Vec<f64>> = {
-            let st = self.state.lock().expect("cache lock");
-            st.entries.get(key.canon()).map(bounded)
-        }
-        .or_else(|| self.promote_from_disk(key).map(|e| bounded(&e)));
+        let lookup = |cache: &MeasureCache| -> Option<Vec<f64>> {
+            {
+                let st = cache.state.lock().expect("cache lock");
+                st.entries.get(key.canon()).map(bounded)
+            }
+            .or_else(|| cache.promote_from_disk(key).map(|e| bounded(&e)))
+        };
+        // Coalescing loop: only the flight leader computes; everyone
+        // else waits for the leader's publish and re-checks the store.
+        let (_lease, cached) = loop {
+            let cached = lookup(self);
+            if let Some(prefix) = &cached {
+                if prefix.len() == rows * cols {
+                    let mut st = self.state.lock().expect("cache lock");
+                    st.stats.full_hits += 1;
+                    st.stats.rows_served += rows as u64;
+                    return cached.expect("checked above");
+                }
+            }
+            match self.claim(key.canon()) {
+                // Re-check under leadership: the previous leader may
+                // have published between our lookup and our claim.
+                Claim::Lead(lease) => break (lease, lookup(self)),
+                Claim::Join(flight) => self.wait_for(&flight),
+            }
+        };
         let have: Vec<f64> = {
             let mut st = self.state.lock().expect("cache lock");
             match cached {
@@ -509,16 +634,33 @@ impl MeasureCache {
             );
             (e.values[1..].to_vec(), e.values[0] as usize)
         };
-        let cached: Option<(Vec<f64>, usize)> = {
-            let st = self.state.lock().expect("cache lock");
-            st.entries.get(key.canon()).map(unpack)
-        }
-        .or_else(|| self.promote_from_disk(key).map(|e| unpack(&e)));
-        if let Some(hit) = cached {
-            let mut st = self.state.lock().expect("cache lock");
-            st.stats.records_served += 1;
-            return hit;
-        }
+        let lookup = |cache: &MeasureCache| -> Option<(Vec<f64>, usize)> {
+            {
+                let st = cache.state.lock().expect("cache lock");
+                st.entries.get(key.canon()).map(unpack)
+            }
+            .or_else(|| cache.promote_from_disk(key).map(|e| unpack(&e)))
+        };
+        let _lease = loop {
+            if let Some(hit) = lookup(self) {
+                let mut st = self.state.lock().expect("cache lock");
+                st.stats.records_served += 1;
+                return hit;
+            }
+            match self.claim(key.canon()) {
+                Claim::Lead(lease) => {
+                    // Re-check under leadership (a previous leader may
+                    // have published between our lookup and our claim).
+                    if let Some(hit) = lookup(self) {
+                        let mut st = self.state.lock().expect("cache lock");
+                        st.stats.records_served += 1;
+                        return hit;
+                    }
+                    break lease;
+                }
+                Claim::Join(flight) => self.wait_for(&flight),
+            }
+        };
         let (values, fits) = compute();
         let mut stored = Vec::with_capacity(values.len() + 1);
         stored.push(fits as f64);
@@ -588,6 +730,16 @@ impl MeasureCache {
     /// Best-effort write-through; IO errors are ignored. Called with the
     /// cache lock released — serialization and IO must not block other
     /// threads' lookups.
+    ///
+    /// The publish is **atomic**: the record is rendered into a unique
+    /// `.tmp.<pid>.<seq>` sibling and `rename`d into place, so a
+    /// concurrent reader — in this process or another one sharing the
+    /// directory — sees either the previous complete record or the new
+    /// complete record, never a torn write. Before publishing, the
+    /// current on-disk record is re-read: if a racing process already
+    /// holds at least as many rows (or the identical fixed-shape
+    /// record), this publish is skipped — a shorter prefix must never
+    /// replace a longer record.
     fn persist(&self, entry: &Entry, key: &MeasureKey) {
         let Some(path) = self.record_path(key) else {
             return;
@@ -597,7 +749,29 @@ impl MeasureCache {
                 return;
             }
         }
-        let _ = std::fs::write(&path, render_record(entry, key.canon()));
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Some(existing) = parse_record(&text, key.canon()) {
+                if !existing.extendable || existing.rows() >= entry.rows() {
+                    return; // already current (or longer) on disk
+                }
+            }
+        }
+        // Unique per (process, publish) so two writers of the same key
+        // can never interleave bytes in one temp file.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_file_name(format!(
+            "{}.tmp.{}.{seq}",
+            path.file_name().unwrap_or_default().to_string_lossy(),
+            std::process::id()
+        ));
+        if std::fs::write(&tmp, render_record(entry, key.canon())).is_ok() {
+            if std::fs::rename(&tmp, &path).is_err() {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
     }
 }
 
@@ -620,13 +794,23 @@ fn render_record(entry: &Entry, canon: &str) -> String {
 }
 
 fn parse_record(text: &str, canon: &str) -> Option<Entry> {
+    let (key, entry) = parse_record_any(text)?;
+    if key != canon {
+        return None; // hash collision or stale record
+    }
+    Some(entry)
+}
+
+/// Parses any well-formed current-version record, returning its stored
+/// canonical key alongside the entry — the key check against an expected
+/// canon is the caller's job ([`parse_record`] for lookups, [`gc_dir`]
+/// for the filename-consistency check).
+fn parse_record_any(text: &str) -> Option<(&str, Entry)> {
     let mut lines = text.lines();
     if lines.next()? != format!("varbench-cache {CACHE_FORMAT_VERSION}") {
         return None;
     }
-    if lines.next()?.strip_prefix("key ")? != canon {
-        return None; // hash collision or stale record
-    }
+    let key = lines.next()?.strip_prefix("key ")?;
     let shape = lines.next()?.strip_prefix("entry ")?;
     let mut rows = None;
     let mut cols = None;
@@ -650,11 +834,143 @@ fn parse_record(text: &str, canon: &str) -> Option<Entry> {
     if rows == 0 || cols == 0 || values.len() != rows * cols {
         return None;
     }
-    Some(Entry {
-        cols,
-        values,
-        extendable,
-    })
+    Some((
+        key,
+        Entry {
+            cols,
+            values,
+            extendable,
+        },
+    ))
+}
+
+/// Summary of one [`gc_dir`] compaction pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Valid current-format records left in place.
+    pub kept_records: u64,
+    /// Bytes held by the kept records.
+    pub kept_bytes: u64,
+    /// Files removed from stale (non-current) format version
+    /// directories — superseded wholesale by the format bump.
+    pub stale_version_files: u64,
+    /// Unparseable, truncated, or misfiled current-format records
+    /// removed (a record whose stored key does not hash to its filename
+    /// is a duplicate or an alien file and can never be served).
+    pub torn_files: u64,
+    /// Orphaned `.tmp.<pid>.<seq>` temporaries removed (left behind by
+    /// crashed or interrupted writers; a live writer whose temp file is
+    /// swept simply fails its best-effort publish and recomputes later).
+    pub tmp_files: u64,
+    /// Total bytes reclaimed by the pass.
+    pub bytes_reclaimed: u64,
+}
+
+impl GcReport {
+    /// Files removed, over all three categories.
+    pub fn files_removed(&self) -> u64 {
+        self.stale_version_files + self.torn_files + self.tmp_files
+    }
+}
+
+/// Compacts an on-disk cache directory shared between processes.
+///
+/// Drops, and accounts for in the returned [`GcReport`]:
+///
+/// * whole **stale format-version subdirectories** (`v<N>` with
+///   `N != `[`CACHE_FORMAT_VERSION`]) — their records are superseded by
+///   the format bump and are never read again;
+/// * **torn or alien records** in the current version directory:
+///   unparseable files, truncated files, and records whose stored key
+///   does not hash to their filename (shorter-prefix records are
+///   superseded *in place* by the atomic rename publish, so a readable
+///   record that fails the filename check is a stray copy);
+/// * **orphaned temporaries** (`*.tmp.<pid>.<seq>`) left by crashed
+///   writers.
+///
+/// Only cache-owned paths are touched: the `v<N>` subdirectories and
+/// the `.rec`/temp files inside the current one. Anything else under
+/// `dir` — the user may point `VARBENCH_CACHE_DIR` at a directory with
+/// unrelated contents — is left alone. A missing `dir` is an empty
+/// report, not an error.
+pub fn gc_dir(dir: &Path) -> std::io::Result<GcReport> {
+    let mut report = GcReport::default();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(e),
+    };
+    let current = format!("v{CACHE_FORMAT_VERSION}");
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_version = name
+            .strip_prefix('v')
+            .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()));
+        let path = entry.path();
+        if !is_version || !path.is_dir() {
+            continue;
+        }
+        if name == current {
+            gc_version_dir(&path, &mut report);
+        } else {
+            let (files, bytes) = dir_usage(&path);
+            std::fs::remove_dir_all(&path)?;
+            report.stale_version_files += files;
+            report.bytes_reclaimed += bytes;
+        }
+    }
+    Ok(report)
+}
+
+/// Sweeps the current-format record directory (best-effort per file).
+fn gc_version_dir(vdir: &Path, report: &mut GcReport) {
+    let Ok(entries) = std::fs::read_dir(vdir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let path = entry.path();
+        let bytes = entry.metadata().map_or(0, |m| m.len());
+        if name.contains(".tmp.") {
+            if std::fs::remove_file(&path).is_ok() {
+                report.tmp_files += 1;
+                report.bytes_reclaimed += bytes;
+            }
+            continue;
+        }
+        let Some(stem) = name.strip_suffix(".rec") else {
+            continue; // not a cache file; leave it alone
+        };
+        let valid = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| {
+                parse_record_any(&text).map(|(key, _)| format!("{:016x}", fnv1a64(key.as_bytes())))
+            })
+            .is_some_and(|expected| expected == stem);
+        if valid {
+            report.kept_records += 1;
+            report.kept_bytes += bytes;
+        } else if std::fs::remove_file(&path).is_ok() {
+            report.torn_files += 1;
+            report.bytes_reclaimed += bytes;
+        }
+    }
+}
+
+/// `(file count, byte total)` of the files directly under `dir`.
+fn dir_usage(dir: &Path) -> (u64, u64) {
+    let (mut files, mut bytes) = (0u64, 0u64);
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if let Ok(meta) = entry.metadata() {
+                if meta.is_file() {
+                    files += 1;
+                    bytes += meta.len();
+                }
+            }
+        }
+    }
+    (files, bytes)
 }
 
 /// FNV-1a 64-bit hash — the content-address hash for on-disk records and
@@ -1029,6 +1345,237 @@ mod tests {
         let k = key(1);
         cache.matrix(&k, 2, 1, rowfn);
         cache.matrix(&k, 2, 2, |r| r.flat_map(|i| [i as f64, 0.0]).collect());
+    }
+
+    #[test]
+    fn concurrent_same_key_lookups_coalesce_to_one_compute() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::mpsc;
+
+        let cache = MeasureCache::new();
+        let k = key(77);
+        let calls = AtomicUsize::new(0);
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (go_tx, go_rx) = mpsc::channel::<()>();
+        let (cache, k, calls) = (&cache, &k, &calls);
+        std::thread::scope(|scope| {
+            let leader = scope.spawn(move || {
+                cache.matrix(k, 4, 1, |r| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    started_tx.send(()).expect("main alive");
+                    go_rx.recv().expect("release signal");
+                    rowfn(r)
+                })
+            });
+            started_rx.recv().expect("leader started");
+            let waiters: Vec<_> = (0..3)
+                .map(|_| {
+                    scope.spawn(move || {
+                        cache.matrix(k, 4, 1, |r| {
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            rowfn(r)
+                        })
+                    })
+                })
+                .collect();
+            // Deterministic rendezvous: release the leader only once all
+            // three waiters hold the flight (leader's map slot = 1 ref,
+            // plus one clone per waiting thread).
+            loop {
+                let joined = {
+                    let inflight = cache.inflight.lock().expect("inflight lock");
+                    inflight
+                        .get(k.canon())
+                        .map(Arc::strong_count)
+                        .unwrap_or(usize::MAX)
+                };
+                if joined >= 4 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            go_tx.send(()).expect("leader alive");
+            assert_eq!(leader.join().expect("leader"), rowfn(0..4));
+            for w in waiters {
+                assert_eq!(w.join().expect("waiter"), rowfn(0..4));
+            }
+        });
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "identical concurrent requests must compute exactly once"
+        );
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "only the leader misses");
+        assert_eq!(s.full_hits, 3, "waiters are served after the publish");
+        assert_eq!(s.coalesced, 3, "each waiter waited on the flight");
+        assert_eq!(s.rows_computed, 4);
+        assert!(
+            cache.inflight.lock().expect("inflight lock").is_empty(),
+            "flight retired"
+        );
+    }
+
+    #[test]
+    fn record_lookups_coalesce_too() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::mpsc;
+
+        let cache = MeasureCache::new();
+        let k = key(78);
+        let calls = AtomicUsize::new(0);
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (go_tx, go_rx) = mpsc::channel::<()>();
+        let (cache, k, calls) = (&cache, &k, &calls);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                cache.record(k, || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    started_tx.send(()).expect("main alive");
+                    go_rx.recv().expect("release signal");
+                    (vec![1.5], 3)
+                })
+            });
+            started_rx.recv().expect("leader started");
+            let waiter = scope.spawn(move || {
+                cache.record(k, || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    (vec![1.5], 3)
+                })
+            });
+            loop {
+                let joined = {
+                    let inflight = cache.inflight.lock().expect("inflight lock");
+                    inflight
+                        .get(k.canon())
+                        .map(Arc::strong_count)
+                        .unwrap_or(usize::MAX)
+                };
+                if joined >= 2 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            go_tx.send(()).expect("leader alive");
+            assert_eq!(waiter.join().expect("waiter"), (vec![1.5], 3));
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!((s.records_computed, s.records_served), (1, 1));
+        assert_eq!(s.coalesced, 1);
+    }
+
+    #[test]
+    fn panicking_leader_releases_waiters() {
+        // A leader whose compute panics must retire the flight so a
+        // waiter can take over and compute — never deadlock.
+        let cache = MeasureCache::new();
+        let k = key(79);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.matrix(&k, 2, 1, |_| panic!("compute exploded"));
+        }));
+        assert!(res.is_err());
+        assert!(
+            cache.inflight.lock().expect("inflight lock").is_empty(),
+            "flight retired on unwind"
+        );
+        // The key is still computable afterwards.
+        assert_eq!(cache.matrix(&k, 2, 1, rowfn), rowfn(0..2));
+    }
+
+    #[test]
+    fn publish_uses_tmp_rename_and_keeps_longer_records() {
+        let dir = std::env::temp_dir().join(format!(
+            "varbench-cache-atomic-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let k = key(21);
+        let cache = MeasureCache::with_dir(&dir);
+        let path = cache.record_path(&k).expect("persistent");
+        cache.matrix(&k, 5, 1, rowfn);
+        // No temporary is left visible next to the published record.
+        let names: Vec<String> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.len(), 1, "exactly the published record: {names:?}");
+        assert!(!names[0].contains(".tmp."), "no temp residue: {names:?}");
+
+        // A second instance over the same directory must not shrink the
+        // 5-row record when it publishes a 3-row prefix... which it never
+        // does: the prefix is a full hit served from disk.
+        let other = MeasureCache::with_dir(&dir);
+        assert_eq!(other.matrix(&k, 3, 1, |_| unreachable!()), rowfn(0..3));
+        // Even a forced re-persist of a shorter entry is skipped.
+        other.persist(
+            &Entry {
+                cols: 1,
+                values: rowfn(0..3),
+                extendable: true,
+            },
+            &k,
+        );
+        let fresh = MeasureCache::with_dir(&dir);
+        assert_eq!(
+            fresh.matrix(&k, 5, 1, |_| unreachable!("5 rows still on disk")),
+            rowfn(0..5)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_drops_stale_versions_torn_records_and_orphan_tmps() {
+        let dir = std::env::temp_dir().join(format!(
+            "varbench-cache-gc-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = MeasureCache::with_dir(&dir);
+        let k = key(31);
+        cache.matrix(&k, 4, 1, rowfn);
+        let vdir = dir.join(format!("v{CACHE_FORMAT_VERSION}"));
+
+        // Plant: a stale-format version dir, a torn record, a misfiled
+        // (filename/key mismatch) record, an orphan temp, and a file the
+        // gc must NOT touch (unrelated user data next to the store).
+        let stale = dir.join("v1");
+        std::fs::create_dir_all(&stale).unwrap();
+        std::fs::write(stale.join("aaaa.rec"), "varbench-cache 1\n...").unwrap();
+        std::fs::write(vdir.join("0123456789abcdef.rec"), "torn garbage").unwrap();
+        let real = cache.record_path(&k).unwrap();
+        let misfiled = vdir.join("ffffffffffffffff.rec");
+        std::fs::copy(&real, &misfiled).unwrap();
+        std::fs::write(vdir.join("dead.rec.tmp.1234.0"), "half a publi").unwrap();
+        std::fs::write(dir.join("README"), "user data, not a record").unwrap();
+
+        let report = gc_dir(&dir).expect("gc");
+        assert_eq!(report.kept_records, 1);
+        assert_eq!(report.stale_version_files, 1);
+        assert_eq!(report.torn_files, 2, "torn + misfiled");
+        assert_eq!(report.tmp_files, 1);
+        assert!(report.bytes_reclaimed > 0);
+        assert_eq!(report.files_removed(), 4);
+        assert!(!stale.exists(), "stale version dir dropped");
+        assert!(!misfiled.exists());
+        assert!(dir.join("README").exists(), "unrelated files untouched");
+
+        // The surviving record still replays bit-exactly.
+        let fresh = MeasureCache::with_dir(&dir);
+        assert_eq!(
+            fresh.matrix(&k, 4, 1, |_| unreachable!("record survived gc")),
+            rowfn(0..4)
+        );
+        // Idempotent: a second pass reclaims nothing.
+        let again = gc_dir(&dir).expect("gc");
+        assert_eq!(again.files_removed(), 0);
+        assert_eq!(again.kept_records, 1);
+        // A missing directory is an empty report, not an error.
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(gc_dir(&dir).expect("missing dir ok"), GcReport::default());
     }
 
     #[test]

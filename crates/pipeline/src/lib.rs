@@ -56,7 +56,7 @@ mod variance;
 pub mod workload;
 pub mod workloads;
 
-pub use cache::{CacheStats, MeasureCache, MeasureKey, MeasureKind};
+pub use cache::{gc_dir, CacheStats, GcReport, MeasureCache, MeasureKey, MeasureKind};
 pub use case_study::{CaseStudy, Scale, SplitSpec};
 pub use hopt::{hopt, run_pipeline, HpoAlgorithm, PipelineResult};
 pub use measure::{MetricKind, ParMap, SerialMap};

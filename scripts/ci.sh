@@ -16,6 +16,12 @@ cd "$(dirname "$0")/.."
 
 say() { printf '\n== %s ==\n' "$*"; }
 
+# One scratch area for every step; the trap also reaps a serve process
+# left behind by a failed smoke step.
+scratch=$(mktemp -d)
+serve_pid=""
+trap 'rm -rf "$scratch"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+
 say "tier-1: cargo build --release"
 cargo build --release --offline
 
@@ -35,12 +41,43 @@ if target/release/varbench run fig1 --ful >/dev/null 2>&1; then
     exit 1
 fi
 
+say "varbench serve: loopback smoke (serve <-> CLI byte-identity)"
+servedir="$scratch/serve"
+mkdir -p "$servedir"
+VARBENCH_CACHE_DIR="$servedir/cache" target/release/varbench serve \
+    --addr 127.0.0.1:0 --serial --ready-file "$servedir/ready" &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -s "$servedir/ready" ] && break; sleep 0.1; done
+[ -s "$servedir/ready" ] || { echo "ERROR: serve never became ready" >&2; exit 1; }
+addr=$(cat "$servedir/ready")
+# `varbench query` is the std-only curl stand-in (one TcpStream exchange).
+target/release/varbench query --addr "$addr" /health > /dev/null
+target/release/varbench query --addr "$addr" /v1/workloads > /dev/null
+# The served report must be byte-for-byte the offline CLI's --json output.
+target/release/varbench query --addr "$addr" /v1/run \
+    '{"artifacts":["workload-synth"],"effort":"test"}' > "$servedir/served.json"
+VARBENCH_CACHE_DIR="$servedir/cache" \
+    target/release/varbench run workload-synth --test --json \
+    > "$servedir/offline.json" 2> /dev/null
+if ! cmp -s "$servedir/served.json" "$servedir/offline.json"; then
+    echo "ERROR: served report differs from offline varbench run" >&2
+    diff "$servedir/served.json" "$servedir/offline.json" >&2 || true
+    exit 1
+fi
+# Remote study through the same server, then a clean shutdown.
+target/release/varbench study synthetic-ridge --test --seeds 3 --json \
+    --addr "$addr" > /dev/null
+target/release/varbench query --addr "$addr" --post /v1/shutdown > /dev/null
+wait "$serve_pid"
+serve_pid=""
+# The shared on-disk store survives; gc finds nothing to reclaim.
+VARBENCH_CACHE_DIR="$servedir/cache" target/release/varbench cache gc
+
 say "varbench lint (repo-invariant checker; hard gate)"
 target/release/varbench lint
 # The gate must actually detect violations: seed one and expect exit 1
 # with the stable lint ID in the output.
-lintdir=$(mktemp -d)
-trap 'rm -rf "$lintdir"' EXIT
+lintdir="$scratch/lint"
 mkdir -p "$lintdir/src"
 printf 'use std::collections::HashMap;\n' > "$lintdir/src/seeded.rs"
 if out=$(target/release/varbench lint "$lintdir" 2>&1); then
@@ -82,14 +119,14 @@ else
 fi
 
 # Perf-regression gate: quick-mode timing suites vs the committed
-# quick-mode companion baseline BENCH_6_quick.json — comparing quick
+# quick-mode companion baseline BENCH_8_quick.json — comparing quick
 # medians against quick medians, not against the full-mode trajectory
 # snapshot (quick mode's short reps read systematically slower on slow
 # boxes, which made the old full-baseline gate cry wolf). Timing on a
 # 1-CPU box is noise, so it skips there (the PR-1 convention).
-if [ "${CI_SKIP_PERF_GATE:-0}" != "1" ] && [ "$cores" -ge 2 ] && [ -f BENCH_6_quick.json ]; then
-    say "perf regression gate (quick bench vs BENCH_6_quick.json, +25% budget)"
-    target/release/varbench bench --quick --json --baseline BENCH_6_quick.json --max-regress 25 > /dev/null
+if [ "${CI_SKIP_PERF_GATE:-0}" != "1" ] && [ "$cores" -ge 2 ] && [ -f BENCH_8_quick.json ]; then
+    say "perf regression gate (quick bench vs BENCH_8_quick.json, +25% budget)"
+    target/release/varbench bench --quick --json --baseline BENCH_8_quick.json --max-regress 25 > /dev/null
 else
     say "perf gate skipped (cores=$cores, CI_SKIP_PERF_GATE=${CI_SKIP_PERF_GATE:-0})"
 fi

@@ -8,7 +8,10 @@
 use varbench::core::ctx::RunContext;
 use varbench::core::estimator::{ideal_estimator, source_variance_study};
 use varbench::core::exec::Runner;
-use varbench::pipeline::{CaseStudy, HpoAlgorithm, MeasureCache, Scale, VarianceSource, Workload};
+use varbench::pipeline::{
+    gc_dir, CaseStudy, HpoAlgorithm, MeasureCache, MeasureKey, MeasureKind, Scale,
+    SyntheticWorkload, VarianceSource, Workload,
+};
 use varbench_bench::args::Effort;
 use varbench_bench::registry;
 
@@ -178,6 +181,110 @@ fn disk_backed_cache_replays_bit_identically_across_instances() {
     // Against the uncached ground truth too.
     let direct = ideal_estimator(&cs, 3, algo, 2, 21, &RunContext::serial());
     assert_eq!(bits(&direct.measures), bits(&first.measures));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Unique per-test scratch directory (tests in one binary share a pid).
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("varbench-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn rowfn(r: std::ops::Range<usize>) -> Vec<f64> {
+    r.map(|i| i as f64 * 0.25 + 1.0).collect()
+}
+
+#[test]
+fn concurrent_instances_over_one_dir_do_not_tear_the_same_key() {
+    // Eight writers, each with its OWN MeasureCache instance over one
+    // shared directory — the multi-process scenario `varbench serve`
+    // depends on (coalescing only helps within a process; across
+    // processes only the atomic tmp+rename publish protects readers).
+    let dir = scratch("mp-same");
+    let w = SyntheticWorkload::new(Scale::Test);
+    let key = MeasureKey::new(
+        &w,
+        MeasureKind::SourceStudy {
+            source: VarianceSource::DataSplit,
+        },
+        777,
+    );
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let (dir, key) = (&dir, &key);
+            s.spawn(move || {
+                // Growing prefixes: every iteration is a fresh instance
+                // (no shared memory), racing publishes of 1..=12 rows.
+                for n in 1..=12 {
+                    let cache = MeasureCache::with_dir(dir);
+                    let got = cache.matrix(key, n, 1, rowfn);
+                    assert_eq!(got, rowfn(0..n), "writer {t} at n = {n}");
+                }
+            });
+        }
+    });
+
+    // Whatever interleaving happened: one parseable record, no torn
+    // bytes, no leftover temp files.
+    let report = gc_dir(&dir).expect("gc scans the store");
+    assert_eq!(report.kept_records, 1, "one record for one key");
+    assert_eq!(report.torn_files, 0, "no torn publishes");
+    assert_eq!(report.tmp_files, 0, "no orphaned temp files");
+
+    // Settle to the full 12 rows (a racing shorter publish may have
+    // landed last; the prefix property makes that harmless), then a
+    // fresh instance must replay all 12 from disk, computing nothing.
+    let settle = MeasureCache::with_dir(&dir);
+    assert_eq!(settle.matrix(&key, 12, 1, rowfn), rowfn(0..12));
+    assert!(
+        settle.stats().rows_computed < 12,
+        "the disk record served at least one row"
+    );
+    let fresh = MeasureCache::with_dir(&dir);
+    let replay = fresh.matrix(&key, 12, 1, |_| unreachable!("must be served from disk"));
+    assert_eq!(replay, rowfn(0..12), "bit-identical replay");
+    assert_eq!(fresh.stats().rows_computed, 0);
+    assert_eq!(fresh.stats().disk_loads, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_instances_writing_distinct_keys_all_persist() {
+    let dir = scratch("mp-distinct");
+    let w = SyntheticWorkload::new(Scale::Test);
+    let key_for = |seed: u64| {
+        MeasureKey::new(
+            &w,
+            MeasureKind::SourceStudy {
+                source: VarianceSource::DataSplit,
+            },
+            seed,
+        )
+    };
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let (dir, key) = (&dir, key_for(t));
+            s.spawn(move || {
+                let cache = MeasureCache::with_dir(dir);
+                let got = cache.matrix(&key, 4, 1, move |r| {
+                    r.map(|i| (i + t as usize) as f64).collect()
+                });
+                assert_eq!(got.len(), 4);
+            });
+        }
+    });
+    let report = gc_dir(&dir).expect("gc scans the store");
+    assert_eq!(report.kept_records, 8, "every key persisted its record");
+    assert_eq!(report.torn_files + report.tmp_files, 0);
+    // Each replays from disk bit-identically on a fresh instance.
+    for t in 0..8u64 {
+        let fresh = MeasureCache::with_dir(&dir);
+        let expect: Vec<f64> = (0..4).map(|i| (i + t as usize) as f64).collect();
+        let replay = fresh.matrix(&key_for(t), 4, 1, |_| unreachable!("served from disk"));
+        assert_eq!(replay, expect, "key {t}");
+        assert_eq!(fresh.stats().rows_computed, 0);
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
