@@ -25,12 +25,16 @@
 use varbench_bench::args::Effort;
 use varbench_bench::protocol::{json_envelope, parse_algo, parse_source, StudyRequest};
 use varbench_bench::registry::{self, RunContext, Spec};
-use varbench_bench::serve::{http_request, ServeState, Server};
+use varbench_bench::serve::{http_request, http_request_retry, ServeState, Server};
 use varbench_bench::timing::{parse_snapshot, BenchResult, Harness, Output};
+use varbench_bench::worker::{
+    dispatch, run_worker, study_jobs, DispatchConfig, DispatchJob, Job, WorkerConfig,
+};
 use varbench_bench::{suites, workloads};
 use varbench_core::ctx::BootstrapMode;
 use varbench_core::exec::Runner;
 use varbench_core::report::Report;
+use varbench_core::retry::RetryPolicy;
 use varbench_pipeline::cache::{gc_dir, CACHE_DIR_ENV, CACHE_FORMAT_VERSION};
 use varbench_pipeline::MeasureCache;
 
@@ -42,7 +46,8 @@ USAGE:
     varbench run <name ...|all> [OPTIONS]
     varbench study <workload> [OPTIONS]
     varbench serve [OPTIONS]
-    varbench query PATH [BODY] [--addr HOST:PORT]
+    varbench query PATH [BODY] [--addr HOST:PORT] [--retries N] [--timeout-ms T]
+    varbench worker [OPTIONS]
     varbench bench [SUITE ...] [--quick] [--json]
                    [--baseline FILE] [--max-regress PCT]
     varbench cache stats|gc|clear
@@ -62,12 +67,35 @@ OPTIONS (study):
     --addr HOST:PORT            run the study on a `varbench serve` instance
                                 instead of in-process (response is identical)
     --serial / --threads N      local execution knobs (as for run)
+    --workers N                 shard the study across N `varbench worker`
+                                subprocesses over the shared cache dir (needs
+                                VARBENCH_CACHE_DIR; output is byte-identical
+                                to an unsharded run)
+    --dispatch                  enqueue + wait for an external worker fleet
+                                (no subprocesses spawned); degrades to
+                                in-process computation if none shows up
+    --wait-ms T                 total fleet wait budget (default 20000)
+    --row-timeout-ms T          reclaim a claimed row after T ms without
+                                progress (default 2000)
+
+OPTIONS (worker):
+    --cache-dir DIR             shared cache directory (default: the
+                                VARBENCH_CACHE_DIR environment variable)
+    --id NAME                   lease owner label (default worker-<pid>)
+    --drain                     exit once the queue is empty (fleet mode)
+    --poll-ms T                 pause between idle queue scans (default 100)
+    --idle-rounds N             empty-handed scans before exiting (default 20)
+    --serial / --threads N      executor knobs (as for run)
 
 OPTIONS (serve):
     --addr HOST:PORT            listen address (default 127.0.0.1:7878; port 0
                                 picks a free port)
     --ready-file FILE           write the bound address to FILE once listening
                                 (lets scripts wait without polling)
+    --handlers N                concurrent request handlers (default 8)
+    --queue N                   accepted connections waiting for a handler;
+                                beyond this, requests are shed with 503
+                                (default 32; 0 = hand off or shed immediately)
     --serial / --threads N      executor knobs shared by all requests
     --par-bootstrap             as for run
     endpoints: GET /health /v1/workloads /v1/artifacts /v1/cache/stats;
@@ -78,6 +106,11 @@ OPTIONS (query):
     BODY                        JSON request body (implies POST)
     --addr HOST:PORT            server address (default 127.0.0.1:7878)
     --post                      force POST without a body (e.g. /v1/shutdown)
+    --retries N                 retry transport failures (connection refused,
+                                reset, timeouts) up to N times with doubling
+                                backoff; HTTP error statuses are not retried
+    --timeout-ms T              total backoff budget across retries
+                                (default 60000)
 
 OPTIONS (lint):
     PATHS ...                   files or directories to check, relative to the
@@ -105,6 +138,10 @@ OPTIONS (run):
     --serial                    run artifacts one at a time on one thread
     --no-cache                  give every artifact a private measurement cache
     --threads N                 worker threads (default: VARBENCH_THREADS or all cores)
+    --workers N                 shard the artifacts across N `varbench worker`
+                                subprocesses over the shared cache dir (needs
+                                VARBENCH_CACHE_DIR; incompatible with
+                                --no-cache and --par-bootstrap)
     --par-bootstrap             split-stream parallel bootstrap: resample loops
                                 fan out across cores (bit-identical for any
                                 thread count, but a different randomization
@@ -173,12 +210,13 @@ fn main() {
         Some("study") => study_command(&args[1..]),
         Some("serve") => serve_command(&args[1..]),
         Some("query") => query_command(&args[1..]),
+        Some("worker") => worker_command(&args[1..]),
         Some("bench") => bench_command(&args[1..]),
         Some("cache") => cache_command(&args[1..]),
         Some("lint") => lint_command(&args[1..]),
         Some(other) => fail(&format!(
             "unknown command '{other}' (expected list, workloads, run, study, serve, \
-             query, bench, cache, or lint)"
+             query, worker, bench, cache, or lint)"
         )),
     }
 }
@@ -358,6 +396,14 @@ fn cache_command(args: &[String]) {
                 };
                 println!("  {version}{current}: {files} records, {bytes} bytes");
             }
+            let t = varbench_pipeline::lease::tally(&dir);
+            if t != varbench_pipeline::lease::LeaseTally::default() {
+                println!(
+                    "fleet: {} active lease(s), {} reclaimed awaiting takeover, \
+                     {} takeover(s) recorded, {} queued job(s)",
+                    t.active, t.reclaimed, t.takeovers, t.queued
+                );
+            }
         }
         Some("gc") => {
             let Some(dir) = dir else {
@@ -372,12 +418,13 @@ fn cache_command(args: &[String]) {
                 dir.display()
             );
             println!(
-                "removed {} files (stale-format {}, torn {}, orphan-tmp {}); \
-                 reclaimed {} bytes",
+                "removed {} files (stale-format {}, torn {}, orphan-tmp {}, \
+                 stale-lease {}); reclaimed {} bytes",
                 report.files_removed(),
                 report.stale_version_files,
                 report.torn_files,
                 report.tmp_files,
+                report.stale_leases,
                 report.bytes_reclaimed
             );
         }
@@ -422,6 +469,44 @@ fn build_ctx(serial: bool, threads: Option<usize>, par_bootstrap: bool) -> RunCo
     RunContext::new(runner, MeasureCache::from_env()).with_bootstrap(bootstrap)
 }
 
+/// Validates the sharded-dispatch preconditions and returns the shared
+/// cache directory the fleet coordinates through. Workers always
+/// publish records under the default serial-bootstrap key variant (the
+/// only one whose bytes match the committed artifacts), so the
+/// dispatching driver must be probing that same variant, and both sides
+/// need a disk cache they can actually share.
+fn dispatch_cache_dir(ctx: &RunContext) -> std::path::PathBuf {
+    if BootstrapMode::from_env() != BootstrapMode::Serial {
+        fail(&format!(
+            "sharded dispatch watches serial-bootstrap cache keys; unset {} first",
+            varbench_core::ctx::PAR_BOOTSTRAP_ENV
+        ));
+    }
+    match ctx.cache().dir() {
+        Some(dir) => dir.to_path_buf(),
+        None => fail(&format!(
+            "sharded dispatch needs a shared disk cache; set {CACHE_DIR_ENV} to a directory"
+        )),
+    }
+}
+
+/// One line of dispatch accounting on stderr (stdout stays reserved for
+/// the report, which must be byte-identical to an unsharded run).
+fn report_dispatch(outcome: &varbench_bench::worker::DispatchOutcome) {
+    eprintln!(
+        "dispatch: {} unit(s), {} already cached, {} fleet-completed, {} lease reclaim(s){}",
+        outcome.jobs,
+        outcome.satisfied_upfront,
+        outcome.completed,
+        outcome.reclaims,
+        if outcome.timed_out {
+            "; wait budget expired — computing the rest in-process"
+        } else {
+            ""
+        },
+    );
+}
+
 fn resolve_addr(addr: &str) -> std::net::SocketAddr {
     use std::net::ToSocketAddrs;
     addr.to_socket_addrs()
@@ -439,6 +524,8 @@ fn serve_command(args: &[String]) {
     let mut threads: Option<usize> = None;
     let mut par_bootstrap = false;
     let mut ready_file: Option<std::path::PathBuf> = None;
+    let mut handlers: Option<usize> = None;
+    let mut queue: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -459,6 +546,22 @@ fn serve_command(args: &[String]) {
                         .unwrap_or_else(|_| fail(&format!("invalid thread count '{v}'"))),
                 );
             }
+            "--handlers" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--handlers needs a count"));
+                handlers = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid handler count '{v}'"))),
+                );
+            }
+            "--queue" => {
+                let v = it.next().unwrap_or_else(|| fail("--queue needs a depth"));
+                queue = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid queue depth '{v}'"))),
+                );
+            }
             "--ready-file" => {
                 let v = it
                     .next()
@@ -470,8 +573,14 @@ fn serve_command(args: &[String]) {
     }
     let ctx = build_ctx(serial, threads, par_bootstrap);
     let persistent = ctx.cache().is_persistent();
-    let server = Server::bind(&addr, ServeState::new(ctx))
+    let mut server = Server::bind(&addr, ServeState::new(ctx))
         .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
+    if handlers.is_some() || queue.is_some() {
+        server = server.with_pool(
+            handlers.unwrap_or(varbench_bench::serve::DEFAULT_HANDLERS),
+            queue.unwrap_or(varbench_bench::serve::DEFAULT_QUEUE),
+        );
+    }
     let local = server
         .local_addr()
         .unwrap_or_else(|e| fail(&format!("cannot read bound address: {e}")));
@@ -501,6 +610,8 @@ fn serve_command(args: &[String]) {
 fn query_command(args: &[String]) {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut post = false;
+    let mut retries = 0u32;
+    let mut timeout_ms = 60_000u64;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -511,6 +622,20 @@ fn query_command(args: &[String]) {
                     .next()
                     .unwrap_or_else(|| fail("--addr needs HOST:PORT"))
                     .clone();
+            }
+            "--retries" => {
+                let v = it.next().unwrap_or_else(|| fail("--retries needs a count"));
+                retries = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid retry count '{v}'")));
+            }
+            "--timeout-ms" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--timeout-ms needs milliseconds"));
+                timeout_ms = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid timeout '{v}'")));
             }
             flag if flag.starts_with('-') => fail(&format!("unknown query flag '{flag}'")),
             _ => positional.push(a),
@@ -528,17 +653,105 @@ fn query_command(args: &[String]) {
     } else {
         "GET"
     };
-    let (status, response) =
-        http_request(resolve_addr(&addr), method, path, body).unwrap_or_else(|e| {
-            fail(&format!(
-                "request to {addr} failed: {e} (is `varbench serve` running there?)"
-            ))
+    // One attempt plus `retries` more, doubling the pause between them
+    // and never sleeping past the --timeout-ms budget in total. Only
+    // transport failures retry; an HTTP response of any status is final.
+    let policy = RetryPolicy::new(retries + 1).budget(std::time::Duration::from_millis(timeout_ms));
+    let (status, response) = http_request_retry(resolve_addr(&addr), method, path, body, &policy)
+        .unwrap_or_else(|e| {
+            // Exhausted transport retries is a runtime failure (exit 1),
+            // not a usage error: scripts distinguish the two.
+            eprintln!(
+                "error: request to {addr} failed after {} attempt(s): {e} \
+                 (is `varbench serve` running there?)",
+                retries + 1
+            );
+            std::process::exit(1);
         });
     print!("{response}");
     if status != 200 {
         eprintln!("HTTP {status}");
         std::process::exit(1);
     }
+}
+
+/// `varbench worker`: one member of a sharded-study fleet. Scans the
+/// shared cache directory's job queue, claims rows through crash-safe
+/// leases, computes them, and publishes the measurement records the
+/// dispatching driver assembles into the final report (see
+/// `varbench_bench::worker` for the fault model).
+fn worker_command(args: &[String]) {
+    let mut cache_dir: Option<std::path::PathBuf> = match std::env::var(CACHE_DIR_ENV) {
+        Ok(d) if !d.is_empty() => Some(d.into()),
+        _ => None,
+    };
+    let mut serial = false;
+    let mut threads: Option<usize> = None;
+    let mut drain = false;
+    let mut poll_ms: Option<u64> = None;
+    let mut idle_rounds: Option<u32> = None;
+    let mut owner: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str, what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs {what}")))
+                .clone()
+        };
+        match a.as_str() {
+            "--serial" => serial = true,
+            "--drain" => drain = true,
+            "--cache-dir" => cache_dir = Some(value("--cache-dir", "a directory").into()),
+            "--id" => owner = Some(value("--id", "a name")),
+            "--poll-ms" => {
+                let v = value("--poll-ms", "milliseconds");
+                poll_ms = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid poll interval '{v}'"))),
+                );
+            }
+            "--idle-rounds" => {
+                let v = value("--idle-rounds", "a count");
+                idle_rounds = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid round count '{v}'"))),
+                );
+            }
+            "--threads" => {
+                let v = value("--threads", "a number");
+                threads = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid thread count '{v}'"))),
+                );
+            }
+            other => fail(&format!("unknown worker argument '{other}'")),
+        }
+    }
+    let Some(cache_dir) = cache_dir else {
+        fail(&format!(
+            "worker needs the fleet's shared cache directory (--cache-dir or {CACHE_DIR_ENV})"
+        ));
+    };
+    let mut cfg = WorkerConfig::new(cache_dir);
+    cfg.drain = drain;
+    cfg.serial = serial;
+    cfg.threads = threads;
+    if let Some(ms) = poll_ms {
+        cfg.poll = std::time::Duration::from_millis(ms);
+    }
+    if let Some(n) = idle_rounds {
+        cfg.idle_rounds = n;
+    }
+    if let Some(name) = owner {
+        cfg.owner = name;
+    }
+    let summary = run_worker(&cfg);
+    // stderr only: a worker's stdout must never pollute a driver's
+    // report stream.
+    eprintln!(
+        "varbench worker ({}): {} job(s) computed, {} already satisfied, {} skipped",
+        cfg.owner, summary.completed, summary.satisfied, summary.skipped
+    );
 }
 
 /// `varbench study`: the Study builder as a first-class subcommand —
@@ -558,6 +771,10 @@ fn study_command(args: &[String]) {
     let mut serial = false;
     let mut threads: Option<usize> = None;
     let mut remote: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut dispatch_only = false;
+    let mut wait_ms: Option<u64> = None;
+    let mut row_timeout_ms: Option<u64> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -569,7 +786,29 @@ fn study_command(args: &[String]) {
         match a.as_str() {
             "--json" => json = true,
             "--serial" => serial = true,
+            "--dispatch" => dispatch_only = true,
             "--addr" => remote = Some(value("--addr", "HOST:PORT")),
+            "--workers" => {
+                let v = value("--workers", "a worker count");
+                workers = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid worker count '{v}'"))),
+                );
+            }
+            "--wait-ms" => {
+                let v = value("--wait-ms", "milliseconds");
+                wait_ms = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid wait '{v}'"))),
+                );
+            }
+            "--row-timeout-ms" => {
+                let v = value("--row-timeout-ms", "milliseconds");
+                row_timeout_ms = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid timeout '{v}'"))),
+                );
+            }
             "--name" => name = Some(value("--name", "a report name")),
             "--seeds" => {
                 let v = value("--seeds", "a count >= 2");
@@ -668,6 +907,9 @@ fn study_command(args: &[String]) {
         if serial || threads.is_some() {
             fail("--serial/--threads are local knobs; the server owns remote execution");
         }
+        if workers.is_some() || dispatch_only {
+            fail("--workers/--dispatch shard locally over the cache dir; drop --addr");
+        }
         let (status, response) = http_request(
             resolve_addr(&addr),
             "POST",
@@ -689,6 +931,31 @@ fn study_command(args: &[String]) {
     }
 
     let ctx = build_ctx(serial, threads, false);
+
+    // Sharded path: enqueue the study's measurement plan for a worker
+    // fleet, wait (with reclaim of stalled rows), then fall through to
+    // the normal in-process run below — which assembles the report from
+    // the now-warm shared cache, computing only what the fleet did not
+    // deliver. The report bytes are identical either way.
+    if workers.is_some() || dispatch_only {
+        let dir = dispatch_cache_dir(&ctx);
+        let mut dcfg = DispatchConfig::new(dir, workers.unwrap_or(0));
+        if dispatch_only {
+            // Rely on an externally managed fleet; spawn nothing.
+            dcfg.exe = None;
+        }
+        if let Some(ms) = wait_ms {
+            dcfg.wait = std::time::Duration::from_millis(ms);
+        }
+        if let Some(ms) = row_timeout_ms {
+            dcfg.row_timeout = std::time::Duration::from_millis(ms);
+        }
+        let w = req.find_workload().unwrap_or_else(|e| fail(&e));
+        let study = req.configure(w.as_ref()).unwrap_or_else(|e| fail(&e));
+        let jobs = study_jobs(&req.workload, req.effort, w.as_ref(), study.plan(), &ctx);
+        report_dispatch(&dispatch(&dcfg, jobs, &ctx));
+    }
+
     if json {
         match req.run_json(&ctx) {
             Ok(body) => print!("{body}"),
@@ -843,6 +1110,7 @@ fn run(args: &[String]) {
     let mut no_cache = false;
     let mut par_bootstrap = false;
     let mut threads: Option<usize> = None;
+    let mut workers: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -852,6 +1120,13 @@ fn run(args: &[String]) {
             "--serial" => serial = true,
             "--no-cache" => no_cache = true,
             "--par-bootstrap" => par_bootstrap = true,
+            "--workers" => {
+                let v = it.next().unwrap_or_else(|| fail("--workers needs a count"));
+                workers = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid worker count '{v}'"))),
+                );
+            }
             "--filter" => {
                 let v = it.next().unwrap_or_else(|| fail("--filter needs a value"));
                 filter = Some(v.clone());
@@ -919,6 +1194,32 @@ fn run(args: &[String]) {
             "bootstrap: split-stream (parallel) — output is thread-count stable but \
              not byte-comparable to serial-bootstrap artifacts"
         );
+    }
+
+    // Sharded path: farm each selected artifact out to a worker fleet
+    // over the shared disk cache, then assemble the reports in-process
+    // below from the warm cache — byte-identical to an unsharded run.
+    if let Some(n) = workers {
+        if no_cache {
+            fail("--workers shards through the shared cache; drop --no-cache");
+        }
+        if bootstrap != BootstrapMode::Serial {
+            fail("--workers publishes serial-bootstrap records; drop --par-bootstrap");
+        }
+        let probe_ctx = RunContext::new(runner, MeasureCache::from_env());
+        let dir = dispatch_cache_dir(&probe_ctx);
+        let jobs: Vec<DispatchJob> = specs
+            .iter()
+            .map(|s| DispatchJob {
+                id: Job::artifact_id(s.name, effort),
+                job: Job::Artifact {
+                    name: s.name.to_string(),
+                    effort,
+                },
+                probe: None,
+            })
+            .collect();
+        report_dispatch(&dispatch(&DispatchConfig::new(dir, n), jobs, &probe_ctx));
     }
     // --no-cache: each artifact gets its own throwaway in-memory cache,
     // so nothing is shared across artifacts or persisted — but the batch

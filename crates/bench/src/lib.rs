@@ -36,4 +36,5 @@ pub mod registry;
 pub mod serve;
 pub mod suites;
 pub mod timing;
+pub mod worker;
 pub mod workloads;

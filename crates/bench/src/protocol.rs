@@ -250,16 +250,25 @@ impl StudyRequest {
         })
     }
 
-    /// Runs the study through `ctx`, returning the report (the caller
-    /// picks a rendering — the serve layer wraps it in [`json_envelope`],
-    /// the CLI may render text).
-    pub fn run(&self, ctx: &RunContext) -> Result<Report, String> {
-        let workload = workloads::find(&self.workload, self.effort.scale()).ok_or_else(|| {
+    /// Resolves the workload this request targets (the effort preset
+    /// picks its scale).
+    pub fn find_workload(&self) -> Result<Box<dyn varbench_pipeline::Workload>, String> {
+        workloads::find(&self.workload, self.effort.scale()).ok_or_else(|| {
             format!(
                 "unknown workload \"{}\" (see GET /v1/workloads)",
                 self.workload
             )
-        })?;
+        })
+    }
+
+    /// Builds the configured [`Study`] over `workload` — the single
+    /// builder chain behind [`StudyRequest::run`] *and* the worker-fleet
+    /// dispatcher, so a dispatched study plans exactly the measurements
+    /// the in-process study runs.
+    pub fn configure<'w>(
+        &self,
+        workload: &'w dyn varbench_pipeline::Workload,
+    ) -> Result<Study<'w>, String> {
         // Pre-validate what Study::run would panic on: a source selection
         // that leaves nothing to randomize is a client error, not a 500.
         if let Some(requested) = &self.sources {
@@ -279,7 +288,7 @@ impl StudyRequest {
                 ));
             }
         }
-        let mut study = Study::new(workload.as_ref());
+        let mut study = Study::new(workload);
         if let Some(sources) = &self.sources {
             study = study.randomize(sources);
         }
@@ -301,7 +310,15 @@ impl StudyRequest {
         if let Some(name) = &self.name {
             study = study.named(name.clone());
         }
-        Ok(study.run(ctx))
+        Ok(study)
+    }
+
+    /// Runs the study through `ctx`, returning the report (the caller
+    /// picks a rendering — the serve layer wraps it in [`json_envelope`],
+    /// the CLI may render text).
+    pub fn run(&self, ctx: &RunContext) -> Result<Report, String> {
+        let workload = self.find_workload()?;
+        Ok(self.configure(workload.as_ref())?.run(ctx))
     }
 
     /// [`StudyRequest::run`] rendered as the serve response body: the

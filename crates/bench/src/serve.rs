@@ -3,11 +3,17 @@
 //!
 //! The paper's score matrices are community infrastructure: queried far
 //! more often than they are computed. This module turns the one-shot CLI
-//! into a long-running service — a thread-per-connection loop where
-//! every request runs against **one** [`RunContext`], so the
-//! `MeasureCache` answers warm requests instantly from memory or disk,
-//! schedules only the missing matrix delta for cold ones, and coalesces
-//! concurrent identical requests into a single computation.
+//! into a long-running service — a bounded pool of handler threads fed
+//! by a fixed-capacity accept queue, where every request runs against
+//! **one** [`RunContext`], so the `MeasureCache` answers warm requests
+//! instantly from memory or disk, schedules only the missing matrix
+//! delta for cold ones, and coalesces concurrent identical requests
+//! into a single computation.
+//!
+//! When every handler is busy and the queue is full, new connections
+//! are **shed** with `503 Service Unavailable` instead of being read:
+//! the listener stays responsive under overload, and clients retry
+//! with backoff ([`http_request_retry`] is the matching transport).
 //!
 //! # Endpoints
 //!
@@ -56,6 +62,13 @@ const MAX_HEAD: usize = 16 * 1024;
 
 /// Maximum accepted request body.
 const MAX_BODY: usize = 1024 * 1024;
+
+/// Default handler-pool size.
+pub const DEFAULT_HANDLERS: usize = 8;
+
+/// Default accept-queue capacity (connections waiting for a handler
+/// beyond the ones being served; past this, connections are shed).
+pub const DEFAULT_QUEUE: usize = 32;
 
 /// Shared server state: the one execution context every request runs
 /// against. Sharing the context is the entire point — it is what makes
@@ -205,15 +218,8 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, (u16, String)> {
         .map_err(|_| (400, error_body("request head is not UTF-8")))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split_whitespace();
-    let (method, path, version) = (
-        parts.next().unwrap_or(""),
-        parts.next().unwrap_or(""),
-        parts.next().unwrap_or(""),
-    );
-    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
-        return Err((400, error_body("malformed request line")));
-    }
+    let (method, path) = parse_request_line(request_line)
+        .map_err(|e| (400, error_body(&format!("malformed request line: {e}"))))?;
     let mut content_length = 0usize;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
@@ -239,11 +245,24 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, (u16, String)> {
     body_bytes.truncate(content_length);
     let body = String::from_utf8(body_bytes)
         .map_err(|_| (400, error_body("request body is not UTF-8")))?;
-    Ok(Request {
-        method: method.to_string(),
-        path: path.to_string(),
-        body,
-    })
+    Ok(Request { method, path, body })
+}
+
+/// Parses an HTTP/1.x request line into `(method, path)`. Pure, so the
+/// error taxonomy — empty line, too few tokens, wrong protocol — is
+/// unit-testable without a socket. Every failure maps to a 400.
+fn parse_request_line(line: &str) -> Result<(String, String), String> {
+    let mut parts = line.split_whitespace();
+    let Some(method) = parts.next() else {
+        return Err("empty request line".into());
+    };
+    let (Some(path), Some(version)) = (parts.next(), parts.next()) else {
+        return Err(format!("expected `METHOD PATH VERSION`, got {line:?}"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol version {version:?}"));
+    }
+    Ok((method.to_string(), path.to_string()))
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -259,6 +278,7 @@ fn render_response(status: u16, body: &str) -> String {
         408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     };
     format!(
@@ -292,20 +312,53 @@ fn handle_connection(mut stream: TcpStream, state: &ServeState) -> bool {
     shutdown
 }
 
+/// Rejects a connection at the accept gate without reading it: the
+/// queue is full, so the client gets an immediate `503` and the
+/// listener moves on. Shedding is what keeps the server answering
+/// health checks while a burst drains.
+fn shed(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let body = error_body("server at capacity; retry with backoff");
+    let _ = stream.write_all(render_response(503, &body).as_bytes());
+    let _ = stream.flush();
+    // Drain whatever the client already sent before closing: dropping
+    // a socket with unread bytes in its receive buffer turns the close
+    // into an RST, which can destroy the 503 on its way out.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 4096];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServeState>,
+    handlers: usize,
+    queue: usize,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:7878`, or port `0` for an
-    /// OS-assigned one).
+    /// OS-assigned one) with the default pool shape (8 handlers, a
+    /// queue of 32 waiting connections).
     pub fn bind(addr: &str, state: ServeState) -> std::io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             state: Arc::new(state),
+            handlers: DEFAULT_HANDLERS,
+            queue: DEFAULT_QUEUE,
         })
+    }
+
+    /// Overrides the pool shape: `handlers` concurrent request threads
+    /// (clamped to at least 1) fed by a queue holding up to `queue`
+    /// waiting connections. `queue = 0` is a rendezvous: a connection
+    /// is either handed to an idle handler immediately or shed.
+    pub fn with_pool(mut self, handlers: usize, queue: usize) -> Server {
+        self.handlers = handlers.max(1);
+        self.queue = queue;
+        self
     }
 
     /// The bound address (useful with port 0).
@@ -314,21 +367,24 @@ impl Server {
     }
 
     /// Accepts connections until a `POST /v1/shutdown` is acknowledged,
-    /// one handler thread per connection, then drains in-flight
-    /// handlers and returns.
+    /// dispatching each to the handler pool — or shedding it with a
+    /// `503` when the pool and queue are both full — then drains
+    /// queued and in-flight requests and returns.
     pub fn run(self) -> std::io::Result<()> {
         let addr = self.listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        for conn in self.listener.incoming() {
-            if shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = conn else { continue };
-            workers.retain(|w| !w.is_finished());
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(self.queue);
+        let rx = Arc::new(std::sync::Mutex::new(rx));
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::with_capacity(self.handlers);
+        for _ in 0..self.handlers {
+            let rx = Arc::clone(&rx);
             let state = Arc::clone(&self.state);
             let shutdown_flag = Arc::clone(&shutdown);
-            workers.push(std::thread::spawn(move || {
+            workers.push(std::thread::spawn(move || loop {
+                // Hold the lock only to dequeue, never while handling,
+                // so the other handlers keep draining the queue.
+                let next = { rx.lock().expect("accept queue lock").recv() };
+                let Ok(stream) = next else { break };
                 if handle_connection(stream, &state) {
                     shutdown_flag.store(true, Ordering::SeqCst);
                     // Poke the accept loop so it observes the flag; the
@@ -337,6 +393,20 @@ impl Server {
                 }
             }));
         }
+        for conn in self.listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(std::sync::mpsc::TrySendError::Full(stream)) => shed(stream),
+                Err(std::sync::mpsc::TrySendError::Disconnected(_)) => break,
+            }
+        }
+        // Closing the sender lets each handler finish its queue drain
+        // and fall out of `recv()`.
+        drop(tx);
         for w in workers {
             let _ = w.join();
         }
@@ -372,6 +442,44 @@ pub fn http_request(
     stream.read_to_end(&mut response)?;
     parse_response(&response)
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+/// [`http_request`] with bounded retry under `policy`'s backoff
+/// schedule — the `varbench query --retries` transport. Only
+/// *transport* failures are retried (connection refused/reset/aborted
+/// and timeouts: the server is starting up, restarting, or shedding
+/// load); any HTTP response — including 4xx/5xx — is an answer and is
+/// returned as-is. After the attempt budget is exhausted the last
+/// transport error is returned.
+pub fn http_request_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    policy: &varbench_core::retry::RetryPolicy,
+) -> std::io::Result<(u16, String)> {
+    let mut attempt = 0u32;
+    loop {
+        match http_request(addr, method, path, body) {
+            Ok(resp) => return Ok(resp),
+            Err(e) => {
+                let transient = matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionRefused
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::Interrupted
+                );
+                match policy.backoff_after(attempt) {
+                    Some(pause) if transient => std::thread::sleep(pause),
+                    _ => return Err(e),
+                }
+                attempt += 1;
+            }
+        }
+    }
 }
 
 fn parse_response(raw: &[u8]) -> Option<(u16, String)> {
@@ -497,6 +605,106 @@ mod tests {
             .join()
             .expect("server thread exits cleanly")
             .expect("accept loop exits without io error");
+    }
+
+    #[test]
+    fn request_line_parser_names_each_failure() {
+        let err = parse_request_line("").unwrap_err();
+        assert!(err.contains("empty request line"), "{err}");
+
+        let err = parse_request_line("GET").unwrap_err();
+        assert!(err.contains("expected `METHOD PATH VERSION`"), "{err}");
+
+        let err = parse_request_line("GET /health").unwrap_err();
+        assert!(err.contains("expected `METHOD PATH VERSION`"), "{err}");
+
+        let err = parse_request_line("BLARGH blargh blargh").unwrap_err();
+        assert!(err.contains("unsupported protocol version"), "{err}");
+
+        let err = parse_request_line("GET /health HTTP/2").unwrap_err();
+        assert!(err.contains("unsupported protocol version"), "{err}");
+
+        let ok = parse_request_line("POST /v1/study HTTP/1.1").unwrap();
+        assert_eq!(ok, ("POST".to_string(), "/v1/study".to_string()));
+    }
+
+    #[test]
+    fn full_queue_sheds_connections_with_503() {
+        // One handler, rendezvous queue: a connection is either handed
+        // to the idle handler immediately or shed.
+        let server = Server::bind("127.0.0.1:0", state())
+            .expect("bind loopback")
+            .with_pool(1, 0);
+        let addr = server.local_addr().expect("bound addr");
+        let handle = std::thread::spawn(move || server.run());
+
+        // Prove the pipeline works (retrying: right after startup the
+        // handler may not have reached the queue yet, shedding the
+        // probe), then give the handler time to return to the queue.
+        loop {
+            let (status, _) = http_request(addr, "GET", "/health", None).unwrap();
+            if status == 200 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        std::thread::sleep(Duration::from_millis(200));
+
+        // Occupy the single handler with a half-sent request: it
+        // blocks reading the head, holding the only handler slot.
+        let mut hog = TcpStream::connect(addr).unwrap();
+        hog.write_all(b"GET /health HTTP/1.1\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+
+        // The next connection finds no idle handler and no queue room.
+        let (status, body) = http_request(addr, "GET", "/health", None).unwrap();
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("at capacity"), "{body}");
+
+        // Releasing the hog frees the handler; service resumes.
+        drop(hog);
+        std::thread::sleep(Duration::from_millis(200));
+        let (status, _) = http_request(addr, "GET", "/health", None).unwrap();
+        assert_eq!(status, 200);
+        // A rendezvous queue can shed even the shutdown request (the
+        // handler may not be back on the queue yet): retry until acked.
+        loop {
+            let (status, _) = http_request(addr, "POST", "/v1/shutdown", None).unwrap();
+            if status == 200 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn retry_transport_exhausts_on_dead_addr_and_passes_responses_through() {
+        use varbench_core::retry::RetryPolicy;
+
+        // Dead address: retries, exhausts the budget, surfaces the
+        // last transport error.
+        let dead = {
+            let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap()
+            // listener dropped: nothing is bound here any more
+        };
+        let policy = RetryPolicy::new(3).initial_backoff(Duration::from_millis(1));
+        let err = http_request_retry(dead, "GET", "/health", None, &policy).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+
+        // A live server's responses — including error statuses — pass
+        // through without burning retry attempts on them.
+        let server = Server::bind("127.0.0.1:0", state()).expect("bind loopback");
+        let addr = server.local_addr().expect("bound addr");
+        let handle = std::thread::spawn(move || server.run());
+        let policy = RetryPolicy::new(5).initial_backoff(Duration::from_millis(1));
+        let (status, _) = http_request_retry(addr, "GET", "/health", None, &policy).unwrap();
+        assert_eq!(status, 200);
+        let (status, _) = http_request_retry(addr, "GET", "/bogus", None, &policy).unwrap();
+        assert_eq!(status, 404, "HTTP errors are answers, not outages");
+        let _ = http_request(addr, "POST", "/v1/shutdown", None).unwrap();
+        handle.join().unwrap().unwrap();
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! * [`study`] — the fluent [`Study`] builder: from any
 //!   `varbench_pipeline::Workload` to a finished variance report;
 //! * [`sample_size`] — Noether planning for `P(A > B)` tests (Fig. C.1);
+//! * [`retry`] — the bounded exponential-backoff [`retry::RetryPolicy`]
+//!   shared by the worker-fleet dispatch driver and the `query` client
+//!   (pure `Duration` schedule; no wallclock reads);
 //! * [`json`] — a dependency-free JSON value model and parser (the
 //!   reading half of the serve protocol; [`report`] is the writing half);
 //! * [`report`] — structured experiment reports (text/JSON/CSV) and the
@@ -76,6 +79,7 @@ pub mod json;
 pub mod multiple_datasets;
 pub mod procedure;
 pub mod report;
+pub mod retry;
 pub mod sample_size;
 pub mod simulation;
 pub mod study;

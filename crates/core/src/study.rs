@@ -16,9 +16,103 @@
 use crate::ctx::RunContext;
 use crate::estimator::{joint_variance_study, source_variance_study};
 use crate::report::{bar, num, Report, Table};
-use varbench_pipeline::{HpoAlgorithm, VarianceSource, Workload};
+use varbench_pipeline::{HpoAlgorithm, MeasureKind, VarianceSource, Workload};
 use varbench_stats::describe::{mean, std_dev};
 use varbench_stats::power::noether_sample_size;
+
+/// One row-group of a study's measurement matrix — which randomization
+/// a [`PlannedMeasurement`] re-seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StudyUnit {
+    /// One ξ_O source re-seeded per row, default hyperparameters.
+    Source(VarianceSource),
+    /// The chosen ξ_O set re-seeded jointly, default hyperparameters.
+    Joint(Vec<VarianceSource>),
+    /// Per-row independent HPO procedures (the ξ_H row).
+    HyperOpt,
+}
+
+/// One independently computable measurement of a study: exactly one call
+/// to [`source_variance_study`] or [`joint_variance_study`].
+///
+/// [`Study::plan`] enumerates these and [`Study::run`] *consumes* the
+/// plan — so anything that executes every planned unit against a shared
+/// cache (the `varbench worker` fleet) pre-computes precisely the
+/// records `run` will then read. Byte-identity of sharded and
+/// single-process studies holds by construction, not by parallel
+/// bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedMeasurement {
+    /// What is randomized.
+    pub unit: StudyUnit,
+    /// Rows (re-seeded measurements) in this unit's matrix.
+    pub seeds: usize,
+    /// HPO algorithm (only exercised by the [`StudyUnit::HyperOpt`] row;
+    /// carried uniformly so a unit serializes without special cases).
+    pub algo: HpoAlgorithm,
+    /// Effective HPO budget passed to the measurement call.
+    pub budget: usize,
+    /// Effective base seed (the ξ_H row's `^ 0xB0B0` already applied).
+    pub base_seed: u64,
+}
+
+impl PlannedMeasurement {
+    /// Runs this unit through `ctx`, returning its measurement column
+    /// (and publishing it to `ctx`'s cache like any other measurement).
+    pub fn execute(&self, w: &dyn Workload, ctx: &RunContext) -> Vec<f64> {
+        match &self.unit {
+            StudyUnit::Source(src) => source_variance_study(
+                w,
+                *src,
+                self.seeds,
+                self.algo,
+                self.budget,
+                self.base_seed,
+                ctx,
+            ),
+            StudyUnit::Joint(sources) => {
+                joint_variance_study(w, sources, self.seeds, self.base_seed, ctx)
+            }
+            StudyUnit::HyperOpt => source_variance_study(
+                w,
+                VarianceSource::HyperOpt,
+                self.seeds,
+                self.algo,
+                self.budget,
+                self.base_seed,
+                ctx,
+            ),
+        }
+    }
+
+    /// The [`MeasureKind`] the execution addresses its cache entry with —
+    /// what a dispatch driver combines with [`RunContext::measure_key`]
+    /// and [`PlannedMeasurement::base_seed`] to watch for the published
+    /// record.
+    pub fn measure_kind(&self) -> MeasureKind {
+        match &self.unit {
+            StudyUnit::Source(src) => MeasureKind::SourceStudy { source: *src },
+            StudyUnit::Joint(sources) => MeasureKind::JointStudy {
+                sources: sources.clone(),
+            },
+            StudyUnit::HyperOpt => MeasureKind::HyperOptStudy {
+                algo: self.algo.display_name(),
+                budget: self.budget,
+            },
+        }
+    }
+
+    /// The report row label for this unit.
+    pub fn label(&self) -> String {
+        match &self.unit {
+            StudyUnit::Source(src) => src.display_name().to_string(),
+            StudyUnit::Joint(_) => "Altogether (joint)".to_string(),
+            StudyUnit::HyperOpt => {
+                format!("HyperOpt ({}, T={})", self.algo.display_name(), self.budget)
+            }
+        }
+    }
+}
 
 /// Builds and runs a per-source variance study of one [`Workload`] —
 /// the paper's Fig. 1 protocol as a reusable, fluent API.
@@ -112,13 +206,13 @@ impl<'w> Study<'w> {
         self
     }
 
-    /// Runs every measurement through `ctx` and renders the variance
-    /// profile.
+    /// The ξ_O sources this study will randomize: the workload's active
+    /// sources intersected with any [`Study::randomize`] restriction.
     ///
     /// # Panics
     ///
-    /// Panics if the source selection leaves nothing to randomize.
-    pub fn run(&self, ctx: &RunContext) -> Report {
+    /// Panics if the selection leaves nothing to randomize.
+    pub fn chosen_sources(&self) -> Vec<VarianceSource> {
         let w = self.workload;
         let active_xi_o: Vec<VarianceSource> = w
             .active_sources()
@@ -139,6 +233,63 @@ impl<'w> Study<'w> {
             "study of {} has no active source to randomize",
             w.name()
         );
+        chosen
+    }
+
+    /// Enumerates the study's measurement plan: one
+    /// [`PlannedMeasurement`] per per-source row (in active-source
+    /// order), then the joint row when more than one source is chosen
+    /// (a single-source joint study IS that source's marginal study),
+    /// then the ξ_H row when a budget is set. [`Study::run`] executes
+    /// exactly this plan, in this order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source selection leaves nothing to randomize.
+    pub fn plan(&self) -> Vec<PlannedMeasurement> {
+        let chosen = self.chosen_sources();
+        let unit = |u: StudyUnit, budget: usize, base_seed: u64| PlannedMeasurement {
+            unit: u,
+            seeds: self.n_seeds,
+            algo: self.algo,
+            budget,
+            base_seed,
+        };
+        let mut plan: Vec<PlannedMeasurement> = chosen
+            .iter()
+            .map(|&src| {
+                // budget.max(1): irrelevant to a default-hyperparameter
+                // row but must satisfy the study function's budget > 0
+                // assertion uniformly.
+                unit(StudyUnit::Source(src), self.budget.max(1), self.base_seed)
+            })
+            .collect();
+        if chosen.len() > 1 {
+            plan.push(unit(
+                StudyUnit::Joint(chosen.clone()),
+                self.budget.max(1),
+                self.base_seed,
+            ));
+        }
+        if self.budget > 0 {
+            plan.push(unit(
+                StudyUnit::HyperOpt,
+                self.budget,
+                self.base_seed ^ 0xB0B0,
+            ));
+        }
+        plan
+    }
+
+    /// Runs every measurement through `ctx` and renders the variance
+    /// profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source selection leaves nothing to randomize.
+    pub fn run(&self, ctx: &RunContext) -> Report {
+        let w = self.workload;
+        let chosen = self.chosen_sources();
 
         let name = self
             .report_name
@@ -157,49 +308,27 @@ impl<'w> Study<'w> {
             self.n_seeds, self.base_seed
         ));
 
-        // Per-source rows, in active-source order.
+        // Execute the plan: per-source rows in active-source order, the
+        // joint row (absent for a single source — its joint study IS the
+        // marginal study, so the marginal matrix is reused instead of
+        // paying n more measurements), then the optional ξ_H row.
         let mut rows: Vec<(String, f64)> = Vec::new();
         let mut first_marginal: Option<Vec<f64>> = None;
-        for &src in &chosen {
-            let measures = source_variance_study(
-                w,
-                src,
-                self.n_seeds,
-                self.algo,
-                self.budget.max(1),
-                self.base_seed,
-                ctx,
-            );
-            rows.push((src.display_name().to_string(), std_dev(&measures)));
-            first_marginal.get_or_insert(measures);
+        let mut joint_measures: Option<Vec<f64>> = None;
+        for pm in self.plan() {
+            let measures = pm.execute(w, ctx);
+            rows.push((pm.label(), std_dev(&measures)));
+            match pm.unit {
+                StudyUnit::Source(_) => {
+                    first_marginal.get_or_insert(measures);
+                }
+                StudyUnit::Joint(_) => joint_measures = Some(measures),
+                StudyUnit::HyperOpt => {}
+            }
         }
-        // Joint randomization of the chosen set. With a single source the
-        // joint study IS that source's marginal study — reuse its matrix
-        // instead of paying n more measurements, and skip the redundant
-        // table row.
-        let joint = if chosen.len() > 1 {
-            let joint = joint_variance_study(w, &chosen, self.n_seeds, self.base_seed, ctx);
-            rows.push(("Altogether (joint)".to_string(), std_dev(&joint)));
-            joint
-        } else {
-            first_marginal.expect("chosen is non-empty")
-        };
-        // Optional ξ_H row.
-        if self.budget > 0 {
-            let measures = source_variance_study(
-                w,
-                VarianceSource::HyperOpt,
-                self.n_seeds,
-                self.algo,
-                self.budget,
-                self.base_seed ^ 0xB0B0,
-                ctx,
-            );
-            rows.push((
-                format!("HyperOpt ({}, T={})", self.algo.display_name(), self.budget),
-                std_dev(&measures),
-            ));
-        }
+        let joint = joint_measures
+            .or(first_marginal)
+            .expect("chosen is non-empty");
 
         // The ratio column is relative to the bootstrap row when the
         // study includes it, otherwise to the first chosen source — and
@@ -315,6 +444,57 @@ mod tests {
         let a = Study::new(&w).seeds(3).run(&RunContext::serial());
         let b = Study::new(&w).seeds(3).run(&RunContext::serial_cached());
         assert_eq!(a.render_text(), b.render_text());
+    }
+
+    #[test]
+    fn plan_enumerates_sources_joint_and_hopt_rows() {
+        let cs = CaseStudy::glue_rte_bert(Scale::Test);
+        let study = Study::new(&cs).seeds(3).budget(2);
+        let plan = study.plan();
+        let chosen = study.chosen_sources();
+        assert!(chosen.len() > 1);
+        assert_eq!(plan.len(), chosen.len() + 2, "sources + joint + xi_H");
+        for (pm, src) in plan.iter().zip(&chosen) {
+            assert_eq!(pm.unit, StudyUnit::Source(*src));
+            assert_eq!(pm.base_seed, 0xA11D);
+        }
+        assert_eq!(plan[chosen.len()].unit, StudyUnit::Joint(chosen.clone()));
+        let hopt = plan.last().unwrap();
+        assert_eq!(hopt.unit, StudyUnit::HyperOpt);
+        assert_eq!(hopt.base_seed, 0xA11D ^ 0xB0B0);
+        assert_eq!(hopt.budget, 2);
+        // Single source, no budget: the plan is exactly one marginal.
+        let w = SyntheticWorkload::new(Scale::Test);
+        let single = Study::new(&w).seeds(3).plan();
+        assert_eq!(single.len(), 1);
+        assert!(matches!(single[0].unit, StudyUnit::Source(_)));
+    }
+
+    #[test]
+    fn executing_the_plan_precomputes_everything_run_reads() {
+        // The worker-fleet invariant: a fleet that executes every
+        // planned unit against a shared cache leaves `run` nothing to
+        // compute, and the assembled report matches a cold run
+        // byte-for-byte.
+        let cs = CaseStudy::glue_rte_bert(Scale::Test);
+        let build = |w| Study::new(w).seeds(3).budget(2);
+        let warm = RunContext::serial_cached();
+        for pm in build(&cs).plan() {
+            let measures = pm.execute(&cs, &warm);
+            assert_eq!(measures.len(), 3);
+            // The advertised key addresses the record just published.
+            let key = warm.measure_key(&cs, pm.measure_kind(), pm.base_seed);
+            assert_eq!(warm.cache().probe_rows(&key), 3, "{}", pm.label());
+        }
+        let computed = warm.cache().stats().rows_computed;
+        let report = build(&cs).run(&warm);
+        assert_eq!(
+            warm.cache().stats().rows_computed,
+            computed,
+            "run computes nothing after the plan executed"
+        );
+        let cold = build(&cs).run(&RunContext::serial_cached());
+        assert_eq!(report.render_text(), cold.render_text());
     }
 
     #[test]

@@ -73,6 +73,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use crate::faultpoint::faultpoint;
 use crate::variance::VarianceSource;
 use crate::workload::Workload;
 
@@ -766,12 +767,36 @@ impl MeasureCache {
             std::process::id()
         ));
         if std::fs::write(&tmp, render_record(entry, key.canon())).is_ok() {
+            // The fault window every crash-safety test cares about: a
+            // writer dying here leaves a temp file but no (or the old)
+            // record — gc reaps the orphan, readers never see a tear.
+            faultpoint("publish:after-tmp");
             if std::fs::rename(&tmp, &path).is_err() {
                 let _ = std::fs::remove_file(&tmp);
             }
+            faultpoint("publish:after-rename");
         } else {
             let _ = std::fs::remove_file(&tmp);
         }
+    }
+
+    /// Rows already available for `key` — the longest prefix held in
+    /// memory or on disk — without computing anything. `0` means no
+    /// usable record. The fleet dispatch driver polls this to observe
+    /// workers' publishes; a successful disk probe promotes the record
+    /// into memory (counted as a disk load), so the eventual real
+    /// lookup is a full hit.
+    pub fn probe_rows(&self, key: &MeasureKey) -> usize {
+        if self.off {
+            return 0;
+        }
+        {
+            let st = self.state.lock().expect("cache lock");
+            if let Some(e) = st.entries.get(key.canon()) {
+                return e.rows();
+            }
+        }
+        self.promote_from_disk(key).map_or(0, |e| e.rows())
     }
 }
 
@@ -861,15 +886,21 @@ pub struct GcReport {
     /// Orphaned `.tmp.<pid>.<seq>` temporaries removed (left behind by
     /// crashed or interrupted writers; a live writer whose temp file is
     /// swept simply fails its best-effort publish and recomputes later).
+    /// Includes orphan temporaries from the lease and queue namespaces.
     pub tmp_files: u64,
+    /// Stale worker-lease files removed (see [`crate::lease::gc`]): torn
+    /// leases, and leases whose job is no longer queued. A crashed
+    /// worker's lease on still-pending work is kept — reclaiming live
+    /// work is the dispatch driver's call, not gc's.
+    pub stale_leases: u64,
     /// Total bytes reclaimed by the pass.
     pub bytes_reclaimed: u64,
 }
 
 impl GcReport {
-    /// Files removed, over all three categories.
+    /// Files removed, over all categories.
     pub fn files_removed(&self) -> u64 {
-        self.stale_version_files + self.torn_files + self.tmp_files
+        self.stale_version_files + self.torn_files + self.tmp_files + self.stale_leases
     }
 }
 
@@ -886,7 +917,9 @@ impl GcReport {
 ///   superseded *in place* by the atomic rename publish, so a readable
 ///   record that fails the filename check is a stray copy);
 /// * **orphaned temporaries** (`*.tmp.<pid>.<seq>`) left by crashed
-///   writers.
+///   writers;
+/// * **stale worker leases and torn queue files** in the fleet's
+///   `leases/` and `queue/` namespaces (see [`crate::lease::gc`]).
 ///
 /// Only cache-owned paths are touched: the `v<N>` subdirectories and
 /// the `.rec`/temp files inside the current one. Anything else under
@@ -912,6 +945,11 @@ pub fn gc_dir(dir: &Path) -> std::io::Result<GcReport> {
         }
         if name == current {
             gc_version_dir(&path, &mut report);
+            let leases = crate::lease::gc(dir);
+            report.stale_leases += leases.stale_leases;
+            report.torn_files += leases.torn_jobs;
+            report.tmp_files += leases.tmp_files;
+            report.bytes_reclaimed += leases.bytes_reclaimed;
         } else {
             let (files, bytes) = dir_usage(&path);
             std::fs::remove_dir_all(&path)?;

@@ -1,0 +1,305 @@
+//! Deterministic fault injection for crash-safety tests.
+//!
+//! Production code marks its interesting failure windows with a named
+//! [`faultpoint`] call — e.g. the measurement cache calls
+//! `faultpoint("publish:after-tmp")` between writing a temp file and
+//! renaming it into place. Tests then *arm* a site, either through the
+//! [`FAULT_ENV`] environment variable (read once per process; the way to
+//! reach real worker subprocesses) or through [`arm_local`] (a
+//! thread-local guard for in-process unit tests), and the armed action
+//! fires when execution crosses the site.
+//!
+//! # Spec grammar
+//!
+//! `VARBENCH_FAULT` holds one or more `;`-separated specs, each
+//! `<site>:<action>[@N]`:
+//!
+//! * `publish:after-tmp:kill` — abort the process (closest `std`
+//!   equivalent of `kill -9`: no destructors, no unwinding) the first
+//!   time the site is crossed;
+//! * `claim:before-create:delay=250` — sleep 250 ms at the site (plain
+//!   `delay` sleeps 100 ms); widens race windows on demand;
+//! * `worker:mid-row:panic` — panic at the site (an unwinding crash, as
+//!   opposed to `kill`'s hard abort);
+//! * `worker:mid-row:kill1=/tmp/killed` — abort only in the first
+//!   process that atomically creates the sentinel path. This is how a
+//!   fleet test kills *exactly one* worker when every worker inherits
+//!   the same environment;
+//! * a trailing `@N` (1-based) arms the action on the Nth crossing of
+//!   the site instead of the first.
+//!
+//! The action token is everything after the spec's *last* `:` (sites
+//! themselves contain colons); sentinel paths containing `:` are
+//! therefore not representable — keep them colon-free.
+//!
+//! # Compile gating
+//!
+//! Faultpoints are real code in debug builds (`debug_assertions`) and in
+//! release builds with the `chaos` feature; otherwise [`faultpoint`]
+//! compiles to an empty `#[inline(always)]` no-op, so the measurement
+//! hot path pays nothing in production. A malformed armed spec panics at
+//! the first faultpoint crossing — a typo'd fault test must fail loudly,
+//! not pass vacuously.
+
+#![deny(missing_docs)]
+
+/// Environment variable holding the fault spec(s). See the module docs
+/// for the grammar.
+pub const FAULT_ENV: &str = "VARBENCH_FAULT";
+
+#[cfg(any(debug_assertions, feature = "chaos"))]
+mod imp {
+    use super::FAULT_ENV;
+    use std::cell::RefCell;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+    use std::time::Duration;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub(super) enum Action {
+        Kill,
+        Panic,
+        Delay(u64),
+        KillOnce(PathBuf),
+    }
+
+    pub(super) struct Spec {
+        site: String,
+        nth: Option<u64>,
+        action: Action,
+        hits: AtomicU64,
+    }
+
+    pub(super) fn parse_spec(raw: &str) -> Result<Spec, String> {
+        let raw = raw.trim();
+        // Optional `@N` trigger index (applies to the whole spec).
+        let (body, nth) = match raw.rsplit_once('@') {
+            Some((body, n)) => match n.parse::<u64>() {
+                Ok(n) if n >= 1 => (body, Some(n)),
+                _ => return Err(format!("bad trigger index in fault spec {raw:?}")),
+            },
+            None => (raw, None),
+        };
+        let Some((site, action_tok)) = body.rsplit_once(':') else {
+            return Err(format!(
+                "fault spec {raw:?} has no action (want site:action)"
+            ));
+        };
+        let action = if action_tok == "kill" {
+            Action::Kill
+        } else if action_tok == "panic" {
+            Action::Panic
+        } else if action_tok == "delay" {
+            Action::Delay(100)
+        } else if let Some(ms) = action_tok.strip_prefix("delay=") {
+            Action::Delay(
+                ms.parse()
+                    .map_err(|_| format!("bad delay in fault spec {raw:?}"))?,
+            )
+        } else if let Some(path) = action_tok.strip_prefix("kill1=") {
+            if path.is_empty() {
+                return Err(format!("empty sentinel path in fault spec {raw:?}"));
+            }
+            Action::KillOnce(PathBuf::from(path))
+        } else {
+            return Err(format!(
+                "unknown action {action_tok:?} in fault spec {raw:?}"
+            ));
+        };
+        if site.is_empty() {
+            return Err(format!("empty site in fault spec {raw:?}"));
+        }
+        Ok(Spec {
+            site: site.to_string(),
+            nth,
+            action,
+            hits: AtomicU64::new(0),
+        })
+    }
+
+    fn env_specs() -> &'static [Spec] {
+        static SPECS: OnceLock<Vec<Spec>> = OnceLock::new();
+        SPECS.get_or_init(|| match std::env::var(FAULT_ENV) {
+            Err(_) => Vec::new(),
+            Ok(raw) => raw
+                .split(';')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| parse_spec(s).unwrap_or_else(|e| panic!("{FAULT_ENV}: {e}")))
+                .collect(),
+        })
+    }
+
+    thread_local! {
+        static LOCAL: RefCell<Vec<Spec>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// RAII guard for a thread-locally armed fault spec.
+    pub struct LocalArm;
+
+    impl Drop for LocalArm {
+        fn drop(&mut self) {
+            LOCAL.with(|l| {
+                l.borrow_mut().pop();
+            });
+        }
+    }
+
+    pub(super) fn arm_local(spec: &str) -> LocalArm {
+        let spec = parse_spec(spec).unwrap_or_else(|e| panic!("arm_local: {e}"));
+        LOCAL.with(|l| l.borrow_mut().push(spec));
+        LocalArm
+    }
+
+    pub(super) fn hit(site: &str) {
+        // Thread-local specs first (unit tests), then the process-wide
+        // environment table (subprocess fleets).
+        let local_action = LOCAL.with(|l| {
+            let specs = l.borrow();
+            specs.iter().filter(|s| s.site == site).find_map(triggered)
+        });
+        if let Some(action) = local_action {
+            fire(site, &action);
+        }
+        for spec in env_specs().iter().filter(|s| s.site == site) {
+            if let Some(action) = triggered(spec) {
+                fire(site, &action);
+            }
+        }
+    }
+
+    fn triggered(spec: &Spec) -> Option<Action> {
+        let hit = spec.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        match spec.nth {
+            Some(n) if hit != n => None,
+            None if hit != 1 && !matches!(spec.action, Action::Delay(_)) => None,
+            _ => Some(spec.action.clone()),
+        }
+    }
+
+    fn fire(site: &str, action: &Action) {
+        match action {
+            // abort(): no unwinding, no destructors, exit code from a
+            // signal — the honest stand-in for kill -9.
+            Action::Kill => std::process::abort(),
+            Action::Panic => panic!("faultpoint {site}: armed panic"),
+            Action::Delay(ms) => std::thread::sleep(Duration::from_millis(*ms)),
+            Action::KillOnce(path) => {
+                if std::fs::OpenOptions::new()
+                    .write(true)
+                    .create_new(true)
+                    .open(path)
+                    .is_ok()
+                {
+                    std::process::abort();
+                }
+            }
+        }
+    }
+}
+
+/// Crosses the named fault site: if a matching spec is armed (see the
+/// module docs) its action fires here; otherwise this is free.
+#[cfg(any(debug_assertions, feature = "chaos"))]
+pub fn faultpoint(site: &str) {
+    imp::hit(site);
+}
+
+/// Crosses the named fault site: compiled to nothing in this build
+/// (release without the `chaos` feature).
+#[cfg(not(any(debug_assertions, feature = "chaos")))]
+#[inline(always)]
+pub fn faultpoint(_site: &str) {}
+
+/// RAII guard from [`arm_local`]: the spec stays armed until this drops.
+#[cfg(any(debug_assertions, feature = "chaos"))]
+pub use imp::LocalArm;
+
+/// Arms `spec` (same grammar as [`FAULT_ENV`], e.g. `"x:panic"`) for the
+/// current thread until the returned guard drops. Unit tests use this to
+/// exercise fault sites without mutating the process environment.
+#[cfg(any(debug_assertions, feature = "chaos"))]
+pub fn arm_local(spec: &str) -> LocalArm {
+    imp::arm_local(spec)
+}
+
+#[cfg(all(test, any(debug_assertions, feature = "chaos")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_site_is_free() {
+        faultpoint("nobody:armed:this");
+    }
+
+    #[test]
+    #[should_panic(expected = "faultpoint unit:site: armed panic")]
+    fn armed_panic_fires() {
+        let _arm = arm_local("unit:site:panic");
+        faultpoint("unit:site");
+    }
+
+    #[test]
+    fn panic_fires_only_on_requested_hit() {
+        let _arm = arm_local("unit:nth:panic@3");
+        faultpoint("unit:nth");
+        faultpoint("unit:nth"); // hits 1 and 2: nothing
+        let caught = std::panic::catch_unwind(|| faultpoint("unit:nth"));
+        assert!(caught.is_err(), "third crossing fires");
+    }
+
+    #[test]
+    fn disarm_on_guard_drop() {
+        {
+            let _arm = arm_local("unit:scoped:panic");
+        }
+        faultpoint("unit:scoped"); // guard dropped: free again
+    }
+
+    #[test]
+    fn kill_once_skips_when_sentinel_exists() {
+        let dir = std::env::temp_dir().join(format!("varbench-fp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sentinel = dir.join("killed");
+        std::fs::write(&sentinel, b"prior victim").unwrap();
+        let _arm = arm_local(&format!("unit:kill1:kill1={}", sentinel.display()));
+        // Someone already died for this sentinel: we survive.
+        faultpoint("unit:kill1");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delay_fires_without_blocking_forever() {
+        let _arm = arm_local("unit:delay:delay=1");
+        faultpoint("unit:delay");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "noaction",
+            "site:",
+            "site:frobnicate",
+            "site:delay=abc",
+            "site:kill1=",
+            "site:kill@0",
+            ":kill",
+        ] {
+            assert!(imp::parse_spec(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_forms() {
+        for good in [
+            "publish:after-tmp:kill",
+            "claim:before-create:delay=250",
+            "worker:mid-row:panic",
+            "worker:mid-row:kill1=/tmp/x",
+            "publish:after-tmp:kill@2",
+            "a:delay",
+        ] {
+            assert!(imp::parse_spec(good).is_ok(), "{good:?} should parse");
+        }
+    }
+}

@@ -26,7 +26,13 @@
 //! * [`cache::MeasureCache`] memoizes case-study score matrices
 //!   content-addressed by (case study, scale, randomization set, budget,
 //!   seed tree), so the figure artifacts share measurements instead of
-//!   recomputing them (optionally persisted via `VARBENCH_CACHE_DIR`).
+//!   recomputing them (optionally persisted via `VARBENCH_CACHE_DIR`);
+//! * [`lease`] implements crash-safe work leases *beside* those records
+//!   (atomic create-claim, generation stamps, driver reclaim) — the
+//!   coordination substrate of the `varbench worker` fleet — and
+//!   [`faultpoint`] provides the deterministic fault-injection points
+//!   its crash tests are built on (no-ops in release builds unless the
+//!   `chaos` feature is enabled).
 //!
 //! # Example
 //!
@@ -50,7 +56,9 @@
 
 pub mod cache;
 mod case_study;
+pub mod faultpoint;
 mod hopt;
+pub mod lease;
 pub mod measure;
 mod variance;
 pub mod workload;

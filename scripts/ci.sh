@@ -17,10 +17,11 @@ cd "$(dirname "$0")/.."
 say() { printf '\n== %s ==\n' "$*"; }
 
 # One scratch area for every step; the trap also reaps a serve process
-# left behind by a failed smoke step.
+# or stray worker subprocesses left behind by a failed smoke step.
 scratch=$(mktemp -d)
 serve_pid=""
-trap 'rm -rf "$scratch"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+trap 'rm -rf "$scratch"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null;
+      pkill -f "varbench worker" 2>/dev/null || true' EXIT
 
 say "tier-1: cargo build --release"
 cargo build --release --offline
@@ -72,6 +73,39 @@ wait "$serve_pid"
 serve_pid=""
 # The shared on-disk store survives; gc finds nothing to reclaim.
 VARBENCH_CACHE_DIR="$servedir/cache" target/release/varbench cache gc
+
+say "chaos smoke: sharded study survives a kill -9'd worker"
+# Faultpoints are compiled in under debug_assertions, so this step runs
+# the debug binary (already built by the cargo test step above).
+cargo build --offline -q -p varbench-bench --bin varbench
+chaosdir="$scratch/chaos"
+mkdir -p "$chaosdir/solo" "$chaosdir/fleet"
+# Ground truth: the same study, one process, its own fresh cache.
+VARBENCH_CACHE_DIR="$chaosdir/solo" target/debug/varbench \
+    study synthetic-ridge --test --seeds 4 --budget 3 --json \
+    > "$chaosdir/solo.json" 2> /dev/null
+# Sharded run on a second fresh cache: four workers, and the kill1
+# sentinel guarantees exactly one of them aborts (kill -9 style) in the
+# middle of its first row. The driver must reclaim the dead lease,
+# re-dispatch, and emit byte-identical output.
+VARBENCH_CACHE_DIR="$chaosdir/fleet" \
+    VARBENCH_FAULT="worker:mid-row:kill1=$chaosdir/killed" \
+    target/debug/varbench \
+    study synthetic-ridge --test --seeds 4 --budget 3 --json \
+    --workers 4 --row-timeout-ms 500 \
+    > "$chaosdir/fleet.json" 2> "$chaosdir/fleet.err"
+if [ ! -f "$chaosdir/killed" ]; then
+    echo "ERROR: no worker hit the armed faultpoint (chaos smoke proved nothing)" >&2
+    exit 1
+fi
+if ! cmp -s "$chaosdir/solo.json" "$chaosdir/fleet.json"; then
+    echo "ERROR: sharded study differs from the single-process run" >&2
+    cat "$chaosdir/fleet.err" >&2
+    diff "$chaosdir/solo.json" "$chaosdir/fleet.json" >&2 || true
+    exit 1
+fi
+# The dead worker's leftovers are gc-able garbage, never torn records.
+VARBENCH_CACHE_DIR="$chaosdir/fleet" target/debug/varbench cache gc
 
 say "varbench lint (repo-invariant checker; hard gate)"
 target/release/varbench lint
