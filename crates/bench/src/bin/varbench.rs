@@ -73,7 +73,10 @@ OPTIONS (study):
                                 to an unsharded run)
     --dispatch                  enqueue + wait for an external worker fleet
                                 (no subprocesses spawned); degrades to
-                                in-process computation if none shows up
+                                in-process computation if none shows up.
+                                With --addr, the request carries
+                                \"dispatch\": true and the *server's*
+                                supervised fleet computes the rows
     --wait-ms T                 total fleet wait budget (default 20000)
     --row-timeout-ms T          reclaim a claimed row after T ms without
                                 progress (default 2000)
@@ -83,6 +86,8 @@ OPTIONS (worker):
                                 VARBENCH_CACHE_DIR environment variable)
     --id NAME                   lease owner label (default worker-<pid>)
     --drain                     exit once the queue is empty (fleet mode)
+    --stop-file FILE            exit before the next claim once FILE exists
+                                (how a supervisor drains its fleet)
     --poll-ms T                 pause between idle queue scans (default 100)
     --idle-rounds N             empty-handed scans before exiting (default 20)
     --serial / --threads N      executor knobs (as for run)
@@ -96,10 +101,25 @@ OPTIONS (serve):
     --queue N                   accepted connections waiting for a handler;
                                 beyond this, requests are shed with 503
                                 (default 32; 0 = hand off or shed immediately)
+    --workers N                 supervise N `varbench worker` children over
+                                the shared cache dir; studies posted with
+                                \"dispatch\": true compute in the fleet
+                                (needs VARBENCH_CACHE_DIR)
+    --max-respawns M            respawns per worker slot before quarantine
+                                (default 4; backoff doubles from 100 ms)
+    --drain-ms T                graceful-drain budget on shutdown: stop
+                                accepting, finish in-flight requests, let
+                                workers exit, release fleet leases
+                                (default 2000)
+    --wait-ms T                 dispatched-study fleet wait budget
+                                (default 20000)
+    --row-timeout-ms T          reclaim a dispatched row after T ms without
+                                progress (default 2000)
     --serial / --threads N      executor knobs shared by all requests
     --par-bootstrap             as for run
-    endpoints: GET /health /v1/workloads /v1/artifacts /v1/cache/stats;
-    POST /v1/run /v1/study /v1/shutdown (JSON; see README 'Serving')
+    endpoints: GET /health /v1/ready /v1/workloads /v1/artifacts
+    /v1/cache/stats; POST /v1/run /v1/study /v1/shutdown
+    (JSON; see README 'Serving')
 
 OPTIONS (query):
     PATH                        endpoint path (e.g. /v1/workloads)
@@ -107,8 +127,10 @@ OPTIONS (query):
     --addr HOST:PORT            server address (default 127.0.0.1:7878)
     --post                      force POST without a body (e.g. /v1/shutdown)
     --retries N                 retry transport failures (connection refused,
-                                reset, timeouts) up to N times with doubling
-                                backoff; HTTP error statuses are not retried
+                                reset, timeouts) and 503 responses (honoring
+                                Retry-After, clamped to the backoff cap) up
+                                to N times with doubling backoff; other HTTP
+                                statuses are final
     --timeout-ms T              total backoff budget across retries
                                 (default 60000)
 
@@ -526,11 +548,56 @@ fn serve_command(args: &[String]) {
     let mut ready_file: Option<std::path::PathBuf> = None;
     let mut handlers: Option<usize> = None;
     let mut queue: Option<usize> = None;
+    let mut fleet_workers = 0usize;
+    let mut max_respawns = 4u32;
+    let mut drain_ms = 2_000u64;
+    let mut wait_ms: Option<u64> = None;
+    let mut row_timeout_ms: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--serial" => serial = true,
             "--par-bootstrap" => par_bootstrap = true,
+            "--workers" => {
+                let v = it.next().unwrap_or_else(|| fail("--workers needs a count"));
+                fleet_workers = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid worker count '{v}'")));
+            }
+            "--max-respawns" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--max-respawns needs a count"));
+                max_respawns = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid respawn count '{v}'")));
+            }
+            "--drain-ms" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--drain-ms needs milliseconds"));
+                drain_ms = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid drain budget '{v}'")));
+            }
+            "--wait-ms" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--wait-ms needs milliseconds"));
+                wait_ms = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid wait '{v}'"))),
+                );
+            }
+            "--row-timeout-ms" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--row-timeout-ms needs milliseconds"));
+                row_timeout_ms = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid timeout '{v}'"))),
+                );
+            }
             "--addr" => {
                 addr = it
                     .next()
@@ -573,8 +640,40 @@ fn serve_command(args: &[String]) {
     }
     let ctx = build_ctx(serial, threads, par_bootstrap);
     let persistent = ctx.cache().is_persistent();
-    let mut server = Server::bind(&addr, ServeState::new(ctx))
-        .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
+    // Fleet mode: supervise `--workers` child processes over the shared
+    // disk cache so dispatched studies (`"dispatch": true`) compute in
+    // the fleet. Same preconditions as local sharding: a disk cache the
+    // children can see, publishing serial-bootstrap records.
+    let fleet = if fleet_workers > 0 {
+        if par_bootstrap {
+            fail("--workers publishes serial-bootstrap records; drop --par-bootstrap");
+        }
+        let dir = dispatch_cache_dir(&ctx);
+        let mut cfg = varbench_bench::supervisor::SupervisorConfig::new(dir, fleet_workers);
+        // `--max-respawns M` = M respawns after the initial spawn.
+        cfg.respawn = RetryPolicy::new(max_respawns + 1)
+            .initial_backoff(std::time::Duration::from_millis(100))
+            .max_backoff(std::time::Duration::from_secs(2));
+        Some(
+            varbench_bench::supervisor::Supervisor::start(cfg)
+                .unwrap_or_else(|e| fail(&format!("cannot start the worker fleet: {e}"))),
+        )
+    } else {
+        None
+    };
+    let mut state = ServeState::new(ctx);
+    if let Some(sup) = fleet {
+        state = state.with_fleet(sup);
+    }
+    if wait_ms.is_some() || row_timeout_ms.is_some() {
+        state = state.with_dispatch_tuning(
+            std::time::Duration::from_millis(wait_ms.unwrap_or(20_000)),
+            std::time::Duration::from_millis(row_timeout_ms.unwrap_or(2_000)),
+        );
+    }
+    let mut server = Server::bind(&addr, state)
+        .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")))
+        .with_drain(std::time::Duration::from_millis(drain_ms));
     if handlers.is_some() || queue.is_some() {
         server = server.with_pool(
             handlers.unwrap_or(varbench_bench::serve::DEFAULT_HANDLERS),
@@ -592,6 +691,12 @@ fn serve_command(args: &[String]) {
             "in-memory"
         }
     );
+    if fleet_workers > 0 {
+        eprintln!(
+            "varbench serve: supervising {fleet_workers} worker(s), \
+             {max_respawns} respawn(s) each before quarantine"
+        );
+    }
     if let Some(path) = ready_file {
         // Written only once the listener is live: a script that waits for
         // this file never races the bind.
@@ -654,8 +759,9 @@ fn query_command(args: &[String]) {
         "GET"
     };
     // One attempt plus `retries` more, doubling the pause between them
-    // and never sleeping past the --timeout-ms budget in total. Only
-    // transport failures retry; an HTTP response of any status is final.
+    // and never sleeping past the --timeout-ms budget in total. Transport
+    // failures and 503 (server shedding or draining; Retry-After honored
+    // up to the backoff cap) retry; any other HTTP status is final.
     let policy = RetryPolicy::new(retries + 1).budget(std::time::Duration::from_millis(timeout_ms));
     let (status, response) = http_request_retry(resolve_addr(&addr), method, path, body, &policy)
         .unwrap_or_else(|e| {
@@ -691,6 +797,7 @@ fn worker_command(args: &[String]) {
     let mut poll_ms: Option<u64> = None;
     let mut idle_rounds: Option<u32> = None;
     let mut owner: Option<String> = None;
+    let mut stop_file: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str, what: &str| -> String {
@@ -703,6 +810,7 @@ fn worker_command(args: &[String]) {
             "--drain" => drain = true,
             "--cache-dir" => cache_dir = Some(value("--cache-dir", "a directory").into()),
             "--id" => owner = Some(value("--id", "a name")),
+            "--stop-file" => stop_file = Some(value("--stop-file", "a path").into()),
             "--poll-ms" => {
                 let v = value("--poll-ms", "milliseconds");
                 poll_ms = Some(
@@ -745,6 +853,7 @@ fn worker_command(args: &[String]) {
     if let Some(name) = owner {
         cfg.owner = name;
     }
+    cfg.stop_file = stop_file;
     let summary = run_worker(&cfg);
     // stderr only: a worker's stdout must never pollute a driver's
     // report stream.
@@ -901,14 +1010,21 @@ fn study_command(args: &[String]) {
         algo,
         gamma,
         name,
+        // Locally, --dispatch routes through the lease queue below; with
+        // --addr it rides in the request body and the *server's* fleet
+        // computes the rows (the response bytes are identical either way).
+        dispatch: dispatch_only,
     };
 
     if let Some(addr) = remote {
         if serial || threads.is_some() {
             fail("--serial/--threads are local knobs; the server owns remote execution");
         }
-        if workers.is_some() || dispatch_only {
-            fail("--workers/--dispatch shard locally over the cache dir; drop --addr");
+        if workers.is_some() {
+            fail("--workers spawns subprocesses locally over the cache dir; drop --addr");
+        }
+        if wait_ms.is_some() || row_timeout_ms.is_some() {
+            fail("--wait-ms/--row-timeout-ms tune local dispatch; the server owns its own");
         }
         let (status, response) = http_request(
             resolve_addr(&addr),

@@ -35,6 +35,7 @@ pub mod protocol;
 pub mod registry;
 pub mod serve;
 pub mod suites;
+pub mod supervisor;
 pub mod timing;
 pub mod worker;
 pub mod workloads;

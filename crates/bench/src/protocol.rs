@@ -179,6 +179,11 @@ pub struct StudyRequest {
     pub gamma: Option<f64>,
     /// Report name override.
     pub name: Option<String>,
+    /// Route the plan through the serve-side worker fleet: rows are
+    /// enqueued into the lease queue and the response is assembled from
+    /// the warm cache (default `false` — compute in-process). Ignored by
+    /// offline [`StudyRequest::run`]; only the serve layer dispatches.
+    pub dispatch: bool,
 }
 
 impl StudyRequest {
@@ -186,7 +191,7 @@ impl StudyRequest {
     ///
     /// Shape: `{"workload": "synthetic-ridge", "effort"?, "sources"?:
     /// ["data_split", ...], "seeds"?, "base_seed"?, "budget"?, "algo"?,
-    /// "gamma"?, "name"?}`.
+    /// "gamma"?, "name"?, "dispatch"?: true}`.
     pub fn from_json(doc: &Json) -> Result<StudyRequest, String> {
         check_fields(
             doc,
@@ -200,6 +205,7 @@ impl StudyRequest {
                 "algo",
                 "gamma",
                 "name",
+                "dispatch",
             ],
         )?;
         let workload = doc
@@ -237,6 +243,7 @@ impl StudyRequest {
                 .filter(|g| *g > 0.0 && *g < 1.0 && (*g - 0.5).abs() > 1e-9)
         })?;
         let name = optional(doc, "name", "a string", |v| v.as_str().map(str::to_string))?;
+        let dispatch = optional(doc, "dispatch", "a boolean", Json::as_bool)?.unwrap_or(false);
         Ok(StudyRequest {
             workload,
             effort: parse_effort_field(doc)?,
@@ -247,6 +254,7 @@ impl StudyRequest {
             algo,
             gamma,
             name,
+            dispatch,
         })
     }
 
@@ -361,6 +369,11 @@ impl StudyRequest {
         if let Some(name) = &self.name {
             fields.push(format!("\"name\":{}", json_string(name)));
         }
+        // Emitted only when set: a non-dispatching request keeps the
+        // exact byte shape it had before the field existed.
+        if self.dispatch {
+            fields.push("\"dispatch\":true".to_string());
+        }
         format!("{{{}}}", fields.join(","))
     }
 }
@@ -455,6 +468,7 @@ mod tests {
                 "unknown variance source",
             ),
             (r#"{"workload":"x","budget":-1}"#, "non-negative"),
+            (r#"{"workload":"x","dispatch":1}"#, "must be a boolean"),
             (r#"{"workload":"x","extra":1}"#, "unknown field \"extra\""),
         ] {
             let err = StudyRequest::from_json(&parse(body)).unwrap_err();
@@ -487,7 +501,7 @@ mod tests {
             r#"{"workload":"synthetic-ridge"}"#,
             r#"{"workload":"linear-logreg","effort":"test","sources":["data_split","data_order"],
                 "seeds":4,"base_seed":7,"budget":3,"algo":"Grid Search","gamma":0.75,
-                "name":"rt"}"#,
+                "name":"rt","dispatch":true}"#,
         ] {
             let req = StudyRequest::from_json(&parse(body)).unwrap();
             let again = StudyRequest::from_json(&parse(&req.to_json())).unwrap();
@@ -500,7 +514,12 @@ mod tests {
             assert_eq!(req.algo, again.algo);
             assert_eq!(req.gamma, again.gamma);
             assert_eq!(req.name, again.name);
+            assert_eq!(req.dispatch, again.dispatch);
         }
+        // The flag only appears in the wire shape when set.
+        let plain = StudyRequest::from_json(&parse(r#"{"workload":"synthetic-ridge"}"#)).unwrap();
+        assert!(!plain.dispatch);
+        assert!(!plain.to_json().contains("dispatch"));
     }
 
     #[test]

@@ -19,21 +19,40 @@
 //!
 //! | method & path | body | answers |
 //! |---|---|---|
-//! | `GET /health` | — | liveness probe |
+//! | `GET /health` | — | liveness probe (the process answers) |
+//! | `GET /v1/ready` | — | readiness: fleet health, 503 when all quarantined |
 //! | `GET /v1/workloads` | — | registered workload names + sources |
 //! | `GET /v1/artifacts` | — | registry artifact names |
 //! | `GET /v1/cache/stats` | — | cache hit/miss/coalescing counters |
 //! | `POST /v1/run` | [`RunRequest`] | `varbench-report/1` envelope |
 //! | `POST /v1/study` | [`StudyRequest`] | `varbench-report/1` envelope |
-//! | `POST /v1/shutdown` | — | acks, then stops accepting |
+//! | `POST /v1/shutdown` | — | acks, then drains and stops |
 //!
-//! Every response is `Connection: close` JSON. Report responses are
-//! **byte-identical** to the equivalent offline CLI invocation
-//! (`varbench run ... --json` / `varbench study ... --json`): the
-//! protocol layer shares the CLI's envelope and builders, and the cache
-//! guarantees cached == uncached bytes, so where a value is computed —
-//! this process, an earlier process, another thread — never shows in
-//! the response.
+//! # Connections and the fleet
+//!
+//! Connections are HTTP/1.1 **keep-alive** by default: a handler serves
+//! up to [`MAX_KEEPALIVE_REQUESTS`] requests per connection, waiting
+//! [`KEEPALIVE_IDLE`] between them and giving each request
+//! [`REQUEST_READ`] per read to arrive (`Connection: close`, HTTP/1.0,
+//! or either limit ends the session). Every `503` carries a
+//! `Retry-After` hint that [`http_request_retry`] honors.
+//!
+//! A [`StudyRequest`] with `"dispatch": true` routes the study's plan
+//! through the PR-9 worker-fleet machinery: rows are enqueued into the
+//! cache-dir lease queue, a supervised fleet (see [`crate::supervisor`])
+//! computes them, the driver's stall-detection reclaims dead owners'
+//! leases, and the response is then assembled **in-process from the warm
+//! cache** — so served bytes stay identical to offline runs no matter
+//! which process computed which row. Shutdown drains gracefully: stop
+//! accepting, finish in-flight requests, stop the fleet via its stop
+//! file, release any lease the fleet still holds, then exit.
+//!
+//! Report responses are **byte-identical** to the equivalent offline CLI
+//! invocation (`varbench run ... --json` / `varbench study ... --json`):
+//! the protocol layer shares the CLI's envelope and builders, and the
+//! cache guarantees cached == uncached bytes, so where a value is
+//! computed — this process, an earlier process, a fleet worker — never
+//! shows in the response.
 //!
 //! The server reads no wall clock (socket timeouts are plain
 //! `Duration`s); it is deterministic in its inputs like everything else
@@ -48,14 +67,31 @@ use std::time::Duration;
 use crate::args::Effort;
 use crate::protocol::{RunRequest, StudyRequest};
 use crate::registry;
+use crate::supervisor::Supervisor;
+use crate::worker;
 use crate::workloads;
-use varbench_core::ctx::RunContext;
+use varbench_core::ctx::{BootstrapMode, RunContext};
 use varbench_core::json::Json;
 use varbench_core::report::json_string;
+use varbench_pipeline::faultpoint::faultpoint;
 
-/// Per-connection socket timeout (read and write). Generous: a cold
-/// `--full` study computes for a while before the response starts.
+/// Per-connection write timeout (and the client-side socket timeout).
+/// Generous: a cold `--full` study computes for a while before the
+/// response starts.
 const IO_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Per-read deadline while a request is arriving. Bounded reads
+/// (`MAX_HEAD`/`MAX_BODY`) make this an effective per-request
+/// deadline: a half-sent request cannot hold a handler forever.
+pub const REQUEST_READ: Duration = Duration::from_secs(30);
+
+/// How long a keep-alive connection may sit idle between requests
+/// before the server closes it and returns the handler to the pool.
+pub const KEEPALIVE_IDLE: Duration = Duration::from_secs(5);
+
+/// Requests served per connection before the server closes it (bounds
+/// how long one chatty client can monopolize a handler).
+pub const MAX_KEEPALIVE_REQUESTS: usize = 1024;
 
 /// Maximum accepted request head (request line + headers).
 const MAX_HEAD: usize = 16 * 1024;
@@ -71,21 +107,60 @@ pub const DEFAULT_HANDLERS: usize = 8;
 pub const DEFAULT_QUEUE: usize = 32;
 
 /// Shared server state: the one execution context every request runs
-/// against. Sharing the context is the entire point — it is what makes
-/// request N answerable from the matrices requests 1..N-1 computed.
+/// against (sharing the context is the entire point — it is what makes
+/// request N answerable from the matrices requests 1..N-1 computed),
+/// plus the optional supervised worker fleet behind `"dispatch": true`
+/// studies.
 pub struct ServeState {
     ctx: RunContext,
+    fleet: Option<Supervisor>,
+    dispatch_wait: Duration,
+    dispatch_row_timeout: Duration,
+    dispatch_poll: Duration,
 }
 
 impl ServeState {
-    /// Wraps an execution context for serving.
+    /// Wraps an execution context for serving (no fleet; dispatch
+    /// requests still work — they degrade to the in-process fallback
+    /// after the dispatch wait, exactly like an offline driver whose
+    /// fleet never showed up).
     pub fn new(ctx: RunContext) -> ServeState {
-        ServeState { ctx }
+        ServeState {
+            ctx,
+            fleet: None,
+            dispatch_wait: Duration::from_millis(20_000),
+            dispatch_row_timeout: Duration::from_millis(2_000),
+            dispatch_poll: Duration::from_millis(50),
+        }
+    }
+
+    /// Attaches a supervised worker fleet: dispatched studies are
+    /// computed by its workers, and `GET /v1/ready` reflects its health.
+    pub fn with_fleet(mut self, fleet: Supervisor) -> ServeState {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Overrides the dispatch pacing: total wait budget before the
+    /// in-process fallback, and the per-row stall timeout after which a
+    /// held lease is reclaimed.
+    pub fn with_dispatch_tuning(mut self, wait: Duration, row_timeout: Duration) -> ServeState {
+        self.dispatch_wait = wait;
+        self.dispatch_row_timeout = row_timeout;
+        self.dispatch_poll = row_timeout
+            .min(Duration::from_millis(50))
+            .max(Duration::from_millis(1));
+        self
     }
 
     /// The shared execution context.
     pub fn ctx(&self) -> &RunContext {
         &self.ctx
+    }
+
+    /// The supervised fleet, if one is attached.
+    pub fn fleet(&self) -> Option<&Supervisor> {
+        self.fleet.as_ref()
     }
 }
 
@@ -95,6 +170,7 @@ impl ServeState {
 pub fn route(state: &ServeState, method: &str, path: &str, body: &str) -> (u16, String) {
     match (method, path) {
         ("GET", "/health") => (200, "{\"ok\":true}\n".into()),
+        ("GET", "/v1/ready") => ready_body(state),
         ("GET", "/v1/workloads") => (200, workloads_body()),
         ("GET", "/v1/artifacts") => (200, artifacts_body()),
         ("GET", "/v1/cache/stats") => (200, cache_stats_body(state)),
@@ -104,6 +180,10 @@ pub fn route(state: &ServeState, method: &str, path: &str, body: &str) -> (u16, 
         },
         ("POST", "/v1/study") => {
             match parse_body(body).and_then(|doc| StudyRequest::from_json(&doc)) {
+                Ok(req) if req.dispatch => match run_study_dispatched(state, &req) {
+                    Ok(body) => (200, body),
+                    Err(e) => (400, error_body(&e)),
+                },
                 Ok(req) => match req.run_json(state.ctx()) {
                     Ok(body) => (200, body),
                     Err(e) => (400, error_body(&e)),
@@ -113,7 +193,7 @@ pub fn route(state: &ServeState, method: &str, path: &str, body: &str) -> (u16, 
         }
         ("POST", "/v1/shutdown") => (200, "{\"ok\":true,\"shutting_down\":true}\n".into()),
         // Known path, wrong method → 405; anything else → 404.
-        (_, "/health" | "/v1/workloads" | "/v1/artifacts" | "/v1/cache/stats") => {
+        (_, "/health" | "/v1/ready" | "/v1/workloads" | "/v1/artifacts" | "/v1/cache/stats") => {
             (405, error_body("use GET for this endpoint"))
         }
         (_, "/v1/run" | "/v1/study" | "/v1/shutdown") => {
@@ -190,15 +270,106 @@ fn cache_stats_body(state: &ServeState) -> String {
     )
 }
 
+/// `GET /v1/ready`: readiness as distinct from `/health` liveness. A
+/// fleetless server is ready (every request computes in-process); a
+/// fleet-backed one is ready while at least one worker slot is live —
+/// when the whole fleet is quarantined, dispatched studies would all
+/// burn the dispatch wait before falling back, so the server says 503
+/// and lets the load balancer route elsewhere.
+fn ready_body(state: &ServeState) -> (u16, String) {
+    match state.fleet() {
+        None => (200, "{\"ready\":true,\"fleet\":null}\n".into()),
+        Some(fleet) => {
+            let s = fleet.status();
+            let ready = s.slots.is_empty() || s.running() > 0;
+            let body = format!(
+                "{{\"ready\":{ready},\"fleet\":{{\"workers\":{},\"running\":{},\
+                 \"quarantined\":{},\"respawns\":{}}}}}\n",
+                s.slots.len(),
+                s.running(),
+                s.quarantined(),
+                s.respawns(),
+            );
+            (if ready { 200 } else { 503 }, body)
+        }
+    }
+}
+
+/// The fleet-backed study path (`"dispatch": true`): enqueue the plan
+/// into the lease queue, wait on the fleet with the offline driver's
+/// stall-detection/reclaim loop, then assemble the response in-process
+/// from the warm cache. The assembly step is what pins the bytes: it is
+/// the same single-process code path as a non-dispatched request, so
+/// fleet or no fleet, crashes or none, equal requests answer equal
+/// bytes.
+fn run_study_dispatched(state: &ServeState, req: &StudyRequest) -> Result<String, String> {
+    let ctx = state.ctx();
+    let Some(dir) = ctx.cache().dir() else {
+        return Err(
+            "dispatch needs a disk-backed cache: restart serve with VARBENCH_CACHE_DIR set".into(),
+        );
+    };
+    if ctx.bootstrap() != BootstrapMode::Serial {
+        return Err(
+            "dispatch requires the default serial bootstrap mode: restart serve without \
+             VARBENCH_PAR_BOOTSTRAP"
+                .into(),
+        );
+    }
+    let workload = req.find_workload()?;
+    let plan = req.configure(workload.as_ref())?.plan();
+    let jobs = worker::study_jobs(&req.workload, req.effort, workload.as_ref(), plan, ctx);
+    faultpoint("serve:mid-dispatch");
+    let mut dcfg = worker::DispatchConfig::new(dir, 0);
+    // The serve fleet is supervised and long-lived: never spawn
+    // per-request workers, just enqueue and watch the cache.
+    dcfg.exe = None;
+    dcfg.wait = state.dispatch_wait;
+    dcfg.row_timeout = state.dispatch_row_timeout;
+    dcfg.poll = state.dispatch_poll;
+    let outcome = worker::dispatch(&dcfg, jobs, ctx);
+    eprintln!(
+        "serve dispatch: {} unit(s), {} already cached, {} fleet-completed, {} lease reclaim(s){}",
+        outcome.jobs,
+        outcome.satisfied_upfront,
+        outcome.completed,
+        outcome.reclaims,
+        if outcome.timed_out {
+            "; wait budget expired — computing the rest in-process"
+        } else {
+            ""
+        }
+    );
+    req.run_json(ctx)
+}
+
 struct Request {
     method: String,
     path: String,
     body: String,
+    /// The client asked for (or its HTTP version defaults to) connection
+    /// close after this response.
+    close: bool,
 }
 
-/// Reads and parses one HTTP/1.x request. Errors map to a ready-to-send
-/// `(status, body)` pair.
-fn read_request(stream: &mut TcpStream) -> Result<Request, (u16, String)> {
+/// What one attempt to read a request produced.
+enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// Clean EOF or idle timeout *before any request bytes*: the normal
+    /// end of a keep-alive session — close silently, nothing to answer.
+    Quiet,
+    /// A broken or oversized request, as a ready-to-send `(status,
+    /// body)`; the connection closes after the error response.
+    Failed(u16, String),
+}
+
+/// Reads and parses one HTTP/1.x request. The caller sets the read
+/// timeout for the *first* byte (the keep-alive idle window); once
+/// request bytes start arriving this switches to the per-read
+/// [`REQUEST_READ`] deadline.
+fn read_request(stream: &mut TcpStream) -> ReadOutcome {
+    use ReadOutcome::Failed;
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     let head_end = loop {
@@ -206,52 +377,92 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, (u16, String)> {
             break i;
         }
         if buf.len() > MAX_HEAD {
-            return Err((413, error_body("request head too large")));
+            return Failed(413, error_body("request head too large"));
         }
         match stream.read(&mut chunk) {
-            Ok(0) => return Err((400, error_body("connection closed mid-request"))),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) => return Err((408, error_body(&format!("read failed: {e}")))),
+            Ok(0) if buf.is_empty() => return ReadOutcome::Quiet,
+            Ok(0) => return Failed(400, error_body("connection closed mid-request")),
+            Ok(n) => {
+                if buf.is_empty() {
+                    // First bytes of a request: idle window over, the
+                    // per-request read deadline applies from here.
+                    let _ = stream.set_read_timeout(Some(REQUEST_READ));
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if is_timeout(&e) && buf.is_empty() => return ReadOutcome::Quiet,
+            Err(e) => return Failed(408, error_body(&format!("read failed: {e}"))),
         }
     };
-    let head = std::str::from_utf8(&buf[..head_end])
-        .map_err(|_| (400, error_body("request head is not UTF-8")))?;
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(head) => head,
+        Err(_) => return Failed(400, error_body("request head is not UTF-8")),
+    };
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
-    let (method, path) = parse_request_line(request_line)
-        .map_err(|e| (400, error_body(&format!("malformed request line: {e}"))))?;
+    let (method, path, http11) = match parse_request_line(request_line) {
+        Ok(parsed) => parsed,
+        Err(e) => return Failed(400, error_body(&format!("malformed request line: {e}"))),
+    };
     let mut content_length = 0usize;
+    let mut connection: Option<String> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| (400, error_body("bad Content-Length")))?;
+                content_length = match value.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => return Failed(400, error_body("bad Content-Length")),
+                };
+            } else if name.eq_ignore_ascii_case("connection") {
+                connection = Some(value.trim().to_ascii_lowercase());
             }
         }
     }
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+    // Connection header overrides either way.
+    let close = match connection.as_deref() {
+        Some("close") => true,
+        Some("keep-alive") => false,
+        _ => !http11,
+    };
     if content_length > MAX_BODY {
-        return Err((413, error_body("request body too large")));
+        return Failed(413, error_body("request body too large"));
     }
     let mut body_bytes = buf[head_end + 4..].to_vec();
     while body_bytes.len() < content_length {
         match stream.read(&mut chunk) {
-            Ok(0) => return Err((400, error_body("connection closed mid-body"))),
+            Ok(0) => return Failed(400, error_body("connection closed mid-body")),
             Ok(n) => body_bytes.extend_from_slice(&chunk[..n]),
-            Err(e) => return Err((408, error_body(&format!("read failed: {e}")))),
+            Err(e) => return Failed(408, error_body(&format!("read failed: {e}"))),
         }
     }
     body_bytes.truncate(content_length);
-    let body = String::from_utf8(body_bytes)
-        .map_err(|_| (400, error_body("request body is not UTF-8")))?;
-    Ok(Request { method, path, body })
+    let body = match String::from_utf8(body_bytes) {
+        Ok(body) => body,
+        Err(_) => return Failed(400, error_body("request body is not UTF-8")),
+    };
+    ReadOutcome::Request(Request {
+        method,
+        path,
+        body,
+        close,
+    })
 }
 
-/// Parses an HTTP/1.x request line into `(method, path)`. Pure, so the
-/// error taxonomy — empty line, too few tokens, wrong protocol — is
-/// unit-testable without a socket. Every failure maps to a 400.
-fn parse_request_line(line: &str) -> Result<(String, String), String> {
+/// Whether `e` is a read-timeout (both kinds a blocking socket with
+/// `SO_RCVTIMEO` reports, platform-dependent).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// Parses an HTTP/1.x request line into `(method, path, is_http11)`.
+/// Pure, so the error taxonomy — empty line, too few tokens, wrong
+/// protocol — is unit-testable without a socket. Every failure maps to
+/// a 400.
+fn parse_request_line(line: &str) -> Result<(String, String, bool), String> {
     let mut parts = line.split_whitespace();
     let Some(method) = parts.next() else {
         return Err("empty request line".into());
@@ -262,14 +473,14 @@ fn parse_request_line(line: &str) -> Result<(String, String), String> {
     if !version.starts_with("HTTP/1.") {
         return Err(format!("unsupported protocol version {version:?}"));
     }
-    Ok((method.to_string(), path.to_string()))
+    Ok((method.to_string(), path.to_string(), version == "HTTP/1.1"))
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn render_response(status: u16, body: &str) -> String {
+fn render_response(status: u16, body: &str, close: bool) -> String {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -281,34 +492,65 @@ fn render_response(status: u16, body: &str) -> String {
         503 => "Service Unavailable",
         _ => "Unknown",
     };
+    // Every 503 — shed, unready, whatever — carries the pacing hint
+    // `varbench query` honors.
+    let retry_after = if status == 503 {
+        "Retry-After: 1\r\n"
+    } else {
+        ""
+    };
+    let connection = if close { "close" } else { "keep-alive" };
     format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+         Content-Length: {}\r\n{retry_after}Connection: {connection}\r\n\r\n{body}",
         body.len()
     )
 }
 
-/// Serves one connection; returns whether it was an acknowledged
-/// shutdown request.
+/// Serves one connection — up to [`MAX_KEEPALIVE_REQUESTS`] requests,
+/// keep-alive between them — and returns whether a shutdown request was
+/// acknowledged on it.
 fn handle_connection(mut stream: TcpStream, state: &ServeState) -> bool {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let (status, body, shutdown) = match read_request(&mut stream) {
-        Ok(req) => {
-            // A panicking handler (a bug, or a workload assert) must kill
-            // one response, not the server.
-            let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                route(state, &req.method, &req.path, &req.body)
-            }));
-            let (status, body) = routed
-                .unwrap_or_else(|_| (500, error_body("internal error: request handler panicked")));
-            let is_shutdown = status == 200 && req.method == "POST" && req.path == "/v1/shutdown";
-            (status, body, is_shutdown)
+    let mut shutdown = false;
+    for served in 0..MAX_KEEPALIVE_REQUESTS {
+        // First request: a whole request-read window. Afterwards: the
+        // shorter keep-alive idle window, so a silent client returns
+        // this handler to the pool quickly.
+        let idle = if served == 0 {
+            REQUEST_READ
+        } else {
+            KEEPALIVE_IDLE
+        };
+        let _ = stream.set_read_timeout(Some(idle));
+        match read_request(&mut stream) {
+            ReadOutcome::Request(req) => {
+                // A panicking handler (a bug, or a workload assert) must
+                // kill one response, not the server.
+                let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    route(state, &req.method, &req.path, &req.body)
+                }));
+                let (status, body) = routed.unwrap_or_else(|_| {
+                    (500, error_body("internal error: request handler panicked"))
+                });
+                let is_shutdown =
+                    status == 200 && req.method == "POST" && req.path == "/v1/shutdown";
+                shutdown |= is_shutdown;
+                let close = req.close || is_shutdown || served + 1 == MAX_KEEPALIVE_REQUESTS;
+                let _ = stream.write_all(render_response(status, &body, close).as_bytes());
+                let _ = stream.flush();
+                if close {
+                    break;
+                }
+            }
+            ReadOutcome::Quiet => break,
+            ReadOutcome::Failed(status, body) => {
+                let _ = stream.write_all(render_response(status, &body, true).as_bytes());
+                let _ = stream.flush();
+                break;
+            }
         }
-        Err((status, body)) => (status, body, false),
-    };
-    let _ = stream.write_all(render_response(status, &body).as_bytes());
-    let _ = stream.flush();
+    }
     shutdown
 }
 
@@ -320,7 +562,7 @@ fn shed(mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let body = error_body("server at capacity; retry with backoff");
-    let _ = stream.write_all(render_response(503, &body).as_bytes());
+    let _ = stream.write_all(render_response(503, &body, true).as_bytes());
     let _ = stream.flush();
     // Drain whatever the client already sent before closing: dropping
     // a socket with unread bytes in its receive buffer turns the close
@@ -336,19 +578,28 @@ pub struct Server {
     state: Arc<ServeState>,
     handlers: usize,
     queue: usize,
+    drain: Duration,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:7878`, or port `0` for an
     /// OS-assigned one) with the default pool shape (8 handlers, a
-    /// queue of 32 waiting connections).
+    /// queue of 32 waiting connections) and a 2 s fleet-drain budget.
     pub fn bind(addr: &str, state: ServeState) -> std::io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             state: Arc::new(state),
             handlers: DEFAULT_HANDLERS,
             queue: DEFAULT_QUEUE,
+            drain: Duration::from_secs(2),
         })
+    }
+
+    /// Overrides the drain budget: how long shutdown waits for fleet
+    /// workers to finish their in-flight row before killing them.
+    pub fn with_drain(mut self, drain: Duration) -> Server {
+        self.drain = drain;
+        self
     }
 
     /// Overrides the pool shape: `handlers` concurrent request threads
@@ -410,8 +661,113 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        // In-flight requests are done; now drain the fleet — stop file,
+        // bounded wait, kill stragglers, release held leases.
+        if let Some(fleet) = self.state.fleet() {
+            let d = fleet.shutdown(self.drain);
+            eprintln!(
+                "serve: fleet drained ({} exited, {} killed, {} lease(s) released)",
+                d.exited, d.killed, d.leases_released
+            );
+        }
         Ok(())
     }
+}
+
+/// A response as the client transport sees it: status, body, and the
+/// two headers the clients act on.
+struct RawResponse {
+    status: u16,
+    /// `Retry-After` seconds, when the server sent one (503s do).
+    retry_after: Option<u64>,
+    /// The server announced it will close the connection.
+    close: bool,
+    body: String,
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    close: bool,
+) -> std::io::Result<()> {
+    let body = body.unwrap_or("");
+    let connection = if close { "close" } else { "keep-alive" };
+    stream.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+             Connection: {connection}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    stream.flush()
+}
+
+/// Reads one Content-Length-framed response. EOF before a complete
+/// response maps to `ConnectionAborted` — the server died mid-exchange,
+/// which is a *transient* transport failure for the retrying clients
+/// (the restarted server answers the retry from its warm cache).
+fn read_response(stream: &mut TcpStream) -> std::io::Result<RawResponse> {
+    let aborted = || {
+        std::io::Error::new(
+            std::io::ErrorKind::ConnectionAborted,
+            "connection closed before a complete response",
+        )
+    };
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(i) = find_head_end(&buf) {
+            break i;
+        }
+        match stream.read(&mut chunk)? {
+            0 => return Err(aborted()),
+            n => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let invalid =
+        || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response head");
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| invalid())?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(invalid)?;
+    let mut content_length: Option<usize> = None;
+    let mut retry_after = None;
+    let mut close = false;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = Some(value.parse().map_err(|_| invalid())?);
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.parse().ok();
+            } else if name.eq_ignore_ascii_case("connection") {
+                close = value.eq_ignore_ascii_case("close");
+            }
+        }
+    }
+    let content_length = content_length.ok_or_else(invalid)?;
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk)? {
+            0 => return Err(aborted()),
+            n => body.extend_from_slice(&chunk[..n]),
+        }
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| invalid())?;
+    Ok(RawResponse {
+        status,
+        retry_after,
+        close,
+        body,
+    })
 }
 
 /// A minimal std-only HTTP/1.1 client for one request/response exchange
@@ -425,32 +781,92 @@ pub fn http_request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
+    let resp = http_request_raw(addr, method, path, body)?;
+    Ok((resp.status, resp.body))
+}
+
+fn http_request_raw(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<RawResponse> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let body = body.unwrap_or("");
-    stream.write_all(
-        format!(
-            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
-             Connection: close\r\n\r\n{body}",
-            body.len()
-        )
-        .as_bytes(),
-    )?;
-    stream.flush()?;
-    let mut response = Vec::new();
-    stream.read_to_end(&mut response)?;
-    parse_response(&response)
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+    write_request(&mut stream, addr, method, path, body, true)?;
+    read_response(&mut stream)
+}
+
+/// A keep-alive HTTP/1.1 client: one connection reused across
+/// requests, reconnecting transparently when the server closes it (idle
+/// timeout, per-connection request cap, or restart). The serve bench
+/// uses this to measure reused-connection throughput; anything issuing
+/// many requests against one server should prefer it over per-request
+/// [`http_request`].
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connects to `addr` (eagerly, so a dead server fails here, not on
+    /// the first request).
+    pub fn connect(addr: SocketAddr) -> std::io::Result<HttpClient> {
+        Ok(HttpClient {
+            addr,
+            stream: Some(Self::open(addr)?),
+        })
+    }
+
+    fn open(addr: SocketAddr) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        Ok(stream)
+    }
+
+    /// One request/response exchange over the held connection. A failed
+    /// exchange on a *reused* connection (the server idle-closed it
+    /// under us) is retried once on a fresh connection before the error
+    /// surfaces.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        for fresh in [false, true] {
+            if fresh || self.stream.is_none() {
+                self.stream = Some(Self::open(self.addr)?);
+            }
+            let stream = self.stream.as_mut().expect("connection just ensured");
+            let exchange = write_request(stream, self.addr, method, path, body, false)
+                .and_then(|()| read_response(stream));
+            match exchange {
+                Ok(resp) => {
+                    if resp.close {
+                        self.stream = None;
+                    }
+                    return Ok((resp.status, resp.body));
+                }
+                Err(e) if fresh => return Err(e),
+                Err(_) => self.stream = None,
+            }
+        }
+        unreachable!("second iteration returns either way")
+    }
 }
 
 /// [`http_request`] with bounded retry under `policy`'s backoff
-/// schedule — the `varbench query --retries` transport. Only
-/// *transport* failures are retried (connection refused/reset/aborted
-/// and timeouts: the server is starting up, restarting, or shedding
-/// load); any HTTP response — including 4xx/5xx — is an answer and is
-/// returned as-is. After the attempt budget is exhausted the last
-/// transport error is returned.
+/// schedule — the `varbench query --retries` transport. Retried:
+/// *transport* failures (connection refused/reset/aborted and timeouts:
+/// the server is starting up, restarting, or died mid-exchange) and
+/// `503` responses (load shedding or an unready fleet), pausing at
+/// least the server's `Retry-After` hint — clamped to the policy's
+/// per-pause cap, schedule-paced, no wall clock. Any other HTTP
+/// response is an answer and is returned as-is; exhaustion surfaces the
+/// last transport error or the last `503`.
 pub fn http_request_retry(
     addr: SocketAddr,
     method: &str,
@@ -460,8 +876,17 @@ pub fn http_request_retry(
 ) -> std::io::Result<(u16, String)> {
     let mut attempt = 0u32;
     loop {
-        match http_request(addr, method, path, body) {
-            Ok(resp) => return Ok(resp),
+        match http_request_raw(addr, method, path, body) {
+            Ok(resp) if resp.status == 503 => match policy.backoff_after(attempt) {
+                Some(pause) => {
+                    let hinted =
+                        Duration::from_secs(resp.retry_after.unwrap_or(0)).min(policy.max_pause());
+                    std::thread::sleep(pause.max(hinted));
+                    attempt += 1;
+                }
+                None => return Ok((resp.status, resp.body)),
+            },
+            Ok(resp) => return Ok((resp.status, resp.body)),
             Err(e) => {
                 let transient = matches!(
                     e.kind(),
@@ -482,6 +907,7 @@ pub fn http_request_retry(
     }
 }
 
+#[cfg(test)]
 fn parse_response(raw: &[u8]) -> Option<(u16, String)> {
     let head_end = find_head_end(raw)?;
     let head = std::str::from_utf8(&raw[..head_end]).ok()?;
@@ -625,7 +1051,9 @@ mod tests {
         assert!(err.contains("unsupported protocol version"), "{err}");
 
         let ok = parse_request_line("POST /v1/study HTTP/1.1").unwrap();
-        assert_eq!(ok, ("POST".to_string(), "/v1/study".to_string()));
+        assert_eq!(ok, ("POST".to_string(), "/v1/study".to_string(), true));
+        let ok = parse_request_line("GET /health HTTP/1.0").unwrap();
+        assert!(!ok.2, "HTTP/1.0 is accepted but not 1.1");
     }
 
     #[test]
@@ -705,6 +1133,95 @@ mod tests {
         assert_eq!(status, 404, "HTTP errors are answers, not outages");
         let _ = http_request(addr, "POST", "/v1/shutdown", None).unwrap();
         handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        let server = Server::bind("127.0.0.1:0", state()).expect("bind loopback");
+        let addr = server.local_addr().expect("bound addr");
+        let handle = std::thread::spawn(move || server.run());
+
+        let mut client = HttpClient::connect(addr).expect("connect");
+        let baseline = http_request(addr, "GET", "/health", None).unwrap();
+        for _ in 0..5 {
+            let (status, body) = client.request("GET", "/health", None).unwrap();
+            assert_eq!((status, body), baseline, "keep-alive bytes == one-shot");
+        }
+        // Mixed methods and bodies frame correctly back to back.
+        let study = r#"{"workload":"synthetic-ridge","effort":"test","seeds":3}"#;
+        let (status, first) = client.request("POST", "/v1/study", Some(study)).unwrap();
+        assert_eq!(status, 200, "{first}");
+        let (_, second) = client.request("POST", "/v1/study", Some(study)).unwrap();
+        assert_eq!(second, first, "warm keep-alive replay is byte-identical");
+        drop(client);
+
+        let _ = http_request(addr, "POST", "/v1/shutdown", None).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn ready_reflects_fleet_health() {
+        // No fleet: always ready.
+        let s = state();
+        let (status, body) = route(&s, "GET", "/v1/ready", "");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"fleet\":null"), "{body}");
+
+        // A fleet whose only worker dies on arrival quarantines; ready
+        // flips to 503 once no slot is live.
+        #[cfg(unix)]
+        {
+            use crate::supervisor::SupervisorConfig;
+            use varbench_core::retry::RetryPolicy;
+            let dir = std::env::temp_dir().join(format!("varbench-ready-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut cfg = SupervisorConfig::new(&dir, 1);
+            cfg.argv = Some(vec!["/bin/sh".into(), "-c".into(), "exit 1".into()]);
+            cfg.respawn = RetryPolicy::new(1);
+            cfg.poll = Duration::from_millis(5);
+            let s = state().with_fleet(Supervisor::start(cfg).unwrap());
+            let mut last = (0, String::new());
+            for _ in 0..500 {
+                last = route(&s, "GET", "/v1/ready", "");
+                if last.0 == 503 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            assert_eq!(last.0, 503, "{}", last.1);
+            assert!(last.1.contains("\"ready\":false"), "{}", last.1);
+            assert!(last.1.contains("\"quarantined\":1"), "{}", last.1);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn dispatched_study_without_a_fleet_falls_back_and_matches_plain_bytes() {
+        use varbench_core::exec::Runner;
+        use varbench_pipeline::MeasureCache;
+        let dir = std::env::temp_dir().join(format!("varbench-dispatch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ctx = RunContext::new(Runner::serial(), MeasureCache::with_dir(&dir));
+        let s = ServeState::new(ctx)
+            .with_dispatch_tuning(Duration::from_millis(100), Duration::from_millis(50));
+        let req = r#"{"workload":"synthetic-ridge","effort":"test","seeds":3,"dispatch":true}"#;
+        let (status, served) = route(&s, "POST", "/v1/study", req);
+        assert_eq!(status, 200, "{served}");
+        // Same study, no dispatch, fresh in-memory state: identical bytes.
+        let plain_req = r#"{"workload":"synthetic-ridge","effort":"test","seeds":3}"#;
+        let (_, plain) = route(&state(), "POST", "/v1/study", plain_req);
+        assert_eq!(served, plain, "dispatch fallback == in-process bytes");
+        assert!(
+            varbench_pipeline::lease::scan_queue(&dir).is_empty(),
+            "leftover jobs cancelled"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Dispatch against a memory-only cache is a client error, not a
+        // hang: there is no queue directory a fleet could watch.
+        let (status, body) = route(&state(), "POST", "/v1/study", req);
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("disk-backed cache"), "{body}");
     }
 
     #[test]

@@ -575,6 +575,37 @@ pub fn serve(c: &mut Harness) {
     c.bench_function("route_run_warm_cache", |b| {
         b.iter(|| route(black_box(&state), "POST", "/v1/run", black_box(run)))
     });
+
+    // Full socket round-trips against a live server on loopback: one
+    // reused keep-alive connection vs a fresh connection per request —
+    // the handshake + teardown cost the keep-alive path amortizes away.
+    // (HttpClient transparently reconnects when the server's per-
+    // connection request cap closes the session mid-bench.)
+    {
+        use crate::serve::{http_request, HttpClient, Server};
+
+        let server = Server::bind("127.0.0.1:0", ServeState::new(RunContext::serial_cached()))
+            .expect("bind loopback");
+        let addr = server.local_addr().expect("bound addr");
+        let handle = std::thread::spawn(move || server.run());
+
+        let mut client = HttpClient::connect(addr).expect("connect to own server");
+        c.bench_function("http_keepalive_request", |b| {
+            b.iter(|| {
+                client
+                    .request("GET", "/health", None)
+                    .expect("keep-alive health")
+            })
+        });
+        drop(client);
+
+        c.bench_function("http_oneshot_request", |b| {
+            b.iter(|| http_request(addr, "GET", "/health", None).expect("one-shot health"))
+        });
+
+        let _ = http_request(addr, "POST", "/v1/shutdown", None);
+        let _ = handle.join();
+    }
 }
 
 /// Hyperparameter optimizers.

@@ -1,0 +1,495 @@
+//! Supervision of a `varbench worker` fleet for the study server.
+//!
+//! [`Supervisor::start`] spawns N long-lived `varbench worker` child
+//! processes against a shared cache directory and watches them from a
+//! monitor thread. A worker that exits while the fleet is supposed to be
+//! running is respawned under the shared [`RetryPolicy`] schedule —
+//! bounded restarts with exponential backoff — and a slot whose worker
+//! keeps dying faster than [`SupervisorConfig::healthy_after`] is
+//! eventually **quarantined**: the supervisor stops respawning it and
+//! reports it in [`FleetStatus`], which `GET /v1/ready` surfaces to
+//! clients. A slot's rapid-death count resets once its worker survives
+//! `healthy_after` of accumulated monitor polls, so a fleet that crashes
+//! once a day never exhausts its restart budget.
+//!
+//! Shutdown is a cooperative drain, not a `SIGKILL` volley:
+//! [`Supervisor::shutdown`] writes a stop file that every worker polls
+//! (`varbench worker --stop-file`), waits out a bounded drain budget for
+//! the children to finish their in-flight row and exit, kills any
+//! stragglers, and finally releases any lease still owned by this
+//! fleet's workers so a later study never waits out a stall timeout on a
+//! lease whose owner is gone.
+//!
+//! All waiting is paced by summing the `Duration`s the monitor sleeps —
+//! the supervisor never reads a wall clock (lint L002).
+
+#![deny(missing_docs)]
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use varbench_core::retry::RetryPolicy;
+use varbench_pipeline::faultpoint::faultpoint;
+use varbench_pipeline::lease;
+
+/// Configuration for a supervised worker fleet.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Cache directory the workers share (queue + leases + records).
+    pub cache_dir: PathBuf,
+    /// Number of worker slots to keep populated.
+    pub workers: usize,
+    /// Path to the `varbench` binary to spawn workers from; `None` falls
+    /// back to [`std::env::current_exe`] at start.
+    pub exe: Option<PathBuf>,
+    /// Restart schedule per slot: `attempts() - 1` respawns, paced by the
+    /// policy's backoff; exhaustion quarantines the slot.
+    pub respawn: RetryPolicy,
+    /// Accumulated survival after which a slot's respawn count resets to
+    /// zero — distinguishes a worker that dies occasionally from one
+    /// that dies on arrival.
+    pub healthy_after: Duration,
+    /// Monitor poll interval (also the unit the drain budget is paced in).
+    pub poll: Duration,
+    /// Test hook: replaces the *entire* worker command line (program +
+    /// args). The stop file and owner id are appended semantics-free, so
+    /// `["/bin/sh", "-c", "exit 1"]` makes an instantly-dying fleet.
+    pub argv: Option<Vec<String>>,
+}
+
+impl SupervisorConfig {
+    /// A fleet of `workers` slots over `cache_dir` with default pacing:
+    /// 3 respawns per slot at 100 ms initial backoff, a slot is healthy
+    /// after surviving 5 s, monitor polls every 100 ms.
+    pub fn new(cache_dir: impl Into<PathBuf>, workers: usize) -> SupervisorConfig {
+        SupervisorConfig {
+            cache_dir: cache_dir.into(),
+            workers,
+            exe: None,
+            respawn: RetryPolicy::new(4)
+                .initial_backoff(Duration::from_millis(100))
+                .max_backoff(Duration::from_secs(2)),
+            healthy_after: Duration::from_secs(5),
+            poll: Duration::from_millis(100),
+            argv: None,
+        }
+    }
+}
+
+/// One worker slot's state as reported by [`Supervisor::status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotStatus {
+    /// Lease owner id of the slot's current (or last) worker.
+    pub owner: String,
+    /// Whether a worker process currently occupies the slot.
+    pub running: bool,
+    /// Respawns consumed since the slot last proved healthy.
+    pub respawns: u32,
+    /// The slot died too often and is no longer respawned.
+    pub quarantined: bool,
+}
+
+/// Snapshot of fleet health.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetStatus {
+    /// Per-slot states, in slot order.
+    pub slots: Vec<SlotStatus>,
+}
+
+impl FleetStatus {
+    /// Number of slots with a live worker process.
+    pub fn running(&self) -> usize {
+        self.slots.iter().filter(|s| s.running).count()
+    }
+
+    /// Number of quarantined slots.
+    pub fn quarantined(&self) -> usize {
+        self.slots.iter().filter(|s| s.quarantined).count()
+    }
+
+    /// Total respawns currently charged across all slots.
+    pub fn respawns(&self) -> u32 {
+        self.slots.iter().map(|s| s.respawns).sum()
+    }
+}
+
+/// What [`Supervisor::shutdown`] did on the way out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrainSummary {
+    /// Workers that exited on their own within the drain budget.
+    pub exited: usize,
+    /// Stragglers killed after the budget ran out.
+    pub killed: usize,
+    /// Held leases released on behalf of the fleet's owners.
+    pub leases_released: usize,
+}
+
+struct Slot {
+    owner: String,
+    child: Option<Child>,
+    respawns: u32,
+    healthy: Duration,
+    cooldown: Option<Duration>,
+    quarantined: bool,
+}
+
+struct Shared {
+    stop: AtomicBool,
+    slots: Mutex<Vec<Slot>>,
+}
+
+/// A running supervised fleet. Dropping without [`Supervisor::shutdown`]
+/// still stops the monitor and kills the children (no orphan processes),
+/// but skips the cooperative drain.
+pub struct Supervisor {
+    shared: Arc<Shared>,
+    monitor: Mutex<Option<JoinHandle<()>>>,
+    cfg: SupervisorConfig,
+    stop_file: PathBuf,
+    owner_prefix: String,
+}
+
+impl Supervisor {
+    /// Spawns the fleet and the monitor thread.
+    pub fn start(mut cfg: SupervisorConfig) -> io::Result<Supervisor> {
+        std::fs::create_dir_all(&cfg.cache_dir)?;
+        if cfg.exe.is_none() && cfg.argv.is_none() {
+            cfg.exe = Some(std::env::current_exe()?);
+        }
+        let owner_prefix = format!("serve-fleet-{}-", std::process::id());
+        let stop_file = cfg
+            .cache_dir
+            .join(format!("fleet-{}.stop", std::process::id()));
+        let _ = std::fs::remove_file(&stop_file);
+
+        let mut slots = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
+            let owner = format!("{owner_prefix}s{i}");
+            let child = spawn_worker(&cfg, &stop_file, &owner)?;
+            slots.push(Slot {
+                owner,
+                child: Some(child),
+                respawns: 0,
+                healthy: Duration::ZERO,
+                cooldown: None,
+                quarantined: false,
+            });
+        }
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            slots: Mutex::new(slots),
+        });
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            let cfg = cfg.clone();
+            let stop_file = stop_file.clone();
+            std::thread::spawn(move || monitor_loop(&shared, &cfg, &stop_file))
+        };
+        Ok(Supervisor {
+            shared,
+            monitor: Mutex::new(Some(monitor)),
+            cfg,
+            stop_file,
+            owner_prefix,
+        })
+    }
+
+    /// Current fleet health.
+    pub fn status(&self) -> FleetStatus {
+        let slots = self.shared.slots.lock().expect("fleet slots poisoned");
+        FleetStatus {
+            slots: slots
+                .iter()
+                .map(|s| SlotStatus {
+                    owner: s.owner.clone(),
+                    running: s.child.is_some(),
+                    respawns: s.respawns,
+                    quarantined: s.quarantined,
+                })
+                .collect(),
+        }
+    }
+
+    /// The lease-owner prefix every worker in this fleet claims under.
+    pub fn owner_prefix(&self) -> &str {
+        &self.owner_prefix
+    }
+
+    /// Drains the fleet: stop respawning, ask the workers to exit via
+    /// the stop file, wait up to `drain` for them to finish their
+    /// in-flight row, kill stragglers, and release any lease still owned
+    /// by this fleet.
+    pub fn shutdown(&self, drain: Duration) -> DrainSummary {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.monitor.lock().expect("monitor poisoned").take() {
+            let _ = handle.join();
+        }
+        let _ = std::fs::write(&self.stop_file, b"drain\n");
+
+        let mut summary = DrainSummary::default();
+        let mut slots = self.shared.slots.lock().expect("fleet slots poisoned");
+        let mut waited = Duration::ZERO;
+        while waited < drain {
+            let mut alive = 0;
+            for slot in slots.iter_mut() {
+                if let Some(child) = slot.child.as_mut() {
+                    match child.try_wait() {
+                        Ok(Some(_)) => {
+                            slot.child = None;
+                            summary.exited += 1;
+                        }
+                        Ok(None) => alive += 1,
+                        Err(_) => alive += 1,
+                    }
+                }
+            }
+            if alive == 0 {
+                break;
+            }
+            std::thread::sleep(self.cfg.poll);
+            waited += self.cfg.poll;
+        }
+        for slot in slots.iter_mut() {
+            if let Some(mut child) = slot.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+                summary.killed += 1;
+            }
+        }
+        drop(slots);
+
+        // Leases a killed straggler (or an earlier crash the monitor had
+        // already given up on) still holds: release them owner-checked so
+        // the next study never waits out a stall timeout for a dead owner.
+        for l in lease::scan_leases(&self.cfg.cache_dir) {
+            if !l.open
+                && l.owner.starts_with(&self.owner_prefix)
+                && lease::release(&self.cfg.cache_dir, &l.job, &l.owner)
+            {
+                summary.leases_released += 1;
+            }
+        }
+        let _ = std::fs::remove_file(&self.stop_file);
+        summary
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.monitor.lock().expect("monitor poisoned").take() {
+            let _ = handle.join();
+        }
+        let mut slots = self.shared.slots.lock().expect("fleet slots poisoned");
+        for slot in slots.iter_mut() {
+            if let Some(mut child) = slot.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+fn spawn_worker(cfg: &SupervisorConfig, stop_file: &Path, owner: &str) -> io::Result<Child> {
+    let mut cmd = match &cfg.argv {
+        Some(argv) => {
+            let mut cmd = Command::new(argv.first().map(String::as_str).unwrap_or("true"));
+            cmd.args(&argv[1..]);
+            cmd
+        }
+        None => {
+            let exe = cfg.exe.as_deref().expect("exe resolved in start");
+            let mut cmd = Command::new(exe);
+            cmd.arg("worker")
+                .arg("--cache-dir")
+                .arg(&cfg.cache_dir)
+                .arg("--id")
+                .arg(owner)
+                // Long-lived: the stop file ends the worker, not idleness.
+                .arg("--idle-rounds")
+                .arg("1000000")
+                .arg("--poll-ms")
+                .arg("50")
+                .arg("--stop-file")
+                .arg(stop_file);
+            cmd
+        }
+    };
+    cmd.stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    cmd.spawn()
+}
+
+fn monitor_loop(shared: &Shared, cfg: &SupervisorConfig, stop_file: &Path) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        {
+            let mut slots = shared.slots.lock().expect("fleet slots poisoned");
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if slot.quarantined {
+                    continue;
+                }
+                match slot.child.as_mut().map(Child::try_wait) {
+                    Some(Ok(None)) => {
+                        // Alive: accumulate survival; a slot that lasts
+                        // `healthy_after` earns its respawn budget back.
+                        slot.healthy = slot.healthy.saturating_add(cfg.poll);
+                        if slot.healthy >= cfg.healthy_after {
+                            slot.respawns = 0;
+                        }
+                    }
+                    Some(Ok(Some(_))) | Some(Err(_)) => {
+                        if let Some(mut child) = slot.child.take() {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                        }
+                        slot.healthy = Duration::ZERO;
+                        match cfg.respawn.backoff_after(slot.respawns) {
+                            Some(pause) => slot.cooldown = Some(pause),
+                            None => {
+                                slot.quarantined = true;
+                                eprintln!(
+                                    "supervisor: slot {i} quarantined after {} rapid death(s)",
+                                    slot.respawns + 1
+                                );
+                            }
+                        }
+                    }
+                    None => {
+                        // Dead and cooling down towards a respawn.
+                        let left = slot.cooldown.unwrap_or(Duration::ZERO);
+                        if left > cfg.poll {
+                            slot.cooldown = Some(left - cfg.poll);
+                        } else {
+                            slot.cooldown = None;
+                            slot.respawns += 1;
+                            faultpoint("supervisor:before-respawn");
+                            let owner = format!("{}r{}", slot.owner, slot.respawns);
+                            match spawn_worker(cfg, stop_file, &owner) {
+                                Ok(child) => slot.child = Some(child),
+                                Err(e) => {
+                                    eprintln!("supervisor: respawn of slot {i} failed: {e}");
+                                    slot.quarantined = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        std::thread::sleep(cfg.poll);
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("varbench-sup-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sh(script: &str) -> Option<Vec<String>> {
+        Some(vec!["/bin/sh".into(), "-c".into(), script.into()])
+    }
+
+    fn wait_until(mut done: impl FnMut() -> bool) {
+        for _ in 0..500 {
+            if done() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("condition not reached within 5s");
+    }
+
+    #[test]
+    fn instantly_dying_workers_exhaust_their_respawns_and_quarantine() {
+        let dir = fresh_dir("quarantine");
+        let mut cfg = SupervisorConfig::new(&dir, 2);
+        cfg.argv = sh("exit 1");
+        cfg.respawn = RetryPolicy::new(3)
+            .initial_backoff(Duration::from_millis(1))
+            .max_backoff(Duration::from_millis(1));
+        cfg.poll = Duration::from_millis(5);
+        cfg.healthy_after = Duration::from_secs(3600);
+        let sup = Supervisor::start(cfg).unwrap();
+        wait_until(|| sup.status().quarantined() == 2);
+        let status = sup.status();
+        assert_eq!(status.running(), 0);
+        assert_eq!(status.respawns(), 4, "2 respawns per slot before giving up");
+        let summary = sup.shutdown(Duration::from_millis(50));
+        assert_eq!(summary.killed, 0, "nothing left to kill");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn long_lived_workers_stay_running_and_drain_kills_stragglers() {
+        let dir = fresh_dir("drain");
+        let mut cfg = SupervisorConfig::new(&dir, 2);
+        // Ignores the stop file: drain must fall back to kill.
+        cfg.argv = sh("sleep 60");
+        cfg.poll = Duration::from_millis(5);
+        let sup = Supervisor::start(cfg).unwrap();
+        wait_until(|| sup.status().running() == 2);
+        assert_eq!(sup.status().quarantined(), 0);
+        let summary = sup.shutdown(Duration::from_millis(30));
+        assert_eq!(summary.killed, 2, "sleepers ignore the stop file");
+        assert_eq!(summary.leases_released, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_crashed_worker_is_respawned() {
+        let dir = fresh_dir("respawn");
+        let marker = dir.join("spawned");
+        let mut cfg = SupervisorConfig::new(&dir, 1);
+        // First run dies instantly; the respawn (marker exists) sleeps.
+        cfg.argv = sh(&format!(
+            "if [ -e {m} ]; then sleep 60; else : > {m}; exit 7; fi",
+            m = marker.display()
+        ));
+        cfg.respawn = RetryPolicy::new(4)
+            .initial_backoff(Duration::from_millis(1))
+            .max_backoff(Duration::from_millis(1));
+        cfg.poll = Duration::from_millis(5);
+        let sup = Supervisor::start(cfg).unwrap();
+        wait_until(|| {
+            let s = sup.status();
+            s.running() == 1 && s.respawns() >= 1
+        });
+        assert_eq!(sup.status().quarantined(), 0);
+        sup.shutdown(Duration::from_millis(20));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_releases_leases_left_by_fleet_owners() {
+        let dir = fresh_dir("sweep");
+        let mut cfg = SupervisorConfig::new(&dir, 1);
+        cfg.argv = sh("sleep 60");
+        cfg.poll = Duration::from_millis(5);
+        let sup = Supervisor::start(cfg).unwrap();
+        // Simulate a fleet worker dying between claim and release.
+        let owner = format!("{}s0", sup.owner_prefix());
+        lease::enqueue(&dir, "job-held", "").unwrap();
+        lease::claim(&dir, "job-held", &owner).unwrap();
+        // A foreign owner's lease must survive the sweep untouched.
+        lease::enqueue(&dir, "job-foreign", "").unwrap();
+        lease::claim(&dir, "job-foreign", "someone-else").unwrap();
+        let summary = sup.shutdown(Duration::from_millis(20));
+        assert_eq!(summary.leases_released, 1);
+        let leases = lease::scan_leases(&dir);
+        assert_eq!(leases.len(), 1, "foreign lease intact: {leases:?}");
+        assert_eq!(leases[0].owner, "someone-else");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -220,6 +220,10 @@ pub struct WorkerConfig {
     pub serial: bool,
     /// Worker thread count (`None`: `VARBENCH_THREADS` or all cores).
     pub threads: Option<usize>,
+    /// Cooperative-drain sentinel: the worker exits (between jobs, never
+    /// mid-row) as soon as this path exists. How a supervisor stops a
+    /// long-lived fleet without signals.
+    pub stop_file: Option<PathBuf>,
 }
 
 impl WorkerConfig {
@@ -233,6 +237,7 @@ impl WorkerConfig {
             drain: true,
             serial: false,
             threads: None,
+            stop_file: None,
         }
     }
 }
@@ -305,9 +310,38 @@ fn execute(job: &Job, ctx: &RunContext) -> Result<(), String> {
     }
 }
 
+/// Owner-checked release of a held lease on every exit path. The worker
+/// arms this right after claiming; a panic during `execute` (or any
+/// early return) unwinds through the guard and releases the lease
+/// immediately instead of leaving it for timeout-based reclaim — the
+/// shutdown-lease-leak fix. The success path disarms after its explicit
+/// release + dequeue. A hard kill skips destructors by design; that
+/// shape stays covered by reclaim.
+struct LeaseGuard<'a> {
+    dir: &'a std::path::Path,
+    id: &'a str,
+    owner: &'a str,
+    armed: bool,
+}
+
+impl Drop for LeaseGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            release(self.dir, self.id, self.owner);
+        }
+    }
+}
+
+/// Whether a stop file has asked this worker to exit.
+fn stop_requested(cfg: &WorkerConfig) -> bool {
+    cfg.stop_file.as_deref().is_some_and(|p| p.exists())
+}
+
 /// The worker loop: scan the queue in deterministic stem order, claim
 /// what is claimable, compute, release, repeat — until the queue drains
-/// (`cfg.drain`) or `cfg.idle_rounds` scans come up empty-handed.
+/// (`cfg.drain`), `cfg.idle_rounds` scans come up empty-handed, or the
+/// configured stop file appears (checked between jobs, so an in-flight
+/// row always finishes and releases its lease before the exit).
 ///
 /// Returns what was accomplished; errors are per-job and non-fatal (a
 /// torn payload is skipped, not a crash — robustness means the fleet
@@ -320,6 +354,9 @@ pub fn run_worker(cfg: &WorkerConfig) -> WorkerSummary {
     loop {
         let mut progressed = false;
         for id in scan_queue(dir) {
+            if stop_requested(cfg) {
+                return summary;
+            }
             let Ok(text) = std::fs::read_to_string(job_path(dir, &id)) else {
                 continue; // dequeued between scan and read
             };
@@ -346,10 +383,17 @@ pub fn run_worker(cfg: &WorkerConfig) -> WorkerSummary {
             }
             match claim(dir, &id, &cfg.owner) {
                 Ok(ClaimOutcome::Acquired(_generation)) => {
+                    let mut guard = LeaseGuard {
+                        dir,
+                        id: &id,
+                        owner: &cfg.owner,
+                        armed: true,
+                    };
                     faultpoint("worker:after-claim");
                     match execute(&job, &ctx) {
                         Ok(()) => {
                             faultpoint("worker:before-release");
+                            guard.armed = false;
                             if release(dir, &id, &cfg.owner) {
                                 dequeue(dir, &id);
                             }
@@ -361,6 +405,7 @@ pub fn run_worker(cfg: &WorkerConfig) -> WorkerSummary {
                             // alien job): release so others may try, but
                             // leave it queued for the driver to cancel.
                             eprintln!("worker {}: cannot execute {id}: {e}", cfg.owner);
+                            guard.armed = false;
                             release(dir, &id, &cfg.owner);
                             summary.skipped += 1;
                         }
@@ -369,7 +414,7 @@ pub fn run_worker(cfg: &WorkerConfig) -> WorkerSummary {
                 Ok(ClaimOutcome::Busy(_)) | Err(_) => {}
             }
         }
-        if cfg.drain && scan_queue(dir).is_empty() {
+        if stop_requested(cfg) || (cfg.drain && scan_queue(dir).is_empty()) {
             break;
         }
         if progressed {
@@ -776,6 +821,71 @@ mod tests {
         let outcome = dispatch(&cfg, jobs, &ctx);
         assert_eq!(outcome.satisfied_upfront, outcome.jobs);
         assert!(!outcome.timed_out);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_panicking_row_releases_its_lease_on_the_way_out() {
+        let dir = scratch("panic-release");
+        let effort = Effort::Test;
+        let plan = plan_for("synthetic-ridge", effort, 2);
+        let probe = RunContext::new(Runner::serial(), MeasureCache::with_dir(&dir));
+        let w = workloads::find("synthetic-ridge", effort.scale()).unwrap();
+        let pm = plan[0].clone();
+        let key = probe.measure_key(w.as_ref(), pm.measure_kind(), pm.base_seed);
+        let job = Job::Study {
+            workload: "synthetic-ridge".into(),
+            effort,
+            pm,
+        };
+        enqueue(&dir, key.canon(), &job.render()).unwrap();
+        let mut cfg = WorkerConfig::new(&dir);
+        cfg.serial = true;
+        // An unwinding crash mid-row (drain's SIGTERM shape): the worker
+        // must not leave its lease for timeout-based reclaim.
+        let _arm = varbench_pipeline::faultpoint::arm_local("worker:mid-row:panic");
+        let crashed =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_worker(&cfg))).is_err();
+        assert!(crashed, "armed panic fired");
+        assert!(
+            lease::scan_leases(&dir).is_empty(),
+            "lease released on unwind, not leaked"
+        );
+        assert_eq!(
+            scan_queue(&dir),
+            vec![key.canon().to_string()],
+            "job stays queued"
+        );
+        // A healthy successor claims the released lease and finishes.
+        let summary = run_worker(&cfg);
+        assert_eq!(summary.completed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stop_file_halts_the_worker_before_it_claims_anything() {
+        let dir = scratch("stopfile");
+        let effort = Effort::Test;
+        let plan = plan_for("synthetic-ridge", effort, 2);
+        let probe = RunContext::new(Runner::serial(), MeasureCache::with_dir(&dir));
+        let w = workloads::find("synthetic-ridge", effort.scale()).unwrap();
+        let pm = plan[0].clone();
+        let key = probe.measure_key(w.as_ref(), pm.measure_kind(), pm.base_seed);
+        let job = Job::Study {
+            workload: "synthetic-ridge".into(),
+            effort,
+            pm,
+        };
+        enqueue(&dir, key.canon(), &job.render()).unwrap();
+        let stop = dir.join("stop");
+        std::fs::write(&stop, b"drain\n").unwrap();
+        let mut cfg = WorkerConfig::new(&dir);
+        cfg.serial = true;
+        cfg.stop_file = Some(stop);
+        let summary = run_worker(&cfg);
+        assert_eq!(summary, WorkerSummary::default(), "exited without working");
+        assert_eq!(scan_queue(&dir).len(), 1, "queue untouched");
+        assert!(lease::scan_leases(&dir).is_empty(), "nothing claimed");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -72,6 +72,7 @@ fn request() -> StudyRequest {
         algo: None,
         gamma: None,
         name: None,
+        dispatch: false,
     }
 }
 
@@ -195,6 +196,93 @@ fn killed_workers_never_corrupt_the_study() {
         .expect("warm study");
     assert!(warm.status.success());
     assert_eq!(warm.stdout, baseline, "gc must not eat live records");
+
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn concurrent_reclaims_converge_on_one_takeover() {
+    let cache = fresh_dir("reclaim-race");
+    lease::enqueue(&cache, "race-row", "payload").expect("enqueue");
+
+    // A worker claims the row, then dies without releasing: the lease is
+    // held at generation 1 with nobody left to finish it.
+    match lease::claim(&cache, "race-row", "dead-worker").expect("claim") {
+        lease::ClaimOutcome::Acquired(generation) => assert_eq!(generation, 1),
+        other => panic!("first claim must acquire: {other:?}"),
+    }
+
+    // Two drivers notice the stall at the same moment and both reclaim
+    // against the generation they observed. Reclaim is idempotent for a
+    // given generation, so whatever interleaving the scheduler picks,
+    // the race degrades to duplicate marking — never to two owners.
+    let (dir_a, dir_b) = (cache.clone(), cache.clone());
+    let a = std::thread::spawn(move || lease::reclaim(&dir_a, "race-row", 1).expect("reclaim a"));
+    let b = std::thread::spawn(move || lease::reclaim(&dir_b, "race-row", 1).expect("reclaim b"));
+    let (a, b) = (a.join().expect("thread a"), b.join().expect("thread b"));
+    assert!(a || b, "at least one reclaim must land");
+
+    let leases = lease::scan_leases(&cache);
+    assert_eq!(
+        leases.len(),
+        1,
+        "one lease file, however the race fell: {leases:?}"
+    );
+    assert!(leases[0].open, "a reclaimed lease awaits takeover");
+    assert_eq!(
+        leases[0].generation, 1,
+        "reclaim keeps the dead owner's generation"
+    );
+
+    // Exactly one successor takes over, at generation 2; anyone arriving
+    // after that sees a held lease.
+    match lease::claim(&cache, "race-row", "successor").expect("takeover") {
+        lease::ClaimOutcome::Acquired(generation) => assert_eq!(generation, 2),
+        other => panic!("takeover must acquire: {other:?}"),
+    }
+    match lease::claim(&cache, "race-row", "late-arrival").expect("second takeover") {
+        lease::ClaimOutcome::Busy(l) => {
+            assert_eq!(l.owner, "successor");
+            assert_eq!(l.generation, 2);
+        }
+        other => panic!("the row has an owner again: {other:?}"),
+    }
+
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn double_release_is_a_no_op() {
+    let cache = fresh_dir("double-release");
+    lease::enqueue(&cache, "row", "payload").expect("enqueue");
+    assert!(matches!(
+        lease::claim(&cache, "row", "w1").expect("claim"),
+        lease::ClaimOutcome::Acquired(1)
+    ));
+
+    assert!(
+        lease::release(&cache, "row", "w1"),
+        "first release removes the lease"
+    );
+    assert!(
+        !lease::release(&cache, "row", "w1"),
+        "releasing an already-released lease is a no-op"
+    );
+    assert!(lease::scan_leases(&cache).is_empty());
+
+    // A stale finisher must not release a lease that changed hands: w2
+    // claims the row fresh, and w1's late release bounces off.
+    assert!(matches!(
+        lease::claim(&cache, "row", "w2").expect("reclaim"),
+        lease::ClaimOutcome::Acquired(1)
+    ));
+    assert!(
+        !lease::release(&cache, "row", "w1"),
+        "only the current owner may release"
+    );
+    let leases = lease::scan_leases(&cache);
+    assert_eq!(leases.len(), 1, "w2's lease is intact: {leases:?}");
+    assert_eq!(leases[0].owner, "w2");
 
     let _ = std::fs::remove_dir_all(&cache);
 }

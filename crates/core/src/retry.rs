@@ -97,6 +97,14 @@ impl RetryPolicy {
         self.attempts
     }
 
+    /// The cap on any individual pause (see [`RetryPolicy::max_backoff`]).
+    /// Callers honoring an external pacing hint — e.g. a server's
+    /// `Retry-After` header — clamp the hint to this so a hostile or
+    /// misconfigured peer cannot stretch the schedule past its bounds.
+    pub fn max_pause(&self) -> Duration {
+        self.max
+    }
+
     /// The pause to take after failed attempt `attempt` (0-based), or
     /// `None` when the policy is exhausted (attempt cap or sleep budget
     /// reached) and the caller should surface the last error.
@@ -186,6 +194,15 @@ mod tests {
     #[test]
     fn once_never_retries() {
         assert_eq!(RetryPolicy::once().backoff_after(0), None);
+    }
+
+    #[test]
+    fn max_pause_reports_the_per_pause_cap() {
+        assert_eq!(
+            RetryPolicy::new(2).max_backoff(ms(7)).max_pause(),
+            ms(7),
+            "clamp for external pacing hints like Retry-After"
+        );
     }
 
     #[test]

@@ -107,6 +107,134 @@ fi
 # The dead worker's leftovers are gc-able garbage, never torn records.
 VARBENCH_CACHE_DIR="$chaosdir/fleet" target/debug/varbench cache gc
 
+say "serve chaos A: fleet-backed study survives a kill -9'd worker"
+# The server supervises its own 2-worker fleet; the kill1 sentinel
+# guarantees exactly one worker aborts mid-row under the served study.
+# The supervisor respawns it, the dispatch loop reclaims the dead
+# lease, and the response must still byte-match the single-process run.
+fleetdir="$scratch/servefleet"
+mkdir -p "$fleetdir/cache"
+VARBENCH_CACHE_DIR="$fleetdir/cache" \
+    VARBENCH_FAULT="worker:mid-row:kill1=$fleetdir/killed" \
+    target/debug/varbench serve --addr 127.0.0.1:0 --serial \
+    --workers 2 --row-timeout-ms 500 --ready-file "$fleetdir/ready" \
+    2> "$fleetdir/serve.err" &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -s "$fleetdir/ready" ] && break; sleep 0.1; done
+[ -s "$fleetdir/ready" ] || { echo "ERROR: fleet serve never became ready" >&2; exit 1; }
+fleet_addr=$(cat "$fleetdir/ready")
+target/debug/varbench query --addr "$fleet_addr" /v1/ready > /dev/null
+target/debug/varbench study synthetic-ridge --test --seeds 4 --budget 3 --json \
+    --dispatch --addr "$fleet_addr" > "$fleetdir/served.json"
+if [ ! -f "$fleetdir/killed" ]; then
+    echo "ERROR: no fleet worker hit the armed faultpoint (serve chaos proved nothing)" >&2
+    exit 1
+fi
+if ! cmp -s "$chaosdir/solo.json" "$fleetdir/served.json"; then
+    echo "ERROR: fleet-served study differs from the single-process run" >&2
+    cat "$fleetdir/serve.err" >&2
+    diff "$chaosdir/solo.json" "$fleetdir/served.json" >&2 || true
+    exit 1
+fi
+# Graceful drain: shutdown must stop the fleet, release its leases, and
+# exit 0 without leaking worker processes.
+target/debug/varbench query --addr "$fleet_addr" --post /v1/shutdown > /dev/null
+wait "$serve_pid"
+serve_pid=""
+if pgrep -f "varbench worker" > /dev/null 2>&1; then
+    echo "ERROR: drained serve leaked worker processes" >&2
+    exit 1
+fi
+gc_out=$(VARBENCH_CACHE_DIR="$fleetdir/cache" target/debug/varbench cache gc)
+echo "$gc_out"
+case "$gc_out" in
+    *"torn 0"*) ;;
+    *) echo "ERROR: serve chaos left torn records" >&2; exit 1 ;;
+esac
+case "$gc_out" in
+    *"stale-lease 0"*) ;;
+    *) echo "ERROR: drained fleet left stale leases behind" >&2; exit 1 ;;
+esac
+
+say "serve chaos B: server killed mid-study; restart + retrying client recover"
+# Ground truth for the extended study: 6 seeds over the solo cache, so
+# the expected bytes are themselves assembled record-prefix-stably.
+VARBENCH_CACHE_DIR="$chaosdir/solo" target/debug/varbench \
+    study synthetic-ridge --test --seeds 6 --budget 3 --json \
+    > "$chaosdir/solo6.json" 2> /dev/null
+# A doomed server on the part-A cache: it aborts (kill -9 style) in the
+# middle of the first dispatched study it accepts.
+VARBENCH_CACHE_DIR="$fleetdir/cache" \
+    VARBENCH_FAULT="serve:mid-dispatch:kill" \
+    target/debug/varbench serve --addr 127.0.0.1:0 --serial \
+    --ready-file "$fleetdir/ready-doomed" 2> "$fleetdir/doomed.err" &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -s "$fleetdir/ready-doomed" ] && break; sleep 0.1; done
+[ -s "$fleetdir/ready-doomed" ] || { echo "ERROR: doomed serve never became ready" >&2; exit 1; }
+doomed_addr=$(cat "$fleetdir/ready-doomed")
+# The client keeps retrying through the crash window (dead connection,
+# then connection refused, then the revived server).
+target/debug/varbench query --addr "$doomed_addr" --retries 15 --timeout-ms 60000 \
+    /v1/study \
+    '{"workload":"synthetic-ridge","effort":"test","seeds":6,"budget":3,"dispatch":true}' \
+    > "$fleetdir/served6.json" 2> "$fleetdir/query.err" &
+query_pid=$!
+if wait "$serve_pid" 2>/dev/null; then
+    echo "ERROR: the doomed server survived its armed faultpoint" >&2
+    exit 1
+fi
+serve_pid=""
+# Revive on the same address (SO_REUSEADDR makes the rebind immediate;
+# the loop is belt and braces), this time with a healthy fleet.
+rm -f "$fleetdir/ready-revived"
+for _ in $(seq 1 20); do
+    VARBENCH_CACHE_DIR="$fleetdir/cache" target/debug/varbench serve \
+        --addr "$doomed_addr" --serial --workers 2 --row-timeout-ms 500 \
+        --ready-file "$fleetdir/ready-revived" 2>> "$fleetdir/revived.err" &
+    serve_pid=$!
+    for _ in $(seq 1 20); do
+        [ -s "$fleetdir/ready-revived" ] && break
+        kill -0 "$serve_pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    [ -s "$fleetdir/ready-revived" ] && break
+    wait "$serve_pid" 2>/dev/null || true
+    serve_pid=""
+    sleep 0.2
+done
+[ -s "$fleetdir/ready-revived" ] || { echo "ERROR: could not rebind the crashed server's address" >&2; exit 1; }
+if ! wait "$query_pid"; then
+    echo "ERROR: the retrying client never completed against the revived server" >&2
+    cat "$fleetdir/query.err" >&2
+    exit 1
+fi
+if ! cmp -s "$chaosdir/solo6.json" "$fleetdir/served6.json"; then
+    echo "ERROR: post-crash served study differs from the single-process run" >&2
+    cat "$fleetdir/revived.err" >&2
+    diff "$chaosdir/solo6.json" "$fleetdir/served6.json" >&2 || true
+    exit 1
+fi
+# The revived server must have answered through the dispatch path,
+# recomputing only the rows the part-A cache was missing.
+if ! grep -q "serve dispatch" "$fleetdir/revived.err"; then
+    echo "ERROR: revived server never took the dispatch path" >&2
+    cat "$fleetdir/revived.err" >&2
+    exit 1
+fi
+target/debug/varbench query --addr "$doomed_addr" --post /v1/shutdown > /dev/null
+wait "$serve_pid"
+serve_pid=""
+if pgrep -f "varbench worker" > /dev/null 2>&1; then
+    echo "ERROR: revived serve leaked worker processes" >&2
+    exit 1
+fi
+gc_out=$(VARBENCH_CACHE_DIR="$fleetdir/cache" target/debug/varbench cache gc)
+echo "$gc_out"
+case "$gc_out" in
+    *"torn 0"*) ;;
+    *) echo "ERROR: server crash left torn records" >&2; exit 1 ;;
+esac
+
 say "varbench lint (repo-invariant checker; hard gate)"
 target/release/varbench lint
 # The gate must actually detect violations: seed one and expect exit 1
@@ -153,14 +281,14 @@ else
 fi
 
 # Perf-regression gate: quick-mode timing suites vs the committed
-# quick-mode companion baseline BENCH_8_quick.json — comparing quick
+# quick-mode companion baseline BENCH_10_quick.json — comparing quick
 # medians against quick medians, not against the full-mode trajectory
 # snapshot (quick mode's short reps read systematically slower on slow
 # boxes, which made the old full-baseline gate cry wolf). Timing on a
 # 1-CPU box is noise, so it skips there (the PR-1 convention).
-if [ "${CI_SKIP_PERF_GATE:-0}" != "1" ] && [ "$cores" -ge 2 ] && [ -f BENCH_8_quick.json ]; then
-    say "perf regression gate (quick bench vs BENCH_8_quick.json, +25% budget)"
-    target/release/varbench bench --quick --json --baseline BENCH_8_quick.json --max-regress 25 > /dev/null
+if [ "${CI_SKIP_PERF_GATE:-0}" != "1" ] && [ "$cores" -ge 2 ] && [ -f BENCH_10_quick.json ]; then
+    say "perf regression gate (quick bench vs BENCH_10_quick.json, +25% budget)"
+    target/release/varbench bench --quick --json --baseline BENCH_10_quick.json --max-regress 25 > /dev/null
 else
     say "perf gate skipped (cores=$cores, CI_SKIP_PERF_GATE=${CI_SKIP_PERF_GATE:-0})"
 fi
